@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks of the simulator engine itself: simulation
+//! throughput per design point and the cost of the hot structures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shelfsim::uarch::{FreeList, IssueTracker, OrderedQueue, Scoreboard, Tag};
+use shelfsim::workload::{suite, TraceSource};
+use shelfsim::{CoreConfig, EnergyModel, Simulation, SteerPolicy};
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_1k_cycles");
+    g.sample_size(10);
+    for (label, cfg) in [
+        ("base64_4t", CoreConfig::base64(4)),
+        ("shelf64_4t", CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true)),
+        ("base128_4t", CoreConfig::base128(4)),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let mut sim =
+                Simulation::from_names(cfg.clone(), &["gcc", "mcf", "hmmer", "lbm"], 1)
+                    .expect("suite");
+            sim.run(5_000, 0); // warm the pipeline once
+            b.iter(|| {
+                for _ in 0..1_000 {
+                    sim.step();
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_structures(c: &mut Criterion) {
+    c.bench_function("ordered_queue_push_pop", |b| {
+        let mut q: OrderedQueue<u32> = OrderedQueue::new(64);
+        b.iter(|| {
+            for i in 0..64u32 {
+                let _ = q.push(i);
+            }
+            while q.pop_front().is_some() {}
+        });
+    });
+
+    c.bench_function("issue_tracker_dispatch_issue", |b| {
+        b.iter(|| {
+            let mut t = IssueTracker::new();
+            for i in 0..64 {
+                t.dispatch(i);
+            }
+            for i in (0..64).rev() {
+                t.issue(i);
+            }
+            t.head()
+        });
+    });
+
+    c.bench_function("freelist_churn", |b| {
+        let mut fl = FreeList::new(0, 128);
+        b.iter(|| {
+            let ids: Vec<u32> = (0..64).map(|_| fl.allocate().expect("free")).collect();
+            for id in ids {
+                fl.free(id);
+            }
+        });
+    });
+
+    c.bench_function("scoreboard_wakeup_scan", |b| {
+        let mut sb = Scoreboard::new(512);
+        for i in 0..512 {
+            sb.set_ready_at(Tag(i), (i as u64) % 97);
+        }
+        b.iter(|| (0..512u32).filter(|&i| sb.is_ready(Tag(i), 50)).count());
+    });
+}
+
+fn bench_workload(c: &mut Criterion) {
+    c.bench_function("trace_generate_10k", |b| {
+        let program = suite::by_name("gcc").expect("suite").build_program(1);
+        b.iter(|| {
+            let mut t = TraceSource::new(program.clone(), 0);
+            let mut loads = 0u64;
+            for _ in 0..10_000 {
+                let (_, i) = t.fetch();
+                loads += u64::from(i.is_load());
+            }
+            loads
+        });
+    });
+
+    c.bench_function("program_build_gcc", |b| {
+        let profile = suite::by_name("gcc").expect("suite");
+        b.iter(|| profile.build_program(7).footprint());
+    });
+
+    c.bench_function("assemble_kernel", |b| {
+        let src = "top:\n load r9, [r0], stride=8, region=l1\n mul r8, r8, r9\n                    add r10, r8\n loop top, trips=100\n";
+        b.iter(|| shelfsim::workload::asm::assemble(src).expect("valid").footprint());
+    });
+}
+
+fn bench_energy(c: &mut Criterion) {
+    c.bench_function("energy_report", |b| {
+        let cfg = CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true);
+        let model = EnergyModel::for_config(&cfg);
+        let mut sim = Simulation::from_names(cfg, &["gcc", "mcf", "hmmer", "lbm"], 1)
+            .expect("suite");
+        let run = sim.run(2_000, 4_000);
+        b.iter(|| model.report(&run).edp());
+    });
+}
+
+criterion_group!(benches, bench_simulation, bench_structures, bench_workload, bench_energy);
+criterion_main!(benches);

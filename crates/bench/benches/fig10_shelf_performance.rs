@@ -1,0 +1,63 @@
+//! Figure 10: system-throughput improvement of the shelf over Base-64, with
+//! conservative and optimistic microarchitecture assumptions, against the
+//! doubled Base-128 upper bound.
+//!
+//! Paper: "The shelf-augmented microarchitectures improve performance over
+//! the baseline by 8.6% and 11.5% on average and up to 15.1% and 19.2% for
+//! the conservative and optimistic microarchitecture assumptions ... Our
+//! approach captures almost half of the throughput improvement of the
+//! larger OOO core."
+
+use shelfsim::stats::min_median_max_indices;
+use shelfsim_bench::{csv_sink, evaluate_designs, geomean_improvement, stp_improvements, Design, Scale};
+use std::io::Write as _;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Figure 10: STP improvement over Base-64 (4-thread mixes)\n");
+    let evals = evaluate_designs(&Design::FIG10, 4, scale);
+    let improvements = stp_improvements(&evals);
+    // Select min/median/max mixes by the optimistic shelf improvement
+    // (design index 2 -> improvements[1]).
+    let (lo, med, hi) = min_median_max_indices(&improvements[1]);
+
+    println!(
+        "{:<28} {:>10} {:>10} {:>10} {:>10}",
+        "design", "min mix", "median mix", "max mix", "geomean"
+    );
+    for (di, d) in Design::FIG10.iter().enumerate().skip(1) {
+        let imp = &improvements[di - 1];
+        println!(
+            "{:<28} {:>+9.1}% {:>+9.1}% {:>+9.1}% {:>+9.1}%",
+            d.label(),
+            imp[lo],
+            imp[med],
+            imp[hi],
+            geomean_improvement(&evals[di], &evals[0]),
+        );
+    }
+    println!("\nselected mixes:");
+    println!("  min:    {}", evals[0][lo].mix.label());
+    println!("  median: {}", evals[0][med].mix.label());
+    println!("  max:    {}", evals[0][hi].mix.label());
+
+    if let Some(mut f) = csv_sink("fig10_stp") {
+        let _ = writeln!(f, "mix,base64_stp,shelf_cons_stp,shelf_opt_stp,base128_stp");
+        for (i, base) in evals[0].iter().enumerate() {
+            let _ = writeln!(
+                f,
+                "{},{:.4},{:.4},{:.4},{:.4}",
+                base.mix.label(),
+                base.stp,
+                evals[1][i].stp,
+                evals[2][i].stp,
+                evals[3][i].stp
+            );
+        }
+        println!("\n(wrote fig10_stp.csv to $SHELFSIM_CSV)");
+    }
+
+    let late: u64 = evals.iter().flatten().map(|e| e.late_shelf_commits).sum();
+    println!("\n# SSR safety self-check (must be 0): {late}");
+    println!("# paper shape: conservative < optimistic; shelf captures ~half of Base-128");
+}

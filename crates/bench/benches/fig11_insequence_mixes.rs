@@ -1,0 +1,31 @@
+//! Figure 11: fraction of in-sequence instructions per thread for the mixes
+//! with the minimum, median, and maximum STP improvement, plus the mean.
+//!
+//! Paper: "On average, about half of instructions are in-sequence, but some
+//! benchmarks have fewer in-sequence instructions."
+
+use shelfsim::stats::{mean, min_median_max_indices};
+use shelfsim_bench::{evaluate_designs, stp_improvements, Design, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Figure 11: per-thread in-sequence fraction for selected 4-thread mixes\n");
+    let designs = [Design::Base64, Design::ShelfOptimistic];
+    let evals = evaluate_designs(&designs, 4, scale);
+    let improvements = stp_improvements(&evals);
+    let (lo, med, hi) = min_median_max_indices(&improvements[0]);
+
+    // In-sequence fractions measured on the baseline (the opportunity).
+    for (label, idx) in [("min", lo), ("median", med), ("max", hi)] {
+        let e = &evals[0][idx];
+        println!("{} mix: {}", label, e.mix.label());
+        for (b, f) in e.mix.benchmarks.iter().zip(&e.in_sequence) {
+            println!("  {:<12} {:>5.1}%", b, f * 100.0);
+        }
+        println!("  mix mean:    {:>5.1}%\n", mean(&e.in_sequence) * 100.0);
+    }
+    let all: Vec<f64> =
+        evals[0].iter().flat_map(|e| e.in_sequence.iter().copied()).collect();
+    println!("arithmetic mean across all threads of all mixes: {:.1}%", mean(&all) * 100.0);
+    println!("\n# paper shape: ~50% on average, with per-benchmark spread");
+}

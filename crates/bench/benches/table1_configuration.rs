@@ -1,0 +1,47 @@
+//! Table I: the evaluated system configuration.
+
+use shelfsim::CoreConfig;
+
+fn main() {
+    let cfg = CoreConfig::base64(4);
+    let h = &cfg.hierarchy;
+    println!("# Table I: System Configuration\n");
+    println!("Core        {}-thread SMT OOO @ 2.0 GHz", cfg.threads);
+    println!(
+        "            {}-wide OOO with {}-wide fetch",
+        cfg.dispatch_width, cfg.fetch_width
+    );
+    println!("            {} cycles fetch-to-dispatch", cfg.fetch_to_dispatch);
+    println!("ROB         {} or 128", cfg.rob_entries);
+    println!("IQ, LQ, SQ  {} or 64", cfg.iq_entries);
+    println!("Shelf       64 (when present)");
+    println!("Steering    {}-bit RCT entries, {}-load PLT", cfg.rct_bits, cfg.plt_columns);
+    println!(
+        "L1I         {}KB, {}-way, {}-cycle",
+        h.l1i.size_bytes >> 10,
+        h.l1i.assoc,
+        h.l1i.latency
+    );
+    println!(
+        "L1D         {}KB, {}-way, {}-cycle",
+        h.l1d.size_bytes >> 10,
+        h.l1d.assoc,
+        h.l1d.latency
+    );
+    println!(
+        "L2          {}MB, {}-way, {}-cycle",
+        h.l2.size_bytes >> 20,
+        h.l2.assoc,
+        h.l2.latency
+    );
+    println!("Memory      100ns latency ({} cycles @ 2GHz)", h.memory_latency);
+    println!(
+        "\nFUs: {} int ALU, {} mul/div, {} FP, {} mem ports; PRF {} regs; ext tags {}",
+        cfg.fu_int_alu,
+        cfg.fu_int_muldiv,
+        cfg.fu_fp,
+        cfg.fu_mem_ports,
+        cfg.num_phys_regs(),
+        CoreConfig::base64_shelf64(4, shelfsim::SteerPolicy::Practical, true).num_ext_tags(),
+    );
+}

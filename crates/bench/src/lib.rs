@@ -1,0 +1,284 @@
+//! Shared experiment harness for the table/figure benchmarks.
+//!
+//! Each `benches/figNN_*.rs` target (run via `cargo bench`) regenerates one
+//! table or figure of the paper by calling into this library; the same entry
+//! points are exercised (at reduced scale) by the integration tests.
+//!
+//! Scale knobs (environment variables):
+//!
+//! * `SHELFSIM_MIXES` — number of workload mixes (default 28, the paper's
+//!   full set);
+//! * `SHELFSIM_WARMUP` — warm-up cycles per run (default 10 000);
+//! * `SHELFSIM_MEASURE` — measured cycles per run (default 40 000);
+//! * `SHELFSIM_SEED` — workload/mix seed (default 7).
+
+use shelfsim::core::sim::UnknownBenchmark;
+use shelfsim::{
+    balanced_random_mixes, geomean, stp, suite, CoreConfig, EnergyModel, Mix, Simulation,
+    SteerPolicy,
+};
+use std::collections::HashMap;
+
+/// Scale parameters for one experiment run.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Warm-up cycles.
+    pub warmup: u64,
+    /// Measured cycles.
+    pub measure: u64,
+    /// Number of mixes.
+    pub mixes: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Reads the scale from the environment (paper-scale defaults).
+    pub fn from_env() -> Self {
+        fn var<T: std::str::FromStr>(name: &str, default: T) -> T {
+            std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+        }
+        Scale {
+            warmup: var("SHELFSIM_WARMUP", 10_000),
+            measure: var("SHELFSIM_MEASURE", 40_000),
+            mixes: var("SHELFSIM_MIXES", 28),
+            seed: var("SHELFSIM_SEED", 7),
+        }
+    }
+
+    /// A small scale for tests.
+    pub fn tiny() -> Self {
+        Scale { warmup: 3_000, measure: 10_000, mixes: 3, seed: 7 }
+    }
+}
+
+/// The design points evaluated throughout the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Design {
+    /// Base-64: 64-entry ROB, 32-entry IQ/LQ/SQ, no shelf.
+    Base64,
+    /// Base-64 + 64-entry shelf, conservative issue, practical steering.
+    ShelfConservative,
+    /// Base-64 + 64-entry shelf, optimistic issue, practical steering.
+    ShelfOptimistic,
+    /// Base-64 + 64-entry shelf, optimistic issue, oracle steering.
+    ShelfOracle,
+    /// Base-128: everything doubled (the upper bound).
+    Base128,
+}
+
+impl Design {
+    /// All designs of Figure 10/13.
+    pub const FIG10: [Design; 4] =
+        [Design::Base64, Design::ShelfConservative, Design::ShelfOptimistic, Design::Base128];
+
+    /// Short label for table rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            Design::Base64 => "Base 64",
+            Design::ShelfConservative => "64+64 conservative",
+            Design::ShelfOptimistic => "64+64 optimistic",
+            Design::ShelfOracle => "64+64 oracle",
+            Design::Base128 => "Base 128",
+        }
+    }
+
+    /// The core configuration for `threads` hardware contexts.
+    pub fn config(self, threads: usize) -> CoreConfig {
+        match self {
+            Design::Base64 => CoreConfig::base64(threads),
+            Design::ShelfConservative => {
+                CoreConfig::base64_shelf64(threads, SteerPolicy::Practical, false)
+            }
+            Design::ShelfOptimistic => {
+                CoreConfig::base64_shelf64(threads, SteerPolicy::Practical, true)
+            }
+            Design::ShelfOracle => CoreConfig::base64_shelf64(threads, SteerPolicy::Oracle, true),
+            Design::Base128 => CoreConfig::base128(threads),
+        }
+    }
+}
+
+/// Results of one design point on one mix.
+#[derive(Clone, Debug)]
+pub struct MixEval {
+    /// The mix.
+    pub mix: Mix,
+    /// System throughput.
+    pub stp: f64,
+    /// Energy-delay product (relative units; lower is better).
+    pub edp: f64,
+    /// Aggregate IPC.
+    pub ipc: f64,
+    /// Per-thread in-sequence fractions.
+    pub in_sequence: Vec<f64>,
+    /// Mean mis-steer rate vs. the shadow oracle.
+    pub missteer: f64,
+    /// SSR-safety self-check (must be zero).
+    pub late_shelf_commits: u64,
+}
+
+/// A memoized pool of single-threaded CPIs per (design, benchmark).
+#[derive(Default)]
+pub struct StCpiPool {
+    cache: HashMap<(Design, &'static str), f64>,
+}
+
+impl StCpiPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The single-threaded CPI of `bench` on `design` (measured on demand).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bench` is not a suite benchmark.
+    pub fn get(&mut self, design: Design, bench: &'static str, scale: Scale) -> f64 {
+        *self.cache.entry((design, bench)).or_insert_with(|| {
+            let mut sim = Simulation::from_names(design.config(1), &[bench], scale.seed)
+                .expect("suite benchmark");
+            sim.run(scale.warmup, scale.measure).threads[0].cpi
+        })
+    }
+}
+
+/// Runs `design` on `mix` and computes STP and EDP.
+///
+/// STP normalizes every design's multithreaded CPIs against the *baseline
+/// machine's* single-threaded CPIs (a common reference), so that designs
+/// with different raw speed remain comparable — same-machine normalization
+/// would cancel out any microarchitectural speedup.
+///
+/// # Errors
+///
+/// Returns [`UnknownBenchmark`] if the mix names a benchmark outside the
+/// suite.
+pub fn evaluate_mix(
+    design: Design,
+    mix: &Mix,
+    pool: &mut StCpiPool,
+    scale: Scale,
+) -> Result<MixEval, UnknownBenchmark> {
+    let threads = mix.threads();
+    let cfg = design.config(threads);
+    let model = EnergyModel::for_config(&cfg);
+    let names: Vec<&str> = mix.benchmarks.clone();
+    let mut sim = Simulation::from_names(cfg, &names, scale.seed)?;
+    let run = sim.run(scale.warmup, scale.measure);
+    let st: Vec<f64> = mix
+        .benchmarks
+        .iter()
+        .map(|&b| pool.get(Design::Base64, b, scale))
+        .collect();
+    let report = model.report(&run);
+    let missteer =
+        run.threads.iter().map(|t| t.missteer_rate).sum::<f64>() / threads as f64;
+    Ok(MixEval {
+        mix: mix.clone(),
+        stp: stp(&st, &run.cpis()),
+        edp: report.edp(),
+        ipc: run.ipc(),
+        in_sequence: run.threads.iter().map(|t| t.in_sequence_fraction).collect(),
+        missteer,
+        late_shelf_commits: run.late_shelf_commits,
+    })
+}
+
+/// The balanced-random mixes for `threads` contexts at the given scale.
+pub fn mixes(threads: usize, scale: Scale) -> Vec<Mix> {
+    let names = suite::names();
+    let mut all = balanced_random_mixes(&names, threads, 28, scale.seed);
+    all.truncate(scale.mixes);
+    all
+}
+
+/// Evaluates a set of designs across the 4-thread mixes; returns
+/// `per_design[design_index][mix_index]`.
+///
+/// # Panics
+///
+/// Panics on unknown benchmarks (the suite generator cannot produce them).
+pub fn evaluate_designs(designs: &[Design], threads: usize, scale: Scale) -> Vec<Vec<MixEval>> {
+    let mixes = mixes(threads, scale);
+    let mut pool = StCpiPool::new();
+    designs
+        .iter()
+        .map(|&d| {
+            mixes
+                .iter()
+                .map(|m| evaluate_mix(d, m, &mut pool, scale).expect("suite mixes"))
+                .collect()
+        })
+        .collect()
+}
+
+/// Percent improvements of each design over the first design in `evals`,
+/// per mix: `improvements[design-1][mix]` (in percent).
+pub fn stp_improvements(evals: &[Vec<MixEval>]) -> Vec<Vec<f64>> {
+    let base = &evals[0];
+    evals[1..]
+        .iter()
+        .map(|d| {
+            d.iter()
+                .zip(base)
+                .map(|(x, b)| (x.stp / b.stp - 1.0) * 100.0)
+                .collect()
+        })
+        .collect()
+}
+
+/// Geometric-mean percent improvement over the baseline.
+pub fn geomean_improvement(design: &[MixEval], base: &[MixEval]) -> f64 {
+    let ratios: Vec<f64> = design.iter().zip(base).map(|(x, b)| x.stp / b.stp).collect();
+    (geomean(&ratios) - 1.0) * 100.0
+}
+
+/// Prints a markdown-ish table row.
+pub fn row(cells: &[String]) -> String {
+    cells.join("  ")
+}
+
+/// Optional CSV sink: when `SHELFSIM_CSV` names a directory, returns a
+/// writer for `<dir>/<name>.csv` so the figure benches can emit
+/// machine-readable series alongside their tables.
+pub fn csv_sink(name: &str) -> Option<std::fs::File> {
+    let dir = std::env::var("SHELFSIM_CSV").ok()?;
+    std::fs::create_dir_all(&dir).ok()?;
+    std::fs::File::create(std::path::Path::new(&dir).join(format!("{name}.csv"))).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_from_env_defaults() {
+        // Not setting the vars yields paper-scale defaults.
+        let s = Scale::from_env();
+        assert!(s.mixes <= 28);
+        assert!(s.measure > 0);
+    }
+
+    #[test]
+    fn designs_have_distinct_configs() {
+        let c: Vec<CoreConfig> = Design::FIG10.iter().map(|d| d.config(4)).collect();
+        assert_ne!(c[0], c[1]);
+        assert_ne!(c[1], c[2]);
+        assert_ne!(c[2], c[3]);
+        assert_eq!(c[3].rob_entries, 128);
+    }
+
+    #[test]
+    fn tiny_evaluation_round_trip() {
+        let scale = Scale::tiny();
+        let ms = mixes(4, scale);
+        assert_eq!(ms.len(), 3);
+        let mut pool = StCpiPool::new();
+        let eval = evaluate_mix(Design::Base64, &ms[0], &mut pool, scale).unwrap();
+        assert!(eval.stp > 0.0);
+        assert!(eval.edp > 0.0);
+        assert_eq!(eval.late_shelf_commits, 0);
+    }
+}

@@ -1,0 +1,658 @@
+//! Implementation of the `shelfsim` command-line interface.
+//!
+//! The CLI wraps the simulator for interactive exploration:
+//!
+//! ```text
+//! shelfsim suite                         # list the benchmark suite
+//! shelfsim run --design shelf-opt --mix gcc,mcf,hmmer,lbm
+//! shelfsim compare --mix gcc,mcf,hmmer,lbm
+//! shelfsim mixes --threads 4 --count 5
+//! shelfsim sweep --param shelf --values 16,32,64,128 --mix gcc,mcf,hmmer,lbm
+//! ```
+//!
+//! Everything is plumbed through [`run_cli`] so the argument handling is
+//! unit-testable without spawning a process.
+
+use shelfsim::{
+    balanced_random_mixes, suite, CoreConfig, EnergyModel, MemoryModel, Simulation, SteerPolicy,
+};
+use std::fmt::Write as _;
+
+/// A parse or execution error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parsed common options.
+#[derive(Debug, Clone)]
+struct Options {
+    design: String,
+    mix: Vec<String>,
+    warmup: u64,
+    measure: u64,
+    seed: u64,
+    tso: bool,
+    json: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            design: "shelf-opt".to_owned(),
+            mix: vec![],
+            warmup: 10_000,
+            measure: 40_000,
+            seed: 7,
+            tso: false,
+            json: false,
+        }
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, CliError> {
+    let mut o = Options::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next().cloned().ok_or_else(|| err(format!("{name} requires a value")))
+        };
+        match a.as_str() {
+            "--design" => o.design = val("--design")?,
+            "--mix" => {
+                o.mix = val("--mix")?.split(',').map(str::to_owned).collect();
+            }
+            "--warmup" => {
+                o.warmup = val("--warmup")?.parse().map_err(|_| err("--warmup: not a number"))?
+            }
+            "--measure" => {
+                o.measure =
+                    val("--measure")?.parse().map_err(|_| err("--measure: not a number"))?
+            }
+            "--seed" => o.seed = val("--seed")?.parse().map_err(|_| err("--seed: not a number"))?,
+            "--tso" => o.tso = true,
+            "--json" => o.json = true,
+            other => return Err(err(format!("unknown option `{other}`"))),
+        }
+    }
+    Ok(o)
+}
+
+/// Builds the configuration named by `--design` for `threads` contexts.
+pub fn design_config(name: &str, threads: usize) -> Result<CoreConfig, CliError> {
+    let cfg = match name {
+        "base64" => CoreConfig::base64(threads),
+        "base128" => CoreConfig::base128(threads),
+        "shelf-cons" => CoreConfig::base64_shelf64(threads, SteerPolicy::Practical, false),
+        "shelf-opt" => CoreConfig::base64_shelf64(threads, SteerPolicy::Practical, true),
+        "shelf-oracle" => CoreConfig::base64_shelf64(threads, SteerPolicy::Oracle, true),
+        "shelf-inorder" => CoreConfig::base64_shelf64(threads, SteerPolicy::AlwaysShelf, true),
+        other => {
+            return Err(err(format!(
+                "unknown design `{other}` (expected base64, base128, shelf-cons, shelf-opt, \
+                 shelf-oracle, or shelf-inorder)"
+            )))
+        }
+    };
+    Ok(cfg)
+}
+
+fn run_one(cfg: CoreConfig, mix: &[String], o: &Options, out: &mut String) -> Result<(), CliError> {
+    let names: Vec<&str> = mix.iter().map(String::as_str).collect();
+    let model = EnergyModel::for_config(&cfg);
+    let mut sim =
+        Simulation::from_names(cfg, &names, o.seed).map_err(|e| err(e.to_string()))?;
+    let r = sim.run(o.warmup, o.measure);
+    let rep = model.report(&r);
+    if o.json {
+        let threads: Vec<String> = r
+            .threads
+            .iter()
+            .map(|t| {
+                format!(
+                    r#"{{"benchmark":"{}","committed":{},"cpi":{:.4},"in_sequence":{:.4},"mispredict":{:.4}}}"#,
+                    t.benchmark,
+                    t.committed,
+                    t.cpi,
+                    t.in_sequence_fraction,
+                    t.branch_mispredict_ratio
+                )
+            })
+            .collect();
+        writeln!(
+            out,
+            r#"{{"ipc":{:.4},"cycles":{},"shelf_fraction":{:.4},"epi":{:.2},"edp":{:.2},"threads":[{}]}}"#,
+            r.ipc(),
+            r.cycles,
+            r.counters.shelf_dispatch_fraction(),
+            rep.energy_per_instruction(),
+            rep.edp(),
+            threads.join(",")
+        )
+        .expect("write to string");
+    } else {
+        writeln!(out, "mix: {}", mix.join("+")).expect("write");
+        writeln!(
+            out,
+            "IPC {:.3}   shelf {:.0}%   EPI {:.0}   EDP {:.0}   ({} cycles measured)",
+            r.ipc(),
+            r.counters.shelf_dispatch_fraction() * 100.0,
+            rep.energy_per_instruction(),
+            rep.edp(),
+            r.cycles
+        )
+        .expect("write");
+        for t in &r.threads {
+            writeln!(
+                out,
+                "  {:<12} cpi {:>8.2}   in-seq {:>5.1}%   mispredict {:>5.1}%",
+                t.benchmark,
+                t.cpi,
+                t.in_sequence_fraction * 100.0,
+                t.branch_mispredict_ratio * 100.0
+            )
+            .expect("write");
+        }
+        writeln!(
+            out,
+            "mean occupancy: ROB {:.1}  IQ {:.1}  LQ {:.1}  SQ {:.1}  shelf {:.1}  rename-regs {:.1}",
+            r.counters.mean_occupancy(0),
+            r.counters.mean_occupancy(1),
+            r.counters.mean_occupancy(2),
+            r.counters.mean_occupancy(3),
+            r.counters.mean_occupancy(4),
+            r.counters.mean_occupancy(5),
+        )
+        .expect("write");
+    }
+    Ok(())
+}
+
+/// Executes the CLI for `args` (without the program name); returns the text
+/// to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with a user-facing message on bad arguments or
+/// unknown benchmarks.
+pub fn run_cli(args: &[String]) -> Result<String, CliError> {
+    let mut out = String::new();
+    let Some(cmd) = args.first() else {
+        return Err(err(USAGE));
+    };
+    match cmd.as_str() {
+        "kernels" => {
+            for k in shelfsim::workload::kernels::all() {
+                writeln!(out, "{:<10} {}", k.name, k.description).expect("write");
+            }
+        }
+        "suite" => {
+            for p in suite::all() {
+                writeln!(
+                    out,
+                    "{:<12} loads {:>4.0}%  stores {:>4.0}%  branches {:>4.0}%  fp {:>4.0}%  chase {:>4.0}%",
+                    p.name,
+                    p.frac_load * 100.0,
+                    p.frac_store * 100.0,
+                    p.frac_branch * 100.0,
+                    p.frac_fp * 100.0,
+                    p.pointer_chase * 100.0
+                )
+                .expect("write");
+            }
+        }
+        "mixes" => {
+            let mut threads = 4usize;
+            let mut count = 28usize;
+            let mut seed = 7u64;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                let v = it.next().ok_or_else(|| err(format!("{a} requires a value")))?;
+                match a.as_str() {
+                    "--threads" => threads = v.parse().map_err(|_| err("--threads"))?,
+                    "--count" => count = v.parse().map_err(|_| err("--count"))?,
+                    "--seed" => seed = v.parse().map_err(|_| err("--seed"))?,
+                    other => return Err(err(format!("unknown option `{other}`"))),
+                }
+            }
+            let names = suite::names();
+            for m in balanced_random_mixes(&names, threads, 28, seed).iter().take(count) {
+                writeln!(out, "{}", m.label()).expect("write");
+            }
+        }
+        "run" => {
+            let o = parse_options(&args[1..])?;
+            if o.mix.is_empty() {
+                return Err(err("run requires --mix bench1,bench2,..."));
+            }
+            let mut cfg = design_config(&o.design, o.mix.len())?;
+            if o.tso {
+                cfg.memory_model = MemoryModel::Tso;
+            }
+            run_one(cfg, &o.mix.clone(), &o, &mut out)?;
+        }
+        "compare" => {
+            let o = parse_options(&args[1..])?;
+            if o.mix.is_empty() {
+                return Err(err("compare requires --mix bench1,bench2,..."));
+            }
+            for design in ["base64", "shelf-cons", "shelf-opt", "shelf-oracle", "base128"] {
+                let mut cfg = design_config(design, o.mix.len())?;
+                if o.tso {
+                    cfg.memory_model = MemoryModel::Tso;
+                }
+                writeln!(out, "== {design}").expect("write");
+                run_one(cfg, &o.mix.clone(), &o, &mut out)?;
+            }
+        }
+        "sweep" => {
+            let mut param = String::new();
+            let mut values: Vec<usize> = vec![];
+            let mut rest: Vec<String> = vec![];
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--param" => {
+                        param = it.next().ok_or_else(|| err("--param needs a value"))?.clone()
+                    }
+                    "--values" => {
+                        let v = it.next().ok_or_else(|| err("--values needs a value"))?;
+                        values = v
+                            .split(',')
+                            .map(|x| x.parse().map_err(|_| err("--values: not numbers")))
+                            .collect::<Result<_, _>>()?;
+                    }
+                    other => {
+                        rest.push(other.to_owned());
+                        if let Some(v) = it.next() {
+                            rest.push(v.clone());
+                        }
+                    }
+                }
+            }
+            let o = parse_options(&rest)?;
+            if o.mix.is_empty() || param.is_empty() || values.is_empty() {
+                return Err(err("sweep requires --param, --values and --mix"));
+            }
+            for v in values {
+                let mut cfg = design_config(&o.design, o.mix.len())?;
+                match param.as_str() {
+                    "shelf" => cfg.shelf_entries = v,
+                    "rob" => cfg.rob_entries = v,
+                    "iq" => cfg.iq_entries = v,
+                    "lq" => cfg.lq_entries = v,
+                    "sq" => cfg.sq_entries = v,
+                    "rct-bits" => cfg.rct_bits = v as u32,
+                    "plt-columns" => cfg.plt_columns = v as u32,
+                    other => return Err(err(format!("unknown sweep parameter `{other}`"))),
+                }
+                writeln!(out, "== {param} = {v}").expect("write");
+                run_one(cfg, &o.mix.clone(), &o, &mut out)?;
+            }
+        }
+        "characterize" => {
+            // Functional characterization of benchmarks: measured mix and
+            // working-set footprints over a fixed instruction sample.
+            let names: Vec<&'static str> = if let Some(first) =
+                args.get(1).filter(|a| !a.starts_with("--"))
+            {
+                let name = suite::by_name(first)
+                    .ok_or_else(|| err(format!("unknown benchmark `{first}`")))?
+                    .name;
+                vec![name]
+            } else {
+                suite::names()
+            };
+            writeln!(
+                out,
+                "{:<12} {:>6} {:>6} {:>6} {:>6} {:>9} {:>9} {:>9}",
+                "benchmark", "load%", "store%", "br%", "fp%", "code-set", "data-set", "mpki-ish"
+            )
+            .expect("write");
+            for name in names {
+                let profile = suite::by_name(name).expect("suite");
+                let mut t = shelfsim::workload::TraceSource::new(profile.build_program(7), 0);
+                let sample = 100_000u64;
+                let (mut ld, mut st, mut br, mut fp) = (0u64, 0u64, 0u64, 0u64);
+                let mut code: std::collections::HashSet<u64> = Default::default();
+                let mut data: std::collections::HashSet<u64> = Default::default();
+                let mut bp = shelfsim::uarch::BranchPredictor::new(
+                    shelfsim::uarch::BranchPredictorConfig {
+                        kind: shelfsim::uarch::PredictorKind::Tournament,
+                        ..Default::default()
+                    },
+                );
+                let mut wrong = 0u64;
+                // The first half of the sample warms the predictor; only the
+                // second half is measured.
+                for n in 0..2 * sample {
+                    let measured = n >= sample;
+                    let (_, i) = t.fetch();
+                    if measured {
+                        code.insert(i.pc >> 6);
+                        match i.op {
+                            shelfsim::isa::OpClass::Load => ld += 1,
+                            shelfsim::isa::OpClass::Store => st += 1,
+                            shelfsim::isa::OpClass::Branch => br += 1,
+                            op if op.fu_kind() == shelfsim::isa::FuKind::Fp => fp += 1,
+                            _ => {}
+                        }
+                        if let Some(m) = i.mem {
+                            data.insert(m.addr >> 6);
+                        }
+                    }
+                    if let Some(b) = i.branch {
+                        let pred = bp.predict(i.pc, b.is_return);
+                        let bad =
+                            bp.update(i.pc, pred, b.taken, b.next_pc, b.is_call, b.is_return, i.pc + 4);
+                        if measured && bad {
+                            wrong += 1;
+                        }
+                    }
+                }
+                let pct = |n: u64| n as f64 / sample as f64 * 100.0;
+                writeln!(
+                    out,
+                    "{:<12} {:>5.1}% {:>5.1}% {:>5.1}% {:>5.1}% {:>7}KB {:>7}KB {:>9.1}",
+                    name,
+                    pct(ld),
+                    pct(st),
+                    pct(br),
+                    pct(fp),
+                    code.len() * 64 / 1024,
+                    data.len() * 64 / 1024,
+                    wrong as f64 / (sample as f64 / 1000.0),
+                )
+                .expect("write");
+            }
+        }
+        "asm" => {
+            // First positional argument: the kernel file.
+            let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                return Err(err("asm requires a kernel file path"));
+            };
+            let program = if let Some(name) = path.strip_prefix("builtin:") {
+                shelfsim::workload::kernels::by_name(name)
+                    .ok_or_else(|| err(format!("unknown builtin kernel `{name}`")))?
+                    .assemble()
+                    .map_err(|e| err(format!("builtin {name}: {e}")))?
+            } else {
+                let src = std::fs::read_to_string(path)
+                    .map_err(|e| err(format!("cannot read `{path}`: {e}")))?;
+                shelfsim::workload::asm::assemble(&src)
+                    .map_err(|e| err(format!("{path}: {e}")))?
+            };
+            let o = parse_options(&args[2..])?;
+            let threads = if o.mix.is_empty() { 1 } else { o.mix.len().max(1) };
+            let mut cfg = design_config(&o.design, threads)?;
+            if o.tso {
+                cfg.memory_model = MemoryModel::Tso;
+            }
+            // Run the same kernel on every thread.
+            let traces: Vec<shelfsim::workload::TraceSource> = (0..threads)
+                .map(|t| shelfsim::workload::TraceSource::new(program.clone(), t))
+                .collect();
+            let mut core = shelfsim::Core::new(cfg, traces);
+            core.warm_caches();
+            core.warm_functional(20_000);
+            for _ in 0..o.warmup {
+                core.tick();
+            }
+            let c0: Vec<u64> = (0..threads).map(|t| core.committed(t)).collect();
+            for _ in 0..o.measure {
+                core.tick();
+            }
+            let total: u64 =
+                (0..threads).map(|t| core.committed(t) - c0[t]).sum();
+            writeln!(
+                out,
+                "kernel {path} x{threads} threads: IPC {:.3} over {} cycles",
+                total as f64 / o.measure as f64,
+                o.measure
+            )
+            .expect("write");
+            for (t, &before) in c0.iter().enumerate() {
+                let committed = core.committed(t) - before;
+                writeln!(
+                    out,
+                    "  t{t}: {} committed, CPI {:.2}, in-seq {:.1}%",
+                    committed,
+                    o.measure as f64 / committed.max(1) as f64,
+                    core.classifier(t).in_sequence_fraction() * 100.0
+                )
+                .expect("write");
+            }
+        }
+        "trace" => {
+            let o = parse_options(&args[1..])?;
+            if o.mix.is_empty() {
+                return Err(err("trace requires --mix bench1,bench2,..."));
+            }
+            let mut cfg = design_config(&o.design, o.mix.len())?;
+            if o.tso {
+                cfg.memory_model = MemoryModel::Tso;
+            }
+            let names: Vec<&str> = o.mix.iter().map(String::as_str).collect();
+            let mut sim =
+                Simulation::from_names(cfg, &names, o.seed).map_err(|e| err(e.to_string()))?;
+            sim.enable_commit_log(48);
+            let _ = sim.run(o.warmup, o.measure);
+            writeln!(
+                out,
+                "{:<4} {:>8} {:<8} {:<6} {:>7} {:>8} {:>7} {:>8} {:>7}  pipeline",
+                "thr", "seq", "op", "queue", "fetch", "dispatch", "issue", "complete", "commit"
+            )
+            .expect("write");
+            let records: Vec<_> = sim.core().commit_log().copied().collect();
+            let base = records.iter().map(|r| r.fetch).min().unwrap_or(0);
+            for r in &records {
+                let lane = |c: u64| ((c - base) / 2).min(38) as usize;
+                let mut bar = vec![b'.'; 40];
+                bar[lane(r.fetch)] = b'F';
+                bar[lane(r.dispatch)] = b'D';
+                bar[lane(r.issue)] = b'I';
+                bar[lane(r.complete)] = b'C';
+                bar[lane(r.commit)] = b'R';
+                writeln!(
+                    out,
+                    "t{:<3} {:>8} {:<8} {:<6} {:>7} {:>8} {:>7} {:>8} {:>7}  {}{}",
+                    r.thread,
+                    r.seq,
+                    r.op.to_string(),
+                    match r.steer {
+                        shelfsim::core::Steer::Iq => "IQ",
+                        shelfsim::core::Steer::Shelf => "shelf",
+                    },
+                    r.fetch,
+                    r.dispatch,
+                    r.issue,
+                    r.complete,
+                    r.commit,
+                    String::from_utf8_lossy(&bar),
+                    if r.in_sequence { "  in-seq" } else { "" }
+                )
+                .expect("write");
+            }
+        }
+        "help" | "--help" | "-h" => out.push_str(USAGE),
+        other => return Err(err(format!("unknown command `{other}`\n{USAGE}"))),
+    }
+    Ok(out)
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+shelfsim — SMT out-of-order core simulator with hybrid shelf dispatch
+
+USAGE:
+  shelfsim suite
+  shelfsim mixes   [--threads N] [--count N] [--seed N]
+  shelfsim run     --mix b1,b2,... [--design D] [--warmup N] [--measure N]
+                   [--seed N] [--tso] [--json]
+  shelfsim compare --mix b1,b2,... [--warmup N] [--measure N] [--seed N] [--tso]
+  shelfsim sweep   --param P --values v1,v2,... --mix b1,b2,... [--design D]
+  shelfsim trace   --mix b1,b2,... [--design D]   (last 48 committed insts)
+  shelfsim asm     FILE.s [--design D] [--mix x,x] (run a hand-written kernel;
+                   kernel syntax: see shelfsim_workload::asm)
+  shelfsim characterize [BENCH]                    (measured mix & footprints)
+  shelfsim kernels                                 (list built-in kernels; run
+                   one with: shelfsim asm builtin:NAME)
+
+DESIGNS: base64, base128, shelf-cons, shelf-opt, shelf-oracle, shelf-inorder
+SWEEP PARAMS: shelf, rob, iq, lq, sq, rct-bits, plt-columns
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn suite_lists_all_benchmarks() {
+        let out = run_cli(&args("suite")).expect("ok");
+        assert_eq!(out.lines().count(), 28);
+        assert!(out.contains("mcf"));
+    }
+
+    #[test]
+    fn mixes_respects_count() {
+        let out = run_cli(&args("mixes --threads 4 --count 3")).expect("ok");
+        assert_eq!(out.lines().count(), 3);
+    }
+
+    #[test]
+    fn run_produces_summary() {
+        let out = run_cli(&args(
+            "run --mix hmmer,gcc --design shelf-opt --warmup 1000 --measure 4000",
+        ))
+        .expect("ok");
+        assert!(out.contains("IPC"));
+        assert!(out.contains("hmmer"));
+        assert!(out.contains("gcc"));
+    }
+
+    #[test]
+    fn run_json_is_machine_readable() {
+        let out = run_cli(&args(
+            "run --mix hmmer --design base64 --warmup 500 --measure 2000 --json",
+        ))
+        .expect("ok");
+        assert!(out.trim_start().starts_with('{'));
+        assert!(out.contains("\"ipc\""));
+        assert!(out.contains("\"benchmark\":\"hmmer\""));
+    }
+
+    #[test]
+    fn unknown_design_is_an_error() {
+        let e = run_cli(&args("run --mix gcc --design warp-drive")).unwrap_err();
+        assert!(e.0.contains("unknown design"));
+    }
+
+    #[test]
+    fn unknown_benchmark_is_an_error() {
+        let e = run_cli(&args("run --mix notabench --warmup 100 --measure 100")).unwrap_err();
+        assert!(e.0.contains("notabench"));
+    }
+
+    #[test]
+    fn missing_command_shows_usage() {
+        let e = run_cli(&[]).unwrap_err();
+        assert!(e.0.contains("USAGE"));
+    }
+
+    #[test]
+    fn sweep_runs_each_value() {
+        let out = run_cli(&args(
+            "sweep --param shelf --values 16,32 --mix hmmer,gcc --warmup 500 --measure 2000",
+        ))
+        .expect("ok");
+        assert!(out.contains("shelf = 16"));
+        assert!(out.contains("shelf = 32"));
+    }
+
+    #[test]
+    fn trace_shows_pipeline_lanes() {
+        let out = run_cli(&args(
+            "trace --mix hmmer,gcc --design shelf-opt --warmup 1000 --measure 4000",
+        ))
+        .expect("ok");
+        assert!(out.contains("pipeline"));
+        assert!(out.lines().count() > 40, "should show ~48 records");
+        assert!(out.contains("shelf") || out.contains("IQ"));
+    }
+
+    #[test]
+    fn builtin_kernels_run_via_asm() {
+        let out = run_cli(&args("asm builtin:triad --warmup 500 --measure 2000")).expect("ok");
+        assert!(out.contains("IPC"));
+        let e = run_cli(&args("asm builtin:nope")).unwrap_err();
+        assert!(e.0.contains("unknown builtin"));
+    }
+
+    #[test]
+    fn kernels_lists_the_library() {
+        let out = run_cli(&args("kernels")).expect("ok");
+        assert!(out.contains("triad"));
+        assert!(out.contains("chase"));
+        assert!(out.lines().count() >= 8);
+    }
+
+    #[test]
+    fn characterize_reports_measured_mix() {
+        let out = run_cli(&args("characterize mcf")).expect("ok");
+        assert!(out.contains("mcf"));
+        assert!(out.contains("data-set"));
+        assert_eq!(out.lines().count(), 2, "header + one row");
+    }
+
+    #[test]
+    fn asm_runs_a_kernel_from_disk() {
+        let dir = std::env::temp_dir().join("shelfsim_asm_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("k.s");
+        std::fs::write(&path, "top:\n add r8, r8\n loop top, trips=50\n").expect("write");
+        let out = run_cli(&[
+            "asm".to_owned(),
+            path.to_string_lossy().into_owned(),
+            "--warmup".to_owned(),
+            "500".to_owned(),
+            "--measure".to_owned(),
+            "2000".to_owned(),
+        ])
+        .expect("ok");
+        assert!(out.contains("IPC"));
+        assert!(out.contains("committed"));
+    }
+
+    #[test]
+    fn asm_reports_parse_errors_with_location() {
+        let dir = std::env::temp_dir().join("shelfsim_asm_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("bad.s");
+        std::fs::write(&path, "add r8, r8\nbogus r1\n").expect("write");
+        let e = run_cli(&["asm".to_owned(), path.to_string_lossy().into_owned()]).unwrap_err();
+        assert!(e.0.contains("line 2"), "{}", e.0);
+    }
+
+    #[test]
+    fn tso_flag_is_accepted() {
+        let out = run_cli(&args(
+            "run --mix hmmer --design shelf-opt --tso --warmup 500 --measure 2000",
+        ))
+        .expect("ok");
+        assert!(out.contains("IPC"));
+    }
+}

@@ -1,0 +1,20 @@
+use shelfsim_core::{CoreConfig, Simulation, SteerPolicy};
+
+fn main() {
+    let mix = ["namd", "wrf", "omnetpp", "gcc"];
+    let cfg = CoreConfig::base64_shelf64(4, SteerPolicy::Oracle, true);
+    let mut sim = Simulation::from_names(cfg, &mix, 7).unwrap();
+    sim.enable_commit_log(64);
+    let _ = sim.run(10_000, 20_000);
+    for r in sim.core().commit_log() {
+        println!("t{} seq={:<7} {:<8} {:?} F{} D{} I{} C{} R{}  d-f={} i-d={} c-i={} r-c={}",
+            r.thread, r.seq, r.op.to_string(), r.steer,
+            r.fetch, r.dispatch, r.issue, r.complete, r.commit,
+            r.dispatch - r.fetch, r.issue as i64 - r.dispatch as i64,
+            r.complete - r.issue, r.commit - r.complete);
+    }
+    for t in 0..4 {
+        println!("{}", sim.core().debug_state(t));
+        println!("   {}", sim.core().debug_window_head(t));
+    }
+}

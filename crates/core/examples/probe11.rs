@@ -1,0 +1,13 @@
+use shelfsim_core::{CoreConfig, Simulation, SteerPolicy};
+fn main() {
+    for (label, cfg) in [
+        ("base64", CoreConfig::base64(1)),
+        ("always-shelf", CoreConfig::base64_shelf64(1, SteerPolicy::AlwaysShelf, true)),
+    ] {
+        let mut sim = Simulation::from_names(cfg, &["bzip2"], 5).unwrap();
+        let r = sim.run(300, 4000);
+        let c = &r.counters;
+        println!("{label}: cpi={:.3} mispred={} viol={} squashed={} stalls={:?} l1d_miss={:.3} lsq_searches={}",
+            r.threads[0].cpi, c.branch_mispredicts, c.memory_violations, c.squashed, c.stalls, r.l1d.miss_ratio(), c.lsq_searches);
+    }
+}

@@ -1,0 +1,19 @@
+use shelfsim_core::{CoreConfig, Simulation, SteerPolicy};
+fn main() {
+    let cfg = CoreConfig {
+        shelf_entries: 8,
+        steer: SteerPolicy::AlwaysShelf,
+        ..CoreConfig::base64_shelf64(4, SteerPolicy::AlwaysShelf, true)
+    };
+    let mix = ["gcc", "mcf", "hmmer", "lbm"];
+    let mut sim = Simulation::from_names(cfg, &mix, 5).unwrap();
+    for i in 0..3000 {
+        sim.step();
+        if i % 500 == 0 {
+            for t in 0..4 { println!("cyc{i} {}", sim.core().debug_state(t)); }
+            println!("  committed: {:?}", (0..4).map(|t| sim.core().committed(t)).collect::<Vec<_>>());
+            println!("  head0: {}", sim.core().debug_window_head(0));
+            println!("  stalls: {:?}", sim.core().counters.stalls);
+        }
+    }
+}

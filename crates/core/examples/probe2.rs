@@ -1,0 +1,13 @@
+use shelfsim_core::{CoreConfig, Simulation};
+
+fn main() {
+    let cfg = CoreConfig::base64(1);
+    let mut sim = Simulation::from_names(cfg, &["hmmer"], 3).unwrap();
+    for i in 0..120 {
+        sim.step();
+        if i % 4 == 0 {
+            println!("{}", sim.core().debug_state(0));
+            println!("   head: {}", sim.core().debug_window_head(0));
+        }
+    }
+}

@@ -1,0 +1,17 @@
+use shelfsim_core::{CoreConfig, Simulation};
+
+fn main() {
+    let cfg = CoreConfig::base64(4);
+    let mut sim = Simulation::from_names(cfg, &["gcc", "mcf", "hmmer", "lbm"], 1).unwrap();
+    for i in 0..400 {
+        sim.step();
+        if (236..280).contains(&i) {
+            println!("--- cycle {i}");
+            for t in 0..4 {
+                println!("{}", sim.core().debug_state(t));
+                let h = sim.core().debug_window_head(t);
+                if !h.is_empty() { println!("   {}", h); }
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+use shelfsim_core::{CoreConfig, Simulation, SteerPolicy};
+
+fn main() {
+    for name in ["gcc", "hmmer", "bwaves", "mcf"] {
+        let mut b = Simulation::from_names(CoreConfig::base64(1), &[name], 7).unwrap();
+        let rb = b.run(5000, 20000);
+        let cfg = CoreConfig::base64_shelf64(1, SteerPolicy::Practical, true);
+        let mut s = Simulation::from_names(cfg, &[name], 7).unwrap();
+        let rs = s.run(5000, 20000);
+        let cfgo = CoreConfig::base64_shelf64(1, SteerPolicy::Oracle, true);
+        let mut o = Simulation::from_names(cfgo, &[name], 7).unwrap();
+        let ro = o.run(5000, 20000);
+        println!("{:<8} base_cpi={:.2} shelf_cpi={:.2} ({:+.1}%) shelf_frac={:.2} | oracle_cpi={:.2} ({:+.1}%) frac={:.2} inseq_base={:.2}",
+            name, rb.threads[0].cpi, rs.threads[0].cpi,
+            (rb.threads[0].cpi/rs.threads[0].cpi-1.0)*100.0,
+            rs.counters.shelf_dispatch_fraction(),
+            ro.threads[0].cpi, (rb.threads[0].cpi/ro.threads[0].cpi-1.0)*100.0,
+            ro.counters.shelf_dispatch_fraction(),
+            rb.threads[0].in_sequence_fraction);
+        println!("         oracle shelf-head stalls [order,ssr,data,struct,ss]: {:?} issued_shelf={}",
+            ro.counters.shelf_head_stalls, ro.counters.issued_shelf);
+    }
+}

@@ -1,0 +1,195 @@
+//! In-sequence / reordered classification (paper §II, Figures 1, 2, 11).
+//!
+//! An instruction is **in-sequence** if it issues after all of its data,
+//! speculation, and structural dependences have resolved — equivalently, if
+//! a simple in-order core (with a Smith–Pleszkun result shift register for
+//! speculation) would have issued it at the same point in the schedule. We
+//! detect this operationally at issue time:
+//!
+//! 1. *program order*: every elder instruction of the thread has already
+//!    issued (checked with a shadow [`IssueTracker`] spanning both queues);
+//! 2. *speculation*: the instruction's writeback lands at or after the
+//!    thread's outstanding speculation horizon (shadow result shift
+//!    register), so the in-order core's SSR would not have stalled it.
+//!
+//! Structural resolution is implied by the fact that the instruction did
+//! issue. Committed instructions then contribute to per-thread in-sequence
+//! fractions (Figures 1, 11) and to series-length distributions (Figure 2).
+
+use shelfsim_stats::WeightedCdf;
+use shelfsim_uarch::IssueTracker;
+
+/// Per-thread classification state and committed-instruction statistics.
+#[derive(Clone, Debug, Default)]
+pub struct Classifier {
+    tracker: IssueTracker,
+    /// Absolute cycle until which issued speculation remains unresolved.
+    spec_horizon: u64,
+    /// Committed instructions classified in-sequence.
+    pub committed_in_sequence: u64,
+    /// Committed instructions classified reordered.
+    pub committed_reordered: u64,
+    /// Current commit-order series state.
+    current: Option<(bool, u64)>,
+    /// Series-length distribution of in-sequence instructions.
+    pub in_sequence_series: WeightedCdf,
+    /// Series-length distribution of reordered instructions.
+    pub reordered_series: WeightedCdf,
+}
+
+impl Classifier {
+    /// Creates an empty classifier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a dispatched instruction; returns its classification index
+    /// (to be stored in the instruction's slot).
+    pub fn dispatch(&mut self) -> u64 {
+        let idx = self.tracker.next_index();
+        self.tracker.dispatch(idx);
+        idx
+    }
+
+    /// Classifies an instruction at issue. `latency_to_writeback` is the
+    /// instruction's minimum issue-to-writeback delay; `resolution_delay`
+    /// its own speculation resolution time.
+    ///
+    /// Returns `true` if the instruction is in-sequence.
+    pub fn issue(
+        &mut self,
+        classify_idx: u64,
+        now: u64,
+        latency_to_writeback: u32,
+        resolution_delay: u32,
+    ) -> bool {
+        let in_order = self.tracker.head() == classify_idx;
+        let spec_ok = now + latency_to_writeback as u64 >= self.spec_horizon;
+        self.tracker.issue(classify_idx);
+        self.spec_horizon = self.spec_horizon.max(now + resolution_delay as u64);
+        in_order && spec_ok
+    }
+
+    /// Squash rollback: forget dispatched-but-unissued classification state
+    /// at indices `>= from`.
+    pub fn squash_from(&mut self, from: u64) {
+        self.tracker.squash_from(from);
+    }
+
+    /// Records a committed instruction's classification, in program order.
+    pub fn commit(&mut self, in_sequence: bool) {
+        if in_sequence {
+            self.committed_in_sequence += 1;
+        } else {
+            self.committed_reordered += 1;
+        }
+        match self.current {
+            Some((kind, ref mut len)) if kind == in_sequence => *len += 1,
+            Some((kind, len)) => {
+                self.record_series(kind, len);
+                self.current = Some((in_sequence, 1));
+            }
+            None => self.current = Some((in_sequence, 1)),
+        }
+    }
+
+    fn record_series(&mut self, in_sequence: bool, len: u64) {
+        if in_sequence {
+            self.in_sequence_series.record(len);
+        } else {
+            self.reordered_series.record(len);
+        }
+    }
+
+    /// Flushes the trailing open series into the distributions (call at the
+    /// end of a run before reading the CDFs).
+    pub fn finish(&mut self) {
+        if let Some((kind, len)) = self.current.take() {
+            self.record_series(kind, len);
+        }
+    }
+
+    /// Fraction of committed instructions classified in-sequence.
+    pub fn in_sequence_fraction(&self) -> f64 {
+        let total = self.committed_in_sequence + self.committed_reordered;
+        if total == 0 {
+            0.0
+        } else {
+            self.committed_in_sequence as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_issue_classifies_in_sequence() {
+        let mut c = Classifier::new();
+        let a = c.dispatch();
+        let b = c.dispatch();
+        assert!(c.issue(a, 10, 1, 1));
+        assert!(c.issue(b, 11, 1, 1));
+    }
+
+    #[test]
+    fn out_of_order_issue_classifies_reordered() {
+        let mut c = Classifier::new();
+        let a = c.dispatch();
+        let b = c.dispatch();
+        assert!(!c.issue(b, 10, 1, 1), "issued past an unissued elder");
+        assert!(c.issue(a, 11, 1, 1), "elder is now the oldest unissued");
+    }
+
+    #[test]
+    fn speculation_shadow_marks_early_writeback_reordered() {
+        let mut c = Classifier::new();
+        let a = c.dispatch();
+        let b = c.dispatch();
+        // A branch-like instruction with a 5-cycle resolution delay.
+        assert!(c.issue(a, 10, 1, 5));
+        // A 1-cycle op issuing at 11 writes back at 12 < horizon 15: an
+        // in-order core's SSR would have stalled it, so it is reordered.
+        assert!(!c.issue(b, 11, 1, 5));
+        // A later op past the horizon is in-sequence again.
+        let d = c.dispatch();
+        assert!(c.issue(d, 15, 1, 1));
+    }
+
+    #[test]
+    fn commit_series_tracking() {
+        let mut c = Classifier::new();
+        for _ in 0..3 {
+            c.commit(true);
+        }
+        for _ in 0..2 {
+            c.commit(false);
+        }
+        c.commit(true);
+        c.finish();
+        assert_eq!(c.committed_in_sequence, 4);
+        assert_eq!(c.committed_reordered, 2);
+        assert_eq!(c.in_sequence_series.num_series(), 2);
+        assert_eq!(c.reordered_series.num_series(), 1);
+        assert_eq!(c.in_sequence_series.total_weight(), 4);
+        assert!((c.in_sequence_fraction() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn squash_rewinds_tracker() {
+        let mut c = Classifier::new();
+        let a = c.dispatch();
+        let b = c.dispatch();
+        c.squash_from(b);
+        let b2 = c.dispatch();
+        assert_eq!(b, b2, "index reused after squash");
+        assert!(c.issue(a, 1, 1, 1));
+        assert!(c.issue(b2, 2, 1, 1));
+    }
+
+    #[test]
+    fn empty_fraction_is_zero() {
+        assert_eq!(Classifier::new().in_sequence_fraction(), 0.0);
+    }
+}

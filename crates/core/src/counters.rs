@@ -1,0 +1,182 @@
+//! Per-structure event counters.
+//!
+//! Every access to a major structure is counted so the energy model
+//! (`shelfsim-energy`) can compute dynamic energy the way McPAT does:
+//! events × per-event energy derived from structure geometry.
+
+/// Dynamic event counts for one run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions fetched (including wrong path).
+    pub fetched: u64,
+    /// Synthetic wrong-path instructions fetched.
+    pub wrong_path_fetched: u64,
+    /// Instructions renamed/dispatched.
+    pub dispatched: u64,
+    /// Instructions dispatched to the shelf.
+    pub dispatched_shelf: u64,
+    /// Instructions issued.
+    pub issued: u64,
+    /// Instructions issued from the shelf.
+    pub issued_shelf: u64,
+    /// Instructions committed (architectural).
+    pub committed: u64,
+    /// Instructions squashed after dispatch.
+    pub squashed: u64,
+
+    /// RAT read ports exercised (source lookups + prev-mapping reads).
+    pub rat_reads: u64,
+    /// RAT writes (destination mapping updates, including squash restores).
+    pub rat_writes: u64,
+    /// Free-list pushes/pops (physical list).
+    pub freelist_ops: u64,
+    /// Extension free-list pushes/pops.
+    pub ext_freelist_ops: u64,
+
+    /// IQ entry writes (dispatch).
+    pub iq_writes: u64,
+    /// IQ wakeup CAM match operations (every broadcast compares against
+    /// every live source tag; we count per-entry-compared).
+    pub iq_wakeup_cam: u64,
+    /// IQ selection reads (issued entries drained).
+    pub iq_issues: u64,
+
+    /// Shelf FIFO writes.
+    pub shelf_writes: u64,
+    /// Shelf FIFO head reads (issue).
+    pub shelf_reads: u64,
+
+    /// ROB writes (dispatch).
+    pub rob_writes: u64,
+    /// ROB reads (commit/squash walks).
+    pub rob_reads: u64,
+
+    /// Physical register file reads.
+    pub prf_reads: u64,
+    /// Physical register file writes.
+    pub prf_writes: u64,
+
+    /// LQ allocations.
+    pub lq_writes: u64,
+    /// SQ allocations.
+    pub sq_writes: u64,
+    /// Associative LSQ searches (forwarding and violation scans; counted
+    /// per-entry-compared, the CAM energy driver).
+    pub lsq_searches: u64,
+
+    /// Branch predictor lookups.
+    pub bpred_lookups: u64,
+    /// Branch mispredictions (direction or target).
+    pub branch_mispredicts: u64,
+    /// Memory-order violations (flush + replay).
+    pub memory_violations: u64,
+    /// Loads whose issue was blocked by a store-set dependence.
+    pub store_set_stalls: u64,
+    /// Issue attempts rejected because all data MSHRs were busy.
+    pub mshr_stalls: u64,
+
+    /// Functional-unit operations by kind: [int_alu, int_muldiv, fp, mem].
+    pub fu_ops: [u64; 4],
+
+    /// Ready-cycle-table updates (practical steering).
+    pub rct_ops: u64,
+    /// Parent-loads-table updates (practical steering).
+    pub plt_ops: u64,
+
+    /// Dispatch stalls by cause.
+    pub stalls: StallCounters,
+
+    /// Shelf-head stall cycles by first failing condition (diagnostic):
+    /// [order barrier, SSR, RAW sources, WAW previous writer,
+    /// structural/store-set].
+    pub shelf_head_stalls: [u64; 5],
+
+    /// ROB-head commit stalls by cause (diagnostic): [execution incomplete,
+    /// waiting for elder shelf writebacks, store buffer full].
+    pub commit_stalls: [u64; 3],
+
+    /// Occupancy integrals (entry-cycles): divide by `cycles` for the mean
+    /// occupancy of each structure. Order: [ROB, IQ, LQ, SQ, shelf,
+    /// rename registers in use].
+    pub occupancy: [u64; 6],
+}
+
+/// Dispatch-stage stall causes (one count per instruction-slot-cycle lost).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StallCounters {
+    /// ROB partition full.
+    pub rob_full: u64,
+    /// IQ full.
+    pub iq_full: u64,
+    /// LQ partition full.
+    pub lq_full: u64,
+    /// SQ partition full.
+    pub sq_full: u64,
+    /// Shelf partition full (entries).
+    pub shelf_full: u64,
+    /// Shelf virtual index space exhausted.
+    pub shelf_index_full: u64,
+    /// Physical free list empty.
+    pub no_phys_reg: u64,
+    /// Extension free list empty.
+    pub no_ext_tag: u64,
+    /// Memory barrier serialization.
+    pub barrier: u64,
+}
+
+impl Counters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Committed instructions per cycle across all threads.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of dispatched instructions steered to the shelf.
+    pub fn shelf_dispatch_fraction(&self) -> f64 {
+        if self.dispatched == 0 {
+            0.0
+        } else {
+            self.dispatched_shelf as f64 / self.dispatched as f64
+        }
+    }
+
+    /// Mean occupancy of a structure over the measured window
+    /// (see [`Counters::occupancy`] for the index order).
+    pub fn mean_occupancy(&self, index: usize) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.occupancy[index] as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_by_default() {
+        let c = Counters::new();
+        assert_eq!(c.cycles, 0);
+        assert_eq!(c.ipc(), 0.0);
+        assert_eq!(c.shelf_dispatch_fraction(), 0.0);
+    }
+
+    #[test]
+    fn derived_ratios() {
+        let c = Counters { cycles: 100, committed: 250, dispatched: 300, dispatched_shelf: 150, ..Default::default() };
+        assert!((c.ipc() - 2.5).abs() < 1e-12);
+        assert!((c.shelf_dispatch_fraction() - 0.5).abs() < 1e-12);
+    }
+}

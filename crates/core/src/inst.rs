@@ -1,0 +1,297 @@
+//! In-flight instruction state: the simulator's per-instruction record from
+//! fetch to retirement.
+
+use shelfsim_isa::DynInst;
+use shelfsim_mem::Level;
+use shelfsim_uarch::{Mapping, PhysReg, Prediction, Tag};
+
+/// Handle to an in-flight instruction in the [`Slab`].
+pub type InstId = u32;
+
+/// Which queue an instruction was dispatched to (paper Figure 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Steer {
+    /// Conventional unordered issue queue (reordered instructions).
+    Iq,
+    /// The per-thread FIFO shelf (in-sequence instructions).
+    Shelf,
+}
+
+/// Lifecycle of an in-flight instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// In the fetch-to-dispatch pipe.
+    Frontend,
+    /// Renamed and waiting in the IQ or the shelf.
+    Dispatched,
+    /// Issued to a functional unit, executing.
+    Issued,
+    /// Execution complete (written back or squash-filtered).
+    Completed,
+    /// Retired architecturally.
+    Retired,
+}
+
+/// The full in-flight record of one dynamic instruction.
+#[derive(Clone, Debug)]
+pub struct Slot {
+    /// Owning hardware thread.
+    pub thread: usize,
+    /// Trace sequence number (`u64::MAX` for synthetic wrong-path
+    /// instructions, which have no trace position).
+    pub seq: u64,
+    /// Global dispatch age: total order used for oldest-first selection and
+    /// as the store-set token.
+    pub age: u64,
+    /// The decoded instruction.
+    pub inst: DynInst,
+    /// Steering decision.
+    pub steer: Steer,
+    /// Synthetic wrong-path instruction (fetched past a mispredicted
+    /// branch; never retires).
+    pub wrong_path: bool,
+    /// Current lifecycle stage.
+    pub stage: Stage,
+    /// Squashed by a misspeculation (may still be in an execution pipe; a
+    /// squashed shelf instruction keeps its shelf index reserved until its
+    /// writeback moment, per §III-B).
+    pub squashed: bool,
+
+    // ---- rename results ----
+    /// Source wakeup tags.
+    pub src_tags: [Option<Tag>; 2],
+    /// Destination physical register (IQ: newly allocated; shelf: reused).
+    pub dest_pri: Option<PhysReg>,
+    /// Destination wakeup tag (IQ: == PRI; shelf: extension tag).
+    pub dest_tag: Option<Tag>,
+    /// The mapping this instruction replaced (for squash walk-back and
+    /// retirement-time freeing).
+    pub prev_mapping: Option<Mapping>,
+
+    // ---- structure indices ----
+    /// ROB index (IQ instructions only).
+    pub rob_idx: Option<u64>,
+    /// Shelf virtual index (shelf instructions only).
+    pub shelf_idx: Option<u64>,
+    /// LQ index (IQ loads only).
+    pub lq_idx: Option<u64>,
+    /// SQ index (IQ stores only).
+    pub sq_idx: Option<u64>,
+    /// For shelf instructions: the issue-tracking barrier — the thread's ROB
+    /// tail at dispatch; the shelf head may issue only after the tracking
+    /// head passes it (§III-A).
+    pub iq_barrier: u64,
+    /// For shelf instructions: first of its run (triggers the IQ→shelf SSR
+    /// copy when it becomes order-eligible, §III-B).
+    pub first_of_run: bool,
+    /// Set once this instruction performed its run's SSR copy.
+    pub ssr_copied: bool,
+    /// For IQ instructions: the shelf index the *next* shelf instruction
+    /// would get — the shelf squash index recorded at dispatch (§III-B).
+    pub shelf_squash_idx: u64,
+    /// For shelf memory ops: the thread's LQ tail at dispatch (younger IQ
+    /// loads to scan live at indices `>= lq_tail`... older ones below).
+    pub lq_tail_at_dispatch: u64,
+    /// For shelf memory ops: the thread's SQ tail at dispatch.
+    pub sq_tail_at_dispatch: u64,
+
+    // ---- timing ----
+    /// Cycle fetched.
+    pub fetch_cycle: u64,
+    /// Cycle renamed/dispatched.
+    pub dispatch_cycle: u64,
+    /// Cycle issued.
+    pub issue_cycle: u64,
+    /// Cycle execution completes (writeback).
+    pub complete_cycle: u64,
+
+    // ---- memory ----
+    /// Deepest cache level the access reached.
+    pub mem_level: Option<Level>,
+    /// Address has been computed and LSQ scans performed.
+    pub mem_executed: bool,
+    /// Age of the store this load received its value from (forwarding).
+    pub forwarded_from: Option<u64>,
+    /// Practical-steering PLT column sampled for this load.
+    pub plt_column: Option<u8>,
+
+    // ---- control ----
+    /// Prediction made at fetch (branches).
+    pub prediction: Option<Prediction>,
+    /// Fetch-time knowledge that the prediction was wrong; triggers a squash
+    /// and redirect when the branch resolves.
+    pub mispredicted: bool,
+
+    // ---- classification (paper §II) ----
+    /// Classified in-sequence at issue (issued in program order with
+    /// speculation resolved — would not have stalled an in-order core).
+    pub in_sequence: bool,
+    /// Index in the thread's classification shadow tracker.
+    pub classify_idx: u64,
+}
+
+impl Slot {
+    /// Creates a fresh slot for a fetched instruction.
+    pub fn new(thread: usize, seq: u64, inst: DynInst, fetch_cycle: u64) -> Self {
+        Slot {
+            thread,
+            seq,
+            age: 0,
+            inst,
+            steer: Steer::Iq,
+            wrong_path: false,
+            stage: Stage::Frontend,
+            squashed: false,
+            src_tags: [None; 2],
+            dest_pri: None,
+            dest_tag: None,
+            prev_mapping: None,
+            rob_idx: None,
+            shelf_idx: None,
+            lq_idx: None,
+            sq_idx: None,
+            iq_barrier: 0,
+            first_of_run: false,
+            ssr_copied: false,
+            shelf_squash_idx: 0,
+            lq_tail_at_dispatch: 0,
+            sq_tail_at_dispatch: 0,
+            fetch_cycle,
+            dispatch_cycle: 0,
+            issue_cycle: 0,
+            complete_cycle: 0,
+            mem_level: None,
+            mem_executed: false,
+            forwarded_from: None,
+            plt_column: None,
+            prediction: None,
+            mispredicted: false,
+            in_sequence: false,
+            classify_idx: 0,
+        }
+    }
+}
+
+/// A slab of in-flight instruction slots with id recycling.
+#[derive(Clone, Debug, Default)]
+pub struct Slab {
+    slots: Vec<Option<Slot>>,
+    free: Vec<InstId>,
+    live: usize,
+}
+
+impl Slab {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a slot, returning its id.
+    pub fn insert(&mut self, slot: Slot) -> InstId {
+        self.live += 1;
+        if let Some(id) = self.free.pop() {
+            self.slots[id as usize] = Some(slot);
+            id
+        } else {
+            self.slots.push(Some(slot));
+            (self.slots.len() - 1) as InstId
+        }
+    }
+
+    /// Removes a slot, recycling its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not live.
+    pub fn remove(&mut self, id: InstId) -> Slot {
+        let s = self.slots[id as usize].take().expect("removing a dead instruction slot");
+        self.free.push(id);
+        self.live -= 1;
+        s
+    }
+
+    /// Borrows a live slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not live.
+    pub fn get(&self, id: InstId) -> &Slot {
+        self.slots[id as usize].as_ref().expect("dead instruction slot")
+    }
+
+    /// Mutably borrows a live slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not live.
+    pub fn get_mut(&mut self, id: InstId) -> &mut Slot {
+        self.slots[id as usize].as_mut().expect("dead instruction slot")
+    }
+
+    /// Returns `true` if `id` refers to a live slot.
+    pub fn contains(&self, id: InstId) -> bool {
+        self.slots.get(id as usize).is_some_and(Option::is_some)
+    }
+
+    /// Number of live slots.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Returns `true` when no slots are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shelfsim_isa::{ArchReg, OpClass};
+
+    fn dummy() -> Slot {
+        Slot::new(0, 0, DynInst::alu(OpClass::IntAlu, ArchReg::int(1), &[]), 0)
+    }
+
+    #[test]
+    fn slab_insert_get_remove() {
+        let mut slab = Slab::new();
+        let a = slab.insert(dummy());
+        let b = slab.insert(dummy());
+        assert_ne!(a, b);
+        assert_eq!(slab.len(), 2);
+        assert!(slab.contains(a));
+        slab.get_mut(a).age = 42;
+        assert_eq!(slab.get(a).age, 42);
+        slab.remove(a);
+        assert!(!slab.contains(a));
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_recycled() {
+        let mut slab = Slab::new();
+        let a = slab.insert(dummy());
+        slab.remove(a);
+        let b = slab.insert(dummy());
+        assert_eq!(a, b, "freed ids are reused");
+    }
+
+    #[test]
+    #[should_panic(expected = "dead instruction slot")]
+    fn get_dead_panics() {
+        let mut slab = Slab::new();
+        let a = slab.insert(dummy());
+        slab.remove(a);
+        let _ = slab.get(a);
+    }
+
+    #[test]
+    fn new_slot_defaults() {
+        let s = dummy();
+        assert_eq!(s.stage, Stage::Frontend);
+        assert!(!s.squashed);
+        assert!(!s.wrong_path);
+        assert_eq!(s.steer, Steer::Iq);
+    }
+}

@@ -1,0 +1,1957 @@
+//! The cycle-level SMT out-of-order core with the hybrid shelf window.
+//!
+//! One [`Core`] simulates fetch → decode/steer → rename/dispatch → issue →
+//! execute → writeback → commit over a set of per-thread trace sources,
+//! implementing every mechanism of paper §III:
+//!
+//! * per-thread FIFO **shelf** whose instructions skip ROB/IQ/LSQ/PRF
+//!   allocation;
+//! * **issue-tracking bitvectors** establishing in-order issue across the
+//!   two queues (Figure 4), with conservative/optimistic same-cycle issue;
+//! * the **speculation shift register pair** delaying shelf writebacks past
+//!   the commit point (Figure 5);
+//! * **shelf squash indices** and the **shelf retire pointer** coordinating
+//!   misspeculation recovery and ROB retirement with a 2× virtual shelf
+//!   index space;
+//! * the **tag-space extension** letting shelf instructions overwrite live
+//!   physical registers while the IQ wakes up unambiguously (Figures 6–8);
+//! * **relaxed-memory LSQ** semantics: shelf memory ops hold no LQ/SQ
+//!   entries, scan the queues associatively, forward, coalesce, and squash
+//!   violating loads moderated by a store-sets predictor (§III-D).
+
+use crate::classify::Classifier;
+use crate::config::{CoreConfig, FetchPolicy, MemoryModel, SteerPolicy};
+use crate::counters::Counters;
+use crate::inst::{InstId, Slab, Slot, Stage, Steer};
+use crate::steer::{OracleSteer, PracticalSteer};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use shelfsim_isa::{ArchReg, DynInst, FuKind, MemInfo, OpClass};
+use shelfsim_mem::{Hierarchy, Level};
+use shelfsim_uarch::{
+    BranchPredictor, BranchPredictorConfig, FreeList, Icount, IssueTracker, Mapping,
+    OrderedQueue, PhysReg, RenameTable, Scoreboard, SsrPair, StoreSets, Tag,
+};
+use shelfsim_workload::TraceSource;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Consecutive data-blocked cycles at a shelf head after which the thread's
+/// steering falls back to the IQ until the head drains.
+const HEAD_THROTTLE_CYCLES: u32 = 8;
+
+/// Minimum issue-to-writeback latency of an operation (the value compared
+/// against the shelf SSR; loads writeback no earlier than an L1 hit).
+fn min_writeback_latency(op: OpClass) -> u32 {
+    match op {
+        OpClass::Load => 2,
+        _ => op.latency(),
+    }
+}
+
+#[derive(PartialEq, Eq)]
+struct Event {
+    cycle: u64,
+    age: u64,
+    id: InstId,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by (cycle, age): elder instructions' writebacks (and thus
+        // squashes) are processed before younger same-cycle writebacks, so a
+        // misspeculation always marks in-flight younger shelf instructions
+        // squashed before they attempt to retire.
+        other.cycle.cmp(&self.cycle).then(other.age.cmp(&self.age))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-thread architectural and microarchitectural state.
+struct Thread {
+    trace: TraceSource,
+    rat: RenameTable,
+    rob: OrderedQueue<InstId>,
+    lq: OrderedQueue<InstId>,
+    sq: OrderedQueue<InstId>,
+    /// Shelf entries (physical storage); indices are allocated separately.
+    shelf: VecDeque<InstId>,
+    shelf_capacity: usize,
+    /// Monotonic shelf index allocator (the virtual index space).
+    shelf_next_idx: u64,
+    /// Shelf retire bitvector: `shelf_retired[i]` covers index
+    /// `shelf_retire_ptr + i`.
+    shelf_retired: VecDeque<bool>,
+    /// Oldest shelf index not yet written back (the shelf retire pointer).
+    shelf_retire_ptr: u64,
+    /// All renamed, not-yet-committed instructions in program order.
+    window: VecDeque<InstId>,
+    /// Fetch-to-dispatch pipe.
+    frontend: VecDeque<InstId>,
+    issue_tracker: IssueTracker,
+    /// Tracker head captured at the start of the cycle (conservative mode).
+    tracker_head_snapshot: u64,
+    ssr: SsrPair,
+    store_sets: StoreSets,
+    /// In-flight stores by age (store-set tokens).
+    inflight_stores: HashMap<u64, InstId>,
+    /// Recently issued shelf loads, scanned by store violation checks
+    /// (shelf loads hold no LQ entry).
+    recent_shelf_loads: VecDeque<(InstId, u64)>,
+    /// Ages of issued-but-incomplete loads (TSO: shelf writebacks must wait
+    /// for all elder loads to complete, §III-D).
+    inflight_loads: std::collections::BTreeSet<u64>,
+    bpred: BranchPredictor,
+    practical: PracticalSteer,
+    oracle: OracleSteer,
+    /// Shadow oracle for mis-steer measurement under the practical policy.
+    shadow_oracle: OracleSteer,
+    classifier: Classifier,
+    /// Steering decisions that disagreed with the shadow oracle.
+    missteers: u64,
+    /// Steering decisions compared.
+    steer_decisions: u64,
+    /// Thread cannot fetch until this cycle (I-miss, redirect).
+    fetch_stalled_until: u64,
+    /// Mispredicted branch blocking correct-path fetch.
+    waiting_branch: Option<InstId>,
+    wrong_path_rng: SmallRng,
+    /// Post-commit store buffer: (address, earliest drain cycle).
+    store_buffer: VecDeque<(u64, u64)>,
+    /// Instructions in the front end + dispatched-but-unissued (ICOUNT).
+    pre_issue_count: usize,
+    /// Committed instruction count (real, architectural).
+    committed: u64,
+    /// Steering of the previously dispatched instruction (run detection).
+    last_steer: Option<Steer>,
+    /// Committed shelf instructions that were still marked `Completed` when
+    /// a squash walked past them (must stay 0; see `squash_thread`).
+    late_shelf_commits: u64,
+    /// Consecutive cycles the current shelf head has been blocked on data.
+    head_blocked_streak: u32,
+    /// The shelf head the streak refers to.
+    head_blocked_id: Option<InstId>,
+}
+
+impl Thread {
+    fn shelf_index_space(&self, narrow: bool) -> u64 {
+        if narrow {
+            self.shelf_capacity as u64
+        } else {
+            2 * self.shelf_capacity as u64
+        }
+    }
+
+    /// Advance the shelf retire pointer over contiguously retired indices.
+    fn advance_shelf_retire(&mut self) {
+        while self.shelf_retired.front() == Some(&true) {
+            self.shelf_retired.pop_front();
+            self.shelf_retire_ptr += 1;
+        }
+    }
+
+    fn mark_shelf_retired(&mut self, idx: u64) {
+        debug_assert!(idx >= self.shelf_retire_ptr);
+        let off = (idx - self.shelf_retire_ptr) as usize;
+        debug_assert!(off < self.shelf_retired.len(), "retiring unallocated shelf index");
+        self.shelf_retired[off] = true;
+        self.advance_shelf_retire();
+    }
+}
+
+/// A per-instruction lifecycle record emitted at commit (the analogue of
+/// gem5's O3 pipeline-viewer traces), for debugging and the CLI `trace`
+/// command.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// Hardware thread.
+    pub thread: usize,
+    /// Trace sequence number.
+    pub seq: u64,
+    /// Static PC.
+    pub pc: u64,
+    /// Operation class.
+    pub op: OpClass,
+    /// Which queue the instruction went through.
+    pub steer: Steer,
+    /// Classified in-sequence at issue.
+    pub in_sequence: bool,
+    /// Fetch cycle.
+    pub fetch: u64,
+    /// Dispatch cycle.
+    pub dispatch: u64,
+    /// Issue cycle.
+    pub issue: u64,
+    /// Writeback cycle.
+    pub complete: u64,
+    /// Commit cycle.
+    pub commit: u64,
+}
+
+/// The simulated core.
+pub struct Core {
+    cfg: CoreConfig,
+    now: u64,
+    slab: Slab,
+    hierarchy: Hierarchy,
+    /// Event counters (resettable for warm-up).
+    pub counters: Counters,
+    next_age: u64,
+    threads: Vec<Thread>,
+    /// Shared unordered issue queue (instruction ids).
+    iq: Vec<InstId>,
+    phys_fl: FreeList,
+    ext_fl: FreeList,
+    scoreboard: Scoreboard,
+    /// Which cluster (queue) produced each tag's value, for the optional
+    /// clustered-backend forwarding penalty.
+    tag_cluster: Vec<Steer>,
+    icount: Icount,
+    /// Round-robin fetch rotation state.
+    fetch_rr: usize,
+    /// Per functional-unit-kind busy-until cycles.
+    fu_busy: [Vec<u64>; 4],
+    events: BinaryHeap<Event>,
+    /// Ring buffer of recent commit records (empty unless enabled).
+    commit_log: VecDeque<CommitRecord>,
+    commit_log_capacity: usize,
+}
+
+impl Core {
+    /// Builds a core running `traces` (one per hardware thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace count does not match `cfg.threads` or the
+    /// configuration is invalid.
+    pub fn new(cfg: CoreConfig, traces: Vec<TraceSource>) -> Self {
+        cfg.validate();
+        assert_eq!(traces.len(), cfg.threads, "one trace per hardware thread");
+        let num_phys = cfg.num_phys_regs();
+        let num_arch = shelfsim_isa::NUM_ARCH_REGS;
+
+        // Architectural registers of thread t occupy physical registers
+        // [t*num_arch, (t+1)*num_arch); the remainder form the shared rename
+        // pool managed by the physical free list.
+        let mut threads = Vec::with_capacity(cfg.threads);
+        for (t, trace) in traces.into_iter().enumerate() {
+            let base = (t * num_arch) as u32;
+            threads.push(Thread {
+                trace,
+                rat: RenameTable::new(|i| {
+                    let p = PhysReg(base + i as u32);
+                    Mapping { pri: p, tag: p.as_tag() }
+                }),
+                rob: OrderedQueue::new(cfg.rob_per_thread()),
+                lq: OrderedQueue::new(cfg.lq_per_thread()),
+                sq: OrderedQueue::new(cfg.sq_per_thread()),
+                shelf: VecDeque::new(),
+                shelf_capacity: cfg.shelf_per_thread(),
+                shelf_next_idx: 0,
+                shelf_retired: VecDeque::new(),
+                shelf_retire_ptr: 0,
+                window: VecDeque::new(),
+                frontend: VecDeque::new(),
+                issue_tracker: IssueTracker::new(),
+                tracker_head_snapshot: 0,
+                ssr: SsrPair::new(cfg.single_ssr),
+                store_sets: StoreSets::new(1024, 64),
+                inflight_stores: HashMap::new(),
+                recent_shelf_loads: VecDeque::new(),
+                inflight_loads: std::collections::BTreeSet::new(),
+                bpred: BranchPredictor::new(BranchPredictorConfig {
+                    kind: cfg.predictor,
+                    ..BranchPredictorConfig::default()
+                }),
+                practical: PracticalSteer::new(cfg.rct_bits, cfg.plt_columns),
+                oracle: OracleSteer::new(),
+                shadow_oracle: OracleSteer::new(),
+                classifier: Classifier::new(),
+                missteers: 0,
+                steer_decisions: 0,
+                fetch_stalled_until: 0,
+                waiting_branch: None,
+                wrong_path_rng: SmallRng::seed_from_u64(0xDEAD ^ t as u64),
+                store_buffer: VecDeque::new(),
+                pre_issue_count: 0,
+                committed: 0,
+                last_steer: None,
+                late_shelf_commits: 0,
+                head_blocked_streak: 0,
+                head_blocked_id: None,
+            });
+        }
+
+        // The free list spans the whole PRF; the registers holding the
+        // initial architectural state start out allocated and return to the
+        // pool when their mapping is superseded and retired.
+        let arch_regs = (cfg.threads * num_arch) as u32;
+        let mut phys_fl = FreeList::new(0, num_phys as u32);
+        for i in 0..arch_regs {
+            let got = phys_fl.allocate().expect("PRF sized for architectural state");
+            assert_eq!(got, i, "architectural registers occupy the low PRF indices");
+        }
+        let ext_fl = FreeList::new(num_phys as u32, cfg.num_ext_tags() as u32);
+        let num_tags = cfg.num_tags();
+
+        Core {
+            fu_busy: [
+                vec![0; cfg.fu_int_alu],
+                vec![0; cfg.fu_int_muldiv],
+                vec![0; cfg.fu_fp],
+                vec![0; cfg.fu_mem_ports],
+            ],
+            hierarchy: Hierarchy::new(cfg.hierarchy),
+            cfg,
+            now: 0,
+            slab: Slab::new(),
+            counters: Counters::new(),
+            next_age: 0,
+            threads,
+            iq: Vec::new(),
+            phys_fl,
+            ext_fl,
+            scoreboard: Scoreboard::new(num_tags),
+            tag_cluster: vec![Steer::Iq; num_tags],
+            icount: Icount::new(),
+            fetch_rr: 0,
+            events: BinaryHeap::new(),
+            commit_log: VecDeque::new(),
+            commit_log_capacity: 0,
+        }
+    }
+
+    /// Enables the commit log: the last `capacity` committed instructions'
+    /// lifecycle records are retained (see [`CommitRecord`]).
+    pub fn enable_commit_log(&mut self, capacity: usize) {
+        self.commit_log_capacity = capacity;
+        self.commit_log = VecDeque::with_capacity(capacity);
+    }
+
+    /// The retained commit records, oldest first.
+    pub fn commit_log(&self) -> impl Iterator<Item = &CommitRecord> {
+        self.commit_log.iter()
+    }
+
+    fn record_commit(&mut self, id: InstId) {
+        if self.commit_log_capacity == 0 {
+            return;
+        }
+        let s = self.slab.get(id);
+        if self.commit_log.len() == self.commit_log_capacity {
+            self.commit_log.pop_front();
+        }
+        self.commit_log.push_back(CommitRecord {
+            thread: s.thread,
+            seq: s.seq,
+            pc: s.inst.pc,
+            op: s.inst.op,
+            steer: s.steer,
+            in_sequence: s.in_sequence,
+            fetch: s.fetch_cycle,
+            dispatch: s.dispatch_cycle,
+            issue: s.issue_cycle,
+            complete: s.complete_cycle,
+            commit: self.now,
+        });
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The memory hierarchy (for cache statistics).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// Committed instruction count of thread `t`.
+    pub fn committed(&self, t: usize) -> u64 {
+        self.threads[t].committed
+    }
+
+    /// One-line debug snapshot of thread `t`'s pipeline occupancy.
+    pub fn debug_state(&self, t: usize) -> String {
+        let th = &self.threads[t];
+        format!(
+            "t{} now={} fe={} win={} iq={} shelf={} rob={} stall_until={} wb={:?} preissue={} events={} shelf_idx={}..{} retired_window={:?}",
+            t,
+            self.now,
+            th.frontend.len(),
+            th.window.len(),
+            self.iq.len(),
+            th.shelf.len(),
+            th.rob.len(),
+            th.fetch_stalled_until,
+            th.waiting_branch,
+            th.pre_issue_count,
+            self.events.len(),
+            th.shelf_retire_ptr,
+            th.shelf_next_idx,
+            th.shelf_retired,
+        )
+    }
+
+    /// Ages of the instructions currently blocking issue in thread `t`'s
+    /// window head region (debugging aid).
+    pub fn debug_window_head(&self, t: usize) -> String {
+        let th = &self.threads[t];
+        th.window
+            .iter()
+            .take(4)
+            .map(|&id| {
+                let s = self.slab.get(id);
+                format!(
+                    "[{:?} {:?} {:?} sq={} seq={}]",
+                    s.inst.op, s.steer, s.stage, s.squashed, s.seq
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// The per-thread classifier (in-sequence statistics).
+    pub fn classifier(&self, t: usize) -> &Classifier {
+        &self.threads[t].classifier
+    }
+
+    /// Finalizes per-thread classifier series (call once at the end of a
+    /// measurement run).
+    pub fn finish_classification(&mut self) {
+        for t in &mut self.threads {
+            t.classifier.finish();
+        }
+    }
+
+    /// Mis-steer rate of thread `t` relative to the shadow oracle
+    /// (meaningful under [`SteerPolicy::Practical`]).
+    pub fn missteer_rate(&self, t: usize) -> f64 {
+        let th = &self.threads[t];
+        if th.steer_decisions == 0 {
+            0.0
+        } else {
+            th.missteers as f64 / th.steer_decisions as f64
+        }
+    }
+
+    /// Branch mispredict ratio of thread `t`.
+    pub fn branch_mispredict_ratio(&self, t: usize) -> f64 {
+        self.threads[t].bpred.mispredict_ratio()
+    }
+
+    /// Raw branch-predictor counters of thread `t`:
+    /// `(lookups, mispredicts)`.
+    pub fn bpred_counts(&self, t: usize) -> (u64, u64) {
+        let b = &self.threads[t].bpred;
+        (b.lookups, b.direction_mispredicts + b.target_mispredicts)
+    }
+
+    /// Count of shelf instructions that a squash had to skip because they
+    /// had already committed; nonzero values indicate an SSR timing bug.
+    pub fn late_shelf_commits(&self) -> u64 {
+        self.threads.iter().map(|t| t.late_shelf_commits).sum()
+    }
+
+    /// Explicitly warms the caches with each thread's code and data
+    /// footprint — the stand-in for the paper's 100M-instruction warm-up
+    /// (cold compulsory misses would otherwise dominate short sampling
+    /// windows). Warms the L2-resident data region, then code, then the
+    /// L1-resident data region, leaving a realistic steady-state residency.
+    pub fn warm_caches(&mut self) {
+        let block = self.cfg.hierarchy.l1d.block_bytes as u64;
+        for t in 0..self.threads.len() {
+            let (code_start, code_end) = self.threads[t].trace.code_range();
+            let regions = self.threads[t].trace.data_region_ranges();
+            // L2-resident region (fills L2).
+            let (l2s, l2e) = regions[1];
+            let mut a = l2s;
+            while a < l2e {
+                self.hierarchy.warm_data(a);
+                a += block;
+            }
+            // Code.
+            let mut a = code_start;
+            while a < code_end {
+                self.hierarchy.warm_inst(a);
+                a += block;
+            }
+            // L1-resident region last so it stays L1-resident.
+            let (l1s, l1e) = regions[0];
+            let mut a = l1s;
+            while a < l1e {
+                self.hierarchy.warm_data(a);
+                a += block;
+            }
+        }
+    }
+
+    /// Functionally fast-forwards every thread by `insts` instructions,
+    /// training the branch predictors and warming the caches without timing
+    /// — the analogue of the paper's atomic-mode warm-up ("We warm
+    /// microarchitectural structures for 100 million instructions"). The
+    /// timed run continues from where the fast-forward stopped.
+    pub fn warm_functional(&mut self, insts: u64) {
+        for t in 0..self.threads.len() {
+            for _ in 0..insts {
+                let (_, inst) = self.threads[t].trace.fetch();
+                self.hierarchy.warm_inst(inst.pc);
+                if let Some(mem) = inst.mem {
+                    self.hierarchy.warm_data(mem.addr);
+                }
+                if let Some(br) = inst.branch {
+                    let bp = &mut self.threads[t].bpred;
+                    let pred = bp.predict(inst.pc, br.is_return);
+                    bp.update(
+                        inst.pc,
+                        pred,
+                        br.taken,
+                        br.next_pc,
+                        br.is_call,
+                        br.is_return,
+                        inst.pc + 4,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Advances the core by one cycle.
+    pub fn tick(&mut self) {
+        // Snapshot tracker heads for conservative same-cycle semantics.
+        for t in &mut self.threads {
+            t.tracker_head_snapshot = t.issue_tracker.head();
+        }
+        self.process_events();
+        self.commit_stage();
+        self.drain_store_buffers();
+        self.issue_stage();
+        self.dispatch_stage();
+        self.fetch_stage();
+        // Per-cycle state decay.
+        for ti in 0..self.threads.len() {
+            self.threads[ti].ssr.tick();
+            if self.cfg.steer == SteerPolicy::Practical {
+                let (th, sb) = (&mut self.threads[ti], &self.scoreboard);
+                let rat = &th.rat;
+                let now = self.now;
+                th.practical.tick(|reg| sb.is_ready(rat.get(reg).tag, now));
+                if th.pre_issue_count > th.frontend.len() {
+                    // Dispatched-but-unissued elders exist: the earliest-
+                    // allowable shelf issue cannot be "now".
+                    th.practical.hold_issue_floor();
+                }
+            }
+        }
+        // Occupancy integrals (the paper's premise made measurable: the
+        // shelf shifts in-flight occupancy out of the OOO structures).
+        let mut occ = [0u64; 6];
+        for th in &self.threads {
+            occ[0] += th.rob.len() as u64;
+            occ[2] += th.lq.len() as u64;
+            occ[3] += th.sq.len() as u64;
+            occ[4] += th.shelf.len() as u64;
+        }
+        occ[1] = self.iq.len() as u64;
+        occ[5] = (self.phys_fl.capacity() - self.phys_fl.available()) as u64;
+        for (acc, v) in self.counters.occupancy.iter_mut().zip(occ) {
+            *acc += v;
+        }
+        self.now += 1;
+        self.counters.cycles += 1;
+    }
+
+    // ---------------------------------------------------------------- fetch
+
+    fn fetch_stage(&mut self) {
+        let n = self.threads.len();
+        let mut counts = Vec::with_capacity(n);
+        let mut eligible = Vec::with_capacity(n);
+        for t in &self.threads {
+            counts.push(t.pre_issue_count);
+            let room = t.frontend.len() + self.cfg.fetch_width <= self.cfg.frontend_per_thread();
+            let stalled = t.fetch_stalled_until > self.now;
+            let wrong_path_ok = t.waiting_branch.is_none() || self.cfg.wrong_path_fetch;
+            eligible.push(room && !stalled && wrong_path_ok);
+        }
+        let selected = match self.cfg.fetch_policy {
+            FetchPolicy::Icount => self.icount.select(&counts, &eligible),
+            FetchPolicy::RoundRobin => {
+                let pick = (1..=n)
+                    .map(|off| (self.fetch_rr + off) % n)
+                    .find(|&t| eligible[t]);
+                if let Some(t) = pick {
+                    self.fetch_rr = t;
+                }
+                pick
+            }
+        };
+        let Some(t) = selected else {
+            return;
+        };
+        if self.threads[t].waiting_branch.is_some() {
+            self.fetch_wrong_path(t);
+        } else {
+            self.fetch_trace(t);
+        }
+    }
+
+    fn fetch_trace(&mut self, t: usize) {
+        let mut fetched = 0;
+        while fetched < self.cfg.fetch_width {
+            let (seq, inst) = self.threads[t].trace.fetch();
+            if fetched == 0 {
+                // I-cache access for this fetch group.
+                match self.hierarchy.access_inst(inst.pc, self.now) {
+                    Ok(acc) => {
+                        let l1_lat = self.cfg.hierarchy.l1i.latency as u64;
+                        if acc.complete_cycle > self.now + l1_lat {
+                            // I-miss: stall fetch until the fill and replay
+                            // this instruction then.
+                            self.threads[t].fetch_stalled_until = acc.complete_cycle;
+                            self.threads[t].trace.rewind_to(seq);
+                            return;
+                        }
+                    }
+                    Err(_) => {
+                        // No MSHR: retry next cycle.
+                        self.threads[t].trace.rewind_to(seq);
+                        return;
+                    }
+                }
+            }
+            let mut slot = Slot::new(t, seq, inst, self.now);
+            let mut stop_group = false;
+            if inst.is_branch() {
+                let br = inst.branch.expect("branches carry branch info");
+                let pred = self.threads[t].bpred.predict(inst.pc, br.is_return);
+                self.counters.bpred_lookups += 1;
+                // The effective prediction: a taken direction without a
+                // known target cannot redirect fetch, so it acts not-taken.
+                let effective =
+                    shelfsim_uarch::Prediction { taken: pred.taken && pred.target.is_some(), ..pred };
+                slot.prediction = Some(effective);
+                // Mispredict: wrong direction, or taken with wrong/unknown
+                // target.
+                let dir_wrong = effective.taken != br.taken;
+                let tgt_wrong = br.taken && effective.target != Some(br.next_pc);
+                slot.mispredicted = dir_wrong || tgt_wrong;
+                stop_group = effective.taken || slot.mispredicted;
+            }
+            let mispred = slot.mispredicted;
+            let id = self.slab.insert(slot);
+            self.threads[t].frontend.push_back(id);
+            self.threads[t].pre_issue_count += 1;
+            self.counters.fetched += 1;
+            fetched += 1;
+            if mispred {
+                self.threads[t].waiting_branch = Some(id);
+            }
+            if stop_group {
+                break;
+            }
+        }
+    }
+
+    fn fetch_wrong_path(&mut self, t: usize) {
+        for _ in 0..self.cfg.fetch_width {
+            let inst = self.synth_wrong_path_inst(t);
+            let mut slot = Slot::new(t, u64::MAX, inst, self.now);
+            slot.wrong_path = true;
+            let id = self.slab.insert(slot);
+            self.threads[t].frontend.push_back(id);
+            self.threads[t].pre_issue_count += 1;
+            self.counters.fetched += 1;
+            self.counters.wrong_path_fetched += 1;
+        }
+    }
+
+    fn synth_wrong_path_inst(&mut self, t: usize) -> DynInst {
+        let rng = &mut self.threads[t].wrong_path_rng;
+        let roll: f64 = rng.gen();
+        let pc = 0x70_0000 + ((t as u64) << 36);
+        if roll < 0.25 {
+            let addr = 0x1000_0000 + ((t as u64) << 36) + (rng.gen_range(0u64..(1 << 20)) & !7);
+            DynInst::load(
+                ArchReg::int(rng.gen_range(8..24)),
+                ArchReg::int(rng.gen_range(0..8)),
+                MemInfo::new(addr, 8),
+            )
+            .at(pc)
+        } else {
+            let dest = ArchReg::int(rng.gen_range(8..24));
+            let s1 = ArchReg::int(rng.gen_range(0..24));
+            let s2 = ArchReg::int(rng.gen_range(0..24));
+            DynInst::alu(OpClass::IntAlu, dest, &[s1, s2]).at(pc)
+        }
+    }
+
+    // ------------------------------------------------------------- dispatch
+
+    fn dispatch_stage(&mut self) {
+        let n = self.threads.len();
+        let mut budget = self.cfg.dispatch_width;
+        let mut blocked = vec![false; n];
+        'outer: while budget > 0 {
+            // Round-robin over threads with a dispatchable head.
+            let mut progressed = false;
+            for (t, thread_blocked) in blocked.iter_mut().enumerate() {
+                if budget == 0 {
+                    break 'outer;
+                }
+                if *thread_blocked {
+                    continue;
+                }
+                let Some(&head) = self.threads[t].frontend.front() else {
+                    continue;
+                };
+                let ready_cycle =
+                    self.slab.get(head).fetch_cycle + self.cfg.fetch_to_dispatch as u64;
+                if ready_cycle > self.now {
+                    continue;
+                }
+                match self.try_dispatch(t, head) {
+                    DispatchOutcome::Dispatched => {
+                        self.threads[t].frontend.pop_front();
+                        budget -= 1;
+                        progressed = true;
+                    }
+                    DispatchOutcome::Stalled => {
+                        *thread_blocked = true;
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    fn try_dispatch(&mut self, t: usize, id: InstId) -> DispatchOutcome {
+        let inst = self.slab.get(id).inst;
+        let wrong_path = self.slab.get(id).wrong_path;
+
+        // Memory barriers serialize at dispatch (§III-D).
+        if inst.op == OpClass::MemBarrier
+            && !(self.threads[t].window.is_empty() && self.threads[t].store_buffer.is_empty())
+        {
+            self.counters.stalls.barrier += 1;
+            return DispatchOutcome::Stalled;
+        }
+
+        // ---- steering decision (decode-stage information only) ----
+        let (steer, plt_col) = self.decide_steer(t, &inst, wrong_path);
+
+        // ---- resource checks (no mutation before all pass) ----
+        let th = &self.threads[t];
+        match steer {
+            Steer::Iq => {
+                if self.iq.len() >= self.cfg.iq_entries {
+                    self.counters.stalls.iq_full += 1;
+                    return DispatchOutcome::Stalled;
+                }
+                if th.rob.is_full() {
+                    self.counters.stalls.rob_full += 1;
+                    return DispatchOutcome::Stalled;
+                }
+                if inst.is_load() && th.lq.is_full() {
+                    self.counters.stalls.lq_full += 1;
+                    return DispatchOutcome::Stalled;
+                }
+                if inst.is_store() && th.sq.is_full() {
+                    self.counters.stalls.sq_full += 1;
+                    return DispatchOutcome::Stalled;
+                }
+                if inst.dest.is_some() && self.phys_fl.is_empty() {
+                    self.counters.stalls.no_phys_reg += 1;
+                    return DispatchOutcome::Stalled;
+                }
+            }
+            Steer::Shelf => {
+                if th.shelf.len() >= th.shelf_capacity {
+                    self.counters.stalls.shelf_full += 1;
+                    return DispatchOutcome::Stalled;
+                }
+                // TSO: the store buffer may not coalesce, so shelf stores
+                // need real SQ entries (§III-D).
+                if self.cfg.memory_model == MemoryModel::Tso
+                    && inst.is_store()
+                    && th.sq.is_full()
+                {
+                    self.counters.stalls.sq_full += 1;
+                    return DispatchOutcome::Stalled;
+                }
+                if th.shelf_next_idx - th.shelf_retire_ptr
+                    >= th.shelf_index_space(self.cfg.narrow_shelf_index)
+                {
+                    self.counters.stalls.shelf_index_full += 1;
+                    return DispatchOutcome::Stalled;
+                }
+                if inst.dest.is_some() && self.ext_fl.is_empty() {
+                    self.counters.stalls.no_ext_tag += 1;
+                    return DispatchOutcome::Stalled;
+                }
+            }
+        }
+
+        // ---- rename ----
+        let age = self.next_age;
+        self.next_age += 1;
+        let th = &mut self.threads[t];
+        let mut src_tags = [None, None];
+        for (i, src) in inst.srcs.iter().enumerate() {
+            if let Some(r) = src {
+                src_tags[i] = Some(th.rat.get(*r).tag);
+                self.counters.rat_reads += 1;
+                self.counters.prf_reads += 1;
+            }
+        }
+        let (dest_pri, dest_tag, prev_mapping) = match (steer, inst.dest) {
+            (_, None) => (None, None, None),
+            (Steer::Iq, Some(d)) => {
+                let p = PhysReg(self.phys_fl.allocate().expect("checked above"));
+                self.counters.freelist_ops += 1;
+                let prev = th.rat.set(d, Mapping { pri: p, tag: p.as_tag() });
+                self.counters.rat_reads += 1;
+                self.counters.rat_writes += 1;
+                self.scoreboard.mark_pending(p.as_tag());
+                (Some(p), Some(p.as_tag()), Some(prev))
+            }
+            (Steer::Shelf, Some(d)) => {
+                let tag = Tag(self.ext_fl.allocate().expect("checked above"));
+                self.counters.ext_freelist_ops += 1;
+                let prev = th.rat.get(d);
+                th.rat.set(d, Mapping { pri: prev.pri, tag });
+                self.counters.rat_reads += 1;
+                self.counters.rat_writes += 1;
+                self.scoreboard.mark_pending(tag);
+                (Some(prev.pri), Some(tag), Some(prev))
+            }
+        };
+
+        // ---- structure allocation ----
+        let slot = self.slab.get_mut(id);
+        slot.age = age;
+        slot.steer = steer;
+        slot.stage = Stage::Dispatched;
+        slot.dispatch_cycle = self.now;
+        slot.src_tags = src_tags;
+        slot.dest_pri = dest_pri;
+        slot.dest_tag = dest_tag;
+        slot.prev_mapping = prev_mapping;
+        slot.plt_column = plt_col;
+
+        let th = &mut self.threads[t];
+        match steer {
+            Steer::Iq => {
+                let rob_idx = th.rob.push(id).expect("checked above");
+                th.issue_tracker.dispatch(rob_idx);
+                self.counters.rob_writes += 1;
+                let slot = self.slab.get_mut(id);
+                slot.rob_idx = Some(rob_idx);
+                slot.shelf_squash_idx = th.shelf_next_idx;
+                if inst.is_load() {
+                    let lq_idx = th.lq.push(id).expect("checked above");
+                    self.slab.get_mut(id).lq_idx = Some(lq_idx);
+                    self.counters.lq_writes += 1;
+                }
+                if inst.is_store() {
+                    let sq_idx = th.sq.push(id).expect("checked above");
+                    self.slab.get_mut(id).sq_idx = Some(sq_idx);
+                    self.counters.sq_writes += 1;
+                }
+                self.iq.push(id);
+                self.counters.iq_writes += 1;
+            }
+            Steer::Shelf => {
+                let shelf_idx = th.shelf_next_idx;
+                th.shelf_next_idx += 1;
+                th.shelf_retired.push_back(false);
+                th.shelf.push_back(id);
+                self.counters.shelf_writes += 1;
+                let first_of_run = th.last_steer != Some(Steer::Shelf);
+                let slot = self.slab.get_mut(id);
+                slot.shelf_idx = Some(shelf_idx);
+                slot.iq_barrier = th.issue_tracker.next_index();
+                slot.first_of_run = first_of_run;
+                slot.lq_tail_at_dispatch = th.lq.next_index();
+                slot.sq_tail_at_dispatch = th.sq.next_index();
+                if self.cfg.memory_model == MemoryModel::Tso && inst.is_store() {
+                    let sq_idx = th.sq.push(id).expect("checked above");
+                    self.slab.get_mut(id).sq_idx = Some(sq_idx);
+                    self.counters.sq_writes += 1;
+                }
+            }
+        }
+        let th = &mut self.threads[t];
+        th.last_steer = Some(steer);
+        th.window.push_back(id);
+
+        if inst.is_store() {
+            th.store_sets.store_dispatched(inst.pc, age);
+            th.inflight_stores.insert(age, id);
+        }
+
+        // Classification shadow (all dispatched instructions participate so
+        // tracker indices stay consecutive; wrong-path entries are squashed
+        // before any younger real instruction dispatches).
+        let cidx = th.classifier.dispatch();
+        self.slab.get_mut(id).classify_idx = cidx;
+
+        self.counters.dispatched += 1;
+        if steer == Steer::Shelf {
+            self.counters.dispatched_shelf += 1;
+        }
+        DispatchOutcome::Dispatched
+    }
+
+    fn decide_steer(&mut self, t: usize, inst: &DynInst, _wrong_path: bool) -> (Steer, Option<u8>) {
+        if self.cfg.shelf_entries == 0 {
+            return (Steer::Iq, None);
+        }
+        match self.cfg.steer {
+            SteerPolicy::AlwaysIq => (Steer::Iq, None),
+            SteerPolicy::AlwaysShelf => (Steer::Shelf, None),
+            SteerPolicy::Practical => {
+                let load_lat = self.peek_load_latency(inst);
+                let throttled = self.threads[t].head_blocked_streak > HEAD_THROTTLE_CYCLES;
+                let (scoreboard, now) = (&self.scoreboard, self.now);
+                let th = &mut self.threads[t];
+                let rat = &th.rat;
+                let (mut steer, col) = th.practical.decide(
+                    inst,
+                    |reg| !scoreboard.is_ready(rat.get(reg).tag, now),
+                    &mut self.counters,
+                );
+                // Adaptive throttle: a shelf head stuck on data for a long
+                // stretch means the predicted schedule has collapsed for
+                // this thread; stop feeding the shelf until it drains (the
+                // paper's sanctioned escape hatch for pathological phases).
+                if throttled {
+                    steer = Steer::Iq;
+                }
+                let shadow = th.shadow_oracle.decide(self.now, inst, load_lat);
+                th.steer_decisions += 1;
+                if shadow != steer {
+                    th.missteers += 1;
+                }
+                (steer, col)
+            }
+            SteerPolicy::Oracle => {
+                let load_lat = self.peek_load_latency(inst);
+                let throttled = self.threads[t].head_blocked_streak > HEAD_THROTTLE_CYCLES;
+                let th = &mut self.threads[t];
+                let mut steer = th.oracle.decide(self.now, inst, load_lat);
+                if throttled {
+                    steer = Steer::Iq;
+                }
+                th.steer_decisions += 1;
+                (steer, None)
+            }
+        }
+    }
+
+    fn peek_load_latency(&self, inst: &DynInst) -> u32 {
+        if let (true, Some(mem)) = (inst.is_load(), inst.mem) {
+            self.hierarchy.latency_of(self.hierarchy.peek_data(mem.addr))
+        } else {
+            2
+        }
+    }
+
+    // ---------------------------------------------------------------- issue
+
+    fn issue_stage(&mut self) {
+        // SSR run-copy pre-pass: when the first shelf instruction of a run
+        // becomes order-eligible at the shelf head, snapshot IQ SSR -> shelf
+        // SSR (§III-B). Uses the same head view as eligibility below.
+        for t in 0..self.threads.len() {
+            let head_view = self.tracker_head_view(t);
+            let th = &mut self.threads[t];
+            if let Some(&head_id) = th.shelf.front() {
+                let slot = self.slab.get_mut(head_id);
+                if slot.first_of_run && !slot.ssr_copied && head_view >= slot.iq_barrier {
+                    slot.ssr_copied = true;
+                    th.ssr.copy_to_shelf();
+                }
+            }
+        }
+
+        // Diagnostic: classify why each blocked shelf head is waiting; also
+        // maintain the head-blocked streak that drives the adaptive shelf
+        // throttle (the paper's "disable by steering to the IQ" escape).
+        for t in 0..self.threads.len() {
+            if self.threads[t].shelf.front().copied() != self.threads[t].head_blocked_id {
+                self.threads[t].head_blocked_id = self.threads[t].shelf.front().copied();
+                self.threads[t].head_blocked_streak = 0;
+            }
+            if let Some(&id) = self.threads[t].shelf.front() {
+                let slot = self.slab.get(id);
+                if self.tracker_head_view(t) < slot.iq_barrier {
+                    self.counters.shelf_head_stalls[0] += 1;
+                } else if !self.threads[t].ssr.shelf_allows(min_writeback_latency(slot.inst.op)) {
+                    self.counters.shelf_head_stalls[1] += 1;
+                } else if slot
+                    .src_tags
+                    .iter()
+                    .flatten()
+                    .any(|tag| !self.scoreboard.is_ready(*tag, self.now))
+                {
+                    self.counters.shelf_head_stalls[2] += 1;
+                    self.threads[t].head_blocked_streak += 1;
+                } else if slot
+                    .prev_mapping
+                    .is_some_and(|p| !self.scoreboard.is_ready(p.tag, self.now))
+                {
+                    // WAW on the shared destination register.
+                    self.counters.shelf_head_stalls[3] += 1;
+                } else if slot.inst.is_load() && !self.store_set_clear(slot) {
+                    self.counters.shelf_head_stalls[4] += 1;
+                } else if !self.fu_available(slot.inst.op.fu_kind())
+                    || (slot.inst.is_store()
+                        && self.threads[t].store_buffer.len() >= self.cfg.store_buffer_entries)
+                {
+                    // Structural (shares the WAW bucket's neighbour slot).
+                    self.counters.shelf_head_stalls[4] += 1;
+                }
+            }
+        }
+
+        let mut budget = self.cfg.issue_width;
+        while budget > 0 {
+            // Oldest-first selection across the IQ and all shelf heads.
+            let mut best: Option<(u64, InstId, Steer)> = None;
+            for &id in &self.iq {
+                let slot = self.slab.get(id);
+                if slot.stage == Stage::Dispatched
+                    && self.iq_entry_ready(slot)
+                    && best.is_none_or(|(a, _, _)| slot.age < a)
+                {
+                    best = Some((slot.age, id, Steer::Iq));
+                }
+            }
+            for t in 0..self.threads.len() {
+                if let Some(&id) = self.threads[t].shelf.front() {
+                    let slot = self.slab.get(id);
+                    if self.shelf_head_ready(t, slot)
+                        && best.is_none_or(|(a, _, _)| slot.age < a)
+                    {
+                        best = Some((slot.age, id, Steer::Shelf));
+                    }
+                }
+            }
+            let Some((_, id, steer)) = best else { break };
+            if self.do_issue(id, steer) {
+                budget -= 1;
+            } else {
+                // The oldest candidate could not issue (MSHR full); stop
+                // rather than bypass memory ordering within the cycle.
+                break;
+            }
+        }
+    }
+
+    /// The issue-tracking head visible to shelf eligibility this cycle:
+    /// live (optimistic, same-cycle bypass) or the start-of-cycle snapshot
+    /// (conservative; §III-A critical-path discussion).
+    fn tracker_head_view(&self, t: usize) -> u64 {
+        if self.cfg.same_cycle_shelf_issue {
+            self.threads[t].issue_tracker.head()
+        } else {
+            self.threads[t].tracker_head_snapshot
+        }
+    }
+
+    /// Source readiness including the optional cross-cluster forwarding
+    /// penalty (§VI): a value produced in the other queue's cluster arrives
+    /// `cluster_forward_penalty` cycles later.
+    fn src_ready(&self, tag: Tag, consumer: Steer, now: u64) -> bool {
+        let base = self.scoreboard.ready_at(tag);
+        if base == Scoreboard::PENDING {
+            return false;
+        }
+        let penalty = if self.cfg.cluster_forward_penalty > 0
+            && self.tag_cluster[tag.index()] != consumer
+        {
+            self.cfg.cluster_forward_penalty as u64
+        } else {
+            0
+        };
+        base + penalty <= now
+    }
+
+    fn iq_entry_ready(&self, slot: &Slot) -> bool {
+        for tag in slot.src_tags.iter().flatten() {
+            if !self.src_ready(*tag, Steer::Iq, self.now) {
+                return false;
+            }
+        }
+        if !self.fu_available(slot.inst.op.fu_kind()) {
+            return false;
+        }
+        if slot.inst.is_load() && !self.store_set_clear(slot) {
+            return false;
+        }
+        true
+    }
+
+    fn shelf_head_ready(&self, t: usize, slot: &Slot) -> bool {
+        let th = &self.threads[t];
+        // (1) In-order issue across queues: all elder IQ instructions of the
+        // run must have issued (§III-A).
+        if self.tracker_head_view(t) < slot.iq_barrier {
+            return false;
+        }
+        // (2) Speculation: writeback must land past the shelf SSR (§III-B).
+        if !th.ssr.shelf_allows(min_writeback_latency(slot.inst.op)) {
+            return false;
+        }
+        // TSO (§III-D): loads are speculative until all elder loads have
+        // completed, and so is every shelf instruction behind them — hold
+        // the head while any elder load is in flight.
+        if self.cfg.memory_model == MemoryModel::Tso {
+            if let Some(&oldest) = th.inflight_loads.first() {
+                if oldest < slot.age {
+                    return false;
+                }
+            }
+        }
+        // (3) Data hazards via the scoreboard: RAW on sources, WAW on the
+        // previous writer of the shared destination register (§III-C).
+        for tag in slot.src_tags.iter().flatten() {
+            if !self.src_ready(*tag, Steer::Shelf, self.now) {
+                return false;
+            }
+        }
+        if let Some(prev) = slot.prev_mapping {
+            if !self.scoreboard.is_ready(prev.tag, self.now) {
+                return false;
+            }
+        }
+        // (4) Structural.
+        if !self.fu_available(slot.inst.op.fu_kind()) {
+            return false;
+        }
+        if slot.inst.is_load() && !self.store_set_clear(slot) {
+            return false;
+        }
+        // Shelf stores write straight into the store buffer at writeback.
+        if slot.inst.is_store()
+            && th.store_buffer.len() >= self.cfg.store_buffer_entries
+        {
+            return false;
+        }
+        true
+    }
+
+    fn store_set_clear(&self, slot: &Slot) -> bool {
+        let th = &self.threads[slot.thread];
+        let Some(set) = th.store_sets.set_of(slot.inst.pc) else {
+            return true;
+        };
+        if th.store_sets.load_dependence(slot.inst.pc).is_none() {
+            return true;
+        }
+        // The load belongs to a set with in-flight stores: wait until every
+        // *older* store of the set has executed. (The LFST names only the
+        // youngest store; hardware orders same-set stores in a chain, which
+        // implies this condition.)
+        for (&age, &sid) in &th.inflight_stores {
+            if age < slot.age {
+                let s = self.slab.get(sid);
+                if !s.mem_executed
+                    && !s.squashed
+                    && th.store_sets.set_of(s.inst.pc) == Some(set)
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn fu_available(&self, kind: FuKind) -> bool {
+        self.fu_busy[kind.index()].iter().any(|&b| b <= self.now)
+    }
+
+    fn fu_allocate(&mut self, kind: FuKind, busy_until: u64) {
+        let unit = self.fu_busy[kind.index()]
+            .iter_mut()
+            .find(|b| **b <= self.now)
+            .expect("availability checked");
+        *unit = busy_until;
+        self.counters.fu_ops[kind.index()] += 1;
+    }
+
+    /// Issues `id`; returns false if the issue had to be aborted (MSHR
+    /// full) with no state modified.
+    fn do_issue(&mut self, id: InstId, steer: Steer) -> bool {
+        let (t, inst, age) = {
+            let s = self.slab.get(id);
+            (s.thread, s.inst, s.age)
+        };
+
+        // Memory timing is resolved first because it can fail (MSHR full).
+        let mem_outcome = if inst.is_load() {
+            match self.load_data_ready_cycle(id, &inst) {
+                Some(o) => Some(o),
+                None => {
+                    self.counters.mshr_stalls += 1;
+                    return false;
+                }
+            }
+        } else {
+            None
+        };
+
+        // ---- commit to issuing ----
+        let now = self.now;
+        let op = inst.op;
+        let fu_busy_until = if op.pipelined() { now + 1 } else { now + op.latency() as u64 };
+        self.fu_allocate(op.fu_kind(), fu_busy_until);
+
+        let complete = match (op, &mem_outcome) {
+            (OpClass::Load, Some((ready, _, _))) => *ready,
+            (OpClass::Store, _) => now + 1,
+            _ => now + op.latency() as u64,
+        };
+
+        {
+            let slot = self.slab.get_mut(id);
+            slot.stage = Stage::Issued;
+            slot.issue_cycle = now;
+            slot.complete_cycle = complete;
+            if let Some((_, level, forwarded)) = mem_outcome {
+                slot.mem_level = level;
+                slot.forwarded_from = forwarded;
+            }
+            // Loads are visible to violation scans from issue; stores'
+            // addresses become visible at writeback (store_executed).
+            if inst.is_load() {
+                slot.mem_executed = true;
+            }
+        }
+
+        // Wakeup: consumers may issue at `complete` (non-speculative load
+        // wakeup — completion is known at issue in this model, which is
+        // timing-equivalent to waking on data return).
+        if let Some(tag) = self.slab.get(id).dest_tag {
+            self.scoreboard.set_ready_at(tag, complete);
+            self.tag_cluster[tag.index()] = steer;
+            self.counters.iq_wakeup_cam += self.iq.len() as u64;
+            self.counters.prf_writes += 1;
+        }
+
+        // Oracle schedule corrections from the actual schedule (§IV-A).
+        match self.cfg.steer {
+            SteerPolicy::Oracle => {
+                self.threads[t].oracle.observe_issue(now);
+                if let Some(dest) = inst.dest {
+                    self.threads[t].oracle.correct(dest, complete);
+                }
+            }
+            SteerPolicy::Practical => {
+                self.threads[t].shadow_oracle.observe_issue(now);
+                if let Some(dest) = inst.dest {
+                    self.threads[t].shadow_oracle.correct(dest, complete);
+                }
+            }
+            _ => {}
+        }
+
+        // Classification (real instructions only).
+        if !self.slab.get(id).wrong_path {
+            let cidx = self.slab.get(id).classify_idx;
+            let in_seq = self.threads[t].classifier.issue(
+                cidx,
+                now,
+                min_writeback_latency(op),
+                op.resolution_delay(),
+            );
+            self.slab.get_mut(id).in_sequence = in_seq;
+        } else {
+            // Wrong-path instructions advance the shadow tracker too.
+            let cidx = self.slab.get(id).classify_idx;
+            let _ = self.threads[t].classifier.issue(
+                cidx,
+                now,
+                min_writeback_latency(op),
+                op.resolution_delay(),
+            );
+        }
+
+        match steer {
+            Steer::Iq => {
+                let rob_idx = self.slab.get(id).rob_idx.expect("IQ inst has ROB entry");
+                self.threads[t].issue_tracker.issue(rob_idx);
+                self.threads[t].ssr.record_iq_issue(op.resolution_delay());
+                let pos = self.iq.iter().position(|&x| x == id).expect("in IQ");
+                self.iq.swap_remove(pos);
+                self.counters.iq_issues += 1;
+            }
+            Steer::Shelf => {
+                let popped = self.threads[t].shelf.pop_front();
+                debug_assert_eq!(popped, Some(id));
+                self.counters.shelf_reads += 1;
+                if inst.is_load() {
+                    self.threads[t].recent_shelf_loads.push_back((id, age));
+                    if self.threads[t].recent_shelf_loads.len() > 32 {
+                        self.threads[t].recent_shelf_loads.pop_front();
+                    }
+                }
+            }
+        }
+
+        self.counters.issued += 1;
+        if steer == Steer::Shelf {
+            self.counters.issued_shelf += 1;
+        }
+        if inst.is_load() {
+            self.threads[t].inflight_loads.insert(age);
+        }
+        self.threads[t].pre_issue_count -= 1;
+        self.events.push(Event { cycle: complete, age, id });
+        true
+    }
+
+    /// Resolves a load's data-ready cycle: store forwarding, younger-load
+    /// value capture (shelf loads, §III-D), or a cache access. Returns
+    /// `None` if the cache access could not allocate an MSHR.
+    fn load_data_ready_cycle(
+        &mut self,
+        id: InstId,
+        inst: &DynInst,
+    ) -> Option<(u64, Option<Level>, Option<u64>)> {
+        let (t, age, steer, lq_tail) = {
+            let s = self.slab.get(id);
+            (s.thread, s.age, s.steer, s.lq_tail_at_dispatch)
+        };
+        let mem = inst.mem.expect("loads access memory");
+        let mut searches = 0u64;
+        let th = &self.threads[t];
+
+        // Youngest older store with a known overlapping address.
+        let mut best_store: Option<u64> = None;
+        for (_, &sid) in th.sq.iter() {
+            let s = self.slab.get(sid);
+            searches += 1;
+            if s.age < age && s.mem_executed {
+                if let Some(smem) = s.inst.mem {
+                    if smem.overlaps(&mem) && best_store.is_none_or(|a| s.age > a) {
+                        best_store = Some(s.age);
+                    }
+                }
+            }
+        }
+
+        let mut best_young_load: Option<u64> = None;
+        if steer == Steer::Shelf {
+            // Shelf loads also scan younger IQ loads that issued early and
+            // must take the youngest matching value (§III-D).
+            for (lq_idx, &lid) in th.lq.iter() {
+                if lq_idx < lq_tail {
+                    continue;
+                }
+                searches += 1;
+                let l = self.slab.get(lid);
+                if l.age > age && l.mem_executed && !l.squashed {
+                    if let Some(lmem) = l.inst.mem {
+                        if lmem.overlaps(&mem) {
+                            best_young_load =
+                                Some(best_young_load.map_or(l.age, |a: u64| a.max(l.age)));
+                        }
+                    }
+                }
+            }
+        }
+        self.counters.lsq_searches += searches;
+
+        if let Some(young) = best_young_load {
+            // Value captured from the younger load: no cache access.
+            return Some((self.now + 2, None, Some(young)));
+        }
+        if let Some(sage) = best_store {
+            // Store-to-load forwarding.
+            return Some((self.now + 2, None, Some(sage)));
+        }
+        match self.hierarchy.access_data_pc(inst.pc, mem.addr, false, self.now) {
+            Ok(acc) => Some((acc.complete_cycle, Some(acc.level), None)),
+            Err(_) => None,
+        }
+    }
+
+    // ------------------------------------------------------------ writeback
+
+    fn process_events(&mut self) {
+        while let Some(ev) = self.events.peek() {
+            if ev.cycle > self.now {
+                break;
+            }
+            let Event { id, age, .. } = self.events.pop().expect("peeked");
+            // The slot may be long gone (squashed and cleaned) — or the id
+            // recycled. Verify identity via age.
+            if !self.slab.contains(id) || self.slab.get(id).age != age {
+                continue;
+            }
+            self.writeback(id);
+        }
+    }
+
+    fn writeback(&mut self, id: InstId) {
+        let (t, inst, steer, squashed, wrong_path) = {
+            let s = self.slab.get(id);
+            (s.thread, s.inst, s.steer, s.squashed, s.wrong_path)
+        };
+        {
+            let slot = self.slab.get_mut(id);
+            if slot.stage == Stage::Issued {
+                slot.stage = Stage::Completed;
+            }
+        }
+
+        if inst.is_load() {
+            let age = self.slab.get(id).age;
+            self.threads[t].inflight_loads.remove(&age);
+        }
+        if squashed {
+            // A squashed in-flight instruction is filtered at writeback
+            // (§III-B): no architectural effects; a shelf instruction's
+            // reserved index is finally released.
+            if steer == Steer::Shelf {
+                if let Some(idx) = self.slab.get(id).shelf_idx {
+                    self.threads[t].mark_shelf_retired(idx);
+                }
+            }
+            if inst.is_store() {
+                let age = self.slab.get(id).age;
+                self.threads[t].inflight_stores.remove(&age);
+            }
+            // A sampled load's PLT column must not leak with the squash.
+            if let Some(col) = self.slab.get_mut(id).plt_column.take() {
+                self.threads[t].practical.load_completed(col);
+            }
+            self.slab.remove(id);
+            return;
+        }
+
+        // Stores: address now visible — run ordering checks & release
+        // store-set dependents.
+        if inst.is_store() {
+            self.store_executed(id);
+        }
+
+        // Loads: steering-table corrections. Clear the column handle so a
+        // later squash walk cannot free a since-reallocated column.
+        if inst.is_load() {
+            if let Some(col) = self.slab.get_mut(id).plt_column.take() {
+                self.threads[t].practical.load_completed(col);
+            }
+        }
+        // Branches resolve at writeback.
+        if inst.is_branch() && !wrong_path {
+            self.resolve_branch(id);
+            if !self.slab.contains(id) {
+                return; // squash removed it (cannot happen for the branch itself)
+            }
+        }
+
+        // Shelf instructions retire at writeback (§III-B): free the
+        // superseded tag and release the shelf index.
+        if steer == Steer::Shelf {
+            let slot = self.slab.get(id);
+            let idx = slot.shelf_idx.expect("shelf inst has index");
+            if let Some(prev) = slot.prev_mapping {
+                if prev.tag.0 != prev.pri.0 {
+                    self.ext_fl.free(prev.tag.0);
+                    self.counters.ext_freelist_ops += 1;
+                }
+            }
+            // Shelf stores write through the store buffer at their commit
+            // point (they are non-speculative by SSR construction).
+            if inst.is_store() {
+                let addr = inst.mem.expect("stores access memory").addr;
+                self.threads[t].store_buffer.push_back((addr, self.now));
+            }
+            self.threads[t].mark_shelf_retired(idx);
+        }
+    }
+
+    fn store_executed(&mut self, id: InstId) {
+        let (t, age, pc, mem) = {
+            let s = self.slab.get(id);
+            (s.thread, s.age, s.inst.pc, s.inst.mem.expect("store"))
+        };
+        self.slab.get_mut(id).mem_executed = true;
+        self.threads[t].store_sets.store_resolved(pc, age);
+        self.threads[t].inflight_stores.remove(&age);
+
+        // Memory-order violation scan: younger loads that already executed
+        // with an overlapping address and did not receive their value from
+        // this store or a younger one must be squashed (§III-D).
+        let mut victim: Option<(InstId, u64)> = None;
+        let th = &self.threads[t];
+        let consider = |lid: InstId, slab: &Slab, counters: &mut Counters| {
+            counters.lsq_searches += 1;
+            let l = slab.get(lid);
+            if l.squashed || !l.mem_executed || l.age <= age {
+                return None;
+            }
+            let lmem = l.inst.mem?;
+            if !lmem.overlaps(&mem) {
+                return None;
+            }
+            match l.forwarded_from {
+                Some(f) if f >= age => None,
+                _ => Some((lid, l.age)),
+            }
+        };
+        for (_, &lid) in th.lq.iter() {
+            if let Some(v) = consider(lid, &self.slab, &mut self.counters) {
+                if victim.is_none_or(|(_, va)| v.1 < va) {
+                    victim = Some(v);
+                }
+            }
+        }
+        let recent: Vec<InstId> = th
+            .recent_shelf_loads
+            .iter()
+            .filter(|&&(lid, lage)| self.slab.contains(lid) && self.slab.get(lid).age == lage)
+            .map(|&(lid, _)| lid)
+            .collect();
+        for lid in recent {
+            if let Some(v) = consider(lid, &self.slab, &mut self.counters) {
+                if victim.is_none_or(|(_, va)| v.1 < va) {
+                    victim = Some(v);
+                }
+            }
+        }
+
+        if let Some((lid, _)) = victim {
+            let load_pc = self.slab.get(lid).inst.pc;
+            self.threads[t].store_sets.train_violation(pc, load_pc);
+            self.counters.memory_violations += 1;
+            self.squash_thread(t, lid, true);
+        }
+    }
+
+    fn resolve_branch(&mut self, id: InstId) {
+        let (t, inst, pred, mispred) = {
+            let s = self.slab.get(id);
+            (s.thread, s.inst, s.prediction.expect("branches are predicted"), s.mispredicted)
+        };
+        let br = inst.branch.expect("branch info");
+        let fallthrough = inst.pc + 4;
+        self.threads[t].bpred.update(
+            inst.pc,
+            pred,
+            br.taken,
+            br.next_pc,
+            br.is_call,
+            br.is_return,
+            fallthrough,
+        );
+        if mispred {
+            self.counters.branch_mispredicts += 1;
+            // Squash everything younger than the branch, release the fetch
+            // stall, and redirect (the fetch-to-dispatch pipe provides the
+            // refill penalty).
+            self.squash_younger_than(t, id);
+            if self.threads[t].waiting_branch == Some(id) {
+                self.threads[t].waiting_branch = None;
+            }
+        }
+    }
+
+    // --------------------------------------------------------------- squash
+
+    /// Squashes `first_squashed` and everything younger in thread `t`.
+    /// `rewind_trace` re-plays the stream from the squash point (memory
+    /// violations re-execute the load; branch wrong-path squashes do not
+    /// rewind because correct-path instructions were never over-fetched).
+    fn squash_thread(&mut self, t: usize, first_squashed: InstId, rewind_trace: bool) {
+        let pos = self.threads[t]
+            .window
+            .iter()
+            .position(|&x| x == first_squashed)
+            .expect("squash point must be in the window");
+        self.squash_window_from(t, pos, rewind_trace);
+    }
+
+    /// Squashes everything strictly younger than `elder` in thread `t`.
+    fn squash_younger_than(&mut self, t: usize, elder: InstId) {
+        let pos = self.threads[t].window.iter().position(|&x| x == elder);
+        match pos {
+            Some(p) => self.squash_window_from(t, p + 1, false),
+            None => {
+                // The elder already left the window (committed): squash the
+                // whole remaining window.
+                self.squash_window_from(t, 0, false)
+            }
+        }
+    }
+
+    fn squash_window_from(&mut self, t: usize, pos: usize, rewind_trace: bool) {
+        // Collect ids youngest-first for RAT walk-back.
+        let victims: Vec<InstId> = self.threads[t].window.iter().skip(pos).copied().collect();
+        if victims.is_empty() && self.threads[t].frontend.is_empty() {
+            return;
+        }
+        let mut rewind_seq: Option<u64> = None;
+        let mut min_rob: Option<u64> = None;
+        let mut min_lq: Option<u64> = None;
+        let mut min_sq: Option<u64> = None;
+        let mut min_classify: Option<u64> = None;
+
+        for &id in victims.iter().rev() {
+            let slot = self.slab.get(id);
+            // Completed shelf instructions are committed: a correct SSR
+            // never lets a squash reach one (counted as a self-check).
+            if slot.steer == Steer::Shelf && slot.stage == Stage::Completed && !slot.squashed {
+                self.threads[t].late_shelf_commits += 1;
+                continue;
+            }
+            let age = slot.age;
+            let seq = slot.seq;
+            let wrong_path = slot.wrong_path;
+            let steer = slot.steer;
+            let stage = slot.stage;
+            let inst = slot.inst;
+            let dest_pri = slot.dest_pri;
+            let dest_tag = slot.dest_tag;
+            let prev = slot.prev_mapping;
+            let rob_idx = slot.rob_idx;
+            let lq_idx = slot.lq_idx;
+            let sq_idx = slot.sq_idx;
+            let shelf_idx = slot.shelf_idx;
+            let classify_idx = slot.classify_idx;
+
+            if !wrong_path {
+                rewind_seq = Some(seq);
+            }
+            if stage == Stage::Dispatched || stage == Stage::Issued || stage == Stage::Completed {
+                min_classify = Some(classify_idx);
+            }
+
+            // Restore the RAT and free this instruction's allocations.
+            if let (Some(dest), Some(p)) = (inst.dest, prev) {
+                self.threads[t].rat.set(dest, p);
+                self.counters.rat_writes += 1;
+                match steer {
+                    Steer::Iq => {
+                        self.phys_fl.free(dest_pri.expect("IQ dest has PRI").0);
+                        self.counters.freelist_ops += 1;
+                    }
+                    Steer::Shelf => {
+                        self.ext_fl.free(dest_tag.expect("shelf dest has tag").0);
+                        self.counters.ext_freelist_ops += 1;
+                    }
+                }
+            }
+
+            if let Some(r) = rob_idx {
+                min_rob = Some(min_rob.map_or(r, |m: u64| m.min(r)));
+            }
+            if let Some(l) = lq_idx {
+                min_lq = Some(min_lq.map_or(l, |m: u64| m.min(l)));
+            }
+            if let Some(s) = sq_idx {
+                min_sq = Some(min_sq.map_or(s, |m: u64| m.min(s)));
+            }
+
+            if inst.is_store() {
+                self.threads[t].store_sets.store_resolved(inst.pc, age);
+                self.threads[t].inflight_stores.remove(&age);
+            }
+            if self.threads[t].waiting_branch == Some(id) {
+                self.threads[t].waiting_branch = None;
+            }
+            // Squashed sampled loads release their PLT column here if they
+            // never issued (issued ones release at their filtering event;
+            // completed ones already released at writeback — their handle
+            // is cleared, so the take() below is a no-op for them).
+            if stage == Stage::Dispatched || stage == Stage::Completed {
+                if let Some(col) = self.slab.get_mut(id).plt_column.take() {
+                    self.threads[t].practical.load_completed(col);
+                }
+            }
+
+            match stage {
+                Stage::Dispatched => {
+                    // Not yet issued: fully removable now.
+                    self.threads[t].pre_issue_count -= 1;
+                    match steer {
+                        Steer::Iq => {
+                            let p = self.iq.iter().position(|&x| x == id).expect("in IQ");
+                            self.iq.swap_remove(p);
+                        }
+                        Steer::Shelf => {
+                            // Remove from the shelf FIFO (it must be at the
+                            // tail side) and release its index immediately.
+                            let back = self.threads[t].shelf.pop_back();
+                            debug_assert_eq!(back, Some(id));
+                            let idx = shelf_idx.expect("shelf inst has idx");
+                            self.threads[t].mark_shelf_retired(idx);
+                        }
+                    }
+                    self.counters.squashed += 1;
+                    self.slab.remove(id);
+                }
+                Stage::Issued => {
+                    // In flight: filtered at writeback. The squash kill
+                    // signal reaches the writeback arbiter within a pipe
+                    // drain, so the filtering (and the release of a shelf
+                    // index reservation) need not wait for a cache miss to
+                    // return — schedule an early filtering event; whichever
+                    // event fires first wins (the guard in process_events
+                    // ignores the later one).
+                    self.slab.get_mut(id).squashed = true;
+                    self.counters.squashed += 1;
+                    self.events.push(Event { cycle: self.now + 4, age, id });
+                }
+                Stage::Completed => {
+                    // Completed IQ instruction waiting to retire.
+                    debug_assert_eq!(steer, Steer::Iq);
+                    self.counters.squashed += 1;
+                    self.slab.remove(id);
+                }
+                Stage::Frontend | Stage::Retired => unreachable!("not in window"),
+            }
+        }
+        self.threads[t].window.truncate(pos);
+
+        // Structure tail rollbacks.
+        if let Some(r) = min_rob {
+            self.threads[t].rob.truncate_from(r);
+            self.threads[t].issue_tracker.squash_from(r);
+        }
+        if let Some(l) = min_lq {
+            self.threads[t].lq.truncate_from(l);
+        }
+        if let Some(s) = min_sq {
+            self.threads[t].sq.truncate_from(s);
+        }
+        if let Some(c) = min_classify {
+            self.threads[t].classifier.squash_from(c);
+        }
+        self.threads[t].last_steer = match self.threads[t].window.back() {
+            Some(&id) => Some(self.slab.get(id).steer),
+            None => None,
+        };
+
+        // Flush the front end (everything there is younger than the squash
+        // point).
+        let frontend: Vec<InstId> = self.threads[t].frontend.drain(..).collect();
+        for id in frontend {
+            let slot = self.slab.get(id);
+            if !slot.wrong_path {
+                rewind_seq = Some(rewind_seq.map_or(slot.seq, |r: u64| r.min(slot.seq)));
+            }
+            if self.threads[t].waiting_branch == Some(id) {
+                self.threads[t].waiting_branch = None;
+            }
+            self.threads[t].pre_issue_count -= 1;
+            self.slab.remove(id);
+        }
+
+        if rewind_trace {
+            if let Some(seq) = rewind_seq {
+                self.threads[t].trace.rewind_to(seq);
+            }
+        } else if let Some(seq) = rewind_seq {
+            // Branch squash: any real front-end instructions flushed above
+            // must be re-fetched.
+            self.threads[t].trace.rewind_to(seq);
+        }
+        self.threads[t].fetch_stalled_until = self.threads[t].fetch_stalled_until.max(self.now + 2);
+    }
+
+    // --------------------------------------------------------------- commit
+
+    fn commit_stage(&mut self) {
+        let mut budget = self.cfg.commit_width;
+        let n = self.threads.len();
+        // Rotate the starting thread so no context monopolizes commit
+        // bandwidth.
+        let start = (self.now as usize) % n;
+        for off in 0..n {
+            let t = (start + off) % n;
+            // TSO: shelf stores hold SQ entries until writeback; release
+            // contiguously completed ones at the head.
+            if self.cfg.memory_model == MemoryModel::Tso {
+                while let Some(&sq_head) = self.threads[t].sq.front() {
+                    let slot = self.slab.get(sq_head);
+                    if slot.steer == Steer::Shelf
+                        && slot.stage == Stage::Completed
+                        && !slot.squashed
+                    {
+                        self.threads[t].sq.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            while budget > 0 {
+                let Some(&head) = self.threads[t].window.front() else { break };
+                let slot = self.slab.get(head);
+                match slot.steer {
+                    Steer::Shelf => {
+                        if slot.stage != Stage::Completed || slot.squashed {
+                            break;
+                        }
+                        // TSO shelf stores leave the window only after their
+                        // SQ entry has been released.
+                        if let Some(sq_idx) = slot.sq_idx {
+                            if self.threads[t].sq.get(sq_idx).is_some() {
+                                break;
+                            }
+                        }
+                        let in_seq = slot.in_sequence;
+                        let wrong_path = slot.wrong_path;
+                        if !wrong_path {
+                            self.record_commit(head);
+                        }
+                        self.threads[t].window.pop_front();
+                        self.slab.remove(head);
+                        if !wrong_path {
+                            self.threads[t].committed += 1;
+                            self.threads[t].classifier.commit(in_seq);
+                            self.counters.committed += 1;
+                        }
+                        budget -= 1;
+                    }
+                    Steer::Iq => {
+                        if slot.stage != Stage::Completed {
+                            self.counters.commit_stalls[0] += 1;
+                            break;
+                        }
+                        debug_assert!(!slot.squashed, "squashed completed IQ inst left in window");
+                        // ROB-head check.
+                        let rob_idx = slot.rob_idx.expect("IQ inst has ROB idx");
+                        debug_assert_eq!(self.threads[t].rob.head_index(), Some(rob_idx));
+                        // Coordinate with shelf retirement (§III-B): elder
+                        // shelf instructions must have written back.
+                        if self.threads[t].shelf_retire_ptr < slot.shelf_squash_idx {
+                            self.counters.commit_stalls[1] += 1;
+                            break;
+                        }
+                        // Stores move to the store buffer; stall if full.
+                        if slot.inst.is_store()
+                            && self.threads[t].store_buffer.len()
+                                >= self.cfg.store_buffer_entries
+                        {
+                            self.counters.commit_stalls[2] += 1;
+                            break;
+                        }
+                        let inst = slot.inst;
+                        let in_seq = slot.in_sequence;
+                        let wrong_path = slot.wrong_path;
+                        let prev = slot.prev_mapping;
+
+                        self.threads[t].rob.pop_front();
+                        self.counters.rob_reads += 1;
+                        if inst.is_load() {
+                            self.threads[t].lq.pop_front();
+                        }
+                        if inst.is_store() {
+                            self.threads[t].sq.pop_front();
+                            let addr = inst.mem.expect("store").addr;
+                            self.threads[t].store_buffer.push_back((addr, self.now));
+                        }
+                        if let Some(p) = prev {
+                            self.phys_fl.free(p.pri.0);
+                            self.counters.freelist_ops += 1;
+                            if p.tag.0 != p.pri.0 {
+                                self.ext_fl.free(p.tag.0);
+                                self.counters.ext_freelist_ops += 1;
+                            }
+                        }
+                        if !wrong_path {
+                            self.record_commit(head);
+                        }
+                        self.threads[t].window.pop_front();
+                        self.slab.remove(head);
+                        if !wrong_path {
+                            self.threads[t].committed += 1;
+                            self.threads[t].classifier.commit(in_seq);
+                            self.counters.committed += 1;
+                        }
+                        budget -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn drain_store_buffers(&mut self) {
+        for t in 0..self.threads.len() {
+            if let Some(&(addr, ready)) = self.threads[t].store_buffer.front() {
+                if ready <= self.now
+                    && self.hierarchy.access_data(addr, true, self.now).is_ok()
+                {
+                    self.threads[t].store_buffer.pop_front();
+                }
+            }
+        }
+    }
+}
+
+enum DispatchOutcome {
+    Dispatched,
+    Stalled,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_heap_orders_by_cycle_then_age() {
+        let mut heap = BinaryHeap::new();
+        heap.push(Event { cycle: 10, age: 5, id: 0 });
+        heap.push(Event { cycle: 9, age: 9, id: 1 });
+        heap.push(Event { cycle: 10, age: 2, id: 2 });
+        // Earliest cycle first; within a cycle, the elder (smaller age)
+        // first — a misspeculation squash must run before younger same-cycle
+        // shelf writebacks.
+        assert_eq!(heap.pop().map(|e| e.id), Some(1));
+        assert_eq!(heap.pop().map(|e| e.id), Some(2));
+        assert_eq!(heap.pop().map(|e| e.id), Some(0));
+    }
+
+    #[test]
+    fn min_writeback_latency_is_l1_floor_for_loads() {
+        assert_eq!(min_writeback_latency(OpClass::Load), 2);
+        assert_eq!(min_writeback_latency(OpClass::IntAlu), 1);
+        assert_eq!(min_writeback_latency(OpClass::IntDiv), 12);
+    }
+
+    #[test]
+    fn thread_shelf_retire_machinery() {
+        // Build a minimal thread via a real core to exercise the retire
+        // bitvector: allocate three indices, retire out of order.
+        let mut retired = std::collections::VecDeque::from([false, false, false]);
+        let mut ptr = 0u64;
+        let mark = |idx: u64, retired: &mut std::collections::VecDeque<bool>, ptr: &mut u64| {
+            retired[(idx - *ptr) as usize] = true;
+            while retired.front() == Some(&true) {
+                retired.pop_front();
+                *ptr += 1;
+            }
+        };
+        mark(1, &mut retired, &mut ptr);
+        assert_eq!(ptr, 0, "hole at index 0 blocks the pointer");
+        mark(0, &mut retired, &mut ptr);
+        assert_eq!(ptr, 2, "contiguous prefix retires");
+        mark(2, &mut retired, &mut ptr);
+        assert_eq!(ptr, 3);
+    }
+}

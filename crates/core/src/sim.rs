@@ -1,0 +1,374 @@
+//! Simulation driver: builds workloads, warms the core, and measures a
+//! fixed-cycle sampling window (the stand-in for the paper's SimPoint
+//! methodology — deterministic warm-up instead of fast-forwarding).
+
+use crate::config::CoreConfig;
+use crate::counters::Counters;
+use crate::pipeline::Core;
+use shelfsim_mem::CacheStats;
+use shelfsim_stats::WeightedCdf;
+use shelfsim_workload::{suite, BenchmarkProfile, TraceSource};
+
+/// Instructions of functional (atomic-mode) warm-up per thread applied when
+/// a [`Simulation`] is built: trains branch predictors and warms caches
+/// before the timed run, standing in for the paper's 100M-instruction
+/// warm-up. Override with [`Simulation::with_functional_warmup`].
+pub const DEFAULT_FUNCTIONAL_WARMUP: u64 = 100_000;
+
+/// Error returned when a benchmark name is not in the suite.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownBenchmark(pub String);
+
+impl std::fmt::Display for UnknownBenchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown benchmark `{}`", self.0)
+    }
+}
+
+impl std::error::Error for UnknownBenchmark {}
+
+/// Per-thread results over the measured window.
+#[derive(Clone, Debug)]
+pub struct ThreadResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Instructions committed during the measured window.
+    pub committed: u64,
+    /// Cycles per committed instruction over the measured window.
+    pub cpi: f64,
+    /// Fraction of committed instructions classified in-sequence.
+    pub in_sequence_fraction: f64,
+    /// Mis-steer rate vs. the shadow oracle (practical steering runs).
+    pub missteer_rate: f64,
+    /// Branch mispredict ratio over the whole run.
+    pub branch_mispredict_ratio: f64,
+    /// Commit-order series lengths of in-sequence instructions (whole run).
+    pub in_sequence_series: WeightedCdf,
+    /// Commit-order series lengths of reordered instructions (whole run).
+    pub reordered_series: WeightedCdf,
+}
+
+/// Results of one measured run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Measured cycles.
+    pub cycles: u64,
+    /// Per-thread results.
+    pub threads: Vec<ThreadResult>,
+    /// Event counters over the measured window (energy-model input).
+    pub counters: Counters,
+    /// L1I counters over the measured window.
+    pub l1i: CacheStats,
+    /// L1D counters over the measured window.
+    pub l1d: CacheStats,
+    /// L2 counters over the measured window.
+    pub l2: CacheStats,
+    /// SSR-safety self-check (must be 0; see `Core::late_shelf_commits`).
+    pub late_shelf_commits: u64,
+}
+
+impl RunResult {
+    /// Per-thread CPIs in thread order.
+    pub fn cpis(&self) -> Vec<f64> {
+        self.threads.iter().map(|t| t.cpi).collect()
+    }
+
+    /// Aggregate committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        let committed: u64 = self.threads.iter().map(|t| t.committed).sum();
+        if self.cycles == 0 {
+            0.0
+        } else {
+            committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean in-sequence fraction across threads.
+    pub fn mean_in_sequence_fraction(&self) -> f64 {
+        let n = self.threads.len() as f64;
+        self.threads.iter().map(|t| t.in_sequence_fraction).sum::<f64>() / n
+    }
+}
+
+fn cache_delta(now: &CacheStats, then: &CacheStats) -> CacheStats {
+    CacheStats {
+        accesses: now.accesses - then.accesses,
+        hits: now.hits - then.hits,
+        writebacks: now.writebacks - then.writebacks,
+    }
+}
+
+/// A configured simulation of one core and its workload mix.
+pub struct Simulation {
+    core: Core,
+    names: Vec<String>,
+}
+
+impl Simulation {
+    /// Builds a simulation from benchmark profiles (one per thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile count does not match `cfg.threads`.
+    pub fn new(cfg: CoreConfig, profiles: &[&BenchmarkProfile], seed: u64) -> Self {
+        assert_eq!(profiles.len(), cfg.threads, "one benchmark per thread");
+        let names = profiles.iter().map(|p| p.name.to_owned()).collect();
+        let traces: Vec<TraceSource> = profiles
+            .iter()
+            .enumerate()
+            .map(|(t, p)| TraceSource::new(p.build_program(seed ^ (t as u64) << 8), t))
+            .collect();
+        let mut core = Core::new(cfg, traces);
+        core.warm_caches();
+        core.warm_functional(DEFAULT_FUNCTIONAL_WARMUP);
+        Simulation { core, names }
+    }
+
+    /// Builds a simulation from benchmark names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownBenchmark`] for names not in the suite.
+    pub fn from_names(
+        cfg: CoreConfig,
+        names: &[&str],
+        seed: u64,
+    ) -> Result<Self, UnknownBenchmark> {
+        let profiles: Vec<&BenchmarkProfile> = names
+            .iter()
+            .map(|&n| suite::by_name(n).ok_or_else(|| UnknownBenchmark(n.to_owned())))
+            .collect::<Result<_, _>>()?;
+        Ok(Self::new(cfg, &profiles, seed))
+    }
+
+    /// Access to the underlying core (e.g., for invariant checks in tests).
+    pub fn core(&self) -> &Core {
+        &self.core
+    }
+
+    /// Advances the simulation one cycle (debugging and fine-grained tests).
+    pub fn step(&mut self) {
+        self.core.tick();
+    }
+
+    /// Enables the per-instruction commit log (see
+    /// [`crate::pipeline::CommitRecord`]).
+    pub fn enable_commit_log(&mut self, capacity: usize) {
+        self.core.enable_commit_log(capacity);
+    }
+
+    /// Alternative measurement: after `warmup_cycles`, runs until every
+    /// thread has committed at least `insts_per_thread` instructions (or
+    /// `max_cycles` measured cycles elapse) and returns the results over the
+    /// measured region. Useful for equal-work comparisons across designs.
+    pub fn run_until_committed(
+        &mut self,
+        warmup_cycles: u64,
+        insts_per_thread: u64,
+        max_cycles: u64,
+    ) -> RunResult {
+        for _ in 0..warmup_cycles {
+            self.core.tick();
+        }
+        let committed0: Vec<u64> =
+            (0..self.names.len()).map(|t| self.core.committed(t)).collect();
+        let class0: Vec<(u64, u64)> = (0..self.names.len())
+            .map(|t| {
+                let c = self.core.classifier(t);
+                (c.committed_in_sequence, c.committed_reordered)
+            })
+            .collect();
+        let bpred0: Vec<(u64, u64)> =
+            (0..self.names.len()).map(|t| self.core.bpred_counts(t)).collect();
+        let l1i0 = *self.core.hierarchy().l1i_stats();
+        let l1d0 = *self.core.hierarchy().l1d_stats();
+        let l20 = *self.core.hierarchy().l2_stats();
+        self.core.counters = Counters::new();
+
+        let mut measured = 0u64;
+        while measured < max_cycles {
+            self.core.tick();
+            measured += 1;
+            if (0..self.names.len())
+                .all(|t| self.core.committed(t) - committed0[t] >= insts_per_thread)
+            {
+                break;
+            }
+        }
+        self.core.finish_classification();
+        self.collect(measured, &committed0, &class0, &bpred0, l1i0, l1d0, l20)
+    }
+
+    /// Applies `insts` additional instructions of functional warm-up per
+    /// thread (on top of the default applied at construction).
+    pub fn with_functional_warmup(mut self, insts: u64) -> Self {
+        self.core.warm_functional(insts);
+        self
+    }
+
+    /// Warms the core for `warmup_cycles`, then measures `measure_cycles`
+    /// and returns the results.
+    pub fn run(&mut self, warmup_cycles: u64, measure_cycles: u64) -> RunResult {
+        for _ in 0..warmup_cycles {
+            self.core.tick();
+        }
+        // Snapshot at measurement start.
+        let committed0: Vec<u64> = (0..self.names.len()).map(|t| self.core.committed(t)).collect();
+        let class0: Vec<(u64, u64)> = (0..self.names.len())
+            .map(|t| {
+                let c = self.core.classifier(t);
+                (c.committed_in_sequence, c.committed_reordered)
+            })
+            .collect();
+        let bpred0: Vec<(u64, u64)> =
+            (0..self.names.len()).map(|t| self.core.bpred_counts(t)).collect();
+        let l1i0 = *self.core.hierarchy().l1i_stats();
+        let l1d0 = *self.core.hierarchy().l1d_stats();
+        let l20 = *self.core.hierarchy().l2_stats();
+        self.core.counters = Counters::new();
+
+        for _ in 0..measure_cycles {
+            self.core.tick();
+        }
+        self.core.finish_classification();
+        self.collect(measure_cycles, &committed0, &class0, &bpred0, l1i0, l1d0, l20)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn collect(
+        &self,
+        measured: u64,
+        committed0: &[u64],
+        class0: &[(u64, u64)],
+        bpred0: &[(u64, u64)],
+        l1i0: CacheStats,
+        l1d0: CacheStats,
+        l20: CacheStats,
+    ) -> RunResult {
+        let threads = (0..self.names.len())
+            .map(|t| {
+                let committed = self.core.committed(t) - committed0[t];
+                let c = self.core.classifier(t);
+                let in_seq = c.committed_in_sequence - class0[t].0;
+                let reordered = c.committed_reordered - class0[t].1;
+                let total = in_seq + reordered;
+                ThreadResult {
+                    benchmark: self.names[t].clone(),
+                    committed,
+                    cpi: if committed == 0 {
+                        f64::INFINITY
+                    } else {
+                        measured as f64 / committed as f64
+                    },
+                    in_sequence_fraction: if total == 0 {
+                        0.0
+                    } else {
+                        in_seq as f64 / total as f64
+                    },
+                    missteer_rate: self.core.missteer_rate(t),
+                    branch_mispredict_ratio: {
+                        let (l, m) = self.core.bpred_counts(t);
+                        let (dl, dm) = (l - bpred0[t].0, m - bpred0[t].1);
+                        if dl == 0 {
+                            0.0
+                        } else {
+                            dm as f64 / dl as f64
+                        }
+                    },
+                    in_sequence_series: c.in_sequence_series.clone(),
+                    reordered_series: c.reordered_series.clone(),
+                }
+            })
+            .collect();
+
+        RunResult {
+            cycles: measured,
+            threads,
+            counters: self.core.counters.clone(),
+            l1i: cache_delta(self.core.hierarchy().l1i_stats(), &l1i0),
+            l1d: cache_delta(self.core.hierarchy().l1d_stats(), &l1d0),
+            l2: cache_delta(self.core.hierarchy().l2_stats(), &l20),
+            late_shelf_commits: self.core.late_shelf_commits(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SteerPolicy;
+
+    #[test]
+    fn unknown_benchmark_is_an_error() {
+        let cfg = CoreConfig::base64(1);
+        let err = match Simulation::from_names(cfg, &["nope"], 0) {
+            Err(e) => e,
+            Ok(_) => panic!("expected an error"),
+        };
+        assert_eq!(err, UnknownBenchmark("nope".to_owned()));
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn single_thread_run_commits_instructions() {
+        let cfg = CoreConfig::base64(1);
+        let mut sim = Simulation::from_names(cfg, &["hmmer"], 3).unwrap();
+        let r = sim.run(300, 3_000);
+        assert!(r.counters.committed > 500, "committed {}", r.counters.committed);
+        assert!(r.threads[0].cpi.is_finite());
+        assert!(r.threads[0].cpi > 0.2, "cpi {}", r.threads[0].cpi);
+        assert_eq!(r.late_shelf_commits, 0);
+    }
+
+    #[test]
+    fn four_thread_smt_run() {
+        let cfg = CoreConfig::base64(4);
+        let mut sim =
+            Simulation::from_names(cfg, &["gcc", "mcf", "hmmer", "lbm"], 1).unwrap();
+        let r = sim.run(300, 3_000);
+        for t in &r.threads {
+            assert!(t.committed > 0, "{} made no progress", t.benchmark);
+        }
+        assert_eq!(r.late_shelf_commits, 0);
+    }
+
+    #[test]
+    fn shelf_config_runs_and_uses_the_shelf() {
+        let cfg = CoreConfig::base64_shelf64(2, SteerPolicy::Practical, true);
+        let mut sim = Simulation::from_names(cfg, &["gcc", "milc"], 2).unwrap();
+        let r = sim.run(300, 3_000);
+        assert!(r.counters.dispatched_shelf > 0, "practical steering never used the shelf");
+        assert!(r.counters.issued_shelf > 0);
+        assert_eq!(r.late_shelf_commits, 0);
+    }
+
+    #[test]
+    fn always_shelf_approximates_in_order() {
+        // On high-ILP code the OOO baseline must clearly beat the all-shelf
+        // (in-order) machine. (On chain-serial benchmarks the two can be
+        // close, and the in-order machine may even edge ahead thanks to its
+        // near-absence of wrong-path cache pollution.)
+        let base = CoreConfig::base64(1);
+        let mut sim_ooo = Simulation::from_names(base, &["hmmer"], 5).unwrap();
+        let ooo = sim_ooo.run(2_000, 8_000);
+        let ino_cfg = CoreConfig::base64_shelf64(1, SteerPolicy::AlwaysShelf, true);
+        let mut sim_ino = Simulation::from_names(ino_cfg, &["hmmer"], 5).unwrap();
+        let ino = sim_ino.run(2_000, 8_000);
+        assert!(
+            ino.threads[0].cpi > ooo.threads[0].cpi * 1.2,
+            "OOO ({}) should clearly beat in-order ({}) on high-ILP code",
+            ooo.threads[0].cpi,
+            ino.threads[0].cpi
+        );
+        assert_eq!(ino.late_shelf_commits, 0);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let cfg = CoreConfig::base64_shelf64(2, SteerPolicy::Practical, false);
+        let r1 = Simulation::from_names(cfg.clone(), &["astar", "sjeng"], 9).unwrap().run(200, 2_000);
+        let r2 = Simulation::from_names(cfg, &["astar", "sjeng"], 9).unwrap().run(200, 2_000);
+        assert_eq!(r1.counters, r2.counters);
+        assert_eq!(r1.threads[0].committed, r2.threads[0].committed);
+    }
+}

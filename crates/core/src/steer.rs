@@ -1,0 +1,414 @@
+//! Instruction steering policies (paper §IV).
+//!
+//! The microarchitecture executes correctly under *any* steering policy;
+//! steering only affects performance. Four policies are provided:
+//! always-IQ (conventional OOO), always-shelf (≈ in-order), the practical
+//! RCT/PLT hardware mechanism (§IV-B), and the greedy oracle (§IV-A).
+
+use crate::counters::Counters;
+use crate::inst::Steer;
+use shelfsim_isa::{ArchReg, DynInst, OpClass, NUM_ARCH_REGS};
+use shelfsim_uarch::{ParentLoadsTable, ReadyCycleTable};
+
+/// Predicted-issue horizon (cycles) beyond which an instruction is kept in
+/// the IQ rather than parked at the shelf head (head-of-line blocking
+/// guard).
+const HEAD_PARK_LIMIT: u32 = 12;
+
+/// Predicted execution latency used by both steering predictors.
+///
+/// Loads are predicted as L1 hits ("By predicting that all loads hit in L1,
+/// we avoid the need for any prediction table", §IV-B): address generation
+/// folded into the 2-cycle L1D load-to-use.
+pub fn predicted_latency(op: OpClass) -> u32 {
+    match op {
+        OpClass::Load => 2,
+        _ => op.latency(),
+    }
+}
+
+/// The practical steering hardware of one thread: Ready Cycle Table +
+/// earliest-allowable issue/writeback trackers + Parent Loads Table
+/// (Figure 9).
+#[derive(Clone, Debug)]
+pub struct PracticalSteer {
+    rct: ReadyCycleTable,
+    plt: ParentLoadsTable,
+    /// Countdown to the earliest cycle a new shelf instruction could issue
+    /// (max predicted issue cycle over all previous instructions).
+    earliest_issue: u32,
+    /// Countdown to the earliest allowable shelf writeback (max speculation
+    /// resolution cycle over all previous instructions).
+    earliest_writeback: u32,
+    /// Countdown to when the shelf head port frees up: the shelf issues at
+    /// most one instruction per cycle per thread, so consecutive shelf
+    /// instructions serialize even when their operands are ready.
+    shelf_next_free: u32,
+    saturation: u32,
+}
+
+impl PracticalSteer {
+    /// Creates the steering state with `rct_bits`-wide counters and
+    /// `plt_columns` sampled loads.
+    pub fn new(rct_bits: u32, plt_columns: u32) -> Self {
+        let rct = ReadyCycleTable::new(rct_bits);
+        let saturation = rct.saturation();
+        PracticalSteer {
+            rct,
+            plt: ParentLoadsTable::new(plt_columns),
+            earliest_issue: 0,
+            earliest_writeback: 0,
+            shelf_next_free: 0,
+            saturation,
+        }
+    }
+
+    /// Decides where to steer `inst` and updates the predicted schedule.
+    ///
+    /// `source_late(reg)` reports a detected schedule error on a source: the
+    /// RCT predicts it ready but the rename-stage ready bit says otherwise
+    /// (the dependency-checking logic of Figure 9 reads both). A known-late
+    /// source means the predicted tie is bogus, so the instruction is kept
+    /// in the IQ where the stall does not block younger instructions.
+    ///
+    /// Returns the steering decision and the PLT column sampled, if the
+    /// instruction is a load that got one.
+    pub fn decide(
+        &mut self,
+        inst: &DynInst,
+        mut source_late: impl FnMut(ArchReg) -> bool,
+        counters: &mut Counters,
+    ) -> (Steer, Option<u8>) {
+        let iq_issue =
+            inst.sources().map(|r| self.rct.cycles_until_ready(r)).max().unwrap_or(0);
+        let lat = predicted_latency(inst.op);
+        let iq_complete = iq_issue + lat;
+        let shelf_issue = iq_issue.max(self.earliest_issue).max(self.shelf_next_free);
+        let shelf_complete = (shelf_issue + lat).max(self.earliest_writeback);
+
+        // Break ties in favor of the shelf (§IV-A applies to the oracle; the
+        // practical mechanism uses the same rule) — unless a source is
+        // observably behind schedule: either its RCT counter expired while
+        // the register is still not ready, or its counter is frozen because
+        // a parent load is known to be running late (Figure 9's stalled-
+        // loads machinery). A slipping schedule makes the predicted tie
+        // meaningless, and a late instruction parked at the shelf head
+        // blocks the whole FIFO.
+        // Schedule-error veto: a source whose counter expired while the
+        // register is still pending — *without* the parent-loads freeze
+        // protecting it (unsampled tree) — makes the predicted tie
+        // meaningless. Sampled trees are held back by the freeze, so their
+        // ties remain trustworthy and steer to the shelf as designed.
+        let schedule_error = inst.sources().any(|r| {
+            self.plt.mask(r) == 0 && self.rct.predicted_ready(r) && source_late(r)
+        });
+        // A long predicted wait parks the instruction at the shelf head,
+        // blocking every younger shelf instruction of the thread; keep such
+        // instructions in the IQ where the wait is private.
+        let long_wait = shelf_issue >= HEAD_PARK_LIMIT;
+        let steer = if shelf_complete <= iq_complete && !schedule_error && !long_wait {
+            Steer::Shelf
+        } else {
+            Steer::Iq
+        };
+        let (chosen_issue, chosen_complete) = match steer {
+            Steer::Shelf => (shelf_issue, shelf_complete),
+            Steer::Iq => (iq_issue, iq_complete),
+        };
+
+        if let Some(dest) = inst.dest {
+            self.rct.set(dest, chosen_complete);
+            counters.rct_ops += 1;
+        }
+        if steer == Steer::Shelf {
+            self.shelf_next_free = (chosen_issue + 1).min(self.saturation);
+        }
+        self.earliest_issue = self.earliest_issue.max(chosen_issue).min(self.saturation);
+        self.earliest_writeback = self
+            .earliest_writeback
+            .max(chosen_issue + inst.op.resolution_delay())
+            .min(self.saturation);
+
+        // Parent-loads bookkeeping.
+        let mask = inst.sources().fold(0u8, |m, r| m | self.plt.mask(r));
+        let column = if inst.is_load() {
+            if let Some(dest) = inst.dest {
+                counters.plt_ops += 1;
+                self.plt.sample_load(dest, mask)
+            } else {
+                None
+            }
+        } else {
+            if let Some(dest) = inst.dest {
+                self.plt.propagate(dest, mask);
+                counters.plt_ops += 1;
+            }
+            None
+        };
+        (steer, column)
+    }
+
+    /// One cycle passes. `actually_ready(reg)` reports whether the
+    /// register's current rename mapping is really ready (the schedule-error
+    /// detector: an RCT counter at zero with an unready register means a
+    /// parent load is late).
+    pub fn tick(&mut self, mut actually_ready: impl FnMut(ArchReg) -> bool) {
+        for i in 0..NUM_ARCH_REGS {
+            let reg = ArchReg::from_index(i);
+            let mask = self.plt.mask(reg);
+            if mask != 0 && self.rct.predicted_ready(reg) && !actually_ready(reg) {
+                self.plt.mark_stalled(mask);
+            }
+        }
+        let plt = &self.plt;
+        self.rct.tick(|i| plt.frozen(i));
+        self.earliest_issue = self.earliest_issue.saturating_sub(1);
+        self.earliest_writeback = self.earliest_writeback.saturating_sub(1);
+        self.shelf_next_free = self.shelf_next_free.saturating_sub(1);
+    }
+
+    /// A sampled load completed: free its PLT column and unfreeze its
+    /// dependence tree.
+    pub fn load_completed(&mut self, column: u8) {
+        self.plt.load_completed(column);
+    }
+
+    /// Corrects the earliest-allowable-issue tracker against reality: the
+    /// thread still has dispatched-but-unissued instructions, so a shelf
+    /// instruction dispatched now cannot issue before the next cycle — the
+    /// countdown must not decay to zero while elder instructions wait
+    /// (paper §IV-B: predictions are corrected by "observing the actual
+    /// execution schedule").
+    pub fn hold_issue_floor(&mut self) {
+        self.earliest_issue = self.earliest_issue.max(1);
+    }
+}
+
+/// The greedy oracle of §IV-A for one thread.
+///
+/// Steers each instruction to whichever queue yields the earlier predicted
+/// completion, using exact knowledge of producer completion times (tracked
+/// from the actual schedule) and a functional cache query for load latency.
+/// Ties go to the shelf. The oracle corrects its table as the real schedule
+/// unfolds, as the paper's oracle does.
+#[derive(Clone, Debug)]
+pub struct OracleSteer {
+    /// Absolute predicted ready cycle per architectural register.
+    ready: [u64; NUM_ARCH_REGS],
+    earliest_issue: u64,
+    earliest_writeback: u64,
+    /// Earliest cycle the (one-per-cycle) shelf head port is free.
+    shelf_next_free: u64,
+}
+
+impl OracleSteer {
+    /// Creates the oracle state.
+    pub fn new() -> Self {
+        OracleSteer {
+            ready: [0; NUM_ARCH_REGS],
+            earliest_issue: 0,
+            earliest_writeback: 0,
+            shelf_next_free: 0,
+        }
+    }
+
+    /// Decides where to steer `inst` dispatching at cycle `now`.
+    /// `load_latency` supplies the functionally-peeked cache latency.
+    pub fn decide(&mut self, now: u64, inst: &DynInst, load_latency: u32) -> Steer {
+        let src_ready =
+            inst.sources().map(|r| self.ready[r.index()]).max().unwrap_or(0);
+        let iq_issue = src_ready.max(now + 1);
+        let lat = if inst.is_load() { load_latency } else { inst.op.latency() } as u64;
+        let iq_complete = iq_issue + lat;
+        let shelf_issue = iq_issue.max(self.earliest_issue).max(self.shelf_next_free);
+        let shelf_complete = (shelf_issue + lat).max(self.earliest_writeback);
+
+        let long_wait = shelf_issue >= now + HEAD_PARK_LIMIT as u64;
+        let steer = if shelf_complete <= iq_complete && !long_wait {
+            Steer::Shelf
+        } else {
+            Steer::Iq
+        };
+        let (chosen_issue, chosen_complete) = match steer {
+            Steer::Shelf => (shelf_issue, shelf_complete),
+            Steer::Iq => (iq_issue, iq_complete),
+        };
+        if let Some(dest) = inst.dest {
+            self.ready[dest.index()] = chosen_complete;
+        }
+        if steer == Steer::Shelf {
+            self.shelf_next_free = chosen_issue + 1;
+        }
+        self.earliest_issue = self.earliest_issue.max(chosen_issue);
+        self.earliest_writeback =
+            self.earliest_writeback.max(chosen_issue + inst.op.resolution_delay() as u64);
+        steer
+    }
+
+    /// Schedule correction: the register's producer actually completed at
+    /// `cycle` (paper: the oracle "additionally tracks the actual execution
+    /// schedule ... to correct its representation").
+    pub fn correct(&mut self, dest: ArchReg, cycle: u64) {
+        self.ready[dest.index()] = cycle;
+    }
+
+    /// Schedule correction: an instruction of this thread actually issued at
+    /// `cycle`; the earliest-allowable shelf issue for later instructions is
+    /// at least that (the paper's oracle corrects its future-schedule
+    /// representation as the simulation progresses).
+    pub fn observe_issue(&mut self, cycle: u64) {
+        self.earliest_issue = self.earliest_issue.max(cycle);
+    }
+}
+
+impl Default for OracleSteer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shelfsim_isa::MemInfo;
+
+    fn alu(dest: u8, srcs: &[u8]) -> DynInst {
+        let s: Vec<ArchReg> = srcs.iter().map(|&r| ArchReg::int(r)).collect();
+        DynInst::alu(OpClass::IntAlu, ArchReg::int(dest), &s)
+    }
+
+    #[test]
+    fn practical_steers_independent_chain_heads_to_shelf() {
+        let mut s = PracticalSteer::new(5, 4);
+        let mut c = Counters::new();
+        // With an empty schedule everything predicts equal completion, and
+        // ties go to the shelf.
+        let (steer, _) = s.decide(&alu(8, &[0]), |_| false, &mut c);
+        assert_eq!(steer, Steer::Shelf);
+    }
+
+    #[test]
+    fn practical_steers_ready_inst_behind_stalled_shelf_to_iq() {
+        let mut s = PracticalSteer::new(5, 4);
+        let mut c = Counters::new();
+        // A long-latency producer pushes the shelf's earliest-issue horizon.
+        let slow = DynInst::alu(OpClass::IntDiv, ArchReg::int(8), &[ArchReg::int(0)]);
+        let (st, _) = s.decide(&slow, |_| false, &mut c);
+        assert_eq!(st, Steer::Shelf, "first instruction ties to shelf");
+        // A dependent of the divide ties, but its predicted wait (12 cycles)
+        // reaches the head-park guard: parking it would block the whole
+        // shelf, so it stays in the IQ.
+        let (st2, _) = s.decide(&alu(9, &[8]), |_| false, &mut c);
+        assert_eq!(st2, Steer::Iq);
+        // A dependent of a *short* producer still ties to the shelf.
+        let mut s2 = PracticalSteer::new(5, 4);
+        let (_, _) = s2.decide(&alu(8, &[0]), |_| false, &mut c);
+        let (st_short, _) = s2.decide(&alu(9, &[8]), |_| false, &mut c);
+        assert_eq!(st_short, Steer::Shelf);
+        // An *independent* instruction behind the divide: on the shelf it
+        // waits behind the horizon; in the IQ it issues immediately -> IQ.
+        let (st3, _) = s.decide(&alu(10, &[0]), |_| false, &mut c);
+        assert_eq!(st3, Steer::Iq);
+    }
+
+    #[test]
+    fn practical_tick_decays_horizons() {
+        let mut s = PracticalSteer::new(5, 4);
+        let mut c = Counters::new();
+        let slow = DynInst::alu(OpClass::FpDiv, ArchReg::fp(8), &[ArchReg::fp(0)]);
+        s.decide(&slow, |_| false, &mut c);
+        for _ in 0..40 {
+            s.tick(|_| true);
+        }
+        // After the horizon decays, an independent instruction ties to shelf.
+        let (st, _) = s.decide(&alu(10, &[0]), |_| false, &mut c);
+        assert_eq!(st, Steer::Shelf);
+    }
+
+    #[test]
+    fn practical_samples_load_columns() {
+        let mut s = PracticalSteer::new(5, 4);
+        let mut c = Counters::new();
+        let ld = DynInst::load(ArchReg::int(8), ArchReg::int(0), MemInfo::new(0x100, 8));
+        let (_, col) = s.decide(&ld, |_| false, &mut c);
+        assert!(col.is_some());
+        let mut cols = vec![col.unwrap()];
+        for _ in 0..3 {
+            let (_, c2) = s.decide(&ld, |_| false, &mut c);
+            cols.push(c2.unwrap());
+        }
+        let (_, c5) = s.decide(&ld, |_| false, &mut c);
+        assert!(c5.is_none(), "only 4 columns");
+        cols.sort_unstable();
+        cols.dedup();
+        assert_eq!(cols.len(), 4);
+        // Completion frees a column.
+        s.load_completed(cols[0]);
+        let (_, c6) = s.decide(&ld, |_| false, &mut c);
+        assert!(c6.is_some());
+    }
+
+    #[test]
+    fn oracle_prefers_iq_for_reorderable_work() {
+        let mut o = OracleSteer::new();
+        // A slow producer writes r8 at cycle 13.
+        let slow = DynInst::alu(OpClass::IntDiv, ArchReg::int(8), &[ArchReg::int(0)]);
+        let st = o.decide(0, &slow, 2);
+        assert_eq!(st, Steer::Shelf);
+        // Dependent work ties, but its 12-cycle predicted wait trips the
+        // head-park guard -> IQ (parking would block the shelf).
+        assert_eq!(o.decide(1, &alu(9, &[8]), 2), Steer::Iq);
+        // Independent work would stall behind the divide on the shelf -> IQ.
+        assert_eq!(o.decide(2, &alu(10, &[0]), 2), Steer::Iq);
+        // Dependents of short producers still tie to the shelf.
+        let mut o2 = OracleSteer::new();
+        assert_eq!(o2.decide(0, &alu(8, &[0]), 2), Steer::Shelf);
+        assert_eq!(o2.decide(1, &alu(9, &[8]), 2), Steer::Shelf);
+    }
+
+    #[test]
+    fn oracle_uses_peeked_load_latency() {
+        let mut o = OracleSteer::new();
+        // A memory-bound load (peeked at 234 cycles): its consumer will not
+        // issue until cycle ~235, which raises the shelf earliest-issue
+        // horizon once the consumer is dispatched.
+        let ld = DynInst::load(ArchReg::int(8), ArchReg::int(0), MemInfo::new(0, 8));
+        assert_eq!(o.decide(0, &ld, 234), Steer::Shelf, "first inst ties to shelf");
+        // A dependent of the memory-bound load would park at the shelf head
+        // for ~234 cycles: the guard keeps it in the IQ.
+        assert_eq!(o.decide(1, &alu(9, &[8]), 234), Steer::Iq, "long wait -> IQ");
+        // The dependent's late predicted issue (~235) raised the
+        // earliest-allowable shelf issue for everything younger, so an
+        // independent op also stays in the IQ.
+        assert_eq!(o.decide(2, &alu(10, &[0]), 2), Steer::Iq);
+        // With an L1-hit peek instead, the dependent still ties to the
+        // shelf and no far-future horizon arises (the independent op then
+        // loses only by the one-per-cycle shelf port, not by hundreds of
+        // cycles).
+        let mut fast = OracleSteer::new();
+        assert_eq!(fast.decide(0, &ld, 2), Steer::Shelf);
+        assert_eq!(fast.decide(1, &alu(9, &[8]), 2), Steer::Shelf);
+    }
+
+    #[test]
+    fn oracle_correction_overrides_prediction() {
+        // A moderately slow producer (FpMul chain) writes r9 at ~9; a
+        // consumer would normally tie to the shelf once the horizon decays.
+        let mut o = OracleSteer::new();
+        let fp1 = DynInst::alu(OpClass::FpMul, ArchReg::fp(8), &[ArchReg::fp(0)]);
+        let fp2 = DynInst::alu(OpClass::FpMul, ArchReg::fp(9), &[ArchReg::fp(8)]);
+        assert_eq!(o.decide(0, &fp1, 2), Steer::Shelf);
+        assert_eq!(o.decide(1, &fp2, 2), Steer::Shelf);
+        // Reality: fp9 completed much later (cycle 40). The correction must
+        // flow into later decisions: a consumer at cycle 20 now predicts a
+        // 20-cycle wait and the park guard keeps it in the IQ.
+        o.correct(ArchReg::fp(9), 40);
+        let consumer = DynInst::alu(OpClass::FpAlu, ArchReg::fp(10), &[ArchReg::fp(9)]);
+        assert_eq!(o.decide(20, &consumer, 2), Steer::Iq);
+        // Without the correction the same consumer ties to the shelf.
+        let mut uncorrected = OracleSteer::new();
+        uncorrected.decide(0, &fp1, 2);
+        uncorrected.decide(1, &fp2, 2);
+        assert_eq!(uncorrected.decide(20, &consumer, 2), Steer::Shelf);
+    }
+}

@@ -1,0 +1,52 @@
+//! Occupancy tests: the shelf must visibly shift in-flight occupancy out of
+//! the ROB/IQ/LSQ/PRF — the paper's premise, measured directly.
+
+use shelfsim_core::{CoreConfig, Simulation, SteerPolicy};
+
+fn occupancies(cfg: CoreConfig) -> [f64; 6] {
+    let mix = ["gcc", "mcf", "hmmer", "lbm"];
+    let mut sim = Simulation::from_names(cfg, &mix, 7).expect("suite");
+    let r = sim.run(5_000, 20_000);
+    std::array::from_fn(|i| r.counters.mean_occupancy(i))
+}
+
+#[test]
+fn shelf_reduces_ooo_structure_occupancy() {
+    let base = occupancies(CoreConfig::base64(4));
+    let shelf = occupancies(CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true));
+    // [rob, iq, lq, sq, shelf, rename-regs]
+    assert!(base[4] == 0.0, "no shelf in the baseline");
+    assert!(shelf[4] > 1.0, "the shelf must hold instructions, got {}", shelf[4]);
+    // The design's point: the window grows substantially while the PRF
+    // usage stays flat (shelf instructions allocate no rename registers).
+    let base_window = base[0];
+    let shelf_window = shelf[0] + shelf[4];
+    assert!(
+        shelf_window > base_window * 1.05,
+        "hybrid window ({shelf_window:.1}) should exceed the base window ({base_window:.1})"
+    );
+    assert!(
+        shelf[5] < base[5] * 1.05,
+        "rename-register usage must stay flat ({} vs {})",
+        shelf[5],
+        base[5]
+    );
+    let window_per_reg_base = base_window / base[5];
+    let window_per_reg_shelf = shelf_window / shelf[5];
+    assert!(
+        window_per_reg_shelf > window_per_reg_base,
+        "in-flight instructions per rename register must improve"
+    );
+}
+
+#[test]
+fn occupancy_bounds_respect_capacities() {
+    let cfg = CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true);
+    let occ = occupancies(cfg.clone());
+    assert!(occ[0] <= cfg.rob_entries as f64);
+    assert!(occ[1] <= cfg.iq_entries as f64);
+    assert!(occ[2] <= cfg.lq_entries as f64);
+    assert!(occ[3] <= cfg.sq_entries as f64);
+    assert!(occ[4] <= cfg.shelf_entries as f64);
+    assert!(occ[5] <= cfg.num_phys_regs() as f64);
+}

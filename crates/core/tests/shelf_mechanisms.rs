@@ -1,0 +1,153 @@
+//! Directed tests of the shelf-specific mechanisms: resource pressure on
+//! the extension tag space and virtual index space, shelf sizing, the
+//! conservative/optimistic issue assumption, and the commit log.
+
+use shelfsim_core::{CoreConfig, Simulation, Steer, SteerPolicy};
+
+fn run(cfg: CoreConfig, mix: &[&str], seed: u64) -> shelfsim_core::RunResult {
+    let mut sim = Simulation::from_names(cfg, mix, seed).expect("suite benchmarks");
+    sim.run(3_000, 12_000)
+}
+
+const MIX: [&str; 4] = ["gcc", "mcf", "hmmer", "lbm"];
+
+#[test]
+fn always_shelf_exercises_index_space_pressure() {
+    // With everything steered to the shelf and a narrow index space, the
+    // index-full stall must appear; with the paper's 2x space it should be
+    // rarer.
+    let base = CoreConfig::base64_shelf64(4, SteerPolicy::AlwaysShelf, true);
+    let narrow = CoreConfig { narrow_shelf_index: true, ..base.clone() };
+    let wide_run = run(base, &MIX, 3);
+    let narrow_run = run(narrow, &MIX, 3);
+    assert!(
+        narrow_run.counters.stalls.shelf_index_full
+            > wide_run.counters.stalls.shelf_index_full,
+        "narrow index space should stall more (narrow {} vs wide {})",
+        narrow_run.counters.stalls.shelf_index_full,
+        wide_run.counters.stalls.shelf_index_full
+    );
+    assert_eq!(narrow_run.late_shelf_commits, 0);
+}
+
+#[test]
+fn tiny_extension_tag_space_stalls_but_stays_correct() {
+    // Shrink the shelf so the extension tag space (2x shelf + margin)
+    // becomes the bottleneck under always-shelf pressure.
+    let cfg = CoreConfig {
+        shelf_entries: 8, // 2 entries per thread
+        steer: SteerPolicy::AlwaysShelf,
+        ..CoreConfig::base64_shelf64(4, SteerPolicy::AlwaysShelf, true)
+    };
+    let r = run(cfg, &MIX, 5);
+    assert!(r.counters.committed > 0, "must still make progress");
+    assert!(
+        r.counters.stalls.shelf_full > 0 || r.counters.stalls.no_ext_tag > 0,
+        "an 8-entry shelf must hit capacity stalls"
+    );
+    assert_eq!(r.late_shelf_commits, 0);
+}
+
+#[test]
+fn shelf_size_sweep_saturates() {
+    let mut ipcs = Vec::new();
+    for shelf in [16usize, 64, 256] {
+        let cfg = CoreConfig {
+            shelf_entries: shelf,
+            ..CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true)
+        };
+        ipcs.push(run(cfg, &MIX, 9).ipc());
+    }
+    // 64 entries should recover most of what 256 offers.
+    assert!(ipcs[1] > ipcs[0] * 0.98, "64-entry shelf >= 16-entry: {ipcs:?}");
+    assert!(ipcs[2] < ipcs[1] * 1.15, "sizing saturates near 64: {ipcs:?}");
+}
+
+#[test]
+fn conservative_mode_sees_iq_issues_late() {
+    // Same workload, same steering; the conservative design can only issue
+    // shelf heads against the previous cycle's tracker, so its shelf issue
+    // count per cycle should not exceed the optimistic design's by much and
+    // its IPC should not be higher by more than noise.
+    let cons = run(CoreConfig::base64_shelf64(4, SteerPolicy::AlwaysShelf, false), &MIX, 12);
+    let opt = run(CoreConfig::base64_shelf64(4, SteerPolicy::AlwaysShelf, true), &MIX, 12);
+    assert!(
+        opt.ipc() >= cons.ipc() * 0.98,
+        "optimistic ({}) should not trail conservative ({}) under pure in-order issue",
+        opt.ipc(),
+        cons.ipc()
+    );
+}
+
+#[test]
+fn commit_log_records_program_order_lifecycles() {
+    let cfg = CoreConfig::base64_shelf64(2, SteerPolicy::Practical, true);
+    let mut sim = Simulation::from_names(cfg, &["hmmer", "gcc"], 4).expect("suite");
+    sim.enable_commit_log(128);
+    let _ = sim.run(2_000, 8_000);
+    let records: Vec<_> = sim.core().commit_log().copied().collect();
+    assert!(records.len() > 64, "log should fill");
+    let mut last_seq = [0u64; 2];
+    let mut shelf_seen = false;
+    for r in &records {
+        // Lifecycle cycles are monotone within an instruction.
+        assert!(r.fetch <= r.dispatch, "fetch after dispatch: {r:?}");
+        assert!(r.dispatch <= r.issue, "dispatch after issue: {r:?}");
+        assert!(r.issue <= r.complete, "issue after complete: {r:?}");
+        assert!(r.complete <= r.commit, "complete after commit: {r:?}");
+        // Per-thread commit order is program order.
+        assert!(
+            r.seq >= last_seq[r.thread],
+            "thread {} commit order violated: {} after {}",
+            r.thread,
+            r.seq,
+            last_seq[r.thread]
+        );
+        last_seq[r.thread] = r.seq;
+        shelf_seen |= r.steer == Steer::Shelf;
+    }
+    assert!(shelf_seen, "practical steering should commit shelf instructions");
+    // Commit cycles are globally non-decreasing in log order.
+    for w in records.windows(2) {
+        assert!(w[0].commit <= w[1].commit);
+    }
+}
+
+#[test]
+fn run_until_committed_reaches_target() {
+    let cfg = CoreConfig::base64(2);
+    let mut sim = Simulation::from_names(cfg, &["hmmer", "h264ref"], 6).expect("suite");
+    let r = sim.run_until_committed(2_000, 1_000, 200_000);
+    for t in &r.threads {
+        assert!(t.committed >= 1_000, "{} only committed {}", t.benchmark, t.committed);
+    }
+    assert!(r.cycles < 200_000, "should finish well before the cap");
+}
+
+#[test]
+fn equal_work_comparison_matches_fixed_window_direction() {
+    // The shelf should win under both measurement methodologies.
+    let mut base = Simulation::from_names(CoreConfig::base64(4), &MIX, 8).expect("suite");
+    let b = base.run_until_committed(3_000, 800, 300_000);
+    let cfg = CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true);
+    let mut shelf = Simulation::from_names(cfg, &MIX, 8).expect("suite");
+    let s = shelf.run_until_committed(3_000, 800, 300_000);
+    // The equal-work metric is gated by the slowest thread (mcf here),
+    // which the shelf barely accelerates, so only require comparability on
+    // completion time — and a clear win on aggregate throughput.
+    assert!(
+        s.cycles <= b.cycles * 11 / 10,
+        "equal work: shelf ({}) should finish in comparable time to base ({})",
+        s.cycles,
+        b.cycles
+    );
+    let tput = |r: &shelfsim_core::RunResult| {
+        r.threads.iter().map(|t| t.committed).sum::<u64>() as f64 / r.cycles as f64
+    };
+    assert!(
+        tput(&s) > tput(&b),
+        "shelf aggregate throughput ({:.3}) should beat base ({:.3})",
+        tput(&s),
+        tput(&b)
+    );
+}

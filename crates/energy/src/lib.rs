@@ -1,0 +1,31 @@
+//! `shelfsim-energy` — a McPAT-style analytic energy, power, and area model
+//! for the shelfsim core.
+//!
+//! The paper uses McPAT (with the Xi et al. HPCA 2015 corrections) to model
+//! a physical-register-file OOO core, extended with "the shelf, RAT/free
+//! list, rename logic, expanded issue/scheduling logic, speculation shift
+//! registers, dependency tracking, and steering structures/logic" (§V). We
+//! reproduce the same *methodology*: every structure is described by its
+//! geometry (entries × bits × ports, RAM or CAM), per-access energy and area
+//! follow CACTI-style scaling laws, dynamic energy is events × per-event
+//! energy using the simulator's counters, and leakage is proportional to
+//! area. Absolute joules are arbitrarily calibrated; the figures of merit
+//! are the *relative* EDP (Figure 13) and area (Table II) across design
+//! points, which depend only on the scaling laws.
+//!
+//! # Example
+//!
+//! ```
+//! use shelfsim_core::CoreConfig;
+//! use shelfsim_energy::EnergyModel;
+//!
+//! let base = EnergyModel::for_config(&CoreConfig::base64(4));
+//! let big = EnergyModel::for_config(&CoreConfig::base128(4));
+//! assert!(big.core_area(false) > base.core_area(false));
+//! ```
+
+pub mod model;
+pub mod structures;
+
+pub use model::{EnergyModel, EnergyReport};
+pub use structures::{ArrayKind, StructureGeometry};

@@ -1,0 +1,155 @@
+//! CACTI-style geometry scaling for SRAM/CAM structures.
+
+/// Whether an array is addressed (RAM) or searched (CAM).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArrayKind {
+    /// Decoded-address SRAM array (ROB, PRF, FIFO shelf, caches).
+    Ram,
+    /// Content-addressable array: every access drives match lines across
+    /// all entries (IQ wakeup, LSQ search). Much more expensive per access.
+    Cam,
+}
+
+/// Geometry of one storage structure.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StructureGeometry {
+    /// Human-readable name (report keys).
+    pub name: &'static str,
+    /// Number of entries.
+    pub entries: usize,
+    /// Bits per entry.
+    pub bits: usize,
+    /// Total read + write ports.
+    pub ports: usize,
+    /// RAM or CAM.
+    pub kind: ArrayKind,
+    /// Cell-area scale: 1.0 for loose multiported core arrays, ~0.35 for
+    /// dense 6T cache SRAM.
+    pub cell_scale: f64,
+}
+
+/// Energy multiplier of a CAM access relative to a RAM access of the same
+/// geometry (all match lines toggle).
+const CAM_ENERGY_FACTOR: f64 = 2.5;
+/// Area multiplier of a CAM cell relative to a RAM cell.
+const CAM_AREA_FACTOR: f64 = 2.0;
+
+impl StructureGeometry {
+    /// Creates a RAM structure.
+    pub fn ram(name: &'static str, entries: usize, bits: usize, ports: usize) -> Self {
+        StructureGeometry { name, entries, bits, ports, kind: ArrayKind::Ram, cell_scale: 1.0 }
+    }
+
+    /// Creates a dense-SRAM structure (caches: 6T cells, single-ported
+    /// banks, ~0.35x the cell area of the loose multiported core arrays).
+    pub fn dense_ram(name: &'static str, entries: usize, bits: usize, ports: usize) -> Self {
+        StructureGeometry { name, entries, bits, ports, kind: ArrayKind::Ram, cell_scale: 0.35 }
+    }
+
+    /// Creates a CAM structure.
+    pub fn cam(name: &'static str, entries: usize, bits: usize, ports: usize) -> Self {
+        StructureGeometry { name, entries, bits, ports, kind: ArrayKind::Cam, cell_scale: 1.0 }
+    }
+
+    /// Total storage bits.
+    pub fn total_bits(&self) -> f64 {
+        (self.entries * self.bits) as f64
+    }
+
+    /// Per-access dynamic energy in arbitrary energy units.
+    ///
+    /// RAM access energy scales with the accessed word (`bits`) plus the
+    /// bitline/wordline overhead that grows with `sqrt(entries)`; CAM access
+    /// energy scales with the *whole* array (every entry compares), which is
+    /// what makes a FIFO shelf fundamentally cheaper than an unordered IQ of
+    /// the same capacity — the paper's core energy argument.
+    pub fn access_energy(&self) -> f64 {
+        let e = self.entries.max(1) as f64;
+        let b = self.bits as f64;
+        match self.kind {
+            ArrayKind::Ram => b * (1.0 + 0.15 * e.sqrt()),
+            ArrayKind::Cam => CAM_ENERGY_FACTOR * b * (1.0 + 0.038 * e),
+        }
+    }
+
+    /// Area in arbitrary area units: cell area grows roughly linearly with
+    /// port count (each port adds a wordline and a bitline pair, and large
+    /// multiported arrays are banked rather than fully multiported); CAM
+    /// cells are larger.
+    pub fn area(&self) -> f64 {
+        let cell = match self.kind {
+            ArrayKind::Ram => 1.0,
+            ArrayKind::Cam => CAM_AREA_FACTOR,
+        };
+        let p = self.ports.max(1) as f64;
+        self.total_bits() * cell * self.cell_scale * (0.6 + 0.35 * p)
+    }
+
+    /// Leakage power per cycle in arbitrary units (proportional to area).
+    pub fn leakage_per_cycle(&self) -> f64 {
+        0.0005 * self.area()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cam_costs_more_than_ram_per_access() {
+        let ram = StructureGeometry::ram("a", 32, 64, 4);
+        let cam = StructureGeometry::cam("b", 32, 64, 4);
+        assert!(cam.access_energy() > 2.0 * ram.access_energy());
+        assert!(cam.area() > ram.area());
+    }
+
+    #[test]
+    fn cam_energy_scales_linearly_with_entries() {
+        let small = StructureGeometry::cam("s", 32, 40, 4);
+        let big = StructureGeometry::cam("b", 64, 40, 4);
+        let ratio = big.access_energy() / small.access_energy();
+        assert!(ratio > 1.4, "doubling a CAM should scale its access energy strongly: {ratio}");
+    }
+
+    #[test]
+    fn ram_energy_scales_sublinearly_with_entries() {
+        let small = StructureGeometry::ram("s", 32, 40, 4);
+        let big = StructureGeometry::ram("b", 64, 40, 4);
+        let ratio = big.access_energy() / small.access_energy();
+        assert!(ratio < 1.5, "RAM access energy grows ~sqrt(entries): {ratio}");
+    }
+
+    #[test]
+    fn area_scales_with_ports() {
+        // (0.6 + 0.35p): 8 ports vs 2 ports is (3.4 / 1.3) ~ 2.6x.
+        let few = StructureGeometry::ram("f", 64, 64, 2);
+        let many = StructureGeometry::ram("m", 64, 64, 8);
+        assert!(many.area() > 2.0 * few.area());
+        assert!(many.area() < 4.0 * few.area());
+    }
+
+    #[test]
+    fn dense_cells_shrink_caches() {
+        let loose = StructureGeometry::ram("l", 4096, 64, 2);
+        let dense = StructureGeometry::dense_ram("d", 4096, 64, 2);
+        assert!((dense.area() - 0.35 * loose.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shelf_vs_iq_asymmetry() {
+        // A 64-entry FIFO (2 ports: push + pop) is far cheaper than a
+        // 32-entry IQ CAM with full issue-width ports — the design's premise.
+        let shelf = StructureGeometry::ram("shelf", 64, 80, 2);
+        let iq = StructureGeometry::cam("iq", 32, 80, 8);
+        assert!(iq.access_energy() > 1.5 * shelf.access_energy());
+        assert!(iq.area() > shelf.area());
+    }
+
+    #[test]
+    fn leakage_tracks_area() {
+        let s = StructureGeometry::ram("s", 128, 64, 2);
+        assert!(s.leakage_per_cycle() > 0.0);
+        let big = StructureGeometry::ram("b", 256, 64, 2);
+        assert!(big.leakage_per_cycle() > s.leakage_per_cycle());
+    }
+}

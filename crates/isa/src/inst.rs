@@ -1,0 +1,237 @@
+//! Dynamic instruction representation consumed by the core model.
+
+use crate::op::OpClass;
+use crate::reg::ArchReg;
+
+/// Memory access information attached to loads and stores.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MemInfo {
+    /// Virtual byte address of the access.
+    pub addr: u64,
+    /// Access size in bytes (1, 2, 4, or 8).
+    pub size: u8,
+}
+
+impl MemInfo {
+    /// Creates memory info for an access of `size` bytes at `addr`.
+    pub fn new(addr: u64, size: u8) -> Self {
+        MemInfo { addr, size }
+    }
+
+    /// Returns `true` if the two accesses overlap in memory.
+    ///
+    /// The load/store queues use this for forwarding and ordering checks.
+    #[inline]
+    pub fn overlaps(&self, other: &MemInfo) -> bool {
+        let a_end = self.addr + self.size as u64;
+        let b_end = other.addr + other.size as u64;
+        self.addr < b_end && other.addr < a_end
+    }
+}
+
+/// Control-flow information attached to branches.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BranchInfo {
+    /// Whether the branch is actually taken in this dynamic instance.
+    pub taken: bool,
+    /// The actual next PC (fall-through or target).
+    pub next_pc: u64,
+    /// Whether the branch is a function return (uses the RAS).
+    pub is_return: bool,
+    /// Whether the branch is a call (pushes the RAS).
+    pub is_call: bool,
+}
+
+/// A decoded dynamic instruction.
+///
+/// This is what the workload generator emits and the pipeline consumes. The
+/// simulator is timing-only: no data values are tracked, but memory addresses
+/// and branch outcomes are exact so that the LSQ, caches, and branch
+/// predictor behave faithfully.
+///
+/// # Example
+///
+/// ```
+/// use shelfsim_isa::{ArchReg, DynInst, MemInfo, OpClass};
+///
+/// let ld = DynInst::load(ArchReg::int(1), ArchReg::int(2), MemInfo::new(0x1000, 8));
+/// assert!(ld.is_load());
+/// assert_eq!(ld.mem.unwrap().addr, 0x1000);
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DynInst {
+    /// Static instruction address (used by the branch predictor and for
+    /// replay after memory-order violations).
+    pub pc: u64,
+    /// Operation class.
+    pub op: OpClass,
+    /// Destination register, if the instruction writes one.
+    pub dest: Option<ArchReg>,
+    /// Up to two source registers.
+    pub srcs: [Option<ArchReg>; 2],
+    /// Memory access info for loads/stores.
+    pub mem: Option<MemInfo>,
+    /// Branch info for branches.
+    pub branch: Option<BranchInfo>,
+}
+
+impl DynInst {
+    /// Creates a register-to-register arithmetic instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is a memory or branch class, or more than two sources
+    /// are supplied.
+    pub fn alu(op: OpClass, dest: ArchReg, srcs: &[ArchReg]) -> Self {
+        assert!(!op.is_mem() && op != OpClass::Branch, "use load/store/branch constructors");
+        assert!(srcs.len() <= 2, "at most two source registers");
+        let mut s = [None; 2];
+        for (slot, &r) in s.iter_mut().zip(srcs) {
+            *slot = Some(r);
+        }
+        DynInst { pc: 0, op, dest: Some(dest), srcs: s, mem: None, branch: None }
+    }
+
+    /// Creates a load of `mem` into `dest`, with `base` as the address source.
+    pub fn load(dest: ArchReg, base: ArchReg, mem: MemInfo) -> Self {
+        DynInst {
+            pc: 0,
+            op: OpClass::Load,
+            dest: Some(dest),
+            srcs: [Some(base), None],
+            mem: Some(mem),
+            branch: None,
+        }
+    }
+
+    /// Creates a store of `data` to `mem`, with `base` as the address source.
+    pub fn store(data: ArchReg, base: ArchReg, mem: MemInfo) -> Self {
+        DynInst {
+            pc: 0,
+            op: OpClass::Store,
+            dest: None,
+            srcs: [Some(base), Some(data)],
+            mem: Some(mem),
+            branch: None,
+        }
+    }
+
+    /// Creates a conditional branch reading `cond`.
+    pub fn branch(cond: Option<ArchReg>, info: BranchInfo) -> Self {
+        DynInst {
+            pc: 0,
+            op: OpClass::Branch,
+            dest: None,
+            srcs: [cond, None],
+            mem: None,
+            branch: Some(info),
+        }
+    }
+
+    /// Creates a memory barrier.
+    pub fn barrier() -> Self {
+        DynInst {
+            pc: 0,
+            op: OpClass::MemBarrier,
+            dest: None,
+            srcs: [None, None],
+            mem: None,
+            branch: None,
+        }
+    }
+
+    /// Sets the static PC (builder-style).
+    pub fn at(mut self, pc: u64) -> Self {
+        self.pc = pc;
+        self
+    }
+
+    /// Returns `true` for loads.
+    #[inline]
+    pub fn is_load(&self) -> bool {
+        self.op == OpClass::Load
+    }
+
+    /// Returns `true` for stores.
+    #[inline]
+    pub fn is_store(&self) -> bool {
+        self.op == OpClass::Store
+    }
+
+    /// Returns `true` for loads and stores.
+    #[inline]
+    pub fn is_mem(&self) -> bool {
+        self.op.is_mem()
+    }
+
+    /// Returns `true` for branches.
+    #[inline]
+    pub fn is_branch(&self) -> bool {
+        self.op == OpClass::Branch
+    }
+
+    /// Iterates over the present source registers.
+    pub fn sources(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        self.srcs.iter().flatten().copied()
+    }
+
+    /// Number of present source registers.
+    pub fn num_sources(&self) -> usize {
+        self.srcs.iter().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_overlap_detection() {
+        let a = MemInfo::new(0x100, 8);
+        let b = MemInfo::new(0x104, 4);
+        let c = MemInfo::new(0x108, 8);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(b.overlaps(&MemInfo::new(0x107, 1)));
+        assert!(!b.overlaps(&MemInfo::new(0x103, 1)));
+    }
+
+    #[test]
+    fn alu_constructor_sets_sources() {
+        let i = DynInst::alu(OpClass::IntMul, ArchReg::int(4), &[ArchReg::int(1)]);
+        assert_eq!(i.num_sources(), 1);
+        assert_eq!(i.dest, Some(ArchReg::int(4)));
+        assert_eq!(i.sources().next(), Some(ArchReg::int(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "constructors")]
+    fn alu_rejects_mem_class() {
+        let _ = DynInst::alu(OpClass::Load, ArchReg::int(0), &[]);
+    }
+
+    #[test]
+    fn store_has_no_dest() {
+        let s = DynInst::store(ArchReg::int(1), ArchReg::int(2), MemInfo::new(0, 4));
+        assert!(s.dest.is_none());
+        assert!(s.is_store());
+        assert_eq!(s.num_sources(), 2);
+    }
+
+    #[test]
+    fn branch_carries_outcome() {
+        let b = DynInst::branch(
+            Some(ArchReg::int(7)),
+            BranchInfo { taken: true, next_pc: 0x40, is_return: false, is_call: false },
+        );
+        assert!(b.is_branch());
+        assert!(b.branch.unwrap().taken);
+    }
+
+    #[test]
+    fn at_sets_pc() {
+        let i = DynInst::barrier().at(0x123);
+        assert_eq!(i.pc, 0x123);
+    }
+}

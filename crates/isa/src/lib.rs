@@ -1,0 +1,25 @@
+//! Instruction-set model for the `shelfsim` SMT out-of-order core simulator.
+//!
+//! The paper evaluates ARMv7 binaries; we substitute a compact RISC-like
+//! abstract ISA that captures everything the microarchitecture cares about:
+//! operation class (which functional unit and latency), up to two source
+//! registers, an optional destination register, memory addresses for loads
+//! and stores, and branch outcomes.
+//!
+//! # Example
+//!
+//! ```
+//! use shelfsim_isa::{ArchReg, DynInst, OpClass};
+//!
+//! let add = DynInst::alu(OpClass::IntAlu, ArchReg::int(3), &[ArchReg::int(1), ArchReg::int(2)]);
+//! assert_eq!(add.op.latency(), 1);
+//! assert!(!add.is_mem());
+//! ```
+
+pub mod inst;
+pub mod op;
+pub mod reg;
+
+pub use inst::{BranchInfo, DynInst, MemInfo};
+pub use op::{FuKind, OpClass};
+pub use reg::{ArchReg, ThreadId, NUM_ARCH_REGS};

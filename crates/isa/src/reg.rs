@@ -1,0 +1,169 @@
+//! Architectural register and hardware-thread identifiers.
+
+use std::fmt;
+
+/// Number of integer architectural registers per thread.
+pub const NUM_INT_REGS: u8 = 32;
+/// Number of floating-point architectural registers per thread.
+pub const NUM_FP_REGS: u8 = 32;
+/// Total architectural registers per thread (integer + floating point).
+///
+/// The rename stage, the Ready Cycle Table, and the Parent Loads Table are
+/// all indexed by this flat space.
+pub const NUM_ARCH_REGS: usize = (NUM_INT_REGS + NUM_FP_REGS) as usize;
+
+/// An architectural (logical) register identifier.
+///
+/// Registers `0..32` are the integer file, `32..64` the floating-point file.
+/// The distinction only matters to the workload generator (FP ops read/write
+/// FP registers); the rename machinery treats the space uniformly, exactly as
+/// a merged-RAT design would.
+///
+/// # Example
+///
+/// ```
+/// use shelfsim_isa::ArchReg;
+/// let r = ArchReg::int(5);
+/// let f = ArchReg::fp(5);
+/// assert_ne!(r, f);
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(f.index(), 37);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArchReg(u8);
+
+impl ArchReg {
+    /// Creates an integer register identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[inline]
+    pub fn int(n: u8) -> Self {
+        assert!(n < NUM_INT_REGS, "integer register {n} out of range");
+        ArchReg(n)
+    }
+
+    /// Creates a floating-point register identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[inline]
+    pub fn fp(n: u8) -> Self {
+        assert!(n < NUM_FP_REGS, "fp register {n} out of range");
+        ArchReg(NUM_INT_REGS + n)
+    }
+
+    /// Creates a register from a flat index in `0..NUM_ARCH_REGS`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        assert!(index < NUM_ARCH_REGS, "register index {index} out of range");
+        ArchReg(index as u8)
+    }
+
+    /// Flat index into the per-thread architectural register space.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns `true` if this is a floating-point register.
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        self.0 >= NUM_INT_REGS
+    }
+}
+
+impl fmt::Debug for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_fp() {
+            write!(f, "f{}", self.0 - NUM_INT_REGS)
+        } else {
+            write!(f, "r{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A hardware-thread (SMT context) identifier within one core.
+///
+/// The evaluated designs use 1, 2, 4, or 8 contexts.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(pub u8);
+
+impl ThreadId {
+    /// Flat index for use in per-thread arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u8> for ThreadId {
+    fn from(v: u8) -> Self {
+        ThreadId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_fp_spaces_are_disjoint() {
+        for n in 0..NUM_INT_REGS {
+            assert!(!ArchReg::int(n).is_fp());
+        }
+        for n in 0..NUM_FP_REGS {
+            assert!(ArchReg::fp(n).is_fp());
+        }
+    }
+
+    #[test]
+    fn flat_index_round_trips() {
+        for i in 0..NUM_ARCH_REGS {
+            assert_eq!(ArchReg::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_reg_out_of_range_panics() {
+        let _ = ArchReg::int(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flat_index_out_of_range_panics() {
+        let _ = ArchReg::from_index(NUM_ARCH_REGS);
+    }
+
+    #[test]
+    fn thread_id_display() {
+        assert_eq!(ThreadId(3).to_string(), "t3");
+        assert_eq!(ArchReg::fp(1).to_string(), "f1");
+        assert_eq!(ArchReg::int(9).to_string(), "r9");
+    }
+}

@@ -1,0 +1,112 @@
+//! Multiprogram performance metrics and statistics helpers for `shelfsim`.
+//!
+//! Implements the metrics the paper reports: system throughput (STP, Eyerman
+//! & Eeckhout), average normalized turnaround time (ANTT), weighted
+//! cumulative distributions of series lengths (Figure 2), and the usual
+//! aggregate helpers (geometric mean, median selection).
+//!
+//! # Example
+//!
+//! ```
+//! use shelfsim_stats::stp;
+//!
+//! // Two threads, each running at half its single-threaded speed: STP = 1.0.
+//! let v = stp(&[1.0, 2.0], &[2.0, 4.0]);
+//! assert!((v - 1.0).abs() < 1e-12);
+//! ```
+
+pub mod cdf;
+pub mod summary;
+
+pub use cdf::WeightedCdf;
+pub use summary::{geomean, mean, median, min_median_max_indices, percent_delta};
+
+/// System throughput (STP) of a multiprogram execution.
+///
+/// `STP = Σ_i CPI_i^ST / CPI_i^MT` — the sum over threads of the ratio of
+/// each program's single-threaded CPI to its CPI in the multithreaded mix
+/// (Eyerman & Eeckhout, IEEE Micro 2008; paper §V). It reflects the number of
+/// programs completed per unit time and incorporates fairness: a thread that
+/// is starved contributes little.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are empty, or any CPI is not
+/// strictly positive.
+pub fn stp(single_thread_cpi: &[f64], multi_thread_cpi: &[f64]) -> f64 {
+    assert_eq!(
+        single_thread_cpi.len(),
+        multi_thread_cpi.len(),
+        "per-thread CPI slices must be the same length"
+    );
+    assert!(!single_thread_cpi.is_empty(), "at least one thread required");
+    single_thread_cpi
+        .iter()
+        .zip(multi_thread_cpi)
+        .map(|(&st, &mt)| {
+            assert!(st > 0.0 && mt > 0.0, "CPI values must be positive");
+            st / mt
+        })
+        .sum()
+}
+
+/// Average normalized turnaround time (ANTT), the fairness-oriented
+/// complement of [`stp`]: `ANTT = (1/n) Σ_i CPI_i^MT / CPI_i^ST`.
+///
+/// Lower is better. Not reported in the paper's figures but useful when
+/// exploring steering policies.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`stp`].
+pub fn antt(single_thread_cpi: &[f64], multi_thread_cpi: &[f64]) -> f64 {
+    assert_eq!(single_thread_cpi.len(), multi_thread_cpi.len());
+    assert!(!single_thread_cpi.is_empty());
+    let n = single_thread_cpi.len() as f64;
+    single_thread_cpi
+        .iter()
+        .zip(multi_thread_cpi)
+        .map(|(&st, &mt)| {
+            assert!(st > 0.0 && mt > 0.0, "CPI values must be positive");
+            mt / st
+        })
+        .sum::<f64>()
+        / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stp_of_perfect_smt_is_thread_count() {
+        // If SMT were free, each thread would retain its ST CPI.
+        let st = [1.5, 0.8, 2.0, 1.0];
+        let v = stp(&st, &st);
+        assert!((v - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stp_weights_slowdown_per_thread() {
+        let v = stp(&[1.0, 1.0], &[4.0, 4.0]);
+        assert!((v - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn antt_of_no_slowdown_is_one() {
+        let st = [1.0, 2.0];
+        assert!((antt(&st, &st) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn stp_rejects_mismatched_lengths() {
+        let _ = stp(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn stp_rejects_zero_cpi() {
+        let _ = stp(&[0.0], &[1.0]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Aggregate helpers: geometric mean, median selection, percentage deltas.
+
+/// Geometric mean of a slice of positive values.
+///
+/// The paper reports geometric means across the 28 workload mixes
+/// (Figure 10). Returns 0.0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean. Returns 0.0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Median (lower middle element for even lengths). Returns 0.0 for an empty
+/// slice.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("median requires orderable values"));
+    v[(v.len() - 1) / 2]
+}
+
+/// Indices of the minimum, median, and maximum elements.
+///
+/// The paper reports "the benchmark mix with the maximum, minimum, and median
+/// STP improvement over the baseline" (§V); this selects those mixes.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn min_median_max_indices(values: &[f64]) -> (usize, usize, usize) {
+    assert!(!values.is_empty(), "cannot select from an empty slice");
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("orderable values"));
+    let min = order[0];
+    let med = order[(order.len() - 1) / 2];
+    let max = order[order.len() - 1];
+    (min, med, max)
+}
+
+/// Percentage change from `base` to `new` (`+11.5` means 11.5% better).
+///
+/// # Panics
+///
+/// Panics if `base` is zero.
+pub fn percent_delta(base: f64, new: f64) -> f64 {
+    assert!(base != 0.0, "cannot compute a percentage delta from zero");
+    (new - base) / base * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_identical_values() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_below_arithmetic_mean() {
+        let v = [1.0, 4.0];
+        assert!(geomean(&v) < mean(&v));
+        assert!((geomean(&v) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_empty_is_zero() {
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        let _ = geomean(&[1.0, -1.0]);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn min_median_max_selection() {
+        let v = [5.0, 1.0, 3.0, 9.0, 2.0];
+        let (lo, med, hi) = min_median_max_indices(&v);
+        assert_eq!(v[lo], 1.0);
+        assert_eq!(v[med], 3.0);
+        assert_eq!(v[hi], 9.0);
+    }
+
+    #[test]
+    fn percent_delta_signs() {
+        assert!((percent_delta(2.0, 2.2) - 10.0).abs() < 1e-9);
+        assert!((percent_delta(2.0, 1.8) + 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn min_median_max_rejects_empty() {
+        let _ = min_median_max_indices(&[]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests for the statistics helpers.
+
+use proptest::prelude::*;
+use shelfsim_stats::{geomean, mean, median, min_median_max_indices, stp, WeightedCdf};
+
+proptest! {
+    #[test]
+    fn cdf_is_monotonic_and_normalized(lengths in prop::collection::vec(1u64..200, 1..100)) {
+        let mut cdf = WeightedCdf::new();
+        for &l in &lengths {
+            cdf.record(l);
+        }
+        let max = cdf.max_length().expect("non-empty");
+        let mut prev = 0.0;
+        for l in 0..=max {
+            let f = cdf.fraction_at_or_below(l);
+            prop_assert!(f >= prev - 1e-12, "CDF must be monotonic");
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&f));
+            prev = f;
+        }
+        prop_assert!((cdf.fraction_at_or_below(max) - 1.0).abs() < 1e-12);
+        prop_assert_eq!(cdf.total_weight(), lengths.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn quantile_is_consistent_with_cdf(
+        lengths in prop::collection::vec(1u64..100, 1..60),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut cdf = WeightedCdf::new();
+        for &l in &lengths {
+            cdf.record(l);
+        }
+        let at = cdf.quantile(q).expect("non-empty");
+        prop_assert!(cdf.fraction_at_or_below(at) >= q - 1e-9);
+        if at > 1 {
+            prop_assert!(cdf.fraction_at_or_below(at - 1) < q + 1e-9);
+        }
+    }
+
+    #[test]
+    fn geomean_bounded_by_min_max(values in prop::collection::vec(0.01f64..100.0, 1..50)) {
+        let g = geomean(&values);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(g >= lo - 1e-9 && g <= hi + 1e-9);
+        prop_assert!(g <= mean(&values) + 1e-9, "AM-GM inequality");
+    }
+
+    #[test]
+    fn median_is_an_element(values in prop::collection::vec(-100.0f64..100.0, 1..50)) {
+        let m = median(&values);
+        prop_assert!(values.iter().any(|&v| (v - m).abs() < 1e-12));
+        let below = values.iter().filter(|&&v| v < m).count();
+        prop_assert!(below <= values.len() / 2);
+    }
+
+    #[test]
+    fn min_median_max_are_ordered(values in prop::collection::vec(-50.0f64..50.0, 1..40)) {
+        let (lo, med, hi) = min_median_max_indices(&values);
+        prop_assert!(values[lo] <= values[med]);
+        prop_assert!(values[med] <= values[hi]);
+    }
+
+    #[test]
+    fn stp_is_bounded_by_thread_count(
+        st in prop::collection::vec(0.1f64..50.0, 1..8),
+        slowdown in prop::collection::vec(1.0f64..20.0, 8),
+    ) {
+        // MT CPI = ST CPI * slowdown (>= 1): each term <= 1, so STP <= n.
+        let mt: Vec<f64> = st.iter().zip(&slowdown).map(|(&s, &k)| s * k).collect();
+        let v = stp(&st, &mt[..st.len()]);
+        prop_assert!(v > 0.0);
+        prop_assert!(v <= st.len() as f64 + 1e-9);
+    }
+}

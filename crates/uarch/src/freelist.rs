@@ -1,0 +1,157 @@
+//! Free lists for physical registers and extension tags.
+//!
+//! Paper §III-C manages the decoupled tag space with "two free lists, one
+//! physical free list for the original tag space and one extension free list
+//! for the extension". Both are instances of [`FreeList`].
+
+/// A FIFO free list over a contiguous identifier range.
+///
+/// Identifiers are handed out oldest-freed-first, which mirrors hardware
+/// free-list circular buffers and maximizes the time before an identifier is
+/// reused (useful when debugging rename).
+///
+/// # Example
+///
+/// ```
+/// use shelfsim_uarch::FreeList;
+///
+/// let mut fl = FreeList::new(10, 2); // ids 10 and 11
+/// let a = fl.allocate().unwrap();
+/// fl.free(a);
+/// assert_eq!(fl.available(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FreeList {
+    ids: std::collections::VecDeque<u32>,
+    base: u32,
+    count: u32,
+    #[cfg(debug_assertions)]
+    outstanding: std::collections::HashSet<u32>,
+}
+
+impl FreeList {
+    /// Creates a free list over the identifier range `base..base + count`,
+    /// all initially free.
+    pub fn new(base: u32, count: u32) -> Self {
+        FreeList {
+            ids: (base..base + count).collect(),
+            base,
+            count,
+            #[cfg(debug_assertions)]
+            outstanding: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Allocates the oldest free identifier, or `None` if exhausted.
+    pub fn allocate(&mut self) -> Option<u32> {
+        let id = self.ids.pop_front()?;
+        #[cfg(debug_assertions)]
+        self.outstanding.insert(id);
+        Some(id)
+    }
+
+    /// Returns `id` to the list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside this list's range, or (in debug builds) if
+    /// `id` was not currently allocated — a double free, which in the real
+    /// design would corrupt the rename state.
+    pub fn free(&mut self, id: u32) {
+        assert!(
+            id >= self.base && id < self.base + self.count,
+            "identifier {id} outside free-list range {}..{}",
+            self.base,
+            self.base + self.count
+        );
+        #[cfg(debug_assertions)]
+        assert!(self.outstanding.remove(&id), "double free of identifier {id}");
+        self.ids.push_back(id);
+    }
+
+    /// Number of identifiers currently free.
+    pub fn available(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Returns `true` when nothing can be allocated.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Total identifiers managed (free + allocated).
+    pub fn capacity(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Returns `true` if `id` falls in this list's identifier range.
+    pub fn contains_range(&self, id: u32) -> bool {
+        id >= self.base && id < self.base + self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_whole_range_then_exhausts() {
+        let mut fl = FreeList::new(5, 3);
+        let mut got = vec![];
+        while let Some(id) = fl.allocate() {
+            got.push(id);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![5, 6, 7]);
+        assert!(fl.is_empty());
+    }
+
+    #[test]
+    fn free_makes_id_reusable() {
+        let mut fl = FreeList::new(0, 1);
+        let a = fl.allocate().unwrap();
+        assert!(fl.allocate().is_none());
+        fl.free(a);
+        assert_eq!(fl.allocate(), Some(a));
+    }
+
+    #[test]
+    fn fifo_reuse_order() {
+        let mut fl = FreeList::new(0, 3);
+        let a = fl.allocate().unwrap();
+        let b = fl.allocate().unwrap();
+        let c = fl.allocate().unwrap();
+        fl.free(b);
+        fl.free(c);
+        fl.free(a);
+        assert_eq!(fl.allocate(), Some(b));
+        assert_eq!(fl.allocate(), Some(c));
+        assert_eq!(fl.allocate(), Some(a));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside free-list range")]
+    fn free_out_of_range_panics() {
+        FreeList::new(10, 2).free(9);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics_in_debug() {
+        let mut fl = FreeList::new(0, 2);
+        let a = fl.allocate().unwrap();
+        fl.free(a);
+        fl.free(a);
+    }
+
+    #[test]
+    fn range_membership() {
+        let fl = FreeList::new(64, 16);
+        assert!(fl.contains_range(64));
+        assert!(fl.contains_range(79));
+        assert!(!fl.contains_range(80));
+        assert!(!fl.contains_range(63));
+        assert_eq!(fl.capacity(), 16);
+    }
+}

@@ -1,0 +1,207 @@
+//! The per-thread issue-tracking bitvector (paper §III-A, Figure 4).
+//!
+//! IQ instructions are dynamically scheduled, so dispatch order is not issue
+//! order. To let the shelf head establish that *all elder IQ instructions of
+//! its run have issued*, the paper allocates a per-thread bitvector with one
+//! bit per ROB entry: the bit is cleared at dispatch and set at issue, and a
+//! head pointer (like the ROB's) tracks the oldest unissued IQ instruction.
+//! A shelf instruction records the ROB tail at its dispatch; it becomes
+//! order-eligible once the head pointer advances past that index.
+
+/// Issue-order tracking over a thread's ROB entries.
+///
+/// Indices are the monotonic ROB indices of [`crate::OrderedQueue`]; the
+/// hardware's wrap-around bitvector is modeled by a sliding window.
+///
+/// # Example
+///
+/// ```
+/// use shelfsim_uarch::IssueTracker;
+///
+/// let mut t = IssueTracker::new();
+/// t.dispatch(0);
+/// t.dispatch(1);
+/// // A shelf instruction dispatched now records barrier = 2 (the ROB tail).
+/// assert!(!t.eligible(2));
+/// t.issue(1); // younger IQ inst issues first: head stays at 0
+/// assert!(!t.eligible(2));
+/// t.issue(0);
+/// assert!(t.eligible(2)); // head passed both
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct IssueTracker {
+    /// `window[i]` = has ROB index `head + i` issued?
+    window: std::collections::VecDeque<bool>,
+    /// Oldest unissued ROB index (the head pointer of Figure 4).
+    head: u64,
+    /// Next ROB index expected at dispatch.
+    next: u64,
+}
+
+impl IssueTracker {
+    /// Creates an empty tracker (head at index 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the dispatch of the IQ instruction at ROB index `idx`
+    /// (clears its bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not the next consecutive ROB index — ROB
+    /// allocation is in program order.
+    pub fn dispatch(&mut self, idx: u64) {
+        assert_eq!(idx, self.next, "ROB indices must be dispatched in order");
+        self.window.push_back(false);
+        self.next += 1;
+    }
+
+    /// Registers the issue of the IQ instruction at ROB index `idx` (sets
+    /// its bit) and advances the head pointer over issued instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` has not been dispatched or has already been passed by
+    /// the head pointer.
+    pub fn issue(&mut self, idx: u64) {
+        assert!(idx >= self.head && idx < self.next, "issue of untracked ROB index {idx}");
+        let off = (idx - self.head) as usize;
+        debug_assert!(!self.window[off], "double issue of ROB index {idx}");
+        self.window[off] = true;
+        while self.window.front() == Some(&true) {
+            self.window.pop_front();
+            self.head += 1;
+        }
+    }
+
+    /// The head pointer: the oldest unissued ROB index (equals the next
+    /// dispatch index when everything has issued).
+    #[inline]
+    pub fn head(&self) -> u64 {
+        self.head
+    }
+
+    /// The shelf-head order check: have all IQ instructions older than
+    /// `barrier` (a recorded ROB tail) issued?
+    #[inline]
+    pub fn eligible(&self, barrier: u64) -> bool {
+        self.head >= barrier
+    }
+
+    /// Squash rollback: forget all dispatched-but-unissued state at indices
+    /// `>= from`. In-flight issued state older than `from` is unaffected.
+    pub fn squash_from(&mut self, from: u64) {
+        if from >= self.next {
+            return;
+        }
+        if from <= self.head {
+            self.window.clear();
+            self.head = from;
+        } else {
+            self.window.truncate((from - self.head) as usize);
+        }
+        self.next = from;
+    }
+
+    /// Number of dispatched, unretired-by-head indices still tracked.
+    pub fn tracked(&self) -> usize {
+        self.window.len()
+    }
+
+    /// The next ROB index the tracker expects (the ROB tail pointer a shelf
+    /// instruction records at dispatch).
+    #[inline]
+    pub fn next_index(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_advances_only_over_contiguous_issues() {
+        let mut t = IssueTracker::new();
+        for i in 0..4 {
+            t.dispatch(i);
+        }
+        t.issue(2);
+        t.issue(3);
+        assert_eq!(t.head(), 0);
+        t.issue(0);
+        assert_eq!(t.head(), 1);
+        t.issue(1);
+        assert_eq!(t.head(), 4);
+    }
+
+    #[test]
+    fn eligibility_matches_run_semantics() {
+        let mut t = IssueTracker::new();
+        t.dispatch(0); // IQ inst A
+        let barrier = t.next_index(); // shelf inst dispatched here records 1
+        assert!(!t.eligible(barrier));
+        t.issue(0);
+        assert!(t.eligible(barrier));
+        // A shelf instruction with no preceding IQ instruction (barrier 0
+        // at reset) is immediately eligible.
+        assert!(t.eligible(0));
+    }
+
+    #[test]
+    fn out_of_order_issue_keeps_barrier() {
+        let mut t = IssueTracker::new();
+        t.dispatch(0);
+        t.dispatch(1);
+        t.dispatch(2);
+        let barrier = t.next_index(); // 3
+        t.issue(1);
+        t.issue(2);
+        assert!(!t.eligible(barrier), "inst 0 unissued: shelf must wait");
+        t.issue(0);
+        assert!(t.eligible(barrier));
+    }
+
+    #[test]
+    fn squash_rewinds_tail() {
+        let mut t = IssueTracker::new();
+        for i in 0..5 {
+            t.dispatch(i);
+        }
+        t.issue(0);
+        t.squash_from(2);
+        assert_eq!(t.next_index(), 2);
+        assert_eq!(t.head(), 1);
+        t.dispatch(2);
+        t.issue(1);
+        t.issue(2);
+        assert_eq!(t.head(), 3);
+    }
+
+    #[test]
+    fn squash_below_head_resets() {
+        let mut t = IssueTracker::new();
+        t.dispatch(0);
+        t.issue(0);
+        t.squash_from(0);
+        assert_eq!(t.head(), 0);
+        assert_eq!(t.next_index(), 0);
+        t.dispatch(0);
+        assert_eq!(t.head(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "in order")]
+    fn non_consecutive_dispatch_panics() {
+        let mut t = IssueTracker::new();
+        t.dispatch(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "untracked")]
+    fn issue_of_future_index_panics() {
+        let mut t = IssueTracker::new();
+        t.issue(0);
+    }
+}

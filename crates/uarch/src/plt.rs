@@ -1,0 +1,174 @@
+//! The Parent Loads Table of the practical steering mechanism
+//! (paper §IV-B, Figure 9).
+//!
+//! A small bit matrix tracks which architectural registers depend (directly
+//! or transitively) on a *sampled* in-flight load. Columns are loads (the
+//! paper finds 4 per thread sufficient); rows are architectural registers.
+//! When a register's Ready Cycle Table counter reaches zero but the register
+//! is not actually ready — the tell-tale of an L1 miss — the register's
+//! parent-load bits are loaded into the *stalled loads* bitvector and every
+//! register sharing a stalled parent has its RCT counter frozen, pushing the
+//! predicted schedule of the whole dependence tree back one cycle per cycle.
+
+use shelfsim_isa::NUM_ARCH_REGS;
+
+/// The per-thread parent-loads bit matrix plus the stalled-loads bitvector.
+#[derive(Clone, Debug)]
+pub struct ParentLoadsTable {
+    /// `rows[r]` = bitmask of load columns register `r` depends on.
+    rows: [u8; NUM_ARCH_REGS],
+    /// Columns currently assigned to an in-flight load.
+    allocated: u8,
+    /// Columns whose load is known to be running late.
+    stalled: u8,
+    num_columns: u32,
+}
+
+impl ParentLoadsTable {
+    /// Creates a table with `columns` load slots (1..=8).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= columns <= 8`.
+    pub fn new(columns: u32) -> Self {
+        assert!((1..=8).contains(&columns), "column count must be 1..=8");
+        ParentLoadsTable { rows: [0; NUM_ARCH_REGS], allocated: 0, stalled: 0, num_columns: columns }
+    }
+
+    /// Tries to assign a free column to a newly steered load writing `dest`.
+    ///
+    /// Returns the column bit, or `None` if every column is busy (the load
+    /// simply goes unsampled — the paper notes sampling is sufficient). The
+    /// destination row is set to the load's own column OR'd with its
+    /// operands' parents, since the load itself may depend on earlier loads.
+    pub fn sample_load(
+        &mut self,
+        dest: shelfsim_isa::ArchReg,
+        operand_mask: u8,
+    ) -> Option<u8> {
+        let free = (0..self.num_columns).map(|c| 1u8 << c).find(|bit| self.allocated & bit == 0)?;
+        self.allocated |= free;
+        self.rows[dest.index()] = free | operand_mask;
+        Some(free)
+    }
+
+    /// Propagates parentage to a non-load instruction's destination: the
+    /// destination depends on the union of its operands' parent loads.
+    pub fn propagate(&mut self, dest: shelfsim_isa::ArchReg, operand_mask: u8) {
+        self.rows[dest.index()] = operand_mask;
+    }
+
+    /// The parent-load mask of `reg` (to be OR'd across an instruction's
+    /// operands).
+    #[inline]
+    pub fn mask(&self, reg: shelfsim_isa::ArchReg) -> u8 {
+        self.rows[reg.index()]
+    }
+
+    /// Marks the columns in `mask` as stalled (an RCT counter hit zero while
+    /// the register was still not ready).
+    pub fn mark_stalled(&mut self, mask: u8) {
+        self.stalled |= mask & self.allocated;
+    }
+
+    /// The load owning `column_bit` completed: clear its column everywhere
+    /// and free it for reuse.
+    pub fn load_completed(&mut self, column_bit: u8) {
+        self.allocated &= !column_bit;
+        self.stalled &= !column_bit;
+        for row in &mut self.rows {
+            *row &= !column_bit;
+        }
+    }
+
+    /// Should `reg`'s RCT counter be frozen this cycle? True when it shares
+    /// a parent load with the stalled set.
+    #[inline]
+    pub fn frozen(&self, reg_index: usize) -> bool {
+        self.rows[reg_index] & self.stalled != 0
+    }
+
+    /// Currently stalled column bits.
+    pub fn stalled_mask(&self) -> u8 {
+        self.stalled
+    }
+
+    /// Number of columns currently tracking a load.
+    pub fn columns_in_use(&self) -> u32 {
+        self.allocated.count_ones()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shelfsim_isa::ArchReg;
+
+    #[test]
+    fn sampling_assigns_distinct_columns_until_full() {
+        let mut plt = ParentLoadsTable::new(2);
+        let a = plt.sample_load(ArchReg::int(1), 0).unwrap();
+        let b = plt.sample_load(ArchReg::int(2), 0).unwrap();
+        assert_ne!(a, b);
+        assert!(plt.sample_load(ArchReg::int(3), 0).is_none(), "only 2 columns");
+        assert_eq!(plt.columns_in_use(), 2);
+    }
+
+    #[test]
+    fn dependence_propagates_transitively() {
+        let mut plt = ParentLoadsTable::new(4);
+        let col = plt.sample_load(ArchReg::int(1), 0).unwrap();
+        // r2 = f(r1); r3 = f(r2): both inherit the load's column.
+        let m1 = plt.mask(ArchReg::int(1));
+        plt.propagate(ArchReg::int(2), m1);
+        let m2 = plt.mask(ArchReg::int(2));
+        plt.propagate(ArchReg::int(3), m2);
+        assert_eq!(plt.mask(ArchReg::int(3)), col);
+    }
+
+    #[test]
+    fn stall_freezes_whole_tree() {
+        let mut plt = ParentLoadsTable::new(4);
+        let col = plt.sample_load(ArchReg::int(1), 0).unwrap();
+        plt.propagate(ArchReg::int(2), col);
+        plt.propagate(ArchReg::int(3), 0); // independent
+        plt.mark_stalled(col);
+        assert!(plt.frozen(ArchReg::int(1).index()));
+        assert!(plt.frozen(ArchReg::int(2).index()));
+        assert!(!plt.frozen(ArchReg::int(3).index()));
+    }
+
+    #[test]
+    fn completion_releases_column_and_stall() {
+        let mut plt = ParentLoadsTable::new(1);
+        let col = plt.sample_load(ArchReg::int(1), 0).unwrap();
+        plt.mark_stalled(col);
+        plt.load_completed(col);
+        assert!(!plt.frozen(ArchReg::int(1).index()));
+        assert_eq!(plt.stalled_mask(), 0);
+        assert_eq!(plt.mask(ArchReg::int(1)), 0);
+        assert!(plt.sample_load(ArchReg::int(5), 0).is_some(), "column reusable");
+    }
+
+    #[test]
+    fn nested_loads_union_masks() {
+        let mut plt = ParentLoadsTable::new(4);
+        let c1 = plt.sample_load(ArchReg::int(1), 0).unwrap();
+        // Pointer chase: second load's address depends on the first load.
+        let c2 = plt.sample_load(ArchReg::int(2), plt.mask(ArchReg::int(1))).unwrap();
+        assert_eq!(plt.mask(ArchReg::int(2)), c1 | c2);
+    }
+
+    #[test]
+    fn mark_stalled_ignores_unallocated_columns() {
+        let mut plt = ParentLoadsTable::new(4);
+        plt.mark_stalled(0b1111);
+        assert_eq!(plt.stalled_mask(), 0, "no allocated columns yet");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn zero_columns_panics() {
+        let _ = ParentLoadsTable::new(0);
+    }
+}

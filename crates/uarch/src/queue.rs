@@ -1,0 +1,290 @@
+//! A bounded circular buffer addressed by monotonically increasing indices.
+//!
+//! The ROB, the shelf, and the load/store queues are all circular buffers
+//! with head and tail pointers (paper §III: "We implement the shelf as a
+//! circular buffer with head and tail pointers, much like the ROB"). Using a
+//! monotonic `u64` index as the external handle makes age comparisons
+//! trivial and models the paper's *virtual index space* (§III-B: the shelf
+//! index space spans double the shelf size so entries can be recycled while
+//! indices stay reserved) without wraparound corner cases — the hardware
+//! wraparound is an implementation detail the simulator does not need to
+//! reproduce bit-exactly.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO whose entries are addressed by the monotonically
+/// increasing index assigned at push time.
+///
+/// Supports the three mutations every in-order window structure needs:
+/// `push` at the tail, `pop_front` at the head, and `truncate_from` (squash
+/// rollback at the tail).
+///
+/// # Example
+///
+/// ```
+/// use shelfsim_uarch::OrderedQueue;
+///
+/// let mut q = OrderedQueue::new(2);
+/// let a = q.push("a").unwrap();
+/// let b = q.push("b").unwrap();
+/// assert!(q.push("c").is_err()); // full
+/// assert_eq!(q.get(a), Some(&"a"));
+/// assert_eq!(q.pop_front(), Some((a, "a")));
+/// assert_eq!(q.head_index(), Some(b));
+/// ```
+#[derive(Clone, Debug)]
+pub struct OrderedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    /// Index the next pushed entry will receive.
+    next_index: u64,
+}
+
+/// Error returned by [`OrderedQueue::push`] when the queue is at capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueFull;
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("queue is at capacity")
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+impl<T> OrderedQueue<T> {
+    /// Creates an empty queue holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        OrderedQueue { items: VecDeque::with_capacity(capacity), capacity, next_index: 0 }
+    }
+
+    /// Pushes `item` at the tail, returning its permanent index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] when `len() == capacity()`.
+    pub fn push(&mut self, item: T) -> Result<u64, QueueFull> {
+        if self.items.len() >= self.capacity {
+            return Err(QueueFull);
+        }
+        let idx = self.next_index;
+        self.items.push_back(item);
+        self.next_index += 1;
+        Ok(idx)
+    }
+
+    /// Removes and returns the head entry with its index.
+    pub fn pop_front(&mut self) -> Option<(u64, T)> {
+        let head = self.head_index()?;
+        self.items.pop_front().map(|t| (head, t))
+    }
+
+    /// Index of the head (oldest) entry, if any.
+    pub fn head_index(&self) -> Option<u64> {
+        if self.items.is_empty() {
+            None
+        } else {
+            Some(self.next_index - self.items.len() as u64)
+        }
+    }
+
+    /// Index of the youngest entry, if any.
+    pub fn tail_index(&self) -> Option<u64> {
+        if self.items.is_empty() {
+            None
+        } else {
+            Some(self.next_index - 1)
+        }
+    }
+
+    /// The index the *next* push will receive (the "tail pointer" recorded
+    /// at dispatch by shelf instructions and by the shelf squash index).
+    pub fn next_index(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Reference to the head entry.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Mutable reference to the head entry.
+    pub fn front_mut(&mut self) -> Option<&mut T> {
+        self.items.front_mut()
+    }
+
+    /// Reference to the entry at `index`, if it is still in the queue.
+    pub fn get(&self, index: u64) -> Option<&T> {
+        let head = self.head_index()?;
+        if index < head || index >= self.next_index {
+            return None;
+        }
+        self.items.get((index - head) as usize)
+    }
+
+    /// Mutable reference to the entry at `index`.
+    pub fn get_mut(&mut self, index: u64) -> Option<&mut T> {
+        let head = self.head_index()?;
+        if index < head || index >= self.next_index {
+            return None;
+        }
+        self.items.get_mut((index - head) as usize)
+    }
+
+    /// Removes every entry with `index >= from`, returning them
+    /// youngest-first (squash rollback order). The next push reuses `from`.
+    pub fn truncate_from(&mut self, from: u64) -> Vec<T> {
+        let Some(head) = self.head_index() else {
+            // Empty queue: just rewind the allocator if asked to.
+            self.next_index = self.next_index.min(from.max(self.next_index_floor()));
+            return Vec::new();
+        };
+        if from >= self.next_index {
+            return Vec::new();
+        }
+        let keep = from.saturating_sub(head) as usize;
+        let mut removed: Vec<T> = self.items.drain(keep..).collect();
+        removed.reverse();
+        self.next_index = head + keep as u64;
+        removed
+    }
+
+    fn next_index_floor(&self) -> u64 {
+        self.next_index - self.items.len() as u64
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` when no entries are occupied.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Returns `true` when at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates oldest-first over `(index, entry)` pairs.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = (u64, &T)> {
+        let head = self.next_index - self.items.len() as u64;
+        self.items.iter().enumerate().map(move |(i, t)| (head + i as u64, t))
+    }
+
+    /// Iterates oldest-first over `(index, entry)` with mutable entries.
+    pub fn iter_mut(&mut self) -> impl DoubleEndedIterator<Item = (u64, &mut T)> {
+        let head = self.next_index - self.items.len() as u64;
+        self.items.iter_mut().enumerate().map(move |(i, t)| (head + i as u64, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_monotonic_across_pops() {
+        let mut q = OrderedQueue::new(2);
+        let a = q.push(1).unwrap();
+        q.pop_front();
+        let b = q.push(2).unwrap();
+        let c = q.push(3).unwrap();
+        assert!(a < b && b < c);
+        assert_eq!(q.head_index(), Some(b));
+        assert_eq!(q.tail_index(), Some(c));
+    }
+
+    #[test]
+    fn push_full_fails_without_losing_entries() {
+        let mut q = OrderedQueue::new(1);
+        q.push("x").unwrap();
+        assert_eq!(q.push("y"), Err(QueueFull));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.front(), Some(&"x"));
+    }
+
+    #[test]
+    fn get_by_index() {
+        let mut q = OrderedQueue::new(4);
+        let a = q.push(10).unwrap();
+        let b = q.push(20).unwrap();
+        assert_eq!(q.get(a), Some(&10));
+        assert_eq!(q.get(b), Some(&20));
+        q.pop_front();
+        assert_eq!(q.get(a), None, "popped entries are gone");
+        assert_eq!(q.get(b), Some(&20));
+        assert_eq!(q.get(b + 1), None, "future indices are absent");
+        *q.get_mut(b).unwrap() = 25;
+        assert_eq!(q.get(b), Some(&25));
+    }
+
+    #[test]
+    fn truncate_from_returns_youngest_first() {
+        let mut q = OrderedQueue::new(8);
+        for v in 0..5 {
+            q.push(v).unwrap();
+        }
+        let removed = q.truncate_from(2);
+        assert_eq!(removed, vec![4, 3, 2]);
+        assert_eq!(q.len(), 2);
+        // Indices are reused after a rollback, as in hardware tail rewind.
+        assert_eq!(q.push(99).unwrap(), 2);
+    }
+
+    #[test]
+    fn truncate_past_tail_is_noop() {
+        let mut q = OrderedQueue::new(4);
+        q.push(1).unwrap();
+        assert!(q.truncate_from(5).is_empty());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn truncate_everything() {
+        let mut q = OrderedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        let removed = q.truncate_from(0);
+        assert_eq!(removed, vec![2, 1]);
+        assert!(q.is_empty());
+        assert_eq!(q.push(3).unwrap(), 0);
+    }
+
+    #[test]
+    fn iter_is_oldest_first_with_indices() {
+        let mut q = OrderedQueue::new(4);
+        q.push('a').unwrap();
+        q.push('b').unwrap();
+        q.pop_front();
+        q.push('c').unwrap();
+        let v: Vec<_> = q.iter().collect();
+        assert_eq!(v, vec![(1, &'b'), (2, &'c')]);
+    }
+
+    #[test]
+    fn next_index_tracks_tail_pointer() {
+        let mut q: OrderedQueue<u8> = OrderedQueue::new(4);
+        assert_eq!(q.next_index(), 0);
+        q.push(0).unwrap();
+        assert_eq!(q.next_index(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _: OrderedQueue<u8> = OrderedQueue::new(0);
+    }
+}

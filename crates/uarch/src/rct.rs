@@ -1,0 +1,113 @@
+//! The Ready Cycle Table of the practical steering mechanism
+//! (paper §IV-B, Figure 9).
+//!
+//! One small saturating countdown counter per architectural register
+//! predicts how many cycles remain until the register becomes ready. The
+//! paper's design exploration found 5-bit counters (a 0–31 cycle horizon)
+//! sufficient. Counters normally decrement every cycle; when a parent load
+//! misses, the [`crate::ParentLoadsTable`] freezes the counters of all its
+//! transitive dependents, pushing the predicted schedule back one cycle per
+//! cycle until the load completes.
+
+use shelfsim_isa::NUM_ARCH_REGS;
+
+/// Per-register predicted-ready countdown counters.
+#[derive(Clone, Debug)]
+pub struct ReadyCycleTable {
+    counters: [u8; NUM_ARCH_REGS],
+    max: u8,
+}
+
+impl ReadyCycleTable {
+    /// Creates a table of `bits`-wide counters, all zero (everything
+    /// predicted ready).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 8`.
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=8).contains(&bits), "counter width must be 1..=8 bits");
+        ReadyCycleTable { counters: [0; NUM_ARCH_REGS], max: ((1u16 << bits) - 1) as u8 }
+    }
+
+    /// Predicted cycles until register `reg` is ready.
+    #[inline]
+    pub fn cycles_until_ready(&self, reg: shelfsim_isa::ArchReg) -> u32 {
+        self.counters[reg.index()] as u32
+    }
+
+    /// Records that `reg` is predicted ready `cycles` from now (saturating
+    /// at the counter width).
+    #[inline]
+    pub fn set(&mut self, reg: shelfsim_isa::ArchReg, cycles: u32) {
+        self.counters[reg.index()] = cycles.min(self.max as u32) as u8;
+    }
+
+    /// The saturation value (31 for the paper's 5-bit counters).
+    pub fn saturation(&self) -> u32 {
+        self.max as u32
+    }
+
+    /// One cycle passes: decrement every counter whose register index is
+    /// not frozen by `frozen`.
+    pub fn tick(&mut self, mut frozen: impl FnMut(usize) -> bool) {
+        for (i, c) in self.counters.iter_mut().enumerate() {
+            if *c > 0 && !frozen(i) {
+                *c -= 1;
+            }
+        }
+    }
+
+    /// Indices of registers whose counter just reads zero (predicted ready).
+    pub fn predicted_ready(&self, reg: shelfsim_isa::ArchReg) -> bool {
+        self.counters[reg.index()] == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shelfsim_isa::ArchReg;
+
+    #[test]
+    fn countdown_reaches_zero() {
+        let mut rct = ReadyCycleTable::new(5);
+        let r = ArchReg::int(4);
+        rct.set(r, 3);
+        assert_eq!(rct.cycles_until_ready(r), 3);
+        rct.tick(|_| false);
+        rct.tick(|_| false);
+        assert!(!rct.predicted_ready(r));
+        rct.tick(|_| false);
+        assert!(rct.predicted_ready(r));
+        rct.tick(|_| false); // stays at zero
+        assert_eq!(rct.cycles_until_ready(r), 0);
+    }
+
+    #[test]
+    fn saturates_at_width() {
+        let mut rct = ReadyCycleTable::new(5);
+        let r = ArchReg::fp(0);
+        rct.set(r, 1000);
+        assert_eq!(rct.cycles_until_ready(r), 31);
+        assert_eq!(rct.saturation(), 31);
+    }
+
+    #[test]
+    fn freeze_stalls_selected_registers() {
+        let mut rct = ReadyCycleTable::new(5);
+        let a = ArchReg::int(0);
+        let b = ArchReg::int(1);
+        rct.set(a, 2);
+        rct.set(b, 2);
+        rct.tick(|i| i == a.index());
+        assert_eq!(rct.cycles_until_ready(a), 2, "frozen register holds");
+        assert_eq!(rct.cycles_until_ready(b), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_panics() {
+        let _ = ReadyCycleTable::new(0);
+    }
+}

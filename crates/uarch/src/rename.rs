@@ -1,0 +1,171 @@
+//! The register alias table with the paper's decoupled tag space.
+//!
+//! Paper §III-C, Figures 6–8: in a conventional PRF-based core the physical
+//! register index (PRI) doubles as the wakeup tag. Because several shelf
+//! instructions may *overwrite the same physical register*, the tag must be
+//! decoupled from the PRI: every mapping-table entry maps an architectural
+//! register to **both** a PRI and a tag. IQ instructions allocate a fresh
+//! PRI from the physical free list (tag = PRI); shelf instructions keep the
+//! current PRI and allocate a tag from the *extension* free list.
+
+use shelfsim_isa::NUM_ARCH_REGS;
+
+/// A physical register index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PhysReg(pub u32);
+
+/// A wakeup tag: either a physical tag (`0..num_phys_regs`, equal to the
+/// PRI it names) or an extension tag (`num_phys_regs..`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Tag(pub u32);
+
+impl Tag {
+    /// Flat index into tag-keyed tables (the scoreboard).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PhysReg {
+    /// Flat index into PRF-keyed tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The physical tag naming this register (paper: "both its destination
+    /// PRI and tag are set to that register's index").
+    #[inline]
+    pub fn as_tag(self) -> Tag {
+        Tag(self.0)
+    }
+}
+
+/// One RAT entry: the current *(PRI, tag)* pair of an architectural register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Mapping {
+    /// Physical register holding (or about to hold) the value.
+    pub pri: PhysReg,
+    /// Wakeup tag of the most recent writer.
+    pub tag: Tag,
+}
+
+impl Mapping {
+    /// Returns `true` when the tag comes from the extension space (i.e., the
+    /// latest writer was a shelf instruction).
+    pub fn tag_is_extended(&self) -> bool {
+        self.tag.0 != self.pri.0
+    }
+}
+
+/// A per-thread register alias table mapping architectural registers to
+/// *(PRI, tag)* pairs.
+///
+/// Squash recovery is walk-back based: the pipeline records each
+/// instruction's previous mapping at rename and calls [`RenameTable::set`]
+/// in reverse program order to restore (the paper's design extends the
+/// conventional RAT checkpoint/walk machinery; the simulator models the
+/// state, not the recovery circuit).
+///
+/// # Example
+///
+/// ```
+/// use shelfsim_isa::ArchReg;
+/// use shelfsim_uarch::{Mapping, PhysReg, RenameTable};
+///
+/// let mut rat = RenameTable::new(|i| Mapping { pri: PhysReg(i as u32), tag: PhysReg(i as u32).as_tag() });
+/// let r1 = ArchReg::int(1);
+/// let old = rat.get(r1);
+/// rat.set(r1, Mapping { pri: PhysReg(99), tag: PhysReg(99).as_tag() });
+/// assert_ne!(rat.get(r1), old);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RenameTable {
+    map: [Mapping; NUM_ARCH_REGS],
+}
+
+impl RenameTable {
+    /// Creates a table initialized by `init(arch_index)`.
+    pub fn new(init: impl Fn(usize) -> Mapping) -> Self {
+        let map = std::array::from_fn(init);
+        RenameTable { map }
+    }
+
+    /// Current mapping of `reg`.
+    #[inline]
+    pub fn get(&self, reg: shelfsim_isa::ArchReg) -> Mapping {
+        self.map[reg.index()]
+    }
+
+    /// Replaces the mapping of `reg`, returning the previous one (the value
+    /// the instruction must remember for retirement-time freeing and squash
+    /// recovery).
+    #[inline]
+    pub fn set(&mut self, reg: shelfsim_isa::ArchReg, m: Mapping) -> Mapping {
+        std::mem::replace(&mut self.map[reg.index()], m)
+    }
+
+    /// Iterates over all `(arch_index, mapping)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Mapping)> + '_ {
+        self.map.iter().copied().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shelfsim_isa::ArchReg;
+
+    fn identity() -> RenameTable {
+        RenameTable::new(|i| Mapping { pri: PhysReg(i as u32), tag: Tag(i as u32) })
+    }
+
+    #[test]
+    fn initial_mappings_are_physical() {
+        let rat = identity();
+        for (_, m) in rat.iter() {
+            assert!(!m.tag_is_extended());
+        }
+    }
+
+    #[test]
+    fn set_returns_previous_mapping() {
+        let mut rat = identity();
+        let r = ArchReg::int(3);
+        let prev = rat.set(r, Mapping { pri: PhysReg(70), tag: Tag(70) });
+        assert_eq!(prev.pri, PhysReg(3));
+        assert_eq!(rat.get(r).pri, PhysReg(70));
+    }
+
+    #[test]
+    fn extension_tag_detection() {
+        // A shelf write keeps the PRI but installs an extension tag.
+        let m = Mapping { pri: PhysReg(5), tag: Tag(200) };
+        assert!(m.tag_is_extended());
+        let m2 = Mapping { pri: PhysReg(5), tag: Tag(5) };
+        assert!(!m2.tag_is_extended());
+    }
+
+    #[test]
+    fn walk_back_restores_state() {
+        let mut rat = identity();
+        let r = ArchReg::fp(0);
+        let before = rat.get(r);
+        // Three nested renames, then restore in reverse order.
+        let p1 = rat.set(r, Mapping { pri: PhysReg(80), tag: Tag(80) });
+        let p2 = rat.set(r, Mapping { pri: PhysReg(80), tag: Tag(130) });
+        let p3 = rat.set(r, Mapping { pri: PhysReg(81), tag: Tag(81) });
+        rat.set(r, p3);
+        rat.set(r, p2);
+        rat.set(r, p1);
+        assert_eq!(rat.get(r), before);
+    }
+
+    #[test]
+    fn phys_reg_tag_round_trip() {
+        assert_eq!(PhysReg(7).as_tag(), Tag(7));
+        assert_eq!(Tag(7).index(), 7);
+        assert_eq!(PhysReg(7).index(), 7);
+    }
+}

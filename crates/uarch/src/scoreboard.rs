@@ -1,0 +1,98 @@
+//! Per-tag readiness tracking.
+//!
+//! One table serves two roles from the paper:
+//!
+//! * the IQ's wakeup state (an entry's source is ready when its tag's ready
+//!   cycle has passed — the simulator models tag broadcast as a ready-cycle
+//!   comparison, which is timing-equivalent to CAM wakeup with full bypass);
+//! * the shelf head's "ready bitvector … using a conventional scoreboard"
+//!   (§III-C) for RAW and WAW stalls.
+
+use crate::rename::Tag;
+
+/// Cycle-stamped readiness for every tag (physical + extension).
+///
+/// A tag's *ready cycle* is the earliest cycle at which a dependent may
+/// issue and still receive the value through the bypass network. Unwritten
+/// or in-flight tags are `u64::MAX` ("pending").
+#[derive(Clone, Debug)]
+pub struct Scoreboard {
+    ready_at: Vec<u64>,
+}
+
+impl Scoreboard {
+    /// A sentinel meaning "producer has not yet announced a completion time".
+    pub const PENDING: u64 = u64::MAX;
+
+    /// Creates a scoreboard for `num_tags` tags, all ready at cycle 0
+    /// (architectural state is ready before execution starts).
+    pub fn new(num_tags: usize) -> Self {
+        Scoreboard { ready_at: vec![0; num_tags] }
+    }
+
+    /// Marks `tag` pending: a producer is in flight with unknown completion.
+    #[inline]
+    pub fn mark_pending(&mut self, tag: Tag) {
+        self.ready_at[tag.index()] = Self::PENDING;
+    }
+
+    /// Announces that `tag` becomes usable by consumers issuing at `cycle`.
+    #[inline]
+    pub fn set_ready_at(&mut self, tag: Tag, cycle: u64) {
+        self.ready_at[tag.index()] = cycle;
+    }
+
+    /// The announced ready cycle ([`Scoreboard::PENDING`] if unknown).
+    #[inline]
+    pub fn ready_at(&self, tag: Tag) -> u64 {
+        self.ready_at[tag.index()]
+    }
+
+    /// Whether a consumer issuing at `now` would receive the value.
+    #[inline]
+    pub fn is_ready(&self, tag: Tag, now: u64) -> bool {
+        self.ready_at[tag.index()] <= now
+    }
+
+    /// Number of tags tracked.
+    pub fn len(&self) -> usize {
+        self.ready_at.len()
+    }
+
+    /// Returns `true` if no tags are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.ready_at.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state_is_ready() {
+        let sb = Scoreboard::new(8);
+        assert!(sb.is_ready(Tag(0), 0));
+        assert!(sb.is_ready(Tag(7), 0));
+    }
+
+    #[test]
+    fn pending_until_announced() {
+        let mut sb = Scoreboard::new(4);
+        sb.mark_pending(Tag(2));
+        assert!(!sb.is_ready(Tag(2), 1_000_000));
+        sb.set_ready_at(Tag(2), 10);
+        assert!(!sb.is_ready(Tag(2), 9));
+        assert!(sb.is_ready(Tag(2), 10));
+        assert!(sb.is_ready(Tag(2), 11));
+    }
+
+    #[test]
+    fn ready_at_round_trips() {
+        let mut sb = Scoreboard::new(2);
+        sb.set_ready_at(Tag(1), 42);
+        assert_eq!(sb.ready_at(Tag(1)), 42);
+        assert_eq!(sb.ready_at(Tag(0)), 0);
+        assert_eq!(sb.len(), 2);
+    }
+}

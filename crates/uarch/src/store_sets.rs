@@ -1,0 +1,182 @@
+//! The store-sets memory dependence predictor (Chrysos & Emer, ISCA 1998).
+//!
+//! Paper §III-D: "We use a 'store sets' memory dependence predictor to
+//! prevent frequent squashes. Shelf stores use their store set identifier to
+//! release dependent younger loads, just as IQ stores do."
+//!
+//! Two tables: the Store Set ID Table (SSIT), indexed by instruction PC,
+//! assigns loads and stores to sets; the Last Fetched Store Table (LFST)
+//! remembers the youngest in-flight store of each set. A load whose PC maps
+//! to a set with an in-flight store must wait for that store to execute.
+
+/// Opaque identifier for an in-flight store (the simulator uses its global
+/// age).
+pub type StoreToken = u64;
+
+const INVALID_SET: u32 = u32::MAX;
+
+/// A store-sets predictor instance (one per thread).
+#[derive(Clone, Debug)]
+pub struct StoreSets {
+    /// PC-indexed store-set IDs.
+    ssit: Vec<u32>,
+    /// Per-set youngest in-flight store.
+    lfst: Vec<Option<StoreToken>>,
+    next_set: u32,
+    /// Violations recorded (set-forming events).
+    pub violations_trained: u64,
+}
+
+impl StoreSets {
+    /// Creates a predictor with `ssit_entries` SSIT slots and `sets`
+    /// possible store sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ssit_entries` is not a power of two or `sets` is zero.
+    pub fn new(ssit_entries: usize, sets: usize) -> Self {
+        assert!(ssit_entries.is_power_of_two(), "SSIT size must be a power of two");
+        assert!(sets > 0, "need at least one store set");
+        StoreSets {
+            ssit: vec![INVALID_SET; ssit_entries],
+            lfst: vec![None; sets],
+            next_set: 0,
+            violations_trained: 0,
+        }
+    }
+
+    #[inline]
+    fn ssit_index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.ssit.len() - 1)
+    }
+
+    /// A store was dispatched: record it as the last fetched store of its
+    /// set (if it belongs to one). Returns its set, if any.
+    pub fn store_dispatched(&mut self, pc: u64, token: StoreToken) -> Option<u32> {
+        let set = self.ssit[self.ssit_index(pc)];
+        if set == INVALID_SET {
+            return None;
+        }
+        self.lfst[set as usize] = Some(token);
+        Some(set)
+    }
+
+    /// A store executed (or was squashed): release dependents waiting on it.
+    pub fn store_resolved(&mut self, pc: u64, token: StoreToken) {
+        let set = self.ssit[self.ssit_index(pc)];
+        if set != INVALID_SET {
+            let slot = &mut self.lfst[set as usize];
+            if *slot == Some(token) {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Which in-flight store (if any) must the load at `pc` wait for?
+    pub fn load_dependence(&self, pc: u64) -> Option<StoreToken> {
+        let set = self.ssit[self.ssit_index(pc)];
+        if set == INVALID_SET {
+            return None;
+        }
+        self.lfst[set as usize]
+    }
+
+    /// The store set `pc` belongs to, if any (used to match a load against
+    /// all in-flight stores of its set when the LFST entry is younger than
+    /// the load — the hardware's store-chaining achieves the same ordering).
+    pub fn set_of(&self, pc: u64) -> Option<u32> {
+        let set = self.ssit[self.ssit_index(pc)];
+        (set != INVALID_SET).then_some(set)
+    }
+
+    /// A memory-order violation occurred between the store at `store_pc`
+    /// and the load at `load_pc`: place both in the same set so the load
+    /// waits next time.
+    pub fn train_violation(&mut self, store_pc: u64, load_pc: u64) {
+        self.violations_trained += 1;
+        let si = self.ssit_index(store_pc);
+        let li = self.ssit_index(load_pc);
+        let (s_set, l_set) = (self.ssit[si], self.ssit[li]);
+        let merged = match (s_set, l_set) {
+            (INVALID_SET, INVALID_SET) => {
+                let set = self.next_set;
+                self.next_set = (self.next_set + 1) % self.lfst.len() as u32;
+                // A recycled set may have a stale in-flight store; clear it.
+                self.lfst[set as usize] = None;
+                set
+            }
+            (s, INVALID_SET) => s,
+            (INVALID_SET, l) => l,
+            // Both assigned: merge into the smaller set id (the classic
+            // "declare winner" rule).
+            (s, l) => s.min(l),
+        };
+        self.ssit[si] = merged;
+        self.ssit[li] = merged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untrained_load_is_free() {
+        let ss = StoreSets::new(1024, 64);
+        assert_eq!(ss.load_dependence(0x40), None);
+    }
+
+    #[test]
+    fn violation_creates_dependence() {
+        let mut ss = StoreSets::new(1024, 64);
+        ss.train_violation(0x100, 0x200);
+        // Next occurrence: the store dispatches, the load must wait for it.
+        ss.store_dispatched(0x100, 7);
+        assert_eq!(ss.load_dependence(0x200), Some(7));
+        // Once the store resolves the load runs free.
+        ss.store_resolved(0x100, 7);
+        assert_eq!(ss.load_dependence(0x200), None);
+    }
+
+    #[test]
+    fn resolved_ignores_stale_token() {
+        let mut ss = StoreSets::new(1024, 64);
+        ss.train_violation(0x100, 0x200);
+        ss.store_dispatched(0x100, 7);
+        ss.store_dispatched(0x100, 9); // younger instance
+        ss.store_resolved(0x100, 7); // elder resolves: must not clear
+        assert_eq!(ss.load_dependence(0x200), Some(9));
+    }
+
+    #[test]
+    fn merging_sets() {
+        let mut ss = StoreSets::new(1024, 64);
+        ss.train_violation(0x100, 0x200);
+        ss.train_violation(0x300, 0x400);
+        // A violation links 0x100 and 0x400: both move to the smaller set.
+        // (Classic store-sets merging only migrates the two PCs involved;
+        // other members of the losing set migrate on their own next
+        // violation.)
+        ss.train_violation(0x100, 0x400);
+        ss.store_dispatched(0x100, 42);
+        assert_eq!(ss.load_dependence(0x400), Some(42));
+        assert_eq!(ss.load_dependence(0x200), Some(42), "0x200 was already in the winning set");
+        // 0x300 remains in its original set, untouched by the merge.
+        ss.store_dispatched(0x300, 50);
+        assert_eq!(ss.load_dependence(0x400), Some(42));
+    }
+
+    #[test]
+    fn counts_training_events() {
+        let mut ss = StoreSets::new(64, 4);
+        ss.train_violation(0, 4);
+        ss.train_violation(8, 12);
+        assert_eq!(ss.violations_trained, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_ssit_size_panics() {
+        let _ = StoreSets::new(1000, 4);
+    }
+}

@@ -1,0 +1,134 @@
+//! Model-based property tests for the window structures: each structure is
+//! compared against a simple reference implementation under random
+//! operation sequences.
+
+use proptest::prelude::*;
+use shelfsim_uarch::{FreeList, IssueTracker, OrderedQueue, StoreSets};
+use std::collections::VecDeque;
+
+#[derive(Clone, Debug)]
+enum QueueOp {
+    Push(u32),
+    Pop,
+    Truncate(u64),
+}
+
+fn arb_queue_ops() -> impl Strategy<Value = Vec<QueueOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..1000).prop_map(QueueOp::Push),
+            Just(QueueOp::Pop),
+            (0u64..64).prop_map(QueueOp::Truncate),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn ordered_queue_matches_reference(ops in arb_queue_ops(), cap in 1usize..32) {
+        let mut q = OrderedQueue::new(cap);
+        // Reference: (index, value) pairs plus a next-index counter.
+        let mut reference: VecDeque<(u64, u32)> = VecDeque::new();
+        let mut next = 0u64;
+        for op in ops {
+            match op {
+                QueueOp::Push(v) => {
+                    let got = q.push(v);
+                    if reference.len() < cap {
+                        prop_assert_eq!(got, Ok(next));
+                        reference.push_back((next, v));
+                        next += 1;
+                    } else {
+                        prop_assert!(got.is_err());
+                    }
+                }
+                QueueOp::Pop => {
+                    prop_assert_eq!(q.pop_front(), reference.pop_front());
+                }
+                QueueOp::Truncate(from) => {
+                    let removed = q.truncate_from(from);
+                    let mut expected = Vec::new();
+                    while reference.back().is_some_and(|&(i, _)| i >= from) {
+                        expected.push(reference.pop_back().expect("non-empty").1);
+                    }
+                    prop_assert_eq!(removed, expected);
+                    // The allocator may rewind on truncation; stay aligned
+                    // with the implementation's next index.
+                    next = q.next_index();
+                }
+            }
+            prop_assert_eq!(q.len(), reference.len());
+            prop_assert_eq!(q.head_index(), reference.front().map(|&(i, _)| i));
+            prop_assert_eq!(q.tail_index(), reference.back().map(|&(i, _)| i));
+            for &(i, v) in &reference {
+                prop_assert_eq!(q.get(i), Some(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn freelist_never_hands_out_duplicates(
+        cap in 1u32..64,
+        ops in prop::collection::vec(any::<bool>(), 1..300),
+    ) {
+        let mut fl = FreeList::new(100, cap);
+        let mut live: Vec<u32> = Vec::new();
+        for alloc in ops {
+            if alloc {
+                if let Some(id) = fl.allocate() {
+                    prop_assert!(!live.contains(&id), "duplicate allocation of {id}");
+                    prop_assert!(fl.contains_range(id));
+                    live.push(id);
+                } else {
+                    prop_assert_eq!(live.len(), cap as usize);
+                }
+            } else if let Some(id) = live.pop() {
+                fl.free(id);
+            }
+            prop_assert_eq!(fl.available() + live.len(), cap as usize);
+        }
+    }
+
+    #[test]
+    fn issue_tracker_head_is_oldest_unissued(order in prop::collection::vec(0usize..32, 1..32)) {
+        // Dispatch N instructions, then issue them in an arbitrary order
+        // derived from `order`; the head must always equal the oldest
+        // unissued index.
+        let n = order.len() as u64;
+        let mut t = IssueTracker::new();
+        for i in 0..n {
+            t.dispatch(i);
+        }
+        let mut unissued: Vec<u64> = (0..n).collect();
+        for pick in order {
+            if unissued.is_empty() {
+                break;
+            }
+            let idx = unissued.remove(pick % unissued.len());
+            t.issue(idx);
+            let expect_head = unissued.iter().copied().min().unwrap_or(n);
+            prop_assert_eq!(t.head(), expect_head);
+            prop_assert_eq!(t.eligible(expect_head), true);
+            if let Some(&m) = unissued.iter().min() {
+                prop_assert!(!t.eligible(m + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn store_sets_dependences_point_at_live_older_stores(
+        pcs in prop::collection::vec((0u64..64, 0u64..64), 1..60),
+    ) {
+        let mut ss = StoreSets::new(256, 16);
+        for (token, (store_pc, load_pc)) in pcs.into_iter().enumerate() {
+            let token = token as u64;
+            ss.train_violation(store_pc * 4, load_pc * 4);
+            ss.store_dispatched(store_pc * 4, token);
+            // The trained load must now see the just-dispatched store.
+            prop_assert_eq!(ss.load_dependence(load_pc * 4), Some(token));
+            ss.store_resolved(store_pc * 4, token);
+            prop_assert_eq!(ss.load_dependence(load_pc * 4), None);
+        }
+    }
+}

@@ -1,0 +1,638 @@
+//! A small assembly-like DSL for hand-written kernels.
+//!
+//! Real simulator users constantly need *directed* microbenchmarks —
+//! dependence chains, pointer chases, store-to-load patterns — that the
+//! synthetic suite's statistical generator cannot express precisely. This
+//! module parses a compact text syntax into a [`Program`] runnable on the
+//! simulator:
+//!
+//! ```text
+//! ; a dependent multiply chain with a streaming load
+//! loop:
+//!     load  r9, [r0], stride=8, region=l1
+//!     mul   r8, r8, r9
+//!     add   r10, r8
+//!     loop  loop, trips=100        ; back-edge, ~100 iterations per entry
+//! ```
+//!
+//! ## Syntax
+//!
+//! * One instruction per line; `;` starts a comment; blank lines ignored.
+//! * `label:` introduces a basic-block label (alone or before an
+//!   instruction).
+//! * Integer registers `r0`–`r31`, floating-point `f0`–`f31`.
+//! * Arithmetic: `add|mul|div|fadd|fmul|fdiv dest[, src[, src]]`.
+//! * Memory: `load dest, [base]` and `store [base], data`, with optional
+//!   `, stride=N`, `, region=l1|l2|mem`, or `, chase` attributes.
+//! * Control: `beq cond_reg, label, p=0.5` (taken with probability),
+//!   `loop label, trips=N` (back-edge taken ~N times per entry),
+//!   `jmp label`, `call label`, `ret`, `barrier`.
+//! * Blocks without explicit control fall through via an implicit `jmp`
+//!   (which costs one branch instruction, as on real hardware). The last
+//!   block jumps back to the first, making every kernel an infinite loop.
+
+use crate::program::{AccessPattern, Block, Program, Region, StaticInst, Terminator};
+use shelfsim_isa::{ArchReg, OpClass};
+
+/// A parse error with line number and message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError { line, message: message.into() }
+}
+
+#[derive(Clone, Debug)]
+enum Stmt {
+    Label(String),
+    Body(BodyOp),
+    Control(ControlOp),
+}
+
+#[derive(Clone, Debug)]
+struct BodyOp {
+    op: OpClass,
+    dest: Option<ArchReg>,
+    srcs: Vec<ArchReg>,
+    access: Option<AccessPattern>,
+}
+
+#[derive(Clone, Debug)]
+enum ControlOp {
+    Beq { cond: ArchReg, target: String, prob: f64 },
+    Loop { target: String, trips: u32 },
+    Jmp { target: String },
+    Call { target: String },
+    Ret,
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<ArchReg, AsmError> {
+    let (kind, num) = tok.split_at(1);
+    let n: u8 = num.parse().map_err(|_| err(line, format!("bad register `{tok}`")))?;
+    match kind {
+        "r" if n < 32 => Ok(ArchReg::int(n)),
+        "f" if n < 32 => Ok(ArchReg::fp(n)),
+        _ => Err(err(line, format!("bad register `{tok}` (r0-r31 / f0-f31)"))),
+    }
+}
+
+fn parse_region(tok: &str, line: usize) -> Result<Region, AsmError> {
+    match tok {
+        "l1" => Ok(Region::L1),
+        "l2" => Ok(Region::L2),
+        "mem" => Ok(Region::Mem),
+        other => Err(err(line, format!("bad region `{other}` (l1|l2|mem)"))),
+    }
+}
+
+/// Parses memory attributes: `stride=N`, `region=X`, `chase`.
+fn parse_access(attrs: &[&str], line: usize) -> Result<AccessPattern, AsmError> {
+    let mut stride = 8u32;
+    let mut region = Region::L1;
+    let mut chase = false;
+    for a in attrs {
+        if let Some(v) = a.strip_prefix("stride=") {
+            stride = v.parse().map_err(|_| err(line, format!("bad stride `{v}`")))?;
+        } else if let Some(v) = a.strip_prefix("region=") {
+            region = parse_region(v, line)?;
+        } else if *a == "chase" {
+            chase = true;
+        } else {
+            return Err(err(line, format!("unknown memory attribute `{a}`")));
+        }
+    }
+    Ok(if chase {
+        AccessPattern::PointerChase { region }
+    } else {
+        AccessPattern::Strided { region, stride }
+    })
+}
+
+fn parse_line(raw: &str, line: usize) -> Result<Vec<Stmt>, AsmError> {
+    let text = raw.split(';').next().unwrap_or("").trim();
+    if text.is_empty() {
+        return Ok(vec![]);
+    }
+    let mut stmts = Vec::new();
+    let mut rest = text;
+    // Leading `label:` (possibly followed by an instruction).
+    if let Some(colon) = rest.find(':') {
+        let (label, after) = rest.split_at(colon);
+        if label.chars().all(|c| c.is_alphanumeric() || c == '_') && !label.is_empty() {
+            stmts.push(Stmt::Label(label.to_owned()));
+            rest = after[1..].trim();
+            if rest.is_empty() {
+                return Ok(stmts);
+            }
+        }
+    }
+    let mut parts = rest.split_whitespace();
+    let mnemonic = parts.next().expect("non-empty");
+    let operand_text: String = parts.collect::<Vec<_>>().join(" ");
+    let operands: Vec<&str> =
+        operand_text.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+
+    let body = |op: OpClass, dest: bool, ops: &[&str]| -> Result<Stmt, AsmError> {
+        let mut regs = ops.iter().map(|t| parse_reg(t, line)).collect::<Result<Vec<_>, _>>()?;
+        if regs.is_empty() {
+            return Err(err(line, format!("`{mnemonic}` needs operands")));
+        }
+        let d = if dest { Some(regs.remove(0)) } else { None };
+        if regs.len() > 2 {
+            return Err(err(line, "at most two source registers"));
+        }
+        Ok(Stmt::Body(BodyOp { op, dest: d, srcs: regs, access: None }))
+    };
+
+    let stmt = match mnemonic {
+        "add" => body(OpClass::IntAlu, true, &operands)?,
+        "mul" => body(OpClass::IntMul, true, &operands)?,
+        "div" => body(OpClass::IntDiv, true, &operands)?,
+        "fadd" => body(OpClass::FpAlu, true, &operands)?,
+        "fmul" => body(OpClass::FpMul, true, &operands)?,
+        "fdiv" => body(OpClass::FpDiv, true, &operands)?,
+        "barrier" => Stmt::Body(BodyOp {
+            op: OpClass::MemBarrier,
+            dest: None,
+            srcs: vec![],
+            access: None,
+        }),
+        "load" => {
+            if operands.len() < 2 {
+                return Err(err(line, "load dest, [base], attrs..."));
+            }
+            let dest = parse_reg(operands[0], line)?;
+            let base_tok = operands[1];
+            let base = base_tok
+                .strip_prefix('[')
+                .and_then(|s| s.strip_suffix(']'))
+                .ok_or_else(|| err(line, format!("expected [base], got `{base_tok}`")))?;
+            let base = parse_reg(base, line)?;
+            let access = parse_access(&operands[2..], line)?;
+            Stmt::Body(BodyOp {
+                op: OpClass::Load,
+                dest: Some(dest),
+                srcs: vec![base],
+                access: Some(access),
+            })
+        }
+        "store" => {
+            if operands.len() < 2 {
+                return Err(err(line, "store [base], data, attrs..."));
+            }
+            let base = operands[0]
+                .strip_prefix('[')
+                .and_then(|s| s.strip_suffix(']'))
+                .ok_or_else(|| err(line, format!("expected [base], got `{}`", operands[0])))?;
+            let base = parse_reg(base, line)?;
+            let data = parse_reg(operands[1], line)?;
+            let access = parse_access(&operands[2..], line)?;
+            Stmt::Body(BodyOp {
+                op: OpClass::Store,
+                dest: None,
+                srcs: vec![base, data],
+                access: Some(access),
+            })
+        }
+        "beq" => {
+            if operands.len() < 2 {
+                return Err(err(line, "beq cond, label[, p=P]"));
+            }
+            let cond = parse_reg(operands[0], line)?;
+            let target = operands[1].to_owned();
+            let mut prob = 0.5;
+            for a in &operands[2..] {
+                if let Some(v) = a.strip_prefix("p=") {
+                    prob = v.parse().map_err(|_| err(line, format!("bad probability `{v}`")))?;
+                    if !(0.0..=1.0).contains(&prob) {
+                        return Err(err(line, "probability must be in [0, 1]"));
+                    }
+                } else {
+                    return Err(err(line, format!("unknown branch attribute `{a}`")));
+                }
+            }
+            Stmt::Control(ControlOp::Beq { cond, target, prob })
+        }
+        "loop" => {
+            if operands.is_empty() {
+                return Err(err(line, "loop label[, trips=N]"));
+            }
+            let target = operands[0].to_owned();
+            let mut trips = 10u32;
+            for a in &operands[1..] {
+                if let Some(v) = a.strip_prefix("trips=") {
+                    trips = v.parse().map_err(|_| err(line, format!("bad trip count `{v}`")))?;
+                    if trips < 2 {
+                        return Err(err(line, "trips must be at least 2"));
+                    }
+                } else {
+                    return Err(err(line, format!("unknown loop attribute `{a}`")));
+                }
+            }
+            Stmt::Control(ControlOp::Loop { target, trips })
+        }
+        "jmp" => {
+            let target =
+                operands.first().ok_or_else(|| err(line, "jmp label"))?.to_string();
+            Stmt::Control(ControlOp::Jmp { target })
+        }
+        "call" => {
+            let target =
+                operands.first().ok_or_else(|| err(line, "call label"))?.to_string();
+            Stmt::Control(ControlOp::Call { target })
+        }
+        "ret" => Stmt::Control(ControlOp::Ret),
+        other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+    };
+    stmts.push(stmt);
+    Ok(stmts)
+}
+
+/// Assembles `source` into a runnable [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] with a line number for syntax errors, undefined
+/// labels, or empty kernels.
+///
+/// # Example
+///
+/// ```
+/// use shelfsim_workload::asm::assemble;
+///
+/// let program = assemble(
+///     "top:\n  add r8, r8\n  load r9, [r0], region=l1\n  loop top, trips=50\n",
+/// ).unwrap();
+/// assert_eq!(program.blocks.len(), 1);
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    // Pass 1: flatten into labeled groups of (body ops, control op).
+    let mut stmts: Vec<(usize, Stmt)> = Vec::new();
+    for (i, raw) in source.lines().enumerate() {
+        for s in parse_line(raw, i + 1)? {
+            stmts.push((i + 1, s));
+        }
+    }
+    if stmts.is_empty() {
+        return Err(err(0, "empty kernel"));
+    }
+
+    // Pass 2: split into blocks at labels and after control ops.
+    struct ProtoBlock {
+        label: Option<String>,
+        body: Vec<BodyOp>,
+        control: Option<(usize, ControlOp)>,
+    }
+    let mut protos: Vec<ProtoBlock> = vec![ProtoBlock { label: None, body: vec![], control: None }];
+    for (line, stmt) in stmts {
+        let open = protos.last_mut().expect("at least one proto");
+        match stmt {
+            Stmt::Label(l) => {
+                if open.body.is_empty() && open.control.is_none() && open.label.is_none() {
+                    open.label = Some(l);
+                } else {
+                    protos.push(ProtoBlock { label: Some(l), body: vec![], control: None });
+                }
+            }
+            Stmt::Body(b) => {
+                if open.control.is_some() {
+                    protos.push(ProtoBlock { label: None, body: vec![b], control: None });
+                } else {
+                    open.body.push(b);
+                }
+            }
+            Stmt::Control(c) => {
+                if open.control.is_some() {
+                    protos.push(ProtoBlock { label: None, body: vec![], control: Some((line, c)) });
+                } else {
+                    open.control = Some((line, c));
+                }
+            }
+        }
+    }
+    // Drop an empty trailing/leading proto (e.g. file starting with a label
+    // handled above never creates one, but a trailing label might).
+    protos.retain(|p| !(p.body.is_empty() && p.control.is_none() && p.label.is_none()));
+    if protos.is_empty() {
+        return Err(err(0, "empty kernel"));
+    }
+
+    // Label resolution.
+    let mut label_of: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for (i, p) in protos.iter().enumerate() {
+        if let Some(l) = &p.label {
+            if label_of.insert(l.clone(), i).is_some() {
+                return Err(err(0, format!("duplicate label `{l}`")));
+            }
+        }
+    }
+    let resolve = |name: &str, line: usize| {
+        label_of
+            .get(name)
+            .copied()
+            .ok_or_else(|| err(line, format!("undefined label `{name}`")))
+    };
+
+    // Pass 3: materialize blocks with PCs and static ids.
+    const CODE_BASE: u64 = 0x40_0000;
+    let n = protos.len();
+    let mut blocks = Vec::with_capacity(n);
+    let mut next_pc = CODE_BASE;
+    let mut next_static = 0u32;
+    for (i, p) in protos.iter().enumerate() {
+        let start_pc = next_pc;
+        let mut body = Vec::with_capacity(p.body.len());
+        for b in &p.body {
+            let mut srcs = [None, None];
+            for (slot, &r) in srcs.iter_mut().zip(&b.srcs) {
+                *slot = Some(r);
+            }
+            body.push(StaticInst {
+                static_id: next_static,
+                pc: next_pc,
+                op: b.op,
+                dest: b.dest,
+                srcs,
+                access: b.access,
+            });
+            next_static += 1;
+            next_pc += 4;
+        }
+        let (terminator, cond) = match &p.control {
+            Some((line, ControlOp::Beq { cond, target, prob })) => {
+                (Terminator::Cond { target: resolve(target, *line)?, taken_prob: *prob }, Some(*cond))
+            }
+            Some((line, ControlOp::Loop { target, trips })) => {
+                (Terminator::Loop { target: resolve(target, *line)?, trip_mean: *trips }, None)
+            }
+            Some((line, ControlOp::Jmp { target })) => {
+                (Terminator::Jump { target: resolve(target, *line)? }, None)
+            }
+            Some((line, ControlOp::Call { target })) => {
+                (Terminator::Call { callee: resolve(target, *line)? }, None)
+            }
+            Some((_, ControlOp::Ret)) => (Terminator::Ret, None),
+            // Implicit fallthrough: jump to the next block (or wrap to 0).
+            None => (Terminator::Jump { target: if i + 1 < n { i + 1 } else { 0 } }, None),
+        };
+        let branch_inst = StaticInst {
+            static_id: next_static,
+            pc: next_pc,
+            op: OpClass::Branch,
+            dest: None,
+            srcs: [cond, None],
+            access: None,
+        };
+        next_static += 1;
+        next_pc += 4;
+        blocks.push(Block { body, terminator, branch_inst, start_pc });
+    }
+
+    Ok(Program {
+        name: "asm-kernel",
+        blocks,
+        main_blocks: n,
+        num_statics: next_static,
+        seed: 0,
+    })
+}
+
+/// Disassembles a [`Program`] back into DSL text.
+///
+/// The output reassembles (via [`assemble`]) into a program with identical
+/// blocks, making `assemble ∘ disassemble` an identity on block structure —
+/// the round-trip property the test suite checks for every suite benchmark.
+///
+/// # Example
+///
+/// ```
+/// use shelfsim_workload::asm::{assemble, disassemble};
+///
+/// let p = assemble("top:\n add r8, r8\n loop top, trips=9\n").unwrap();
+/// let text = disassemble(&p);
+/// assert_eq!(assemble(&text).unwrap().blocks, p.blocks);
+/// ```
+pub fn disassemble(program: &Program) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let reg = |r: ArchReg| {
+        if r.is_fp() {
+            format!("f{}", r.index() - 32)
+        } else {
+            format!("r{}", r.index())
+        }
+    };
+    let access_attrs = |a: &AccessPattern| match a {
+        AccessPattern::Strided { region, stride } => {
+            format!(", stride={}, region={}", stride, region_name(*region))
+        }
+        AccessPattern::PointerChase { region } => {
+            format!(", chase, region={}", region_name(*region))
+        }
+        AccessPattern::Random { region } => {
+            // The DSL has no `random` keyword; approximate with a large
+            // stride (documented lossy case — suite programs using Random
+            // will not round-trip bit-exactly).
+            format!(", stride=4096, region={}", region_name(*region))
+        }
+    };
+    for (i, b) in program.blocks.iter().enumerate() {
+        writeln!(out, "b{i}:").expect("write");
+        for inst in &b.body {
+            let srcs: Vec<String> = inst.srcs.iter().flatten().map(|&r| reg(r)).collect();
+            match inst.op {
+                OpClass::Load => {
+                    let a = inst.access.as_ref().expect("loads have access patterns");
+                    writeln!(
+                        out,
+                        "  load {}, [{}]{}",
+                        reg(inst.dest.expect("loads have destinations")),
+                        srcs[0],
+                        access_attrs(a)
+                    )
+                    .expect("write");
+                }
+                OpClass::Store => {
+                    let a = inst.access.as_ref().expect("stores have access patterns");
+                    writeln!(out, "  store [{}], {}{}", srcs[0], srcs[1], access_attrs(a))
+                        .expect("write");
+                }
+                OpClass::MemBarrier => writeln!(out, "  barrier").expect("write"),
+                op => {
+                    let mnemonic = match op {
+                        OpClass::IntAlu => "add",
+                        OpClass::IntMul => "mul",
+                        OpClass::IntDiv => "div",
+                        OpClass::FpAlu => "fadd",
+                        OpClass::FpMul => "fmul",
+                        OpClass::FpDiv => "fdiv",
+                        other => unreachable!("non-body op {other} in block body"),
+                    };
+                    writeln!(
+                        out,
+                        "  {mnemonic} {}{}{}",
+                        reg(inst.dest.expect("arith ops have destinations")),
+                        if srcs.is_empty() { "" } else { ", " },
+                        srcs.join(", ")
+                    )
+                    .expect("write");
+                }
+            }
+        }
+        match b.terminator {
+            Terminator::Loop { target, trip_mean } => {
+                writeln!(out, "  loop b{target}, trips={trip_mean}").expect("write")
+            }
+            Terminator::Cond { target, taken_prob } => {
+                let cond = b.branch_inst.srcs[0].map(reg).unwrap_or_else(|| "r0".to_owned());
+                writeln!(out, "  beq {cond}, b{target}, p={taken_prob}").expect("write")
+            }
+            Terminator::Jump { target } => writeln!(out, "  jmp b{target}").expect("write"),
+            Terminator::Call { callee } => writeln!(out, "  call b{callee}").expect("write"),
+            Terminator::Ret => writeln!(out, "  ret").expect("write"),
+        }
+    }
+    out
+}
+
+fn region_name(r: Region) -> &'static str {
+    match r {
+        Region::L1 => "l1",
+        Region::L2 => "l2",
+        Region::Mem => "mem",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceSource;
+
+    #[test]
+    fn assembles_a_simple_loop() {
+        let p = assemble("top:\n add r8, r8\n loop top, trips=20\n").unwrap();
+        assert_eq!(p.blocks.len(), 1);
+        assert_eq!(p.blocks[0].body.len(), 1);
+        assert!(matches!(p.blocks[0].terminator, Terminator::Loop { target: 0, trip_mean: 20 }));
+    }
+
+    #[test]
+    fn labels_split_blocks_and_resolve() {
+        let src = "a:\n add r8, r8\n jmp b\nb:\n mul r9, r8\n jmp a\n";
+        let p = assemble(src).unwrap();
+        assert_eq!(p.blocks.len(), 2);
+        assert!(matches!(p.blocks[0].terminator, Terminator::Jump { target: 1 }));
+        assert!(matches!(p.blocks[1].terminator, Terminator::Jump { target: 0 }));
+    }
+
+    #[test]
+    fn memory_attributes_parse() {
+        let src = "k:\n load r9, [r0], stride=64, region=l2\n store [r1], r9, region=mem\n \
+                   load r10, [r10], chase, region=mem\n jmp k\n";
+        let p = assemble(src).unwrap();
+        let b = &p.blocks[0].body;
+        assert_eq!(
+            b[0].access,
+            Some(AccessPattern::Strided { region: Region::L2, stride: 64 })
+        );
+        assert_eq!(b[1].access, Some(AccessPattern::Strided { region: Region::Mem, stride: 8 }));
+        assert_eq!(b[2].access, Some(AccessPattern::PointerChase { region: Region::Mem }));
+    }
+
+    #[test]
+    fn implicit_fallthrough_wraps() {
+        let p = assemble("add r8, r8\n").unwrap();
+        assert!(matches!(p.blocks[0].terminator, Terminator::Jump { target: 0 }));
+    }
+
+    #[test]
+    fn calls_and_returns() {
+        let src = "main:\n call fn1\n jmp main\nfn1:\n fadd f8, f0\n ret\n";
+        let p = assemble(src).unwrap();
+        assert!(matches!(p.blocks[0].terminator, Terminator::Call { callee: 2 }));
+        assert!(matches!(p.blocks[2].terminator, Terminator::Ret));
+    }
+
+    #[test]
+    fn assembled_kernel_runs_on_a_trace_source() {
+        let src = "top:\n add r8, r8\n load r9, [r0], stride=8, region=l1\n \
+                   beq r9, top, p=0.9\n jmp top\n";
+        let mut t = TraceSource::new(assemble(src).unwrap(), 0);
+        let mut branches = 0;
+        let mut loads = 0;
+        for _ in 0..1000 {
+            let (_, inst) = t.fetch();
+            if inst.is_branch() {
+                branches += 1;
+            }
+            if inst.is_load() {
+                loads += 1;
+            }
+        }
+        assert!(branches > 200, "got {branches}");
+        assert!(loads > 200, "got {loads}");
+    }
+
+    #[test]
+    fn error_reporting_has_line_numbers() {
+        let e = assemble("add r8, r8\nbogus r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+
+        let e = assemble("jmp nowhere\n").unwrap_err();
+        assert!(e.message.contains("undefined label"));
+
+        let e = assemble("top:\n add r8\n loop top, trips=1\n").unwrap_err();
+        assert!(e.message.contains("at least 2"));
+
+        let e = assemble("add r99, r0\n").unwrap_err();
+        assert!(e.message.contains("bad register"));
+
+        let e = assemble("k:\n beq r8, k, p=1.5\n jmp k\n").unwrap_err();
+        assert!(e.message.contains("probability"));
+
+        let e = assemble("").unwrap_err();
+        assert!(e.message.contains("empty"));
+    }
+
+    #[test]
+    fn trailing_conditional_wraps_to_block_zero() {
+        // The not-taken path of a final conditional falls through to the
+        // first block (kernels are infinite loops).
+        let p = assemble("top:\n add r8, r8\n beq r8, top, p=0.5\n").unwrap();
+        let mut t = TraceSource::new(p, 0);
+        for _ in 0..500 {
+            let _ = t.fetch(); // must not panic / fall off the program
+        }
+    }
+
+    #[test]
+    fn disassemble_round_trips_kernels() {
+        let src = "main:\n load f8, [r0], stride=8, region=l2\n fmul f9, f8, f0\n \
+                   store [r1], f9, stride=8, region=l2\n call helper\n \
+                   beq r8, main, p=0.25\nhelper:\n barrier\n ret\n";
+        let p1 = assemble(src).unwrap();
+        let text = disassemble(&p1);
+        let p2 = assemble(&text).unwrap();
+        assert_eq!(p1.blocks, p2.blocks, "round trip changed blocks:\n{text}");
+    }
+
+    #[test]
+    fn duplicate_labels_are_rejected() {
+        let e = assemble("a:\n add r8, r8\n jmp a\na:\n mul r9, r8\n jmp a\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+}

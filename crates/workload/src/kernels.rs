@@ -1,0 +1,215 @@
+//! A library of classic microbenchmark kernels, authored in the
+//! [`crate::asm`] DSL.
+//!
+//! These are the directed workloads architects reach for when probing a
+//! design: streaming (STREAM triad / daxpy), reductions, pointer chasing,
+//! store-to-load forwarding chains, branchy search loops, and mixed
+//! latency/ILP kernels. Each kernel is an infinite loop suitable for the
+//! fixed-window measurement methodology.
+//!
+//! # Example
+//!
+//! ```
+//! use shelfsim_workload::kernels;
+//!
+//! let k = kernels::by_name("triad").expect("in library");
+//! let program = k.assemble().expect("library kernels always assemble");
+//! assert!(program.footprint() > 3);
+//! ```
+
+use crate::asm::{assemble, AsmError};
+use crate::program::Program;
+
+/// A named kernel with its DSL source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Kernel {
+    /// Registry name.
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// DSL source (see [`crate::asm`]).
+    pub source: &'static str,
+}
+
+impl Kernel {
+    /// Assembles the kernel into a runnable [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Library kernels are validated by the test suite, so this only fails
+    /// if a kernel was modified incorrectly.
+    pub fn assemble(&self) -> Result<Program, AsmError> {
+        assemble(self.source)
+    }
+}
+
+/// The kernel registry.
+pub const KERNELS: [Kernel; 8] = [
+    Kernel {
+        name: "daxpy",
+        description: "y[i] = a*x[i] + y[i] over L2-resident arrays",
+        source: "\
+top:
+    load  f8, [r0], stride=8, region=l2
+    fmul  f9, f8, f0
+    load  f10, [r1], stride=8, region=l2
+    fadd  f11, f9, f10
+    store [r1], f11, stride=8, region=l2
+    loop  top, trips=200
+",
+    },
+    Kernel {
+        name: "triad",
+        description: "STREAM triad: a[i] = b[i] + s*c[i], memory-bound",
+        source: "\
+top:
+    load  f8, [r0], stride=8, region=mem
+    fmul  f9, f8, f0
+    load  f10, [r1], stride=8, region=mem
+    fadd  f11, f9, f10
+    store [r2], f11, stride=8, region=mem
+    loop  top, trips=400
+",
+    },
+    Kernel {
+        name: "reduce",
+        description: "serial floating-point reduction (latency-bound chain)",
+        source: "\
+top:
+    load  f8, [r0], stride=8, region=l1
+    fadd  f9, f9, f8
+    loop  top, trips=300
+",
+    },
+    Kernel {
+        name: "chase",
+        description: "serialized pointer chase over a memory-bound region",
+        source: "\
+top:
+    load  r24, [r24], chase, region=mem
+    add   r8, r8
+    loop  top, trips=500
+",
+    },
+    Kernel {
+        name: "chase2",
+        description: "two independent pointer chases (MLP = 2)",
+        source: "\
+top:
+    load  r24, [r24], chase, region=mem
+    load  r25, [r25], chase, region=mem
+    add   r8, r8
+    loop  top, trips=500
+",
+    },
+    Kernel {
+        name: "forward",
+        description: "store-to-load forwarding through one cell",
+        source: "\
+top:
+    add   r9, r10
+    store [r0], r9, stride=0, region=l1
+    load  r10, [r0], stride=0, region=l1
+    loop  top, trips=300
+",
+    },
+    Kernel {
+        name: "branchy",
+        description: "data-dependent branches over cached data (search-like)",
+        source: "\
+top:
+    load  r8, [r0], stride=8, region=l1
+    add   r9, r8
+    beq   r9, skip, p=0.4
+    mul   r10, r9, r1
+    add   r11, r10
+skip:
+    add   r12, r12
+    loop  top, trips=50
+",
+    },
+    Kernel {
+        name: "mixed",
+        description: "latency chain + wide independent ILP (hybrid-window showcase)",
+        source: "\
+top:
+    load  r24, [r24], chase, region=l2
+    add   r8, r24
+    add   r9, r8
+    add   r10, r9
+    fadd  f8, f8, f0
+    fadd  f9, f9, f1
+    add   r12, r12
+    add   r13, r13
+    mul   r14, r12, r13
+    loop  top, trips=400
+",
+    },
+];
+
+/// All kernels.
+pub fn all() -> &'static [Kernel] {
+    &KERNELS
+}
+
+/// Looks a kernel up by name.
+pub fn by_name(name: &str) -> Option<&'static Kernel> {
+    KERNELS.iter().find(|k| k.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceSource;
+
+    #[test]
+    fn every_kernel_assembles_and_runs() {
+        for k in all() {
+            let program = k.assemble().unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            let mut t = TraceSource::new(program, 0);
+            for _ in 0..2_000 {
+                let _ = t.fetch();
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_lookup_works() {
+        let mut names: Vec<_> = all().iter().map(|k| k.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), KERNELS.len());
+        assert_eq!(by_name("triad").map(|k| k.name), Some("triad"));
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn chase_kernels_differ_in_parallelism() {
+        // chase2 has two independent chains — the trace must show two
+        // distinct self-dependent chase registers.
+        let p = by_name("chase2").expect("exists").assemble().expect("valid");
+        let chases: Vec<_> = p.blocks[0]
+            .body
+            .iter()
+            .filter(|i| {
+                i.op == shelfsim_isa::OpClass::Load
+                    && i.srcs[0] == i.dest.map(Some).unwrap_or(None)
+            })
+            .collect();
+        assert_eq!(chases.len(), 2);
+        assert_ne!(chases[0].dest, chases[1].dest);
+    }
+
+    #[test]
+    fn branchy_kernel_branches_unpredictably() {
+        let p = by_name("branchy").expect("exists").assemble().expect("valid");
+        let has_hard_branch = p.blocks.iter().any(|b| {
+            matches!(
+                b.terminator,
+                crate::program::Terminator::Cond { taken_prob, .. }
+                    if (0.2..=0.8).contains(&taken_prob)
+            )
+        });
+        assert!(has_hard_branch);
+    }
+}

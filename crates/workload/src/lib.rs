@@ -1,0 +1,44 @@
+//! Synthetic benchmark suite for `shelfsim` — the stand-in for SPEC CPU2006.
+//!
+//! The paper evaluates 28 SPEC CPU2006 benchmarks (all but dealII) over the
+//! ARMv7 ISA, fast-forwarded to SimPoints. We cannot ship SPEC, so this
+//! crate generates *synthetic programs* whose microarchitectural behaviour
+//! spans the same space:
+//!
+//! * **dependence density** (ILP) — how tightly instructions chain through
+//!   registers, which controls how often an instruction's true dependence
+//!   arrives after its false dependences (the in-sequence phenomenon);
+//! * **memory behaviour** — strided streams, pointer chases, and random
+//!   accesses over L1-resident, L2-resident, and memory-bound working sets;
+//! * **branch behaviour** — predictable loop branches mixed with biased
+//!   data-dependent branches;
+//! * **operation mix** — integer/floating-point/multiply/divide ratios.
+//!
+//! Each of the 28 profiles is named after the SPEC benchmark whose published
+//! characterization it approximates; the mapping is a *behavioural analogy*,
+//! not a claim of instruction-level equivalence (see `DESIGN.md` §1).
+//!
+//! # Example
+//!
+//! ```
+//! use shelfsim_workload::{suite, TraceSource};
+//!
+//! let profile = suite::by_name("mcf").expect("in suite");
+//! let mut trace = TraceSource::new(profile.build_program(7), 0);
+//! let first = trace.fetch();
+//! assert_eq!(trace.fetch().0, 1); // sequence numbers are consecutive
+//! let _ = first;
+//! ```
+
+pub mod asm;
+pub mod generator;
+pub mod kernels;
+pub mod mix;
+pub mod profile;
+pub mod program;
+pub mod suite;
+
+pub use generator::TraceSource;
+pub use mix::{balanced_random_mixes, Mix};
+pub use profile::BenchmarkProfile;
+pub use program::Program;

@@ -1,0 +1,174 @@
+//! SMT workload mix generation using the "Balanced Random" methodology
+//! (Velasquez, Michaud & Seznec, ISPASS 2013; paper §V).
+//!
+//! "For SMT workloads, we generate mixes of 28 different SPEC benchmarks,
+//! such that each benchmark appears an equal number of times in each
+//! workload" — concretely, 28 mixes of `t` threads each, in which every
+//! benchmark appears exactly `t` times across the whole set, with no
+//! benchmark duplicated inside a single mix.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One multiprogrammed workload: the benchmark name of each SMT context.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mix {
+    /// Benchmark names, one per hardware thread.
+    pub benchmarks: Vec<&'static str>,
+}
+
+impl Mix {
+    /// Number of threads in the mix.
+    pub fn threads(&self) -> usize {
+        self.benchmarks.len()
+    }
+
+    /// A short label like `gcc+mcf+lbm+astar` for reports.
+    pub fn label(&self) -> String {
+        self.benchmarks.join("+")
+    }
+}
+
+/// Generates `num_mixes` balanced random mixes of `threads` benchmarks each
+/// from `names`.
+///
+/// Every benchmark appears exactly `num_mixes * threads / names.len()` times
+/// across the full set, and no mix contains the same benchmark twice
+/// (achieved by post-shuffle repair swaps). Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `threads > names.len()`, or `num_mixes * threads` is not a
+/// multiple of `names.len()`.
+pub fn balanced_random_mixes(
+    names: &[&'static str],
+    threads: usize,
+    num_mixes: usize,
+    seed: u64,
+) -> Vec<Mix> {
+    assert!(threads >= 1, "mixes need at least one thread");
+    assert!(threads <= names.len(), "cannot avoid duplicates with more threads than benchmarks");
+    let slots = num_mixes * threads;
+    assert!(
+        slots.is_multiple_of(names.len()),
+        "{num_mixes} mixes x {threads} threads is not balanced over {} benchmarks",
+        names.len()
+    );
+    let copies = slots / names.len();
+    let mut pool: Vec<&'static str> =
+        names.iter().flat_map(|&n| std::iter::repeat_n(n, copies)).collect();
+    let mut rng = SmallRng::seed_from_u64(seed ^ BALANCE_SEED);
+    pool.shuffle(&mut rng);
+
+    // Repair within-mix duplicates by swapping with a later slot whose value
+    // differs and whose own mix does not already contain the duplicate.
+    let mut mixes: Vec<Vec<&'static str>> =
+        pool.chunks(threads).map(|c| c.to_vec()).collect();
+    for pass in 0..64 {
+        let mut fixed_everything = true;
+        for m in 0..mixes.len() {
+            for i in 0..threads {
+                let dup = mixes[m][..i].contains(&mixes[m][i]);
+                if !dup {
+                    continue;
+                }
+                fixed_everything = false;
+                // Find a swap partner anywhere else.
+                let mut done = false;
+                'outer: for m2 in 0..mixes.len() {
+                    if m2 == m {
+                        continue;
+                    }
+                    for j in 0..threads {
+                        let cand = mixes[m2][j];
+                        let ours = mixes[m][i];
+                        let cand_ok = !mixes[m].contains(&cand);
+                        let ours_ok =
+                            !mixes[m2].iter().enumerate().any(|(k, &v)| k != j && v == ours);
+                        if cand_ok && ours_ok {
+                            mixes[m][i] = cand;
+                            mixes[m2][j] = ours;
+                            done = true;
+                            break 'outer;
+                        }
+                    }
+                }
+                assert!(done || pass < 63, "failed to repair duplicate benchmarks in mixes");
+            }
+        }
+        if fixed_everything {
+            break;
+        }
+    }
+    mixes.into_iter().map(|benchmarks| Mix { benchmarks }).collect()
+}
+
+const BALANCE_SEED: u64 = 0x0BA1_ACED;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite;
+    use std::collections::HashMap;
+
+    #[test]
+    fn four_thread_mixes_are_balanced() {
+        let names = suite::names();
+        let mixes = balanced_random_mixes(&names, 4, 28, 7);
+        assert_eq!(mixes.len(), 28);
+        let mut count: HashMap<&str, usize> = HashMap::new();
+        for m in &mixes {
+            assert_eq!(m.threads(), 4);
+            for &b in &m.benchmarks {
+                *count.entry(b).or_default() += 1;
+            }
+        }
+        for (&b, &c) in &count {
+            assert_eq!(c, 4, "{b} appears {c} times, expected 4");
+        }
+    }
+
+    #[test]
+    fn no_mix_contains_duplicates() {
+        let names = suite::names();
+        for threads in [2, 4, 8] {
+            let mixes = balanced_random_mixes(&names, threads, 28, 99);
+            for m in &mixes {
+                let mut b = m.benchmarks.clone();
+                b.sort_unstable();
+                b.dedup();
+                assert_eq!(b.len(), threads, "duplicate in mix {}", m.label());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let names = suite::names();
+        let a = balanced_random_mixes(&names, 4, 28, 1);
+        let b = balanced_random_mixes(&names, 4, 28, 1);
+        let c = balanced_random_mixes(&names, 4, 28, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn label_formats() {
+        let m = Mix { benchmarks: vec!["gcc", "mcf"] };
+        assert_eq!(m.label(), "gcc+mcf");
+    }
+
+    #[test]
+    #[should_panic(expected = "not balanced")]
+    fn unbalanced_request_panics() {
+        let names = suite::names();
+        let _ = balanced_random_mixes(&names, 3, 5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more threads than benchmarks")]
+    fn too_many_threads_panics() {
+        let _ = balanced_random_mixes(&["a", "b"], 3, 2, 0);
+    }
+}

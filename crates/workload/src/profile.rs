@@ -1,0 +1,133 @@
+//! Benchmark profiles: the knobs that shape a synthetic program.
+
+use crate::program::{Program, ProgramBuilder};
+
+/// The behavioural knobs of one synthetic benchmark.
+///
+/// All fractions are in `0.0..=1.0`. The remaining instruction budget after
+/// loads, stores, and branches is arithmetic, split between integer and
+/// floating point by `frac_fp` and into long-latency ops by `frac_muldiv`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchmarkProfile {
+    /// Benchmark name (SPEC CPU2006 analogue).
+    pub name: &'static str,
+    /// Fraction of instructions that are loads.
+    pub frac_load: f64,
+    /// Fraction of instructions that are stores.
+    pub frac_store: f64,
+    /// Fraction of instructions that are conditional branches.
+    pub frac_branch: f64,
+    /// Of the arithmetic instructions, the fraction that are floating point.
+    pub frac_fp: f64,
+    /// Of the arithmetic instructions, the fraction that are multiplies or
+    /// divides (long latency).
+    pub frac_muldiv: f64,
+    /// Average register dependence distance: the probability that an
+    /// instruction's source is the destination of a *recent* instruction
+    /// (small window) rather than a long-lived register. Higher = more
+    /// serial code = fewer reordering opportunities per instruction.
+    pub chain_density: f64,
+    /// Fraction of memory accesses hitting the L1-resident region.
+    pub mem_l1_frac: f64,
+    /// Fraction of memory accesses hitting the L2-resident region (the
+    /// remainder goes to the memory-bound region).
+    pub mem_l2_frac: f64,
+    /// Fraction of loads that pointer-chase (serialized, cache-hostile).
+    pub pointer_chase: f64,
+    /// Fraction of conditional branches that are data-dependent coin flips
+    /// (taken with probability ~0.5) rather than predictable loop/biased
+    /// branches. Drives the mispredict rate.
+    pub branch_entropy: f64,
+    /// Static code footprint in instructions (drives L1I behaviour).
+    pub code_footprint: usize,
+    /// Mean loop trip count of inner loops.
+    pub mean_trip_count: u32,
+}
+
+impl BenchmarkProfile {
+    /// Validates that all fractions are sane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fraction is outside `0..=1`, the instruction mix
+    /// exceeds 1.0, or the code footprint is degenerate.
+    pub fn validate(&self) {
+        let fr = [
+            self.frac_load,
+            self.frac_store,
+            self.frac_branch,
+            self.frac_fp,
+            self.frac_muldiv,
+            self.chain_density,
+            self.mem_l1_frac,
+            self.mem_l2_frac,
+            self.pointer_chase,
+            self.branch_entropy,
+        ];
+        for f in fr {
+            assert!((0.0..=1.0).contains(&f), "{}: fraction {f} out of range", self.name);
+        }
+        assert!(
+            self.frac_load + self.frac_store + self.frac_branch <= 0.95,
+            "{}: need arithmetic headroom",
+            self.name
+        );
+        assert!(
+            self.mem_l1_frac + self.mem_l2_frac <= 1.0,
+            "{}: memory region fractions exceed 1",
+            self.name
+        );
+        assert!(self.code_footprint >= 16, "{}: trivial code footprint", self.name);
+        assert!(self.mean_trip_count >= 2, "{}: loops must iterate", self.name);
+    }
+
+    /// Builds the synthetic static program for this profile.
+    ///
+    /// `seed` perturbs register assignments, block shapes, and access
+    /// patterns deterministically; the same `(profile, seed)` always yields
+    /// the same program.
+    pub fn build_program(&self, seed: u64) -> Program {
+        self.validate();
+        ProgramBuilder::new(self, seed).build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::suite;
+
+    #[test]
+    fn all_suite_profiles_validate() {
+        for p in suite::all() {
+            p.validate();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_fraction_panics() {
+        let mut p = suite::by_name("gcc").unwrap().clone();
+        p.frac_load = 1.5;
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "headroom")]
+    fn overfull_mix_panics() {
+        let mut p = suite::by_name("gcc").unwrap().clone();
+        p.frac_load = 0.5;
+        p.frac_store = 0.3;
+        p.frac_branch = 0.2;
+        p.validate();
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let p = suite::by_name("mcf").unwrap();
+        let a = p.build_program(3);
+        let b = p.build_program(3);
+        assert_eq!(a, b);
+        let c = p.build_program(4);
+        assert_ne!(a, c, "different seeds give different programs");
+    }
+}

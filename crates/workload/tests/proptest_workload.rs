@@ -1,0 +1,173 @@
+//! Property tests for the synthetic workload generator: replay fidelity,
+//! mix balance, and stream well-formedness across the whole suite.
+
+use proptest::prelude::*;
+use shelfsim_workload::{balanced_random_mixes, suite, TraceSource};
+use std::collections::HashMap;
+
+fn arb_bench() -> impl Strategy<Value = &'static str> {
+    (0..suite::all().len()).prop_map(|i| suite::all()[i].name)
+}
+
+proptest! {
+    #[test]
+    fn replay_is_byte_identical(
+        bench in arb_bench(),
+        seed in 0u64..100,
+        run in 50usize..400,
+        rewind in 0usize..50,
+    ) {
+        let program = suite::by_name(bench).expect("suite").build_program(seed);
+        let mut t = TraceSource::new(program, 0);
+        let first: Vec<_> = (0..run).map(|_| t.fetch()).collect();
+        let point = rewind.min(run - 1) as u64;
+        t.rewind_to(point);
+        for expected in first.iter().skip(point as usize) {
+            prop_assert_eq!(&t.fetch(), expected);
+        }
+    }
+
+    #[test]
+    fn mixes_are_balanced_for_any_thread_count(
+        threads in 1usize..8,
+        seed in 0u64..50,
+    ) {
+        let names = suite::names();
+        let mixes = balanced_random_mixes(&names, threads, 28, seed);
+        let mut count: HashMap<&str, usize> = HashMap::new();
+        for m in &mixes {
+            // No duplicates within a mix.
+            let mut b = m.benchmarks.clone();
+            b.sort_unstable();
+            b.dedup();
+            prop_assert_eq!(b.len(), threads);
+            for &x in &m.benchmarks {
+                *count.entry(x).or_default() += 1;
+            }
+        }
+        for (&b, &c) in &count {
+            prop_assert_eq!(c, threads, "{} unbalanced", b);
+        }
+    }
+
+    #[test]
+    fn streams_are_well_formed(bench in arb_bench(), seed in 0u64..30) {
+        let program = suite::by_name(bench).expect("suite").build_program(seed);
+        let starts: std::collections::HashSet<u64> =
+            program.blocks.iter().map(|b| b.start_pc).collect();
+        let mut t = TraceSource::new(program, 1);
+        let mut last_seq = None;
+        for _ in 0..3000 {
+            let (seq, inst) = t.fetch();
+            // Sequence numbers are consecutive.
+            if let Some(prev) = last_seq {
+                prop_assert_eq!(seq, prev + 1);
+            }
+            last_seq = Some(seq);
+            // Memory ops carry 8-byte aligned addresses; others carry none.
+            match inst.mem {
+                Some(m) => {
+                    prop_assert!(inst.is_mem());
+                    prop_assert_eq!(m.addr % 8, 0);
+                }
+                None => prop_assert!(!inst.is_mem()),
+            }
+            // Taken branches land on block starts (thread base removed).
+            if let Some(br) = inst.branch {
+                prop_assert!(inst.is_branch());
+                let local = br.next_pc - (1u64 << 36) - 0x19_F040;
+                prop_assert!(starts.contains(&local), "bad target {:#x}", br.next_pc);
+            }
+        }
+    }
+
+    #[test]
+    fn thread_index_only_shifts_addresses(bench in arb_bench(), seed in 0u64..20) {
+        let p = suite::by_name(bench).expect("suite").build_program(seed);
+        let mut t0 = TraceSource::new(p.clone(), 0);
+        let mut t1 = TraceSource::new(p, 1);
+        // Different thread contexts reseed data-dependent randomness, so the
+        // streams may diverge, but both must stay within their own address
+        // spaces.
+        for _ in 0..1000 {
+            let (_, a) = t0.fetch();
+            let (_, b) = t1.fetch();
+            prop_assert_eq!(a.pc >> 36, 0);
+            prop_assert_eq!(b.pc >> 36, 1);
+            if let Some(m) = a.mem {
+                prop_assert_eq!(m.addr >> 36, 0);
+            }
+            if let Some(m) = b.mem {
+                prop_assert_eq!(m.addr >> 36, 1);
+            }
+        }
+    }
+}
+
+mod asm_roundtrip {
+    use proptest::prelude::*;
+    use shelfsim_workload::asm::{assemble, disassemble};
+    use shelfsim_workload::suite;
+
+    proptest! {
+        #[test]
+        fn disassemble_assemble_is_identity_on_random_kernels(
+            n_blocks in 1usize..6,
+            ops in prop::collection::vec((0u8..8, 0u8..24, 0u8..24), 1..24),
+            term_rolls in prop::collection::vec((0u8..4, 0u8..8, 2u32..50), 6),
+        ) {
+            // Build a random kernel in DSL text, then round-trip it.
+            let mut src = String::new();
+            let per_block = ops.len().div_ceil(n_blocks);
+            for b in 0..n_blocks {
+                src.push_str(&format!("b{b}:\n"));
+                for (kind, d, s) in ops.iter().skip(b * per_block).take(per_block) {
+                    let line = match kind % 8 {
+                        0 => format!("  add r{}, r{}\n", d, s),
+                        1 => format!("  mul r{}, r{}, r{}\n", d, s, (s + 1) % 24),
+                        2 => format!("  fadd f{}, f{}\n", d, s),
+                        3 => format!("  fmul f{}, f{}\n", d, s),
+                        4 => format!("  load r{}, [r{}], stride=16, region=l2\n", d, s),
+                        5 => format!("  store [r{}], r{}, region=l1\n", s, d),
+                        6 => format!("  load r{}, [r{}], chase, region=mem\n", d, d),
+                        _ => "  barrier\n".to_owned(),
+                    };
+                    src.push_str(&line);
+                }
+                let (t, target, trips) = term_rolls[b % term_rolls.len()];
+                let target = target as usize % n_blocks;
+                let line = match t % 4 {
+                    0 => format!("  jmp b{target}\n"),
+                    1 => format!("  loop b{target}, trips={trips}\n"),
+                    2 => format!("  beq r{}, b{target}, p=0.5\n", trips % 24),
+                    _ => format!("  jmp b{}\n", (target + 1) % n_blocks),
+                };
+                src.push_str(&line);
+            }
+            let p1 = assemble(&src).expect("generated kernel must assemble");
+            let text = disassemble(&p1);
+            let p2 = assemble(&text).expect("disassembled text must reassemble");
+            prop_assert_eq!(&p1.blocks, &p2.blocks);
+        }
+
+        #[test]
+        fn suite_programs_survive_disassembly(idx in 0usize..28, seed in 0u64..10) {
+            // Suite programs use every terminator kind and (rarely) the
+            // Random access pattern, which the DSL approximates; everything
+            // else must survive a disassemble/assemble cycle structurally.
+            let p1 = suite::all()[idx].build_program(seed);
+            let text = disassemble(&p1);
+            let p2 = assemble(&text).expect("suite programs must disassemble to valid DSL");
+            prop_assert_eq!(p1.blocks.len(), p2.blocks.len());
+            for (a, b) in p1.blocks.iter().zip(&p2.blocks) {
+                prop_assert_eq!(a.body.len(), b.body.len());
+                prop_assert_eq!(&a.terminator, &b.terminator);
+                for (x, y) in a.body.iter().zip(&b.body) {
+                    prop_assert_eq!(x.op, y.op);
+                    prop_assert_eq!(x.dest, y.dest);
+                    prop_assert_eq!(x.srcs, y.srcs);
+                }
+            }
+        }
+    }
+}

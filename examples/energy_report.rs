@@ -1,0 +1,51 @@
+//! Energy report: per-structure energy breakdown and EDP comparison.
+//!
+//! Reproduces the paper's energy argument in miniature: the shelf-augmented
+//! design spends slightly more power than Base-64 but finishes sooner,
+//! winning on energy-delay product, while the IQ CAM dominates per-access
+//! energy and the FIFO shelf stays cheap.
+//!
+//! ```text
+//! cargo run --release --example energy_report
+//! ```
+
+use shelfsim::{CoreConfig, EnergyModel, Simulation, SteerPolicy};
+
+fn main() {
+    let mix = ["perlbench", "soplex", "leslie3d", "omnetpp"];
+    let configs: [(&str, CoreConfig); 3] = [
+        ("Base-64", CoreConfig::base64(4)),
+        ("Shelf 64+64", CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true)),
+        ("Base-128", CoreConfig::base128(4)),
+    ];
+
+    println!("mix: {}\n", mix.join("+"));
+    let mut edps = Vec::new();
+    for (label, cfg) in configs {
+        let model = EnergyModel::for_config(&cfg);
+        let mut sim = Simulation::from_names(cfg, &mix, 3).expect("suite benchmarks");
+        let run = sim.run(10_000, 40_000);
+        let rep = model.report(&run);
+        println!(
+            "{label}: IPC {:.3}  EPI {:.0}  EDP {:.0}  (dynamic {:.0}%, leakage {:.0}%)",
+            run.ipc(),
+            rep.energy_per_instruction(),
+            rep.edp(),
+            rep.dynamic / rep.total() * 100.0,
+            rep.leakage / rep.total() * 100.0,
+        );
+        let mut breakdown = rep.per_structure.clone();
+        breakdown.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        print!("  top consumers:");
+        for (name, e) in breakdown.iter().take(5) {
+            print!("  {name} {:.0}%", e / rep.dynamic * 100.0);
+        }
+        println!("\n");
+        edps.push((label, rep.edp()));
+    }
+
+    let base = edps[0].1;
+    for (label, edp) in &edps[1..] {
+        println!("{label}: EDP {:+.1}% vs Base-64 (negative is better)", (edp / base - 1.0) * 100.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: simulate the paper's headline configuration.
+//!
+//! Runs a 4-thread SMT mix on the Base-64 core and on the shelf-augmented
+//! 64+64 core, and prints the throughput improvement.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use shelfsim::{CoreConfig, Simulation, SteerPolicy};
+
+fn main() {
+    let mix = ["gcc", "mcf", "hmmer", "lbm"];
+    let warmup = 10_000;
+    let measure = 40_000;
+
+    println!("mix: {}", mix.join("+"));
+
+    // Baseline: 4-thread OOO, 64-entry ROB, 32-entry IQ/LQ/SQ (Table I).
+    let base_cfg = CoreConfig::base64(4);
+    let mut base = Simulation::from_names(base_cfg, &mix, 42).expect("suite benchmarks");
+    let base_run = base.run(warmup, measure);
+    println!("Base-64      IPC {:.3}", base_run.ipc());
+
+    // Shelf-augmented: same core plus a 64-entry shelf, practical steering.
+    let shelf_cfg = CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true);
+    let mut shelf = Simulation::from_names(shelf_cfg, &mix, 42).expect("suite benchmarks");
+    let shelf_run = shelf.run(warmup, measure);
+    println!(
+        "Shelf 64+64  IPC {:.3}  ({:+.1}%)  — {:.0}% of instructions took the shelf",
+        shelf_run.ipc(),
+        (shelf_run.ipc() / base_run.ipc() - 1.0) * 100.0,
+        shelf_run.counters.shelf_dispatch_fraction() * 100.0,
+    );
+
+    // Upper bound: every structure doubled.
+    let big_cfg = CoreConfig::base128(4);
+    let mut big = Simulation::from_names(big_cfg, &mix, 42).expect("suite benchmarks");
+    let big_run = big.run(warmup, measure);
+    println!(
+        "Base-128     IPC {:.3}  ({:+.1}%)  — the upper bound the shelf chases",
+        big_run.ipc(),
+        (big_run.ipc() / base_run.ipc() - 1.0) * 100.0,
+    );
+
+    println!("\nper-thread CPI on the shelf design:");
+    for t in &shelf_run.threads {
+        println!(
+            "  {:<10} cpi {:>7.2}   in-sequence {:>5.1}%   mispredict {:>4.1}%",
+            t.benchmark,
+            t.cpi,
+            t.in_sequence_fraction * 100.0,
+            t.branch_mispredict_ratio * 100.0,
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! SMT scaling: throughput and in-sequence fraction vs thread count.
+//!
+//! Reproduces the paper's motivating observation (Hily & Seznec; Figure 1):
+//! as SMT thread count grows, aggregate throughput rises while per-thread
+//! reordering opportunity falls — more and more instructions issue in
+//! program order, and the shelf's usefulness grows with them.
+//!
+//! ```text
+//! cargo run --release --example smt_scaling
+//! ```
+
+use shelfsim::{CoreConfig, Simulation, SteerPolicy};
+
+fn main() {
+    let pool = ["gcc", "mcf", "hmmer", "lbm", "perlbench", "bwaves", "astar", "milc"];
+    let warmup = 10_000;
+    let measure = 40_000;
+
+    println!(
+        "{:<8} {:>10} {:>10} {:>12} {:>14}",
+        "threads", "base IPC", "shelf IPC", "shelf delta", "in-seq (base)"
+    );
+    for threads in [1usize, 2, 4, 8] {
+        let mix: Vec<&str> = pool[..threads].to_vec();
+
+        let mut base = Simulation::from_names(CoreConfig::base64(threads), &mix, 11)
+            .expect("suite benchmarks");
+        let b = base.run(warmup, measure);
+
+        let shelf_cfg = CoreConfig::base64_shelf64(threads, SteerPolicy::Practical, true);
+        let mut shelf =
+            Simulation::from_names(shelf_cfg, &mix, 11).expect("suite benchmarks");
+        let s = shelf.run(warmup, measure);
+
+        println!(
+            "{:<8} {:>10.3} {:>10.3} {:>+11.1}% {:>13.1}%",
+            threads,
+            b.ipc(),
+            s.ipc(),
+            (s.ipc() / b.ipc() - 1.0) * 100.0,
+            b.mean_in_sequence_fraction() * 100.0,
+        );
+    }
+    println!("\nexpected: the shelf delta peaks at the 4-thread design point the paper targets;");
+    println!("at 8 threads the static partitions (8 shelf / 8 ROB entries per thread) pinch, and");
+    println!("at 1-2 threads there is little in-sequence opportunity to harvest.");
+}

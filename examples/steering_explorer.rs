@@ -1,0 +1,69 @@
+//! Steering explorer: compare every steering policy on one mix.
+//!
+//! Shows how the steering decision drives the hybrid window: always-IQ
+//! degenerates to the baseline OOO, always-shelf approaches an in-order
+//! core, and the practical and oracle policies land in between, with the
+//! shelf absorbing the in-sequence instructions.
+//!
+//! ```text
+//! cargo run --release --example steering_explorer [bench1 bench2 bench3 bench4]
+//! ```
+
+use shelfsim::{CoreConfig, Simulation, SteerPolicy};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mix: Vec<&str> = if args.len() == 4 {
+        args.iter().map(String::as_str).collect()
+    } else {
+        vec!["xalancbmk", "astar", "milc", "bwaves"]
+    };
+    println!("mix: {}   ({MEASURE} cycles measured)\n", mix.join("+"));
+    println!(
+        "{:<22} {:>7} {:>12} {:>12} {:>12}",
+        "policy", "IPC", "shelf-dispat", "shelf-issue", "mis-steer"
+    );
+
+    let base = run(CoreConfig::base64(4), &mix);
+    println!("{:<22} {:>7.3} {:>11.1}% {:>11.1}% {:>12}", "no shelf (Base-64)", base.0, 0.0, 0.0, "-");
+
+    for (label, policy) in [
+        ("always-IQ", SteerPolicy::AlwaysIq),
+        ("always-shelf", SteerPolicy::AlwaysShelf),
+        ("practical (RCT/PLT)", SteerPolicy::Practical),
+        ("oracle (greedy)", SteerPolicy::Oracle),
+    ] {
+        let cfg = CoreConfig::base64_shelf64(4, policy, true);
+        let (ipc, disp, iss, missteer) = run(cfg, &mix);
+        let ms = if policy == SteerPolicy::Practical {
+            format!("{:.1}%", missteer * 100.0)
+        } else {
+            "-".to_owned()
+        };
+        println!(
+            "{:<22} {:>7.3} {:>11.1}% {:>11.1}% {:>12}",
+            label,
+            ipc,
+            disp * 100.0,
+            iss * 100.0,
+            ms
+        );
+    }
+    println!("\n(mis-steer: practical decisions that disagree with a shadow oracle, paper ~16%)");
+}
+
+const WARMUP: u64 = 10_000;
+const MEASURE: u64 = 40_000;
+
+fn run(cfg: CoreConfig, mix: &[&str]) -> (f64, f64, f64, f64) {
+    let mut sim = Simulation::from_names(cfg, mix, 9).expect("suite benchmarks");
+    let r = sim.run(WARMUP, MEASURE);
+    let issued = r.counters.issued.max(1);
+    let missteer = r.threads.iter().map(|t| t.missteer_rate).sum::<f64>() / r.threads.len() as f64;
+    (
+        r.ipc(),
+        r.counters.shelf_dispatch_fraction(),
+        r.counters.issued_shelf as f64 / issued as f64,
+        missteer,
+    )
+}

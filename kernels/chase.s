@@ -1,0 +1,9 @@
+; serialized pointer chase across a memory-bound region, with independent
+; ALU work the OOO core can overlap (and an in-order core cannot)
+top:
+    load  r24, [r24], chase, region=mem
+    add   r8, r8
+    add   r9, r9
+    add   r10, r10
+    mul   r11, r8, r9
+    loop  top, trips=500

@@ -1,0 +1,8 @@
+; daxpy-like kernel: y[i] = a*x[i] + y[i] over an L2-resident array
+top:
+    load  f8, [r0], stride=8, region=l2     ; x[i]
+    fmul  f9, f8, f0                        ; a * x[i]
+    load  f10, [r1], stride=8, region=l2    ; y[i]
+    fadd  f11, f9, f10
+    store [r1], f11, stride=8, region=l2
+    loop  top, trips=200

@@ -1,0 +1,6 @@
+; store-to-load forwarding chain through one memory cell
+top:
+    add   r9, r10
+    store [r0], r9, stride=0, region=l1
+    load  r10, [r0], stride=0, region=l1
+    loop  top, trips=300

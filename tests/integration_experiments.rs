@@ -1,0 +1,128 @@
+//! Scaled-down versions of the paper's headline experiments, asserting the
+//! qualitative *shapes* the full benchmark harness regenerates.
+
+use shelfsim::{geomean, stp, CoreConfig, EnergyModel, Simulation};
+use shelfsim_bench::{evaluate_designs, mixes, Design, Scale, StCpiPool};
+
+#[test]
+fn figure1_shape_in_sequence_grows_with_threads() {
+    let scale = Scale::tiny();
+    let mut fractions = Vec::new();
+    for threads in [1usize, 4] {
+        let f = if threads == 1 {
+            let mut sim =
+                Simulation::from_names(CoreConfig::base128(1), &["gcc"], scale.seed).unwrap();
+            sim.run(scale.warmup, scale.measure).threads[0].in_sequence_fraction
+        } else {
+            let mix = &mixes(4, scale)[0];
+            let names: Vec<&str> = mix.benchmarks.clone();
+            let mut sim =
+                Simulation::from_names(CoreConfig::base128(4), &names, scale.seed).unwrap();
+            sim.run(scale.warmup, scale.measure).mean_in_sequence_fraction()
+        };
+        fractions.push(f);
+    }
+    assert!(
+        fractions[1] > fractions[0],
+        "in-sequence fraction must grow with threads: 1T {:.2} vs 4T {:.2}",
+        fractions[0],
+        fractions[1]
+    );
+    assert!(fractions[1] > 0.30, "4-thread in-sequence should approach half");
+}
+
+#[test]
+fn figure2_shape_in_sequence_series_are_short() {
+    let scale = Scale::tiny();
+    let mut sim = Simulation::from_names(CoreConfig::base128(1), &["bzip2"], scale.seed).unwrap();
+    let r = sim.run(scale.warmup, scale.measure);
+    let t = &r.threads[0];
+    let q_in = t.in_sequence_series.quantile(0.99).unwrap_or(0);
+    let max_re = t.reordered_series.max_length().unwrap_or(0);
+    assert!(q_in <= 64, "99% of in-sequence weight in short series, got {q_in}");
+    assert!(
+        max_re > q_in,
+        "reordered series ({max_re}) should run longer than in-sequence ({q_in})"
+    );
+}
+
+#[test]
+fn figure10_shape_shelf_improves_and_base128_bounds() {
+    let scale = Scale::tiny();
+    let designs = [Design::Base64, Design::ShelfOptimistic, Design::Base128];
+    let evals = evaluate_designs(&designs, 4, scale);
+    let shelf_ratio: Vec<f64> =
+        evals[1].iter().zip(&evals[0]).map(|(s, b)| s.stp / b.stp).collect();
+    let big_ratio: Vec<f64> =
+        evals[2].iter().zip(&evals[0]).map(|(s, b)| s.stp / b.stp).collect();
+    let shelf = geomean(&shelf_ratio);
+    let big = geomean(&big_ratio);
+    assert!(shelf > 1.0, "shelf should improve 4-thread STP, got {shelf:.3}");
+    assert!(big > shelf * 0.95, "Base-128 should bound the shelf (shelf {shelf:.3}, big {big:.3})");
+    for e in evals.iter().flatten() {
+        assert_eq!(e.late_shelf_commits, 0);
+    }
+}
+
+#[test]
+fn figure12_shape_practical_close_to_oracle() {
+    let scale = Scale::tiny();
+    let mix = &mixes(4, scale)[0];
+    let mut pool = StCpiPool::new();
+    let base = shelfsim_bench::evaluate_mix(Design::Base64, mix, &mut pool, scale).unwrap();
+    let practical =
+        shelfsim_bench::evaluate_mix(Design::ShelfOptimistic, mix, &mut pool, scale).unwrap();
+    let oracle =
+        shelfsim_bench::evaluate_mix(Design::ShelfOracle, mix, &mut pool, scale).unwrap();
+    // Both must be competitive with the baseline; practical within ~15% of
+    // oracle (the paper's gap is a few percent).
+    assert!(practical.stp > base.stp * 0.95);
+    assert!(oracle.stp > base.stp * 0.95);
+    assert!(practical.stp > oracle.stp * 0.85);
+    assert!(practical.missteer > 0.0 && practical.missteer < 0.9);
+}
+
+#[test]
+fn figure13_shape_shelf_wins_edp() {
+    let scale = Scale::tiny();
+    let designs = [Design::Base64, Design::ShelfOptimistic];
+    let evals = evaluate_designs(&designs, 4, scale);
+    let ratios: Vec<f64> = evals[1].iter().zip(&evals[0]).map(|(s, b)| s.edp / b.edp).collect();
+    assert!(
+        geomean(&ratios) < 1.0,
+        "shelf should lower EDP, ratio {:.3}",
+        geomean(&ratios)
+    );
+}
+
+#[test]
+fn table2_shape_area_ordering() {
+    let base = EnergyModel::for_config(&Design::Base64.config(4));
+    let shelf = EnergyModel::for_config(&Design::ShelfOptimistic.config(4));
+    let big = EnergyModel::for_config(&Design::Base128.config(4));
+    for l1 in [false, true] {
+        let a0 = base.core_area(l1);
+        let ds = shelf.core_area(l1) / a0 - 1.0;
+        let db = big.core_area(l1) / a0 - 1.0;
+        assert!(ds > 0.0 && ds < 0.06, "shelf area delta {ds:.3}");
+        assert!(db > 2.0 * ds, "doubling should cost much more than the shelf");
+    }
+}
+
+#[test]
+fn stp_metric_consistency() {
+    // STP of a mix can never exceed the thread count and, for a working
+    // SMT core, should exceed 1 (better than pure time-slicing... at least
+    // on a cache-friendly mix).
+    let scale = Scale::tiny();
+    let cfg = CoreConfig::base64(2);
+    let mut pool_st = Vec::new();
+    for b in ["hmmer", "h264ref"] {
+        let mut sim = Simulation::from_names(CoreConfig::base64(1), &[b], scale.seed).unwrap();
+        pool_st.push(sim.run(scale.warmup, scale.measure).threads[0].cpi);
+    }
+    let mut sim = Simulation::from_names(cfg, &["hmmer", "h264ref"], scale.seed).unwrap();
+    let r = sim.run(scale.warmup, scale.measure);
+    let v = stp(&pool_st, &r.cpis());
+    assert!(v > 0.8 && v <= 2.0 + 1e-9, "2-thread STP out of range: {v}");
+}

@@ -1,0 +1,149 @@
+//! Cross-crate pipeline integration tests: end-to-end behaviour of the
+//! simulator over real workloads, exercising squash/replay, the hybrid
+//! window, and every steering policy.
+
+use shelfsim::{CoreConfig, Simulation, SteerPolicy};
+
+const MIX4: [&str; 4] = ["gcc", "mcf", "hmmer", "lbm"];
+
+fn run(cfg: CoreConfig, names: &[&str], seed: u64) -> shelfsim::RunResult {
+    let mut sim = Simulation::from_names(cfg, names, seed).expect("suite benchmarks");
+    sim.run(4_000, 16_000)
+}
+
+#[test]
+fn all_steering_policies_execute_and_commit() {
+    for policy in [
+        SteerPolicy::AlwaysIq,
+        SteerPolicy::AlwaysShelf,
+        SteerPolicy::Practical,
+        SteerPolicy::Oracle,
+    ] {
+        let cfg = CoreConfig::base64_shelf64(4, policy, true);
+        let r = run(cfg, &MIX4, 1);
+        for t in &r.threads {
+            assert!(t.committed > 0, "{:?}: {} made no progress", policy, t.benchmark);
+        }
+        assert_eq!(r.late_shelf_commits, 0, "{policy:?}: SSR safety violated");
+    }
+}
+
+#[test]
+fn always_iq_on_shelf_config_matches_baseline() {
+    // With everything steered to the IQ the shelf hardware is inert; the
+    // execution must be cycle-identical to the no-shelf baseline.
+    let base = run(CoreConfig::base64(4), &MIX4, 3);
+    let inert = run(CoreConfig::base64_shelf64(4, SteerPolicy::AlwaysIq, true), &MIX4, 3);
+    assert_eq!(base.counters.committed, inert.counters.committed);
+    assert_eq!(base.counters.issued, inert.counters.issued);
+    assert_eq!(inert.counters.dispatched_shelf, 0);
+    assert_eq!(inert.counters.issued_shelf, 0);
+}
+
+#[test]
+fn end_to_end_determinism() {
+    for policy in [SteerPolicy::Practical, SteerPolicy::Oracle] {
+        let cfg = CoreConfig::base64_shelf64(4, policy, false);
+        let a = run(cfg.clone(), &MIX4, 11);
+        let b = run(cfg, &MIX4, 11);
+        assert_eq!(a.counters, b.counters, "{policy:?} not deterministic");
+        for (x, y) in a.threads.iter().zip(&b.threads) {
+            assert_eq!(x.committed, y.committed);
+        }
+    }
+}
+
+#[test]
+fn misspeculation_recovery_is_exercised() {
+    // A memory-heavy mix must trigger both branch mispredicts and memory
+    // ordering violations, and survive them.
+    let cfg = CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true);
+    let r = run(cfg, &["mcf", "omnetpp", "astar", "xalancbmk"], 5);
+    assert!(r.counters.branch_mispredicts > 0, "no branch mispredicts seen");
+    assert!(r.counters.squashed > 0, "no instructions squashed");
+    assert!(r.counters.committed > 1_000);
+    assert_eq!(r.late_shelf_commits, 0);
+}
+
+#[test]
+fn wrong_path_fetch_pollutes_but_preserves_results() {
+    let on = run(CoreConfig::base64(4), &MIX4, 9);
+    let off = run(CoreConfig { wrong_path_fetch: false, ..CoreConfig::base64(4) }, &MIX4, 9);
+    assert!(on.counters.wrong_path_fetched > 0);
+    assert_eq!(off.counters.wrong_path_fetched, 0);
+    // Both commit a comparable amount of work (wrong path costs something
+    // but never corrupts architectural progress).
+    let a = on.counters.committed as f64;
+    let b = off.counters.committed as f64;
+    assert!(a > 0.5 * b && b > 0.5 * a, "wrong-path on={a} off={b}");
+}
+
+#[test]
+fn conservative_issue_never_beats_optimistic_by_much() {
+    // Conservative same-cycle semantics can only delay shelf issue; allow a
+    // little noise from schedule butterfly effects.
+    let cons = run(CoreConfig::base64_shelf64(4, SteerPolicy::Practical, false), &MIX4, 13);
+    let opt = run(CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true), &MIX4, 13);
+    assert!(
+        opt.ipc() >= cons.ipc() * 0.97,
+        "optimistic ({}) should be at least conservative ({})",
+        opt.ipc(),
+        cons.ipc()
+    );
+}
+
+#[test]
+fn smt_scales_throughput() {
+    let one = run(CoreConfig::base64(1), &["gcc"], 2);
+    let four = run(CoreConfig::base64(4), &MIX4, 2);
+    assert!(
+        four.ipc() > one.ipc(),
+        "4-thread IPC ({}) should exceed 1-thread ({})",
+        four.ipc(),
+        one.ipc()
+    );
+}
+
+#[test]
+fn shelf_fraction_tracks_policy() {
+    let practical = run(CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true), &MIX4, 4);
+    let all_shelf = run(CoreConfig::base64_shelf64(4, SteerPolicy::AlwaysShelf, true), &MIX4, 4);
+    let frac = practical.counters.shelf_dispatch_fraction();
+    assert!(frac > 0.10 && frac < 0.90, "practical steering fraction {frac}");
+    assert!((all_shelf.counters.shelf_dispatch_fraction() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn single_thread_shelf_does_not_collapse() {
+    // Paper Figure 14: the shelf must not catastrophically hurt
+    // single-threaded execution.
+    for bench in ["gcc", "hmmer", "bwaves"] {
+        let base = run(CoreConfig::base64(1), &[bench], 7);
+        let shelf = run(CoreConfig::base64_shelf64(1, SteerPolicy::Practical, true), &[bench], 7);
+        let ratio = shelf.threads[0].cpi / base.threads[0].cpi;
+        assert!(ratio < 1.15, "{bench}: shelf CPI ratio {ratio:.3} too high");
+    }
+}
+
+#[test]
+fn store_heavy_workload_drains() {
+    // lbm is store-heavy (17%); the store buffer and SQ must keep up.
+    let r = run(CoreConfig::base64(2), &["lbm", "milc"], 21);
+    assert!(r.counters.sq_writes > 500);
+    for t in &r.threads {
+        assert!(t.committed > 500, "store-heavy thread starved");
+    }
+}
+
+#[test]
+fn mshr_pressure_is_handled() {
+    let cfg = CoreConfig {
+        hierarchy: shelfsim::mem::HierarchyConfig { data_mshrs: 2, ..Default::default() },
+        ..CoreConfig::base64(4)
+    };
+    let r = run(cfg, &["mcf", "lbm", "milc", "GemsFDTD"], 6);
+    assert!(r.counters.mshr_stalls > 0, "tight MSHRs should cause retries");
+    for t in &r.threads {
+        assert!(t.committed > 0);
+    }
+}
