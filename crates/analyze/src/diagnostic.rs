@@ -1,0 +1,248 @@
+//! Typed diagnostics shared by every analysis pass.
+//!
+//! A [`Diagnostic`] is one finding: a stable lint code (`SA…` for program
+//! lints, `SC…` for configuration contradictions), a [`Severity`], a
+//! human-readable message, and — when the subject came from a `.s` kernel
+//! or a config file — a source [`Span`]. A [`Report`] collects the findings
+//! of one lint run and renders them as text or JSON.
+
+/// How serious a finding is.
+///
+/// Only [`Severity::Error`] makes a lint run fail (nonzero CLI exit);
+/// a *lint-clean* artifact additionally has no warnings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: a measurement or estimate, never a defect.
+    Info,
+    /// Suspicious but not definitely wrong; does not fail the run.
+    Warning,
+    /// A definite contradiction or bug; fails the run.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Source location of a finding (1-based line in a named file).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// File the finding refers to, as given to the linter.
+    pub file: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// One analysis finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable lint code (`SA001`, `SC003`, …).
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Human-readable description of the finding.
+    pub message: String,
+    /// Source location, when the subject has one.
+    pub span: Option<Span>,
+}
+
+impl Diagnostic {
+    /// Creates a spanless diagnostic.
+    pub fn new(code: &'static str, severity: Severity, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    /// Attaches a source span.
+    pub fn with_span(mut self, file: &str, line: usize) -> Self {
+        self.span = Some(Span {
+            file: file.to_owned(),
+            line,
+        });
+        self
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.span {
+            Some(s) => write!(
+                f,
+                "{}:{}: {} [{}] {}",
+                s.file, s.line, self.severity, self.code, self.message
+            ),
+            None => write!(f, "{} [{}] {}", self.severity, self.code, self.message),
+        }
+    }
+}
+
+/// The findings of one lint run, ordered most severe first.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    diags: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Builds a report, sorting findings by descending severity, then by
+    /// source line, then by code.
+    pub fn new(mut diags: Vec<Diagnostic>) -> Self {
+        diags.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then_with(|| {
+                    a.span
+                        .as_ref()
+                        .map(|s| s.line)
+                        .cmp(&b.span.as_ref().map(|s| s.line))
+                })
+                .then_with(|| a.code.cmp(b.code))
+        });
+        Report { diags }
+    }
+
+    /// The findings, most severe first.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Number of findings at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diags.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// Returns `true` if any finding is an [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// Returns `true` if there are no errors and no warnings (informational
+    /// findings are allowed).
+    pub fn is_clean(&self) -> bool {
+        !self.diags.iter().any(|d| d.severity >= Severity::Warning)
+    }
+
+    /// Renders the report as one diagnostic per line plus a summary line.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for d in &self.diags {
+            writeln!(out, "{d}").expect("write");
+        }
+        writeln!(
+            out,
+            "{} error(s), {} warning(s), {} note(s)",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+        )
+        .expect("write");
+        out
+    }
+
+    /// Renders the report as a JSON array of finding objects.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  {");
+            out.push_str(&format!("\"code\":\"{}\",", d.code));
+            out.push_str(&format!("\"severity\":\"{}\",", d.severity));
+            out.push_str(&format!("\"message\":\"{}\"", json_escape(&d.message)));
+            if let Some(s) = &d.span {
+                out.push_str(&format!(
+                    ",\"file\":\"{}\",\"line\":{}",
+                    json_escape(&s.file),
+                    s.line
+                ));
+            }
+            out.push('}');
+        }
+        out.push_str("\n]\n");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering_drives_report_order() {
+        let r = Report::new(vec![
+            Diagnostic::new("SA004", Severity::Info, "note"),
+            Diagnostic::new("SA001", Severity::Error, "bug"),
+            Diagnostic::new("SA003", Severity::Warning, "meh"),
+        ]);
+        let codes: Vec<_> = r.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["SA001", "SA003", "SA004"]);
+        assert!(r.has_errors());
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn clean_means_no_errors_or_warnings() {
+        let r = Report::new(vec![Diagnostic::new("SA004", Severity::Info, "note")]);
+        assert!(r.is_clean());
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn text_rendering_includes_span_and_summary() {
+        let r = Report::new(vec![Diagnostic::new(
+            "SA001",
+            Severity::Error,
+            "r9 read before any write",
+        )
+        .with_span("k.s", 3)]);
+        let text = r.render_text();
+        assert!(
+            text.contains("k.s:3: error [SA001] r9 read before any write"),
+            "{text}"
+        );
+        assert!(
+            text.contains("1 error(s), 0 warning(s), 0 note(s)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_structures() {
+        let r = Report::new(vec![Diagnostic::new(
+            "SC001",
+            Severity::Error,
+            "a \"quoted\" message",
+        )
+        .with_span("c.cfg", 2)]);
+        let json = r.render_json();
+        assert!(json.contains("\"code\":\"SC001\""), "{json}");
+        assert!(json.contains("\\\"quoted\\\""), "{json}");
+        assert!(json.contains("\"line\":2"), "{json}");
+    }
+}

@@ -1,0 +1,77 @@
+//! # shelfsim-analyze
+//!
+//! Static lints and invariant checks for the shelfsim workspace, sharing a
+//! typed-diagnostic core ([`Diagnostic`], [`Severity`], [`Report`]):
+//!
+//! * [`lint_program`] — dataflow lints over a [`shelfsim_workload::Program`]
+//!   (`SA001`–`SA005`): def-before-use, unreachable blocks, dead writes,
+//!   in-sequence series estimation, and footprint/region contradictions.
+//! * [`lint_config`] / [`lint_config_file`] — contradiction checks over a
+//!   [`shelfsim_core::CoreConfig`] (`SC001`–`SC007`), returning **all**
+//!   violations rather than panicking on the first like
+//!   `CoreConfig::validate`.
+//! * [`lint_kernel_source`] — the `.s` front end: assemble with line
+//!   tracking, then lint with source spans.
+//!
+//! The third leg of the subsystem — the dynamic invariant *sanitizer* — is
+//! not in this crate: it lives inside `shelfsim-uarch`/`shelfsim-core`
+//! behind the `sanitize` feature, auditing free-list token conservation
+//! and queue occupancy every cycle (see `docs/MECHANISMS.md`).
+//!
+//! ```
+//! use shelfsim_analyze::{lint_kernel_source, Report, Severity};
+//!
+//! let report = Report::new(lint_kernel_source(
+//!     "top:\n  add r8, r9\n  loop top, trips=10\n",
+//!     "demo.s",
+//! ));
+//! assert!(report.has_errors()); // r9 is read but never written
+//! assert_eq!(report.diagnostics()[0].code, "SA001");
+//! ```
+
+pub mod config_lint;
+pub mod diagnostic;
+pub mod program_lint;
+
+pub use config_lint::{design_by_name, lint_config, lint_config_file};
+pub use diagnostic::{Diagnostic, Report, Severity, Span};
+pub use program_lint::lint_program;
+
+/// Assembles `.s` kernel `source` and lints it with spans into `file`.
+///
+/// Assembly errors are reported as an `SA000` error diagnostic (with the
+/// parser's line number) instead of an `Err`, so callers always get a
+/// uniform diagnostic stream.
+pub fn lint_kernel_source(source: &str, file: &str) -> Vec<Diagnostic> {
+    match shelfsim_workload::asm::assemble_with_lines(source) {
+        Ok((program, lines)) => lint_program(&program, Some((file, &lines))),
+        Err(e) => vec![Diagnostic::new(
+            "SA000",
+            Severity::Error,
+            format!("assembly failed: {}", e.message),
+        )
+        .with_span(file, e.line)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_source_front_end_attaches_file_spans() {
+        let diags = lint_kernel_source("top:\n add r8, r20\n loop top, trips=10\n", "k.s");
+        let d = diags.iter().find(|d| d.code == "SA001").expect("SA001");
+        assert_eq!(d.span.as_ref().unwrap().file, "k.s");
+        assert_eq!(d.span.as_ref().unwrap().line, 2);
+    }
+
+    #[test]
+    fn assembly_errors_become_sa000_diagnostics() {
+        let diags = lint_kernel_source("top:\n bogus r1\n", "broken.s");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "SA000");
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert_eq!(diags[0].span.as_ref().unwrap().line, 2);
+    }
+}

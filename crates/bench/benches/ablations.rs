@@ -13,8 +13,7 @@ fn ipc_over_mixes(cfg: &CoreConfig, scale: Scale) -> f64 {
         .iter()
         .map(|m| {
             let names: Vec<&str> = m.benchmarks.clone();
-            let mut sim =
-                Simulation::from_names(cfg.clone(), &names, scale.seed).expect("suite");
+            let mut sim = Simulation::from_names(cfg.clone(), &names, scale.seed).expect("suite");
             sim.run(scale.warmup, scale.measure).ipc().max(1e-9)
         })
         .collect();
@@ -29,9 +28,15 @@ fn main() {
     }
     let base = CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true);
     let reference = ipc_over_mixes(&base, scale);
-    println!("# Ablation study (geomean IPC over {} four-thread mixes)\n", scale.mixes);
+    println!(
+        "# Ablation study (geomean IPC over {} four-thread mixes)\n",
+        scale.mixes
+    );
     println!("{:<34} {:>8} {:>8}", "variant", "IPC", "delta");
-    println!("{:<34} {:>8.3} {:>8}", "shelf 64+64 (reference)", reference, "-");
+    println!(
+        "{:<34} {:>8.3} {:>8}",
+        "shelf 64+64 (reference)", reference, "-"
+    );
 
     let report = |label: &str, cfg: CoreConfig| {
         let ipc = ipc_over_mixes(&cfg, scale);
@@ -43,40 +48,103 @@ fn main() {
         );
     };
 
-    report("single SSR (starvation-prone)", CoreConfig { single_ssr: true, ..base.clone() });
+    report(
+        "single SSR (starvation-prone)",
+        CoreConfig {
+            single_ssr: true,
+            ..base.clone()
+        },
+    );
     report(
         "narrow shelf index space (1x)",
-        CoreConfig { narrow_shelf_index: true, ..base.clone() },
+        CoreConfig {
+            narrow_shelf_index: true,
+            ..base.clone()
+        },
     );
-    report("conservative same-cycle issue", CoreConfig { same_cycle_shelf_issue: false, ..base.clone() });
-    report("RCT 3-bit counters", CoreConfig { rct_bits: 3, ..base.clone() });
-    report("RCT 8-bit counters", CoreConfig { rct_bits: 8, ..base.clone() });
-    report("PLT 1 column", CoreConfig { plt_columns: 1, ..base.clone() });
-    report("PLT 8 columns", CoreConfig { plt_columns: 8, ..base.clone() });
-    report("no wrong-path fetch", CoreConfig { wrong_path_fetch: false, ..base.clone() });
+    report(
+        "conservative same-cycle issue",
+        CoreConfig {
+            same_cycle_shelf_issue: false,
+            ..base.clone()
+        },
+    );
+    report(
+        "RCT 3-bit counters",
+        CoreConfig {
+            rct_bits: 3,
+            ..base.clone()
+        },
+    );
+    report(
+        "RCT 8-bit counters",
+        CoreConfig {
+            rct_bits: 8,
+            ..base.clone()
+        },
+    );
+    report(
+        "PLT 1 column",
+        CoreConfig {
+            plt_columns: 1,
+            ..base.clone()
+        },
+    );
+    report(
+        "PLT 8 columns",
+        CoreConfig {
+            plt_columns: 8,
+            ..base.clone()
+        },
+    );
+    report(
+        "no wrong-path fetch",
+        CoreConfig {
+            wrong_path_fetch: false,
+            ..base.clone()
+        },
+    );
     report(
         "TSO memory model (§III-D)",
-        CoreConfig { memory_model: shelfsim::core::MemoryModel::Tso, ..base.clone() },
+        CoreConfig {
+            memory_model: shelfsim::core::MemoryModel::Tso,
+            ..base.clone()
+        },
     );
     report(
         "clustered backend, +1cy forward",
-        CoreConfig { cluster_forward_penalty: 1, ..base.clone() },
+        CoreConfig {
+            cluster_forward_penalty: 1,
+            ..base.clone()
+        },
     );
     report(
         "clustered backend, +2cy forward",
-        CoreConfig { cluster_forward_penalty: 2, ..base.clone() },
+        CoreConfig {
+            cluster_forward_penalty: 2,
+            ..base.clone()
+        },
     );
     report(
         "TAGE branch predictor",
-        CoreConfig { predictor: shelfsim::uarch::PredictorKind::Tage, ..base.clone() },
+        CoreConfig {
+            predictor: shelfsim::uarch::PredictorKind::Tage,
+            ..base.clone()
+        },
     );
     report(
         "gshare branch predictor",
-        CoreConfig { predictor: shelfsim::uarch::PredictorKind::Gshare, ..base.clone() },
+        CoreConfig {
+            predictor: shelfsim::uarch::PredictorKind::Gshare,
+            ..base.clone()
+        },
     );
     report(
         "round-robin SMT fetch (vs ICOUNT)",
-        CoreConfig { fetch_policy: shelfsim::core::FetchPolicy::RoundRobin, ..base.clone() },
+        CoreConfig {
+            fetch_policy: shelfsim::core::FetchPolicy::RoundRobin,
+            ..base.clone()
+        },
     );
     report(
         "next-line L1D prefetcher",
@@ -101,7 +169,10 @@ fn main() {
     for shelf in [16usize, 32, 128] {
         report(
             &format!("shelf size {shelf}"),
-            CoreConfig { shelf_entries: shelf, ..base.clone() },
+            CoreConfig {
+                shelf_entries: shelf,
+                ..base.clone()
+            },
         );
     }
 

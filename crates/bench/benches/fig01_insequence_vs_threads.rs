@@ -12,7 +12,10 @@ fn main() {
     let scale = Scale::from_env();
     println!("# Figure 1: fraction of in-sequence instructions vs thread count");
     println!("# (Base-128 window, classification per paper §II)\n");
-    println!("{:<8} {:>14} {:>10} {:>10}", "threads", "mean in-seq", "min", "max");
+    println!(
+        "{:<8} {:>14} {:>10} {:>10}",
+        "threads", "mean in-seq", "min", "max"
+    );
 
     for threads in [1usize, 2, 4, 8] {
         let mut fractions = Vec::new();

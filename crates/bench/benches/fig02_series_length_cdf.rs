@@ -18,8 +18,8 @@ fn main() {
 
     let mut per_bench: Vec<(WeightedCdf, WeightedCdf)> = Vec::new();
     for name in sample {
-        let mut sim = Simulation::from_names(Design::Base128.config(1), &[name], scale.seed)
-            .expect("suite");
+        let mut sim =
+            Simulation::from_names(Design::Base128.config(1), &[name], scale.seed).expect("suite");
         let r = sim.run(scale.warmup, scale.measure);
         per_bench.push((
             r.threads[0].in_sequence_series.clone(),
@@ -33,10 +33,14 @@ fn main() {
         "length", "in-seq CDF (min/geo/max)", "reord CDF (min/geo/max)"
     );
     for &len in &lengths {
-        let ins: Vec<f64> =
-            per_bench.iter().map(|(i, _)| i.fraction_at_or_below(len).max(1e-9)).collect();
-        let reo: Vec<f64> =
-            per_bench.iter().map(|(_, r)| r.fraction_at_or_below(len).max(1e-9)).collect();
+        let ins: Vec<f64> = per_bench
+            .iter()
+            .map(|(i, _)| i.fraction_at_or_below(len).max(1e-9))
+            .collect();
+        let reo: Vec<f64> = per_bench
+            .iter()
+            .map(|(_, r)| r.fraction_at_or_below(len).max(1e-9))
+            .collect();
         println!(
             "{:<8} {:>6.2} /{:>5.2} /{:>5.2} {:>7.2} /{:>5.2} /{:>5.2}",
             len,

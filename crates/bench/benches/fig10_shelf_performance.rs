@@ -9,7 +9,9 @@
 //! larger OOO core."
 
 use shelfsim::stats::min_median_max_indices;
-use shelfsim_bench::{csv_sink, evaluate_designs, geomean_improvement, stp_improvements, Design, Scale};
+use shelfsim_bench::{
+    csv_sink, evaluate_designs, geomean_improvement, stp_improvements, Design, Scale,
+};
 use std::io::Write as _;
 
 fn main() {

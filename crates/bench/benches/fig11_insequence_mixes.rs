@@ -24,8 +24,13 @@ fn main() {
         }
         println!("  mix mean:    {:>5.1}%\n", mean(&e.in_sequence) * 100.0);
     }
-    let all: Vec<f64> =
-        evals[0].iter().flat_map(|e| e.in_sequence.iter().copied()).collect();
-    println!("arithmetic mean across all threads of all mixes: {:.1}%", mean(&all) * 100.0);
+    let all: Vec<f64> = evals[0]
+        .iter()
+        .flat_map(|e| e.in_sequence.iter().copied())
+        .collect();
+    println!(
+        "arithmetic mean across all threads of all mixes: {:.1}%",
+        mean(&all) * 100.0
+    );
     println!("\n# paper shape: ~50% on average, with per-benchmark spread");
 }

@@ -23,8 +23,7 @@ fn main() {
                 for d in [Design::Base64, Design::ShelfOptimistic] {
                     let cfg = d.config(1);
                     let model = EnergyModel::for_config(&cfg);
-                    let mut sim =
-                        Simulation::from_names(cfg, &[name], scale.seed).expect("suite");
+                    let mut sim = Simulation::from_names(cfg, &[name], scale.seed).expect("suite");
                     let run = sim.run(scale.warmup, scale.measure);
                     rs.push((run.threads[0].cpi, model.report(&run).edp()));
                 }

@@ -18,15 +18,13 @@ fn main() {
         let mut windows = vec![];
         for mix in mixes(4, scale) {
             let names: Vec<&str> = mix.benchmarks.clone();
-            let mut sim = Simulation::from_names(design.config(4), &names, scale.seed)
-                .expect("suite mixes");
+            let mut sim =
+                Simulation::from_names(design.config(4), &names, scale.seed).expect("suite mixes");
             let r = sim.run(scale.warmup, scale.measure);
             for (i, v) in occ.iter_mut().enumerate() {
                 v.push(r.counters.mean_occupancy(i).max(1e-9));
             }
-            windows.push(
-                (r.counters.mean_occupancy(0) + r.counters.mean_occupancy(4)).max(1e-9),
-            );
+            windows.push((r.counters.mean_occupancy(0) + r.counters.mean_occupancy(4)).max(1e-9));
         }
         println!(
             "{:<22} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>9.1} {:>9.1}",

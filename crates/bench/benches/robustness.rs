@@ -13,7 +13,10 @@ fn main() {
         "# Robustness: Figure 10 geomean STP improvement across seeds ({} mixes each)\n",
         scale.mixes
     );
-    println!("{:<8} {:>14} {:>14} {:>12}", "seed", "shelf (opt)", "Base 128", "capture");
+    println!(
+        "{:<8} {:>14} {:>14} {:>12}",
+        "seed", "shelf (opt)", "Base 128", "capture"
+    );
 
     let designs = [Design::Base64, Design::ShelfOptimistic, Design::Base128];
     let mut shelf_all = Vec::new();

@@ -11,11 +11,17 @@ fn main() {
         "            {}-wide OOO with {}-wide fetch",
         cfg.dispatch_width, cfg.fetch_width
     );
-    println!("            {} cycles fetch-to-dispatch", cfg.fetch_to_dispatch);
+    println!(
+        "            {} cycles fetch-to-dispatch",
+        cfg.fetch_to_dispatch
+    );
     println!("ROB         {} or 128", cfg.rob_entries);
     println!("IQ, LQ, SQ  {} or 64", cfg.iq_entries);
     println!("Shelf       64 (when present)");
-    println!("Steering    {}-bit RCT entries, {}-load PLT", cfg.rct_bits, cfg.plt_columns);
+    println!(
+        "Steering    {}-bit RCT entries, {}-load PLT",
+        cfg.rct_bits, cfg.plt_columns
+    );
     println!(
         "L1I         {}KB, {}-way, {}-cycle",
         h.l1i.size_bytes >> 10,
@@ -34,7 +40,10 @@ fn main() {
         h.l2.assoc,
         h.l2.latency
     );
-    println!("Memory      100ns latency ({} cycles @ 2GHz)", h.memory_latency);
+    println!(
+        "Memory      100ns latency ({} cycles @ 2GHz)",
+        h.memory_latency
+    );
     println!(
         "\nFUs: {} int ALU, {} mul/div, {} FP, {} mem ports; PRF {} regs; ext tags {}",
         cfg.fu_int_alu,

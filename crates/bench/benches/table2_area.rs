@@ -15,7 +15,10 @@ fn main() {
     let shelf = EnergyModel::for_config(&Design::ShelfOptimistic.config(4));
     let big = EnergyModel::for_config(&Design::Base128.config(4));
 
-    println!("{:<14} {:>18} {:>12}", "L1 caches", "Base+Shelf 64+64", "Base 128");
+    println!(
+        "{:<14} {:>18} {:>12}",
+        "L1 caches", "Base+Shelf 64+64", "Base 128"
+    );
     for include_l1 in [false, true] {
         let a0 = base.core_area(include_l1);
         println!(
@@ -29,8 +32,11 @@ fn main() {
 
     println!("\nper-structure area of the shelf design (share of core, no L1):");
     let total = shelf.core_area(false);
-    let mut rows: Vec<(&str, f64)> =
-        shelf.structures().iter().map(|s| (s.name, s.area())).collect();
+    let mut rows: Vec<(&str, f64)> = shelf
+        .structures()
+        .iter()
+        .map(|s| (s.name, s.area()))
+        .collect();
     rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
     for (name, a) in rows {
         println!("  {:<14} {:>5.1}%", name, a / total * 100.0);

@@ -36,7 +36,10 @@ impl Scale {
     /// Reads the scale from the environment (paper-scale defaults).
     pub fn from_env() -> Self {
         fn var<T: std::str::FromStr>(name: &str, default: T) -> T {
-            std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
         }
         Scale {
             warmup: var("SHELFSIM_WARMUP", 10_000),
@@ -48,7 +51,12 @@ impl Scale {
 
     /// A small scale for tests.
     pub fn tiny() -> Self {
-        Scale { warmup: 3_000, measure: 10_000, mixes: 3, seed: 7 }
+        Scale {
+            warmup: 3_000,
+            measure: 10_000,
+            mixes: 3,
+            seed: 7,
+        }
     }
 }
 
@@ -69,8 +77,12 @@ pub enum Design {
 
 impl Design {
     /// All designs of Figure 10/13.
-    pub const FIG10: [Design; 4] =
-        [Design::Base64, Design::ShelfConservative, Design::ShelfOptimistic, Design::Base128];
+    pub const FIG10: [Design; 4] = [
+        Design::Base64,
+        Design::ShelfConservative,
+        Design::ShelfOptimistic,
+        Design::Base128,
+    ];
 
     /// Short label for table rows.
     pub fn label(self) -> &'static str {
@@ -173,8 +185,7 @@ pub fn evaluate_mix(
         .map(|&b| pool.get(Design::Base64, b, scale))
         .collect();
     let report = model.report(&run);
-    let missteer =
-        run.threads.iter().map(|t| t.missteer_rate).sum::<f64>() / threads as f64;
+    let missteer = run.threads.iter().map(|t| t.missteer_rate).sum::<f64>() / threads as f64;
     Ok(MixEval {
         mix: mix.clone(),
         stp: stp(&st, &run.cpis()),
@@ -231,7 +242,11 @@ pub fn stp_improvements(evals: &[Vec<MixEval>]) -> Vec<Vec<f64>> {
 
 /// Geometric-mean percent improvement over the baseline.
 pub fn geomean_improvement(design: &[MixEval], base: &[MixEval]) -> f64 {
-    let ratios: Vec<f64> = design.iter().zip(base).map(|(x, b)| x.stp / b.stp).collect();
+    let ratios: Vec<f64> = design
+        .iter()
+        .zip(base)
+        .map(|(x, b)| x.stp / b.stp)
+        .collect();
     (geomean(&ratios) - 1.0) * 100.0
 }
 

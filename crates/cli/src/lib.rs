@@ -65,7 +65,9 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = |name: &str| {
-            it.next().cloned().ok_or_else(|| err(format!("{name} requires a value")))
+            it.next()
+                .cloned()
+                .ok_or_else(|| err(format!("{name} requires a value")))
         };
         match a.as_str() {
             "--design" => o.design = val("--design")?,
@@ -73,13 +75,20 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 o.mix = val("--mix")?.split(',').map(str::to_owned).collect();
             }
             "--warmup" => {
-                o.warmup = val("--warmup")?.parse().map_err(|_| err("--warmup: not a number"))?
+                o.warmup = val("--warmup")?
+                    .parse()
+                    .map_err(|_| err("--warmup: not a number"))?
             }
             "--measure" => {
-                o.measure =
-                    val("--measure")?.parse().map_err(|_| err("--measure: not a number"))?
+                o.measure = val("--measure")?
+                    .parse()
+                    .map_err(|_| err("--measure: not a number"))?
             }
-            "--seed" => o.seed = val("--seed")?.parse().map_err(|_| err("--seed: not a number"))?,
+            "--seed" => {
+                o.seed = val("--seed")?
+                    .parse()
+                    .map_err(|_| err("--seed: not a number"))?
+            }
             "--tso" => o.tso = true,
             "--json" => o.json = true,
             other => return Err(err(format!("unknown option `{other}`"))),
@@ -110,8 +119,7 @@ pub fn design_config(name: &str, threads: usize) -> Result<CoreConfig, CliError>
 fn run_one(cfg: CoreConfig, mix: &[String], o: &Options, out: &mut String) -> Result<(), CliError> {
     let names: Vec<&str> = mix.iter().map(String::as_str).collect();
     let model = EnergyModel::for_config(&cfg);
-    let mut sim =
-        Simulation::from_names(cfg, &names, o.seed).map_err(|e| err(e.to_string()))?;
+    let mut sim = Simulation::from_names(cfg, &names, o.seed).map_err(|e| err(e.to_string()))?;
     let r = sim.run(o.warmup, o.measure);
     let rep = model.report(&r);
     if o.json {
@@ -217,7 +225,9 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             let mut seed = 7u64;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
-                let v = it.next().ok_or_else(|| err(format!("{a} requires a value")))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| err(format!("{a} requires a value")))?;
                 match a.as_str() {
                     "--threads" => threads = v.parse().map_err(|_| err("--threads"))?,
                     "--count" => count = v.parse().map_err(|_| err("--count"))?,
@@ -226,7 +236,10 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 }
             }
             let names = suite::names();
-            for m in balanced_random_mixes(&names, threads, 28, seed).iter().take(count) {
+            for m in balanced_random_mixes(&names, threads, 28, seed)
+                .iter()
+                .take(count)
+            {
                 writeln!(out, "{}", m.label()).expect("write");
             }
         }
@@ -246,7 +259,13 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             if o.mix.is_empty() {
                 return Err(err("compare requires --mix bench1,bench2,..."));
             }
-            for design in ["base64", "shelf-cons", "shelf-opt", "shelf-oracle", "base128"] {
+            for design in [
+                "base64",
+                "shelf-cons",
+                "shelf-opt",
+                "shelf-oracle",
+                "base128",
+            ] {
                 let mut cfg = design_config(design, o.mix.len())?;
                 if o.tso {
                     cfg.memory_model = MemoryModel::Tso;
@@ -263,7 +282,10 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--param" => {
-                        param = it.next().ok_or_else(|| err("--param needs a value"))?.clone()
+                        param = it
+                            .next()
+                            .ok_or_else(|| err("--param needs a value"))?
+                            .clone()
                     }
                     "--values" => {
                         let v = it.next().ok_or_else(|| err("--values needs a value"))?;
@@ -303,16 +325,15 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         "characterize" => {
             // Functional characterization of benchmarks: measured mix and
             // working-set footprints over a fixed instruction sample.
-            let names: Vec<&'static str> = if let Some(first) =
-                args.get(1).filter(|a| !a.starts_with("--"))
-            {
-                let name = suite::by_name(first)
-                    .ok_or_else(|| err(format!("unknown benchmark `{first}`")))?
-                    .name;
-                vec![name]
-            } else {
-                suite::names()
-            };
+            let names: Vec<&'static str> =
+                if let Some(first) = args.get(1).filter(|a| !a.starts_with("--")) {
+                    let name = suite::by_name(first)
+                        .ok_or_else(|| err(format!("unknown benchmark `{first}`")))?
+                        .name;
+                    vec![name]
+                } else {
+                    suite::names()
+                };
             writeln!(
                 out,
                 "{:<12} {:>6} {:>6} {:>6} {:>6} {:>9} {:>9} {:>9}",
@@ -326,12 +347,11 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 let (mut ld, mut st, mut br, mut fp) = (0u64, 0u64, 0u64, 0u64);
                 let mut code: std::collections::HashSet<u64> = Default::default();
                 let mut data: std::collections::HashSet<u64> = Default::default();
-                let mut bp = shelfsim::uarch::BranchPredictor::new(
-                    shelfsim::uarch::BranchPredictorConfig {
+                let mut bp =
+                    shelfsim::uarch::BranchPredictor::new(shelfsim::uarch::BranchPredictorConfig {
                         kind: shelfsim::uarch::PredictorKind::Tournament,
                         ..Default::default()
-                    },
-                );
+                    });
                 let mut wrong = 0u64;
                 // The first half of the sample warms the predictor; only the
                 // second half is measured.
@@ -353,8 +373,15 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                     }
                     if let Some(b) = i.branch {
                         let pred = bp.predict(i.pc, b.is_return);
-                        let bad =
-                            bp.update(i.pc, pred, b.taken, b.next_pc, b.is_call, b.is_return, i.pc + 4);
+                        let bad = bp.update(
+                            i.pc,
+                            pred,
+                            b.taken,
+                            b.next_pc,
+                            b.is_call,
+                            b.is_return,
+                            i.pc + 4,
+                        );
                         if measured && bad {
                             wrong += 1;
                         }
@@ -389,11 +416,14 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             } else {
                 let src = std::fs::read_to_string(path)
                     .map_err(|e| err(format!("cannot read `{path}`: {e}")))?;
-                shelfsim::workload::asm::assemble(&src)
-                    .map_err(|e| err(format!("{path}: {e}")))?
+                shelfsim::workload::asm::assemble(&src).map_err(|e| err(format!("{path}: {e}")))?
             };
             let o = parse_options(&args[2..])?;
-            let threads = if o.mix.is_empty() { 1 } else { o.mix.len().max(1) };
+            let threads = if o.mix.is_empty() {
+                1
+            } else {
+                o.mix.len().max(1)
+            };
             let mut cfg = design_config(&o.design, threads)?;
             if o.tso {
                 cfg.memory_model = MemoryModel::Tso;
@@ -412,8 +442,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             for _ in 0..o.measure {
                 core.tick();
             }
-            let total: u64 =
-                (0..threads).map(|t| core.committed(t) - c0[t]).sum();
+            let total: u64 = (0..threads).map(|t| core.committed(t) - c0[t]).sum();
             writeln!(
                 out,
                 "kernel {path} x{threads} threads: IPC {:.3} over {} cycles",
@@ -484,6 +513,85 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 .expect("write");
             }
         }
+        "lint" => {
+            let mut format_json = false;
+            let mut design: Option<String> = None;
+            let mut threads = 4usize;
+            let mut files: Vec<String> = vec![];
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--format" => {
+                        let v = it.next().ok_or_else(|| err("--format requires a value"))?;
+                        match v.as_str() {
+                            "json" => format_json = true,
+                            "text" => format_json = false,
+                            other => {
+                                return Err(err(format!(
+                                    "--format: expected `text` or `json`, got `{other}`"
+                                )))
+                            }
+                        }
+                    }
+                    "--design" => {
+                        design = Some(
+                            it.next()
+                                .ok_or_else(|| err("--design requires a value"))?
+                                .clone(),
+                        )
+                    }
+                    "--threads" => {
+                        threads = it
+                            .next()
+                            .ok_or_else(|| err("--threads requires a value"))?
+                            .parse()
+                            .map_err(|_| err("--threads: not a number"))?
+                    }
+                    other if other.starts_with("--") => {
+                        return Err(err(format!("unknown option `{other}`")))
+                    }
+                    file => files.push(file.to_owned()),
+                }
+            }
+            if files.is_empty() && design.is_none() {
+                return Err(err(
+                    "lint requires at least one FILE (.s kernel or key=value config) \
+                     or --design NAME",
+                ));
+            }
+            let mut diags = Vec::new();
+            if let Some(name) = &design {
+                let cfg = shelfsim::analyze::design_by_name(name, threads).ok_or_else(|| {
+                    err(format!(
+                        "unknown design `{name}` (expected base64, base128, shelf-cons, \
+                         shelf-opt, shelf-oracle, or shelf-inorder)"
+                    ))
+                })?;
+                diags.extend(shelfsim::analyze::lint_config(&cfg));
+            }
+            for path in &files {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| err(format!("cannot read `{path}`: {e}")))?;
+                if path.ends_with(".s") {
+                    diags.extend(shelfsim::analyze::lint_kernel_source(&text, path));
+                } else {
+                    let (_, d) = shelfsim::analyze::lint_config_file(&text, path);
+                    diags.extend(d);
+                }
+            }
+            let report = shelfsim::Report::new(diags);
+            let rendered = if format_json {
+                report.render_json()
+            } else {
+                report.render_text()
+            };
+            // Error-severity findings fail the invocation (nonzero exit from
+            // `main`); warnings and notes report but pass.
+            if report.has_errors() {
+                return Err(CliError(rendered));
+            }
+            out.push_str(&rendered);
+        }
         "help" | "--help" | "-h" => out.push_str(USAGE),
         other => return Err(err(format!("unknown command `{other}`\n{USAGE}"))),
     }
@@ -507,6 +615,10 @@ USAGE:
   shelfsim characterize [BENCH]                    (measured mix & footprints)
   shelfsim kernels                                 (list built-in kernels; run
                    one with: shelfsim asm builtin:NAME)
+  shelfsim lint    [--format text|json] [--design D] [--threads N] [FILE...]
+                   (static checks: .s kernels get the SA dataflow lints,
+                   key=value config files and --design get the SC
+                   contradiction lints; errors exit nonzero)
 
 DESIGNS: base64, base128, shelf-cons, shelf-opt, shelf-oracle, shelf-inorder
 SWEEP PARAMS: shelf, rob, iq, lq, sq, rct-bits, plt-columns
@@ -645,6 +757,90 @@ mod tests {
         std::fs::write(&path, "add r8, r8\nbogus r1\n").expect("write");
         let e = run_cli(&["asm".to_owned(), path.to_string_lossy().into_owned()]).unwrap_err();
         assert!(e.0.contains("line 2"), "{}", e.0);
+    }
+
+    /// Path of a kernel shipped in the repository's `kernels/` directory.
+    fn shipped_kernel(name: &str) -> String {
+        format!("{}/../../kernels/{name}", env!("CARGO_MANIFEST_DIR"))
+    }
+
+    #[test]
+    fn lint_shipped_kernels_are_clean() {
+        for k in ["chase.s", "daxpy.s", "store_forward.s"] {
+            let out = run_cli(&["lint".to_owned(), shipped_kernel(k)])
+                .unwrap_or_else(|e| panic!("{k} should lint clean:\n{e}"));
+            assert!(
+                out.contains("0 error(s), 0 warning(s)"),
+                "{k} not clean:\n{out}"
+            );
+        }
+    }
+
+    #[test]
+    fn lint_catches_seeded_def_before_use() {
+        let dir = std::env::temp_dir().join("shelfsim_lint_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("buggy.s");
+        // r15 is never written and is not an input register.
+        std::fs::write(&path, "top:\n add r8, r15\n loop top, trips=50\n").expect("write");
+        let e = run_cli(&["lint".to_owned(), path.to_string_lossy().into_owned()]).unwrap_err();
+        assert!(e.0.contains("SA001"), "{}", e.0);
+        assert!(e.0.contains("r15"), "{}", e.0);
+        assert!(
+            e.0.contains("buggy.s:2"),
+            "span should point at the read: {}",
+            e.0
+        );
+    }
+
+    #[test]
+    fn lint_catches_contradictory_config() {
+        let dir = std::env::temp_dir().join("shelfsim_lint_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("bad.cfg");
+        // 4 threads cannot each dispatch into a 4-entry ROB.
+        std::fs::write(&path, "design = base64\nthreads = 4\nrob = 4\n").expect("write");
+        let e = run_cli(&["lint".to_owned(), path.to_string_lossy().into_owned()]).unwrap_err();
+        assert!(e.0.contains("SC001"), "{}", e.0);
+        assert!(e.0.contains("error"), "{}", e.0);
+    }
+
+    #[test]
+    fn lint_design_reports_clean_for_evaluated_designs() {
+        for d in ["base64", "base128", "shelf-cons", "shelf-opt"] {
+            let out = run_cli(&args(&format!("lint --design {d}"))).expect("clean design");
+            assert!(out.contains("0 error(s)"), "{d}: {out}");
+        }
+    }
+
+    #[test]
+    fn lint_json_format_is_structured() {
+        let out = run_cli(&[
+            "lint".to_owned(),
+            "--format".to_owned(),
+            "json".to_owned(),
+            shipped_kernel("daxpy.s"),
+        ])
+        .expect("ok");
+        assert!(out.trim_start().starts_with('['), "{out}");
+        assert!(
+            out.contains("\"code\":\"SA004\""),
+            "series estimate expected: {out}"
+        );
+    }
+
+    #[test]
+    fn lint_requires_an_input() {
+        let e = run_cli(&args("lint")).unwrap_err();
+        assert!(e.0.contains("requires at least one FILE"), "{}", e.0);
+    }
+
+    #[test]
+    fn lint_rejects_unknown_design_and_option() {
+        let e = run_cli(&args("lint --design warp-drive")).unwrap_err();
+        assert!(e.0.contains("unknown design"), "{}", e.0);
+        let e = run_cli(&args("lint --frobnicate x.s")).unwrap_err();
+        assert!(e.0.contains("unknown option"), "{}", e.0);
     }
 
     #[test]

@@ -4,12 +4,26 @@ fn main() {
     let cfg = CoreConfig::base64(1);
     let mut sim = Simulation::from_names(cfg, &["hmmer"], 3).unwrap();
     let r = sim.run(300, 3000);
-    println!("committed={} fetched={} dispatched={} issued={} squashed={}",
-        r.counters.committed, r.counters.fetched, r.counters.dispatched, r.counters.issued, r.counters.squashed);
-    println!("wrong_path={} mispredicts={} violations={} mshr_stalls={}",
-        r.counters.wrong_path_fetched, r.counters.branch_mispredicts, r.counters.memory_violations, r.counters.mshr_stalls);
+    println!(
+        "committed={} fetched={} dispatched={} issued={} squashed={}",
+        r.counters.committed,
+        r.counters.fetched,
+        r.counters.dispatched,
+        r.counters.issued,
+        r.counters.squashed
+    );
+    println!(
+        "wrong_path={} mispredicts={} violations={} mshr_stalls={}",
+        r.counters.wrong_path_fetched,
+        r.counters.branch_mispredicts,
+        r.counters.memory_violations,
+        r.counters.mshr_stalls
+    );
     println!("stalls={:?}", r.counters.stalls);
     println!("l1d={:?} l1i={:?} l2={:?}", r.l1d, r.l1i, r.l2);
     println!("bpred_ratio={:.3}", r.threads[0].branch_mispredict_ratio);
-    println!("cpi={:.2} inseq={:.3}", r.threads[0].cpi, r.threads[0].in_sequence_fraction);
+    println!(
+        "cpi={:.2} inseq={:.3}",
+        r.threads[0].cpi, r.threads[0].in_sequence_fraction
+    );
 }

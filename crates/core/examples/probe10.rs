@@ -7,11 +7,22 @@ fn main() {
     sim.enable_commit_log(64);
     let _ = sim.run(10_000, 20_000);
     for r in sim.core().commit_log() {
-        println!("t{} seq={:<7} {:<8} {:?} F{} D{} I{} C{} R{}  d-f={} i-d={} c-i={} r-c={}",
-            r.thread, r.seq, r.op.to_string(), r.steer,
-            r.fetch, r.dispatch, r.issue, r.complete, r.commit,
-            r.dispatch - r.fetch, r.issue as i64 - r.dispatch as i64,
-            r.complete - r.issue, r.commit - r.complete);
+        println!(
+            "t{} seq={:<7} {:<8} {:?} F{} D{} I{} C{} R{}  d-f={} i-d={} c-i={} r-c={}",
+            r.thread,
+            r.seq,
+            r.op.to_string(),
+            r.steer,
+            r.fetch,
+            r.dispatch,
+            r.issue,
+            r.complete,
+            r.commit,
+            r.dispatch - r.fetch,
+            r.issue as i64 - r.dispatch as i64,
+            r.complete - r.issue,
+            r.commit - r.complete
+        );
     }
     for t in 0..4 {
         println!("{}", sim.core().debug_state(t));

@@ -2,7 +2,10 @@ use shelfsim_core::{CoreConfig, Simulation, SteerPolicy};
 fn main() {
     for (label, cfg) in [
         ("base64", CoreConfig::base64(1)),
-        ("always-shelf", CoreConfig::base64_shelf64(1, SteerPolicy::AlwaysShelf, true)),
+        (
+            "always-shelf",
+            CoreConfig::base64_shelf64(1, SteerPolicy::AlwaysShelf, true),
+        ),
     ] {
         let mut sim = Simulation::from_names(cfg, &["bzip2"], 5).unwrap();
         let r = sim.run(300, 4000);

@@ -10,8 +10,13 @@ fn main() {
     for i in 0..3000 {
         sim.step();
         if i % 500 == 0 {
-            for t in 0..4 { println!("cyc{i} {}", sim.core().debug_state(t)); }
-            println!("  committed: {:?}", (0..4).map(|t| sim.core().committed(t)).collect::<Vec<_>>());
+            for t in 0..4 {
+                println!("cyc{i} {}", sim.core().debug_state(t));
+            }
+            println!(
+                "  committed: {:?}",
+                (0..4).map(|t| sim.core().committed(t)).collect::<Vec<_>>()
+            );
             println!("  head0: {}", sim.core().debug_window_head(0));
             println!("  stalls: {:?}", sim.core().counters.stalls);
         }

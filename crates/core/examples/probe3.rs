@@ -5,10 +5,16 @@ fn main() {
     let mut sim = Simulation::from_names(cfg, &["gcc", "mcf", "hmmer", "lbm"], 1).unwrap();
     let r = sim.run(300, 3000);
     for t in &r.threads {
-        println!("{:<8} committed={} cpi={:.2} inseq={:.3} bpred={:.3}", t.benchmark, t.committed, t.cpi, t.in_sequence_fraction, t.branch_mispredict_ratio);
+        println!(
+            "{:<8} committed={} cpi={:.2} inseq={:.3} bpred={:.3}",
+            t.benchmark, t.committed, t.cpi, t.in_sequence_fraction, t.branch_mispredict_ratio
+        );
     }
     println!("stalls={:?}", r.counters.stalls);
-    println!("violations={} mispredicts={} mshr_stalls={}", r.counters.memory_violations, r.counters.branch_mispredicts, r.counters.mshr_stalls);
+    println!(
+        "violations={} mispredicts={} mshr_stalls={}",
+        r.counters.memory_violations, r.counters.branch_mispredicts, r.counters.mshr_stalls
+    );
     for t in 0..4 {
         println!("{}", sim.core().debug_state(t));
         println!("   head: {}", sim.core().debug_window_head(t));

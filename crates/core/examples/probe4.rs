@@ -10,7 +10,9 @@ fn main() {
             for t in 0..4 {
                 println!("{}", sim.core().debug_state(t));
                 let h = sim.core().debug_window_head(t);
-                if !h.is_empty() { println!("   {}", h); }
+                if !h.is_empty() {
+                    println!("   {}", h);
+                }
             }
         }
     }

@@ -8,9 +8,27 @@ fn main() {
     let r = sim.run(20_000, 60_000);
     let dt = t0.elapsed();
     for t in &r.threads {
-        println!("{:<8} committed={} cpi={:.2} inseq={:.3} bpred={:.3} missteer={:.3}", t.benchmark, t.committed, t.cpi, t.in_sequence_fraction, t.branch_mispredict_ratio, t.missteer_rate);
+        println!(
+            "{:<8} committed={} cpi={:.2} inseq={:.3} bpred={:.3} missteer={:.3}",
+            t.benchmark,
+            t.committed,
+            t.cpi,
+            t.in_sequence_fraction,
+            t.branch_mispredict_ratio,
+            t.missteer_rate
+        );
     }
     println!("stalls={:?}", r.counters.stalls);
-    println!("viol={} mispred={} mshr={} ipc={:.2}", r.counters.memory_violations, r.counters.branch_mispredicts, r.counters.mshr_stalls, r.ipc());
-    println!("wall: {:?} for 80k cycles -> {:.0} cycles/sec", dt, 80_000.0 / dt.as_secs_f64());
+    println!(
+        "viol={} mispred={} mshr={} ipc={:.2}",
+        r.counters.memory_violations,
+        r.counters.branch_mispredicts,
+        r.counters.mshr_stalls,
+        r.ipc()
+    );
+    println!(
+        "wall: {:?} for 80k cycles -> {:.0} cycles/sec",
+        dt,
+        80_000.0 / dt.as_secs_f64()
+    );
 }

@@ -3,7 +3,12 @@ use shelfsim_core::{CoreConfig, Simulation, SteerPolicy};
 fn run(cfg: CoreConfig, mix: &[&str], seed: u64) -> (f64, Vec<f64>, f64, u64) {
     let mut sim = Simulation::from_names(cfg, mix, seed).unwrap();
     let r = sim.run(20_000, 60_000);
-    (r.ipc(), r.cpis(), r.counters.shelf_dispatch_fraction(), r.late_shelf_commits)
+    (
+        r.ipc(),
+        r.cpis(),
+        r.counters.shelf_dispatch_fraction(),
+        r.late_shelf_commits,
+    )
 }
 
 fn main() {
@@ -15,14 +20,48 @@ fn main() {
     for mix in &mixes {
         println!("=== {:?}", mix);
         let (b64, _, _, _) = run(CoreConfig::base64(4), mix, 1);
-        let (sh_c, _, fc, lc1) = run(CoreConfig::base64_shelf64(4, SteerPolicy::Practical, false), mix, 1);
-        let (sh_o, _, fo, lc2) = run(CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true), mix, 1);
-        let (orc, _, forc, lc3) = run(CoreConfig::base64_shelf64(4, SteerPolicy::Oracle, true), mix, 1);
+        let (sh_c, _, fc, lc1) = run(
+            CoreConfig::base64_shelf64(4, SteerPolicy::Practical, false),
+            mix,
+            1,
+        );
+        let (sh_o, _, fo, lc2) = run(
+            CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true),
+            mix,
+            1,
+        );
+        let (orc, _, forc, lc3) = run(
+            CoreConfig::base64_shelf64(4, SteerPolicy::Oracle, true),
+            mix,
+            1,
+        );
         let (b128, _, _, _) = run(CoreConfig::base128(4), mix, 1);
         println!("base64       ipc={:.3}", b64);
-        println!("shelf cons   ipc={:.3} (+{:.1}%) shelf_frac={:.2} late={}", sh_c, (sh_c/b64-1.0)*100.0, fc, lc1);
-        println!("shelf opt    ipc={:.3} (+{:.1}%) shelf_frac={:.2} late={}", sh_o, (sh_o/b64-1.0)*100.0, fo, lc2);
-        println!("shelf oracle ipc={:.3} (+{:.1}%) shelf_frac={:.2} late={}", orc, (orc/b64-1.0)*100.0, forc, lc3);
-        println!("base128      ipc={:.3} (+{:.1}%)", b128, (b128/b64-1.0)*100.0);
+        println!(
+            "shelf cons   ipc={:.3} (+{:.1}%) shelf_frac={:.2} late={}",
+            sh_c,
+            (sh_c / b64 - 1.0) * 100.0,
+            fc,
+            lc1
+        );
+        println!(
+            "shelf opt    ipc={:.3} (+{:.1}%) shelf_frac={:.2} late={}",
+            sh_o,
+            (sh_o / b64 - 1.0) * 100.0,
+            fo,
+            lc2
+        );
+        println!(
+            "shelf oracle ipc={:.3} (+{:.1}%) shelf_frac={:.2} late={}",
+            orc,
+            (orc / b64 - 1.0) * 100.0,
+            forc,
+            lc3
+        );
+        println!(
+            "base128      ipc={:.3} (+{:.1}%)",
+            b128,
+            (b128 / b64 - 1.0) * 100.0
+        );
     }
 }

@@ -17,7 +17,9 @@ fn main() {
             ro.threads[0].cpi, (rb.threads[0].cpi/ro.threads[0].cpi-1.0)*100.0,
             ro.counters.shelf_dispatch_fraction(),
             rb.threads[0].in_sequence_fraction);
-        println!("         oracle shelf-head stalls [order,ssr,data,struct,ss]: {:?} issued_shelf={}",
-            ro.counters.shelf_head_stalls, ro.counters.issued_shelf);
+        println!(
+            "         oracle shelf-head stalls [order,ssr,data,struct,ss]: {:?} issued_shelf={}",
+            ro.counters.shelf_head_stalls, ro.counters.issued_shelf
+        );
     }
 }

@@ -5,9 +5,22 @@ fn main() {
     let mut s = Simulation::from_names(cfg, &["hmmer"], 7).unwrap();
     let rs = s.run(5000, 20000);
     let c = &rs.counters;
-    println!("practical hmmer ST: cpi={:.2} shelf_frac={:.2}", rs.threads[0].cpi, c.shelf_dispatch_fraction());
-    println!("shelf head stalls [order,ssr,data,struct,ss]: {:?}", c.shelf_head_stalls);
-    println!("issued={} issued_shelf={} cycles={}", c.issued, c.issued_shelf, c.cycles);
+    println!(
+        "practical hmmer ST: cpi={:.2} shelf_frac={:.2}",
+        rs.threads[0].cpi,
+        c.shelf_dispatch_fraction()
+    );
+    println!(
+        "shelf head stalls [order,ssr,data,struct,ss]: {:?}",
+        c.shelf_head_stalls
+    );
+    println!(
+        "issued={} issued_shelf={} cycles={}",
+        c.issued, c.issued_shelf, c.cycles
+    );
     println!("dispatch stalls: {:?}", c.stalls);
-    println!("violations={} mispredicts={} mshr={}", c.memory_violations, c.branch_mispredicts, c.mshr_stalls);
+    println!(
+        "violations={} mispredicts={} mshr={}",
+        c.memory_violations, c.branch_mispredicts, c.mshr_stalls
+    );
 }

@@ -4,19 +4,41 @@ fn main() {
     let mix = ["namd", "wrf", "omnetpp", "gcc"];
     for (label, cfg) in [
         ("base64", CoreConfig::base64(4)),
-        ("shelf-opt", CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true)),
-        ("shelf-oracle", CoreConfig::base64_shelf64(4, SteerPolicy::Oracle, true)),
+        (
+            "shelf-opt",
+            CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true),
+        ),
+        (
+            "shelf-oracle",
+            CoreConfig::base64_shelf64(4, SteerPolicy::Oracle, true),
+        ),
     ] {
         let mut sim = Simulation::from_names(cfg, &mix, 7).unwrap();
         let r = sim.run(10_000, 40_000);
-        println!("== {label} ipc={:.3} shelf_frac={:.2}", r.ipc(), r.counters.shelf_dispatch_fraction());
+        println!(
+            "== {label} ipc={:.3} shelf_frac={:.2}",
+            r.ipc(),
+            r.counters.shelf_dispatch_fraction()
+        );
         for t in &r.threads {
-            println!("  {:<8} cpi={:<8.2} inseq={:.2} mispred={:.3}", t.benchmark, t.cpi, t.in_sequence_fraction, t.branch_mispredict_ratio);
+            println!(
+                "  {:<8} cpi={:<8.2} inseq={:.2} mispred={:.3}",
+                t.benchmark, t.cpi, t.in_sequence_fraction, t.branch_mispredict_ratio
+            );
         }
-        println!("  head stalls [order,ssr,data,struct,ss]={:?}", r.counters.shelf_head_stalls);
+        println!(
+            "  head stalls [order,ssr,data,struct,ss]={:?}",
+            r.counters.shelf_head_stalls
+        );
         println!("  stalls: {:?}", r.counters.stalls);
-        println!("  viol={} mispred={} mshr={}", r.counters.memory_violations, r.counters.branch_mispredicts, r.counters.mshr_stalls);
-        println!("  commit stalls [incomplete, shelf-coord, sbuf]={:?}", r.counters.commit_stalls);
+        println!(
+            "  viol={} mispred={} mshr={}",
+            r.counters.memory_violations, r.counters.branch_mispredicts, r.counters.mshr_stalls
+        );
+        println!(
+            "  commit stalls [incomplete, shelf-coord, sbuf]={:?}",
+            r.counters.commit_stalls
+        );
         println!("  l1i miss={:.3} ({} acc)  l1d miss={:.3} ({} acc)  l2 miss={:.3} ({} acc)  fetched={} wrongpath={}",
             r.l1i.miss_ratio(), r.l1i.accesses, r.l1d.miss_ratio(), r.l1d.accesses,
             r.l2.miss_ratio(), r.l2.accesses, r.counters.fetched, r.counters.wrong_path_fetched);

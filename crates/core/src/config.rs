@@ -249,10 +249,16 @@ impl CoreConfig {
     /// Panics on degenerate configurations (zero widths, zero threads,
     /// shelf with no steering, etc.).
     pub fn validate(&self) {
-        assert!(self.threads >= 1 && self.threads <= 8, "1..=8 threads supported");
+        assert!(
+            self.threads >= 1 && self.threads <= 8,
+            "1..=8 threads supported"
+        );
         assert!(self.fetch_width >= 1 && self.dispatch_width >= 1);
         assert!(self.issue_width >= 1 && self.commit_width >= 1);
-        assert!(self.rob_entries >= self.threads, "need at least one ROB entry per thread");
+        assert!(
+            self.rob_entries >= self.threads,
+            "need at least one ROB entry per thread"
+        );
         assert!(self.iq_entries >= 1);
         assert!(self.lq_entries >= self.threads && self.sq_entries >= self.threads);
         assert!(self.store_buffer_entries >= 1);
@@ -310,7 +316,11 @@ mod tests {
         let base = CoreConfig::base64(4);
         let shelf = CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true);
         let big = CoreConfig::base128(4);
-        assert_eq!(base.num_phys_regs(), shelf.num_phys_regs(), "the shelf adds no PRF");
+        assert_eq!(
+            base.num_phys_regs(),
+            shelf.num_phys_regs(),
+            "the shelf adds no PRF"
+        );
         assert!(big.num_phys_regs() > base.num_phys_regs());
     }
 

@@ -175,7 +175,13 @@ mod tests {
 
     #[test]
     fn derived_ratios() {
-        let c = Counters { cycles: 100, committed: 250, dispatched: 300, dispatched_shelf: 150, ..Default::default() };
+        let c = Counters {
+            cycles: 100,
+            committed: 250,
+            dispatched: 300,
+            dispatched_shelf: 150,
+            ..Default::default()
+        };
         assert!((c.ipc() - 2.5).abs() < 1e-12);
         assert!((c.shelf_dispatch_fraction() - 0.5).abs() < 1e-12);
     }

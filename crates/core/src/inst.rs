@@ -204,7 +204,9 @@ impl Slab {
     ///
     /// Panics if `id` is not live.
     pub fn remove(&mut self, id: InstId) -> Slot {
-        let s = self.slots[id as usize].take().expect("removing a dead instruction slot");
+        let s = self.slots[id as usize]
+            .take()
+            .expect("removing a dead instruction slot");
         self.free.push(id);
         self.live -= 1;
         s
@@ -216,7 +218,9 @@ impl Slab {
     ///
     /// Panics if `id` is not live.
     pub fn get(&self, id: InstId) -> &Slot {
-        self.slots[id as usize].as_ref().expect("dead instruction slot")
+        self.slots[id as usize]
+            .as_ref()
+            .expect("dead instruction slot")
     }
 
     /// Mutably borrows a live slot.
@@ -225,7 +229,9 @@ impl Slab {
     ///
     /// Panics if `id` is not live.
     pub fn get_mut(&mut self, id: InstId) -> &mut Slot {
-        self.slots[id as usize].as_mut().expect("dead instruction slot")
+        self.slots[id as usize]
+            .as_mut()
+            .expect("dead instruction slot")
     }
 
     /// Returns `true` if `id` refers to a live slot.

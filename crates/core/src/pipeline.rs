@@ -29,8 +29,8 @@ use rand::{Rng, SeedableRng};
 use shelfsim_isa::{ArchReg, DynInst, FuKind, MemInfo, OpClass};
 use shelfsim_mem::{Hierarchy, Level};
 use shelfsim_uarch::{
-    BranchPredictor, BranchPredictorConfig, FreeList, Icount, IssueTracker, Mapping,
-    OrderedQueue, PhysReg, RenameTable, Scoreboard, SsrPair, StoreSets, Tag,
+    BranchPredictor, BranchPredictorConfig, FreeList, Icount, IssueTracker, Mapping, OrderedQueue,
+    PhysReg, RenameTable, Scoreboard, SsrPair, StoreSets, Tag,
 };
 use shelfsim_workload::TraceSource;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -157,7 +157,10 @@ impl Thread {
     fn mark_shelf_retired(&mut self, idx: u64) {
         debug_assert!(idx >= self.shelf_retire_ptr);
         let off = (idx - self.shelf_retire_ptr) as usize;
-        debug_assert!(off < self.shelf_retired.len(), "retiring unallocated shelf index");
+        debug_assert!(
+            off < self.shelf_retired.len(),
+            "retiring unallocated shelf index"
+        );
         self.shelf_retired[off] = true;
         self.advance_shelf_retire();
     }
@@ -244,7 +247,10 @@ impl Core {
                 trace,
                 rat: RenameTable::new(|i| {
                     let p = PhysReg(base + i as u32);
-                    Mapping { pri: p, tag: p.as_tag() }
+                    Mapping {
+                        pri: p,
+                        tag: p.as_tag(),
+                    }
                 }),
                 rob: OrderedQueue::new(cfg.rob_per_thread()),
                 lq: OrderedQueue::new(cfg.lq_per_thread()),
@@ -292,7 +298,9 @@ impl Core {
         let arch_regs = (cfg.threads * num_arch) as u32;
         let mut phys_fl = FreeList::new(0, num_phys as u32);
         for i in 0..arch_regs {
-            let got = phys_fl.allocate().expect("PRF sized for architectural state");
+            let got = phys_fl
+                .allocate()
+                .expect("PRF sized for architectural state");
             assert_eq!(got, i, "architectural registers occupy the low PRF indices");
         }
         let ext_fl = FreeList::new(num_phys as u32, cfg.num_ext_tags() as u32);
@@ -566,6 +574,8 @@ impl Core {
         for (acc, v) in self.counters.occupancy.iter_mut().zip(occ) {
             *acc += v;
         }
+        #[cfg(feature = "sanitize")]
+        self.audit_invariants();
         self.now += 1;
         self.counters.cycles += 1;
     }
@@ -637,8 +647,10 @@ impl Core {
                 self.counters.bpred_lookups += 1;
                 // The effective prediction: a taken direction without a
                 // known target cannot redirect fetch, so it acts not-taken.
-                let effective =
-                    shelfsim_uarch::Prediction { taken: pred.taken && pred.target.is_some(), ..pred };
+                let effective = shelfsim_uarch::Prediction {
+                    taken: pred.taken && pred.target.is_some(),
+                    ..pred
+                };
                 slot.prediction = Some(effective);
                 // Mispredict: wrong direction, or taken with wrong/unknown
                 // target.
@@ -783,10 +795,7 @@ impl Core {
                 }
                 // TSO: the store buffer may not coalesce, so shelf stores
                 // need real SQ entries (§III-D).
-                if self.cfg.memory_model == MemoryModel::Tso
-                    && inst.is_store()
-                    && th.sq.is_full()
-                {
+                if self.cfg.memory_model == MemoryModel::Tso && inst.is_store() && th.sq.is_full() {
                     self.counters.stalls.sq_full += 1;
                     return DispatchOutcome::Stalled;
                 }
@@ -820,7 +829,13 @@ impl Core {
             (Steer::Iq, Some(d)) => {
                 let p = PhysReg(self.phys_fl.allocate().expect("checked above"));
                 self.counters.freelist_ops += 1;
-                let prev = th.rat.set(d, Mapping { pri: p, tag: p.as_tag() });
+                let prev = th.rat.set(
+                    d,
+                    Mapping {
+                        pri: p,
+                        tag: p.as_tag(),
+                    },
+                );
                 self.counters.rat_reads += 1;
                 self.counters.rat_writes += 1;
                 self.scoreboard.mark_pending(p.as_tag());
@@ -962,7 +977,8 @@ impl Core {
 
     fn peek_load_latency(&self, inst: &DynInst) -> u32 {
         if let (true, Some(mem)) = (inst.is_load(), inst.mem) {
-            self.hierarchy.latency_of(self.hierarchy.peek_data(mem.addr))
+            self.hierarchy
+                .latency_of(self.hierarchy.peek_data(mem.addr))
         } else {
             2
         }
@@ -974,17 +990,7 @@ impl Core {
         // SSR run-copy pre-pass: when the first shelf instruction of a run
         // becomes order-eligible at the shelf head, snapshot IQ SSR -> shelf
         // SSR (§III-B). Uses the same head view as eligibility below.
-        for t in 0..self.threads.len() {
-            let head_view = self.tracker_head_view(t);
-            let th = &mut self.threads[t];
-            if let Some(&head_id) = th.shelf.front() {
-                let slot = self.slab.get_mut(head_id);
-                if slot.first_of_run && !slot.ssr_copied && head_view >= slot.iq_barrier {
-                    slot.ssr_copied = true;
-                    th.ssr.copy_to_shelf();
-                }
-            }
-        }
+        self.refresh_ssr_copies();
 
         // Diagnostic: classify why each blocked shelf head is waiting; also
         // maintain the head-blocked streak that drives the adaptive shelf
@@ -998,7 +1004,10 @@ impl Core {
                 let slot = self.slab.get(id);
                 if self.tracker_head_view(t) < slot.iq_barrier {
                     self.counters.shelf_head_stalls[0] += 1;
-                } else if !self.threads[t].ssr.shelf_allows(min_writeback_latency(slot.inst.op)) {
+                } else if !self.threads[t]
+                    .ssr
+                    .shelf_allows(min_writeback_latency(slot.inst.op))
+                {
                     self.counters.shelf_head_stalls[1] += 1;
                 } else if slot
                     .src_tags
@@ -1027,12 +1036,16 @@ impl Core {
         }
 
         let mut budget = self.cfg.issue_width;
+        // Loads that lost MSHR arbitration this cycle; they stay ineligible
+        // until next cycle but must not block independent instructions.
+        let mut mshr_losers: Vec<InstId> = Vec::new();
         while budget > 0 {
             // Oldest-first selection across the IQ and all shelf heads.
             let mut best: Option<(u64, InstId, Steer)> = None;
             for &id in &self.iq {
                 let slot = self.slab.get(id);
                 if slot.stage == Stage::Dispatched
+                    && !mshr_losers.contains(&id)
                     && self.iq_entry_ready(slot)
                     && best.is_none_or(|(a, _, _)| slot.age < a)
                 {
@@ -1042,7 +1055,8 @@ impl Core {
             for t in 0..self.threads.len() {
                 if let Some(&id) = self.threads[t].shelf.front() {
                     let slot = self.slab.get(id);
-                    if self.shelf_head_ready(t, slot)
+                    if !mshr_losers.contains(&id)
+                        && self.shelf_head_ready(t, slot)
                         && best.is_none_or(|(a, _, _)| slot.age < a)
                     {
                         best = Some((slot.age, id, Steer::Shelf));
@@ -1052,10 +1066,35 @@ impl Core {
             let Some((_, id, steer)) = best else { break };
             if self.do_issue(id, steer) {
                 budget -= 1;
+                // Issuing an IQ instruction advances the live tracker head:
+                // under optimistic same-cycle semantics a shelf run can
+                // become order-eligible mid-cycle, and its SSR copy happens
+                // combinationally at that moment (§III-B), not next cycle.
+                if self.cfg.same_cycle_shelf_issue {
+                    self.refresh_ssr_copies();
+                }
             } else {
-                // The oldest candidate could not issue (MSHR full); stop
-                // rather than bypass memory ordering within the cycle.
-                break;
+                // The candidate lost MSHR arbitration: sideline it for the
+                // rest of the cycle and keep selecting. Load ordering is
+                // enforced by store sets and the violation scan, not by
+                // stalling the whole issue stage.
+                mshr_losers.push(id);
+            }
+        }
+    }
+
+    /// Snapshots IQ SSR -> shelf SSR for every shelf head whose run just
+    /// became order-eligible (paper §III-B run-copy).
+    fn refresh_ssr_copies(&mut self) {
+        for t in 0..self.threads.len() {
+            let head_view = self.tracker_head_view(t);
+            let th = &mut self.threads[t];
+            if let Some(&head_id) = th.shelf.front() {
+                let slot = self.slab.get_mut(head_id);
+                if slot.first_of_run && !slot.ssr_copied && head_view >= slot.iq_barrier {
+                    slot.ssr_copied = true;
+                    th.ssr.copy_to_shelf();
+                }
             }
         }
     }
@@ -1079,13 +1118,12 @@ impl Core {
         if base == Scoreboard::PENDING {
             return false;
         }
-        let penalty = if self.cfg.cluster_forward_penalty > 0
-            && self.tag_cluster[tag.index()] != consumer
-        {
-            self.cfg.cluster_forward_penalty as u64
-        } else {
-            0
-        };
+        let penalty =
+            if self.cfg.cluster_forward_penalty > 0 && self.tag_cluster[tag.index()] != consumer {
+                self.cfg.cluster_forward_penalty as u64
+            } else {
+                0
+            };
         base + penalty <= now
     }
 
@@ -1145,9 +1183,7 @@ impl Core {
             return false;
         }
         // Shelf stores write straight into the store buffer at writeback.
-        if slot.inst.is_store()
-            && th.store_buffer.len() >= self.cfg.store_buffer_entries
-        {
+        if slot.inst.is_store() && th.store_buffer.len() >= self.cfg.store_buffer_entries {
             return false;
         }
         true
@@ -1168,10 +1204,7 @@ impl Core {
         for (&age, &sid) in &th.inflight_stores {
             if age < slot.age {
                 let s = self.slab.get(sid);
-                if !s.mem_executed
-                    && !s.squashed
-                    && th.store_sets.set_of(s.inst.pc) == Some(set)
-                {
+                if !s.mem_executed && !s.squashed && th.store_sets.set_of(s.inst.pc) == Some(set) {
                     return false;
                 }
             }
@@ -1216,7 +1249,11 @@ impl Core {
         // ---- commit to issuing ----
         let now = self.now;
         let op = inst.op;
-        let fu_busy_until = if op.pipelined() { now + 1 } else { now + op.latency() as u64 };
+        let fu_busy_until = if op.pipelined() {
+            now + 1
+        } else {
+            now + op.latency() as u64
+        };
         self.fu_allocate(op.fu_kind(), fu_busy_until);
 
         let complete = match (op, &mem_outcome) {
@@ -1319,7 +1356,11 @@ impl Core {
             self.threads[t].inflight_loads.insert(age);
         }
         self.threads[t].pre_issue_count -= 1;
-        self.events.push(Event { cycle: complete, age, id });
+        self.events.push(Event {
+            cycle: complete,
+            age,
+            id,
+        });
         true
     }
 
@@ -1383,7 +1424,10 @@ impl Core {
             // Store-to-load forwarding.
             return Some((self.now + 2, None, Some(sage)));
         }
-        match self.hierarchy.access_data_pc(inst.pc, mem.addr, false, self.now) {
+        match self
+            .hierarchy
+            .access_data_pc(inst.pc, mem.addr, false, self.now)
+        {
             Ok(acc) => Some((acc.complete_cycle, Some(acc.level), None)),
             Err(_) => None,
         }
@@ -1546,7 +1590,12 @@ impl Core {
     fn resolve_branch(&mut self, id: InstId) {
         let (t, inst, pred, mispred) = {
             let s = self.slab.get(id);
-            (s.thread, s.inst, s.prediction.expect("branches are predicted"), s.mispredicted)
+            (
+                s.thread,
+                s.inst,
+                s.prediction.expect("branches are predicted"),
+                s.mispredicted,
+            )
         };
         let br = inst.branch.expect("branch info");
         let fallthrough = inst.pc + 4;
@@ -1715,7 +1764,11 @@ impl Core {
                     // ignores the later one).
                     self.slab.get_mut(id).squashed = true;
                     self.counters.squashed += 1;
-                    self.events.push(Event { cycle: self.now + 4, age, id });
+                    self.events.push(Event {
+                        cycle: self.now + 4,
+                        age,
+                        id,
+                    });
                 }
                 Stage::Completed => {
                     // Completed IQ instruction waiting to retire.
@@ -1800,7 +1853,9 @@ impl Core {
                 }
             }
             while budget > 0 {
-                let Some(&head) = self.threads[t].window.front() else { break };
+                let Some(&head) = self.threads[t].window.front() else {
+                    break;
+                };
                 let slot = self.slab.get(head);
                 match slot.steer {
                     Steer::Shelf => {
@@ -1845,8 +1900,7 @@ impl Core {
                         }
                         // Stores move to the store buffer; stall if full.
                         if slot.inst.is_store()
-                            && self.threads[t].store_buffer.len()
-                                >= self.cfg.store_buffer_entries
+                            && self.threads[t].store_buffer.len() >= self.cfg.store_buffer_entries
                         {
                             self.counters.commit_stalls[2] += 1;
                             break;
@@ -1894,13 +1948,174 @@ impl Core {
     fn drain_store_buffers(&mut self) {
         for t in 0..self.threads.len() {
             if let Some(&(addr, ready)) = self.threads[t].store_buffer.front() {
-                if ready <= self.now
-                    && self.hierarchy.access_data(addr, true, self.now).is_ok()
-                {
+                if ready <= self.now && self.hierarchy.access_data(addr, true, self.now).is_ok() {
                     self.threads[t].store_buffer.pop_front();
                 }
             }
         }
+    }
+
+    // ----------------------------------------------------------- sanitizer
+
+    /// The dynamic invariant sanitizer: audits token conservation and queue
+    /// bookkeeping at the end of every cycle, panicking with a structured
+    /// report on the first violating cycle (`--features sanitize` only; the
+    /// default build compiles this out entirely).
+    ///
+    /// Audited invariants:
+    ///
+    /// 1. Queue occupancy never exceeds capacity (IQ, per-thread shelf).
+    /// 2. Every IQ / shelf resident is a live `Dispatched` instruction.
+    /// 3. Shelf virtual-index bookkeeping: the retire bitvector covers
+    ///    exactly `shelf_next_idx - shelf_retire_ptr` indices.
+    /// 4. ICOUNT accounting: `pre_issue_count` equals the reconstructed
+    ///    front-end + dispatched-but-unissued population.
+    /// 5. Physical-register conservation: allocated registers equal the
+    ///    per-thread architectural state plus one rename register per
+    ///    in-window IQ instruction with a destination.
+    /// 6. Extension-tag conservation: allocated tags equal the RAT entries
+    ///    currently holding extension mappings plus the superseded
+    ///    extension mappings held by in-window instructions (IQ holders
+    ///    release at retire; shelf holders release at writeback, so
+    ///    completed shelf instructions no longer hold one).
+    #[cfg(feature = "sanitize")]
+    fn audit_invariants(&self) {
+        use std::fmt::Write as _;
+        let mut v = String::new();
+
+        if self.iq.len() > self.cfg.iq_entries {
+            writeln!(
+                v,
+                "IQ occupancy {} > capacity {}",
+                self.iq.len(),
+                self.cfg.iq_entries
+            )
+            .expect("write");
+        }
+        for &id in &self.iq {
+            let s = self.slab.get(id);
+            if s.stage != Stage::Dispatched || s.steer != Steer::Iq {
+                writeln!(
+                    v,
+                    "IQ resident {id} in stage {:?} steered {:?}",
+                    s.stage, s.steer
+                )
+                .expect("write");
+            }
+        }
+
+        let mut iq_holders = 0usize;
+        let mut ext_holders = 0usize;
+        for (t, th) in self.threads.iter().enumerate() {
+            if th.shelf.len() > th.shelf_capacity {
+                writeln!(
+                    v,
+                    "thread {t}: shelf occupancy {} > capacity {}",
+                    th.shelf.len(),
+                    th.shelf_capacity
+                )
+                .expect("write");
+            }
+            for &id in &th.shelf {
+                let s = self.slab.get(id);
+                if s.stage != Stage::Dispatched || s.steer != Steer::Shelf {
+                    writeln!(
+                        v,
+                        "thread {t}: shelf resident {id} in stage {:?} steered {:?}",
+                        s.stage, s.steer
+                    )
+                    .expect("write");
+                }
+            }
+
+            let index_span = th.shelf_next_idx - th.shelf_retire_ptr;
+            if th.shelf_retired.len() as u64 != index_span {
+                writeln!(
+                    v,
+                    "thread {t}: shelf retire bitvector covers {} indices, but \
+                     next_idx {} - retire_ptr {} = {index_span}",
+                    th.shelf_retired.len(),
+                    th.shelf_next_idx,
+                    th.shelf_retire_ptr
+                )
+                .expect("write");
+            }
+
+            let dispatched_unissued = th
+                .window
+                .iter()
+                .filter(|&&id| self.slab.get(id).stage == Stage::Dispatched)
+                .count();
+            let expected_pre_issue = th.frontend.len() + dispatched_unissued;
+            if th.pre_issue_count != expected_pre_issue {
+                writeln!(
+                    v,
+                    "thread {t}: pre_issue_count {} != frontend {} + dispatched {}",
+                    th.pre_issue_count,
+                    th.frontend.len(),
+                    dispatched_unissued
+                )
+                .expect("write");
+            }
+
+            for &id in &th.window {
+                let s = self.slab.get(id);
+                if s.steer == Steer::Iq && s.dest_pri.is_some() {
+                    iq_holders += 1;
+                }
+                if let Some(prev) = s.prev_mapping {
+                    if self.ext_fl.contains_range(prev.tag.0)
+                        && (s.steer == Steer::Iq || s.stage != Stage::Completed)
+                    {
+                        ext_holders += 1;
+                    }
+                }
+            }
+        }
+
+        let arch = self.threads.len() * shelfsim_isa::NUM_ARCH_REGS;
+        let expected_phys = arch + iq_holders;
+        if self.phys_fl.in_use() != expected_phys {
+            writeln!(
+                v,
+                "physical-register leak: {} allocated != {arch} architectural + \
+                 {iq_holders} in-window IQ destinations",
+                self.phys_fl.in_use()
+            )
+            .expect("write");
+        }
+
+        let rat_ext: usize = self
+            .threads
+            .iter()
+            .map(|th| {
+                th.rat
+                    .iter()
+                    .filter(|(_, m)| self.ext_fl.contains_range(m.tag.0))
+                    .count()
+            })
+            .sum();
+        let expected_ext = rat_ext + ext_holders;
+        if self.ext_fl.in_use() != expected_ext {
+            writeln!(
+                v,
+                "extension-tag leak: {} allocated != {rat_ext} live RAT mappings + \
+                 {ext_holders} superseded in-window holders",
+                self.ext_fl.in_use()
+            )
+            .expect("write");
+        }
+
+        assert!(
+            v.is_empty(),
+            "sanitizer: pipeline invariant violation(s) at cycle {}:\n{v}\
+             counters: dispatched={} issued={} committed={} squashed={}",
+            self.now,
+            self.counters.dispatched,
+            self.counters.issued,
+            self.counters.committed,
+            self.counters.squashed,
+        );
     }
 }
 
@@ -1916,9 +2131,21 @@ mod tests {
     #[test]
     fn event_heap_orders_by_cycle_then_age() {
         let mut heap = BinaryHeap::new();
-        heap.push(Event { cycle: 10, age: 5, id: 0 });
-        heap.push(Event { cycle: 9, age: 9, id: 1 });
-        heap.push(Event { cycle: 10, age: 2, id: 2 });
+        heap.push(Event {
+            cycle: 10,
+            age: 5,
+            id: 0,
+        });
+        heap.push(Event {
+            cycle: 9,
+            age: 9,
+            id: 1,
+        });
+        heap.push(Event {
+            cycle: 10,
+            age: 2,
+            id: 2,
+        });
         // Earliest cycle first; within a cycle, the elder (smaller age)
         // first — a misspeculation squash must run before younger same-cycle
         // shelf writebacks.

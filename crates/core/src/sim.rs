@@ -86,7 +86,11 @@ impl RunResult {
     /// Mean in-sequence fraction across threads.
     pub fn mean_in_sequence_fraction(&self) -> f64 {
         let n = self.threads.len() as f64;
-        self.threads.iter().map(|t| t.in_sequence_fraction).sum::<f64>() / n
+        self.threads
+            .iter()
+            .map(|t| t.in_sequence_fraction)
+            .sum::<f64>()
+            / n
     }
 }
 
@@ -170,16 +174,18 @@ impl Simulation {
         for _ in 0..warmup_cycles {
             self.core.tick();
         }
-        let committed0: Vec<u64> =
-            (0..self.names.len()).map(|t| self.core.committed(t)).collect();
+        let committed0: Vec<u64> = (0..self.names.len())
+            .map(|t| self.core.committed(t))
+            .collect();
         let class0: Vec<(u64, u64)> = (0..self.names.len())
             .map(|t| {
                 let c = self.core.classifier(t);
                 (c.committed_in_sequence, c.committed_reordered)
             })
             .collect();
-        let bpred0: Vec<(u64, u64)> =
-            (0..self.names.len()).map(|t| self.core.bpred_counts(t)).collect();
+        let bpred0: Vec<(u64, u64)> = (0..self.names.len())
+            .map(|t| self.core.bpred_counts(t))
+            .collect();
         let l1i0 = *self.core.hierarchy().l1i_stats();
         let l1d0 = *self.core.hierarchy().l1d_stats();
         let l20 = *self.core.hierarchy().l2_stats();
@@ -213,15 +219,18 @@ impl Simulation {
             self.core.tick();
         }
         // Snapshot at measurement start.
-        let committed0: Vec<u64> = (0..self.names.len()).map(|t| self.core.committed(t)).collect();
+        let committed0: Vec<u64> = (0..self.names.len())
+            .map(|t| self.core.committed(t))
+            .collect();
         let class0: Vec<(u64, u64)> = (0..self.names.len())
             .map(|t| {
                 let c = self.core.classifier(t);
                 (c.committed_in_sequence, c.committed_reordered)
             })
             .collect();
-        let bpred0: Vec<(u64, u64)> =
-            (0..self.names.len()).map(|t| self.core.bpred_counts(t)).collect();
+        let bpred0: Vec<(u64, u64)> = (0..self.names.len())
+            .map(|t| self.core.bpred_counts(t))
+            .collect();
         let l1i0 = *self.core.hierarchy().l1i_stats();
         let l1d0 = *self.core.hierarchy().l1d_stats();
         let l20 = *self.core.hierarchy().l2_stats();
@@ -231,7 +240,15 @@ impl Simulation {
             self.core.tick();
         }
         self.core.finish_classification();
-        self.collect(measure_cycles, &committed0, &class0, &bpred0, l1i0, l1d0, l20)
+        self.collect(
+            measure_cycles,
+            &committed0,
+            &class0,
+            &bpred0,
+            l1i0,
+            l1d0,
+            l20,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -314,7 +331,11 @@ mod tests {
         let cfg = CoreConfig::base64(1);
         let mut sim = Simulation::from_names(cfg, &["hmmer"], 3).unwrap();
         let r = sim.run(300, 3_000);
-        assert!(r.counters.committed > 500, "committed {}", r.counters.committed);
+        assert!(
+            r.counters.committed > 500,
+            "committed {}",
+            r.counters.committed
+        );
         assert!(r.threads[0].cpi.is_finite());
         assert!(r.threads[0].cpi > 0.2, "cpi {}", r.threads[0].cpi);
         assert_eq!(r.late_shelf_commits, 0);
@@ -323,8 +344,7 @@ mod tests {
     #[test]
     fn four_thread_smt_run() {
         let cfg = CoreConfig::base64(4);
-        let mut sim =
-            Simulation::from_names(cfg, &["gcc", "mcf", "hmmer", "lbm"], 1).unwrap();
+        let mut sim = Simulation::from_names(cfg, &["gcc", "mcf", "hmmer", "lbm"], 1).unwrap();
         let r = sim.run(300, 3_000);
         for t in &r.threads {
             assert!(t.committed > 0, "{} made no progress", t.benchmark);
@@ -337,7 +357,10 @@ mod tests {
         let cfg = CoreConfig::base64_shelf64(2, SteerPolicy::Practical, true);
         let mut sim = Simulation::from_names(cfg, &["gcc", "milc"], 2).unwrap();
         let r = sim.run(300, 3_000);
-        assert!(r.counters.dispatched_shelf > 0, "practical steering never used the shelf");
+        assert!(
+            r.counters.dispatched_shelf > 0,
+            "practical steering never used the shelf"
+        );
         assert!(r.counters.issued_shelf > 0);
         assert_eq!(r.late_shelf_commits, 0);
     }
@@ -366,8 +389,12 @@ mod tests {
     #[test]
     fn deterministic_replay() {
         let cfg = CoreConfig::base64_shelf64(2, SteerPolicy::Practical, false);
-        let r1 = Simulation::from_names(cfg.clone(), &["astar", "sjeng"], 9).unwrap().run(200, 2_000);
-        let r2 = Simulation::from_names(cfg, &["astar", "sjeng"], 9).unwrap().run(200, 2_000);
+        let r1 = Simulation::from_names(cfg.clone(), &["astar", "sjeng"], 9)
+            .unwrap()
+            .run(200, 2_000);
+        let r2 = Simulation::from_names(cfg, &["astar", "sjeng"], 9)
+            .unwrap()
+            .run(200, 2_000);
         assert_eq!(r1.counters, r2.counters);
         assert_eq!(r1.threads[0].committed, r2.threads[0].committed);
     }

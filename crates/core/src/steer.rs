@@ -79,8 +79,11 @@ impl PracticalSteer {
         mut source_late: impl FnMut(ArchReg) -> bool,
         counters: &mut Counters,
     ) -> (Steer, Option<u8>) {
-        let iq_issue =
-            inst.sources().map(|r| self.rct.cycles_until_ready(r)).max().unwrap_or(0);
+        let iq_issue = inst
+            .sources()
+            .map(|r| self.rct.cycles_until_ready(r))
+            .max()
+            .unwrap_or(0);
         let lat = predicted_latency(inst.op);
         let iq_complete = iq_issue + lat;
         let shelf_issue = iq_issue.max(self.earliest_issue).max(self.shelf_next_free);
@@ -99,9 +102,9 @@ impl PracticalSteer {
         // protecting it (unsampled tree) — makes the predicted tie
         // meaningless. Sampled trees are held back by the freeze, so their
         // ties remain trustworthy and steer to the shelf as designed.
-        let schedule_error = inst.sources().any(|r| {
-            self.plt.mask(r) == 0 && self.rct.predicted_ready(r) && source_late(r)
-        });
+        let schedule_error = inst
+            .sources()
+            .any(|r| self.plt.mask(r) == 0 && self.rct.predicted_ready(r) && source_late(r));
         // A long predicted wait parks the instruction at the shelf head,
         // blocking every younger shelf instruction of the thread; keep such
         // instructions in the IQ where the wait is private.
@@ -215,10 +218,17 @@ impl OracleSteer {
     /// Decides where to steer `inst` dispatching at cycle `now`.
     /// `load_latency` supplies the functionally-peeked cache latency.
     pub fn decide(&mut self, now: u64, inst: &DynInst, load_latency: u32) -> Steer {
-        let src_ready =
-            inst.sources().map(|r| self.ready[r.index()]).max().unwrap_or(0);
+        let src_ready = inst
+            .sources()
+            .map(|r| self.ready[r.index()])
+            .max()
+            .unwrap_or(0);
         let iq_issue = src_ready.max(now + 1);
-        let lat = if inst.is_load() { load_latency } else { inst.op.latency() } as u64;
+        let lat = if inst.is_load() {
+            load_latency
+        } else {
+            inst.op.latency()
+        } as u64;
         let iq_complete = iq_issue + lat;
         let shelf_issue = iq_issue.max(self.earliest_issue).max(self.shelf_next_free);
         let shelf_complete = (shelf_issue + lat).max(self.earliest_writeback);
@@ -240,8 +250,9 @@ impl OracleSteer {
             self.shelf_next_free = chosen_issue + 1;
         }
         self.earliest_issue = self.earliest_issue.max(chosen_issue);
-        self.earliest_writeback =
-            self.earliest_writeback.max(chosen_issue + inst.op.resolution_delay() as u64);
+        self.earliest_writeback = self
+            .earliest_writeback
+            .max(chosen_issue + inst.op.resolution_delay() as u64);
         steer
     }
 
@@ -373,10 +384,18 @@ mod tests {
         // issue until cycle ~235, which raises the shelf earliest-issue
         // horizon once the consumer is dispatched.
         let ld = DynInst::load(ArchReg::int(8), ArchReg::int(0), MemInfo::new(0, 8));
-        assert_eq!(o.decide(0, &ld, 234), Steer::Shelf, "first inst ties to shelf");
+        assert_eq!(
+            o.decide(0, &ld, 234),
+            Steer::Shelf,
+            "first inst ties to shelf"
+        );
         // A dependent of the memory-bound load would park at the shelf head
         // for ~234 cycles: the guard keeps it in the IQ.
-        assert_eq!(o.decide(1, &alu(9, &[8]), 234), Steer::Iq, "long wait -> IQ");
+        assert_eq!(
+            o.decide(1, &alu(9, &[8]), 234),
+            Steer::Iq,
+            "long wait -> IQ"
+        );
         // The dependent's late predicted issue (~235) raised the
         // earliest-allowable shelf issue for everything younger, so an
         // independent op also stays in the IQ.

@@ -16,7 +16,11 @@ fn shelf_reduces_ooo_structure_occupancy() {
     let shelf = occupancies(CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true));
     // [rob, iq, lq, sq, shelf, rename-regs]
     assert!(base[4] == 0.0, "no shelf in the baseline");
-    assert!(shelf[4] > 1.0, "the shelf must hold instructions, got {}", shelf[4]);
+    assert!(
+        shelf[4] > 1.0,
+        "the shelf must hold instructions, got {}",
+        shelf[4]
+    );
     // The design's point: the window grows substantially while the PRF
     // usage stays flat (shelf instructions allocate no rename registers).
     let base_window = base[0];

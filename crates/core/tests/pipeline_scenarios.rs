@@ -7,7 +7,12 @@ use shelfsim_workload::program::{AccessPattern, Block, Program, Region, StaticIn
 use shelfsim_workload::TraceSource;
 
 /// One op spec: (op class, dest, srcs, access).
-type OpSpec = (OpClass, Option<ArchReg>, Vec<ArchReg>, Option<AccessPattern>);
+type OpSpec = (
+    OpClass,
+    Option<ArchReg>,
+    Vec<ArchReg>,
+    Option<AccessPattern>,
+);
 
 /// Builds a one-block infinite loop out of `ops`.
 fn loop_program(ops: &[OpSpec]) -> Program {
@@ -37,7 +42,12 @@ fn loop_program(ops: &[OpSpec]) -> Program {
     };
     Program {
         name: "handmade",
-        blocks: vec![Block { body, terminator: Terminator::Jump { target: 0 }, branch_inst, start_pc }],
+        blocks: vec![Block {
+            body,
+            terminator: Terminator::Jump { target: 0 },
+            branch_inst,
+            start_pc,
+        }],
         main_blocks: 1,
         num_statics: ops.len() as u32 + 1,
         seed: 0,
@@ -67,20 +77,28 @@ fn r(n: u8) -> ArchReg {
 fn independent_alu_stream_approaches_int_alu_width() {
     // 8 independent ALU ops per iteration: bounded by 3 int ALUs (branches
     // share them) and the 4-wide front end.
-    let ops: Vec<_> =
-        (0..8).map(|i| (OpClass::IntAlu, Some(r(8 + i)), vec![], None)).collect();
+    let ops: Vec<_> = (0..8)
+        .map(|i| (OpClass::IntAlu, Some(r(8 + i)), vec![], None))
+        .collect();
     let (ipc, _) = run_ipc(CoreConfig::base64(1), loop_program(&ops), 4_000);
-    assert!(ipc > 2.0, "independent ALUs should flow wide, got IPC {ipc:.2}");
+    assert!(
+        ipc > 2.0,
+        "independent ALUs should flow wide, got IPC {ipc:.2}"
+    );
     assert!(ipc <= 3.2, "cannot exceed the ALU pool, got IPC {ipc:.2}");
 }
 
 #[test]
 fn serial_chain_runs_at_one_ipc() {
     // r8 = f(r8) chain: one ALU per cycle at best, plus a free branch.
-    let ops: Vec<_> =
-        (0..6).map(|_| (OpClass::IntAlu, Some(r(8)), vec![r(8)], None)).collect();
+    let ops: Vec<_> = (0..6)
+        .map(|_| (OpClass::IntAlu, Some(r(8)), vec![r(8)], None))
+        .collect();
     let (ipc, _) = run_ipc(CoreConfig::base64(1), loop_program(&ops), 4_000);
-    assert!(ipc > 0.8 && ipc < 1.4, "serial chain IPC {ipc:.2} should be ~1");
+    assert!(
+        ipc > 0.8 && ipc < 1.4,
+        "serial chain IPC {ipc:.2} should be ~1"
+    );
 }
 
 #[test]
@@ -101,7 +119,10 @@ fn divide_chain_is_latency_bound() {
 
 #[test]
 fn l1_resident_loads_flow() {
-    let acc = AccessPattern::Strided { region: Region::L1, stride: 8 };
+    let acc = AccessPattern::Strided {
+        region: Region::L1,
+        stride: 8,
+    };
     let ops = [
         (OpClass::Load, Some(r(8)), vec![r(0)], Some(acc)),
         (OpClass::IntAlu, Some(r(9)), vec![r(8)], None),
@@ -112,12 +133,17 @@ fn l1_resident_loads_flow() {
     // design), so the IPC above is the hit-rate witness; just confirm the
     // timed loads actually hit somewhere.
     let h = core.hierarchy();
-    assert!(h.l1d_stats().hits > 1_000, "timed loads should hit the warmed L1");
+    assert!(
+        h.l1d_stats().hits > 1_000,
+        "timed loads should hit the warmed L1"
+    );
 }
 
 #[test]
 fn memory_bound_loads_crawl() {
-    let acc = AccessPattern::PointerChase { region: Region::Mem };
+    let acc = AccessPattern::PointerChase {
+        region: Region::Mem,
+    };
     // A self-dependent chase: every load waits for the previous one.
     let ops = [(OpClass::Load, Some(r(24)), vec![r(24)], Some(acc))];
     let (ipc, _) = run_ipc(CoreConfig::base64(1), loop_program(&ops), 8_000);
@@ -129,14 +155,20 @@ fn memory_bound_loads_crawl() {
 fn store_to_load_forwarding_keeps_pace() {
     // Store to a location then immediately load it back: forwarding must
     // keep this near the chain-limited rate rather than cache-limited.
-    let st = AccessPattern::Strided { region: Region::L1, stride: 0 };
+    let st = AccessPattern::Strided {
+        region: Region::L1,
+        stride: 0,
+    };
     let ops = [
         (OpClass::Store, None, vec![r(0), r(9)], Some(st)),
         (OpClass::Load, Some(r(10)), vec![r(0)], Some(st)),
         (OpClass::IntAlu, Some(r(9)), vec![r(10)], None),
     ];
     let (ipc, core) = run_ipc(CoreConfig::base64(1), loop_program(&ops), 4_000);
-    assert!(ipc > 0.7, "forwarded store->load loop too slow: IPC {ipc:.2}");
+    assert!(
+        ipc > 0.7,
+        "forwarded store->load loop too slow: IPC {ipc:.2}"
+    );
     // Same-address traffic must not cause endless violations.
     assert!(core.counters.memory_violations < 50);
 }
@@ -147,7 +179,10 @@ fn speculative_load_violation_is_detected_and_replayed() {
     // younger load to the same address issues speculatively first and must
     // be squashed when the store finally scans the LQ (store sets then
     // learn the pair).
-    let same = AccessPattern::Strided { region: Region::L1, stride: 0 };
+    let same = AccessPattern::Strided {
+        region: Region::L1,
+        stride: 0,
+    };
     let ops = [
         (OpClass::IntDiv, Some(r(9)), vec![r(9)], None),
         (OpClass::Store, None, vec![r(0), r(9)], Some(same)),
@@ -159,7 +194,10 @@ fn speculative_load_violation_is_detected_and_replayed() {
         core.counters.memory_violations > 0,
         "expected at least one memory-order violation"
     );
-    assert!(core.committed(0) > 500, "the pipeline must recover and make progress");
+    assert!(
+        core.committed(0) > 500,
+        "the pipeline must recover and make progress"
+    );
     assert_eq!(core.late_shelf_commits(), 0);
 }
 
@@ -167,8 +205,9 @@ fn speculative_load_violation_is_detected_and_replayed() {
 fn shelf_handles_handmade_serial_code_gracefully() {
     // A serial chain is entirely in-sequence: the shelf design must match
     // the baseline on it (nothing to reorder).
-    let ops: Vec<_> =
-        (0..6).map(|_| (OpClass::IntAlu, Some(r(8)), vec![r(8)], None)).collect();
+    let ops: Vec<_> = (0..6)
+        .map(|_| (OpClass::IntAlu, Some(r(8)), vec![r(8)], None))
+        .collect();
     let (base, _) = run_ipc(CoreConfig::base64(1), loop_program(&ops), 4_000);
     let cfg = CoreConfig::base64_shelf64(1, SteerPolicy::Practical, true);
     let (shelf, core) = run_ipc(cfg, loop_program(&ops), 4_000);
@@ -176,7 +215,10 @@ fn shelf_handles_handmade_serial_code_gracefully() {
         shelf > base * 0.9,
         "shelf ({shelf:.2}) must not lose on pure serial code vs base ({base:.2})"
     );
-    assert!(core.counters.dispatched_shelf > 0, "serial code should use the shelf");
+    assert!(
+        core.counters.dispatched_shelf > 0,
+        "serial code should use the shelf"
+    );
 }
 
 #[test]
@@ -187,8 +229,14 @@ fn memory_barrier_serializes_but_completes() {
         (OpClass::IntAlu, Some(r(9)), vec![], None),
     ];
     let (ipc, core) = run_ipc(CoreConfig::base64(1), loop_program(&ops), 4_000);
-    assert!(core.counters.stalls.barrier > 0, "barriers must serialize dispatch");
-    assert!(ipc > 0.15, "barrier-heavy loop still progresses, got {ipc:.2}");
+    assert!(
+        core.counters.stalls.barrier > 0,
+        "barriers must serialize dispatch"
+    );
+    assert!(
+        ipc > 0.15,
+        "barrier-heavy loop still progresses, got {ipc:.2}"
+    );
     assert!(ipc < 2.0, "barriers must cost something, got {ipc:.2}");
 }
 
@@ -198,7 +246,10 @@ fn tso_constrains_the_shelf_but_stays_correct() {
     // Memory-heavy synthetic loop: under TSO the shelf must wait for elder
     // loads and allocate SQ entries for its stores; throughput should be at
     // most the relaxed model's, and execution must stay live and safe.
-    let acc = AccessPattern::Strided { region: Region::L2, stride: 64 };
+    let acc = AccessPattern::Strided {
+        region: Region::L2,
+        stride: 64,
+    };
     let ops = [
         (OpClass::Load, Some(r(8)), vec![r(0)], Some(acc)),
         (OpClass::IntAlu, Some(r(9)), vec![r(8)], None),
@@ -206,7 +257,10 @@ fn tso_constrains_the_shelf_but_stays_correct() {
         (OpClass::IntAlu, Some(r(10)), vec![], None),
     ];
     let relaxed_cfg = CoreConfig::base64_shelf64(1, SteerPolicy::Practical, true);
-    let tso_cfg = CoreConfig { memory_model: MemoryModel::Tso, ..relaxed_cfg.clone() };
+    let tso_cfg = CoreConfig {
+        memory_model: MemoryModel::Tso,
+        ..relaxed_cfg.clone()
+    };
     let (relaxed, _) = run_ipc(relaxed_cfg, loop_program(&ops), 6_000);
     let (tso, core) = run_ipc(tso_cfg, loop_program(&ops), 6_000);
     assert!(tso > 0.05, "TSO run must stay live, got IPC {tso:.3}");
@@ -215,5 +269,8 @@ fn tso_constrains_the_shelf_but_stays_correct() {
         "TSO ({tso:.3}) cannot beat the relaxed model ({relaxed:.3})"
     );
     assert_eq!(core.late_shelf_commits(), 0);
-    assert!(core.counters.issued_shelf > 0, "the shelf must still operate under TSO");
+    assert!(
+        core.counters.issued_shelf > 0,
+        "the shelf must still operate under TSO"
+    );
 }

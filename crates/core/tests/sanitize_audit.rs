@@ -1,0 +1,61 @@
+//! Exercises the dynamic invariant sanitizer (`--features sanitize`).
+//!
+//! Every `Core::tick` under the feature ends with a full token-conservation
+//! and bookkeeping audit that panics on the first violating cycle, so these
+//! tests pass exactly when the audits stay silent across the stressiest
+//! design points: deep squash storms (wrong-path fetch), TSO shelf stores,
+//! all-shelf steering (extension-tag pressure), and the ablations.
+#![cfg(feature = "sanitize")]
+
+use shelfsim_core::{CoreConfig, MemoryModel, Simulation, SteerPolicy};
+
+fn run(cfg: CoreConfig, seed: u64) {
+    let mix = [
+        "gcc", "mcf", "hmmer", "lbm", "sjeng", "milc", "astar", "namd",
+    ];
+    let mut sim =
+        Simulation::from_names(cfg.clone(), &mix[..cfg.threads], seed).expect("suite mix");
+    let r = sim.run(500, 3_000);
+    assert!(
+        r.counters.committed > 0,
+        "no forward progress under {cfg:?}"
+    );
+}
+
+#[test]
+fn audits_stay_silent_on_evaluated_designs() {
+    for threads in [1, 2, 4] {
+        run(CoreConfig::base64(threads), 7);
+        run(CoreConfig::base128(threads), 11);
+        run(
+            CoreConfig::base64_shelf64(threads, SteerPolicy::Practical, false),
+            13,
+        );
+        run(
+            CoreConfig::base64_shelf64(threads, SteerPolicy::Practical, true),
+            17,
+        );
+    }
+}
+
+#[test]
+fn audits_stay_silent_under_extension_tag_pressure() {
+    // All-shelf steering keeps the extension free list churning hardest.
+    run(
+        CoreConfig::base64_shelf64(4, SteerPolicy::AlwaysShelf, true),
+        19,
+    );
+    run(CoreConfig::base64_shelf64(4, SteerPolicy::Oracle, true), 23);
+}
+
+#[test]
+fn audits_stay_silent_on_ablations_and_tso() {
+    let mut tso = CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true);
+    tso.memory_model = MemoryModel::Tso;
+    run(tso, 29);
+
+    let mut single_ssr = CoreConfig::base64_shelf64(4, SteerPolicy::Practical, false);
+    single_ssr.single_ssr = true;
+    single_ssr.narrow_shelf_index = true;
+    run(single_ssr, 31);
+}

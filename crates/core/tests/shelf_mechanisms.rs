@@ -17,12 +17,14 @@ fn always_shelf_exercises_index_space_pressure() {
     // index-full stall must appear; with the paper's 2x space it should be
     // rarer.
     let base = CoreConfig::base64_shelf64(4, SteerPolicy::AlwaysShelf, true);
-    let narrow = CoreConfig { narrow_shelf_index: true, ..base.clone() };
+    let narrow = CoreConfig {
+        narrow_shelf_index: true,
+        ..base.clone()
+    };
     let wide_run = run(base, &MIX, 3);
     let narrow_run = run(narrow, &MIX, 3);
     assert!(
-        narrow_run.counters.stalls.shelf_index_full
-            > wide_run.counters.stalls.shelf_index_full,
+        narrow_run.counters.stalls.shelf_index_full > wide_run.counters.stalls.shelf_index_full,
         "narrow index space should stall more (narrow {} vs wide {})",
         narrow_run.counters.stalls.shelf_index_full,
         wide_run.counters.stalls.shelf_index_full
@@ -59,8 +61,14 @@ fn shelf_size_sweep_saturates() {
         ipcs.push(run(cfg, &MIX, 9).ipc());
     }
     // 64 entries should recover most of what 256 offers.
-    assert!(ipcs[1] > ipcs[0] * 0.98, "64-entry shelf >= 16-entry: {ipcs:?}");
-    assert!(ipcs[2] < ipcs[1] * 1.15, "sizing saturates near 64: {ipcs:?}");
+    assert!(
+        ipcs[1] > ipcs[0] * 0.98,
+        "64-entry shelf >= 16-entry: {ipcs:?}"
+    );
+    assert!(
+        ipcs[2] < ipcs[1] * 1.15,
+        "sizing saturates near 64: {ipcs:?}"
+    );
 }
 
 #[test]
@@ -69,8 +77,16 @@ fn conservative_mode_sees_iq_issues_late() {
     // shelf heads against the previous cycle's tracker, so its shelf issue
     // count per cycle should not exceed the optimistic design's by much and
     // its IPC should not be higher by more than noise.
-    let cons = run(CoreConfig::base64_shelf64(4, SteerPolicy::AlwaysShelf, false), &MIX, 12);
-    let opt = run(CoreConfig::base64_shelf64(4, SteerPolicy::AlwaysShelf, true), &MIX, 12);
+    let cons = run(
+        CoreConfig::base64_shelf64(4, SteerPolicy::AlwaysShelf, false),
+        &MIX,
+        12,
+    );
+    let opt = run(
+        CoreConfig::base64_shelf64(4, SteerPolicy::AlwaysShelf, true),
+        &MIX,
+        12,
+    );
     assert!(
         opt.ipc() >= cons.ipc() * 0.98,
         "optimistic ({}) should not trail conservative ({}) under pure in-order issue",
@@ -106,7 +122,10 @@ fn commit_log_records_program_order_lifecycles() {
         last_seq[r.thread] = r.seq;
         shelf_seen |= r.steer == Steer::Shelf;
     }
-    assert!(shelf_seen, "practical steering should commit shelf instructions");
+    assert!(
+        shelf_seen,
+        "practical steering should commit shelf instructions"
+    );
     // Commit cycles are globally non-decreasing in log order.
     for w in records.windows(2) {
         assert!(w[0].commit <= w[1].commit);
@@ -119,7 +138,12 @@ fn run_until_committed_reaches_target() {
     let mut sim = Simulation::from_names(cfg, &["hmmer", "h264ref"], 6).expect("suite");
     let r = sim.run_until_committed(2_000, 1_000, 200_000);
     for t in &r.threads {
-        assert!(t.committed >= 1_000, "{} only committed {}", t.benchmark, t.committed);
+        assert!(
+            t.committed >= 1_000,
+            "{} only committed {}",
+            t.benchmark,
+            t.committed
+        );
     }
     assert!(r.cycles < 200_000, "should finish well before the cap");
 }

@@ -3,15 +3,18 @@ use shelfsim_energy::EnergyModel;
 
 fn main() {
     let base = EnergyModel::for_config(&CoreConfig::base64(4));
-    let shelf = EnergyModel::for_config(&CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true));
+    let shelf =
+        EnergyModel::for_config(&CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true));
     let big = EnergyModel::for_config(&CoreConfig::base128(4));
     for include_l1 in [false, true] {
         let a0 = base.core_area(include_l1);
-        println!("L1={} shelf +{:.1}%  base128 +{:.1}%  (paper: {} / {})",
+        println!(
+            "L1={} shelf +{:.1}%  base128 +{:.1}%  (paper: {} / {})",
             include_l1,
-            (shelf.core_area(include_l1)/a0-1.0)*100.0,
-            (big.core_area(include_l1)/a0-1.0)*100.0,
-            if include_l1 {"2.1%"} else {"3.1%"},
-            if include_l1 {"6.6%"} else {"9.7%"});
+            (shelf.core_area(include_l1) / a0 - 1.0) * 100.0,
+            (big.core_area(include_l1) / a0 - 1.0) * 100.0,
+            if include_l1 { "2.1%" } else { "3.1%" },
+            if include_l1 { "6.6%" } else { "9.7%" }
+        );
     }
 }

@@ -103,23 +103,53 @@ impl EnergyModel {
         ];
         if cfg.shelf_entries > 0 {
             // The shelf FIFO: narrow ports (dispatch write, head read).
-            s.push(StructureGeometry::ram("shelf", cfg.shelf_entries, 40 + 3 * tag_bits, 2));
+            s.push(StructureGeometry::ram(
+                "shelf",
+                cfg.shelf_entries,
+                40 + 3 * tag_bits,
+                2,
+            ));
             // Extension free list for the decoupled tag space. Tags return
             // out of order (whenever a superseding writer retires), so the
             // hardware is a bitmap with a priority encoder, not a FIFO:
             // one bit per tag.
-            s.push(StructureGeometry::ram("ext_freelist", cfg.num_ext_tags(), 1, dw));
+            s.push(StructureGeometry::ram(
+                "ext_freelist",
+                cfg.num_ext_tags(),
+                1,
+                dw,
+            ));
             // Issue-tracking bitvectors (one bit per ROB entry) + shelf
             // retire bitvector (2x shelf indices) + SSR pair.
-            s.push(StructureGeometry::ram("issue_track", cfg.rob_entries, 1, iw + dw));
-            s.push(StructureGeometry::ram("shelf_retire", 2 * cfg.shelf_entries, 1, 4));
+            s.push(StructureGeometry::ram(
+                "issue_track",
+                cfg.rob_entries,
+                1,
+                iw + dw,
+            ));
+            s.push(StructureGeometry::ram(
+                "shelf_retire",
+                2 * cfg.shelf_entries,
+                1,
+                4,
+            ));
             s.push(StructureGeometry::ram("ssr", 2 * t, 8, 2));
             // Shelf head dependence-check / select / rename-multiplexing
             // logic (Figure 8), modeled as an equivalent array.
-            s.push(StructureGeometry::ram("shelf_sched", cfg.shelf_entries, 48, 4));
+            s.push(StructureGeometry::ram(
+                "shelf_sched",
+                cfg.shelf_entries,
+                48,
+                4,
+            ));
             if cfg.steer == SteerPolicy::Practical || cfg.steer == SteerPolicy::Oracle {
                 // Steering hardware: RCT counters and the PLT bit matrix.
-                s.push(StructureGeometry::ram("rct", t * arch, cfg.rct_bits as usize, 2 * dw));
+                s.push(StructureGeometry::ram(
+                    "rct",
+                    t * arch,
+                    cfg.rct_bits as usize,
+                    2 * dw,
+                ));
                 s.push(StructureGeometry::ram(
                     "plt",
                     t * arch,
@@ -189,8 +219,7 @@ impl EnergyModel {
         let per_entry_cam = iq_access / self.iq_entries.max(1) as f64;
         push(
             "iq",
-            (c.iq_writes + c.iq_issues) as f64 * iq_access
-                + c.iq_wakeup_cam as f64 * per_entry_cam,
+            (c.iq_writes + c.iq_issues) as f64 * iq_access + c.iq_wakeup_cam as f64 * per_entry_cam,
             &mut per,
         );
 
@@ -212,19 +241,31 @@ impl EnergyModel {
         push("rat", (c.rat_reads + c.rat_writes) as f64 * rat, &mut per);
 
         let fl = self.geometry("freelist").access_energy();
-        push("freelist", (c.freelist_ops + c.ext_freelist_ops) as f64 * fl, &mut per);
+        push(
+            "freelist",
+            (c.freelist_ops + c.ext_freelist_ops) as f64 * fl,
+            &mut per,
+        );
 
         let bp = self.geometry("bpred").access_energy();
         push("bpred", c.bpred_lookups as f64 * bp, &mut per);
 
         if let Some(shelf) = self.maybe_geometry("shelf") {
             let e = shelf.access_energy();
-            push("shelf", (c.shelf_writes + c.shelf_reads) as f64 * e, &mut per);
+            push(
+                "shelf",
+                (c.shelf_writes + c.shelf_reads) as f64 * e,
+                &mut per,
+            );
             let track = self.geometry("issue_track").access_energy()
                 + self.geometry("shelf_retire").access_energy()
                 + self.geometry("ssr").access_energy();
             // Tracking structures toggle roughly once per dispatch + issue.
-            push("shelf_tracking", (c.dispatched + c.issued) as f64 * track * 0.5, &mut per);
+            push(
+                "shelf_tracking",
+                (c.dispatched + c.issued) as f64 * track * 0.5,
+                &mut per,
+            );
         }
         if let Some(rct) = self.maybe_geometry("rct") {
             let e = rct.access_energy();
@@ -236,7 +277,12 @@ impl EnergyModel {
         }
 
         // Functional units and fixed pipeline energy.
-        let fu: f64 = c.fu_ops.iter().zip(FU_ENERGY).map(|(&n, e)| n as f64 * e).sum();
+        let fu: f64 = c
+            .fu_ops
+            .iter()
+            .zip(FU_ENERGY)
+            .map(|(&n, e)| n as f64 * e)
+            .sum();
         push("fu", fu, &mut per);
         push("frontend", c.fetched as f64 * FETCH_ENERGY, &mut per);
         push(
@@ -262,7 +308,13 @@ impl EnergyModel {
         let leakage = leak_per_cycle * r.cycles as f64;
         let committed: u64 = r.threads.iter().map(|t| t.committed).sum();
 
-        EnergyReport { dynamic, leakage, per_structure: per, committed, cycles: r.cycles }
+        EnergyReport {
+            dynamic,
+            leakage,
+            per_structure: per,
+            committed,
+            cycles: r.cycles,
+        }
     }
 
     /// The L2 geometry (for reports that want uncore context).
@@ -284,11 +336,8 @@ mod tests {
     #[test]
     fn area_ordering_matches_table2() {
         let base = EnergyModel::for_config(&CoreConfig::base64(4));
-        let shelf = EnergyModel::for_config(&CoreConfig::base64_shelf64(
-            4,
-            SteerPolicy::Practical,
-            true,
-        ));
+        let shelf =
+            EnergyModel::for_config(&CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true));
         let big = EnergyModel::for_config(&CoreConfig::base128(4));
         let a0 = base.core_area(false);
         let a1 = shelf.core_area(false);
@@ -298,9 +347,18 @@ mod tests {
         let shelf_pct = (a1 / a0 - 1.0) * 100.0;
         let big_pct = (a2 / a0 - 1.0) * 100.0;
         // Table II: +3.1% and +9.7% without L1s. Enforce the shape loosely.
-        assert!(shelf_pct > 0.5 && shelf_pct < 8.0, "shelf area +{shelf_pct:.1}%");
-        assert!(big_pct > 5.0 && big_pct < 20.0, "Base-128 area +{big_pct:.1}%");
-        assert!(big_pct > 2.0 * shelf_pct, "shelf is much cheaper than doubling");
+        assert!(
+            shelf_pct > 0.5 && shelf_pct < 8.0,
+            "shelf area +{shelf_pct:.1}%"
+        );
+        assert!(
+            big_pct > 5.0 && big_pct < 20.0,
+            "Base-128 area +{big_pct:.1}%"
+        );
+        assert!(
+            big_pct > 2.0 * shelf_pct,
+            "shelf is much cheaper than doubling"
+        );
     }
 
     #[test]
@@ -324,11 +382,22 @@ mod tests {
         assert!(rep.total() > rep.dynamic);
         assert!(rep.edp() > 0.0);
         let shelf_part = rep.per_structure.iter().find(|(n, _)| *n == "shelf");
-        assert!(shelf_part.is_some_and(|(_, e)| *e > 0.0), "shelf energy counted");
+        assert!(
+            shelf_part.is_some_and(|(_, e)| *e > 0.0),
+            "shelf energy counted"
+        );
         // The IQ CAM should dominate the shelf FIFO.
-        let iq_e = rep.per_structure.iter().find(|(n, _)| *n == "iq").unwrap().1;
+        let iq_e = rep
+            .per_structure
+            .iter()
+            .find(|(n, _)| *n == "iq")
+            .unwrap()
+            .1;
         let shelf_e = shelf_part.unwrap().1;
-        assert!(iq_e > shelf_e, "IQ ({iq_e}) should out-consume the shelf ({shelf_e})");
+        assert!(
+            iq_e > shelf_e,
+            "IQ ({iq_e}) should out-consume the shelf ({shelf_e})"
+        );
     }
 
     #[test]

@@ -37,18 +37,39 @@ const CAM_AREA_FACTOR: f64 = 2.0;
 impl StructureGeometry {
     /// Creates a RAM structure.
     pub fn ram(name: &'static str, entries: usize, bits: usize, ports: usize) -> Self {
-        StructureGeometry { name, entries, bits, ports, kind: ArrayKind::Ram, cell_scale: 1.0 }
+        StructureGeometry {
+            name,
+            entries,
+            bits,
+            ports,
+            kind: ArrayKind::Ram,
+            cell_scale: 1.0,
+        }
     }
 
     /// Creates a dense-SRAM structure (caches: 6T cells, single-ported
     /// banks, ~0.35x the cell area of the loose multiported core arrays).
     pub fn dense_ram(name: &'static str, entries: usize, bits: usize, ports: usize) -> Self {
-        StructureGeometry { name, entries, bits, ports, kind: ArrayKind::Ram, cell_scale: 0.35 }
+        StructureGeometry {
+            name,
+            entries,
+            bits,
+            ports,
+            kind: ArrayKind::Ram,
+            cell_scale: 0.35,
+        }
     }
 
     /// Creates a CAM structure.
     pub fn cam(name: &'static str, entries: usize, bits: usize, ports: usize) -> Self {
-        StructureGeometry { name, entries, bits, ports, kind: ArrayKind::Cam, cell_scale: 1.0 }
+        StructureGeometry {
+            name,
+            entries,
+            bits,
+            ports,
+            kind: ArrayKind::Cam,
+            cell_scale: 1.0,
+        }
     }
 
     /// Total storage bits.
@@ -108,7 +129,10 @@ mod tests {
         let small = StructureGeometry::cam("s", 32, 40, 4);
         let big = StructureGeometry::cam("b", 64, 40, 4);
         let ratio = big.access_energy() / small.access_energy();
-        assert!(ratio > 1.4, "doubling a CAM should scale its access energy strongly: {ratio}");
+        assert!(
+            ratio > 1.4,
+            "doubling a CAM should scale its access energy strongly: {ratio}"
+        );
     }
 
     #[test]
@@ -116,7 +140,10 @@ mod tests {
         let small = StructureGeometry::ram("s", 32, 40, 4);
         let big = StructureGeometry::ram("b", 64, 40, 4);
         let ratio = big.access_energy() / small.access_energy();
-        assert!(ratio < 1.5, "RAM access energy grows ~sqrt(entries): {ratio}");
+        assert!(
+            ratio < 1.5,
+            "RAM access energy grows ~sqrt(entries): {ratio}"
+        );
     }
 
     #[test]

@@ -83,13 +83,23 @@ impl DynInst {
     /// Panics if `op` is a memory or branch class, or more than two sources
     /// are supplied.
     pub fn alu(op: OpClass, dest: ArchReg, srcs: &[ArchReg]) -> Self {
-        assert!(!op.is_mem() && op != OpClass::Branch, "use load/store/branch constructors");
+        assert!(
+            !op.is_mem() && op != OpClass::Branch,
+            "use load/store/branch constructors"
+        );
         assert!(srcs.len() <= 2, "at most two source registers");
         let mut s = [None; 2];
         for (slot, &r) in s.iter_mut().zip(srcs) {
             *slot = Some(r);
         }
-        DynInst { pc: 0, op, dest: Some(dest), srcs: s, mem: None, branch: None }
+        DynInst {
+            pc: 0,
+            op,
+            dest: Some(dest),
+            srcs: s,
+            mem: None,
+            branch: None,
+        }
     }
 
     /// Creates a load of `mem` into `dest`, with `base` as the address source.
@@ -223,7 +233,12 @@ mod tests {
     fn branch_carries_outcome() {
         let b = DynInst::branch(
             Some(ArchReg::int(7)),
-            BranchInfo { taken: true, next_pc: 0x40, is_return: false, is_call: false },
+            BranchInfo {
+                taken: true,
+                next_pc: 0x40,
+                is_return: false,
+                is_call: false,
+            },
         );
         assert!(b.is_branch());
         assert!(b.branch.unwrap().taken);

@@ -153,7 +153,12 @@ pub enum FuKind {
 
 impl FuKind {
     /// All functional-unit kinds.
-    pub const ALL: [FuKind; 4] = [FuKind::IntAlu, FuKind::IntMulDiv, FuKind::Fp, FuKind::MemPort];
+    pub const ALL: [FuKind; 4] = [
+        FuKind::IntAlu,
+        FuKind::IntMulDiv,
+        FuKind::Fp,
+        FuKind::MemPort,
+    ];
 
     /// Flat index for per-kind arrays.
     #[inline]

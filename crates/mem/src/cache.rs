@@ -21,7 +21,10 @@ impl CacheConfig {
     /// Panics if the geometry is inconsistent (non-power-of-two block size,
     /// or capacity not divisible by `assoc * block_bytes`).
     pub fn num_sets(&self) -> usize {
-        assert!(self.block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            self.block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
         assert!(self.assoc >= 1, "associativity must be at least 1");
         let set_bytes = self.assoc * self.block_bytes;
         assert!(
@@ -31,7 +34,10 @@ impl CacheConfig {
             set_bytes
         );
         let sets = self.size_bytes / set_bytes;
-        assert!(sets.is_power_of_two(), "number of sets must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "number of sets must be a power of two"
+        );
         sets
     }
 }
@@ -96,7 +102,15 @@ impl Cache {
         let num_sets = config.num_sets();
         Cache {
             config,
-            sets: vec![Line { tag: 0, valid: false, dirty: false, lru: 0 }; num_sets * config.assoc],
+            sets: vec![
+                Line {
+                    tag: 0,
+                    valid: false,
+                    dirty: false,
+                    lru: 0
+                };
+                num_sets * config.assoc
+            ],
             num_sets,
             set_shift: config.block_bytes.trailing_zeros(),
             set_mask: (num_sets - 1) as u64,
@@ -154,7 +168,12 @@ impl Cache {
         if victim.valid && victim.dirty {
             self.stats.writebacks += 1;
         }
-        *victim = Line { tag, valid: true, dirty: is_write, lru: self.tick };
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            lru: self.tick,
+        };
         false
     }
 
@@ -163,7 +182,9 @@ impl Cache {
         let set = self.set_index(addr);
         let tag = self.tag(addr);
         let base = set * self.config.assoc;
-        self.sets[base..base + self.config.assoc].iter().any(|l| l.valid && l.tag == tag)
+        self.sets[base..base + self.config.assoc]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
     }
 
     /// Invalidates every line (used between benchmark phases in tests).
@@ -181,7 +202,12 @@ mod tests {
 
     fn small() -> Cache {
         // 4 sets x 2 ways x 64B = 512B.
-        Cache::new(CacheConfig { size_bytes: 512, assoc: 2, block_bytes: 64, latency: 1 })
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            assoc: 2,
+            block_bytes: 64,
+            latency: 1,
+        })
     }
 
     #[test]
@@ -234,8 +260,8 @@ mod tests {
         // Peeking also must not refresh LRU: make A LRU, peek it, then fill.
         c.access(0x0100, false);
         c.peek(0x0000); // if this refreshed LRU the next fill would evict B
-        // A is older than B; a new block must evict A... actually LRU order:
-        // A(t1), B(t2). Peek must not bump A, so the victim is A.
+                        // A is older than B; a new block must evict A... actually LRU order:
+                        // A(t1), B(t2). Peek must not bump A, so the victim is A.
         c.access(0x0200, false);
         assert!(!c.peek(0x0000));
         assert!(c.peek(0x0100));
@@ -261,6 +287,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_block_size_panics() {
-        let _ = Cache::new(CacheConfig { size_bytes: 512, assoc: 2, block_bytes: 48, latency: 1 });
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 512,
+            assoc: 2,
+            block_bytes: 48,
+            latency: 1,
+        });
     }
 }

@@ -54,9 +54,24 @@ pub struct HierarchyConfig {
 impl Default for HierarchyConfig {
     fn default() -> Self {
         HierarchyConfig {
-            l1i: CacheConfig { size_bytes: 32 << 10, assoc: 2, block_bytes: 64, latency: 1 },
-            l1d: CacheConfig { size_bytes: 32 << 10, assoc: 2, block_bytes: 64, latency: 2 },
-            l2: CacheConfig { size_bytes: 2 << 20, assoc: 8, block_bytes: 64, latency: 32 },
+            l1i: CacheConfig {
+                size_bytes: 32 << 10,
+                assoc: 2,
+                block_bytes: 64,
+                latency: 1,
+            },
+            l1d: CacheConfig {
+                size_bytes: 32 << 10,
+                assoc: 2,
+                block_bytes: 64,
+                latency: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 2 << 20,
+                assoc: 8,
+                block_bytes: 64,
+                latency: 32,
+            },
             memory_latency: 200,
             data_mshrs: 16,
             inst_mshrs: 8,
@@ -89,7 +104,10 @@ pub struct Hierarchy {
 impl Hierarchy {
     /// Builds a cold hierarchy.
     pub fn new(config: HierarchyConfig) -> Self {
-        assert_eq!(config.l1d.block_bytes, config.l2.block_bytes, "uniform block size expected");
+        assert_eq!(
+            config.l1d.block_bytes, config.l2.block_bytes,
+            "uniform block size expected"
+        );
         Hierarchy {
             l1i: Cache::new(config.l1i),
             l1d: Cache::new(config.l1d),
@@ -158,11 +176,17 @@ impl Hierarchy {
         // tag is already installed: merge into the pending miss instead.
         if let Some(fill) = self.data_mshrs.merge_inflight(block, now) {
             self.l1d.access(addr, is_store);
-            return Ok(Access { complete_cycle: fill, level: Level::L1 });
+            return Ok(Access {
+                complete_cycle: fill,
+                level: Level::L1,
+            });
         }
         if self.l1d.peek(addr) {
             self.l1d.access(addr, is_store);
-            return Ok(Access { complete_cycle: now + self.config.l1d.latency as u64, level: Level::L1 });
+            return Ok(Access {
+                complete_cycle: now + self.config.l1d.latency as u64,
+                level: Level::L1,
+            });
         }
         // L1 miss: need an MSHR. Determine the fill level first (peek so a
         // rejected request leaves no side effects).
@@ -189,7 +213,10 @@ impl Hierarchy {
                 self.l2.access(next, false);
             }
         }
-        Ok(Access { complete_cycle: fill, level })
+        Ok(Access {
+            complete_cycle: fill,
+            level,
+        })
     }
 
     /// Timed instruction fetch of the block containing `addr`.
@@ -201,11 +228,17 @@ impl Hierarchy {
         let block = addr & self.block_mask;
         if let Some(fill) = self.inst_mshrs.merge_inflight(block, now) {
             self.l1i.access(addr, false);
-            return Ok(Access { complete_cycle: fill, level: Level::L1 });
+            return Ok(Access {
+                complete_cycle: fill,
+                level: Level::L1,
+            });
         }
         if self.l1i.peek(addr) {
             self.l1i.access(addr, false);
-            return Ok(Access { complete_cycle: now + self.config.l1i.latency as u64, level: Level::L1 });
+            return Ok(Access {
+                complete_cycle: now + self.config.l1i.latency as u64,
+                level: Level::L1,
+            });
         }
         let (latency, level) = if self.l2.peek(addr) {
             (self.config.l1i.latency + self.config.l2.latency, Level::L2)
@@ -218,7 +251,10 @@ impl Hierarchy {
         let fill = self.inst_mshrs.request(block, now, now + latency as u64)?;
         self.l1i.access(addr, false);
         self.l2.access(addr, false);
-        Ok(Access { complete_cycle: fill, level })
+        Ok(Access {
+            complete_cycle: fill,
+            level,
+        })
     }
 
     /// Warms the data path with `addr` (fills L1D and L2 tags directly,
@@ -335,11 +371,18 @@ mod tests {
 
     #[test]
     fn mshr_exhaustion_rejects_without_side_effects() {
-        let mut h = Hierarchy::new(HierarchyConfig { data_mshrs: 1, ..Default::default() });
+        let mut h = Hierarchy::new(HierarchyConfig {
+            data_mshrs: 1,
+            ..Default::default()
+        });
         h.access_data(0x0, false, 0).unwrap();
         let misses_before = h.l1d_stats().misses();
         assert!(h.access_data(0x4_0000, false, 1).is_err());
-        assert_eq!(h.l1d_stats().misses(), misses_before, "rejected access must not touch tags");
+        assert_eq!(
+            h.l1d_stats().misses(),
+            misses_before,
+            "rejected access must not touch tags"
+        );
         assert!(!matches!(h.peek_data(0x4_0000), Level::L1));
         // After the fill completes, the MSHR frees up.
         assert!(h.access_data(0x4_0000, false, 300).is_ok());
@@ -347,10 +390,16 @@ mod tests {
 
     #[test]
     fn same_block_merges_into_inflight_miss() {
-        let mut h = Hierarchy::new(HierarchyConfig { data_mshrs: 1, ..Default::default() });
+        let mut h = Hierarchy::new(HierarchyConfig {
+            data_mshrs: 1,
+            ..Default::default()
+        });
         let a = h.access_data(0x100, false, 0).unwrap();
         let b = h.access_data(0x108, false, 3).unwrap();
-        assert_eq!(a.complete_cycle, b.complete_cycle, "merged miss completes with the MSHR fill");
+        assert_eq!(
+            a.complete_cycle, b.complete_cycle,
+            "merged miss completes with the MSHR fill"
+        );
     }
 
     #[test]
@@ -364,7 +413,10 @@ mod tests {
 
     #[test]
     fn next_line_prefetch_pulls_in_the_following_block() {
-        let cfg = HierarchyConfig { next_line_prefetch: true, ..Default::default() };
+        let cfg = HierarchyConfig {
+            next_line_prefetch: true,
+            ..Default::default()
+        };
         let mut h = Hierarchy::new(cfg);
         let miss = h.access_data(0x8000, false, 0).unwrap();
         assert_eq!(miss.level, Level::Memory);

@@ -48,7 +48,13 @@ impl MshrFile {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR file needs at least one entry");
-        MshrFile { entries: Vec::with_capacity(capacity), capacity, merges: 0, allocations: 0, rejections: 0 }
+        MshrFile {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            merges: 0,
+            allocations: 0,
+            rejections: 0,
+        }
     }
 
     /// Requests a fill for `block`.
@@ -78,7 +84,11 @@ impl MshrFile {
     /// counts a merge. Used to route accesses to a block that is still being
     /// fetched into the pending miss instead of treating it as a hit.
     pub fn merge_inflight(&mut self, block: u64, now: u64) -> Option<u64> {
-        let fill = self.entries.iter().find(|e| e.block == block && e.fill_cycle > now)?.fill_cycle;
+        let fill = self
+            .entries
+            .iter()
+            .find(|e| e.block == block && e.fill_cycle > now)?
+            .fill_cycle;
         self.merges += 1;
         Some(fill)
     }

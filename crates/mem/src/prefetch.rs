@@ -64,7 +64,12 @@ impl StridePrefetcher {
         let idx = ((pc >> 2) as usize) & (self.table.len() - 1);
         let e = &mut self.table[idx];
         if e.state == 0 || e.tag != pc {
-            *e = StrideEntry { tag: pc, last_addr: addr, stride: 0, state: 1 };
+            *e = StrideEntry {
+                tag: pc,
+                last_addr: addr,
+                stride: 0,
+                state: 1,
+            };
             return None;
         }
         let stride = addr as i64 - e.last_addr as i64;
@@ -128,7 +133,11 @@ mod tests {
     fn zero_stride_does_not_prefetch() {
         let mut p = StridePrefetcher::new(16);
         for _ in 0..10 {
-            assert_eq!(p.observe(0x300, 0x4000), None, "same-address stream is not a stride");
+            assert_eq!(
+                p.observe(0x300, 0x4000),
+                None,
+                "same-address stream is not a stride"
+            );
         }
     }
 

@@ -34,8 +34,12 @@ impl RefCache {
             return true;
         }
         if ways.len() == self.assoc {
-            let lru =
-                ways.iter().enumerate().min_by_key(|(_, e)| e.1).map(|(i, _)| i).expect("full");
+            let lru = ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.1)
+                .map(|(i, _)| i)
+                .expect("full");
             ways.remove(lru);
         }
         ways.push((tag, self.tick));

@@ -1,0 +1,108 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors this minimal implementation of the proptest API surface
+//! the test suite uses: the [`Strategy`] trait with `prop_map`/`boxed`,
+//! range/tuple/`Just`/`any`/string-pattern/collection strategies, the
+//! `prop_oneof!` union, and the `proptest!`/`prop_assert!` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! - **No shrinking.** A failing case reports its generated inputs and
+//!   panics immediately.
+//! - **No regression persistence.** `.proptest-regressions` files are not
+//!   read or written; recorded cases worth keeping must be promoted to
+//!   explicit deterministic tests.
+//! - **Deterministic seeding.** Each test's stream is a pure function of its
+//!   fully-qualified name (XOR-combined with `PROPTEST_SEED` if set), so
+//!   failures reproduce exactly across runs. `PROPTEST_CASES` overrides the
+//!   per-test case count.
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Each generated test runs `ProptestConfig::cases` deterministic cases; a
+/// panic inside the body (including from `prop_assert!`) reports the
+/// offending inputs and re-raises.
+#[macro_export]
+macro_rules! proptest {
+    (@body ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let mut __rng =
+                $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let __vals =
+                    ( $( $crate::strategy::Strategy::generate(&($strat), &mut __rng) ),+ , );
+                let __repr = format!("{:?}", __vals);
+                let __outcome =
+                    ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(move || {
+                        let ( $($pat),+ , ) = __vals;
+                        $body
+                    }));
+                if let Err(__err) = __outcome {
+                    eprintln!(
+                        "proptest shim: case {}/{} of `{}` failed with inputs {}",
+                        __case + 1,
+                        __config.cases,
+                        stringify!($name),
+                        __repr
+                    );
+                    ::std::panic::resume_unwind(__err);
+                }
+            }
+        }
+    )*};
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@body ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@body ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Uniformly picks one of several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a proptest body (panics on failure; the shim
+/// does not shrink, so this is `assert!` plus input reporting by the runner).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}

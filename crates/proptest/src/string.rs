@@ -1,0 +1,139 @@
+//! String generation from a simplified regex subset.
+//!
+//! Supported syntax: literal characters, character classes `[a-z0-9_]`
+//! (ranges and singletons), `.` (lowercase letter), and the repetition
+//! suffixes `{m}`, `{m,n}`, `?`, `+`, `*` (unbounded forms capped at 8).
+//! This covers the patterns used in the test suite (e.g. `"[a-z]{1,8}"`);
+//! anything fancier should be generated with `prop_map` instead.
+
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+
+/// Generates one string matching `pattern` (within the supported subset).
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let class: Vec<char> = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut class = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (a, b) = (chars[i], chars[i + 2]);
+                        assert!(a <= b, "invalid class range {a}-{b} in pattern {pattern:?}");
+                        class.extend(a..=b);
+                        i += 3;
+                    } else {
+                        class.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+                i += 1; // consume ']'
+                class
+            }
+            '\\' if i + 1 < chars.len() => {
+                let c = chars[i + 1];
+                i += 2;
+                match c {
+                    'd' => ('0'..='9').collect(),
+                    'w' => ('a'..='z')
+                        .chain('A'..='Z')
+                        .chain('0'..='9')
+                        .chain(['_'])
+                        .collect(),
+                    other => vec![other],
+                }
+            }
+            '.' => {
+                i += 1;
+                ('a'..='z').collect()
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (lo, hi) = parse_repetition(&chars, &mut i, pattern);
+        let count = rng.gen_range(lo..=hi);
+        for _ in 0..count {
+            out.push(class[rng.gen_range(0..class.len())]);
+        }
+    }
+    out
+}
+
+/// Parses an optional repetition suffix at `*i`, returning `(min, max)`.
+fn parse_repetition(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated repetition in pattern {pattern:?}"));
+            let body: String = chars[*i + 1..*i + close].iter().collect();
+            *i += close + 1;
+            let parse = |s: &str| {
+                s.trim()
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| panic!("bad repetition bound in pattern {pattern:?}"))
+            };
+            match body.split_once(',') {
+                Some((lo, hi)) => (parse(lo), parse(hi)),
+                None => {
+                    let n = parse(&body);
+                    (n, n)
+                }
+            }
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 8)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn class_with_bounded_repetition() {
+        let mut rng = rng_for("string::class");
+        for _ in 0..500 {
+            let s = generate_from_pattern("[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()), "bad length: {s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn literals_and_digits() {
+        let mut rng = rng_for("string::literals");
+        let s = generate_from_pattern("id-\\d{3}", &mut rng);
+        assert_eq!(s.len(), 6);
+        assert!(s.starts_with("id-"));
+        assert!(s[3..].chars().all(|c| c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn optional_and_star() {
+        let mut rng = rng_for("string::rep");
+        for _ in 0..200 {
+            let s = generate_from_pattern("x?[0-1]*", &mut rng);
+            assert!(s.len() <= 9);
+        }
+    }
+}

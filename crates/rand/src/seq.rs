@@ -1,0 +1,19 @@
+//! Sequence-related extensions (the shim only provides
+//! [`SliceRandom::shuffle`]).
+
+use crate::RngCore;
+
+/// Extension trait for slices: in-place Fisher–Yates shuffle.
+pub trait SliceRandom {
+    /// Shuffles the slice in place, uniformly over permutations.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+}

@@ -26,7 +26,9 @@
 //!   branch prediction, ICOUNT, steering tables);
 //! * [`core`] — the cycle-level pipeline and the [`Simulation`] driver;
 //! * [`energy`] — the McPAT-style energy/area model;
-//! * [`stats`] — STP, weighted CDFs, and aggregation helpers.
+//! * [`stats`] — STP, weighted CDFs, and aggregation helpers;
+//! * [`analyze`] — static lints for kernel programs and core configs, plus
+//!   the feature-gated dynamic invariant sanitizer (`--features sanitize`).
 //!
 //! # Quickstart
 //!
@@ -42,6 +44,7 @@
 //! println!("IPC: {:.2}", result.ipc());
 //! ```
 
+pub use shelfsim_analyze as analyze;
 pub use shelfsim_core as core;
 pub use shelfsim_energy as energy;
 pub use shelfsim_isa as isa;
@@ -50,6 +53,7 @@ pub use shelfsim_stats as stats;
 pub use shelfsim_uarch as uarch;
 pub use shelfsim_workload as workload;
 
+pub use shelfsim_analyze::{Diagnostic, Report, Severity};
 pub use shelfsim_core::{
     Core, CoreConfig, Counters, MemoryModel, RunResult, Simulation, SteerPolicy, ThreadResult,
 };

@@ -123,7 +123,10 @@ impl WeightedCdf {
 
     /// The CDF evaluated at each length in `lengths`, for plotting.
     pub fn sample(&self, lengths: &[u64]) -> Vec<(u64, f64)> {
-        lengths.iter().map(|&l| (l, self.fraction_at_or_below(l))).collect()
+        lengths
+            .iter()
+            .map(|&l| (l, self.fraction_at_or_below(l)))
+            .collect()
     }
 }
 

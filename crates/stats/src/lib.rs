@@ -39,7 +39,10 @@ pub fn stp(single_thread_cpi: &[f64], multi_thread_cpi: &[f64]) -> f64 {
         multi_thread_cpi.len(),
         "per-thread CPI slices must be the same length"
     );
-    assert!(!single_thread_cpi.is_empty(), "at least one thread required");
+    assert!(
+        !single_thread_cpi.is_empty(),
+        "at least one thread required"
+    );
     single_thread_cpi
         .iter()
         .zip(multi_thread_cpi)

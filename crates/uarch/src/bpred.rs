@@ -106,7 +106,14 @@ impl BranchPredictor {
             pht: vec![1; 1 << config.pht_bits],
             bimodal: vec![1; 1 << config.pht_bits],
             chooser: vec![2; 1 << config.pht_bits],
-            btb: vec![BtbEntry { tag: 0, target: 0, valid: false }; 1 << config.btb_bits],
+            btb: vec![
+                BtbEntry {
+                    tag: 0,
+                    target: 0,
+                    valid: false
+                };
+                1 << config.btb_bits
+            ],
             ras: Vec::with_capacity(config.ras_depth),
             history: 0,
             tage: crate::tage::Tage::new(),
@@ -162,7 +169,15 @@ impl BranchPredictor {
             let e = &self.btb[self.btb_index(pc)];
             (e.valid && e.tag == pc).then_some(e.target)
         };
-        Prediction { taken, target, pht_index, bimodal_index, gshare_taken, bimodal_taken, tage: tage_info }
+        Prediction {
+            taken,
+            target,
+            pht_index,
+            bimodal_index,
+            gshare_taken,
+            bimodal_taken,
+            tage: tage_info,
+        }
     }
 
     /// Trains the predictor with the resolved outcome and returns whether
@@ -195,7 +210,10 @@ impl BranchPredictor {
         train(&mut self.bimodal[predicted.bimodal_index], taken);
         // Chooser: move toward whichever side was right (when they differ).
         if predicted.gshare_taken != predicted.bimodal_taken {
-            train(&mut self.chooser[predicted.bimodal_index], predicted.gshare_taken == taken);
+            train(
+                &mut self.chooser[predicted.bimodal_index],
+                predicted.gshare_taken == taken,
+            );
         }
         if self.config.kind == PredictorKind::Tage {
             self.tage.update(pc, predicted.tage, taken);
@@ -207,7 +225,11 @@ impl BranchPredictor {
         // Target training.
         if taken && !is_return {
             let bi = self.btb_index(pc);
-            self.btb[bi] = BtbEntry { tag: pc, target, valid: true };
+            self.btb[bi] = BtbEntry {
+                tag: pc,
+                target,
+                valid: true,
+            };
         }
         if is_call {
             if self.ras.len() == self.config.ras_depth {
@@ -259,7 +281,10 @@ mod tests {
         }
         // gshare must fill its global history (12 bits) before the PHT index
         // stabilizes, so allow roughly history-length cold mispredicts.
-        assert!(wrong <= 16, "should converge after history warm-up, got {wrong} mispredicts");
+        assert!(
+            wrong <= 16,
+            "should converge after history warm-up, got {wrong} mispredicts"
+        );
         // Once warm, the branch is predicted perfectly.
         let pred = p.predict(pc, false);
         assert!(pred.taken);

@@ -25,7 +25,7 @@ pub struct FreeList {
     ids: std::collections::VecDeque<u32>,
     base: u32,
     count: u32,
-    #[cfg(debug_assertions)]
+    #[cfg(any(debug_assertions, feature = "sanitize"))]
     outstanding: std::collections::HashSet<u32>,
 }
 
@@ -37,7 +37,7 @@ impl FreeList {
             ids: (base..base + count).collect(),
             base,
             count,
-            #[cfg(debug_assertions)]
+            #[cfg(any(debug_assertions, feature = "sanitize"))]
             outstanding: std::collections::HashSet::new(),
         }
     }
@@ -45,7 +45,7 @@ impl FreeList {
     /// Allocates the oldest free identifier, or `None` if exhausted.
     pub fn allocate(&mut self) -> Option<u32> {
         let id = self.ids.pop_front()?;
-        #[cfg(debug_assertions)]
+        #[cfg(any(debug_assertions, feature = "sanitize"))]
         self.outstanding.insert(id);
         Some(id)
     }
@@ -54,24 +54,39 @@ impl FreeList {
     ///
     /// # Panics
     ///
-    /// Panics if `id` is outside this list's range, or (in debug builds) if
-    /// `id` was not currently allocated — a double free, which in the real
-    /// design would corrupt the rename state.
+    /// Panics if `id` is outside this list's range, or (in debug builds and
+    /// under the `sanitize` feature) if `id` was not currently allocated — a
+    /// double free, which in the real design would corrupt the rename state.
     pub fn free(&mut self, id: u32) {
         assert!(
             id >= self.base && id < self.base + self.count,
-            "identifier {id} outside free-list range {}..{}",
+            "sanitizer: identifier {id} outside free-list range {}..{} \
+             (free of a foreign or fabricated token)",
             self.base,
             self.base + self.count
         );
-        #[cfg(debug_assertions)]
-        assert!(self.outstanding.remove(&id), "double free of identifier {id}");
+        #[cfg(any(debug_assertions, feature = "sanitize"))]
+        assert!(
+            self.outstanding.remove(&id),
+            "sanitizer: double free of identifier {id} \
+             ({} of {} ids outstanding, range {}..{})",
+            self.in_use(),
+            self.count,
+            self.base,
+            self.base + self.count
+        );
         self.ids.push_back(id);
     }
 
     /// Number of identifiers currently free.
     pub fn available(&self) -> usize {
         self.ids.len()
+    }
+
+    /// Number of identifiers currently allocated (the conserved-token count
+    /// the sanitizer audits against the pipeline's own accounting).
+    pub fn in_use(&self) -> usize {
+        self.count as usize - self.ids.len()
     }
 
     /// Returns `true` when nothing can be allocated.
@@ -135,7 +150,7 @@ mod tests {
         FreeList::new(10, 2).free(9);
     }
 
-    #[cfg(debug_assertions)]
+    #[cfg(any(debug_assertions, feature = "sanitize"))]
     #[test]
     #[should_panic(expected = "double free")]
     fn double_free_panics_in_debug() {
@@ -143,6 +158,31 @@ mod tests {
         let a = fl.allocate().unwrap();
         fl.free(a);
         fl.free(a);
+    }
+
+    /// The injected-fault check for the `sanitize` feature specifically:
+    /// `cargo test --release --features sanitize` must catch the double
+    /// free even though `debug_assertions` is off.
+    #[cfg(feature = "sanitize")]
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn sanitize_feature_catches_injected_double_free() {
+        let mut fl = FreeList::new(32, 4);
+        let a = fl.allocate().unwrap();
+        let _b = fl.allocate().unwrap();
+        fl.free(a);
+        fl.free(a);
+    }
+
+    #[test]
+    fn in_use_tracks_allocation_balance() {
+        let mut fl = FreeList::new(0, 3);
+        assert_eq!(fl.in_use(), 0);
+        let a = fl.allocate().unwrap();
+        let _b = fl.allocate().unwrap();
+        assert_eq!(fl.in_use(), 2);
+        fl.free(a);
+        assert_eq!(fl.in_use(), 1);
     }
 
     #[test]

@@ -33,7 +33,11 @@ impl Icount {
     ///
     /// Panics if the slices differ in length.
     pub fn select(&mut self, counts: &[usize], eligible: &[bool]) -> Option<usize> {
-        assert_eq!(counts.len(), eligible.len(), "counts and eligibility must align");
+        assert_eq!(
+            counts.len(),
+            eligible.len(),
+            "counts and eligibility must align"
+        );
         let n = counts.len();
         let mut best: Option<usize> = None;
         for off in 1..=n {

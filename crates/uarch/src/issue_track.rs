@@ -65,7 +65,10 @@ impl IssueTracker {
     /// Panics if `idx` has not been dispatched or has already been passed by
     /// the head pointer.
     pub fn issue(&mut self, idx: u64) {
-        assert!(idx >= self.head && idx < self.next, "issue of untracked ROB index {idx}");
+        assert!(
+            idx >= self.head && idx < self.next,
+            "issue of untracked ROB index {idx}"
+        );
         let off = (idx - self.head) as usize;
         debug_assert!(!self.window[off], "double issue of ROB index {idx}");
         self.window[off] = true;

@@ -45,5 +45,5 @@ pub use rct::ReadyCycleTable;
 pub use rename::{Mapping, PhysReg, RenameTable, Tag};
 pub use scoreboard::Scoreboard;
 pub use ssr::SsrPair;
-pub use tage::{Tage, TageInfo};
 pub use store_sets::StoreSets;
+pub use tage::{Tage, TageInfo};

@@ -32,7 +32,12 @@ impl ParentLoadsTable {
     /// Panics unless `1 <= columns <= 8`.
     pub fn new(columns: u32) -> Self {
         assert!((1..=8).contains(&columns), "column count must be 1..=8");
-        ParentLoadsTable { rows: [0; NUM_ARCH_REGS], allocated: 0, stalled: 0, num_columns: columns }
+        ParentLoadsTable {
+            rows: [0; NUM_ARCH_REGS],
+            allocated: 0,
+            stalled: 0,
+            num_columns: columns,
+        }
     }
 
     /// Tries to assign a free column to a newly steered load writing `dest`.
@@ -41,12 +46,10 @@ impl ParentLoadsTable {
     /// simply goes unsampled — the paper notes sampling is sufficient). The
     /// destination row is set to the load's own column OR'd with its
     /// operands' parents, since the load itself may depend on earlier loads.
-    pub fn sample_load(
-        &mut self,
-        dest: shelfsim_isa::ArchReg,
-        operand_mask: u8,
-    ) -> Option<u8> {
-        let free = (0..self.num_columns).map(|c| 1u8 << c).find(|bit| self.allocated & bit == 0)?;
+    pub fn sample_load(&mut self, dest: shelfsim_isa::ArchReg, operand_mask: u8) -> Option<u8> {
+        let free = (0..self.num_columns)
+            .map(|c| 1u8 << c)
+            .find(|bit| self.allocated & bit == 0)?;
         self.allocated |= free;
         self.rows[dest.index()] = free | operand_mask;
         Some(free)
@@ -110,7 +113,10 @@ mod tests {
         let a = plt.sample_load(ArchReg::int(1), 0).unwrap();
         let b = plt.sample_load(ArchReg::int(2), 0).unwrap();
         assert_ne!(a, b);
-        assert!(plt.sample_load(ArchReg::int(3), 0).is_none(), "only 2 columns");
+        assert!(
+            plt.sample_load(ArchReg::int(3), 0).is_none(),
+            "only 2 columns"
+        );
         assert_eq!(plt.columns_in_use(), 2);
     }
 
@@ -147,7 +153,10 @@ mod tests {
         assert!(!plt.frozen(ArchReg::int(1).index()));
         assert_eq!(plt.stalled_mask(), 0);
         assert_eq!(plt.mask(ArchReg::int(1)), 0);
-        assert!(plt.sample_load(ArchReg::int(5), 0).is_some(), "column reusable");
+        assert!(
+            plt.sample_load(ArchReg::int(5), 0).is_some(),
+            "column reusable"
+        );
     }
 
     #[test]
@@ -155,7 +164,9 @@ mod tests {
         let mut plt = ParentLoadsTable::new(4);
         let c1 = plt.sample_load(ArchReg::int(1), 0).unwrap();
         // Pointer chase: second load's address depends on the first load.
-        let c2 = plt.sample_load(ArchReg::int(2), plt.mask(ArchReg::int(1))).unwrap();
+        let c2 = plt
+            .sample_load(ArchReg::int(2), plt.mask(ArchReg::int(1)))
+            .unwrap();
         assert_eq!(plt.mask(ArchReg::int(2)), c1 | c2);
     }
 

@@ -60,7 +60,11 @@ impl<T> OrderedQueue<T> {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
-        OrderedQueue { items: VecDeque::with_capacity(capacity), capacity, next_index: 0 }
+        OrderedQueue {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            next_index: 0,
+        }
     }
 
     /// Pushes `item` at the tail, returning its permanent index.
@@ -181,13 +185,19 @@ impl<T> OrderedQueue<T> {
     /// Iterates oldest-first over `(index, entry)` pairs.
     pub fn iter(&self) -> impl DoubleEndedIterator<Item = (u64, &T)> {
         let head = self.next_index - self.items.len() as u64;
-        self.items.iter().enumerate().map(move |(i, t)| (head + i as u64, t))
+        self.items
+            .iter()
+            .enumerate()
+            .map(move |(i, t)| (head + i as u64, t))
     }
 
     /// Iterates oldest-first over `(index, entry)` with mutable entries.
     pub fn iter_mut(&mut self) -> impl DoubleEndedIterator<Item = (u64, &mut T)> {
         let head = self.next_index - self.items.len() as u64;
-        self.items.iter_mut().enumerate().map(move |(i, t)| (head + i as u64, t))
+        self.items
+            .iter_mut()
+            .enumerate()
+            .map(move |(i, t)| (head + i as u64, t))
     }
 }
 

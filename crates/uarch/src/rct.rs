@@ -27,7 +27,10 @@ impl ReadyCycleTable {
     /// Panics unless `1 <= bits <= 8`.
     pub fn new(bits: u32) -> Self {
         assert!((1..=8).contains(&bits), "counter width must be 1..=8 bits");
-        ReadyCycleTable { counters: [0; NUM_ARCH_REGS], max: ((1u16 << bits) - 1) as u8 }
+        ReadyCycleTable {
+            counters: [0; NUM_ARCH_REGS],
+            max: ((1u16 << bits) - 1) as u8,
+        }
     }
 
     /// Predicted cycles until register `reg` is ready.

@@ -118,7 +118,10 @@ mod tests {
     use shelfsim_isa::ArchReg;
 
     fn identity() -> RenameTable {
-        RenameTable::new(|i| Mapping { pri: PhysReg(i as u32), tag: Tag(i as u32) })
+        RenameTable::new(|i| Mapping {
+            pri: PhysReg(i as u32),
+            tag: Tag(i as u32),
+        })
     }
 
     #[test]
@@ -133,7 +136,13 @@ mod tests {
     fn set_returns_previous_mapping() {
         let mut rat = identity();
         let r = ArchReg::int(3);
-        let prev = rat.set(r, Mapping { pri: PhysReg(70), tag: Tag(70) });
+        let prev = rat.set(
+            r,
+            Mapping {
+                pri: PhysReg(70),
+                tag: Tag(70),
+            },
+        );
         assert_eq!(prev.pri, PhysReg(3));
         assert_eq!(rat.get(r).pri, PhysReg(70));
     }
@@ -141,9 +150,15 @@ mod tests {
     #[test]
     fn extension_tag_detection() {
         // A shelf write keeps the PRI but installs an extension tag.
-        let m = Mapping { pri: PhysReg(5), tag: Tag(200) };
+        let m = Mapping {
+            pri: PhysReg(5),
+            tag: Tag(200),
+        };
         assert!(m.tag_is_extended());
-        let m2 = Mapping { pri: PhysReg(5), tag: Tag(5) };
+        let m2 = Mapping {
+            pri: PhysReg(5),
+            tag: Tag(5),
+        };
         assert!(!m2.tag_is_extended());
     }
 
@@ -153,9 +168,27 @@ mod tests {
         let r = ArchReg::fp(0);
         let before = rat.get(r);
         // Three nested renames, then restore in reverse order.
-        let p1 = rat.set(r, Mapping { pri: PhysReg(80), tag: Tag(80) });
-        let p2 = rat.set(r, Mapping { pri: PhysReg(80), tag: Tag(130) });
-        let p3 = rat.set(r, Mapping { pri: PhysReg(81), tag: Tag(81) });
+        let p1 = rat.set(
+            r,
+            Mapping {
+                pri: PhysReg(80),
+                tag: Tag(80),
+            },
+        );
+        let p2 = rat.set(
+            r,
+            Mapping {
+                pri: PhysReg(80),
+                tag: Tag(130),
+            },
+        );
+        let p3 = rat.set(
+            r,
+            Mapping {
+                pri: PhysReg(81),
+                tag: Tag(81),
+            },
+        );
         rat.set(r, p3);
         rat.set(r, p2);
         rat.set(r, p1);

@@ -27,7 +27,9 @@ impl Scoreboard {
     /// Creates a scoreboard for `num_tags` tags, all ready at cycle 0
     /// (architectural state is ready before execution starts).
     pub fn new(num_tags: usize) -> Self {
-        Scoreboard { ready_at: vec![0; num_tags] }
+        Scoreboard {
+            ready_at: vec![0; num_tags],
+        }
     }
 
     /// Marks `tag` pending: a producer is in flight with unknown completion.

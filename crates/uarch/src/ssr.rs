@@ -45,7 +45,11 @@ impl SsrPair {
     /// Creates a zeroed pair. With `single == true`, both roles share one
     /// register (the ablation variant).
     pub fn new(single: bool) -> Self {
-        SsrPair { iq: 0, shelf: 0, single }
+        SsrPair {
+            iq: 0,
+            shelf: 0,
+            single,
+        }
     }
 
     /// One-cycle decay: both registers shift right (saturating decrement).

@@ -35,7 +35,10 @@ impl StoreSets {
     ///
     /// Panics if `ssit_entries` is not a power of two or `sets` is zero.
     pub fn new(ssit_entries: usize, sets: usize) -> Self {
-        assert!(ssit_entries.is_power_of_two(), "SSIT size must be a power of two");
+        assert!(
+            ssit_entries.is_power_of_two(),
+            "SSIT size must be a power of two"
+        );
         assert!(sets > 0, "need at least one store set");
         StoreSets {
             ssit: vec![INVALID_SET; ssit_entries],
@@ -160,7 +163,11 @@ mod tests {
         ss.train_violation(0x100, 0x400);
         ss.store_dispatched(0x100, 42);
         assert_eq!(ss.load_dependence(0x400), Some(42));
-        assert_eq!(ss.load_dependence(0x200), Some(42), "0x200 was already in the winning set");
+        assert_eq!(
+            ss.load_dependence(0x200),
+            Some(42),
+            "0x200 was already in the winning set"
+        );
         // 0x300 remains in its original set, untouched by the merge.
         ss.store_dispatched(0x300, 50);
         assert_eq!(ss.load_dependence(0x400), Some(42));

@@ -57,7 +57,11 @@ impl Default for Tage {
 
 fn fold(pc: u64, history: u64, hist_len: u32, bits: u32) -> u64 {
     // Fold the (masked) history and PC into `bits` bits.
-    let mask = if hist_len >= 64 { u64::MAX } else { (1u64 << hist_len) - 1 };
+    let mask = if hist_len >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << hist_len) - 1
+    };
     let mut h = history & mask;
     let mut folded = pc >> 2;
     while h != 0 {
@@ -88,7 +92,12 @@ impl Tage {
 
     fn tag(pc: u64, history: u64, table: usize) -> u16 {
         // A different fold (rotated pc) so tags decorrelate from indices.
-        fold(pc.rotate_left(7), history ^ 0x9E37, HIST_LENGTHS[table], TAG_BITS) as u16
+        fold(
+            pc.rotate_left(7),
+            history ^ 0x9E37,
+            HIST_LENGTHS[table],
+            TAG_BITS,
+        ) as u16
     }
 
     /// Predicts the branch at `pc`, returning the direction and the
@@ -109,7 +118,15 @@ impl Tage {
         }
         // The longest match wins; iterate found longer matches last, so the
         // final provider holds the longest history. (alt is the previous.)
-        (provider_taken, TageInfo { history, provider, provider_taken, alt_taken })
+        (
+            provider_taken,
+            TageInfo {
+                history,
+                provider,
+                provider_taken,
+                alt_taken,
+            },
+        )
     }
 
     /// Trains the predictor with the resolved direction.
@@ -131,7 +148,11 @@ impl Tage {
             let t = info.provider as usize;
             let e = &mut self.tables[t][Self::index(pc, info.history, t)];
             if e.tag == Self::tag(pc, info.history, t) {
-                e.ctr = if taken { (e.ctr + 1).min(3) } else { (e.ctr - 1).max(-4) };
+                e.ctr = if taken {
+                    (e.ctr + 1).min(3)
+                } else {
+                    (e.ctr - 1).max(-4)
+                };
                 // Usefulness: provider differed from alt and was right/wrong.
                 if info.provider_taken != info.alt_taken {
                     if info.provider_taken == taken {
@@ -199,7 +220,10 @@ mod tests {
             t.update(pc, info, taken);
         }
         // Last ~1000 instances contain ~41 exits; TAGE should catch most.
-        assert!(wrong_late <= 15, "TAGE should learn the period, got {wrong_late} wrong");
+        assert!(
+            wrong_late <= 15,
+            "TAGE should learn the period, got {wrong_late} wrong"
+        );
     }
 
     #[test]

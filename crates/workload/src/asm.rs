@@ -34,6 +34,10 @@
 use crate::program::{AccessPattern, Block, Program, Region, StaticInst, Terminator};
 use shelfsim_isa::{ArchReg, OpClass};
 
+/// Map from instruction PC to the 1-based source line it was assembled
+/// from. Implicit fall-through branches have no source line and are absent.
+pub type PcLineMap = std::collections::HashMap<u64, usize>;
+
 /// A parse error with line number and message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AsmError {
@@ -52,7 +56,10 @@ impl std::fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn err(line: usize, message: impl Into<String>) -> AsmError {
-    AsmError { line, message: message.into() }
+    AsmError {
+        line,
+        message: message.into(),
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -72,16 +79,29 @@ struct BodyOp {
 
 #[derive(Clone, Debug)]
 enum ControlOp {
-    Beq { cond: ArchReg, target: String, prob: f64 },
-    Loop { target: String, trips: u32 },
-    Jmp { target: String },
-    Call { target: String },
+    Beq {
+        cond: ArchReg,
+        target: String,
+        prob: f64,
+    },
+    Loop {
+        target: String,
+        trips: u32,
+    },
+    Jmp {
+        target: String,
+    },
+    Call {
+        target: String,
+    },
     Ret,
 }
 
 fn parse_reg(tok: &str, line: usize) -> Result<ArchReg, AsmError> {
     let (kind, num) = tok.split_at(1);
-    let n: u8 = num.parse().map_err(|_| err(line, format!("bad register `{tok}`")))?;
+    let n: u8 = num
+        .parse()
+        .map_err(|_| err(line, format!("bad register `{tok}`")))?;
     match kind {
         "r" if n < 32 => Ok(ArchReg::int(n)),
         "f" if n < 32 => Ok(ArchReg::fp(n)),
@@ -105,7 +125,9 @@ fn parse_access(attrs: &[&str], line: usize) -> Result<AccessPattern, AsmError> 
     let mut chase = false;
     for a in attrs {
         if let Some(v) = a.strip_prefix("stride=") {
-            stride = v.parse().map_err(|_| err(line, format!("bad stride `{v}`")))?;
+            stride = v
+                .parse()
+                .map_err(|_| err(line, format!("bad stride `{v}`")))?;
         } else if let Some(v) = a.strip_prefix("region=") {
             region = parse_region(v, line)?;
         } else if *a == "chase" {
@@ -142,11 +164,17 @@ fn parse_line(raw: &str, line: usize) -> Result<Vec<Stmt>, AsmError> {
     let mut parts = rest.split_whitespace();
     let mnemonic = parts.next().expect("non-empty");
     let operand_text: String = parts.collect::<Vec<_>>().join(" ");
-    let operands: Vec<&str> =
-        operand_text.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let operands: Vec<&str> = operand_text
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
 
     let body = |op: OpClass, dest: bool, ops: &[&str]| -> Result<Stmt, AsmError> {
-        let mut regs = ops.iter().map(|t| parse_reg(t, line)).collect::<Result<Vec<_>, _>>()?;
+        let mut regs = ops
+            .iter()
+            .map(|t| parse_reg(t, line))
+            .collect::<Result<Vec<_>, _>>()?;
         if regs.is_empty() {
             return Err(err(line, format!("`{mnemonic}` needs operands")));
         }
@@ -154,7 +182,12 @@ fn parse_line(raw: &str, line: usize) -> Result<Vec<Stmt>, AsmError> {
         if regs.len() > 2 {
             return Err(err(line, "at most two source registers"));
         }
-        Ok(Stmt::Body(BodyOp { op, dest: d, srcs: regs, access: None }))
+        Ok(Stmt::Body(BodyOp {
+            op,
+            dest: d,
+            srcs: regs,
+            access: None,
+        }))
     };
 
     let stmt = match mnemonic {
@@ -216,7 +249,9 @@ fn parse_line(raw: &str, line: usize) -> Result<Vec<Stmt>, AsmError> {
             let mut prob = 0.5;
             for a in &operands[2..] {
                 if let Some(v) = a.strip_prefix("p=") {
-                    prob = v.parse().map_err(|_| err(line, format!("bad probability `{v}`")))?;
+                    prob = v
+                        .parse()
+                        .map_err(|_| err(line, format!("bad probability `{v}`")))?;
                     if !(0.0..=1.0).contains(&prob) {
                         return Err(err(line, "probability must be in [0, 1]"));
                     }
@@ -234,7 +269,9 @@ fn parse_line(raw: &str, line: usize) -> Result<Vec<Stmt>, AsmError> {
             let mut trips = 10u32;
             for a in &operands[1..] {
                 if let Some(v) = a.strip_prefix("trips=") {
-                    trips = v.parse().map_err(|_| err(line, format!("bad trip count `{v}`")))?;
+                    trips = v
+                        .parse()
+                        .map_err(|_| err(line, format!("bad trip count `{v}`")))?;
                     if trips < 2 {
                         return Err(err(line, "trips must be at least 2"));
                     }
@@ -245,13 +282,17 @@ fn parse_line(raw: &str, line: usize) -> Result<Vec<Stmt>, AsmError> {
             Stmt::Control(ControlOp::Loop { target, trips })
         }
         "jmp" => {
-            let target =
-                operands.first().ok_or_else(|| err(line, "jmp label"))?.to_string();
+            let target = operands
+                .first()
+                .ok_or_else(|| err(line, "jmp label"))?
+                .to_string();
             Stmt::Control(ControlOp::Jmp { target })
         }
         "call" => {
-            let target =
-                operands.first().ok_or_else(|| err(line, "call label"))?.to_string();
+            let target = operands
+                .first()
+                .ok_or_else(|| err(line, "call label"))?
+                .to_string();
             Stmt::Control(ControlOp::Call { target })
         }
         "ret" => Stmt::Control(ControlOp::Ret),
@@ -279,6 +320,13 @@ fn parse_line(raw: &str, line: usize) -> Result<Vec<Stmt>, AsmError> {
 /// assert_eq!(program.blocks.len(), 1);
 /// ```
 pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    assemble_with_lines(source).map(|(p, _)| p)
+}
+
+/// Like [`assemble`], but also returns a [`PcLineMap`] locating each
+/// instruction's source line — the span information `shelfsim-analyze`
+/// attaches to lint diagnostics.
+pub fn assemble_with_lines(source: &str) -> Result<(Program, PcLineMap), AsmError> {
     // Pass 1: flatten into labeled groups of (body ops, control op).
     let mut stmts: Vec<(usize, Stmt)> = Vec::new();
     for (i, raw) in source.lines().enumerate() {
@@ -293,10 +341,14 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
     // Pass 2: split into blocks at labels and after control ops.
     struct ProtoBlock {
         label: Option<String>,
-        body: Vec<BodyOp>,
+        body: Vec<(usize, BodyOp)>,
         control: Option<(usize, ControlOp)>,
     }
-    let mut protos: Vec<ProtoBlock> = vec![ProtoBlock { label: None, body: vec![], control: None }];
+    let mut protos: Vec<ProtoBlock> = vec![ProtoBlock {
+        label: None,
+        body: vec![],
+        control: None,
+    }];
     for (line, stmt) in stmts {
         let open = protos.last_mut().expect("at least one proto");
         match stmt {
@@ -304,19 +356,31 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                 if open.body.is_empty() && open.control.is_none() && open.label.is_none() {
                     open.label = Some(l);
                 } else {
-                    protos.push(ProtoBlock { label: Some(l), body: vec![], control: None });
+                    protos.push(ProtoBlock {
+                        label: Some(l),
+                        body: vec![],
+                        control: None,
+                    });
                 }
             }
             Stmt::Body(b) => {
                 if open.control.is_some() {
-                    protos.push(ProtoBlock { label: None, body: vec![b], control: None });
+                    protos.push(ProtoBlock {
+                        label: None,
+                        body: vec![(line, b)],
+                        control: None,
+                    });
                 } else {
-                    open.body.push(b);
+                    open.body.push((line, b));
                 }
             }
             Stmt::Control(c) => {
                 if open.control.is_some() {
-                    protos.push(ProtoBlock { label: None, body: vec![], control: Some((line, c)) });
+                    protos.push(ProtoBlock {
+                        label: None,
+                        body: vec![],
+                        control: Some((line, c)),
+                    });
                 } else {
                     open.control = Some((line, c));
                 }
@@ -350,12 +414,13 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
     const CODE_BASE: u64 = 0x40_0000;
     let n = protos.len();
     let mut blocks = Vec::with_capacity(n);
+    let mut lines = PcLineMap::new();
     let mut next_pc = CODE_BASE;
     let mut next_static = 0u32;
     for (i, p) in protos.iter().enumerate() {
         let start_pc = next_pc;
         let mut body = Vec::with_capacity(p.body.len());
-        for b in &p.body {
+        for (line, b) in &p.body {
             let mut srcs = [None, None];
             for (slot, &r) in srcs.iter_mut().zip(&b.srcs) {
                 *slot = Some(r);
@@ -368,25 +433,45 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                 srcs,
                 access: b.access,
             });
+            lines.insert(next_pc, *line);
             next_static += 1;
             next_pc += 4;
         }
         let (terminator, cond) = match &p.control {
-            Some((line, ControlOp::Beq { cond, target, prob })) => {
-                (Terminator::Cond { target: resolve(target, *line)?, taken_prob: *prob }, Some(*cond))
-            }
-            Some((line, ControlOp::Loop { target, trips })) => {
-                (Terminator::Loop { target: resolve(target, *line)?, trip_mean: *trips }, None)
-            }
-            Some((line, ControlOp::Jmp { target })) => {
-                (Terminator::Jump { target: resolve(target, *line)? }, None)
-            }
-            Some((line, ControlOp::Call { target })) => {
-                (Terminator::Call { callee: resolve(target, *line)? }, None)
-            }
+            Some((line, ControlOp::Beq { cond, target, prob })) => (
+                Terminator::Cond {
+                    target: resolve(target, *line)?,
+                    taken_prob: *prob,
+                },
+                Some(*cond),
+            ),
+            Some((line, ControlOp::Loop { target, trips })) => (
+                Terminator::Loop {
+                    target: resolve(target, *line)?,
+                    trip_mean: *trips,
+                },
+                None,
+            ),
+            Some((line, ControlOp::Jmp { target })) => (
+                Terminator::Jump {
+                    target: resolve(target, *line)?,
+                },
+                None,
+            ),
+            Some((line, ControlOp::Call { target })) => (
+                Terminator::Call {
+                    callee: resolve(target, *line)?,
+                },
+                None,
+            ),
             Some((_, ControlOp::Ret)) => (Terminator::Ret, None),
             // Implicit fallthrough: jump to the next block (or wrap to 0).
-            None => (Terminator::Jump { target: if i + 1 < n { i + 1 } else { 0 } }, None),
+            None => (
+                Terminator::Jump {
+                    target: if i + 1 < n { i + 1 } else { 0 },
+                },
+                None,
+            ),
         };
         let branch_inst = StaticInst {
             static_id: next_static,
@@ -396,18 +481,27 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             srcs: [cond, None],
             access: None,
         };
+        if let Some((line, _)) = &p.control {
+            lines.insert(next_pc, *line);
+        }
         next_static += 1;
         next_pc += 4;
-        blocks.push(Block { body, terminator, branch_inst, start_pc });
+        blocks.push(Block {
+            body,
+            terminator,
+            branch_inst,
+            start_pc,
+        });
     }
 
-    Ok(Program {
+    let program = Program {
         name: "asm-kernel",
         blocks,
         main_blocks: n,
         num_statics: next_static,
         seed: 0,
-    })
+    };
+    Ok((program, lines))
 }
 
 /// Disassembles a [`Program`] back into DSL text.
@@ -497,7 +591,9 @@ pub fn disassemble(program: &Program) -> String {
                 writeln!(out, "  loop b{target}, trips={trip_mean}").expect("write")
             }
             Terminator::Cond { target, taken_prob } => {
-                let cond = b.branch_inst.srcs[0].map(reg).unwrap_or_else(|| "r0".to_owned());
+                let cond = b.branch_inst.srcs[0]
+                    .map(reg)
+                    .unwrap_or_else(|| "r0".to_owned());
                 writeln!(out, "  beq {cond}, b{target}, p={taken_prob}").expect("write")
             }
             Terminator::Jump { target } => writeln!(out, "  jmp b{target}").expect("write"),
@@ -526,7 +622,13 @@ mod tests {
         let p = assemble("top:\n add r8, r8\n loop top, trips=20\n").unwrap();
         assert_eq!(p.blocks.len(), 1);
         assert_eq!(p.blocks[0].body.len(), 1);
-        assert!(matches!(p.blocks[0].terminator, Terminator::Loop { target: 0, trip_mean: 20 }));
+        assert!(matches!(
+            p.blocks[0].terminator,
+            Terminator::Loop {
+                target: 0,
+                trip_mean: 20
+            }
+        ));
     }
 
     #[test]
@@ -534,8 +636,14 @@ mod tests {
         let src = "a:\n add r8, r8\n jmp b\nb:\n mul r9, r8\n jmp a\n";
         let p = assemble(src).unwrap();
         assert_eq!(p.blocks.len(), 2);
-        assert!(matches!(p.blocks[0].terminator, Terminator::Jump { target: 1 }));
-        assert!(matches!(p.blocks[1].terminator, Terminator::Jump { target: 0 }));
+        assert!(matches!(
+            p.blocks[0].terminator,
+            Terminator::Jump { target: 1 }
+        ));
+        assert!(matches!(
+            p.blocks[1].terminator,
+            Terminator::Jump { target: 0 }
+        ));
     }
 
     #[test]
@@ -546,23 +654,43 @@ mod tests {
         let b = &p.blocks[0].body;
         assert_eq!(
             b[0].access,
-            Some(AccessPattern::Strided { region: Region::L2, stride: 64 })
+            Some(AccessPattern::Strided {
+                region: Region::L2,
+                stride: 64
+            })
         );
-        assert_eq!(b[1].access, Some(AccessPattern::Strided { region: Region::Mem, stride: 8 }));
-        assert_eq!(b[2].access, Some(AccessPattern::PointerChase { region: Region::Mem }));
+        assert_eq!(
+            b[1].access,
+            Some(AccessPattern::Strided {
+                region: Region::Mem,
+                stride: 8
+            })
+        );
+        assert_eq!(
+            b[2].access,
+            Some(AccessPattern::PointerChase {
+                region: Region::Mem
+            })
+        );
     }
 
     #[test]
     fn implicit_fallthrough_wraps() {
         let p = assemble("add r8, r8\n").unwrap();
-        assert!(matches!(p.blocks[0].terminator, Terminator::Jump { target: 0 }));
+        assert!(matches!(
+            p.blocks[0].terminator,
+            Terminator::Jump { target: 0 }
+        ));
     }
 
     #[test]
     fn calls_and_returns() {
         let src = "main:\n call fn1\n jmp main\nfn1:\n fadd f8, f0\n ret\n";
         let p = assemble(src).unwrap();
-        assert!(matches!(p.blocks[0].terminator, Terminator::Call { callee: 2 }));
+        assert!(matches!(
+            p.blocks[0].terminator,
+            Terminator::Call { callee: 2 }
+        ));
         assert!(matches!(p.blocks[2].terminator, Terminator::Ret));
     }
 
@@ -628,6 +756,19 @@ mod tests {
         let text = disassemble(&p1);
         let p2 = assemble(&text).unwrap();
         assert_eq!(p1.blocks, p2.blocks, "round trip changed blocks:\n{text}");
+    }
+
+    #[test]
+    fn line_map_locates_every_explicit_instruction() {
+        let src = "top:\n  add r8, r8\n\n  load r9, [r0], region=l1\n  loop top, trips=50\n";
+        let (p, lines) = assemble_with_lines(src).unwrap();
+        let body = &p.blocks[0].body;
+        assert_eq!(lines.get(&body[0].pc), Some(&2));
+        assert_eq!(lines.get(&body[1].pc), Some(&4));
+        assert_eq!(lines.get(&p.blocks[0].branch_inst.pc), Some(&5));
+        // Implicit fall-through branches have no source line.
+        let (p, lines) = assemble_with_lines("a:\n add r8, r8\nb:\n add r9, r9\n jmp a\n").unwrap();
+        assert!(!lines.contains_key(&p.blocks[0].branch_inst.pc));
     }
 
     #[test]

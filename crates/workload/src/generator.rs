@@ -114,10 +114,18 @@ impl TraceSource {
     /// Fetches the next dynamic instruction (replaying after a rewind).
     pub fn fetch(&mut self) -> (u64, DynInst) {
         if let Some(seq) = self.cursor {
-            let front = self.buffer.front().expect("replay cursor points into buffer").0;
+            let front = self
+                .buffer
+                .front()
+                .expect("replay cursor points into buffer")
+                .0;
             let inst = self.buffer[(seq - front) as usize].1;
             let next = seq + 1;
-            self.cursor = if next == self.next_seq { None } else { Some(next) };
+            self.cursor = if next == self.next_seq {
+                None
+            } else {
+                Some(next)
+            };
             return (seq, inst);
         }
         let inst = self.generate();
@@ -137,9 +145,19 @@ impl TraceSource {
     /// Panics if `seq` has fallen out of the replay window or has not been
     /// fetched yet.
     pub fn rewind_to(&mut self, seq: u64) {
-        assert!(seq < self.next_seq, "cannot rewind to the future (seq {seq})");
-        let front = self.buffer.front().map(|&(s, _)| s).expect("non-empty replay buffer");
-        assert!(seq >= front, "seq {seq} fell out of the replay window (oldest {front})");
+        assert!(
+            seq < self.next_seq,
+            "cannot rewind to the future (seq {seq})"
+        );
+        let front = self
+            .buffer
+            .front()
+            .map(|&(s, _)| s)
+            .expect("non-empty replay buffer");
+        assert!(
+            seq >= front,
+            "seq {seq} fell out of the replay window (oldest {front})"
+        );
         self.cursor = Some(seq);
     }
 
@@ -148,7 +166,9 @@ impl TraceSource {
         if self.slot < block.body.len() {
             let s = block.body[self.slot];
             self.slot += 1;
-            let mem = s.access.map(|a| MemInfo::new(self.materialize(a, s.static_id), 8));
+            let mem = s
+                .access
+                .map(|a| MemInfo::new(self.materialize(a, s.static_id), 8));
             return DynInst {
                 pc: s.pc + self.thread_base,
                 op: s.op,
@@ -164,13 +184,16 @@ impl TraceSource {
         let term = block.terminator;
         // Fall-through of the last block wraps to block 0 (hand-written
         // kernels may end in a conditional).
-        let fallthrough = if b + 1 < self.program.blocks.len() { b + 1 } else { 0 };
+        let fallthrough = if b + 1 < self.program.blocks.len() {
+            b + 1
+        } else {
+            0
+        };
         let (taken, next, is_call, is_return) = match term {
             Terminator::Loop { target, trip_mean } => {
                 let rng = &mut self.rng;
-                let rem = self.loop_remaining[b].get_or_insert_with(|| {
-                    trip_mean / 2 + rng.gen_range(0..trip_mean.max(1))
-                });
+                let rem = self.loop_remaining[b]
+                    .get_or_insert_with(|| trip_mean / 2 + rng.gen_range(0..trip_mean.max(1)));
                 if *rem > 0 {
                     *rem -= 1;
                     (true, target, false, false)
@@ -205,7 +228,12 @@ impl TraceSource {
             dest: None,
             srcs: s.srcs,
             mem: None,
-            branch: Some(BranchInfo { taken, next_pc, is_call, is_return }),
+            branch: Some(BranchInfo {
+                taken,
+                next_pc,
+                is_call,
+                is_return,
+            }),
         }
     }
 
@@ -341,8 +369,14 @@ mod tests {
         let sf = stores as f64 / n as f64;
         let bf = branches as f64 / n as f64;
         assert!((lf - profile.frac_load).abs() < 0.08, "load fraction {lf}");
-        assert!((sf - profile.frac_store).abs() < 0.06, "store fraction {sf}");
-        assert!((bf - profile.frac_branch).abs() < 0.08, "branch fraction {bf}");
+        assert!(
+            (sf - profile.frac_store).abs() < 0.06,
+            "store fraction {sf}"
+        );
+        assert!(
+            (bf - profile.frac_branch).abs() < 0.08,
+            "branch fraction {bf}"
+        );
     }
 
     #[test]

@@ -187,13 +187,15 @@ mod tests {
     fn chase_kernels_differ_in_parallelism() {
         // chase2 has two independent chains — the trace must show two
         // distinct self-dependent chase registers.
-        let p = by_name("chase2").expect("exists").assemble().expect("valid");
+        let p = by_name("chase2")
+            .expect("exists")
+            .assemble()
+            .expect("valid");
         let chases: Vec<_> = p.blocks[0]
             .body
             .iter()
             .filter(|i| {
-                i.op == shelfsim_isa::OpClass::Load
-                    && i.srcs[0] == i.dest.map(Some).unwrap_or(None)
+                i.op == shelfsim_isa::OpClass::Load && i.srcs[0] == i.dest.map(Some).unwrap_or(None)
             })
             .collect();
         assert_eq!(chases.len(), 2);
@@ -202,7 +204,10 @@ mod tests {
 
     #[test]
     fn branchy_kernel_branches_unpredictably() {
-        let p = by_name("branchy").expect("exists").assemble().expect("valid");
+        let p = by_name("branchy")
+            .expect("exists")
+            .assemble()
+            .expect("valid");
         let has_hard_branch = p.blocks.iter().any(|b| {
             matches!(
                 b.terminator,

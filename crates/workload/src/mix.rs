@@ -48,7 +48,10 @@ pub fn balanced_random_mixes(
     seed: u64,
 ) -> Vec<Mix> {
     assert!(threads >= 1, "mixes need at least one thread");
-    assert!(threads <= names.len(), "cannot avoid duplicates with more threads than benchmarks");
+    assert!(
+        threads <= names.len(),
+        "cannot avoid duplicates with more threads than benchmarks"
+    );
     let slots = num_mixes * threads;
     assert!(
         slots.is_multiple_of(names.len()),
@@ -56,15 +59,16 @@ pub fn balanced_random_mixes(
         names.len()
     );
     let copies = slots / names.len();
-    let mut pool: Vec<&'static str> =
-        names.iter().flat_map(|&n| std::iter::repeat_n(n, copies)).collect();
+    let mut pool: Vec<&'static str> = names
+        .iter()
+        .flat_map(|&n| std::iter::repeat_n(n, copies))
+        .collect();
     let mut rng = SmallRng::seed_from_u64(seed ^ BALANCE_SEED);
     pool.shuffle(&mut rng);
 
     // Repair within-mix duplicates by swapping with a later slot whose value
     // differs and whose own mix does not already contain the duplicate.
-    let mut mixes: Vec<Vec<&'static str>> =
-        pool.chunks(threads).map(|c| c.to_vec()).collect();
+    let mut mixes: Vec<Vec<&'static str>> = pool.chunks(threads).map(|c| c.to_vec()).collect();
     for pass in 0..64 {
         let mut fixed_everything = true;
         for m in 0..mixes.len() {
@@ -84,8 +88,10 @@ pub fn balanced_random_mixes(
                         let cand = mixes[m2][j];
                         let ours = mixes[m][i];
                         let cand_ok = !mixes[m].contains(&cand);
-                        let ours_ok =
-                            !mixes[m2].iter().enumerate().any(|(k, &v)| k != j && v == ours);
+                        let ours_ok = !mixes[m2]
+                            .iter()
+                            .enumerate()
+                            .any(|(k, &v)| k != j && v == ours);
                         if cand_ok && ours_ok {
                             mixes[m][i] = cand;
                             mixes[m2][j] = ours;
@@ -94,14 +100,20 @@ pub fn balanced_random_mixes(
                         }
                     }
                 }
-                assert!(done || pass < 63, "failed to repair duplicate benchmarks in mixes");
+                assert!(
+                    done || pass < 63,
+                    "failed to repair duplicate benchmarks in mixes"
+                );
             }
         }
         if fixed_everything {
             break;
         }
     }
-    mixes.into_iter().map(|benchmarks| Mix { benchmarks }).collect()
+    mixes
+        .into_iter()
+        .map(|benchmarks| Mix { benchmarks })
+        .collect()
 }
 
 const BALANCE_SEED: u64 = 0x0BA1_ACED;
@@ -155,7 +167,9 @@ mod tests {
 
     #[test]
     fn label_formats() {
-        let m = Mix { benchmarks: vec!["gcc", "mcf"] };
+        let m = Mix {
+            benchmarks: vec!["gcc", "mcf"],
+        };
         assert_eq!(m.label(), "gcc+mcf");
     }
 

@@ -65,7 +65,11 @@ impl BenchmarkProfile {
             self.branch_entropy,
         ];
         for f in fr {
-            assert!((0.0..=1.0).contains(&f), "{}: fraction {f} out of range", self.name);
+            assert!(
+                (0.0..=1.0).contains(&f),
+                "{}: fraction {f} out of range",
+                self.name
+            );
         }
         assert!(
             self.frac_load + self.frac_store + self.frac_branch <= 0.95,
@@ -77,8 +81,16 @@ impl BenchmarkProfile {
             "{}: memory region fractions exceed 1",
             self.name
         );
-        assert!(self.code_footprint >= 16, "{}: trivial code footprint", self.name);
-        assert!(self.mean_trip_count >= 2, "{}: loops must iterate", self.name);
+        assert!(
+            self.code_footprint >= 16,
+            "{}: trivial code footprint",
+            self.name
+        );
+        assert!(
+            self.mean_trip_count >= 2,
+            "{}: loops must iterate",
+            self.name
+        );
     }
 
     /// Builds the synthetic static program for this profile.

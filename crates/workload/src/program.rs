@@ -217,7 +217,9 @@ impl Program {
                 }
             }
             if b.branch_inst.op != OpClass::Branch {
-                return Err(ProgramError(format!("block {i}: terminator is not a branch")));
+                return Err(ProgramError(format!(
+                    "block {i}: terminator is not a branch"
+                )));
             }
             let target = match b.terminator {
                 Terminator::Loop { target, trip_mean } => {
@@ -334,7 +336,10 @@ impl<'a> ProgramBuilder<'a> {
         let roll: f64 = self.rng.gen();
         if roll < 0.30 {
             let trip_mean = self.profile.mean_trip_count.max(2);
-            Terminator::Loop { target: b, trip_mean }
+            Terminator::Loop {
+                target: b,
+                trip_mean,
+            }
         } else if roll < 0.60 {
             // Forward conditional skips. Long, strongly-taken skips create
             // *cold* code regions, so the dynamic instruction footprint is
@@ -357,7 +362,10 @@ impl<'a> ProgramBuilder<'a> {
             };
             let max_skip = (main_blocks - 1 - b).clamp(1, span);
             let target = b + 1 + self.rng.gen_range(0..max_skip);
-            Terminator::Cond { target: target.min(main_blocks - 1), taken_prob }
+            Terminator::Cond {
+                target: target.min(main_blocks - 1),
+                taken_prob,
+            }
         } else if roll < 0.72 && !fn_entries.is_empty() {
             let callee = fn_entries[self.rng.gen_range(0..fn_entries.len())];
             Terminator::Call { callee }
@@ -381,7 +389,12 @@ impl<'a> ProgramBuilder<'a> {
             body.push(self.build_body_inst());
         }
         let branch_inst = self.build_branch_inst(&terminator);
-        Block { body, terminator, branch_inst, start_pc }
+        Block {
+            body,
+            terminator,
+            branch_inst,
+            start_pc,
+        }
     }
 
     fn alloc_static(&mut self) -> (u32, u64) {
@@ -396,8 +409,14 @@ impl<'a> ProgramBuilder<'a> {
         let chained = !self.recent.is_empty() && self.rng.gen::<f64>() < self.profile.chain_density;
         if chained {
             // Prefer the most recent compatible destination.
-            let pool: Vec<ArchReg> =
-                self.recent.iter().rev().take(4).copied().filter(|r| r.is_fp() == fp).collect();
+            let pool: Vec<ArchReg> = self
+                .recent
+                .iter()
+                .rev()
+                .take(4)
+                .copied()
+                .filter(|r| r.is_fp() == fp)
+                .collect();
             if let Some(&r) = pool.first() {
                 return r;
             }
@@ -444,7 +463,11 @@ impl<'a> ProgramBuilder<'a> {
             // Load.
             if self.rng.gen::<f64>() < p.pointer_chase {
                 let ptr = ArchReg::int(self.rng.gen_range(PTR_INT.start..PTR_INT.end));
-                let region = if self.rng.gen::<f64>() < 0.7 { Region::Mem } else { Region::L2 };
+                let region = if self.rng.gen::<f64>() < 0.7 {
+                    Region::Mem
+                } else {
+                    Region::L2
+                };
                 return StaticInst {
                     static_id: id,
                     pc,
@@ -502,9 +525,20 @@ impl<'a> ProgramBuilder<'a> {
                 OpClass::IntAlu
             };
             let s1 = self.pick_source(fp);
-            let s2 = if self.rng.gen::<f64>() < 0.7 { Some(self.pick_source(fp)) } else { None };
+            let s2 = if self.rng.gen::<f64>() < 0.7 {
+                Some(self.pick_source(fp))
+            } else {
+                None
+            };
             let dest = self.pick_dest(fp);
-            StaticInst { static_id: id, pc, op, dest: Some(dest), srcs: [Some(s1), s2], access: None }
+            StaticInst {
+                static_id: id,
+                pc,
+                op,
+                dest: Some(dest),
+                srcs: [Some(s1), s2],
+                access: None,
+            }
         }
     }
 
@@ -548,9 +582,8 @@ mod tests {
                 assert_eq!(inst.pc, b.start_pc + 4 * i as u64);
             }
             assert_eq!(b.branch_inst.pc, b.start_pc + 4 * b.body.len() as u64);
-            expected_pc = p.fallthrough_pc(
-                p.blocks.iter().position(|x| std::ptr::eq(x, b)).unwrap(),
-            );
+            expected_pc =
+                p.fallthrough_pc(p.blocks.iter().position(|x| std::ptr::eq(x, b)).unwrap());
         }
     }
 
@@ -587,7 +620,10 @@ mod tests {
     #[test]
     fn last_main_block_closes_outer_loop() {
         let p = build("mcf", 3);
-        assert_eq!(p.blocks[p.main_blocks - 1].terminator, Terminator::Jump { target: 0 });
+        assert_eq!(
+            p.blocks[p.main_blocks - 1].terminator,
+            Terminator::Jump { target: 0 }
+        );
     }
 
     #[test]
@@ -620,13 +656,20 @@ mod tests {
     fn footprint_tracks_profile() {
         let small = build("libquantum", 6).footprint();
         let large = build("gcc", 6).footprint();
-        assert!(large > small, "gcc has a larger code footprint than libquantum");
+        assert!(
+            large > small,
+            "gcc has a larger code footprint than libquantum"
+        );
     }
 
     #[test]
     fn generated_and_assembled_programs_validate() {
         for name in ["gcc", "mcf", "lbm"] {
-            suite::by_name(name).unwrap().build_program(3).validate().expect("suite program");
+            suite::by_name(name)
+                .unwrap()
+                .build_program(3)
+                .validate()
+                .expect("suite program");
         }
         crate::asm::assemble("t:\n add r8, r8\n loop t, trips=5\n")
             .unwrap()
@@ -638,7 +681,11 @@ mod tests {
     fn validate_catches_defects() {
         let mut p = suite::by_name("lbm").unwrap().build_program(1);
         p.blocks[0].terminator = Terminator::Jump { target: 999 };
-        assert!(p.validate().unwrap_err().to_string().contains("out of range"));
+        assert!(p
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("out of range"));
 
         let mut p = suite::by_name("lbm").unwrap().build_program(1);
         p.blocks[1].start_pc += 4;
@@ -646,7 +693,11 @@ mod tests {
 
         let mut p = suite::by_name("lbm").unwrap().build_program(1);
         p.blocks[0].branch_inst.op = shelfsim_isa::OpClass::IntAlu;
-        assert!(p.validate().unwrap_err().to_string().contains("not a branch"));
+        assert!(p
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("not a branch"));
 
         let empty = Program {
             name: "x",

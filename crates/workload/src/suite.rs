@@ -33,35 +33,427 @@ macro_rules! profile {
 /// The full suite, in a fixed canonical order.
 pub const SUITE: [BenchmarkProfile; 28] = [
     // ---- SPECint 2006 analogues ----
-    profile!("perlbench", ld=0.26, st=0.12, br=0.21, fp=0.00, md=0.04, chain=0.55, l1=0.92, l2=0.07, chase=0.06, ent=0.12, code=9000, trip=12),
-    profile!("bzip2",     ld=0.28, st=0.09, br=0.15, fp=0.00, md=0.05, chain=0.60, l1=0.70, l2=0.28, chase=0.02, ent=0.15, code=1500, trip=40),
-    profile!("gcc",       ld=0.25, st=0.13, br=0.20, fp=0.00, md=0.03, chain=0.50, l1=0.80, l2=0.15, chase=0.10, ent=0.14, code=12000, trip=8),
-    profile!("mcf",       ld=0.31, st=0.09, br=0.19, fp=0.00, md=0.02, chain=0.70, l1=0.35, l2=0.25, chase=0.45, ent=0.17, code=800, trip=15),
-    profile!("gobmk",     ld=0.24, st=0.11, br=0.21, fp=0.00, md=0.04, chain=0.52, l1=0.88, l2=0.10, chase=0.05, ent=0.19, code=8000, trip=6),
-    profile!("hmmer",     ld=0.28, st=0.11, br=0.08, fp=0.00, md=0.10, chain=0.35, l1=0.95, l2=0.05, chase=0.00, ent=0.03, code=900, trip=60),
-    profile!("sjeng",     ld=0.21, st=0.08, br=0.22, fp=0.00, md=0.05, chain=0.55, l1=0.85, l2=0.12, chase=0.08, ent=0.20, code=4000, trip=5),
-    profile!("libquantum",ld=0.24, st=0.06, br=0.14, fp=0.00, md=0.12, chain=0.30, l1=0.10, l2=0.20, chase=0.00, ent=0.02, code=400, trip=120),
-    profile!("h264ref",   ld=0.35, st=0.13, br=0.08, fp=0.00, md=0.12, chain=0.40, l1=0.90, l2=0.09, chase=0.00, ent=0.05, code=5000, trip=30),
-    profile!("omnetpp",   ld=0.30, st=0.16, br=0.20, fp=0.00, md=0.03, chain=0.62, l1=0.55, l2=0.25, chase=0.30, ent=0.15, code=7000, trip=7),
-    profile!("astar",     ld=0.28, st=0.08, br=0.17, fp=0.00, md=0.03, chain=0.68, l1=0.60, l2=0.30, chase=0.25, ent=0.17, code=1200, trip=10),
-    profile!("xalancbmk", ld=0.29, st=0.09, br=0.23, fp=0.00, md=0.02, chain=0.55, l1=0.70, l2=0.22, chase=0.18, ent=0.12, code=11000, trip=6),
+    profile!(
+        "perlbench",
+        ld = 0.26,
+        st = 0.12,
+        br = 0.21,
+        fp = 0.00,
+        md = 0.04,
+        chain = 0.55,
+        l1 = 0.92,
+        l2 = 0.07,
+        chase = 0.06,
+        ent = 0.12,
+        code = 9000,
+        trip = 12
+    ),
+    profile!(
+        "bzip2",
+        ld = 0.28,
+        st = 0.09,
+        br = 0.15,
+        fp = 0.00,
+        md = 0.05,
+        chain = 0.60,
+        l1 = 0.70,
+        l2 = 0.28,
+        chase = 0.02,
+        ent = 0.15,
+        code = 1500,
+        trip = 40
+    ),
+    profile!(
+        "gcc",
+        ld = 0.25,
+        st = 0.13,
+        br = 0.20,
+        fp = 0.00,
+        md = 0.03,
+        chain = 0.50,
+        l1 = 0.80,
+        l2 = 0.15,
+        chase = 0.10,
+        ent = 0.14,
+        code = 12000,
+        trip = 8
+    ),
+    profile!(
+        "mcf",
+        ld = 0.31,
+        st = 0.09,
+        br = 0.19,
+        fp = 0.00,
+        md = 0.02,
+        chain = 0.70,
+        l1 = 0.35,
+        l2 = 0.25,
+        chase = 0.45,
+        ent = 0.17,
+        code = 800,
+        trip = 15
+    ),
+    profile!(
+        "gobmk",
+        ld = 0.24,
+        st = 0.11,
+        br = 0.21,
+        fp = 0.00,
+        md = 0.04,
+        chain = 0.52,
+        l1 = 0.88,
+        l2 = 0.10,
+        chase = 0.05,
+        ent = 0.19,
+        code = 8000,
+        trip = 6
+    ),
+    profile!(
+        "hmmer",
+        ld = 0.28,
+        st = 0.11,
+        br = 0.08,
+        fp = 0.00,
+        md = 0.10,
+        chain = 0.35,
+        l1 = 0.95,
+        l2 = 0.05,
+        chase = 0.00,
+        ent = 0.03,
+        code = 900,
+        trip = 60
+    ),
+    profile!(
+        "sjeng",
+        ld = 0.21,
+        st = 0.08,
+        br = 0.22,
+        fp = 0.00,
+        md = 0.05,
+        chain = 0.55,
+        l1 = 0.85,
+        l2 = 0.12,
+        chase = 0.08,
+        ent = 0.20,
+        code = 4000,
+        trip = 5
+    ),
+    profile!(
+        "libquantum",
+        ld = 0.24,
+        st = 0.06,
+        br = 0.14,
+        fp = 0.00,
+        md = 0.12,
+        chain = 0.30,
+        l1 = 0.10,
+        l2 = 0.20,
+        chase = 0.00,
+        ent = 0.02,
+        code = 400,
+        trip = 120
+    ),
+    profile!(
+        "h264ref",
+        ld = 0.35,
+        st = 0.13,
+        br = 0.08,
+        fp = 0.00,
+        md = 0.12,
+        chain = 0.40,
+        l1 = 0.90,
+        l2 = 0.09,
+        chase = 0.00,
+        ent = 0.05,
+        code = 5000,
+        trip = 30
+    ),
+    profile!(
+        "omnetpp",
+        ld = 0.30,
+        st = 0.16,
+        br = 0.20,
+        fp = 0.00,
+        md = 0.03,
+        chain = 0.62,
+        l1 = 0.55,
+        l2 = 0.25,
+        chase = 0.30,
+        ent = 0.15,
+        code = 7000,
+        trip = 7
+    ),
+    profile!(
+        "astar",
+        ld = 0.28,
+        st = 0.08,
+        br = 0.17,
+        fp = 0.00,
+        md = 0.03,
+        chain = 0.68,
+        l1 = 0.60,
+        l2 = 0.30,
+        chase = 0.25,
+        ent = 0.17,
+        code = 1200,
+        trip = 10
+    ),
+    profile!(
+        "xalancbmk",
+        ld = 0.29,
+        st = 0.09,
+        br = 0.23,
+        fp = 0.00,
+        md = 0.02,
+        chain = 0.55,
+        l1 = 0.70,
+        l2 = 0.22,
+        chase = 0.18,
+        ent = 0.12,
+        code = 11000,
+        trip = 6
+    ),
     // ---- SPECfp 2006 analogues ----
-    profile!("bwaves",    ld=0.40, st=0.09, br=0.04, fp=0.85, md=0.20, chain=0.30, l1=0.30, l2=0.40, chase=0.00, ent=0.02, code=700, trip=200),
-    profile!("gamess",    ld=0.30, st=0.10, br=0.08, fp=0.70, md=0.18, chain=0.42, l1=0.92, l2=0.07, chase=0.00, ent=0.03, code=6000, trip=25),
-    profile!("milc",      ld=0.33, st=0.13, br=0.03, fp=0.80, md=0.22, chain=0.38, l1=0.20, l2=0.30, chase=0.00, ent=0.02, code=1000, trip=90),
-    profile!("zeusmp",    ld=0.30, st=0.11, br=0.04, fp=0.78, md=0.18, chain=0.36, l1=0.45, l2=0.35, chase=0.00, ent=0.02, code=1800, trip=80),
-    profile!("gromacs",   ld=0.29, st=0.11, br=0.05, fp=0.72, md=0.20, chain=0.45, l1=0.85, l2=0.12, chase=0.00, ent=0.04, code=2500, trip=50),
-    profile!("cactusADM", ld=0.36, st=0.13, br=0.01, fp=0.88, md=0.25, chain=0.40, l1=0.40, l2=0.40, chase=0.00, ent=0.01, code=1400, trip=150),
-    profile!("leslie3d",  ld=0.34, st=0.12, br=0.03, fp=0.82, md=0.20, chain=0.34, l1=0.35, l2=0.40, chase=0.00, ent=0.02, code=1200, trip=120),
-    profile!("namd",      ld=0.26, st=0.08, br=0.05, fp=0.75, md=0.22, chain=0.44, l1=0.90, l2=0.08, chase=0.00, ent=0.03, code=2200, trip=60),
-    profile!("soplex",    ld=0.31, st=0.08, br=0.16, fp=0.45, md=0.10, chain=0.58, l1=0.50, l2=0.30, chase=0.15, ent=0.10, code=4500, trip=12),
-    profile!("povray",    ld=0.28, st=0.11, br=0.13, fp=0.55, md=0.15, chain=0.52, l1=0.93, l2=0.06, chase=0.03, ent=0.09, code=5500, trip=10),
-    profile!("calculix",  ld=0.29, st=0.10, br=0.06, fp=0.70, md=0.20, chain=0.42, l1=0.75, l2=0.20, chase=0.00, ent=0.03, code=3000, trip=45),
-    profile!("GemsFDTD",  ld=0.38, st=0.13, br=0.02, fp=0.85, md=0.18, chain=0.36, l1=0.25, l2=0.35, chase=0.00, ent=0.01, code=1600, trip=160),
-    profile!("tonto",     ld=0.28, st=0.12, br=0.09, fp=0.65, md=0.16, chain=0.46, l1=0.88, l2=0.10, chase=0.02, ent=0.05, code=7000, trip=20),
-    profile!("lbm",       ld=0.32, st=0.17, br=0.01, fp=0.82, md=0.18, chain=0.32, l1=0.15, l2=0.25, chase=0.00, ent=0.01, code=300, trip=250),
-    profile!("wrf",       ld=0.31, st=0.11, br=0.06, fp=0.75, md=0.18, chain=0.40, l1=0.60, l2=0.28, chase=0.00, ent=0.03, code=9000, trip=70),
-    profile!("sphinx3",   ld=0.33, st=0.07, br=0.10, fp=0.60, md=0.15, chain=0.48, l1=0.55, l2=0.30, chase=0.05, ent=0.07, code=2800, trip=35),
+    profile!(
+        "bwaves",
+        ld = 0.40,
+        st = 0.09,
+        br = 0.04,
+        fp = 0.85,
+        md = 0.20,
+        chain = 0.30,
+        l1 = 0.30,
+        l2 = 0.40,
+        chase = 0.00,
+        ent = 0.02,
+        code = 700,
+        trip = 200
+    ),
+    profile!(
+        "gamess",
+        ld = 0.30,
+        st = 0.10,
+        br = 0.08,
+        fp = 0.70,
+        md = 0.18,
+        chain = 0.42,
+        l1 = 0.92,
+        l2 = 0.07,
+        chase = 0.00,
+        ent = 0.03,
+        code = 6000,
+        trip = 25
+    ),
+    profile!(
+        "milc",
+        ld = 0.33,
+        st = 0.13,
+        br = 0.03,
+        fp = 0.80,
+        md = 0.22,
+        chain = 0.38,
+        l1 = 0.20,
+        l2 = 0.30,
+        chase = 0.00,
+        ent = 0.02,
+        code = 1000,
+        trip = 90
+    ),
+    profile!(
+        "zeusmp",
+        ld = 0.30,
+        st = 0.11,
+        br = 0.04,
+        fp = 0.78,
+        md = 0.18,
+        chain = 0.36,
+        l1 = 0.45,
+        l2 = 0.35,
+        chase = 0.00,
+        ent = 0.02,
+        code = 1800,
+        trip = 80
+    ),
+    profile!(
+        "gromacs",
+        ld = 0.29,
+        st = 0.11,
+        br = 0.05,
+        fp = 0.72,
+        md = 0.20,
+        chain = 0.45,
+        l1 = 0.85,
+        l2 = 0.12,
+        chase = 0.00,
+        ent = 0.04,
+        code = 2500,
+        trip = 50
+    ),
+    profile!(
+        "cactusADM",
+        ld = 0.36,
+        st = 0.13,
+        br = 0.01,
+        fp = 0.88,
+        md = 0.25,
+        chain = 0.40,
+        l1 = 0.40,
+        l2 = 0.40,
+        chase = 0.00,
+        ent = 0.01,
+        code = 1400,
+        trip = 150
+    ),
+    profile!(
+        "leslie3d",
+        ld = 0.34,
+        st = 0.12,
+        br = 0.03,
+        fp = 0.82,
+        md = 0.20,
+        chain = 0.34,
+        l1 = 0.35,
+        l2 = 0.40,
+        chase = 0.00,
+        ent = 0.02,
+        code = 1200,
+        trip = 120
+    ),
+    profile!(
+        "namd",
+        ld = 0.26,
+        st = 0.08,
+        br = 0.05,
+        fp = 0.75,
+        md = 0.22,
+        chain = 0.44,
+        l1 = 0.90,
+        l2 = 0.08,
+        chase = 0.00,
+        ent = 0.03,
+        code = 2200,
+        trip = 60
+    ),
+    profile!(
+        "soplex",
+        ld = 0.31,
+        st = 0.08,
+        br = 0.16,
+        fp = 0.45,
+        md = 0.10,
+        chain = 0.58,
+        l1 = 0.50,
+        l2 = 0.30,
+        chase = 0.15,
+        ent = 0.10,
+        code = 4500,
+        trip = 12
+    ),
+    profile!(
+        "povray",
+        ld = 0.28,
+        st = 0.11,
+        br = 0.13,
+        fp = 0.55,
+        md = 0.15,
+        chain = 0.52,
+        l1 = 0.93,
+        l2 = 0.06,
+        chase = 0.03,
+        ent = 0.09,
+        code = 5500,
+        trip = 10
+    ),
+    profile!(
+        "calculix",
+        ld = 0.29,
+        st = 0.10,
+        br = 0.06,
+        fp = 0.70,
+        md = 0.20,
+        chain = 0.42,
+        l1 = 0.75,
+        l2 = 0.20,
+        chase = 0.00,
+        ent = 0.03,
+        code = 3000,
+        trip = 45
+    ),
+    profile!(
+        "GemsFDTD",
+        ld = 0.38,
+        st = 0.13,
+        br = 0.02,
+        fp = 0.85,
+        md = 0.18,
+        chain = 0.36,
+        l1 = 0.25,
+        l2 = 0.35,
+        chase = 0.00,
+        ent = 0.01,
+        code = 1600,
+        trip = 160
+    ),
+    profile!(
+        "tonto",
+        ld = 0.28,
+        st = 0.12,
+        br = 0.09,
+        fp = 0.65,
+        md = 0.16,
+        chain = 0.46,
+        l1 = 0.88,
+        l2 = 0.10,
+        chase = 0.02,
+        ent = 0.05,
+        code = 7000,
+        trip = 20
+    ),
+    profile!(
+        "lbm",
+        ld = 0.32,
+        st = 0.17,
+        br = 0.01,
+        fp = 0.82,
+        md = 0.18,
+        chain = 0.32,
+        l1 = 0.15,
+        l2 = 0.25,
+        chase = 0.00,
+        ent = 0.01,
+        code = 300,
+        trip = 250
+    ),
+    profile!(
+        "wrf",
+        ld = 0.31,
+        st = 0.11,
+        br = 0.06,
+        fp = 0.75,
+        md = 0.18,
+        chain = 0.40,
+        l1 = 0.60,
+        l2 = 0.28,
+        chase = 0.00,
+        ent = 0.03,
+        code = 9000,
+        trip = 70
+    ),
+    profile!(
+        "sphinx3",
+        ld = 0.33,
+        st = 0.07,
+        br = 0.10,
+        fp = 0.60,
+        md = 0.15,
+        chain = 0.48,
+        l1 = 0.55,
+        l2 = 0.30,
+        chase = 0.05,
+        ent = 0.07,
+        code = 2800,
+        trip = 35
+    ),
 ];
 
 /// All profiles in canonical order.
@@ -117,8 +509,14 @@ mod tests {
 
     #[test]
     fn suite_spans_ilp_behaviours() {
-        assert!(SUITE.iter().any(|p| p.chain_density < 0.35), "high-ILP present");
-        assert!(SUITE.iter().any(|p| p.chain_density > 0.65), "serial code present");
+        assert!(
+            SUITE.iter().any(|p| p.chain_density < 0.35),
+            "high-ILP present"
+        );
+        assert!(
+            SUITE.iter().any(|p| p.chain_density > 0.65),
+            "serial code present"
+        );
     }
 
     #[test]

@@ -15,7 +15,10 @@ fn main() {
     let mix = ["perlbench", "soplex", "leslie3d", "omnetpp"];
     let configs: [(&str, CoreConfig); 3] = [
         ("Base-64", CoreConfig::base64(4)),
-        ("Shelf 64+64", CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true)),
+        (
+            "Shelf 64+64",
+            CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true),
+        ),
         ("Base-128", CoreConfig::base128(4)),
     ];
 
@@ -46,6 +49,9 @@ fn main() {
 
     let base = edps[0].1;
     for (label, edp) in &edps[1..] {
-        println!("{label}: EDP {:+.1}% vs Base-64 (negative is better)", (edp / base - 1.0) * 100.0);
+        println!(
+            "{label}: EDP {:+.1}% vs Base-64 (negative is better)",
+            (edp / base - 1.0) * 100.0
+        );
     }
 }

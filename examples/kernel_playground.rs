@@ -43,8 +43,9 @@ top:
 
 fn run(cfg: CoreConfig, threads: usize) -> (f64, f64) {
     let program = assemble(KERNEL).expect("kernel parses");
-    let traces: Vec<TraceSource> =
-        (0..threads).map(|t| TraceSource::new(program.clone(), t)).collect();
+    let traces: Vec<TraceSource> = (0..threads)
+        .map(|t| TraceSource::new(program.clone(), t))
+        .collect();
     let mut core = Core::new(cfg, traces);
     core.warm_caches();
     core.warm_functional(20_000);
@@ -62,14 +63,29 @@ fn run(cfg: CoreConfig, threads: usize) -> (f64, f64) {
 
 fn main() {
     println!("kernel:\n{KERNEL}");
-    println!("disassembles back to:\n{}", disassemble(&assemble(KERNEL).expect("parses")));
+    println!(
+        "disassembles back to:\n{}",
+        disassemble(&assemble(KERNEL).expect("parses"))
+    );
 
-    println!("{:<26} {:>8} {:>12}", "design (2 threads)", "IPC", "shelf usage");
+    println!(
+        "{:<26} {:>8} {:>12}",
+        "design (2 threads)", "IPC", "shelf usage"
+    );
     for (label, cfg) in [
         ("Base-64", CoreConfig::base64(2)),
-        ("Shelf 64+64 practical", CoreConfig::base64_shelf64(2, SteerPolicy::Practical, true)),
-        ("Shelf 64+64 oracle", CoreConfig::base64_shelf64(2, SteerPolicy::Oracle, true)),
-        ("All-shelf (in-order)", CoreConfig::base64_shelf64(2, SteerPolicy::AlwaysShelf, true)),
+        (
+            "Shelf 64+64 practical",
+            CoreConfig::base64_shelf64(2, SteerPolicy::Practical, true),
+        ),
+        (
+            "Shelf 64+64 oracle",
+            CoreConfig::base64_shelf64(2, SteerPolicy::Oracle, true),
+        ),
+        (
+            "All-shelf (in-order)",
+            CoreConfig::base64_shelf64(2, SteerPolicy::AlwaysShelf, true),
+        ),
     ] {
         let (ipc, frac) = run(cfg, 2);
         println!("{:<26} {:>8.3} {:>11.0}%", label, ipc, frac * 100.0);

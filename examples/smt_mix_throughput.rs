@@ -29,7 +29,10 @@ fn mix_stp(cfg: CoreConfig, mix: &[&str], st_cpi: &HashMap<&str, f64>) -> f64 {
 }
 
 fn main() {
-    let num_mixes: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4);
+    let num_mixes: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
     let names = suite::names();
     let mixes = balanced_random_mixes(&names, 4, 28, SEED);
     let sample = &mixes[..num_mixes.min(mixes.len())];
@@ -53,16 +56,31 @@ fn main() {
         );
     }
 
-    println!("\n{:<44} {:>9} {:>9} {:>8}", "mix", "base STP", "shelf STP", "delta");
+    println!(
+        "\n{:<44} {:>9} {:>9} {:>8}",
+        "mix", "base STP", "shelf STP", "delta"
+    );
     let mut deltas = Vec::new();
     for mix in sample {
         let m: Vec<&str> = mix.benchmarks.clone();
         let base = mix_stp(CoreConfig::base64(4), &m, &st_base);
-        let shelf =
-            mix_stp(CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true), &m, &st_shelf);
+        let shelf = mix_stp(
+            CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true),
+            &m,
+            &st_shelf,
+        );
         let delta = (shelf / base - 1.0) * 100.0;
         deltas.push(shelf / base);
-        println!("{:<44} {:>9.3} {:>9.3} {:>+7.1}%", mix.label(), base, shelf, delta);
+        println!(
+            "{:<44} {:>9.3} {:>9.3} {:>+7.1}%",
+            mix.label(),
+            base,
+            shelf,
+            delta
+        );
     }
-    println!("\ngeomean STP improvement: {:+.1}%", (geomean(&deltas) - 1.0) * 100.0);
+    println!(
+        "\ngeomean STP improvement: {:+.1}%",
+        (geomean(&deltas) - 1.0) * 100.0
+    );
 }

@@ -12,7 +12,16 @@
 use shelfsim::{CoreConfig, Simulation, SteerPolicy};
 
 fn main() {
-    let pool = ["gcc", "mcf", "hmmer", "lbm", "perlbench", "bwaves", "astar", "milc"];
+    let pool = [
+        "gcc",
+        "mcf",
+        "hmmer",
+        "lbm",
+        "perlbench",
+        "bwaves",
+        "astar",
+        "milc",
+    ];
     let warmup = 10_000;
     let measure = 40_000;
 
@@ -28,8 +37,7 @@ fn main() {
         let b = base.run(warmup, measure);
 
         let shelf_cfg = CoreConfig::base64_shelf64(threads, SteerPolicy::Practical, true);
-        let mut shelf =
-            Simulation::from_names(shelf_cfg, &mix, 11).expect("suite benchmarks");
+        let mut shelf = Simulation::from_names(shelf_cfg, &mix, 11).expect("suite benchmarks");
         let s = shelf.run(warmup, measure);
 
         println!(

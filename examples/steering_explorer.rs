@@ -25,7 +25,10 @@ fn main() {
     );
 
     let base = run(CoreConfig::base64(4), &mix);
-    println!("{:<22} {:>7.3} {:>11.1}% {:>11.1}% {:>12}", "no shelf (Base-64)", base.0, 0.0, 0.0, "-");
+    println!(
+        "{:<22} {:>7.3} {:>11.1}% {:>11.1}% {:>12}",
+        "no shelf (Base-64)", base.0, 0.0, 0.0, "-"
+    );
 
     for (label, policy) in [
         ("always-IQ", SteerPolicy::AlwaysIq),

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Repository health check: formatting, lints, the tier-1 test suite, and a
+# static-analysis pass over the shipped kernels. Run from anywhere; exits
+# nonzero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "== shelfsim lint kernels/*.s"
+cargo run --release -p shelfsim-cli -- lint kernels/*.s
+
+echo "== sanitizer smoke: freelist audits under --features sanitize"
+cargo test -q -p shelfsim-uarch --features sanitize
+
+echo "All checks passed."

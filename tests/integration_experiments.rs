@@ -18,7 +18,8 @@ fn figure1_shape_in_sequence_grows_with_threads() {
             let names: Vec<&str> = mix.benchmarks.clone();
             let mut sim =
                 Simulation::from_names(CoreConfig::base128(4), &names, scale.seed).unwrap();
-            sim.run(scale.warmup, scale.measure).mean_in_sequence_fraction()
+            sim.run(scale.warmup, scale.measure)
+                .mean_in_sequence_fraction()
         };
         fractions.push(f);
     }
@@ -28,7 +29,10 @@ fn figure1_shape_in_sequence_grows_with_threads() {
         fractions[0],
         fractions[1]
     );
-    assert!(fractions[1] > 0.30, "4-thread in-sequence should approach half");
+    assert!(
+        fractions[1] > 0.30,
+        "4-thread in-sequence should approach half"
+    );
 }
 
 #[test]
@@ -39,7 +43,10 @@ fn figure2_shape_in_sequence_series_are_short() {
     let t = &r.threads[0];
     let q_in = t.in_sequence_series.quantile(0.99).unwrap_or(0);
     let max_re = t.reordered_series.max_length().unwrap_or(0);
-    assert!(q_in <= 64, "99% of in-sequence weight in short series, got {q_in}");
+    assert!(
+        q_in <= 64,
+        "99% of in-sequence weight in short series, got {q_in}"
+    );
     assert!(
         max_re > q_in,
         "reordered series ({max_re}) should run longer than in-sequence ({q_in})"
@@ -51,14 +58,26 @@ fn figure10_shape_shelf_improves_and_base128_bounds() {
     let scale = Scale::tiny();
     let designs = [Design::Base64, Design::ShelfOptimistic, Design::Base128];
     let evals = evaluate_designs(&designs, 4, scale);
-    let shelf_ratio: Vec<f64> =
-        evals[1].iter().zip(&evals[0]).map(|(s, b)| s.stp / b.stp).collect();
-    let big_ratio: Vec<f64> =
-        evals[2].iter().zip(&evals[0]).map(|(s, b)| s.stp / b.stp).collect();
+    let shelf_ratio: Vec<f64> = evals[1]
+        .iter()
+        .zip(&evals[0])
+        .map(|(s, b)| s.stp / b.stp)
+        .collect();
+    let big_ratio: Vec<f64> = evals[2]
+        .iter()
+        .zip(&evals[0])
+        .map(|(s, b)| s.stp / b.stp)
+        .collect();
     let shelf = geomean(&shelf_ratio);
     let big = geomean(&big_ratio);
-    assert!(shelf > 1.0, "shelf should improve 4-thread STP, got {shelf:.3}");
-    assert!(big > shelf * 0.95, "Base-128 should bound the shelf (shelf {shelf:.3}, big {big:.3})");
+    assert!(
+        shelf > 1.0,
+        "shelf should improve 4-thread STP, got {shelf:.3}"
+    );
+    assert!(
+        big > shelf * 0.95,
+        "Base-128 should bound the shelf (shelf {shelf:.3}, big {big:.3})"
+    );
     for e in evals.iter().flatten() {
         assert_eq!(e.late_shelf_commits, 0);
     }
@@ -72,8 +91,7 @@ fn figure12_shape_practical_close_to_oracle() {
     let base = shelfsim_bench::evaluate_mix(Design::Base64, mix, &mut pool, scale).unwrap();
     let practical =
         shelfsim_bench::evaluate_mix(Design::ShelfOptimistic, mix, &mut pool, scale).unwrap();
-    let oracle =
-        shelfsim_bench::evaluate_mix(Design::ShelfOracle, mix, &mut pool, scale).unwrap();
+    let oracle = shelfsim_bench::evaluate_mix(Design::ShelfOracle, mix, &mut pool, scale).unwrap();
     // Both must be competitive with the baseline; practical within ~15% of
     // oracle (the paper's gap is a few percent).
     assert!(practical.stp > base.stp * 0.95);
@@ -87,7 +105,11 @@ fn figure13_shape_shelf_wins_edp() {
     let scale = Scale::tiny();
     let designs = [Design::Base64, Design::ShelfOptimistic];
     let evals = evaluate_designs(&designs, 4, scale);
-    let ratios: Vec<f64> = evals[1].iter().zip(&evals[0]).map(|(s, b)| s.edp / b.edp).collect();
+    let ratios: Vec<f64> = evals[1]
+        .iter()
+        .zip(&evals[0])
+        .map(|(s, b)| s.edp / b.edp)
+        .collect();
     assert!(
         geomean(&ratios) < 1.0,
         "shelf should lower EDP, ratio {:.3}",
@@ -105,7 +127,10 @@ fn table2_shape_area_ordering() {
         let ds = shelf.core_area(l1) / a0 - 1.0;
         let db = big.core_area(l1) / a0 - 1.0;
         assert!(ds > 0.0 && ds < 0.06, "shelf area delta {ds:.3}");
-        assert!(db > 2.0 * ds, "doubling should cost much more than the shelf");
+        assert!(
+            db > 2.0 * ds,
+            "doubling should cost much more than the shelf"
+        );
     }
 }
 

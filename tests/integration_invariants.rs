@@ -18,17 +18,17 @@ fn arb_policy() -> impl Strategy<Value = SteerPolicy> {
 fn arb_config() -> impl Strategy<Value = CoreConfig> {
     (
         (
-            1usize..=4,           // threads
+            1usize..=4, // threads
             prop_oneof![Just(64usize), Just(128)],
             arb_policy(),
-            any::<bool>(),        // optimistic
-            any::<bool>(),        // single ssr
-            any::<bool>(),        // narrow index
-            any::<bool>(),        // wrong path
+            any::<bool>(), // optimistic
+            any::<bool>(), // single ssr
+            any::<bool>(), // narrow index
+            any::<bool>(), // wrong path
         ),
         (
-            any::<bool>(),        // TSO
-            0u32..=2,             // cluster penalty
+            any::<bool>(), // TSO
+            0u32..=2,      // cluster penalty
             prop_oneof![
                 Just(shelfsim::uarch::PredictorKind::Gshare),
                 Just(shelfsim::uarch::PredictorKind::Tournament),
@@ -53,7 +53,11 @@ fn arb_config() -> impl Strategy<Value = CoreConfig> {
                 cfg.single_ssr = ssr;
                 cfg.narrow_shelf_index = narrow;
                 cfg.wrong_path_fetch = wp;
-                cfg.memory_model = if tso { MemoryModel::Tso } else { MemoryModel::Relaxed };
+                cfg.memory_model = if tso {
+                    MemoryModel::Tso
+                } else {
+                    MemoryModel::Relaxed
+                };
                 cfg.cluster_forward_penalty = cluster;
                 cfg.predictor = pred;
                 cfg
@@ -63,7 +67,9 @@ fn arb_config() -> impl Strategy<Value = CoreConfig> {
 
 fn arb_mix(threads: usize, seed: u64) -> Vec<&'static str> {
     let names = suite::names();
-    (0..threads).map(|t| names[(seed as usize + 5 * t) % names.len()]).collect()
+    (0..threads)
+        .map(|t| names[(seed as usize + 5 * t) % names.len()])
+        .collect()
 }
 
 proptest! {

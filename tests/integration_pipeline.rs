@@ -22,7 +22,12 @@ fn all_steering_policies_execute_and_commit() {
         let cfg = CoreConfig::base64_shelf64(4, policy, true);
         let r = run(cfg, &MIX4, 1);
         for t in &r.threads {
-            assert!(t.committed > 0, "{:?}: {} made no progress", policy, t.benchmark);
+            assert!(
+                t.committed > 0,
+                "{:?}: {} made no progress",
+                policy,
+                t.benchmark
+            );
         }
         assert_eq!(r.late_shelf_commits, 0, "{policy:?}: SSR safety violated");
     }
@@ -33,7 +38,11 @@ fn always_iq_on_shelf_config_matches_baseline() {
     // With everything steered to the IQ the shelf hardware is inert; the
     // execution must be cycle-identical to the no-shelf baseline.
     let base = run(CoreConfig::base64(4), &MIX4, 3);
-    let inert = run(CoreConfig::base64_shelf64(4, SteerPolicy::AlwaysIq, true), &MIX4, 3);
+    let inert = run(
+        CoreConfig::base64_shelf64(4, SteerPolicy::AlwaysIq, true),
+        &MIX4,
+        3,
+    );
     assert_eq!(base.counters.committed, inert.counters.committed);
     assert_eq!(base.counters.issued, inert.counters.issued);
     assert_eq!(inert.counters.dispatched_shelf, 0);
@@ -59,7 +68,10 @@ fn misspeculation_recovery_is_exercised() {
     // ordering violations, and survive them.
     let cfg = CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true);
     let r = run(cfg, &["mcf", "omnetpp", "astar", "xalancbmk"], 5);
-    assert!(r.counters.branch_mispredicts > 0, "no branch mispredicts seen");
+    assert!(
+        r.counters.branch_mispredicts > 0,
+        "no branch mispredicts seen"
+    );
     assert!(r.counters.squashed > 0, "no instructions squashed");
     assert!(r.counters.committed > 1_000);
     assert_eq!(r.late_shelf_commits, 0);
@@ -68,7 +80,14 @@ fn misspeculation_recovery_is_exercised() {
 #[test]
 fn wrong_path_fetch_pollutes_but_preserves_results() {
     let on = run(CoreConfig::base64(4), &MIX4, 9);
-    let off = run(CoreConfig { wrong_path_fetch: false, ..CoreConfig::base64(4) }, &MIX4, 9);
+    let off = run(
+        CoreConfig {
+            wrong_path_fetch: false,
+            ..CoreConfig::base64(4)
+        },
+        &MIX4,
+        9,
+    );
     assert!(on.counters.wrong_path_fetched > 0);
     assert_eq!(off.counters.wrong_path_fetched, 0);
     // Both commit a comparable amount of work (wrong path costs something
@@ -82,8 +101,16 @@ fn wrong_path_fetch_pollutes_but_preserves_results() {
 fn conservative_issue_never_beats_optimistic_by_much() {
     // Conservative same-cycle semantics can only delay shelf issue; allow a
     // little noise from schedule butterfly effects.
-    let cons = run(CoreConfig::base64_shelf64(4, SteerPolicy::Practical, false), &MIX4, 13);
-    let opt = run(CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true), &MIX4, 13);
+    let cons = run(
+        CoreConfig::base64_shelf64(4, SteerPolicy::Practical, false),
+        &MIX4,
+        13,
+    );
+    let opt = run(
+        CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true),
+        &MIX4,
+        13,
+    );
     assert!(
         opt.ipc() >= cons.ipc() * 0.97,
         "optimistic ({}) should be at least conservative ({})",
@@ -106,10 +133,21 @@ fn smt_scales_throughput() {
 
 #[test]
 fn shelf_fraction_tracks_policy() {
-    let practical = run(CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true), &MIX4, 4);
-    let all_shelf = run(CoreConfig::base64_shelf64(4, SteerPolicy::AlwaysShelf, true), &MIX4, 4);
+    let practical = run(
+        CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true),
+        &MIX4,
+        4,
+    );
+    let all_shelf = run(
+        CoreConfig::base64_shelf64(4, SteerPolicy::AlwaysShelf, true),
+        &MIX4,
+        4,
+    );
     let frac = practical.counters.shelf_dispatch_fraction();
-    assert!(frac > 0.10 && frac < 0.90, "practical steering fraction {frac}");
+    assert!(
+        frac > 0.10 && frac < 0.90,
+        "practical steering fraction {frac}"
+    );
     assert!((all_shelf.counters.shelf_dispatch_fraction() - 1.0).abs() < 1e-12);
 }
 
@@ -119,7 +157,11 @@ fn single_thread_shelf_does_not_collapse() {
     // single-threaded execution.
     for bench in ["gcc", "hmmer", "bwaves"] {
         let base = run(CoreConfig::base64(1), &[bench], 7);
-        let shelf = run(CoreConfig::base64_shelf64(1, SteerPolicy::Practical, true), &[bench], 7);
+        let shelf = run(
+            CoreConfig::base64_shelf64(1, SteerPolicy::Practical, true),
+            &[bench],
+            7,
+        );
         let ratio = shelf.threads[0].cpi / base.threads[0].cpi;
         assert!(ratio < 1.15, "{bench}: shelf CPI ratio {ratio:.3} too high");
     }
@@ -138,11 +180,17 @@ fn store_heavy_workload_drains() {
 #[test]
 fn mshr_pressure_is_handled() {
     let cfg = CoreConfig {
-        hierarchy: shelfsim::mem::HierarchyConfig { data_mshrs: 2, ..Default::default() },
+        hierarchy: shelfsim::mem::HierarchyConfig {
+            data_mshrs: 2,
+            ..Default::default()
+        },
         ..CoreConfig::base64(4)
     };
     let r = run(cfg, &["mcf", "lbm", "milc", "GemsFDTD"], 6);
-    assert!(r.counters.mshr_stalls > 0, "tight MSHRs should cause retries");
+    assert!(
+        r.counters.mshr_stalls > 0,
+        "tight MSHRs should cause retries"
+    );
     for t in &r.threads {
         assert!(t.committed > 0);
     }

@@ -1,0 +1,52 @@
+//! Deterministic replays of cases the property tests found historically.
+//!
+//! The offline proptest shim does not read `.proptest-regressions` files, so
+//! every recorded shrink worth keeping is promoted to an explicit test here.
+
+use shelfsim::{suite, CoreConfig, Simulation, SteerPolicy};
+
+/// The mix-selection rule `integration_invariants.rs` uses.
+fn mix_for(threads: usize, seed: u64) -> Vec<&'static str> {
+    let names = suite::names();
+    (0..threads)
+        .map(|t| names[(seed as usize + 5 * t) % names.len()])
+        .collect()
+}
+
+/// Recorded shrink from `integration_invariants.proptest-regressions`:
+/// 3 threads on the Base-128 window with a 64-entry practical-steered shelf,
+/// conservative same-cycle semantics, and no wrong-path fetch, seed 918.
+/// ROB/LQ/SQ partitions divide 128/64 by 3 threads unevenly, which is what
+/// made this corner worth recording.
+#[test]
+fn recorded_base128_three_thread_shelf_case() {
+    let cfg = CoreConfig {
+        shelf_entries: 64,
+        steer: SteerPolicy::Practical,
+        same_cycle_shelf_issue: false,
+        single_ssr: false,
+        narrow_shelf_index: false,
+        wrong_path_fetch: false,
+        ..CoreConfig::base128(3)
+    };
+    cfg.validate();
+    let seed = 918;
+    let mix = mix_for(cfg.threads, seed);
+    let mut sim = Simulation::from_names(cfg.clone(), &mix, seed).expect("suite");
+    let r = sim.run(1_000, 6_000);
+    let c = &r.counters;
+
+    assert!(c.committed > 0, "no commits under {cfg:?}");
+
+    const IN_FLIGHT_SLACK: u64 = 512;
+    assert!(c.committed <= c.dispatched + IN_FLIGHT_SLACK);
+    assert!(c.issued <= c.dispatched + IN_FLIGHT_SLACK);
+    assert!(c.issued_shelf <= c.issued);
+    assert!(c.dispatched_shelf <= c.dispatched);
+    assert!(c.dispatched <= c.fetched + IN_FLIGHT_SLACK);
+
+    assert_eq!(c.shelf_reads, c.issued_shelf);
+    assert!(c.shelf_writes + IN_FLIGHT_SLACK >= c.issued_shelf);
+
+    assert_eq!(r.late_shelf_commits, 0, "SSR safety violated");
+}
