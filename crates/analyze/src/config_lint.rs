@@ -132,6 +132,18 @@ pub fn lint_config(cfg: &CoreConfig) -> Vec<Diagnostic> {
     diags
 }
 
+/// The evaluated design-point names accepted by [`design_by_name`], in
+/// presentation order. Single source of truth for CLI/campaign error
+/// messages ("unknown design" suggestions).
+pub const DESIGN_NAMES: [&str; 6] = [
+    "base64",
+    "base128",
+    "shelf-cons",
+    "shelf-opt",
+    "shelf-oracle",
+    "shelf-inorder",
+];
+
 /// Resolves an evaluated design-point name (the CLI `--design` names) to a
 /// configuration.
 pub fn design_by_name(name: &str, threads: usize) -> Option<CoreConfig> {

@@ -33,7 +33,7 @@ pub mod config_lint;
 pub mod diagnostic;
 pub mod program_lint;
 
-pub use config_lint::{design_by_name, lint_config, lint_config_file};
+pub use config_lint::{design_by_name, lint_config, lint_config_file, DESIGN_NAMES};
 pub use diagnostic::{Diagnostic, Report, Severity, Span};
 pub use program_lint::lint_program;
 

@@ -1,0 +1,347 @@
+//! The resumable campaign journal: one JSON object per line, appended as
+//! each run reaches a final outcome. Re-invoking a campaign loads the
+//! journal and skips every run whose key already has a final entry, so a
+//! killed process loses at most the runs that were in flight.
+//!
+//! The format is deliberately flat (string and number values only) so it
+//! survives with a hand-rolled parser — the workspace builds offline with
+//! no serde. A line truncated by a crash mid-write simply fails to parse
+//! and the run is re-executed: append-only + idempotent keys make that
+//! safe.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses a flat (non-nested) JSON object into key → raw-value-text pairs.
+/// String values are unescaped; numbers/booleans keep their literal text.
+/// Returns `None` on any syntax error (the caller skips the line).
+pub(crate) fn parse_flat_json(line: &str) -> Option<BTreeMap<String, String>> {
+    let mut chars = line.trim().chars().peekable();
+    let mut map = BTreeMap::new();
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars>) {
+        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+    }
+
+    fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Option<String> {
+        if chars.next()? != '"' {
+            return None;
+        }
+        let mut s = String::new();
+        loop {
+            match chars.next()? {
+                '"' => return Some(s),
+                '\\' => match chars.next()? {
+                    '"' => s.push('"'),
+                    '\\' => s.push('\\'),
+                    '/' => s.push('/'),
+                    'n' => s.push('\n'),
+                    'r' => s.push('\r'),
+                    't' => s.push('\t'),
+                    'u' => {
+                        let hex: String = (0..4).map(|_| chars.next().unwrap_or('!')).collect();
+                        let code = u32::from_str_radix(&hex, 16).ok()?;
+                        s.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                c => s.push(c),
+            }
+        }
+    }
+
+    skip_ws(&mut chars);
+    if chars.next()? != '{' {
+        return None;
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek()? {
+            '}' => {
+                chars.next();
+                break;
+            }
+            ',' => {
+                chars.next();
+                continue;
+            }
+            '"' => {}
+            _ => return None,
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next()? != ':' {
+            return None;
+        }
+        skip_ws(&mut chars);
+        let value = if chars.peek()? == &'"' {
+            parse_string(&mut chars)?
+        } else {
+            let mut v = String::new();
+            while chars
+                .peek()
+                .is_some_and(|&c| c != ',' && c != '}' && !c.is_whitespace())
+            {
+                v.push(chars.next().expect("peeked"));
+            }
+            if v.is_empty() {
+                return None;
+            }
+            v
+        };
+        map.insert(key, value);
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return None; // trailing garbage
+    }
+    Some(map)
+}
+
+/// One journaled final outcome of a campaign run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JournalEntry {
+    /// [`crate::RunSpec::key`] of the run.
+    pub key: String,
+    /// Human-readable label (`design mix`).
+    pub label: String,
+    /// Design-point name.
+    pub design: String,
+    /// Thread count (mix size).
+    pub threads: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Final status: `ok` or `quarantined`.
+    pub status: String,
+    /// Attempts consumed.
+    pub attempts: u32,
+    /// Aggregate IPC (0.0 when quarantined).
+    pub ipc: f64,
+    /// Measured cycles (0 when quarantined).
+    pub cycles: u64,
+    /// Committed instructions (0 when quarantined).
+    pub committed: u64,
+    /// [`shelfsim_core::Completion`] tag of the final successful attempt.
+    pub completion: String,
+    /// Failure-kind tag of the last failed attempt (empty when clean).
+    pub error: String,
+    /// Failure message of the last failed attempt (empty when clean).
+    pub message: String,
+}
+
+impl JournalEntry {
+    /// Serializes to one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        format!(
+            concat!(
+                r#"{{"key":"{}","label":"{}","design":"{}","threads":{},"seed":{},"#,
+                r#""status":"{}","attempts":{},"ipc":{:.6},"cycles":{},"committed":{},"#,
+                r#""completion":"{}","error":"{}","message":"{}"}}"#
+            ),
+            json_escape(&self.key),
+            json_escape(&self.label),
+            json_escape(&self.design),
+            self.threads,
+            self.seed,
+            json_escape(&self.status),
+            self.attempts,
+            self.ipc,
+            self.cycles,
+            self.committed,
+            json_escape(&self.completion),
+            json_escape(&self.error),
+            json_escape(&self.message),
+        )
+    }
+
+    /// Rebuilds an entry from a parsed journal line; `None` when required
+    /// fields are missing or malformed.
+    pub fn from_map(map: &BTreeMap<String, String>) -> Option<Self> {
+        let get = |k: &str| map.get(k).cloned();
+        Some(JournalEntry {
+            key: get("key")?,
+            label: get("label").unwrap_or_default(),
+            design: get("design").unwrap_or_default(),
+            threads: get("threads")?.parse().ok()?,
+            seed: get("seed")?.parse().ok()?,
+            status: get("status")?,
+            attempts: get("attempts")?.parse().ok()?,
+            ipc: get("ipc")?.parse().ok()?,
+            cycles: get("cycles")?.parse().ok()?,
+            committed: get("committed").unwrap_or_default().parse().unwrap_or(0),
+            completion: get("completion").unwrap_or_default(),
+            error: get("error").unwrap_or_default(),
+            message: get("message").unwrap_or_default(),
+        })
+    }
+}
+
+/// An append-only JSONL journal on disk.
+#[derive(Clone, Debug)]
+pub struct Journal {
+    path: PathBuf,
+}
+
+impl Journal {
+    /// A journal at `path` (the file need not exist yet).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Journal { path: path.into() }
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Loads the journal: the last entry per key wins. A missing file is an
+    /// empty journal; malformed lines (e.g. a crash-truncated tail) are
+    /// skipped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than "file not found".
+    pub fn load(&self) -> std::io::Result<BTreeMap<String, JournalEntry>> {
+        let file = match File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(BTreeMap::new()),
+            Err(e) => return Err(e),
+        };
+        let mut entries = BTreeMap::new();
+        for line in BufReader::new(file).lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Some(entry) = parse_flat_json(&line)
+                .as_ref()
+                .and_then(JournalEntry::from_map)
+            {
+                entries.insert(entry.key.clone(), entry);
+            }
+        }
+        Ok(entries)
+    }
+
+    /// Opens the journal for appending (creating parent directories and the
+    /// file as needed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn open_append(&self) -> std::io::Result<File> {
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+    }
+
+    /// Appends one entry (a single `write_all` of the full line, so a crash
+    /// can truncate at most the final line).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn append_to(file: &mut File, entry: &JournalEntry) -> std::io::Result<()> {
+        let mut line = entry.to_json_line();
+        line.push('\n');
+        file.write_all(line.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(key: &str, status: &str) -> JournalEntry {
+        JournalEntry {
+            key: key.to_owned(),
+            label: "base64 gcc+mcf".to_owned(),
+            design: "base64".to_owned(),
+            threads: 2,
+            seed: 7,
+            status: status.to_owned(),
+            attempts: 1,
+            ipc: 1.25,
+            cycles: 1_000,
+            committed: 1_250,
+            completion: "fixed-window".to_owned(),
+            error: String::new(),
+            message: "quote \" backslash \\ newline \n done".to_owned(),
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_json_line() {
+        let e = entry("abcd", "ok");
+        let line = e.to_json_line();
+        let map = parse_flat_json(&line).expect("parses");
+        let back = JournalEntry::from_map(&map).expect("rebuilds");
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn load_skips_malformed_lines_and_keeps_last_entry_per_key() {
+        let dir = std::env::temp_dir().join("shelfsim_journal_test_load");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("j.jsonl");
+        let j = Journal::new(&path);
+        let _ = std::fs::remove_file(&path);
+        let mut f = j.open_append().expect("open");
+        Journal::append_to(&mut f, &entry("k1", "quarantined")).expect("write");
+        Journal::append_to(&mut f, &entry("k2", "ok")).expect("write");
+        // A retry later overwrote k1's outcome, and a crash truncated the
+        // final line mid-write.
+        Journal::append_to(&mut f, &entry("k1", "ok")).expect("write");
+        use std::io::Write as _;
+        f.write_all(br#"{"key":"k3","status":"ok","trunc"#)
+            .expect("write");
+        drop(f);
+        let loaded = j.load().expect("load");
+        assert_eq!(loaded.len(), 2, "k3's torn line is skipped");
+        assert_eq!(loaded["k1"].status, "ok", "last entry per key wins");
+        assert_eq!(loaded["k2"].ipc, 1.25);
+    }
+
+    #[test]
+    fn missing_journal_is_empty() {
+        let j = Journal::new("/nonexistent/definitely/missing.jsonl");
+        assert!(j.load().expect("missing file is fine").is_empty());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_flat_json("not json").is_none());
+        assert!(parse_flat_json("{\"a\":}").is_none());
+        assert!(parse_flat_json("{\"a\":1} trailing").is_none());
+        assert!(parse_flat_json("{\"a\" 1}").is_none());
+        let ok = parse_flat_json(r#"{ "a" : "b" , "n" : 1.5 }"#).expect("spaced json parses");
+        assert_eq!(ok["a"], "b");
+        assert_eq!(ok["n"], "1.5");
+    }
+}

@@ -1,0 +1,415 @@
+//! The campaign executor: a worker pool that runs the job matrix with
+//! per-run `catch_unwind` isolation, a forward-progress watchdog, bounded
+//! retry with diagnostics escalation, quarantine, and journal-backed
+//! resume.
+
+use crate::fault::FaultKind;
+use crate::journal::{Journal, JournalEntry};
+use crate::report::CampaignReport;
+use crate::spec::{CampaignSpec, RunSpec};
+use shelfsim_core::{Completion, SimError, Simulation, Watchdog};
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// Final status of one campaign run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunStatus {
+    /// A (possibly retried) attempt produced results.
+    Ok,
+    /// Every attempt failed; the run is excluded from aggregation.
+    Quarantined,
+}
+
+impl RunStatus {
+    /// Stable lowercase tag.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RunStatus::Ok => "ok",
+            RunStatus::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// Classified cause of a failed attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The run panicked (caught by the isolation boundary).
+    Panic,
+    /// The forward-progress watchdog fired.
+    Deadlock,
+    /// The run is unbuildable (unknown design or benchmark) — retrying
+    /// cannot help, so it quarantines immediately.
+    Config,
+}
+
+impl FailureKind {
+    /// Stable lowercase tag (taxonomy key).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FailureKind::Panic => "panic",
+            FailureKind::Deadlock => "deadlock",
+            FailureKind::Config => "config",
+        }
+    }
+}
+
+/// A structured record of one failed attempt: a self-contained reproducer
+/// (design + mix + seed) plus the failure diagnosis.
+#[derive(Clone, Debug)]
+pub struct RunFailure {
+    /// Benchmark mix label.
+    pub bench: String,
+    /// Design-point name.
+    pub design: String,
+    /// Workload seed.
+    pub seed: u64,
+    /// Driver cycle at which a deadlock was diagnosed (`None` for panics).
+    pub cycle: Option<u64>,
+    /// Failure classification.
+    pub kind: FailureKind,
+    /// The panic payload or deadlock diagnosis.
+    pub panic_msg: String,
+    /// Which attempt (0-based) failed.
+    pub attempt: u32,
+    /// Whether the attempt ran in the escalated diagnostics tier.
+    pub diagnostics: bool,
+}
+
+/// Result numbers of a successful run (the aggregation inputs; the full
+/// [`shelfsim_core::RunResult`] stays inside the worker).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunOutcome {
+    /// Aggregate IPC.
+    pub ipc: f64,
+    /// Measured cycles.
+    pub cycles: u64,
+    /// Committed instructions.
+    pub committed: u64,
+    /// How the measurement ended.
+    pub completion: Completion,
+}
+
+/// Final record of one campaign run: status, attempt history, and outcome.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// The run that was executed.
+    pub spec: RunSpec,
+    /// Final status.
+    pub status: RunStatus,
+    /// Attempts consumed.
+    pub attempts: u32,
+    /// Every failed attempt, in order.
+    pub failures: Vec<RunFailure>,
+    /// The successful outcome (`None` when quarantined).
+    pub outcome: Option<RunOutcome>,
+    /// True when the record was restored from the journal instead of
+    /// executed (resume).
+    pub resumed: bool,
+}
+
+impl RunRecord {
+    fn from_journal(spec: RunSpec, entry: &JournalEntry) -> Self {
+        let status = if entry.status == "ok" {
+            RunStatus::Ok
+        } else {
+            RunStatus::Quarantined
+        };
+        let outcome = (status == RunStatus::Ok).then(|| RunOutcome {
+            ipc: entry.ipc,
+            cycles: entry.cycles,
+            committed: entry.committed,
+            completion: parse_completion(&entry.completion),
+        });
+        let failures = if entry.error.is_empty() {
+            Vec::new()
+        } else {
+            vec![RunFailure {
+                bench: spec.mix.join("+"),
+                design: spec.design.clone(),
+                seed: spec.seed,
+                cycle: None,
+                kind: match entry.error.as_str() {
+                    "deadlock" => FailureKind::Deadlock,
+                    "config" => FailureKind::Config,
+                    _ => FailureKind::Panic,
+                },
+                panic_msg: entry.message.clone(),
+                attempt: entry.attempts.saturating_sub(1),
+                diagnostics: false,
+            }]
+        };
+        RunRecord {
+            spec,
+            status,
+            attempts: entry.attempts,
+            failures,
+            outcome,
+            resumed: true,
+        }
+    }
+
+    fn to_journal_entry(&self) -> JournalEntry {
+        let last_failure = self.failures.last();
+        JournalEntry {
+            key: self.spec.key(),
+            label: self.spec.label(),
+            design: self.spec.design.clone(),
+            threads: self.spec.mix.len(),
+            seed: self.spec.seed,
+            status: self.status.as_str().to_owned(),
+            attempts: self.attempts,
+            ipc: self.outcome.as_ref().map_or(0.0, |o| o.ipc),
+            cycles: self.outcome.as_ref().map_or(0, |o| o.cycles),
+            committed: self.outcome.as_ref().map_or(0, |o| o.committed),
+            completion: self
+                .outcome
+                .as_ref()
+                .map_or(String::new(), |o| o.completion.as_str().to_owned()),
+            error: last_failure.map_or(String::new(), |f| f.kind.as_str().to_owned()),
+            message: last_failure.map_or(String::new(), |f| f.panic_msg.clone()),
+        }
+    }
+}
+
+fn parse_completion(tag: &str) -> Completion {
+    match tag {
+        "commit-target" => Completion::CommitTarget,
+        "max-cycles-expired" => Completion::MaxCyclesExpired,
+        _ => Completion::FixedWindow,
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// Refcounted suppression of the default panic hook: while at least one
+/// guard is alive, caught panics do not spew backtraces to stderr. The
+/// previous hook is restored when the last guard drops.
+struct QuietPanics {
+    active: bool,
+}
+
+type Hook = Box<dyn Fn(&panic::PanicHookInfo<'_>) + Sync + Send + 'static>;
+static QUIET_DEPTH: Mutex<usize> = Mutex::new(0);
+static PREV_HOOK: Mutex<Option<Hook>> = Mutex::new(None);
+
+impl QuietPanics {
+    fn new(enable: bool) -> Self {
+        if enable {
+            let mut depth = QUIET_DEPTH.lock().expect("hook registry");
+            if *depth == 0 {
+                *PREV_HOOK.lock().expect("hook registry") = Some(panic::take_hook());
+                panic::set_hook(Box::new(|_| {}));
+            }
+            *depth += 1;
+        }
+        QuietPanics { active: enable }
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        if self.active {
+            let mut depth = QUIET_DEPTH.lock().expect("hook registry");
+            *depth -= 1;
+            if *depth == 0 {
+                if let Some(prev) = PREV_HOOK.lock().expect("hook registry").take() {
+                    panic::set_hook(prev);
+                }
+            }
+        }
+    }
+}
+
+/// Executes one attempt of one run inside the isolation boundary.
+fn run_attempt(
+    spec: &RunSpec,
+    watchdog: Option<Watchdog>,
+    fault: Option<FaultKind>,
+    attempt: u32,
+) -> Result<RunOutcome, RunFailure> {
+    let diagnostics = attempt > 0;
+    let fail = |kind: FailureKind, cycle: Option<u64>, msg: String| RunFailure {
+        bench: spec.mix.join("+"),
+        design: spec.design.clone(),
+        seed: spec.seed,
+        cycle,
+        kind,
+        panic_msg: msg,
+        attempt,
+        diagnostics,
+    };
+
+    let isolated = panic::catch_unwind(AssertUnwindSafe(|| -> Result<RunOutcome, RunFailure> {
+        if fault == Some(FaultKind::Panic) {
+            panic!(
+                "injected fault: panic (run #{}, attempt {attempt})",
+                spec.index
+            );
+        }
+        let cfg = shelfsim_analyze::design_by_name(&spec.design, spec.mix.len().max(1))
+            .ok_or_else(|| {
+                fail(
+                    FailureKind::Config,
+                    None,
+                    format!(
+                        "unknown design `{}` (expected one of: {})",
+                        spec.design,
+                        shelfsim_analyze::DESIGN_NAMES.join(", ")
+                    ),
+                )
+            })?;
+        let names: Vec<&str> = spec.mix.iter().map(String::as_str).collect();
+        let mut sim = Simulation::from_names(cfg, &names, spec.seed)
+            .map_err(|e| fail(FailureKind::Config, None, e.to_string()))?;
+        if diagnostics {
+            // Escalation tier: keep a commit log so a reproduced failure
+            // carries pipeline context. With `--features sanitize` the
+            // per-cycle invariant audits are compiled in as well.
+            sim.enable_commit_log(64);
+        }
+        match fault {
+            Some(FaultKind::Stall) => {
+                // A recoverable slowdown: strictly inside the watchdog
+                // window, so a correct watchdog must NOT fire.
+                let window = watchdog.map_or(1_000, |w| w.window);
+                sim.inject_stall(spec.warmup / 2 + 1, window / 2);
+            }
+            Some(FaultKind::Livelock) => {
+                // No thread ever commits again: the watchdog must abort.
+                sim.inject_stall(spec.warmup / 2 + 1, u64::MAX);
+            }
+            _ => {}
+        }
+        match sim.try_run(spec.warmup, spec.measure, watchdog) {
+            Ok(r) => Ok(RunOutcome {
+                ipc: r.ipc(),
+                cycles: r.cycles,
+                committed: r.counters.committed,
+                completion: r.completion,
+            }),
+            Err(SimError::Deadlock(d)) => {
+                Err(fail(FailureKind::Deadlock, Some(d.cycle), d.to_string()))
+            }
+        }
+    }));
+    match isolated {
+        Ok(inner) => inner,
+        Err(payload) => Err(fail(FailureKind::Panic, None, panic_message(payload))),
+    }
+}
+
+/// Executes one run to its final status: bounded retries with diagnostics
+/// escalation, then quarantine.
+fn execute(spec: &RunSpec, campaign: &CampaignSpec) -> RunRecord {
+    let watchdog = campaign.watchdog.map(Watchdog::new);
+    let mut failures = Vec::new();
+    for attempt in 0..campaign.max_attempts.max(1) {
+        let fault = campaign.faults.fault_for(spec.index, attempt);
+        match run_attempt(spec, watchdog, fault, attempt) {
+            Ok(outcome) => {
+                return RunRecord {
+                    spec: spec.clone(),
+                    status: RunStatus::Ok,
+                    attempts: attempt + 1,
+                    failures,
+                    outcome: Some(outcome),
+                    resumed: false,
+                }
+            }
+            Err(f) => {
+                let unbuildable = f.kind == FailureKind::Config;
+                failures.push(f);
+                if unbuildable {
+                    break;
+                }
+            }
+        }
+    }
+    RunRecord {
+        spec: spec.clone(),
+        status: RunStatus::Quarantined,
+        attempts: failures.len() as u32,
+        failures,
+        outcome: None,
+        resumed: false,
+    }
+}
+
+/// Runs a campaign to completion: resumes from the journal, executes the
+/// remaining runs on `spec.workers` threads with per-run isolation, and
+/// returns the aggregate report. Individual-run failure never aborts the
+/// campaign — failed runs are retried, then quarantined, and the report
+/// carries partial results plus the error taxonomy.
+///
+/// # Errors
+///
+/// Returns an error only for journal I/O failures (loading an unreadable
+/// journal, or failing to append an outcome).
+pub fn run_campaign(spec: &CampaignSpec) -> std::io::Result<CampaignReport> {
+    let journal = spec.journal.as_ref().map(Journal::new);
+    let done = match &journal {
+        Some(j) => j.load()?,
+        None => Default::default(),
+    };
+
+    let mut records: Vec<Option<RunRecord>> = vec![None; spec.runs.len()];
+    let mut pending = VecDeque::new();
+    let mut resumed = 0usize;
+    for (i, run) in spec.runs.iter().enumerate() {
+        if let Some(entry) = done.get(&run.key()) {
+            records[i] = Some(RunRecord::from_journal(run.clone(), entry));
+            resumed += 1;
+        } else {
+            pending.push_back(i);
+        }
+    }
+
+    let journal_file = match &journal {
+        Some(j) => Some(Mutex::new(j.open_append()?)),
+        None => None,
+    };
+    let _quiet = QuietPanics::new(spec.quiet_panics);
+    let queue = Mutex::new(pending);
+    let finished: Mutex<Vec<(usize, RunRecord)>> = Mutex::new(Vec::new());
+    let io_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+    let workers = spec.workers.clamp(1, spec.runs.len().max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("job queue").pop_front();
+                let Some(i) = next else { break };
+                let record = execute(&spec.runs[i], spec);
+                if let Some(file) = &journal_file {
+                    let entry = record.to_journal_entry();
+                    let mut guard = file.lock().expect("journal file");
+                    if let Err(e) = Journal::append_to(&mut guard, &entry) {
+                        io_error.lock().expect("io error slot").get_or_insert(e);
+                    }
+                }
+                finished.lock().expect("results").push((i, record));
+            });
+        }
+    });
+
+    if let Some(e) = io_error.into_inner().expect("io error slot") {
+        return Err(e);
+    }
+    for (i, record) in finished.into_inner().expect("results") {
+        records[i] = Some(record);
+    }
+    let records = records
+        .into_iter()
+        .map(|r| r.expect("every run either resumed or executed"))
+        .collect();
+    Ok(CampaignReport::new(records, resumed))
+}

@@ -1,0 +1,210 @@
+//! Campaign and run specifications: the job matrix and its stable keys.
+
+use crate::fault::FaultPlan;
+use std::path::PathBuf;
+
+/// FNV-1a over a byte string (the same construction as
+/// [`shelfsim_core::CoreConfig::stable_hash`]).
+pub(crate) fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One run of the campaign matrix: a design point, a benchmark mix (one
+/// name per hardware thread), and the measurement parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunSpec {
+    /// Position in the campaign matrix (the [`FaultPlan`] keys on it).
+    pub index: usize,
+    /// Design-point name (resolved via
+    /// [`shelfsim_analyze::design_by_name`]).
+    pub design: String,
+    /// Benchmark mix, one name per thread.
+    pub mix: Vec<String>,
+    /// Workload seed.
+    pub seed: u64,
+    /// Warm-up cycles before measurement.
+    pub warmup: u64,
+    /// Measured cycles.
+    pub measure: u64,
+}
+
+impl RunSpec {
+    /// Human-readable label, e.g. `shelf-opt gcc+mcf`.
+    pub fn label(&self) -> String {
+        format!("{} {}", self.design, self.mix.join("+"))
+    }
+
+    /// Stable journal key: a hex fingerprint of the design configuration
+    /// (when the name resolves), the mix, the seed, and the measurement
+    /// parameters. Two runs with the same key would produce identical
+    /// results, so a journaled key means the run can be skipped on resume.
+    pub fn key(&self) -> String {
+        let cfg_hash = shelfsim_analyze::design_by_name(&self.design, self.mix.len().max(1))
+            .map(|c| c.stable_hash())
+            .unwrap_or(0);
+        let canonical = format!(
+            "{}|{:016x}|{}|{}|{}|{}",
+            self.design,
+            cfg_hash,
+            self.mix.join("+"),
+            self.seed,
+            self.warmup,
+            self.measure
+        );
+        format!("{:016x}", fnv1a(canonical.bytes()))
+    }
+}
+
+/// Full campaign configuration: the job matrix plus the resilience knobs.
+#[derive(Clone, Debug)]
+pub struct CampaignSpec {
+    /// The runs to execute.
+    pub runs: Vec<RunSpec>,
+    /// Forward-progress watchdog window in cycles (`None` disables it).
+    pub watchdog: Option<u64>,
+    /// Attempts per run before quarantine (≥ 1; attempt 2 onwards runs in
+    /// the diagnostics tier).
+    pub max_attempts: u32,
+    /// Worker threads executing runs concurrently.
+    pub workers: usize,
+    /// JSONL journal path; when set, outcomes are appended as they complete
+    /// and already-journaled runs are skipped on the next invocation.
+    pub journal: Option<PathBuf>,
+    /// Deterministic fault injection plan (empty = no faults).
+    pub faults: FaultPlan,
+    /// Suppress the default panic hook's backtrace spew while isolated runs
+    /// convert panics into structured failures.
+    pub quiet_panics: bool,
+}
+
+impl CampaignSpec {
+    /// A campaign over `runs` with resilient defaults: a watchdog window of
+    /// 100k cycles, 3 attempts per run, 2 workers, no journal, no faults.
+    pub fn new(runs: Vec<RunSpec>) -> Self {
+        CampaignSpec {
+            runs,
+            watchdog: Some(100_000),
+            max_attempts: 3,
+            workers: 2,
+            journal: None,
+            faults: FaultPlan::new(),
+            quiet_panics: true,
+        }
+    }
+
+    /// Sets the watchdog window (cycles); `None` disables the watchdog.
+    pub fn with_watchdog(mut self, window: Option<u64>) -> Self {
+        self.watchdog = window;
+        self
+    }
+
+    /// Sets the attempt budget per run (clamped to ≥ 1).
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Sets the worker-thread count (clamped to ≥ 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the journal path.
+    pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(path.into());
+        self
+    }
+
+    /// Sets the fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Builds the full design × mix matrix in deterministic order (designs
+    /// outer, mixes inner), assigning each run its matrix index.
+    pub fn matrix(
+        designs: &[String],
+        mixes: &[Vec<String>],
+        seed: u64,
+        warmup: u64,
+        measure: u64,
+    ) -> Vec<RunSpec> {
+        let mut runs = Vec::with_capacity(designs.len() * mixes.len());
+        for design in designs {
+            for mix in mixes {
+                runs.push(RunSpec {
+                    index: runs.len(),
+                    design: design.clone(),
+                    mix: mix.clone(),
+                    seed,
+                    warmup,
+                    measure,
+                });
+            }
+        }
+        runs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> RunSpec {
+        RunSpec {
+            index: 0,
+            design: "base64".to_owned(),
+            mix: vec!["gcc".to_owned(), "mcf".to_owned()],
+            seed: 7,
+            warmup: 100,
+            measure: 1_000,
+        }
+    }
+
+    #[test]
+    fn key_is_stable_and_parameter_sensitive() {
+        let a = spec();
+        assert_eq!(a.key(), spec().key(), "same spec, same key");
+        let mut b = spec();
+        b.seed = 8;
+        assert_ne!(a.key(), b.key(), "seed changes the key");
+        let mut c = spec();
+        c.design = "base128".to_owned();
+        assert_ne!(a.key(), c.key(), "design changes the key");
+        let mut d = spec();
+        d.measure = 2_000;
+        assert_ne!(a.key(), d.key(), "measurement budget changes the key");
+        // The index is presentation-only: it must NOT affect the key, or
+        // resuming a reordered campaign would re-run completed work.
+        let mut e = spec();
+        e.index = 99;
+        assert_eq!(a.key(), e.key());
+    }
+
+    #[test]
+    fn matrix_enumerates_designs_times_mixes() {
+        let runs = CampaignSpec::matrix(
+            &["base64".to_owned(), "shelf-opt".to_owned()],
+            &[vec!["gcc".to_owned()], vec!["mcf".to_owned()]],
+            7,
+            100,
+            1_000,
+        );
+        assert_eq!(runs.len(), 4);
+        assert_eq!(runs[0].design, "base64");
+        assert_eq!(runs[3].design, "shelf-opt");
+        assert_eq!(
+            runs.iter().map(|r| r.index).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        let keys: std::collections::BTreeSet<String> = runs.iter().map(|r| r.key()).collect();
+        assert_eq!(keys.len(), 4, "all matrix keys distinct");
+    }
+}

@@ -1,0 +1,214 @@
+//! End-to-end resilience tests: a fault-injected campaign must isolate
+//! panics, abort livelocks via the watchdog, retry transient failures,
+//! quarantine persistent ones, finish with partial results plus an error
+//! taxonomy, and resume idempotently from its journal.
+
+use shelfsim_campaign::{run_campaign, CampaignSpec, FailureKind, FaultKind, FaultPlan, RunStatus};
+
+fn matrix() -> Vec<shelfsim_campaign::RunSpec> {
+    CampaignSpec::matrix(
+        &["base64".to_owned(), "shelf-opt".to_owned()],
+        &[
+            vec!["gcc".to_owned(), "mcf".to_owned()],
+            vec!["hmmer".to_owned(), "lbm".to_owned()],
+        ],
+        7,     // seed
+        200,   // warm-up cycles
+        1_200, // measured cycles
+    )
+}
+
+fn temp_journal(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("shelfsim_campaign_tests");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// The acceptance scenario: injected panics and one injected deadlock; the
+/// campaign finishes with partial results and a taxonomy, and a second
+/// invocation resumes from the journal without re-running anything.
+#[test]
+fn faulty_campaign_retries_quarantines_and_resumes() {
+    let journal = temp_journal("faulty.jsonl");
+    let faults = FaultPlan::new()
+        .inject(0, FaultKind::Panic, 1) // transient: retry succeeds
+        .inject(1, FaultKind::Livelock, 1) // watchdog aborts attempt 1; retry succeeds
+        .inject(3, FaultKind::Panic, u32::MAX); // persistent: quarantined
+    let spec = CampaignSpec::new(matrix())
+        .with_watchdog(Some(600))
+        .with_max_attempts(3)
+        .with_workers(2)
+        .with_journal(&journal)
+        .with_faults(faults);
+
+    let report = run_campaign(&spec).expect("campaign itself must not fail");
+    assert_eq!(report.records.len(), 4);
+    assert_eq!(report.completed(), 3, "partial results, not an abort");
+    assert_eq!(report.quarantined(), 1);
+    assert_eq!(report.resumed, 0);
+
+    // Run 0: panicked once, recovered on the diagnostics-tier retry.
+    let r0 = &report.records[0];
+    assert_eq!(r0.status, RunStatus::Ok);
+    assert_eq!(r0.attempts, 2);
+    assert_eq!(r0.failures.len(), 1);
+    assert_eq!(r0.failures[0].kind, FailureKind::Panic);
+    assert!(r0.failures[0].panic_msg.contains("injected fault"));
+    assert_eq!(r0.failures[0].bench, "gcc+mcf");
+    assert_eq!(
+        r0.failures[0].seed, 7,
+        "failure is a self-contained reproducer"
+    );
+
+    // Run 1: the watchdog diagnosed the injected livelock instead of
+    // spinning, and the retry succeeded.
+    let r1 = &report.records[1];
+    assert_eq!(r1.status, RunStatus::Ok);
+    assert_eq!(r1.failures[0].kind, FailureKind::Deadlock);
+    assert!(r1.failures[0].cycle.is_some(), "deadlock reports its cycle");
+    assert!(
+        r1.failures[0].panic_msg.contains("rob="),
+        "deadlock carries an occupancy snapshot: {}",
+        r1.failures[0].panic_msg
+    );
+
+    // Run 3: persistent panic exhausts the attempt budget.
+    let r3 = &report.records[3];
+    assert_eq!(r3.status, RunStatus::Quarantined);
+    assert_eq!(r3.attempts, 3);
+    assert!(r3.outcome.is_none());
+
+    // Taxonomy covers every failure mode.
+    let taxonomy = report.taxonomy();
+    assert_eq!(taxonomy.count("ok"), 3);
+    assert_eq!(taxonomy.count("quarantined"), 1);
+    assert_eq!(taxonomy.count("retried-ok"), 2);
+    assert_eq!(taxonomy.count("panic"), 4, "1 transient + 3 persistent");
+    assert_eq!(taxonomy.count("deadlock"), 1);
+
+    // Aggregation covers completed runs only, grouped by design.
+    let per_design = report.per_design_ipc();
+    assert_eq!(per_design.len(), 2);
+    assert_eq!(per_design[0].0, "base64");
+    assert_eq!(per_design[0].2, 2);
+    assert_eq!(per_design[1].0, "shelf-opt");
+    assert_eq!(
+        per_design[1].2, 1,
+        "the quarantined shelf-opt run is absent"
+    );
+
+    // Re-invoking the identical campaign resumes everything from the
+    // journal — no run (not even the quarantined one) re-executes, and the
+    // aggregate results are identical.
+    let resumed_report = run_campaign(&spec).expect("resume");
+    assert_eq!(resumed_report.resumed, 4, "nothing re-ran");
+    assert!(resumed_report.records.iter().all(|r| r.resumed));
+    assert_eq!(resumed_report.completed(), 3);
+    assert_eq!(resumed_report.quarantined(), 1);
+    for (fresh, restored) in report.records.iter().zip(&resumed_report.records) {
+        assert_eq!(fresh.status, restored.status);
+        match (&fresh.outcome, &restored.outcome) {
+            (Some(a), Some(b)) => {
+                assert!((a.ipc - b.ipc).abs() < 1e-6);
+                assert_eq!(a.cycles, b.cycles);
+                assert_eq!(a.completion, b.completion);
+            }
+            (None, None) => {}
+            _ => panic!("outcome presence must survive resume"),
+        }
+    }
+}
+
+/// A campaign killed partway through (simulated by journaling only a prefix
+/// of the matrix) resumes and produces results identical to an uninterrupted
+/// campaign.
+#[test]
+fn killed_campaign_resumes_with_identical_results() {
+    let journal = temp_journal("killed.jsonl");
+    let runs = matrix();
+
+    // Reference: the same matrix run in one uninterrupted campaign.
+    let reference = run_campaign(&CampaignSpec::new(runs.clone()).with_watchdog(Some(5_000)))
+        .expect("reference campaign");
+
+    // "Kill" after two runs: execute only a prefix against the journal.
+    let prefix = CampaignSpec::new(runs[..2].to_vec())
+        .with_watchdog(Some(5_000))
+        .with_journal(&journal);
+    let partial = run_campaign(&prefix).expect("prefix campaign");
+    assert_eq!(partial.completed(), 2);
+
+    // Re-invoke the FULL campaign: the journaled prefix is skipped, only
+    // the remaining half executes, and results match the reference exactly.
+    let full = CampaignSpec::new(runs)
+        .with_watchdog(Some(5_000))
+        .with_journal(&journal);
+    let resumed = run_campaign(&full).expect("resumed campaign");
+    assert_eq!(resumed.resumed, 2, "the journaled prefix was skipped");
+    assert_eq!(resumed.completed(), 4);
+    for (a, b) in reference.records.iter().zip(&resumed.records) {
+        let (ra, rb) = (a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+        assert!(
+            (ra.ipc - rb.ipc).abs() < 1e-6,
+            "{}: {} vs {}",
+            a.spec.label(),
+            ra.ipc,
+            rb.ipc
+        );
+        assert_eq!(ra.committed, rb.committed);
+    }
+}
+
+/// An injected sub-window stall slows a run down but must neither trip the
+/// watchdog nor consume a retry.
+#[test]
+fn sub_window_stall_is_tolerated() {
+    let faults = FaultPlan::new().inject(0, FaultKind::Stall, 1);
+    let spec = CampaignSpec::new(matrix()[..1].to_vec())
+        .with_watchdog(Some(600))
+        .with_faults(faults);
+    let report = run_campaign(&spec).expect("campaign");
+    let r = &report.records[0];
+    assert_eq!(r.status, RunStatus::Ok);
+    assert_eq!(r.attempts, 1, "no retry consumed");
+    assert!(r.failures.is_empty());
+}
+
+/// Unknown designs and benchmarks quarantine immediately (config failures
+/// are not retryable) with a message naming the valid options.
+#[test]
+fn config_failures_quarantine_without_retries() {
+    let mut runs = matrix()[..1].to_vec();
+    runs[0].design = "warp-drive".to_owned();
+    let report = run_campaign(&CampaignSpec::new(runs)).expect("campaign");
+    let r = &report.records[0];
+    assert_eq!(r.status, RunStatus::Quarantined);
+    assert_eq!(r.attempts, 1, "retrying an unbuildable run is pointless");
+    assert_eq!(r.failures[0].kind, FailureKind::Config);
+    assert!(
+        r.failures[0].panic_msg.contains("base64"),
+        "error names valid designs: {}",
+        r.failures[0].panic_msg
+    );
+}
+
+/// Reports render both human- and machine-readable summaries.
+#[test]
+fn report_renders_text_and_json() {
+    let faults = FaultPlan::new().inject(1, FaultKind::Panic, u32::MAX);
+    let spec = CampaignSpec::new(matrix()[..2].to_vec())
+        .with_watchdog(Some(5_000))
+        .with_max_attempts(2)
+        .with_faults(faults);
+    let report = run_campaign(&spec).expect("campaign");
+    let text = report.render_text();
+    assert!(text.contains("1 completed, 1 quarantined"), "{text}");
+    assert!(text.contains("[quarantined]"), "{text}");
+    assert!(text.contains("taxonomy:"), "{text}");
+    let json = report.render_json();
+    assert!(json.starts_with('{'), "{json}");
+    assert!(json.contains("\"quarantined\":1"), "{json}");
+    assert!(json.contains("\"taxonomy\""), "{json}");
+}

@@ -13,9 +13,7 @@
 //! Everything is plumbed through [`run_cli`] so the argument handling is
 //! unit-testable without spawning a process.
 
-use shelfsim::{
-    balanced_random_mixes, suite, CoreConfig, EnergyModel, MemoryModel, Simulation, SteerPolicy,
-};
+use shelfsim::{balanced_random_mixes, suite, CoreConfig, EnergyModel, MemoryModel, Simulation};
 use std::fmt::Write as _;
 
 /// A parse or execution error with a user-facing message.
@@ -34,6 +32,14 @@ fn err(msg: impl Into<String>) -> CliError {
     CliError(msg.into())
 }
 
+/// Parses a numeric flag value, echoing the offending text on failure
+/// (`--warmup: invalid number \`abc\``).
+fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, CliError> {
+    value
+        .parse()
+        .map_err(|_| err(format!("{flag}: invalid number `{value}`")))
+}
+
 /// Parsed common options.
 #[derive(Debug, Clone)]
 struct Options {
@@ -41,6 +47,9 @@ struct Options {
     mix: Vec<String>,
     warmup: u64,
     measure: u64,
+    /// Equal-work mode: run until every thread commits this many
+    /// instructions (with `measure` as the cycle budget).
+    until: Option<u64>,
     seed: u64,
     tso: bool,
     json: bool,
@@ -53,6 +62,7 @@ impl Default for Options {
             mix: vec![],
             warmup: 10_000,
             measure: 40_000,
+            until: None,
             seed: 7,
             tso: false,
             json: false,
@@ -74,21 +84,10 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--mix" => {
                 o.mix = val("--mix")?.split(',').map(str::to_owned).collect();
             }
-            "--warmup" => {
-                o.warmup = val("--warmup")?
-                    .parse()
-                    .map_err(|_| err("--warmup: not a number"))?
-            }
-            "--measure" => {
-                o.measure = val("--measure")?
-                    .parse()
-                    .map_err(|_| err("--measure: not a number"))?
-            }
-            "--seed" => {
-                o.seed = val("--seed")?
-                    .parse()
-                    .map_err(|_| err("--seed: not a number"))?
-            }
+            "--warmup" => o.warmup = parse_num("--warmup", &val("--warmup")?)?,
+            "--measure" => o.measure = parse_num("--measure", &val("--measure")?)?,
+            "--until" => o.until = Some(parse_num("--until", &val("--until")?)?),
+            "--seed" => o.seed = parse_num("--seed", &val("--seed")?)?,
             "--tso" => o.tso = true,
             "--json" => o.json = true,
             other => return Err(err(format!("unknown option `{other}`"))),
@@ -98,29 +97,32 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
 }
 
 /// Builds the configuration named by `--design` for `threads` contexts.
+/// The design table lives in `shelfsim::analyze` (one source of truth for
+/// the CLI, the linter, and the campaign runner).
 pub fn design_config(name: &str, threads: usize) -> Result<CoreConfig, CliError> {
-    let cfg = match name {
-        "base64" => CoreConfig::base64(threads),
-        "base128" => CoreConfig::base128(threads),
-        "shelf-cons" => CoreConfig::base64_shelf64(threads, SteerPolicy::Practical, false),
-        "shelf-opt" => CoreConfig::base64_shelf64(threads, SteerPolicy::Practical, true),
-        "shelf-oracle" => CoreConfig::base64_shelf64(threads, SteerPolicy::Oracle, true),
-        "shelf-inorder" => CoreConfig::base64_shelf64(threads, SteerPolicy::AlwaysShelf, true),
-        other => {
-            return Err(err(format!(
-                "unknown design `{other}` (expected base64, base128, shelf-cons, shelf-opt, \
-                 shelf-oracle, or shelf-inorder)"
-            )))
-        }
-    };
-    Ok(cfg)
+    shelfsim::analyze::design_by_name(name, threads).ok_or_else(|| unknown_design(name))
+}
+
+/// The standard "unknown design" error, listing every valid name.
+fn unknown_design(name: &str) -> CliError {
+    err(format!(
+        "unknown design `{name}` (expected one of: {})",
+        shelfsim::analyze::DESIGN_NAMES.join(", ")
+    ))
 }
 
 fn run_one(cfg: CoreConfig, mix: &[String], o: &Options, out: &mut String) -> Result<(), CliError> {
     let names: Vec<&str> = mix.iter().map(String::as_str).collect();
     let model = EnergyModel::for_config(&cfg);
     let mut sim = Simulation::from_names(cfg, &names, o.seed).map_err(|e| err(e.to_string()))?;
-    let r = sim.run(o.warmup, o.measure);
+    // `--until N` switches to equal-work measurement: run until every
+    // thread commits N instructions, with `--measure` as the cycle budget.
+    // The completion tag in the output says whether the target was reached
+    // or the budget expired (formerly silent truncation).
+    let r = match o.until {
+        Some(insts) => sim.run_until_committed(o.warmup, insts, o.measure),
+        None => sim.run(o.warmup, o.measure),
+    };
     let rep = model.report(&r);
     if o.json {
         let threads: Vec<String> = r
@@ -139,9 +141,10 @@ fn run_one(cfg: CoreConfig, mix: &[String], o: &Options, out: &mut String) -> Re
             .collect();
         writeln!(
             out,
-            r#"{{"ipc":{:.4},"cycles":{},"shelf_fraction":{:.4},"epi":{:.2},"edp":{:.2},"threads":[{}]}}"#,
+            r#"{{"ipc":{:.4},"cycles":{},"completion":"{}","shelf_fraction":{:.4},"epi":{:.2},"edp":{:.2},"threads":[{}]}}"#,
             r.ipc(),
             r.cycles,
+            r.completion.as_str(),
             r.counters.shelf_dispatch_fraction(),
             rep.energy_per_instruction(),
             rep.edp(),
@@ -152,12 +155,17 @@ fn run_one(cfg: CoreConfig, mix: &[String], o: &Options, out: &mut String) -> Re
         writeln!(out, "mix: {}", mix.join("+")).expect("write");
         writeln!(
             out,
-            "IPC {:.3}   shelf {:.0}%   EPI {:.0}   EDP {:.0}   ({} cycles measured)",
+            "IPC {:.3}   shelf {:.0}%   EPI {:.0}   EDP {:.0}   ({} cycles measured, {})",
             r.ipc(),
             r.counters.shelf_dispatch_fraction() * 100.0,
             rep.energy_per_instruction(),
             rep.edp(),
-            r.cycles
+            r.cycles,
+            if r.completion.is_truncated() {
+                "TRUNCATED: max cycles expired before the commit target"
+            } else {
+                r.completion.as_str()
+            }
         )
         .expect("write");
         for t in &r.threads {
@@ -229,9 +237,9 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                     .next()
                     .ok_or_else(|| err(format!("{a} requires a value")))?;
                 match a.as_str() {
-                    "--threads" => threads = v.parse().map_err(|_| err("--threads"))?,
-                    "--count" => count = v.parse().map_err(|_| err("--count"))?,
-                    "--seed" => seed = v.parse().map_err(|_| err("--seed"))?,
+                    "--threads" => threads = parse_num("--threads", v)?,
+                    "--count" => count = parse_num("--count", v)?,
+                    "--seed" => seed = parse_num("--seed", v)?,
                     other => return Err(err(format!("unknown option `{other}`"))),
                 }
             }
@@ -291,7 +299,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                         let v = it.next().ok_or_else(|| err("--values needs a value"))?;
                         values = v
                             .split(',')
-                            .map(|x| x.parse().map_err(|_| err("--values: not numbers")))
+                            .map(|x| parse_num("--values", x))
                             .collect::<Result<_, _>>()?;
                     }
                     other => {
@@ -513,6 +521,104 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 .expect("write");
             }
         }
+        "campaign" => {
+            let mut designs: Vec<String> = vec!["base64".to_owned(), "shelf-opt".to_owned()];
+            let mut threads = 4usize;
+            let mut mix_count = 4usize;
+            let mut explicit_mixes: Vec<Vec<String>> = vec![];
+            let mut seed = 7u64;
+            let mut warmup = 2_000u64;
+            let mut measure = 10_000u64;
+            let mut watchdog: Option<u64> = Some(100_000);
+            let mut attempts = 3u32;
+            let mut workers = 2usize;
+            let mut journal: Option<String> = None;
+            let mut fault_mix = shelfsim::FaultMix::default();
+            let mut fault_seed = 0u64;
+            let mut json = false;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                if a == "--json" {
+                    json = true;
+                    continue;
+                }
+                let v = it
+                    .next()
+                    .ok_or_else(|| err(format!("{a} requires a value")))?;
+                match a.as_str() {
+                    "--designs" => {
+                        designs = v.split(',').map(str::to_owned).collect();
+                        for d in &designs {
+                            design_config(d, 1)?;
+                        }
+                    }
+                    "--threads" => threads = parse_num("--threads", v)?,
+                    "--mixes" => mix_count = parse_num("--mixes", v)?,
+                    "--mix" => {
+                        explicit_mixes.push(v.split(',').map(str::to_owned).collect());
+                    }
+                    "--seed" => seed = parse_num("--seed", v)?,
+                    "--warmup" => warmup = parse_num("--warmup", v)?,
+                    "--measure" => measure = parse_num("--measure", v)?,
+                    "--watchdog" => {
+                        let w: u64 = parse_num("--watchdog", v)?;
+                        watchdog = (w > 0).then_some(w);
+                    }
+                    "--attempts" => attempts = parse_num("--attempts", v)?,
+                    "--workers" => workers = parse_num("--workers", v)?,
+                    "--journal" => journal = Some(v.clone()),
+                    "--fault-panics" => fault_mix.panics = parse_num("--fault-panics", v)?,
+                    "--fault-persistent-panics" => {
+                        fault_mix.persistent_panics = parse_num("--fault-persistent-panics", v)?
+                    }
+                    "--fault-stalls" => fault_mix.stalls = parse_num("--fault-stalls", v)?,
+                    "--fault-livelocks" => fault_mix.livelocks = parse_num("--fault-livelocks", v)?,
+                    "--fault-seed" => fault_seed = parse_num("--fault-seed", v)?,
+                    other => return Err(err(format!("unknown option `{other}`"))),
+                }
+            }
+            let mixes: Vec<Vec<String>> = if explicit_mixes.is_empty() {
+                let names = suite::names();
+                balanced_random_mixes(&names, threads, names.len(), seed)
+                    .iter()
+                    .take(mix_count)
+                    .map(|m| m.benchmarks.iter().map(|b| (*b).to_owned()).collect())
+                    .collect()
+            } else {
+                explicit_mixes
+            };
+            let runs = shelfsim::CampaignSpec::matrix(&designs, &mixes, seed, warmup, measure);
+            let n_runs = runs.len();
+            let n_faults = fault_mix.panics
+                + fault_mix.persistent_panics
+                + fault_mix.stalls
+                + fault_mix.livelocks;
+            if n_faults > n_runs {
+                return Err(err(format!(
+                    "fault injection wants {n_faults} victim runs but the campaign has only \
+                     {n_runs}"
+                )));
+            }
+            let mut spec = shelfsim::CampaignSpec::new(runs)
+                .with_watchdog(watchdog)
+                .with_max_attempts(attempts)
+                .with_workers(workers);
+            if let Some(path) = journal {
+                spec = spec.with_journal(path);
+            }
+            if n_faults > 0 {
+                spec = spec.with_faults(shelfsim::FaultPlan::seeded(fault_seed, n_runs, fault_mix));
+            }
+            let report =
+                shelfsim::run_campaign(&spec).map_err(|e| err(format!("campaign journal: {e}")))?;
+            out.push_str(&if json {
+                let mut j = report.render_json();
+                j.push('\n');
+                j
+            } else {
+                report.render_text()
+            });
+        }
         "lint" => {
             let mut format_json = false;
             let mut design: Option<String> = None;
@@ -541,11 +647,10 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                         )
                     }
                     "--threads" => {
-                        threads = it
-                            .next()
-                            .ok_or_else(|| err("--threads requires a value"))?
-                            .parse()
-                            .map_err(|_| err("--threads: not a number"))?
+                        threads = parse_num(
+                            "--threads",
+                            it.next().ok_or_else(|| err("--threads requires a value"))?,
+                        )?
                     }
                     other if other.starts_with("--") => {
                         return Err(err(format!("unknown option `{other}`")))
@@ -561,12 +666,8 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             }
             let mut diags = Vec::new();
             if let Some(name) = &design {
-                let cfg = shelfsim::analyze::design_by_name(name, threads).ok_or_else(|| {
-                    err(format!(
-                        "unknown design `{name}` (expected base64, base128, shelf-cons, \
-                         shelf-opt, shelf-oracle, or shelf-inorder)"
-                    ))
-                })?;
+                let cfg = shelfsim::analyze::design_by_name(name, threads)
+                    .ok_or_else(|| unknown_design(name))?;
                 diags.extend(shelfsim::analyze::lint_config(&cfg));
             }
             for path in &files {
@@ -619,6 +720,15 @@ USAGE:
                    (static checks: .s kernels get the SA dataflow lints,
                    key=value config files and --design get the SC
                    contradiction lints; errors exit nonzero)
+  shelfsim campaign [--designs d1,d2] [--threads N] [--mixes N | --mix b1,b2 ...]
+                   [--seed N] [--warmup N] [--measure N] [--watchdog N]
+                   [--attempts N] [--workers N] [--journal FILE] [--json]
+                   [--fault-panics N] [--fault-persistent-panics N]
+                   [--fault-stalls N] [--fault-livelocks N] [--fault-seed N]
+                   (fault-tolerant design x mix sweep: per-run panic isolation,
+                   forward-progress watchdog, retry escalation, quarantine, and
+                   a resumable journal — re-invoking with the same --journal
+                   skips completed runs; --watchdog 0 disables the watchdog)
 
 DESIGNS: base64, base128, shelf-cons, shelf-opt, shelf-oracle, shelf-inorder
 SWEEP PARAMS: shelf, rob, iq, lq, sq, rct-bits, plt-columns
@@ -841,6 +951,94 @@ mod tests {
         assert!(e.0.contains("unknown design"), "{}", e.0);
         let e = run_cli(&args("lint --frobnicate x.s")).unwrap_err();
         assert!(e.0.contains("unknown option"), "{}", e.0);
+    }
+
+    #[test]
+    fn numeric_flag_errors_echo_the_offending_value() {
+        let e = run_cli(&args("run --mix gcc --warmup abc")).unwrap_err();
+        assert!(e.0.contains("--warmup"), "{}", e.0);
+        assert!(e.0.contains("`abc`"), "{}", e.0);
+        let e = run_cli(&args("sweep --param shelf --values 16,banana --mix gcc")).unwrap_err();
+        assert!(e.0.contains("`banana`"), "{}", e.0);
+        let e = run_cli(&args("mixes --count -3")).unwrap_err();
+        assert!(e.0.contains("`-3`"), "{}", e.0);
+    }
+
+    #[test]
+    fn unknown_design_error_lists_valid_names() {
+        let e = run_cli(&args("run --mix gcc --design warp-drive")).unwrap_err();
+        assert!(e.0.contains("warp-drive"), "{}", e.0);
+        assert!(e.0.contains("base64"), "{}", e.0);
+        assert!(e.0.contains("shelf-opt"), "{}", e.0);
+    }
+
+    #[test]
+    fn run_until_reports_truncation() {
+        // An absurd commit target with a tiny cycle budget must be reported
+        // as truncated, not silently passed off as a full measurement.
+        let out = run_cli(&args(
+            "run --mix hmmer --design base64 --warmup 200 --until 1000000 --measure 500",
+        ))
+        .expect("ok");
+        assert!(out.contains("TRUNCATED"), "{out}");
+        let out = run_cli(&args(
+            "run --mix hmmer --design base64 --warmup 200 --until 1000000 --measure 500 --json",
+        ))
+        .expect("ok");
+        assert!(
+            out.contains("\"completion\":\"max-cycles-expired\""),
+            "{out}"
+        );
+    }
+
+    fn campaign_journal(name: &str) -> String {
+        let dir = std::env::temp_dir().join("shelfsim_cli_campaign");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn campaign_runs_faulted_matrix_and_resumes() {
+        let journal = campaign_journal("cli.jsonl");
+        let cmd = format!(
+            "campaign --designs base64,shelf-opt --mix gcc,mcf --mix hmmer,lbm \
+             --warmup 200 --measure 1200 --watchdog 5000 --workers 2 \
+             --fault-panics 1 --fault-persistent-panics 1 --fault-seed 3 \
+             --journal {journal}"
+        );
+        let out = run_cli(&args(&cmd)).expect("campaign completes despite faults");
+        assert!(out.contains("campaign: 4 runs"), "{out}");
+        assert!(out.contains("3 completed, 1 quarantined"), "{out}");
+        assert!(out.contains("taxonomy:"), "{out}");
+        // Same invocation again: everything resumes from the journal.
+        let out = run_cli(&args(&cmd)).expect("resume");
+        assert!(out.contains("4 resumed from journal"), "{out}");
+    }
+
+    #[test]
+    fn campaign_json_output_is_structured() {
+        let out = run_cli(&args(
+            "campaign --designs base64 --mix gcc,mcf --warmup 200 --measure 1200 --json",
+        ))
+        .expect("ok");
+        assert!(out.trim_start().starts_with('{'), "{out}");
+        assert!(out.contains("\"completed\":1"), "{out}");
+        assert!(out.contains("\"per_design\""), "{out}");
+    }
+
+    #[test]
+    fn campaign_validates_designs_and_fault_budget() {
+        let e = run_cli(&args("campaign --designs warp-drive --mix gcc,mcf")).unwrap_err();
+        assert!(e.0.contains("unknown design"), "{}", e.0);
+        let e = run_cli(&args(
+            "campaign --designs base64 --mix gcc,mcf --fault-panics 5",
+        ))
+        .unwrap_err();
+        assert!(e.0.contains("victim"), "{}", e.0);
+        let e = run_cli(&args("campaign --workers nope")).unwrap_err();
+        assert!(e.0.contains("`nope`"), "{}", e.0);
     }
 
     #[test]

@@ -273,6 +273,20 @@ impl CoreConfig {
         assert!((1..=8).contains(&self.rct_bits));
         assert!((1..=8).contains(&self.plt_columns));
     }
+
+    /// A deterministic 64-bit fingerprint of the full configuration
+    /// (FNV-1a over the canonical `Debug` rendering). Equal configurations
+    /// hash equal; any field change changes the hash. Used to key campaign
+    /// journal entries and to stamp [`crate::sim::RunMeta`] so a result can
+    /// be matched back to the exact design point that produced it.
+    pub fn stable_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in format!("{self:?}").bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
 }
 
 #[cfg(test)]

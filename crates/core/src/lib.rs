@@ -37,6 +37,9 @@ pub use classify::Classifier;
 pub use config::{CoreConfig, FetchPolicy, MemoryModel, SteerPolicy};
 pub use counters::{Counters, StallCounters};
 pub use inst::{InstId, Slab, Slot, Stage, Steer};
-pub use pipeline::{CommitRecord, Core};
-pub use sim::{RunResult, Simulation, ThreadResult, UnknownBenchmark};
+pub use pipeline::{CommitRecord, Core, ThreadOccupancy};
+pub use sim::{
+    Completion, DeadlockReport, RunMeta, RunResult, SimError, Simulation, ThreadResult,
+    UnknownBenchmark, Watchdog,
+};
 pub use steer::{OracleSteer, PracticalSteer};

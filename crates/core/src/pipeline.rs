@@ -195,6 +195,32 @@ pub struct CommitRecord {
     pub commit: u64,
 }
 
+/// Occupancy snapshot of one thread's pipeline structures, taken when the
+/// forward-progress watchdog aborts a run (see
+/// [`crate::sim::DeadlockReport`]) or on demand via
+/// [`Core::thread_occupancy`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ThreadOccupancy {
+    /// Hardware thread index.
+    pub thread: usize,
+    /// Instructions committed so far (whole run).
+    pub committed: u64,
+    /// ROB entries occupied.
+    pub rob: usize,
+    /// Load-queue entries occupied.
+    pub lq: usize,
+    /// Store-queue entries occupied.
+    pub sq: usize,
+    /// Shelf entries occupied.
+    pub shelf: usize,
+    /// Instructions in the in-order window (dispatched, pre-commit).
+    pub window: usize,
+    /// Frontend (fetch-to-dispatch) buffer occupancy.
+    pub frontend: usize,
+    /// Cycle until which fetch is stalled (0 = not stalled).
+    pub fetch_stalled_until: u64,
+}
+
 /// The simulated core.
 pub struct Core {
     cfg: CoreConfig,
@@ -386,6 +412,32 @@ impl Core {
     /// Committed instruction count of thread `t`.
     pub fn committed(&self, t: usize) -> u64 {
         self.threads[t].committed
+    }
+
+    /// Shared-IQ occupancy (instruction ids currently waiting in the
+    /// unordered issue queue, across all threads).
+    pub fn iq_len(&self) -> usize {
+        self.iq.len()
+    }
+
+    /// Structured occupancy snapshot of every thread's queues, for deadlock
+    /// diagnosis (see [`crate::sim::DeadlockReport`]).
+    pub fn thread_occupancy(&self) -> Vec<ThreadOccupancy> {
+        self.threads
+            .iter()
+            .enumerate()
+            .map(|(t, th)| ThreadOccupancy {
+                thread: t,
+                committed: th.committed,
+                rob: th.rob.len(),
+                lq: th.lq.len(),
+                sq: th.sq.len(),
+                shelf: th.shelf.len(),
+                window: th.window.len(),
+                frontend: th.frontend.len(),
+                fetch_stalled_until: th.fetch_stalled_until,
+            })
+            .collect()
     }
 
     /// One-line debug snapshot of thread `t`'s pipeline occupancy.

@@ -4,7 +4,7 @@
 
 use crate::config::CoreConfig;
 use crate::counters::Counters;
-use crate::pipeline::Core;
+use crate::pipeline::{Core, ThreadOccupancy};
 use shelfsim_mem::CacheStats;
 use shelfsim_stats::WeightedCdf;
 use shelfsim_workload::{suite, BenchmarkProfile, TraceSource};
@@ -26,6 +26,123 @@ impl std::fmt::Display for UnknownBenchmark {
 }
 
 impl std::error::Error for UnknownBenchmark {}
+
+/// How a measured run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Completion {
+    /// A fixed-cycle measurement window ran to its end ([`Simulation::run`]).
+    FixedWindow,
+    /// Every thread reached its per-thread commit target
+    /// ([`Simulation::run_until_committed`]).
+    CommitTarget,
+    /// `max_cycles` expired before every thread reached its commit target:
+    /// the results cover only the measured prefix and equal-work
+    /// comparisons against them are suspect.
+    MaxCyclesExpired,
+}
+
+impl Completion {
+    /// True when the run ended early and the results are partial.
+    pub fn is_truncated(&self) -> bool {
+        matches!(self, Completion::MaxCyclesExpired)
+    }
+
+    /// Stable lowercase tag (journal/JSON output).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Completion::FixedWindow => "fixed-window",
+            Completion::CommitTarget => "commit-target",
+            Completion::MaxCyclesExpired => "max-cycles-expired",
+        }
+    }
+}
+
+impl std::fmt::Display for Completion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Reproducibility metadata stamped into every [`RunResult`]: enough to
+/// rebuild the exact simulation that produced it (the benchmark mix, the
+/// workload seed, and a fingerprint of the full configuration).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Workload seed passed to [`Simulation::new`].
+    pub seed: u64,
+    /// Benchmark name of each thread, in thread order.
+    pub benchmarks: Vec<String>,
+    /// [`CoreConfig::stable_hash`] of the configuration.
+    pub config_hash: u64,
+}
+
+/// Forward-progress watchdog: if no thread commits an instruction for
+/// `window` consecutive driver cycles, the run is aborted with a
+/// [`SimError::Deadlock`] carrying an occupancy snapshot, instead of
+/// spinning until `max_cycles`/`measure_cycles` burn out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Watchdog {
+    /// Abort after this many consecutive cycles without a commit.
+    pub window: u64,
+}
+
+impl Watchdog {
+    /// A watchdog with the given no-commit window (cycles).
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0, "watchdog window must be nonzero");
+        Watchdog { window }
+    }
+}
+
+/// Diagnosis attached to a watchdog abort: where the pipeline was wedged.
+#[derive(Clone, Debug)]
+pub struct DeadlockReport {
+    /// Driver cycle (since construction) at which the watchdog fired.
+    pub cycle: u64,
+    /// The configured no-commit window.
+    pub window: u64,
+    /// Last driver cycle on which any thread committed.
+    pub last_progress_cycle: u64,
+    /// Shared-IQ occupancy at abort.
+    pub iq: usize,
+    /// Per-thread structure occupancy at abort.
+    pub threads: Vec<ThreadOccupancy>,
+}
+
+impl std::fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "no thread committed for {} cycles (cycle {}, last progress at {}); iq={}",
+            self.window, self.cycle, self.last_progress_cycle, self.iq
+        )?;
+        for t in &self.threads {
+            write!(
+                f,
+                "; t{}: committed={} rob={} lq={} sq={} shelf={} window={} frontend={}",
+                t.thread, t.committed, t.rob, t.lq, t.sq, t.shelf, t.window, t.frontend
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Non-panicking failure of a simulation run (the `try_` API surface).
+#[derive(Clone, Debug)]
+pub enum SimError {
+    /// The forward-progress watchdog fired: the pipeline stopped committing.
+    Deadlock(DeadlockReport),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock(d) => write!(f, "deadlock: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Per-thread results over the measured window.
 #[derive(Clone, Debug)]
@@ -65,6 +182,11 @@ pub struct RunResult {
     pub l2: CacheStats,
     /// SSR-safety self-check (must be 0; see `Core::late_shelf_commits`).
     pub late_shelf_commits: u64,
+    /// How the measurement ended (whether a commit target was reached or
+    /// `max_cycles` truncated the run).
+    pub completion: Completion,
+    /// Reproducibility metadata (seed, benchmarks, config fingerprint).
+    pub meta: RunMeta,
 }
 
 impl RunResult {
@@ -106,6 +228,21 @@ fn cache_delta(now: &CacheStats, then: &CacheStats) -> CacheStats {
 pub struct Simulation {
     core: Core,
     names: Vec<String>,
+    meta: RunMeta,
+    /// Driver cycles issued so far (warm-up + measurement, across calls).
+    driven: u64,
+    /// Injected stall windows `(start, duration)` in driver cycles: while
+    /// inside a window the driver burns the cycle without ticking the core,
+    /// so no thread makes progress. Fault-injection hook for testing the
+    /// watchdog and campaign harness (see [`Simulation::inject_stall`]).
+    stalls: Vec<(u64, u64)>,
+}
+
+/// Internal watchdog bookkeeping for the `try_` run loops.
+struct WatchdogState {
+    window: u64,
+    last_total: u64,
+    last_progress_cycle: u64,
 }
 
 impl Simulation {
@@ -116,7 +253,12 @@ impl Simulation {
     /// Panics if the profile count does not match `cfg.threads`.
     pub fn new(cfg: CoreConfig, profiles: &[&BenchmarkProfile], seed: u64) -> Self {
         assert_eq!(profiles.len(), cfg.threads, "one benchmark per thread");
-        let names = profiles.iter().map(|p| p.name.to_owned()).collect();
+        let names: Vec<String> = profiles.iter().map(|p| p.name.to_owned()).collect();
+        let meta = RunMeta {
+            seed,
+            benchmarks: names.clone(),
+            config_hash: cfg.stable_hash(),
+        };
         let traces: Vec<TraceSource> = profiles
             .iter()
             .enumerate()
@@ -125,7 +267,13 @@ impl Simulation {
         let mut core = Core::new(cfg, traces);
         core.warm_caches();
         core.warm_functional(DEFAULT_FUNCTIONAL_WARMUP);
-        Simulation { core, names }
+        Simulation {
+            core,
+            names,
+            meta,
+            driven: 0,
+            stalls: Vec::new(),
+        }
     }
 
     /// Builds a simulation from benchmark names.
@@ -150,9 +298,68 @@ impl Simulation {
         &self.core
     }
 
+    /// Reproducibility metadata for this simulation (also stamped into
+    /// every [`RunResult`] it produces).
+    pub fn meta(&self) -> &RunMeta {
+        &self.meta
+    }
+
     /// Advances the simulation one cycle (debugging and fine-grained tests).
     pub fn step(&mut self) {
+        self.advance();
+    }
+
+    /// Injects an artificial stall: for `duration` driver cycles starting at
+    /// driver cycle `at` (counted from construction, across warm-up and
+    /// measurement), the driver burns cycles without ticking the core, so no
+    /// thread commits. Deterministic fault-injection hook: a stall shorter
+    /// than a watchdog window models a slow-but-recovering run; a stall of
+    /// `u64::MAX` models a livelock the watchdog must abort.
+    pub fn inject_stall(&mut self, at: u64, duration: u64) {
+        self.stalls.push((at, duration));
+    }
+
+    /// One driver cycle: either a real core tick or a burned (stalled)
+    /// cycle inside an injected stall window.
+    fn advance(&mut self) {
+        let c = self.driven;
+        self.driven += 1;
+        if self.stalls.iter().any(|&(s, d)| c >= s && c - s < d) {
+            return;
+        }
         self.core.tick();
+    }
+
+    /// Total instructions committed across all threads (whole run).
+    fn total_committed(&self) -> u64 {
+        (0..self.names.len()).map(|t| self.core.committed(t)).sum()
+    }
+
+    fn watchdog_state(&self, watchdog: Option<Watchdog>) -> Option<WatchdogState> {
+        watchdog.map(|w| WatchdogState {
+            window: w.window,
+            last_total: self.total_committed(),
+            last_progress_cycle: self.driven,
+        })
+    }
+
+    /// Updates `state` after one driver cycle; returns the deadlock report
+    /// if the no-commit window has been exceeded.
+    fn watchdog_check(&self, state: &mut WatchdogState) -> Result<(), SimError> {
+        let total = self.total_committed();
+        if total != state.last_total {
+            state.last_total = total;
+            state.last_progress_cycle = self.driven;
+        } else if self.driven - state.last_progress_cycle >= state.window {
+            return Err(SimError::Deadlock(DeadlockReport {
+                cycle: self.driven,
+                window: state.window,
+                last_progress_cycle: state.last_progress_cycle,
+                iq: self.core.iq_len(),
+                threads: self.core.thread_occupancy(),
+            }));
+        }
+        Ok(())
     }
 
     /// Enables the per-instruction commit log (see
@@ -165,14 +372,42 @@ impl Simulation {
     /// thread has committed at least `insts_per_thread` instructions (or
     /// `max_cycles` measured cycles elapse) and returns the results over the
     /// measured region. Useful for equal-work comparisons across designs.
+    ///
+    /// The result's [`RunResult::completion`] records whether the commit
+    /// target was actually reached ([`Completion::CommitTarget`]) or
+    /// `max_cycles` expired first ([`Completion::MaxCyclesExpired`]) — the
+    /// latter used to be silent truncation.
     pub fn run_until_committed(
         &mut self,
         warmup_cycles: u64,
         insts_per_thread: u64,
         max_cycles: u64,
     ) -> RunResult {
+        self.try_run_until_committed(warmup_cycles, insts_per_thread, max_cycles, None)
+            .expect("infallible without a watchdog")
+    }
+
+    /// Non-panicking variant of [`Simulation::run_until_committed`] with an
+    /// optional forward-progress [`Watchdog`] (active during warm-up and
+    /// measurement).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if the watchdog window elapses with no
+    /// thread committing.
+    pub fn try_run_until_committed(
+        &mut self,
+        warmup_cycles: u64,
+        insts_per_thread: u64,
+        max_cycles: u64,
+        watchdog: Option<Watchdog>,
+    ) -> Result<RunResult, SimError> {
+        let mut wd = self.watchdog_state(watchdog);
         for _ in 0..warmup_cycles {
-            self.core.tick();
+            self.advance();
+            if let Some(state) = wd.as_mut() {
+                self.watchdog_check(state)?;
+            }
         }
         let committed0: Vec<u64> = (0..self.names.len())
             .map(|t| self.core.committed(t))
@@ -192,17 +427,31 @@ impl Simulation {
         self.core.counters = Counters::new();
 
         let mut measured = 0u64;
+        let mut completion = Completion::MaxCyclesExpired;
         while measured < max_cycles {
-            self.core.tick();
+            self.advance();
             measured += 1;
+            if let Some(state) = wd.as_mut() {
+                self.watchdog_check(state)?;
+            }
             if (0..self.names.len())
                 .all(|t| self.core.committed(t) - committed0[t] >= insts_per_thread)
             {
+                completion = Completion::CommitTarget;
                 break;
             }
         }
         self.core.finish_classification();
-        self.collect(measured, &committed0, &class0, &bpred0, l1i0, l1d0, l20)
+        Ok(self.collect(
+            measured,
+            completion,
+            &committed0,
+            &class0,
+            &bpred0,
+            l1i0,
+            l1d0,
+            l20,
+        ))
     }
 
     /// Applies `insts` additional instructions of functional warm-up per
@@ -215,8 +464,31 @@ impl Simulation {
     /// Warms the core for `warmup_cycles`, then measures `measure_cycles`
     /// and returns the results.
     pub fn run(&mut self, warmup_cycles: u64, measure_cycles: u64) -> RunResult {
+        self.try_run(warmup_cycles, measure_cycles, None)
+            .expect("infallible without a watchdog")
+    }
+
+    /// Non-panicking variant of [`Simulation::run`] with an optional
+    /// forward-progress [`Watchdog`] (active during warm-up and
+    /// measurement): a wedged pipeline aborts with a diagnosis instead of
+    /// burning the whole measurement window committing nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if the watchdog window elapses with no
+    /// thread committing.
+    pub fn try_run(
+        &mut self,
+        warmup_cycles: u64,
+        measure_cycles: u64,
+        watchdog: Option<Watchdog>,
+    ) -> Result<RunResult, SimError> {
+        let mut wd = self.watchdog_state(watchdog);
         for _ in 0..warmup_cycles {
-            self.core.tick();
+            self.advance();
+            if let Some(state) = wd.as_mut() {
+                self.watchdog_check(state)?;
+            }
         }
         // Snapshot at measurement start.
         let committed0: Vec<u64> = (0..self.names.len())
@@ -237,24 +509,29 @@ impl Simulation {
         self.core.counters = Counters::new();
 
         for _ in 0..measure_cycles {
-            self.core.tick();
+            self.advance();
+            if let Some(state) = wd.as_mut() {
+                self.watchdog_check(state)?;
+            }
         }
         self.core.finish_classification();
-        self.collect(
+        Ok(self.collect(
             measure_cycles,
+            Completion::FixedWindow,
             &committed0,
             &class0,
             &bpred0,
             l1i0,
             l1d0,
             l20,
-        )
+        ))
     }
 
     #[allow(clippy::too_many_arguments)]
     fn collect(
         &self,
         measured: u64,
+        completion: Completion,
         committed0: &[u64],
         class0: &[(u64, u64)],
         bpred0: &[(u64, u64)],
@@ -306,6 +583,8 @@ impl Simulation {
             l1d: cache_delta(self.core.hierarchy().l1d_stats(), &l1d0),
             l2: cache_delta(self.core.hierarchy().l2_stats(), &l20),
             late_shelf_commits: self.core.late_shelf_commits(),
+            completion,
+            meta: self.meta.clone(),
         }
     }
 }
@@ -384,6 +663,90 @@ mod tests {
             ino.threads[0].cpi
         );
         assert_eq!(ino.late_shelf_commits, 0);
+    }
+
+    #[test]
+    fn fixed_window_completion_and_meta() {
+        let cfg = CoreConfig::base64(1);
+        let hash = cfg.stable_hash();
+        let mut sim = Simulation::from_names(cfg, &["hmmer"], 3).unwrap();
+        let r = sim.run(300, 2_000);
+        assert_eq!(r.completion, Completion::FixedWindow);
+        assert!(!r.completion.is_truncated());
+        assert_eq!(r.meta.seed, 3);
+        assert_eq!(r.meta.benchmarks, vec!["hmmer".to_owned()]);
+        assert_eq!(r.meta.config_hash, hash);
+    }
+
+    #[test]
+    fn config_hash_distinguishes_designs() {
+        let a = CoreConfig::base64(2).stable_hash();
+        let b = CoreConfig::base128(2).stable_hash();
+        let a2 = CoreConfig::base64(2).stable_hash();
+        assert_eq!(a, a2, "equal configs hash equal");
+        assert_ne!(a, b, "different designs hash differently");
+    }
+
+    #[test]
+    fn run_until_committed_records_truncation() {
+        let cfg = CoreConfig::base64(1);
+        let mut sim = Simulation::from_names(cfg.clone(), &["hmmer"], 3).unwrap();
+        // An impossible target within 100 cycles: must report truncation.
+        let r = sim.run_until_committed(200, 1_000_000, 100);
+        assert_eq!(r.completion, Completion::MaxCyclesExpired);
+        assert!(r.completion.is_truncated());
+        // A tiny target with generous budget: must report target reached.
+        let mut sim = Simulation::from_names(cfg, &["hmmer"], 3).unwrap();
+        let r = sim.run_until_committed(200, 50, 50_000);
+        assert_eq!(r.completion, Completion::CommitTarget);
+        assert!(r.threads[0].committed >= 50);
+    }
+
+    #[test]
+    fn watchdog_aborts_injected_livelock_within_window() {
+        let cfg = CoreConfig::base64(1);
+        let mut sim = Simulation::from_names(cfg, &["hmmer"], 3).unwrap();
+        // From driver cycle 500 on, the pipeline never commits again.
+        sim.inject_stall(500, u64::MAX);
+        let err = sim
+            .try_run(200, 50_000, Some(Watchdog::new(400)))
+            .expect_err("watchdog should fire");
+        let SimError::Deadlock(d) = err;
+        assert_eq!(d.window, 400);
+        assert!(
+            d.cycle <= 500 + 400 + 1,
+            "fired at {} — should abort within one window of the stall",
+            d.cycle
+        );
+        assert_eq!(d.threads.len(), 1);
+        assert!(d.to_string().contains("rob="), "diagnosis: {d}");
+    }
+
+    #[test]
+    fn watchdog_tolerates_slow_but_progressing_runs() {
+        let cfg = CoreConfig::base64(1);
+        let mut sim = Simulation::from_names(cfg, &["hmmer"], 3).unwrap();
+        // Three separate 200-cycle stalls: slow, but progress resumes well
+        // inside the 400-cycle window each time.
+        sim.inject_stall(400, 200);
+        sim.inject_stall(900, 200);
+        sim.inject_stall(1_400, 200);
+        let r = sim
+            .try_run(200, 3_000, Some(Watchdog::new(400)))
+            .expect("progressing run must not trip the watchdog");
+        assert!(r.counters.committed > 0);
+    }
+
+    #[test]
+    fn watchdog_covers_the_warmup_loop() {
+        let cfg = CoreConfig::base64(1);
+        let mut sim = Simulation::from_names(cfg, &["hmmer"], 3).unwrap();
+        sim.inject_stall(0, u64::MAX);
+        let err = sim
+            .try_run(10_000, 1_000, Some(Watchdog::new(300)))
+            .expect_err("warm-up livelock should abort");
+        let SimError::Deadlock(d) = err;
+        assert!(d.cycle <= 301, "fired at {}", d.cycle);
     }
 
     #[test]

@@ -28,7 +28,10 @@
 //! * [`energy`] — the McPAT-style energy/area model;
 //! * [`stats`] — STP, weighted CDFs, and aggregation helpers;
 //! * [`analyze`] — static lints for kernel programs and core configs, plus
-//!   the feature-gated dynamic invariant sanitizer (`--features sanitize`).
+//!   the feature-gated dynamic invariant sanitizer (`--features sanitize`);
+//! * [`campaign`] — the fault-tolerant sweep runner (per-run isolation,
+//!   forward-progress watchdog, retry escalation, resumable journals,
+//!   deterministic fault injection).
 //!
 //! # Quickstart
 //!
@@ -45,6 +48,7 @@
 //! ```
 
 pub use shelfsim_analyze as analyze;
+pub use shelfsim_campaign as campaign;
 pub use shelfsim_core as core;
 pub use shelfsim_energy as energy;
 pub use shelfsim_isa as isa;
@@ -54,8 +58,12 @@ pub use shelfsim_uarch as uarch;
 pub use shelfsim_workload as workload;
 
 pub use shelfsim_analyze::{Diagnostic, Report, Severity};
+pub use shelfsim_campaign::{
+    run_campaign, CampaignReport, CampaignSpec, FaultKind, FaultMix, FaultPlan, RunSpec,
+};
 pub use shelfsim_core::{
-    Core, CoreConfig, Counters, MemoryModel, RunResult, Simulation, SteerPolicy, ThreadResult,
+    Completion, Core, CoreConfig, Counters, MemoryModel, RunMeta, RunResult, SimError, Simulation,
+    SteerPolicy, ThreadResult, Watchdog,
 };
 pub use shelfsim_energy::{EnergyModel, EnergyReport};
 pub use shelfsim_stats::{geomean, stp, WeightedCdf};

@@ -19,7 +19,9 @@ pub mod cdf;
 pub mod summary;
 
 pub use cdf::WeightedCdf;
-pub use summary::{geomean, mean, median, min_median_max_indices, percent_delta};
+pub use summary::{
+    geomean, grouped_geomean, mean, median, min_median_max_indices, percent_delta, Tally,
+};
 
 /// System throughput (STP) of a multiprogram execution.
 ///

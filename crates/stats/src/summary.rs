@@ -1,4 +1,7 @@
-//! Aggregate helpers: geometric mean, median selection, percentage deltas.
+//! Aggregate helpers: geometric mean, median selection, percentage deltas,
+//! and campaign-level aggregation (outcome tallies, per-group geomeans).
+
+use std::collections::BTreeMap;
 
 /// Geometric mean of a slice of positive values.
 ///
@@ -69,6 +72,79 @@ pub fn percent_delta(base: f64, new: f64) -> f64 {
     (new - base) / base * 100.0
 }
 
+/// An ordered multiset counter for outcome taxonomies (campaign run
+/// statuses, failure kinds, retry tiers). Keys render in sorted order so
+/// summaries are deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Tally {
+    counts: BTreeMap<String, u64>,
+}
+
+impl Tally {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments `key` by one.
+    pub fn add(&mut self, key: &str) {
+        self.add_n(key, 1);
+    }
+
+    /// Increments `key` by `n`.
+    pub fn add_n(&mut self, key: &str, n: u64) {
+        *self.counts.entry(key.to_owned()).or_insert(0) += n;
+    }
+
+    /// Count recorded for `key` (0 if never seen).
+    pub fn count(&self, key: &str) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Total across all keys.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// True when nothing has been tallied.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// `(key, count)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Renders as `key=count` pairs separated by spaces (key order).
+    pub fn render(&self) -> String {
+        self.counts
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Groups `(key, value)` pairs by key and returns `(key, geomean, count)`
+/// per group, in key order. The campaign runner uses this to aggregate
+/// per-design IPC over whatever subset of runs completed (graceful
+/// degradation: failed runs simply contribute no pair).
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive (see [`geomean`]).
+pub fn grouped_geomean(pairs: &[(String, f64)]) -> Vec<(String, f64, usize)> {
+    let mut groups: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    for (k, v) in pairs {
+        groups.entry(k.as_str()).or_default().push(*v);
+    }
+    groups
+        .into_iter()
+        .map(|(k, vs)| (k.to_owned(), geomean(&vs), vs.len()))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,6 +152,38 @@ mod tests {
     #[test]
     fn geomean_of_identical_values() {
         assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tally_counts_and_renders_deterministically() {
+        let mut t = Tally::new();
+        t.add("panic");
+        t.add("ok");
+        t.add("panic");
+        t.add_n("deadlock", 3);
+        assert_eq!(t.count("panic"), 2);
+        assert_eq!(t.count("missing"), 0);
+        assert_eq!(t.total(), 6);
+        assert_eq!(t.render(), "deadlock=3 ok=1 panic=2");
+        assert!(!t.is_empty());
+        assert!(Tally::new().is_empty());
+    }
+
+    #[test]
+    fn grouped_geomean_groups_by_key() {
+        let pairs = vec![
+            ("b".to_owned(), 2.0),
+            ("a".to_owned(), 4.0),
+            ("b".to_owned(), 8.0),
+        ];
+        let g = grouped_geomean(&pairs);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g[0].0, "a");
+        assert!((g[0].1 - 4.0).abs() < 1e-12);
+        assert_eq!(g[0].2, 1);
+        assert_eq!(g[1].0, "b");
+        assert!((g[1].1 - 4.0).abs() < 1e-12);
+        assert_eq!(g[1].2, 2);
     }
 
     #[test]

@@ -21,4 +21,29 @@ cargo run --release -p shelfsim-cli -- lint kernels/*.s
 echo "== sanitizer smoke: freelist audits under --features sanitize"
 cargo test -q -p shelfsim-uarch --features sanitize
 
+echo "== campaign smoke: fault-injected sweep must quarantine and resume"
+journal="$(mktemp -d)/campaign.jsonl"
+campaign() {
+  cargo run --release -q -p shelfsim-cli -- campaign \
+    --designs base64,shelf-opt --mix gcc,mcf --mix hmmer,lbm \
+    --warmup 500 --measure 3000 --watchdog 5000 --workers 2 \
+    --fault-panics 1 --fault-persistent-panics 1 --fault-seed 3 \
+    --journal "$journal"
+}
+out="$(campaign)"
+echo "$out" | head -1
+# The persistent injected panic must be quarantined, not fatal, and the
+# transient one retried: partial results plus a taxonomy.
+echo "$out" | grep -q "3 completed, 1 quarantined" \
+  || { echo "FAIL: expected 3 completed, 1 quarantined"; echo "$out"; exit 1; }
+echo "$out" | grep -q "taxonomy: .*panic=" \
+  || { echo "FAIL: taxonomy should count the injected panics"; echo "$out"; exit 1; }
+# Re-invoking the identical campaign must resume everything from the
+# journal without re-running a single simulation.
+out2="$(campaign)"
+echo "$out2" | head -1
+echo "$out2" | grep -q "4 resumed from journal" \
+  || { echo "FAIL: second invocation should resume all 4 runs"; echo "$out2"; exit 1; }
+rm -f "$journal"
+
 echo "All checks passed."
