@@ -1,0 +1,313 @@
+//! Engine-throughput measurement: the `shelfsim bench` matrix.
+//!
+//! Runs a fixed, seeded matrix of workload profiles × designs × thread
+//! counts and reports, per run, the simulator's own throughput — wall
+//! seconds, simulated cycles per wall second, and committed instructions
+//! per wall second (kIPS) — the first-class metric Sniper and the gem5
+//! methodology report for simulators. The emitted `BENCH_core.json` is the
+//! repo's perf trajectory: each PR compares its numbers against the
+//! committed baseline (see `scripts/bench.sh` and EXPERIMENTS.md).
+//!
+//! Determinism note: architectural results (cycles, committed, IPC) are
+//! bit-identical for a given plan; only the wall-clock fields vary between
+//! hosts and runs.
+
+use shelfsim::analyze::design_by_name;
+use shelfsim::Simulation;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One cell of the bench matrix: a design point run on a workload mix.
+#[derive(Clone, Debug)]
+pub struct BenchEntry {
+    /// Design-point name (resolved via [`design_by_name`]).
+    pub design: &'static str,
+    /// Benchmark names; the mix length is the thread count.
+    pub mix: &'static [&'static str],
+}
+
+/// A named, fully seeded bench matrix.
+#[derive(Clone, Debug)]
+pub struct BenchPlan {
+    /// Plan name, recorded in the JSON (`engine_micro` is the standard).
+    pub config: &'static str,
+    /// Warm-up cycles per run (not timed into the simulated-cycle count,
+    /// but part of the wall clock — identical across compared binaries).
+    pub warmup: u64,
+    /// Measured cycles per run.
+    pub measure: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// The matrix cells.
+    pub entries: Vec<BenchEntry>,
+}
+
+/// The standard engine-throughput matrix: three design points (baseline
+/// OOO, the shelf design, the big-core comparison) × two workload mixes
+/// (4-thread memory+compute and 2-thread), one seed.
+pub fn engine_micro(measure: u64, seed: u64) -> BenchPlan {
+    const MIX4: &[&str] = &["gcc", "mcf", "hmmer", "lbm"];
+    const MIX2: &[&str] = &["gcc", "mcf"];
+    let mut entries = Vec::new();
+    for design in ["base64", "shelf-opt", "base128"] {
+        for mix in [MIX4, MIX2] {
+            entries.push(BenchEntry { design, mix });
+        }
+    }
+    BenchPlan {
+        config: "engine_micro",
+        warmup: 2_000,
+        measure,
+        seed,
+        entries,
+    }
+}
+
+/// Default measured cycles for `shelfsim bench` (a few seconds of wall
+/// clock across the matrix).
+pub const DEFAULT_MEASURE: u64 = 300_000;
+
+/// Measured result of one matrix cell.
+#[derive(Clone, Debug)]
+pub struct BenchRun {
+    /// Design-point name.
+    pub design: String,
+    /// Comma-joined benchmark names.
+    pub mix: String,
+    /// Thread count (mix length).
+    pub threads: usize,
+    /// Wall-clock seconds for the whole run (warm-up + measurement).
+    pub wall_s: f64,
+    /// Simulated cycles measured.
+    pub cycles: u64,
+    /// Instructions committed during measurement.
+    pub committed: u64,
+    /// Simulated cycles per wall second.
+    pub sim_cycles_per_sec: f64,
+    /// Committed instructions per wall second, in thousands (kIPS).
+    pub kips: f64,
+    /// Architectural IPC (for the golden cross-check, not a perf metric).
+    pub ipc: f64,
+}
+
+/// A completed bench: the plan's parameters plus per-run and aggregate
+/// throughput.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Plan name.
+    pub config: String,
+    /// Warm-up cycles per run.
+    pub warmup: u64,
+    /// Measured cycles per run.
+    pub measure: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Per-cell results, plan order.
+    pub runs: Vec<BenchRun>,
+}
+
+impl BenchReport {
+    /// Total wall seconds across the matrix.
+    pub fn total_wall_s(&self) -> f64 {
+        self.runs.iter().map(|r| r.wall_s).sum()
+    }
+
+    /// Total committed instructions across the matrix.
+    pub fn total_committed(&self) -> u64 {
+        self.runs.iter().map(|r| r.committed).sum()
+    }
+
+    /// Aggregate committed instructions per wall second (thousands): the
+    /// headline number compared against the committed baseline.
+    pub fn aggregate_kips(&self) -> f64 {
+        let wall = self.total_wall_s();
+        if wall <= 0.0 {
+            return 0.0;
+        }
+        self.total_committed() as f64 / wall / 1e3
+    }
+
+    /// Aggregate simulated cycles per wall second.
+    pub fn aggregate_cycles_per_sec(&self) -> f64 {
+        let wall = self.total_wall_s();
+        if wall <= 0.0 {
+            return 0.0;
+        }
+        self.runs.iter().map(|r| r.cycles).sum::<u64>() as f64 / wall
+    }
+
+    /// The `BENCH_core.json` document (schema `shelfsim-bench-v1`).
+    pub fn to_json(&self) -> String {
+        let runs: Vec<String> = self
+            .runs
+            .iter()
+            .map(|r| {
+                format!(
+                    concat!(
+                        r#"    {{"design":"{}","mix":"{}","threads":{},"#,
+                        r#""wall_s":{:.4},"cycles":{},"committed":{},"#,
+                        r#""sim_cycles_per_sec":{:.0},"kips":{:.1},"ipc":{:.4}}}"#
+                    ),
+                    r.design,
+                    r.mix,
+                    r.threads,
+                    r.wall_s,
+                    r.cycles,
+                    r.committed,
+                    r.sim_cycles_per_sec,
+                    r.kips,
+                    r.ipc
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\n",
+                "  \"schema\": \"shelfsim-bench-v1\",\n",
+                "  \"config\": \"{}\",\n",
+                "  \"seed\": {},\n",
+                "  \"warmup\": {},\n",
+                "  \"measure\": {},\n",
+                "  \"runs\": [\n{}\n  ],\n",
+                "  \"aggregate\": {{\"wall_s\":{:.4},\"committed\":{},",
+                "\"kips\":{:.1},\"sim_cycles_per_sec\":{:.0}}}\n",
+                "}}\n"
+            ),
+            self.config,
+            self.seed,
+            self.warmup,
+            self.measure,
+            runs.join(",\n"),
+            self.total_wall_s(),
+            self.total_committed(),
+            self.aggregate_kips(),
+            self.aggregate_cycles_per_sec(),
+        )
+    }
+
+    /// Human-readable summary table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        writeln!(
+            out,
+            "bench {} (seed {}, warmup {}, measure {} cycles per run)",
+            self.config, self.seed, self.warmup, self.measure
+        )
+        .expect("write");
+        writeln!(
+            out,
+            "  {:<10} {:<22} {:>3}  {:>8}  {:>10}  {:>9}  {:>6}",
+            "design", "mix", "thr", "wall_s", "cycles/s", "kIPS", "IPC"
+        )
+        .expect("write");
+        for r in &self.runs {
+            writeln!(
+                out,
+                "  {:<10} {:<22} {:>3}  {:>8.3}  {:>10.0}  {:>9.1}  {:>6.3}",
+                r.design, r.mix, r.threads, r.wall_s, r.sim_cycles_per_sec, r.kips, r.ipc
+            )
+            .expect("write");
+        }
+        writeln!(
+            out,
+            "aggregate: {:.1} kIPS, {:.0} sim cycles/s over {:.2}s wall",
+            self.aggregate_kips(),
+            self.aggregate_cycles_per_sec(),
+            self.total_wall_s()
+        )
+        .expect("write");
+        out
+    }
+}
+
+/// Runs every cell of `plan` and collects throughput.
+///
+/// # Errors
+///
+/// Returns a message if a design name or benchmark name does not resolve.
+pub fn run_plan(plan: &BenchPlan) -> Result<BenchReport, String> {
+    let mut runs = Vec::with_capacity(plan.entries.len());
+    for e in &plan.entries {
+        let cfg = design_by_name(e.design, e.mix.len())
+            .ok_or_else(|| format!("unknown design `{}`", e.design))?;
+        let mut sim =
+            Simulation::from_names(cfg, e.mix, plan.seed).map_err(|err| err.to_string())?;
+        let start = Instant::now();
+        let r = sim.run(plan.warmup, plan.measure);
+        let wall_s = start.elapsed().as_secs_f64();
+        let committed: u64 = r.threads.iter().map(|t| t.committed).sum();
+        runs.push(BenchRun {
+            design: e.design.to_owned(),
+            mix: e.mix.join(","),
+            threads: e.mix.len(),
+            wall_s,
+            cycles: r.cycles,
+            committed,
+            sim_cycles_per_sec: r.cycles as f64 / wall_s,
+            kips: committed as f64 / wall_s / 1e3,
+            ipc: r.ipc(),
+        });
+    }
+    Ok(BenchReport {
+        config: plan.config.to_owned(),
+        warmup: plan.warmup,
+        measure: plan.measure,
+        seed: plan.seed,
+        runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_plan_reports_positive_throughput() {
+        let mut plan = engine_micro(2_000, 7);
+        plan.warmup = 500;
+        plan.entries.truncate(2);
+        let rep = run_plan(&plan).expect("plan runs");
+        assert_eq!(rep.runs.len(), 2);
+        for r in &rep.runs {
+            assert_eq!(r.cycles, 2_000);
+            assert!(r.committed > 0, "{} committed nothing", r.design);
+            assert!(r.kips > 0.0);
+            assert!(r.sim_cycles_per_sec > 0.0);
+        }
+        assert!(rep.aggregate_kips() > 0.0);
+    }
+
+    #[test]
+    fn json_document_is_well_formed() {
+        let mut plan = engine_micro(1_000, 7);
+        plan.warmup = 200;
+        plan.entries.truncate(1);
+        let rep = run_plan(&plan).expect("plan runs");
+        let json = rep.to_json();
+        assert!(json.contains(r#""schema": "shelfsim-bench-v1""#));
+        assert!(json.contains(r#""config": "engine_micro""#));
+        assert!(json.contains(r#""kips":"#));
+        // Balanced braces/brackets (hand-rolled writer, no serde in-tree).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces:\n{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn unknown_design_is_an_error() {
+        let plan = BenchPlan {
+            config: "bad",
+            warmup: 10,
+            measure: 10,
+            seed: 1,
+            entries: vec![BenchEntry {
+                design: "no-such-design",
+                mix: &["gcc"],
+            }],
+        };
+        assert!(run_plan(&plan).is_err());
+    }
+}

@@ -12,6 +12,8 @@
 //! * `SHELFSIM_MEASURE` — measured cycles per run (default 40 000);
 //! * `SHELFSIM_SEED` — workload/mix seed (default 7).
 
+pub mod engine;
+
 use shelfsim::core::sim::UnknownBenchmark;
 use shelfsim::{
     balanced_random_mixes, geomean, stp, suite, CoreConfig, EnergyModel, Mix, Simulation,

@@ -123,9 +123,24 @@ impl CampaignReport {
         }
         let per_design = self.per_design_ipc();
         if !per_design.is_empty() {
+            // The first design listed is the comparison baseline. A
+            // degenerate baseline (zero IPC — every run truncated before
+            // committing) renders as `n/a` rather than killing the report.
+            let base = per_design[0].1;
             writeln!(out, "per-design geomean IPC over completed runs:").expect("write");
-            for (design, ipc, n) in &per_design {
-                writeln!(out, "  {design:<14} {ipc:>6.3}  ({n} runs)").expect("write");
+            for (i, (design, ipc, n)) in per_design.iter().enumerate() {
+                if i == 0 {
+                    writeln!(out, "  {design:<14} {ipc:>6.3}  ({n} runs, baseline)")
+                        .expect("write");
+                } else {
+                    writeln!(
+                        out,
+                        "  {design:<14} {ipc:>6.3}  ({n} runs, {} vs {})",
+                        shelfsim_stats::render_delta(shelfsim_stats::percent_delta(base, *ipc)),
+                        per_design[0].0
+                    )
+                    .expect("write");
+                }
             }
         }
         writeln!(out, "taxonomy: {}", self.taxonomy().render()).expect("write");

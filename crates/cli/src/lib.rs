@@ -111,7 +111,12 @@ fn unknown_design(name: &str) -> CliError {
     ))
 }
 
-fn run_one(cfg: CoreConfig, mix: &[String], o: &Options, out: &mut String) -> Result<(), CliError> {
+fn run_one(
+    cfg: CoreConfig,
+    mix: &[String],
+    o: &Options,
+    out: &mut String,
+) -> Result<f64, CliError> {
     let names: Vec<&str> = mix.iter().map(String::as_str).collect();
     let model = EnergyModel::for_config(&cfg);
     let mut sim = Simulation::from_names(cfg, &names, o.seed).map_err(|e| err(e.to_string()))?;
@@ -191,7 +196,7 @@ fn run_one(cfg: CoreConfig, mix: &[String], o: &Options, out: &mut String) -> Re
         )
         .expect("write");
     }
-    Ok(())
+    Ok(r.ipc())
 }
 
 /// Executes the CLI for `args` (without the program name); returns the text
@@ -267,6 +272,10 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             if o.mix.is_empty() {
                 return Err(err("compare requires --mix bench1,bench2,..."));
             }
+            // The first design (base64) is the comparison baseline; a
+            // baseline that committed nothing renders its deltas as `n/a`
+            // instead of aborting the whole comparison.
+            let mut base_ipc: Option<f64> = None;
             for design in [
                 "base64",
                 "shelf-cons",
@@ -279,7 +288,21 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                     cfg.memory_model = MemoryModel::Tso;
                 }
                 writeln!(out, "== {design}").expect("write");
-                run_one(cfg, &o.mix.clone(), &o, &mut out)?;
+                let ipc = run_one(cfg, &o.mix.clone(), &o, &mut out)?;
+                match base_ipc {
+                    None => base_ipc = Some(ipc),
+                    Some(base) if !o.json => {
+                        writeln!(
+                            out,
+                            "IPC vs base64: {}",
+                            shelfsim::stats::render_delta(shelfsim::stats::percent_delta(
+                                base, ipc
+                            ))
+                        )
+                        .expect("write");
+                    }
+                    Some(_) => {}
+                }
             }
         }
         "sweep" => {
@@ -693,6 +716,39 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             }
             out.push_str(&rendered);
         }
+        "bench" => {
+            // Engine-throughput bench: a fixed seeded matrix of designs x
+            // mixes whose wall-clock/kIPS numbers form the repo's perf
+            // trajectory (BENCH_core.json). `--out -` skips the file.
+            let mut measure = shelfsim_bench::engine::DEFAULT_MEASURE;
+            let mut seed = 7u64;
+            let mut out_path = "BENCH_core.json".to_owned();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--measure" => {
+                        let v = it.next().ok_or_else(|| err("--measure needs a value"))?;
+                        measure = parse_num::<u64>("--measure", v)?;
+                    }
+                    "--seed" => {
+                        let v = it.next().ok_or_else(|| err("--seed needs a value"))?;
+                        seed = parse_num::<u64>("--seed", v)?;
+                    }
+                    "--out" => {
+                        out_path = it.next().ok_or_else(|| err("--out needs a value"))?.clone();
+                    }
+                    other => return Err(err(format!("unknown bench option `{other}`"))),
+                }
+            }
+            let plan = shelfsim_bench::engine::engine_micro(measure, seed);
+            let report = shelfsim_bench::engine::run_plan(&plan).map_err(err)?;
+            out.push_str(&report.render_text());
+            if out_path != "-" {
+                std::fs::write(&out_path, report.to_json())
+                    .map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
+                writeln!(out, "wrote {out_path}").expect("write");
+            }
+        }
         "help" | "--help" | "-h" => out.push_str(USAGE),
         other => return Err(err(format!("unknown command `{other}`\n{USAGE}"))),
     }
@@ -720,6 +776,10 @@ USAGE:
                    (static checks: .s kernels get the SA dataflow lints,
                    key=value config files and --design get the SC
                    contradiction lints; errors exit nonzero)
+  shelfsim bench   [--measure N] [--seed N] [--out FILE]
+                   (engine-throughput matrix `engine_micro`: designs x mixes,
+                   reports wall seconds, simulated cycles/s, and committed
+                   kIPS per run; writes BENCH_core.json unless --out -)
   shelfsim campaign [--designs d1,d2] [--threads N] [--mixes N | --mix b1,b2 ...]
                    [--seed N] [--warmup N] [--measure N] [--watchdog N]
                    [--attempts N] [--workers N] [--journal FILE] [--json]

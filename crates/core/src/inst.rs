@@ -67,6 +67,20 @@ pub struct Slot {
     /// The mapping this instruction replaced (for squash walk-back and
     /// retirement-time freeing).
     pub prev_mapping: Option<Mapping>,
+    /// IQ entries: source tags whose producers had not yet broadcast at
+    /// dispatch. The wakeup CAM only compares entries still waiting on a
+    /// source (`pending_srcs > 0`); once every source has been broadcast the
+    /// ready bits are latched and the comparators stay dark.
+    pub pending_srcs: u8,
+    /// IQ entries: cycle all sources are ready (including any cross-cluster
+    /// forwarding penalty). Maintained incrementally — set from the
+    /// scoreboard at dispatch for already-broadcast sources and folded in
+    /// at each later broadcast — so the per-cycle select scan is a single
+    /// comparison. Valid once `pending_srcs == 0`; broadcast ready times
+    /// are immutable while a consumer waits (the in-order issue barrier
+    /// keeps a source tag from being freed and re-broadcast before every
+    /// registered consumer has issued).
+    pub data_ready_cycle: u64,
 
     // ---- structure indices ----
     /// ROB index (IQ instructions only).
@@ -146,6 +160,8 @@ impl Slot {
             dest_pri: None,
             dest_tag: None,
             prev_mapping: None,
+            pending_srcs: 0,
+            data_ready_cycle: 0,
             rob_idx: None,
             shelf_idx: None,
             lq_idx: None,

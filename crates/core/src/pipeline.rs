@@ -33,7 +33,7 @@ use shelfsim_uarch::{
     PhysReg, RenameTable, Scoreboard, SsrPair, StoreSets, Tag,
 };
 use shelfsim_workload::TraceSource;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Consecutive data-blocked cycles at a shelf head after which the thread's
 /// steering falls back to the IQ until the head drains.
@@ -71,6 +71,74 @@ impl PartialOrd for Event {
     }
 }
 
+/// Ring size of the event calendar. Completion cycles land within this
+/// horizon of `now` in all but degenerate cases; the rest wait in an
+/// overflow heap.
+const EVENT_WHEEL_BUCKETS: usize = 1024;
+
+/// Calendar queue of pending writeback events: O(1) insertion into a
+/// per-cycle bucket instead of a binary-heap reshuffle on every push and
+/// pop. The per-cycle drain sorts the (tiny) due bucket by age, matching
+/// the elder-first processing order the heap's `(cycle, age)` key gave.
+struct EventWheel {
+    /// `buckets[c % EVENT_WHEEL_BUCKETS]` holds the events due at cycle `c`
+    /// for cycles inside the horizon.
+    buckets: Vec<Vec<Event>>,
+    /// Events scheduled at or beyond `now + EVENT_WHEEL_BUCKETS`.
+    overflow: BinaryHeap<Event>,
+    len: usize,
+}
+
+impl EventWheel {
+    fn new() -> Self {
+        EventWheel {
+            buckets: (0..EVENT_WHEEL_BUCKETS).map(|_| Vec::new()).collect(),
+            overflow: BinaryHeap::with_capacity(16),
+            len: 0,
+        }
+    }
+
+    /// Schedules `ev` as of cycle `now`. Events dated `now` or earlier are
+    /// clamped to `now + 1` (the heap equivalently fired them on the next
+    /// drain). The strict `<` horizon check keeps the bucket currently
+    /// being drained out of reach of re-entrant pushes.
+    fn push(&mut self, now: u64, mut ev: Event) {
+        ev.cycle = ev.cycle.max(now + 1);
+        self.len += 1;
+        if ev.cycle - now < EVENT_WHEEL_BUCKETS as u64 {
+            self.buckets[(ev.cycle as usize) % EVENT_WHEEL_BUCKETS].push(ev);
+        } else {
+            self.overflow.push(ev);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Drains every event due at exactly `now` into `out` as `(age, id)`
+    /// pairs. Must be called once per cycle so a bucket never wraps around
+    /// with stale entries.
+    fn drain_due(&mut self, now: u64, out: &mut Vec<(u64, InstId)>) {
+        let idx = (now as usize) % EVENT_WHEEL_BUCKETS;
+        let mut bucket = std::mem::take(&mut self.buckets[idx]);
+        for ev in bucket.drain(..) {
+            debug_assert_eq!(ev.cycle, now);
+            out.push((ev.age, ev.id));
+            self.len -= 1;
+        }
+        self.buckets[idx] = bucket;
+        while let Some(ev) = self.overflow.peek() {
+            if ev.cycle > now {
+                break;
+            }
+            let ev = self.overflow.pop().expect("peeked");
+            out.push((ev.age, ev.id));
+            self.len -= 1;
+        }
+    }
+}
+
 /// Per-thread architectural and microarchitectural state.
 struct Thread {
     trace: TraceSource,
@@ -97,14 +165,17 @@ struct Thread {
     tracker_head_snapshot: u64,
     ssr: SsrPair,
     store_sets: StoreSets,
-    /// In-flight stores by age (store-set tokens).
-    inflight_stores: HashMap<u64, InstId>,
+    /// In-flight stores as `(age, id)`, sorted ascending by age (store-set
+    /// tokens). Dispatch ages are per-thread monotonic, so `push_back`
+    /// maintains the order; store-set scans walk oldest-first and stop at
+    /// the querying load's age.
+    inflight_stores: VecDeque<(u64, InstId)>,
     /// Recently issued shelf loads, scanned by store violation checks
     /// (shelf loads hold no LQ entry).
     recent_shelf_loads: VecDeque<(InstId, u64)>,
-    /// Ages of issued-but-incomplete loads (TSO: shelf writebacks must wait
-    /// for all elder loads to complete, §III-D).
-    inflight_loads: std::collections::BTreeSet<u64>,
+    /// Ages of issued-but-incomplete loads, sorted ascending (TSO: shelf
+    /// writebacks must wait for all elder loads to complete, §III-D).
+    inflight_loads: Vec<u64>,
     bpred: BranchPredictor,
     practical: PracticalSteer,
     oracle: OracleSteer,
@@ -163,6 +234,33 @@ impl Thread {
         );
         self.shelf_retired[off] = true;
         self.advance_shelf_retire();
+    }
+
+    /// Drops the in-flight store with dispatch age `age` (no-op if absent).
+    fn remove_inflight_store(&mut self, age: u64) {
+        let (a, b) = self.inflight_stores.as_slices();
+        let pos = match a.binary_search_by_key(&age, |&(g, _)| g) {
+            Ok(p) => Ok(p),
+            Err(_) => b
+                .binary_search_by_key(&age, |&(g, _)| g)
+                .map(|p| a.len() + p),
+        };
+        if let Ok(p) = pos {
+            self.inflight_stores.remove(p);
+        }
+    }
+
+    /// Records an issued-but-incomplete load (TSO ordering watch).
+    fn add_inflight_load(&mut self, age: u64) {
+        let pos = self.inflight_loads.binary_search(&age).unwrap_err();
+        self.inflight_loads.insert(pos, age);
+    }
+
+    /// Drops a completed load from the in-flight set (no-op if absent).
+    fn remove_inflight_load(&mut self, age: u64) {
+        if let Ok(p) = self.inflight_loads.binary_search(&age) {
+            self.inflight_loads.remove(p);
+        }
     }
 }
 
@@ -244,10 +342,32 @@ pub struct Core {
     fetch_rr: usize,
     /// Per functional-unit-kind busy-until cycles.
     fu_busy: [Vec<u64>; 4],
-    events: BinaryHeap<Event>,
+    events: EventWheel,
     /// Ring buffer of recent commit records (empty unless enabled).
     commit_log: VecDeque<CommitRecord>,
     commit_log_capacity: usize,
+    /// Per-tag wakeup consumer lists: IQ entries `(id, age)` registered at
+    /// dispatch because the tag's producer had not yet broadcast. Drained
+    /// at the tag's broadcast; stale entries (squashed consumers) are
+    /// filtered by the age check then.
+    tag_consumers: Vec<Vec<(InstId, u64)>>,
+    /// IQ entries with `pending_srcs > 0` — the population the wakeup CAM
+    /// actually compares on each broadcast.
+    iq_waiting: usize,
+    /// Calendar queue of IQ entries whose sources become ready at a known
+    /// future cycle; drained into [`Self::ready_pool`] each cycle so the
+    /// select scan never walks the whole IQ.
+    ready_wheel: EventWheel,
+    /// Data-ready but not-yet-issued IQ entries `(age, id)`, compacted and
+    /// kept age-sorted once per cycle. Stale entries (issued, squashed, or
+    /// recycled ids) are dropped at compaction time.
+    ready_pool: Vec<(u64, InstId)>,
+    /// Persistent scratch buffers (reused across cycles to keep the hot
+    /// loop allocation-free).
+    scratch_squash: Vec<InstId>,
+    scratch_mshr_losers: Vec<InstId>,
+    scratch_counts: Vec<usize>,
+    scratch_eligible: Vec<bool>,
 }
 
 impl Core {
@@ -292,9 +412,9 @@ impl Core {
                 tracker_head_snapshot: 0,
                 ssr: SsrPair::new(cfg.single_ssr),
                 store_sets: StoreSets::new(1024, 64),
-                inflight_stores: HashMap::new(),
+                inflight_stores: VecDeque::new(),
                 recent_shelf_loads: VecDeque::new(),
-                inflight_loads: std::collections::BTreeSet::new(),
+                inflight_loads: Vec::new(),
                 bpred: BranchPredictor::new(BranchPredictorConfig {
                     kind: cfg.predictor,
                     ..BranchPredictorConfig::default()
@@ -331,6 +451,7 @@ impl Core {
         }
         let ext_fl = FreeList::new(num_phys as u32, cfg.num_ext_tags() as u32);
         let num_tags = cfg.num_tags();
+        let iq_capacity = cfg.iq_entries;
 
         Core {
             fu_busy: [
@@ -345,17 +466,25 @@ impl Core {
             slab: Slab::new(),
             counters: Counters::new(),
             next_age: 0,
+            iq: Vec::with_capacity(iq_capacity),
             threads,
-            iq: Vec::new(),
             phys_fl,
             ext_fl,
             scoreboard: Scoreboard::new(num_tags),
             tag_cluster: vec![Steer::Iq; num_tags],
             icount: Icount::new(),
             fetch_rr: 0,
-            events: BinaryHeap::new(),
+            events: EventWheel::new(),
             commit_log: VecDeque::new(),
             commit_log_capacity: 0,
+            tag_consumers: vec![Vec::new(); num_tags],
+            iq_waiting: 0,
+            ready_wheel: EventWheel::new(),
+            ready_pool: Vec::new(),
+            scratch_squash: Vec::new(),
+            scratch_mshr_losers: Vec::new(),
+            scratch_counts: Vec::new(),
+            scratch_eligible: Vec::new(),
         }
     }
 
@@ -636,8 +765,10 @@ impl Core {
 
     fn fetch_stage(&mut self) {
         let n = self.threads.len();
-        let mut counts = Vec::with_capacity(n);
-        let mut eligible = Vec::with_capacity(n);
+        let mut counts = std::mem::take(&mut self.scratch_counts);
+        let mut eligible = std::mem::take(&mut self.scratch_eligible);
+        counts.clear();
+        eligible.clear();
         for t in &self.threads {
             counts.push(t.pre_issue_count);
             let room = t.frontend.len() + self.cfg.fetch_width <= self.cfg.frontend_per_thread();
@@ -657,6 +788,8 @@ impl Core {
                 pick
             }
         };
+        self.scratch_counts = counts;
+        self.scratch_eligible = eligible;
         let Some(t) = selected else {
             return;
         };
@@ -764,15 +897,17 @@ impl Core {
     fn dispatch_stage(&mut self) {
         let n = self.threads.len();
         let mut budget = self.cfg.dispatch_width;
-        let mut blocked = vec![false; n];
+        // Per-thread blocked flags as a bitmask (`validate` caps threads at
+        // 8, so `u64` is never too narrow).
+        let mut blocked = 0u64;
         'outer: while budget > 0 {
             // Round-robin over threads with a dispatchable head.
             let mut progressed = false;
-            for (t, thread_blocked) in blocked.iter_mut().enumerate() {
+            for t in 0..n {
                 if budget == 0 {
                     break 'outer;
                 }
-                if *thread_blocked {
+                if blocked & (1 << t) != 0 {
                     continue;
                 }
                 let Some(&head) = self.threads[t].frontend.front() else {
@@ -790,7 +925,7 @@ impl Core {
                         progressed = true;
                     }
                     DispatchOutcome::Stalled => {
-                        *thread_blocked = true;
+                        blocked |= 1 << t;
                     }
                 }
             }
@@ -938,6 +1073,40 @@ impl Core {
                 }
                 self.iq.push(id);
                 self.counters.iq_writes += 1;
+                // Wakeup-CAM registration: remember which source tags are
+                // still outstanding so each broadcast touches only entries
+                // actually waiting on a source, and pre-fold the ready
+                // cycles of sources that already broadcast.
+                let mut pending = 0u8;
+                let mut ready_cycle = 0u64;
+                for tag in src_tags.iter().flatten() {
+                    let at = self.scoreboard.ready_at(*tag);
+                    if at == Scoreboard::PENDING {
+                        self.tag_consumers[tag.index()].push((id, age));
+                        pending += 1;
+                    } else {
+                        ready_cycle = ready_cycle.max(at + self.iq_forward_penalty(*tag));
+                    }
+                }
+                let slot = self.slab.get_mut(id);
+                slot.data_ready_cycle = ready_cycle;
+                if pending > 0 {
+                    slot.pending_srcs = pending;
+                    self.iq_waiting += 1;
+                } else {
+                    // All sources already broadcast: the ready cycle is
+                    // final, so schedule the entry for the select scan now
+                    // (`push` clamps past cycles to `now + 1`; issue runs
+                    // before dispatch, so this cycle's scan is over).
+                    self.ready_wheel.push(
+                        self.now,
+                        Event {
+                            cycle: ready_cycle,
+                            age,
+                            id,
+                        },
+                    );
+                }
             }
             Steer::Shelf => {
                 let shelf_idx = th.shelf_next_idx;
@@ -965,7 +1134,7 @@ impl Core {
 
         if inst.is_store() {
             th.store_sets.store_dispatched(inst.pc, age);
-            th.inflight_stores.insert(age, id);
+            th.inflight_stores.push_back((age, id));
         }
 
         // Classification shadow (all dispatched instructions participate so
@@ -1088,43 +1257,81 @@ impl Core {
         }
 
         let mut budget = self.cfg.issue_width;
+        // Source readiness cannot change mid-cycle (broadcasts announce
+        // future ready cycles), so data-ready IQ candidates arrive through
+        // the ready wheel at their (final) ready cycle and stay in the pool
+        // until they issue or vanish; only the per-pick structural checks
+        // (FU, store sets) re-run inside the selection loop. The pool is
+        // compacted and re-sorted each cycle — it holds only ready-but-
+        // unissued entries, a small set the full IQ scan used to rediscover
+        // from scratch.
+        let mut ready = std::mem::take(&mut self.ready_pool);
+        self.ready_wheel.drain_due(self.now, &mut ready);
+        ready.retain(|&(age, id)| {
+            self.slab.contains(id) && {
+                let s = self.slab.get(id);
+                s.age == age && s.stage == Stage::Dispatched
+            }
+        });
+        ready.sort_unstable();
         // Loads that lost MSHR arbitration this cycle; they stay ineligible
         // until next cycle but must not block independent instructions.
-        let mut mshr_losers: Vec<InstId> = Vec::new();
+        let mut mshr_losers = std::mem::take(&mut self.scratch_mshr_losers);
+        mshr_losers.clear();
+        // Per-thread shelf-head candidates, evaluated once and then
+        // re-evaluated only for the thread that issued: every input of
+        // `shelf_head_ready` except FU availability (checked per pick) is
+        // per-cycle-stable or owned by the issuing thread (tracker head,
+        // SSR copy, shelf front, in-flight loads).
+        let mut shelf_cand: [Option<(u64, InstId)>; 8] = [None; 8];
+        let nthreads = self.threads.len();
+        for (t, cand) in shelf_cand.iter_mut().enumerate().take(nthreads) {
+            *cand = self.shelf_candidate(t);
+        }
         while budget > 0 {
             // Oldest-first selection across the IQ and all shelf heads.
             let mut best: Option<(u64, InstId, Steer)> = None;
-            for &id in &self.iq {
+            for &(age, id) in &ready {
                 let slot = self.slab.get(id);
-                if slot.stage == Stage::Dispatched
-                    && !mshr_losers.contains(&id)
-                    && self.iq_entry_ready(slot)
-                    && best.is_none_or(|(a, _, _)| slot.age < a)
-                {
-                    best = Some((slot.age, id, Steer::Iq));
+                // Already issued this cycle, or sidelined.
+                if slot.stage != Stage::Dispatched || mshr_losers.contains(&id) {
+                    continue;
                 }
+                if !self.fu_available(slot.inst.op.fu_kind()) {
+                    continue;
+                }
+                if slot.inst.is_load() && !self.store_set_clear(slot) {
+                    continue;
+                }
+                // The list is age-sorted: the first survivor is the oldest.
+                best = Some((age, id, Steer::Iq));
+                break;
             }
-            for t in 0..self.threads.len() {
-                if let Some(&id) = self.threads[t].shelf.front() {
-                    let slot = self.slab.get(id);
-                    if !mshr_losers.contains(&id)
-                        && self.shelf_head_ready(t, slot)
-                        && best.is_none_or(|(a, _, _)| slot.age < a)
-                    {
-                        best = Some((slot.age, id, Steer::Shelf));
-                    }
+            for cand in shelf_cand.iter().take(nthreads) {
+                let Some((age, id)) = *cand else { continue };
+                if mshr_losers.contains(&id) {
+                    continue;
+                }
+                if !self.fu_available(self.slab.get(id).inst.op.fu_kind()) {
+                    continue;
+                }
+                if best.is_none_or(|(a, _, _)| age < a) {
+                    best = Some((age, id, Steer::Shelf));
                 }
             }
             let Some((_, id, steer)) = best else { break };
+            let issued_thread = self.slab.get(id).thread;
             if self.do_issue(id, steer) {
                 budget -= 1;
-                // Issuing an IQ instruction advances the live tracker head:
-                // under optimistic same-cycle semantics a shelf run can
-                // become order-eligible mid-cycle, and its SSR copy happens
+                // Issuing advances only the issuing thread's state (tracker
+                // head or shelf front): under optimistic same-cycle
+                // semantics that thread's shelf run can become
+                // order-eligible mid-cycle, and its SSR copy happens
                 // combinationally at that moment (§III-B), not next cycle.
                 if self.cfg.same_cycle_shelf_issue {
-                    self.refresh_ssr_copies();
+                    self.refresh_ssr_copy(issued_thread);
                 }
+                shelf_cand[issued_thread] = self.shelf_candidate(issued_thread);
             } else {
                 // The candidate lost MSHR arbitration: sideline it for the
                 // rest of the cycle and keep selecting. Load ordering is
@@ -1133,20 +1340,36 @@ impl Core {
                 mshr_losers.push(id);
             }
         }
+        self.ready_pool = ready;
+        self.scratch_mshr_losers = mshr_losers;
+    }
+
+    /// Thread `t`'s shelf head as an issue candidate, if it passes every
+    /// check except global FU availability (deferred to pick time).
+    fn shelf_candidate(&self, t: usize) -> Option<(u64, InstId)> {
+        let &id = self.threads[t].shelf.front()?;
+        let slot = self.slab.get(id);
+        self.shelf_head_ready(t, slot).then_some((slot.age, id))
     }
 
     /// Snapshots IQ SSR -> shelf SSR for every shelf head whose run just
     /// became order-eligible (paper §III-B run-copy).
     fn refresh_ssr_copies(&mut self) {
         for t in 0..self.threads.len() {
-            let head_view = self.tracker_head_view(t);
-            let th = &mut self.threads[t];
-            if let Some(&head_id) = th.shelf.front() {
-                let slot = self.slab.get_mut(head_id);
-                if slot.first_of_run && !slot.ssr_copied && head_view >= slot.iq_barrier {
-                    slot.ssr_copied = true;
-                    th.ssr.copy_to_shelf();
-                }
+            self.refresh_ssr_copy(t);
+        }
+    }
+
+    /// Per-thread run-copy check (issues only perturb the issuing thread's
+    /// shelf head, so mid-cycle refreshes need not walk every thread).
+    fn refresh_ssr_copy(&mut self, t: usize) {
+        let head_view = self.tracker_head_view(t);
+        let th = &mut self.threads[t];
+        if let Some(&head_id) = th.shelf.front() {
+            let slot = self.slab.get_mut(head_id);
+            if slot.first_of_run && !slot.ssr_copied && head_view >= slot.iq_barrier {
+                slot.ssr_copied = true;
+                th.ssr.copy_to_shelf();
             }
         }
     }
@@ -1179,19 +1402,24 @@ impl Core {
         base + penalty <= now
     }
 
-    fn iq_entry_ready(&self, slot: &Slot) -> bool {
-        for tag in slot.src_tags.iter().flatten() {
-            if !self.src_ready(*tag, Steer::Iq, self.now) {
-                return false;
-            }
+    /// The cross-cluster forwarding penalty an IQ consumer pays for `tag`
+    /// as of now (the producing cluster is latched at broadcast).
+    fn iq_forward_penalty(&self, tag: Tag) -> u64 {
+        if self.cfg.cluster_forward_penalty > 0 && self.tag_cluster[tag.index()] != Steer::Iq {
+            self.cfg.cluster_forward_penalty as u64
+        } else {
+            0
         }
-        if !self.fu_available(slot.inst.op.fu_kind()) {
-            return false;
-        }
-        if slot.inst.is_load() && !self.store_set_clear(slot) {
-            return false;
-        }
-        true
+    }
+
+    /// Reference recomputation of IQ source readiness (sanitizer
+    /// cross-check for the incrementally maintained `data_ready_cycle`).
+    #[cfg(feature = "sanitize")]
+    fn iq_srcs_ready(&self, slot: &Slot) -> bool {
+        slot.src_tags
+            .iter()
+            .flatten()
+            .all(|tag| self.src_ready(*tag, Steer::Iq, self.now))
     }
 
     fn shelf_head_ready(&self, t: usize, slot: &Slot) -> bool {
@@ -1227,10 +1455,8 @@ impl Core {
                 return false;
             }
         }
-        // (4) Structural.
-        if !self.fu_available(slot.inst.op.fu_kind()) {
-            return false;
-        }
+        // (4) Structural. FU availability is the one global (cross-thread)
+        // input and is checked by the caller at pick time, not here.
         if slot.inst.is_load() && !self.store_set_clear(slot) {
             return false;
         }
@@ -1252,16 +1478,54 @@ impl Core {
         // The load belongs to a set with in-flight stores: wait until every
         // *older* store of the set has executed. (The LFST names only the
         // youngest store; hardware orders same-set stores in a chain, which
-        // implies this condition.)
-        for (&age, &sid) in &th.inflight_stores {
-            if age < slot.age {
-                let s = self.slab.get(sid);
-                if !s.mem_executed && !s.squashed && th.store_sets.set_of(s.inst.pc) == Some(set) {
-                    return false;
-                }
+        // implies this condition.) The list is age-sorted, so the scan stops
+        // at the load's own age.
+        for &(age, sid) in &th.inflight_stores {
+            if age >= slot.age {
+                break;
+            }
+            let s = self.slab.get(sid);
+            if !s.mem_executed && !s.squashed && th.store_sets.set_of(s.inst.pc) == Some(set) {
+                return false;
             }
         }
         true
+    }
+
+    /// Delivers a broadcast of `tag` to its registered IQ consumers,
+    /// clearing their pending-source counts. Stale registrations (squashed
+    /// consumers, possibly with a recycled id) fail the age/stage checks
+    /// and are dropped.
+    fn drain_tag_consumers(&mut self, tag: Tag, ready_at: u64) {
+        let effective = ready_at + self.iq_forward_penalty(tag);
+        let mut consumers = std::mem::take(&mut self.tag_consumers[tag.index()]);
+        for (cid, cage) in consumers.drain(..) {
+            if !self.slab.contains(cid) {
+                continue;
+            }
+            let s = self.slab.get_mut(cid);
+            if s.age != cage || s.stage != Stage::Dispatched || s.pending_srcs == 0 {
+                continue;
+            }
+            s.pending_srcs -= 1;
+            s.data_ready_cycle = s.data_ready_cycle.max(effective);
+            if s.pending_srcs == 0 {
+                let ready_cycle = s.data_ready_cycle;
+                self.iq_waiting -= 1;
+                // Last outstanding source: the ready cycle is now final,
+                // so the entry can be scheduled for the select scan.
+                self.ready_wheel.push(
+                    self.now,
+                    Event {
+                        cycle: ready_cycle,
+                        age: cage,
+                        id: cid,
+                    },
+                );
+            }
+        }
+        // Hand the (now empty) buffer back so its allocation is reused.
+        self.tag_consumers[tag.index()] = consumers;
     }
 
     fn fu_available(&self, kind: FuKind) -> bool {
@@ -1336,8 +1600,13 @@ impl Core {
         if let Some(tag) = self.slab.get(id).dest_tag {
             self.scoreboard.set_ready_at(tag, complete);
             self.tag_cluster[tag.index()] = steer;
-            self.counters.iq_wakeup_cam += self.iq.len() as u64;
+            // The wakeup CAM compares only IQ entries still waiting on at
+            // least one un-broadcast source; entries whose ready bits are
+            // already latched keep their comparators dark (`counters.rs`
+            // documents the per-entry-compared semantics).
+            self.counters.iq_wakeup_cam += self.iq_waiting as u64;
             self.counters.prf_writes += 1;
+            self.drain_tag_consumers(tag, complete);
         }
 
         // Oracle schedule corrections from the actual schedule (§IV-A).
@@ -1405,14 +1674,17 @@ impl Core {
             self.counters.issued_shelf += 1;
         }
         if inst.is_load() {
-            self.threads[t].inflight_loads.insert(age);
+            self.threads[t].add_inflight_load(age);
         }
         self.threads[t].pre_issue_count -= 1;
-        self.events.push(Event {
-            cycle: complete,
-            age,
-            id,
-        });
+        self.events.push(
+            now,
+            Event {
+                cycle: complete,
+                age,
+                id,
+            },
+        );
         true
     }
 
@@ -1488,18 +1760,34 @@ impl Core {
     // ------------------------------------------------------------ writeback
 
     fn process_events(&mut self) {
-        while let Some(ev) = self.events.peek() {
+        let idx = (self.now as usize) % EVENT_WHEEL_BUCKETS;
+        let mut due = std::mem::take(&mut self.events.buckets[idx]);
+        while let Some(ev) = self.events.overflow.peek() {
             if ev.cycle > self.now {
                 break;
             }
-            let Event { id, age, .. } = self.events.pop().expect("peeked");
-            // The slot may be long gone (squashed and cleaned) — or the id
-            // recycled. Verify identity via age.
-            if !self.slab.contains(id) || self.slab.get(id).age != age {
-                continue;
-            }
-            self.writeback(id);
+            due.push(self.events.overflow.pop().expect("peeked"));
         }
+        if !due.is_empty() {
+            // Every due event carries this cycle; process elder
+            // instructions first (the order the heap's `(cycle, age)` key
+            // provided) so squashes mark younger in-flight work first.
+            due.sort_unstable_by_key(|ev| ev.age);
+            self.events.len -= due.len();
+            for ev in due.drain(..) {
+                debug_assert_eq!(ev.cycle, self.now);
+                let Event { id, age, .. } = ev;
+                // The slot may be long gone (squashed and cleaned) — or the
+                // id recycled. Verify identity via age.
+                if !self.slab.contains(id) || self.slab.get(id).age != age {
+                    continue;
+                }
+                self.writeback(id);
+            }
+        }
+        // Hand the drained bucket back (re-entrant pushes cannot target it
+        // inside the horizon, so nothing was added meanwhile).
+        self.events.buckets[idx] = due;
     }
 
     fn writeback(&mut self, id: InstId) {
@@ -1516,7 +1804,7 @@ impl Core {
 
         if inst.is_load() {
             let age = self.slab.get(id).age;
-            self.threads[t].inflight_loads.remove(&age);
+            self.threads[t].remove_inflight_load(age);
         }
         if squashed {
             // A squashed in-flight instruction is filtered at writeback
@@ -1529,7 +1817,7 @@ impl Core {
             }
             if inst.is_store() {
                 let age = self.slab.get(id).age;
-                self.threads[t].inflight_stores.remove(&age);
+                self.threads[t].remove_inflight_store(age);
             }
             // A sampled load's PLT column must not leak with the squash.
             if let Some(col) = self.slab.get_mut(id).plt_column.take() {
@@ -1588,7 +1876,7 @@ impl Core {
         };
         self.slab.get_mut(id).mem_executed = true;
         self.threads[t].store_sets.store_resolved(pc, age);
-        self.threads[t].inflight_stores.remove(&age);
+        self.threads[t].remove_inflight_store(age);
 
         // Memory-order violation scan: younger loads that already executed
         // with an overlapping address and did not receive their value from
@@ -1617,13 +1905,11 @@ impl Core {
                 }
             }
         }
-        let recent: Vec<InstId> = th
-            .recent_shelf_loads
-            .iter()
-            .filter(|&&(lid, lage)| self.slab.contains(lid) && self.slab.get(lid).age == lage)
-            .map(|&(lid, _)| lid)
-            .collect();
-        for lid in recent {
+        for i in 0..self.threads[t].recent_shelf_loads.len() {
+            let (lid, lage) = self.threads[t].recent_shelf_loads[i];
+            if !self.slab.contains(lid) || self.slab.get(lid).age != lage {
+                continue;
+            }
             if let Some(v) = consider(lid, &self.slab, &mut self.counters) {
                 if victim.is_none_or(|(_, va)| v.1 < va) {
                     victim = Some(v);
@@ -1701,9 +1987,14 @@ impl Core {
     }
 
     fn squash_window_from(&mut self, t: usize, pos: usize, rewind_trace: bool) {
-        // Collect ids youngest-first for RAT walk-back.
-        let victims: Vec<InstId> = self.threads[t].window.iter().skip(pos).copied().collect();
+        // Collect ids for the youngest-first RAT walk-back into a reused
+        // scratch buffer (squashes are frequent enough that a fresh Vec per
+        // squash shows up in the allocator profile).
+        let mut victims = std::mem::take(&mut self.scratch_squash);
+        victims.clear();
+        victims.extend(self.threads[t].window.iter().skip(pos).copied());
         if victims.is_empty() && self.threads[t].frontend.is_empty() {
+            self.scratch_squash = victims;
             return;
         }
         let mut rewind_seq: Option<u64> = None;
@@ -1734,6 +2025,7 @@ impl Core {
             let sq_idx = slot.sq_idx;
             let shelf_idx = slot.shelf_idx;
             let classify_idx = slot.classify_idx;
+            let pending_srcs = slot.pending_srcs;
 
             if !wrong_path {
                 rewind_seq = Some(seq);
@@ -1770,7 +2062,7 @@ impl Core {
 
             if inst.is_store() {
                 self.threads[t].store_sets.store_resolved(inst.pc, age);
-                self.threads[t].inflight_stores.remove(&age);
+                self.threads[t].remove_inflight_store(age);
             }
             if self.threads[t].waiting_branch == Some(id) {
                 self.threads[t].waiting_branch = None;
@@ -1793,6 +2085,12 @@ impl Core {
                         Steer::Iq => {
                             let p = self.iq.iter().position(|&x| x == id).expect("in IQ");
                             self.iq.swap_remove(p);
+                            // Leave the waiting population; any stale
+                            // consumer-list registrations are filtered at
+                            // their tag's broadcast.
+                            if pending_srcs > 0 {
+                                self.iq_waiting -= 1;
+                            }
                         }
                         Steer::Shelf => {
                             // Remove from the shelf FIFO (it must be at the
@@ -1816,11 +2114,14 @@ impl Core {
                     // ignores the later one).
                     self.slab.get_mut(id).squashed = true;
                     self.counters.squashed += 1;
-                    self.events.push(Event {
-                        cycle: self.now + 4,
-                        age,
-                        id,
-                    });
+                    self.events.push(
+                        self.now,
+                        Event {
+                            cycle: self.now + 4,
+                            age,
+                            id,
+                        },
+                    );
                 }
                 Stage::Completed => {
                     // Completed IQ instruction waiting to retire.
@@ -1853,9 +2154,10 @@ impl Core {
         };
 
         // Flush the front end (everything there is younger than the squash
-        // point).
-        let frontend: Vec<InstId> = self.threads[t].frontend.drain(..).collect();
-        for id in frontend {
+        // point); the victim scratch buffer is reused for the drain.
+        victims.clear();
+        victims.extend(self.threads[t].frontend.drain(..));
+        for &id in &victims {
             let slot = self.slab.get(id);
             if !slot.wrong_path {
                 rewind_seq = Some(rewind_seq.map_or(slot.seq, |r: u64| r.min(slot.seq)));
@@ -1877,6 +2179,7 @@ impl Core {
             self.threads[t].trace.rewind_to(seq);
         }
         self.threads[t].fetch_stalled_until = self.threads[t].fetch_stalled_until.max(self.now + 2);
+        self.scratch_squash = victims;
     }
 
     // --------------------------------------------------------------- commit
@@ -2051,6 +2354,31 @@ impl Core {
                     v,
                     "IQ resident {id} in stage {:?} steered {:?}",
                     s.stage, s.steer
+                )
+                .expect("write");
+            }
+        }
+        let waiting = self
+            .iq
+            .iter()
+            .filter(|&&id| self.slab.get(id).pending_srcs > 0)
+            .count();
+        if waiting != self.iq_waiting {
+            writeln!(
+                v,
+                "iq_waiting {} disagrees with recount {waiting}",
+                self.iq_waiting
+            )
+            .expect("write");
+        }
+        for &id in &self.iq {
+            let s = self.slab.get(id);
+            if s.pending_srcs == 0 && (s.data_ready_cycle <= self.now) != self.iq_srcs_ready(s) {
+                writeln!(
+                    v,
+                    "IQ entry {id}: cached data_ready_cycle {} disagrees with \
+                     scoreboard recomputation at cycle {}",
+                    s.data_ready_cycle, self.now
                 )
                 .expect("write");
             }

@@ -156,10 +156,15 @@ impl PracticalSteer {
     /// detector: an RCT counter at zero with an unready register means a
     /// parent load is late).
     pub fn tick(&mut self, mut actually_ready: impl FnMut(ArchReg) -> bool) {
-        for i in 0..NUM_ARCH_REGS {
+        // Only registers that depend on a sampled load can trip the
+        // schedule-error detector; skip the rest of the register file.
+        let mut live = self.plt.nonzero_rows();
+        while live != 0 {
+            let i = live.trailing_zeros() as usize;
+            live &= live - 1;
             let reg = ArchReg::from_index(i);
             let mask = self.plt.mask(reg);
-            if mask != 0 && self.rct.predicted_ready(reg) && !actually_ready(reg) {
+            if self.rct.predicted_ready(reg) && !actually_ready(reg) {
                 self.plt.mark_stalled(mask);
             }
         }

@@ -1,0 +1,145 @@
+//! Golden end-to-end determinism: the simulator is a pure function of
+//! (config, workload, seed). Two fresh processes-worth of state driven with
+//! the same inputs must agree on every architectural counter bit-for-bit,
+//! and a resumed campaign must reproduce its journal byte-for-byte.
+//!
+//! These tests are the safety net for engine-throughput work: any hot-path
+//! "optimization" that changes scheduling order, wakeup timing, or RNG
+//! consumption trips them immediately.
+
+use shelfsim::analyze::design_by_name;
+use shelfsim::campaign::{run_campaign, CampaignSpec};
+use shelfsim::Simulation;
+
+const MIX4: &[&str] = &["gcc", "mcf", "hmmer", "lbm"];
+const MIX2: &[&str] = &["astar", "sjeng"];
+
+/// Runs one design twice from scratch and demands bit-identical results.
+fn assert_golden(design: &str, mix: &[&str], seed: u64, warmup: u64, measure: u64) {
+    let run = |_: usize| {
+        let cfg = design_by_name(design, mix.len()).expect("known design");
+        let mut sim = Simulation::from_names(cfg, mix, seed).expect("suite benchmarks");
+        sim.run(warmup, measure)
+    };
+    let (a, b) = (run(0), run(1));
+    assert_eq!(
+        a.counters, b.counters,
+        "{design} {mix:?} seed {seed}: counters diverged between identical runs"
+    );
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(
+        a.ipc().to_bits(),
+        b.ipc().to_bits(),
+        "{design}: IPC must match to the last bit"
+    );
+    for (ta, tb) in a.threads.iter().zip(&b.threads) {
+        assert_eq!(ta.committed, tb.committed);
+        assert_eq!(ta.cpi.to_bits(), tb.cpi.to_bits());
+    }
+    assert!(a.counters.committed > 0, "{design}: golden run must commit");
+}
+
+/// Every design point of the bench matrix (plus the steering variants) is
+/// bit-deterministic on a 4-thread and a 2-thread mix.
+#[test]
+fn identical_runs_produce_identical_counters() {
+    for design in [
+        "base64",
+        "shelf-cons",
+        "shelf-opt",
+        "shelf-oracle",
+        "base128",
+    ] {
+        assert_golden(design, MIX4, 7, 1_000, 6_000);
+    }
+    assert_golden("shelf-opt", MIX2, 9, 500, 4_000);
+}
+
+/// The seed matters: a different seed must not silently reproduce the same
+/// run (guards against the golden harness comparing constants).
+#[test]
+fn different_seeds_diverge() {
+    let cfg = design_by_name("shelf-opt", MIX4.len()).expect("known design");
+    let a = Simulation::from_names(cfg.clone(), MIX4, 7)
+        .expect("suite")
+        .run(1_000, 6_000);
+    let b = Simulation::from_names(cfg, MIX4, 8)
+        .expect("suite")
+        .run(1_000, 6_000);
+    assert_ne!(
+        a.counters, b.counters,
+        "distinct seeds should produce distinct runs"
+    );
+}
+
+fn temp_journal(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("shelfsim_golden_tests");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn campaign_matrix() -> Vec<shelfsim::campaign::RunSpec> {
+    CampaignSpec::matrix(
+        &["base64".to_owned(), "shelf-opt".to_owned()],
+        &[
+            vec!["gcc".to_owned(), "mcf".to_owned()],
+            vec!["hmmer".to_owned(), "lbm".to_owned()],
+        ],
+        7,     // seed
+        300,   // warm-up cycles
+        1_500, // measured cycles
+    )
+}
+
+/// A campaign journal is a pure function of its spec (single worker), and a
+/// killed-then-resumed campaign reproduces it byte-for-byte.
+#[test]
+fn campaign_resume_reproduces_journal_byte_for_byte() {
+    // Reference: one uninterrupted campaign.
+    let reference = temp_journal("golden_ref.jsonl");
+    let spec = CampaignSpec::new(campaign_matrix())
+        .with_watchdog(Some(5_000))
+        .with_workers(1)
+        .with_journal(&reference);
+    let report = run_campaign(&spec).expect("reference campaign");
+    assert_eq!(report.completed(), 4);
+    let ref_bytes = std::fs::read(&reference).expect("reference journal");
+    assert!(!ref_bytes.is_empty());
+
+    // Determinism: the identical spec into a fresh journal writes the same
+    // bytes.
+    let rerun = temp_journal("golden_rerun.jsonl");
+    let spec2 = CampaignSpec::new(campaign_matrix())
+        .with_watchdog(Some(5_000))
+        .with_workers(1)
+        .with_journal(&rerun);
+    run_campaign(&spec2).expect("rerun campaign");
+    assert_eq!(
+        ref_bytes,
+        std::fs::read(&rerun).expect("rerun journal"),
+        "identical campaigns must journal identical bytes"
+    );
+
+    // Kill/resume: journal only a prefix, then re-invoke the full campaign
+    // against the same file. The resumed half appends exactly the missing
+    // lines — the final journal is byte-identical to the uninterrupted one.
+    let resumed = temp_journal("golden_resumed.jsonl");
+    let prefix = CampaignSpec::new(campaign_matrix()[..2].to_vec())
+        .with_watchdog(Some(5_000))
+        .with_workers(1)
+        .with_journal(&resumed);
+    assert_eq!(run_campaign(&prefix).expect("prefix").completed(), 2);
+    let full = CampaignSpec::new(campaign_matrix())
+        .with_watchdog(Some(5_000))
+        .with_workers(1)
+        .with_journal(&resumed);
+    let resumed_report = run_campaign(&full).expect("resume");
+    assert_eq!(resumed_report.resumed, 2, "the journaled prefix is skipped");
+    assert_eq!(
+        ref_bytes,
+        std::fs::read(&resumed).expect("resumed journal"),
+        "resume must reproduce the uninterrupted journal byte-for-byte"
+    );
+}

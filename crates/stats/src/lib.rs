@@ -20,7 +20,8 @@ pub mod summary;
 
 pub use cdf::WeightedCdf;
 pub use summary::{
-    geomean, grouped_geomean, mean, median, min_median_max_indices, percent_delta, Tally,
+    geomean, grouped_geomean, mean, median, min_median_max_indices, percent_delta, render_delta,
+    Tally,
 };
 
 /// System throughput (STP) of a multiprogram execution.

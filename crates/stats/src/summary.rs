@@ -62,14 +62,27 @@ pub fn min_median_max_indices(values: &[f64]) -> (usize, usize, usize) {
     (min, med, max)
 }
 
-/// Percentage change from `base` to `new` (`+11.5` means 11.5% better).
+/// Percentage change from `base` to `new` (`Some(11.5)` means 11.5%
+/// better).
 ///
-/// # Panics
-///
-/// Panics if `base` is zero.
-pub fn percent_delta(base: f64, new: f64) -> f64 {
-    assert!(base != 0.0, "cannot compute a percentage delta from zero");
-    (new - base) / base * 100.0
+/// Returns `None` when the baseline is zero or either value is not finite:
+/// a baseline run that committed nothing (IPC 0.0, e.g. after
+/// `max-cycles-expired`) has no meaningful percentage delta, and callers
+/// render the degenerate case as `n/a` instead of aborting.
+pub fn percent_delta(base: f64, new: f64) -> Option<f64> {
+    if base == 0.0 || !base.is_finite() || !new.is_finite() {
+        return None;
+    }
+    Some((new - base) / base * 100.0)
+}
+
+/// Renders a [`percent_delta`] result as a signed percentage, or `n/a` for
+/// the degenerate zero/non-finite baseline case.
+pub fn render_delta(delta: Option<f64>) -> String {
+    match delta {
+        Some(d) => format!("{d:+.1}%"),
+        None => "n/a".to_owned(),
+    }
 }
 
 /// An ordered multiset counter for outcome taxonomies (campaign run
@@ -222,8 +235,20 @@ mod tests {
 
     #[test]
     fn percent_delta_signs() {
-        assert!((percent_delta(2.0, 2.2) - 10.0).abs() < 1e-9);
-        assert!((percent_delta(2.0, 1.8) + 10.0).abs() < 1e-9);
+        assert!((percent_delta(2.0, 2.2).expect("nonzero base") - 10.0).abs() < 1e-9);
+        assert!((percent_delta(2.0, 1.8).expect("nonzero base") + 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percent_delta_zero_or_nonfinite_baseline_is_none() {
+        // A run that commits nothing yields IPC 0.0; comparing against it
+        // must degrade to `n/a`, not abort the process.
+        assert_eq!(percent_delta(0.0, 1.5), None);
+        assert_eq!(percent_delta(f64::NAN, 1.5), None);
+        assert_eq!(percent_delta(2.0, f64::INFINITY), None);
+        assert_eq!(render_delta(None), "n/a");
+        assert_eq!(render_delta(Some(12.34)), "+12.3%");
+        assert_eq!(render_delta(Some(-5.0)), "-5.0%");
     }
 
     #[test]

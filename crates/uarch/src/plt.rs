@@ -17,6 +17,9 @@ use shelfsim_isa::NUM_ARCH_REGS;
 pub struct ParentLoadsTable {
     /// `rows[r]` = bitmask of load columns register `r` depends on.
     rows: [u8; NUM_ARCH_REGS],
+    /// Bit `r` set iff `rows[r] != 0`; lets per-cycle scans visit only
+    /// registers that actually depend on a sampled load.
+    nonzero: u64,
     /// Columns currently assigned to an in-flight load.
     allocated: u8,
     /// Columns whose load is known to be running late.
@@ -34,6 +37,7 @@ impl ParentLoadsTable {
         assert!((1..=8).contains(&columns), "column count must be 1..=8");
         ParentLoadsTable {
             rows: [0; NUM_ARCH_REGS],
+            nonzero: 0,
             allocated: 0,
             stalled: 0,
             num_columns: columns,
@@ -51,14 +55,24 @@ impl ParentLoadsTable {
             .map(|c| 1u8 << c)
             .find(|bit| self.allocated & bit == 0)?;
         self.allocated |= free;
-        self.rows[dest.index()] = free | operand_mask;
+        self.set_row(dest.index(), free | operand_mask);
         Some(free)
     }
 
     /// Propagates parentage to a non-load instruction's destination: the
     /// destination depends on the union of its operands' parent loads.
     pub fn propagate(&mut self, dest: shelfsim_isa::ArchReg, operand_mask: u8) {
-        self.rows[dest.index()] = operand_mask;
+        self.set_row(dest.index(), operand_mask);
+    }
+
+    #[inline]
+    fn set_row(&mut self, index: usize, mask: u8) {
+        self.rows[index] = mask;
+        if mask != 0 {
+            self.nonzero |= 1u64 << index;
+        } else {
+            self.nonzero &= !(1u64 << index);
+        }
     }
 
     /// The parent-load mask of `reg` (to be OR'd across an instruction's
@@ -79,8 +93,15 @@ impl ParentLoadsTable {
     pub fn load_completed(&mut self, column_bit: u8) {
         self.allocated &= !column_bit;
         self.stalled &= !column_bit;
-        for row in &mut self.rows {
-            *row &= !column_bit;
+        let mut live = self.nonzero;
+        while live != 0 {
+            let i = live.trailing_zeros() as usize;
+            live &= live - 1;
+            let row = self.rows[i] & !column_bit;
+            self.rows[i] = row;
+            if row == 0 {
+                self.nonzero &= !(1u64 << i);
+            }
         }
     }
 
@@ -94,6 +115,12 @@ impl ParentLoadsTable {
     /// Currently stalled column bits.
     pub fn stalled_mask(&self) -> u8 {
         self.stalled
+    }
+
+    /// Bitmask over register indices whose parent-load row is nonzero.
+    #[inline]
+    pub fn nonzero_rows(&self) -> u64 {
+        self.nonzero
     }
 
     /// Number of columns currently tracking a load.

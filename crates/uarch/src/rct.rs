@@ -15,6 +15,9 @@ use shelfsim_isa::NUM_ARCH_REGS;
 #[derive(Clone, Debug)]
 pub struct ReadyCycleTable {
     counters: [u8; NUM_ARCH_REGS],
+    /// Bit `i` set iff `counters[i] > 0`; lets the per-cycle tick visit
+    /// only live counters instead of the whole register file.
+    active: u64,
     max: u8,
 }
 
@@ -29,6 +32,7 @@ impl ReadyCycleTable {
         assert!((1..=8).contains(&bits), "counter width must be 1..=8 bits");
         ReadyCycleTable {
             counters: [0; NUM_ARCH_REGS],
+            active: 0,
             max: ((1u16 << bits) - 1) as u8,
         }
     }
@@ -43,7 +47,13 @@ impl ReadyCycleTable {
     /// at the counter width).
     #[inline]
     pub fn set(&mut self, reg: shelfsim_isa::ArchReg, cycles: u32) {
-        self.counters[reg.index()] = cycles.min(self.max as u32) as u8;
+        let v = cycles.min(self.max as u32) as u8;
+        self.counters[reg.index()] = v;
+        if v > 0 {
+            self.active |= 1u64 << reg.index();
+        } else {
+            self.active &= !(1u64 << reg.index());
+        }
     }
 
     /// The saturation value (31 for the paper's 5-bit counters).
@@ -52,11 +62,17 @@ impl ReadyCycleTable {
     }
 
     /// One cycle passes: decrement every counter whose register index is
-    /// not frozen by `frozen`.
+    /// not frozen by `frozen`. Visits only nonzero counters.
     pub fn tick(&mut self, mut frozen: impl FnMut(usize) -> bool) {
-        for (i, c) in self.counters.iter_mut().enumerate() {
-            if *c > 0 && !frozen(i) {
-                *c -= 1;
+        let mut live = self.active;
+        while live != 0 {
+            let i = live.trailing_zeros() as usize;
+            live &= live - 1;
+            if !frozen(i) {
+                self.counters[i] -= 1;
+                if self.counters[i] == 0 {
+                    self.active &= !(1u64 << i);
+                }
             }
         }
     }

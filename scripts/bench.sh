@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Engine-throughput bench: runs the fixed seeded `engine_micro` matrix
+# (designs x mixes, see crates/bench/src/engine.rs) with a release build
+# and writes BENCH_core.json at the repo root.
+#
+# If a BENCH_core.json already exists (the committed baseline), its
+# aggregate kIPS is compared against the fresh run before the file is
+# replaced. Wall-clock numbers are host-dependent: compare runs taken on
+# the same machine, and prefer an idle one.
+#
+# Usage: scripts/bench.sh [--measure N] [--seed N] [--keep-baseline]
+#   --measure N        measured cycles per run (default 300000)
+#   --seed N           workload seed (default 7)
+#   --keep-baseline    print the comparison but do not overwrite the file
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+measure=300000
+seed=7
+keep_baseline=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --measure) measure="$2"; shift 2 ;;
+    --seed) seed="$2"; shift 2 ;;
+    --keep-baseline) keep_baseline=1; shift ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
+  esac
+done
+
+echo "== cargo build --release"
+cargo build --release
+
+out="BENCH_core.json"
+fresh="$(mktemp)"
+trap 'rm -f "$fresh"' EXIT
+
+echo "== shelfsim bench (engine_micro, measure $measure, seed $seed)"
+target/release/shelfsim bench --measure "$measure" --seed "$seed" --out "$fresh"
+
+if [ -s "$out" ]; then
+  echo "== comparison against committed baseline ($out)"
+  python3 - "$out" "$fresh" <<'EOF'
+import json, sys
+base = json.load(open(sys.argv[1]))
+new = json.load(open(sys.argv[2]))
+bk, nk = base["aggregate"]["kips"], new["aggregate"]["kips"]
+ratio = "n/a" if bk == 0 else f"{nk / bk:.2f}x"
+print(f"aggregate kIPS: baseline {bk:.1f} -> new {nk:.1f}  ({ratio})")
+bruns = {(r["design"], r["mix"]): r for r in base["runs"]}
+for r in new["runs"]:
+    b = bruns.get((r["design"], r["mix"]))
+    if b is None:
+        continue
+    rr = "n/a" if b["kips"] == 0 else f"{r['kips'] / b['kips']:.2f}x"
+    print(f"  {r['design']:<10} {r['mix']:<22} {b['kips']:>9.1f} -> {r['kips']:>9.1f} kIPS  ({rr})")
+EOF
+else
+  echo "== no committed baseline to compare against"
+fi
+
+if [ "$keep_baseline" = 1 ]; then
+  echo "kept existing $out (fresh numbers discarded)"
+else
+  mv "$fresh" "$out"
+  trap - EXIT
+  echo "wrote $out"
+fi

@@ -46,4 +46,25 @@ echo "$out2" | grep -q "4 resumed from journal" \
   || { echo "FAIL: second invocation should resume all 4 runs"; echo "$out2"; exit 1; }
 rm -f "$journal"
 
+echo "== golden determinism suite (bit-identical counters, journal bytes)"
+cargo test -q -p shelfsim --test golden_determinism
+
+echo "== bench smoke: shelfsim bench emits well-formed throughput JSON"
+bench_json="$(mktemp)"
+cargo run --release -q -p shelfsim-cli -- bench \
+  --measure 5000 --out "$bench_json" >/dev/null
+python3 - "$bench_json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "shelfsim-bench-v1", doc.get("schema")
+assert doc["runs"], "bench must report at least one run"
+assert doc["aggregate"]["kips"] > 0, "aggregate kIPS must be positive"
+for r in doc["runs"]:
+    assert r["kips"] > 0, f"{r['design']} reported zero kIPS"
+    assert r["committed"] > 0, f"{r['design']} committed nothing"
+print(f"bench smoke ok: {len(doc['runs'])} runs, "
+      f"{doc['aggregate']['kips']:.0f} kIPS aggregate")
+EOF
+rm -f "$bench_json"
+
 echo "All checks passed."
