@@ -235,6 +235,7 @@ fn run_attempt(
     watchdog: Option<Watchdog>,
     fault: Option<FaultKind>,
     attempt: u32,
+    trace_dir: Option<&std::path::Path>,
 ) -> Result<RunOutcome, RunFailure> {
     let diagnostics = attempt > 0;
     let fail = |kind: FailureKind, cycle: Option<u64>, msg: String| RunFailure {
@@ -275,6 +276,10 @@ fn run_attempt(
             // carries pipeline context. With `--features sanitize` the
             // per-cycle invariant audits are compiled in as well.
             sim.enable_commit_log(64);
+            if trace_dir.is_some() {
+                // Full lifecycle trace, dumped below on a diagnosed failure.
+                sim.enable_tracer(256, 64);
+            }
         }
         match fault {
             Some(FaultKind::Stall) => {
@@ -297,6 +302,15 @@ fn run_attempt(
                 completion: r.completion,
             }),
             Err(SimError::Deadlock(d)) => {
+                // Best-effort trace dump: the watchdog diagnosed the stall,
+                // so the tracer (when escalated) still holds the window that
+                // led up to it. A panic, by contrast, unwinds past `sim` —
+                // nothing to dump there.
+                if let (Some(dir), Some(tracer)) = (trace_dir, sim.tracer()) {
+                    let _ = std::fs::create_dir_all(dir);
+                    let path = dir.join(format!("{}-attempt{attempt}.jsonl", spec.key()));
+                    let _ = std::fs::write(path, tracer.export_jsonl());
+                }
                 Err(fail(FailureKind::Deadlock, Some(d.cycle), d.to_string()))
             }
         }
@@ -314,7 +328,13 @@ fn execute(spec: &RunSpec, campaign: &CampaignSpec) -> RunRecord {
     let mut failures = Vec::new();
     for attempt in 0..campaign.max_attempts.max(1) {
         let fault = campaign.faults.fault_for(spec.index, attempt);
-        match run_attempt(spec, watchdog, fault, attempt) {
+        match run_attempt(
+            spec,
+            watchdog,
+            fault,
+            attempt,
+            campaign.trace_dir.as_deref(),
+        ) {
             Ok(outcome) => {
                 return RunRecord {
                     spec: spec.clone(),

@@ -77,6 +77,11 @@ pub struct CampaignSpec {
     pub journal: Option<PathBuf>,
     /// Deterministic fault injection plan (empty = no faults).
     pub faults: FaultPlan,
+    /// When set, diagnostics-tier attempts (attempt ≥ 2) run with the
+    /// lifecycle tracer enabled and a watchdog-diagnosed failure dumps its
+    /// JSONL trace here as `<key>-attempt<N>.jsonl`. Panics unwind past the
+    /// simulator, so only deadlock/livelock failures can leave a trace.
+    pub trace_dir: Option<PathBuf>,
     /// Suppress the default panic hook's backtrace spew while isolated runs
     /// convert panics into structured failures.
     pub quiet_panics: bool,
@@ -93,6 +98,7 @@ impl CampaignSpec {
             workers: 2,
             journal: None,
             faults: FaultPlan::new(),
+            trace_dir: None,
             quiet_panics: true,
         }
     }
@@ -124,6 +130,13 @@ impl CampaignSpec {
     /// Sets the fault-injection plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Sets the directory where diagnostics-tier failures dump lifecycle
+    /// traces (created on demand).
+    pub fn with_trace_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.trace_dir = Some(dir.into());
         self
     }
 

@@ -176,6 +176,45 @@ fn sub_window_stall_is_tolerated() {
     assert!(r.failures.is_empty());
 }
 
+/// A livelock that survives into the diagnostics tier leaves a lifecycle
+/// trace in the campaign's trace directory: the watchdog diagnoses the
+/// stall and the escalated attempt dumps its JSONL window before retrying.
+#[test]
+fn diagnosed_livelock_dumps_a_trace_in_the_trace_dir() {
+    let trace_dir =
+        std::env::temp_dir().join(format!("shelfsim_campaign_traces_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&trace_dir);
+    let runs = matrix()[..1].to_vec();
+    let key = runs[0].key();
+    // Livelock on attempts 0 AND 1: attempt 1 runs in the diagnostics tier
+    // (tracer enabled), fails under the watchdog, and dumps; attempt 2
+    // succeeds.
+    let faults = FaultPlan::new().inject(0, FaultKind::Livelock, 2);
+    let spec = CampaignSpec::new(runs)
+        .with_watchdog(Some(600))
+        .with_max_attempts(3)
+        .with_faults(faults)
+        .with_trace_dir(&trace_dir);
+    let report = run_campaign(&spec).expect("campaign");
+    let r = &report.records[0];
+    assert_eq!(r.status, RunStatus::Ok);
+    assert_eq!(r.attempts, 3);
+    let dump = trace_dir.join(format!("{key}-attempt1.jsonl"));
+    let text = std::fs::read_to_string(&dump)
+        .unwrap_or_else(|e| panic!("diagnostics attempt must dump {}: {e}", dump.display()));
+    assert!(
+        text.starts_with("{\"type\":\"meta\""),
+        "JSONL export format"
+    );
+    assert!(
+        text.contains("\"type\":\"stalls\""),
+        "stall attribution rides along"
+    );
+    // Attempt 0 ran below the diagnostics tier: no trace for it.
+    assert!(!trace_dir.join(format!("{key}-attempt0.jsonl")).exists());
+    let _ = std::fs::remove_dir_all(&trace_dir);
+}
+
 /// Unknown designs and benchmarks quarantine immediately (config failures
 /// are not retryable) with a message naming the valid options.
 #[test]

@@ -53,6 +53,14 @@ struct Options {
     seed: u64,
     tso: bool,
     json: bool,
+    /// Trace: lifecycle ring capacity (instructions retained per export).
+    window: usize,
+    /// Trace: occupancy sampling period in cycles.
+    sample: u64,
+    /// Trace: write the JSONL export here.
+    jsonl: Option<String>,
+    /// Trace: write the Chrome trace-event export here (Perfetto-loadable).
+    chrome: Option<String>,
 }
 
 impl Default for Options {
@@ -66,6 +74,10 @@ impl Default for Options {
             seed: 7,
             tso: false,
             json: false,
+            window: 256,
+            sample: 8,
+            jsonl: None,
+            chrome: None,
         }
     }
 }
@@ -90,6 +102,10 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--seed" => o.seed = parse_num("--seed", &val("--seed")?)?,
             "--tso" => o.tso = true,
             "--json" => o.json = true,
+            "--window" => o.window = parse_num("--window", &val("--window")?)?,
+            "--sample" => o.sample = parse_num("--sample", &val("--sample")?)?,
+            "--jsonl" => o.jsonl = Some(val("--jsonl")?),
+            "--chrome" => o.chrome = Some(val("--chrome")?),
             other => return Err(err(format!("unknown option `{other}`"))),
         }
     }
@@ -506,6 +522,10 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             let mut sim =
                 Simulation::from_names(cfg, &names, o.seed).map_err(|e| err(e.to_string()))?;
             sim.enable_commit_log(48);
+            if o.window == 0 {
+                return Err(err("--window must be at least 1"));
+            }
+            sim.enable_tracer(o.window, o.sample.max(1));
             let _ = sim.run(o.warmup, o.measure);
             writeln!(
                 out,
@@ -543,6 +563,19 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 )
                 .expect("write");
             }
+            let tracer = sim.tracer().expect("tracer enabled above");
+            out.push_str("\nstall attribution (% of measured cycles per thread):\n");
+            out.push_str(&tracer.stall_summary());
+            if let Some(path) = &o.jsonl {
+                std::fs::write(path, tracer.export_jsonl())
+                    .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+                writeln!(out, "wrote {path}").expect("write");
+            }
+            if let Some(path) = &o.chrome {
+                std::fs::write(path, tracer.export_chrome())
+                    .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+                writeln!(out, "wrote {path}").expect("write");
+            }
         }
         "campaign" => {
             let mut designs: Vec<String> = vec!["base64".to_owned(), "shelf-opt".to_owned()];
@@ -556,6 +589,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             let mut attempts = 3u32;
             let mut workers = 2usize;
             let mut journal: Option<String> = None;
+            let mut trace_dir: Option<String> = None;
             let mut fault_mix = shelfsim::FaultMix::default();
             let mut fault_seed = 0u64;
             let mut json = false;
@@ -590,6 +624,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                     "--attempts" => attempts = parse_num("--attempts", v)?,
                     "--workers" => workers = parse_num("--workers", v)?,
                     "--journal" => journal = Some(v.clone()),
+                    "--trace-dir" => trace_dir = Some(v.clone()),
                     "--fault-panics" => fault_mix.panics = parse_num("--fault-panics", v)?,
                     "--fault-persistent-panics" => {
                         fault_mix.persistent_panics = parse_num("--fault-persistent-panics", v)?
@@ -628,6 +663,9 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 .with_workers(workers);
             if let Some(path) = journal {
                 spec = spec.with_journal(path);
+            }
+            if let Some(dir) = trace_dir {
+                spec = spec.with_trace_dir(dir);
             }
             if n_faults > 0 {
                 spec = spec.with_faults(shelfsim::FaultPlan::seeded(fault_seed, n_runs, fault_mix));
@@ -766,7 +804,15 @@ USAGE:
                    [--seed N] [--tso] [--json]
   shelfsim compare --mix b1,b2,... [--warmup N] [--measure N] [--seed N] [--tso]
   shelfsim sweep   --param P --values v1,v2,... --mix b1,b2,... [--design D]
-  shelfsim trace   --mix b1,b2,... [--design D]   (last 48 committed insts)
+  shelfsim trace   --mix b1,b2,... [--design D] [--warmup N] [--measure N]
+                   [--seed N] [--window N] [--sample N]
+                   [--jsonl FILE] [--chrome FILE]
+                   (lane view of the last 48 committed insts, per-thread
+                   dispatch/issue stall attribution, and optional exports:
+                   --jsonl writes instruction lifecycles + occupancy samples
+                   as JSON lines, --chrome writes a Chrome trace-event file
+                   loadable in Perfetto/about:tracing; --window bounds the
+                   lifecycle ring, --sample sets the occupancy period)
   shelfsim asm     FILE.s [--design D] [--mix x,x] (run a hand-written kernel;
                    kernel syntax: see shelfsim_workload::asm)
   shelfsim characterize [BENCH]                    (measured mix & footprints)
@@ -783,6 +829,8 @@ USAGE:
   shelfsim campaign [--designs d1,d2] [--threads N] [--mixes N | --mix b1,b2 ...]
                    [--seed N] [--warmup N] [--measure N] [--watchdog N]
                    [--attempts N] [--workers N] [--journal FILE] [--json]
+                   [--trace-dir DIR] (dump lifecycle traces of watchdog-
+                   diagnosed failures in the diagnostics tier)
                    [--fault-panics N] [--fault-persistent-panics N]
                    [--fault-stalls N] [--fault-livelocks N] [--fault-seed N]
                    (fault-tolerant design x mix sweep: per-run panic isolation,
@@ -874,6 +922,33 @@ mod tests {
         assert!(out.contains("pipeline"));
         assert!(out.lines().count() > 40, "should show ~48 records");
         assert!(out.contains("shelf") || out.contains("IQ"));
+        // The reworked subcommand also prints the stall-attribution table.
+        assert!(out.contains("stall attribution"), "summary table present");
+        assert!(out.contains("dispatch") && out.contains("issue"));
+    }
+
+    #[test]
+    fn trace_writes_jsonl_and_chrome_exports() {
+        let dir = std::env::temp_dir().join(format!("shelfsim-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let jsonl = dir.join("t.jsonl");
+        let chrome = dir.join("t.json");
+        let cmd = format!(
+            "trace --mix gcc,mcf --design base64 --warmup 500 --measure 2000 \
+             --window 128 --sample 4 --jsonl {} --chrome {}",
+            jsonl.display(),
+            chrome.display()
+        );
+        let out = run_cli(&args(&cmd)).expect("ok");
+        assert!(out.contains("wrote"), "reports the files it wrote");
+        let j = std::fs::read_to_string(&jsonl).expect("jsonl written");
+        assert!(j.lines().count() > 8, "meta + insts + occ + stalls");
+        assert!(j.starts_with("{\"type\":\"meta\""));
+        assert!(j.contains("\"type\":\"inst\""));
+        let c = std::fs::read_to_string(&chrome).expect("chrome written");
+        assert!(c.starts_with("{\"displayTimeUnit\""));
+        assert!(c.contains("\"ph\":\"X\"") && c.contains("\"ph\":\"C\""));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

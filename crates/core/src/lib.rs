@@ -43,3 +43,8 @@ pub use sim::{
     UnknownBenchmark, Watchdog,
 };
 pub use steer::{OracleSteer, PracticalSteer};
+// Re-export the observability types so downstream users of the core don't
+// need a separate `shelfsim-trace` dependency to consume traces.
+pub use shelfsim_trace::{
+    EndKind, Lifecycle, OccupancySample, QueueKind, StallCause, Tracer, STALL_CAUSES,
+};

@@ -28,6 +28,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use shelfsim_isa::{ArchReg, DynInst, FuKind, MemInfo, OpClass};
 use shelfsim_mem::{Hierarchy, Level};
+use shelfsim_trace::{EndKind, Lifecycle, OccupancySample, QueueKind, StallCause, Tracer};
 use shelfsim_uarch::{
     BranchPredictor, BranchPredictorConfig, FreeList, Icount, IssueTracker, Mapping, OrderedQueue,
     PhysReg, RenameTable, Scoreboard, SsrPair, StoreSets, Tag,
@@ -346,6 +347,10 @@ pub struct Core {
     /// Ring buffer of recent commit records (empty unless enabled).
     commit_log: VecDeque<CommitRecord>,
     commit_log_capacity: usize,
+    /// Pipeline observability (lifecycle trace, occupancy sampling, stall
+    /// attribution). `None` in normal runs: each stage pays exactly one
+    /// `Option` check, verified against the committed bench baseline.
+    tracer: Option<Box<Tracer>>,
     /// Per-tag wakeup consumer lists: IQ entries `(id, age)` registered at
     /// dispatch because the tag's producer had not yet broadcast. Drained
     /// at the tag's broadcast; stale entries (squashed consumers) are
@@ -477,6 +482,7 @@ impl Core {
             events: EventWheel::new(),
             commit_log: VecDeque::new(),
             commit_log_capacity: 0,
+            tracer: None,
             tag_consumers: vec![Vec::new(); num_tags],
             iq_waiting: 0,
             ready_wheel: EventWheel::new(),
@@ -498,6 +504,66 @@ impl Core {
     /// The retained commit records, oldest first.
     pub fn commit_log(&self) -> impl Iterator<Item = &CommitRecord> {
         self.commit_log.iter()
+    }
+
+    /// Enables pipeline tracing: the last `window` instruction lifecycles
+    /// and occupancy samples are retained (one sample every `sample_every`
+    /// cycles), and per-thread dispatch/issue stall attribution is tallied
+    /// every cycle. See [`shelfsim_trace::Tracer`] for the event model and
+    /// drop policy.
+    pub fn enable_tracer(&mut self, window: usize, sample_every: u64) {
+        self.tracer = Some(Box::new(
+            Tracer::new(self.cfg.threads, window).with_sampling(sample_every),
+        ));
+    }
+
+    /// The tracer, if enabled.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_deref()
+    }
+
+    /// The tracer, if enabled (mutable; e.g. to reset it at a measurement
+    /// boundary).
+    pub fn tracer_mut(&mut self) -> Option<&mut Tracer> {
+        self.tracer.as_deref_mut()
+    }
+
+    /// Records an instruction's end of life (commit or squash) into the
+    /// tracer. A no-op when tracing is off or for synthetic wrong-path
+    /// instructions; frontend-stage instructions never made a steering
+    /// decision and are not recorded (see the `shelfsim-trace` event
+    /// model).
+    #[inline]
+    fn trace_end(&mut self, id: InstId, end_kind: EndKind) {
+        let Some(tracer) = self.tracer.as_deref_mut() else {
+            return;
+        };
+        let s = self.slab.get(id);
+        if s.wrong_path {
+            return;
+        }
+        let (issue, writeback) = match s.stage {
+            Stage::Frontend => return,
+            Stage::Dispatched => (None, None),
+            Stage::Issued => (Some(s.issue_cycle), None),
+            Stage::Completed | Stage::Retired => (Some(s.issue_cycle), Some(s.complete_cycle)),
+        };
+        tracer.record(Lifecycle {
+            thread: s.thread as u8,
+            seq: s.seq,
+            pc: s.inst.pc,
+            op: s.inst.op,
+            queue: match s.steer {
+                Steer::Iq => QueueKind::Iq,
+                Steer::Shelf => QueueKind::Shelf,
+            },
+            fetch: s.fetch_cycle,
+            dispatch: s.dispatch_cycle,
+            issue,
+            writeback,
+            end: self.now,
+            end_kind,
+        });
     }
 
     fn record_commit(&mut self, id: InstId) {
@@ -755,6 +821,21 @@ impl Core {
         for (acc, v) in self.counters.occupancy.iter_mut().zip(occ) {
             *acc += v;
         }
+        if let Some(tracer) = self.tracer.as_deref_mut() {
+            if tracer.wants_sample(self.now) {
+                let frontend: usize = self.threads.iter().map(|th| th.frontend.len()).sum();
+                tracer.sample(OccupancySample {
+                    cycle: self.now,
+                    rob: occ[0] as u32,
+                    iq: occ[1] as u32,
+                    lq: occ[2] as u32,
+                    sq: occ[3] as u32,
+                    shelf: occ[4] as u32,
+                    prf: occ[5] as u32,
+                    frontend: frontend as u32,
+                });
+            }
+        }
         #[cfg(feature = "sanitize")]
         self.audit_invariants();
         self.now += 1;
@@ -801,17 +882,24 @@ impl Core {
     }
 
     fn fetch_trace(&mut self, t: usize) {
+        let block_mask = !(self.cfg.hierarchy.l1i.block_bytes as u64 - 1);
+        let l1_lat = self.cfg.hierarchy.l1i.latency as u64;
         let mut fetched = 0;
+        // The I-cache block the group is currently streaming from. A fetch
+        // group probes the I-cache once per block it touches: a group that
+        // crosses a block boundary (or is redirected across one) must be
+        // able to miss — and allocate an MSHR — on the second block too.
+        let mut cur_block: Option<u64> = None;
         while fetched < self.cfg.fetch_width {
             let (seq, inst) = self.threads[t].trace.fetch();
-            if fetched == 0 {
-                // I-cache access for this fetch group.
+            if cur_block != Some(inst.pc & block_mask) {
                 match self.hierarchy.access_inst(inst.pc, self.now) {
                     Ok(acc) => {
-                        let l1_lat = self.cfg.hierarchy.l1i.latency as u64;
                         if acc.complete_cycle > self.now + l1_lat {
                             // I-miss: stall fetch until the fill and replay
-                            // this instruction then.
+                            // this instruction then. Earlier instructions of
+                            // the group (from already-resident blocks) keep
+                            // their fetch.
                             self.threads[t].fetch_stalled_until = acc.complete_cycle;
                             self.threads[t].trace.rewind_to(seq);
                             return;
@@ -823,6 +911,7 @@ impl Core {
                         return;
                     }
                 }
+                cur_block = Some(inst.pc & block_mask);
             }
             let mut slot = Slot::new(t, seq, inst, self.now);
             let mut stop_group = false;
@@ -898,12 +987,15 @@ impl Core {
         let n = self.threads.len();
         let mut budget = self.cfg.dispatch_width;
         // Per-thread blocked flags as a bitmask (`validate` caps threads at
-        // 8, so `u64` is never too narrow).
+        // 8, so `u64` is never too narrow), plus the structural cause each
+        // blocked thread hit (read only when tracing is on).
         let mut blocked = 0u64;
+        let mut progress_mask = 0u64;
+        let mut stall_cause = [StallCause::Empty; 8];
         'outer: while budget > 0 {
             // Round-robin over threads with a dispatchable head.
             let mut progressed = false;
-            for t in 0..n {
+            for (t, cause_slot) in stall_cause.iter_mut().enumerate().take(n) {
                 if budget == 0 {
                     break 'outer;
                 }
@@ -923,14 +1015,38 @@ impl Core {
                         self.threads[t].frontend.pop_front();
                         budget -= 1;
                         progressed = true;
+                        progress_mask |= 1 << t;
                     }
-                    DispatchOutcome::Stalled => {
+                    DispatchOutcome::Stalled(cause) => {
+                        *cause_slot = cause;
                         blocked |= 1 << t;
                     }
                 }
             }
             if !progressed {
                 break;
+            }
+        }
+        if let Some(tracer) = self.tracer.as_deref_mut() {
+            for (t, &cause_hit) in stall_cause.iter().enumerate().take(n) {
+                let cause = if progress_mask & (1 << t) != 0 {
+                    StallCause::Progress
+                } else if blocked & (1 << t) != 0 {
+                    cause_hit
+                } else if let Some(&head) = self.threads[t].frontend.front() {
+                    if self.slab.get(head).fetch_cycle + self.cfg.fetch_to_dispatch as u64
+                        > self.now
+                    {
+                        StallCause::NotReady
+                    } else {
+                        // A dispatchable, unblocked head left unserved means
+                        // the dispatch width went to other threads.
+                        StallCause::WidthLimited
+                    }
+                } else {
+                    StallCause::Empty
+                };
+                tracer.attribute_dispatch(t, cause);
             }
         }
     }
@@ -944,7 +1060,7 @@ impl Core {
             && !(self.threads[t].window.is_empty() && self.threads[t].store_buffer.is_empty())
         {
             self.counters.stalls.barrier += 1;
-            return DispatchOutcome::Stalled;
+            return DispatchOutcome::Stalled(StallCause::Barrier);
         }
 
         // ---- steering decision (decode-stage information only) ----
@@ -956,45 +1072,45 @@ impl Core {
             Steer::Iq => {
                 if self.iq.len() >= self.cfg.iq_entries {
                     self.counters.stalls.iq_full += 1;
-                    return DispatchOutcome::Stalled;
+                    return DispatchOutcome::Stalled(StallCause::IqFull);
                 }
                 if th.rob.is_full() {
                     self.counters.stalls.rob_full += 1;
-                    return DispatchOutcome::Stalled;
+                    return DispatchOutcome::Stalled(StallCause::RobFull);
                 }
                 if inst.is_load() && th.lq.is_full() {
                     self.counters.stalls.lq_full += 1;
-                    return DispatchOutcome::Stalled;
+                    return DispatchOutcome::Stalled(StallCause::LsqFull);
                 }
                 if inst.is_store() && th.sq.is_full() {
                     self.counters.stalls.sq_full += 1;
-                    return DispatchOutcome::Stalled;
+                    return DispatchOutcome::Stalled(StallCause::LsqFull);
                 }
                 if inst.dest.is_some() && self.phys_fl.is_empty() {
                     self.counters.stalls.no_phys_reg += 1;
-                    return DispatchOutcome::Stalled;
+                    return DispatchOutcome::Stalled(StallCause::NoRename);
                 }
             }
             Steer::Shelf => {
                 if th.shelf.len() >= th.shelf_capacity {
                     self.counters.stalls.shelf_full += 1;
-                    return DispatchOutcome::Stalled;
+                    return DispatchOutcome::Stalled(StallCause::ShelfFull);
                 }
                 // TSO: the store buffer may not coalesce, so shelf stores
                 // need real SQ entries (§III-D).
                 if self.cfg.memory_model == MemoryModel::Tso && inst.is_store() && th.sq.is_full() {
                     self.counters.stalls.sq_full += 1;
-                    return DispatchOutcome::Stalled;
+                    return DispatchOutcome::Stalled(StallCause::LsqFull);
                 }
                 if th.shelf_next_idx - th.shelf_retire_ptr
                     >= th.shelf_index_space(self.cfg.narrow_shelf_index)
                 {
                     self.counters.stalls.shelf_index_full += 1;
-                    return DispatchOutcome::Stalled;
+                    return DispatchOutcome::Stalled(StallCause::ShelfFull);
                 }
                 if inst.dest.is_some() && self.ext_fl.is_empty() {
                     self.counters.stalls.no_ext_tag += 1;
-                    return DispatchOutcome::Stalled;
+                    return DispatchOutcome::Stalled(StallCause::NoRename);
                 }
             }
         }
@@ -1216,7 +1332,10 @@ impl Core {
         // Diagnostic: classify why each blocked shelf head is waiting; also
         // maintain the head-blocked streak that drives the adaptive shelf
         // throttle (the paper's "disable by steering to the IQ" escape).
-        for t in 0..self.threads.len() {
+        // The classification doubles as the tracer's issue-side stall
+        // attribution for threads whose shelf head is the oldest blocker.
+        let mut head_cause: [Option<StallCause>; 8] = [None; 8];
+        for (t, cause_slot) in head_cause.iter_mut().enumerate().take(self.threads.len()) {
             if self.threads[t].shelf.front().copied() != self.threads[t].head_blocked_id {
                 self.threads[t].head_blocked_id = self.threads[t].shelf.front().copied();
                 self.threads[t].head_blocked_streak = 0;
@@ -1225,11 +1344,13 @@ impl Core {
                 let slot = self.slab.get(id);
                 if self.tracker_head_view(t) < slot.iq_barrier {
                     self.counters.shelf_head_stalls[0] += 1;
+                    *cause_slot = Some(StallCause::ShelfHeadBlocked);
                 } else if !self.threads[t]
                     .ssr
                     .shelf_allows(min_writeback_latency(slot.inst.op))
                 {
                     self.counters.shelf_head_stalls[1] += 1;
+                    *cause_slot = Some(StallCause::ShelfHeadBlocked);
                 } else if slot
                     .src_tags
                     .iter()
@@ -1238,25 +1359,34 @@ impl Core {
                 {
                     self.counters.shelf_head_stalls[2] += 1;
                     self.threads[t].head_blocked_streak += 1;
+                    *cause_slot = Some(StallCause::ShelfHeadBlocked);
                 } else if slot
                     .prev_mapping
                     .is_some_and(|p| !self.scoreboard.is_ready(p.tag, self.now))
                 {
                     // WAW on the shared destination register.
                     self.counters.shelf_head_stalls[3] += 1;
+                    *cause_slot = Some(StallCause::ShelfHeadBlocked);
                 } else if slot.inst.is_load() && !self.store_set_clear(slot) {
                     self.counters.shelf_head_stalls[4] += 1;
+                    *cause_slot = Some(StallCause::ShelfHeadBlocked);
                 } else if !self.fu_available(slot.inst.op.fu_kind())
                     || (slot.inst.is_store()
                         && self.threads[t].store_buffer.len() >= self.cfg.store_buffer_entries)
                 {
                     // Structural (shares the WAW bucket's neighbour slot).
                     self.counters.shelf_head_stalls[4] += 1;
+                    *cause_slot = Some(StallCause::FuBusy);
                 }
             }
         }
 
         let mut budget = self.cfg.issue_width;
+        // Which threads issued / lost MSHR arbitration this cycle, for the
+        // tracer's issue-side attribution (maintaining the masks is two
+        // register ops; they are read only when tracing is on).
+        let mut issued_mask = 0u64;
+        let mut mshr_mask = 0u64;
         // Source readiness cannot change mid-cycle (broadcasts announce
         // future ready cycles), so data-ready IQ candidates arrive through
         // the ready wheel at their (final) ready cycle and stay in the pool
@@ -1323,6 +1453,7 @@ impl Core {
             let issued_thread = self.slab.get(id).thread;
             if self.do_issue(id, steer) {
                 budget -= 1;
+                issued_mask |= 1 << issued_thread;
                 // Issuing advances only the issuing thread's state (tracker
                 // head or shelf front): under optimistic same-cycle
                 // semantics that thread's shelf run can become
@@ -1338,6 +1469,45 @@ impl Core {
                 // enforced by store sets and the violation scan, not by
                 // stalling the whole issue stage.
                 mshr_losers.push(id);
+                mshr_mask |= 1 << issued_thread;
+            }
+        }
+        if self.tracer.is_some() {
+            // Issue-side stall attribution: one cause per thread per cycle,
+            // by fixed priority. Runs only with tracing on; the pool scans
+            // below are off the untraced hot path.
+            let mut attr = [StallCause::Empty; 8];
+            for (t, a) in attr.iter_mut().enumerate().take(nthreads) {
+                *a = if issued_mask & (1 << t) != 0 {
+                    StallCause::Progress
+                } else if mshr_mask & (1 << t) != 0 {
+                    StallCause::NoMshr
+                } else if let Some(c) = head_cause[t] {
+                    c
+                } else if shelf_cand[t].is_some()
+                    || ready.iter().any(|&(_, id)| {
+                        let s = self.slab.get(id);
+                        s.thread == t && s.stage == Stage::Dispatched
+                    })
+                {
+                    // Data-ready work existed but lost arbitration: to the
+                    // issue width if it ran out, else to FU availability.
+                    if budget == 0 {
+                        StallCause::WidthLimited
+                    } else {
+                        StallCause::FuBusy
+                    }
+                } else if self.threads[t].pre_issue_count > self.threads[t].frontend.len() {
+                    // Dispatched-but-unissued instructions exist, none
+                    // data-ready.
+                    StallCause::DataWait
+                } else {
+                    StallCause::Empty
+                };
+            }
+            let tracer = self.tracer.as_deref_mut().expect("tracer checked above");
+            for (t, &cause) in attr.iter().enumerate().take(nthreads) {
+                tracer.attribute_issue(t, cause);
             }
         }
         self.ready_pool = ready;
@@ -2077,6 +2247,7 @@ impl Core {
                 }
             }
 
+            self.trace_end(id, EndKind::Squash);
             match stage {
                 Stage::Dispatched => {
                     // Not yet issued: fully removable now.
@@ -2229,6 +2400,7 @@ impl Core {
                         if !wrong_path {
                             self.record_commit(head);
                         }
+                        self.trace_end(head, EndKind::Commit);
                         self.threads[t].window.pop_front();
                         self.slab.remove(head);
                         if !wrong_path {
@@ -2286,6 +2458,7 @@ impl Core {
                         if !wrong_path {
                             self.record_commit(head);
                         }
+                        self.trace_end(head, EndKind::Commit);
                         self.threads[t].window.pop_front();
                         self.slab.remove(head);
                         if !wrong_path {
@@ -2501,7 +2674,7 @@ impl Core {
 
 enum DispatchOutcome {
     Dispatched,
-    Stalled,
+    Stalled(StallCause),
 }
 
 #[cfg(test)]

@@ -368,6 +368,21 @@ impl Simulation {
         self.core.enable_commit_log(capacity);
     }
 
+    /// Enables pipeline tracing: lifecycle records, occupancy samples (one
+    /// every `sample_every` cycles), and per-thread stall attribution, each
+    /// bounded by `window` (see [`shelfsim_trace::Tracer`]). The tracer is
+    /// reset at the warm-up/measurement boundary of [`Simulation::run`] and
+    /// [`Simulation::run_until_committed`], so exports cover the measured
+    /// region only.
+    pub fn enable_tracer(&mut self, window: usize, sample_every: u64) {
+        self.core.enable_tracer(window, sample_every);
+    }
+
+    /// The pipeline tracer, if enabled.
+    pub fn tracer(&self) -> Option<&shelfsim_trace::Tracer> {
+        self.core.tracer()
+    }
+
     /// Alternative measurement: after `warmup_cycles`, runs until every
     /// thread has committed at least `insts_per_thread` instructions (or
     /// `max_cycles` measured cycles elapse) and returns the results over the
@@ -425,6 +440,9 @@ impl Simulation {
         let l1d0 = *self.core.hierarchy().l1d_stats();
         let l20 = *self.core.hierarchy().l2_stats();
         self.core.counters = Counters::new();
+        if let Some(tracer) = self.core.tracer_mut() {
+            tracer.reset();
+        }
 
         let mut measured = 0u64;
         let mut completion = Completion::MaxCyclesExpired;
@@ -507,6 +525,9 @@ impl Simulation {
         let l1d0 = *self.core.hierarchy().l1d_stats();
         let l20 = *self.core.hierarchy().l2_stats();
         self.core.counters = Counters::new();
+        if let Some(tracer) = self.core.tracer_mut() {
+            tracer.reset();
+        }
 
         for _ in 0..measure_cycles {
             self.advance();

@@ -31,7 +31,10 @@
 //!   the feature-gated dynamic invariant sanitizer (`--features sanitize`);
 //! * [`campaign`] — the fault-tolerant sweep runner (per-run isolation,
 //!   forward-progress watchdog, retry escalation, resumable journals,
-//!   deterministic fault injection).
+//!   deterministic fault injection);
+//! * [`trace`] — the bounded observability layer (instruction lifecycle
+//!   ring, occupancy sampling, per-thread stall attribution, JSONL and
+//!   Chrome trace-event exporters).
 //!
 //! # Quickstart
 //!
@@ -54,6 +57,7 @@ pub use shelfsim_energy as energy;
 pub use shelfsim_isa as isa;
 pub use shelfsim_mem as mem;
 pub use shelfsim_stats as stats;
+pub use shelfsim_trace as trace;
 pub use shelfsim_uarch as uarch;
 pub use shelfsim_workload as workload;
 
@@ -67,4 +71,5 @@ pub use shelfsim_core::{
 };
 pub use shelfsim_energy::{EnergyModel, EnergyReport};
 pub use shelfsim_stats::{geomean, stp, WeightedCdf};
+pub use shelfsim_trace::{Lifecycle, OccupancySample, StallCause, Tracer};
 pub use shelfsim_workload::{balanced_random_mixes, suite, Mix};

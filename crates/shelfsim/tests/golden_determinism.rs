@@ -143,3 +143,45 @@ fn campaign_resume_reproduces_journal_byte_for_byte() {
         "resume must reproduce the uninterrupted journal byte-for-byte"
     );
 }
+
+/// Trace exports are part of the determinism contract: two fresh
+/// simulations of the same (config, workload, seed) with tracing enabled
+/// must export byte-identical JSONL and Chrome trace-event documents.
+#[test]
+fn trace_exports_are_byte_identical_across_reruns() {
+    let run = |_: usize| {
+        let cfg = design_by_name("shelf-opt", MIX2.len()).expect("known design");
+        let mut sim = Simulation::from_names(cfg, MIX2, 11).expect("suite benchmarks");
+        sim.enable_tracer(256, 8);
+        sim.run(500, 4_000);
+        let tracer = sim.tracer().expect("tracer enabled");
+        (tracer.export_jsonl(), tracer.export_chrome())
+    };
+    let (jsonl_a, chrome_a) = run(0);
+    let (jsonl_b, chrome_b) = run(1);
+    assert!(
+        jsonl_a.lines().count() > 8,
+        "traced run must retain lifecycle records"
+    );
+    assert_eq!(jsonl_a, jsonl_b, "JSONL export must be byte-identical");
+    assert_eq!(chrome_a, chrome_b, "Chrome export must be byte-identical");
+}
+
+/// Tracing must not perturb the simulation: architectural counters with
+/// the tracer on are bit-identical to the untraced run.
+#[test]
+fn tracing_does_not_perturb_architectural_state() {
+    let run = |traced: bool| {
+        let cfg = design_by_name("base64", MIX2.len()).expect("known design");
+        let mut sim = Simulation::from_names(cfg, MIX2, 5).expect("suite benchmarks");
+        if traced {
+            sim.enable_tracer(128, 4);
+        }
+        sim.run(500, 4_000)
+    };
+    let (plain, traced) = (run(false), run(true));
+    assert_eq!(
+        plain.counters, traced.counters,
+        "enabling the tracer must not change a single counter bit"
+    );
+}

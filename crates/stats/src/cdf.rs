@@ -76,6 +76,13 @@ impl WeightedCdf {
     /// Smallest series length `L` such that at least `q` (0..=1) of the
     /// instruction weight lies in series of length `<= L`.
     ///
+    /// `q = 0.0` is defined as the minimum recorded series length: zero
+    /// weight is covered by any recorded length, and the smallest one is
+    /// the unique tightest answer. (Previously this fell out of the
+    /// accumulation loop by accident — `target` rounded to 0, so the first
+    /// map entry always satisfied it; the behavior is now explicit and
+    /// pinned by a test.)
+    ///
     /// Returns `None` for an empty distribution.
     ///
     /// # Panics
@@ -85,6 +92,9 @@ impl WeightedCdf {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
         if self.total_weight == 0 {
             return None;
+        }
+        if q == 0.0 {
+            return self.counts.keys().next().copied();
         }
         let target = (q * self.total_weight as f64).ceil() as u64;
         let mut acc = 0u64;
@@ -176,6 +186,19 @@ mod tests {
         assert_eq!(cdf.quantile(0.4), Some(30));
         assert_eq!(cdf.quantile(0.99), Some(60));
         assert_eq!(cdf.quantile(1.0), Some(60));
+    }
+
+    #[test]
+    fn quantile_zero_is_minimum_recorded_length() {
+        let mut cdf = WeightedCdf::new();
+        cdf.record(30);
+        cdf.record(10);
+        cdf.record(60);
+        // q = 0 is defined as the minimum recorded length, regardless of
+        // how the weight is distributed.
+        assert_eq!(cdf.quantile(0.0), Some(10));
+        // Empty distribution still has no answer at q = 0.
+        assert_eq!(WeightedCdf::new().quantile(0.0), None);
     }
 
     #[test]
