@@ -1,0 +1,309 @@
+//! Static IPC upper bounds: sound, distribution-free limits on the
+//! committed IPC any run of a program on a [`CoreConfig`] can sustain.
+//!
+//! Three families of bound are combined; each is an *upper* bound under
+//! every possible random draw of trip counts and branch outcomes, so the
+//! minimum is too:
+//!
+//! 1. **Core width** — IPC can never exceed the narrowest pipeline stage:
+//!    `min(fetch, dispatch, issue, commit)` (and never the total FU count).
+//! 2. **FU mix** — let `frac_k` be the smallest fraction of kind-`k`
+//!    operations in any *reachable* block. Any committed stream is a
+//!    concatenation of whole blocks, so at least `frac_k` of it needs a
+//!    kind-`k` unit, and those units retire at most `units_k` ops/cycle:
+//!    `IPC ≤ units_k / frac_k`.
+//! 3. **Recurrence (RecMII)** — for single-block programs (the stream is
+//!    that block repeated, regardless of trip randomness), a loop-carried
+//!    register dependence chain — found via the [`DefUse`] chains — forces
+//!    at least `λ` cycles per iteration, so `IPC ≤ block_len / λ`.
+//!    `λ` is lower-bounded by iterating the max-plus recurrence
+//!    `val[dest] = max(val[srcs]) + spacing(op)` and taking the **minimum**
+//!    of the trailing per-iteration growth of the register front: max-plus
+//!    systems become eventually periodic with mean slope `λ`, so the
+//!    minimum trailing delta never exceeds `λ` and the bound stays sound
+//!    even before the periodic regime is reached. `spacing` is the
+//!    register-to-register forwarding distance: `latency()` for ALU ops
+//!    and 1 for loads/stores (store-to-load forwarding can satisfy a
+//!    dependent load in a cycle, so memory latency must not be assumed).
+//!
+//! What the bounds deliberately ignore — cache misses, branch squashes,
+//! fetch hiccups, memory-carried dependences — only ever *lowers* real
+//! IPC, keeping every bound here an over-approximation.
+
+use crate::cfg::Cfg;
+use crate::dataflow::DefUse;
+use crate::diagnostic::{Diagnostic, Severity};
+use shelfsim_core::CoreConfig;
+use shelfsim_isa::{FuKind, OpClass, NUM_ARCH_REGS};
+use shelfsim_workload::program::Program;
+
+/// Register-to-register forwarding distance of `op`, in cycles, for the
+/// recurrence DP. Never larger than what the pipeline can actually achieve.
+fn spacing(op: OpClass) -> u64 {
+    match op {
+        OpClass::Load | OpClass::Store => 1,
+        other => u64::from(other.latency()),
+    }
+}
+
+/// The loop-carried recurrence component of a bound.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RecurrenceBound {
+    /// Lower bound on cycles per iteration forced by carried chains.
+    pub lambda: f64,
+    /// Instructions per iteration (block length including the branch).
+    pub block_len: usize,
+    /// `block_len / lambda`.
+    pub ipc: f64,
+}
+
+/// A static IPC upper bound for one program on one config, with the
+/// individual components that produced it.
+#[derive(Clone, Debug)]
+pub struct IpcBoundReport {
+    /// Program name.
+    pub name: String,
+    /// Narrowest pipeline stage width.
+    pub width: f64,
+    /// Total functional units (all kinds).
+    pub fu_capacity: f64,
+    /// Per-[`FuKind`] mix caps, indexed by `FuKind::index()`; `None` when
+    /// some reachable block uses none of that kind (cap not binding).
+    pub kind_caps: [Option<f64>; 4],
+    /// Loop-carried recurrence bound, for single-block programs with a
+    /// carried register dependence.
+    pub recurrence: Option<RecurrenceBound>,
+    /// The combined bound: the minimum of every component.
+    pub bound: f64,
+    /// Which component is binding: `"core-width"`, `"fu-capacity"`,
+    /// `"fu-mix"`, or `"recurrence"`.
+    pub binding: &'static str,
+}
+
+impl IpcBoundReport {
+    /// Renders the bound as an `SB001` info diagnostic.
+    pub fn diagnostic(&self) -> Diagnostic {
+        Diagnostic::new(
+            "SB001",
+            Severity::Info,
+            format!(
+                "static IPC bound {:.3} for {} (binding constraint: {})",
+                self.bound, self.name, self.binding
+            ),
+        )
+    }
+}
+
+/// Iterates the max-plus register recurrence of the single reachable block
+/// and returns a sound lower bound on its cycles-per-iteration slope, or
+/// `None` when no dependence is carried between iterations.
+fn recurrence_lambda(program: &Program, cfg: &Cfg, block: usize) -> Option<f64> {
+    // Gate on the def-use chains: without a use fed by a same-block def at
+    // or after its own position (i.e. around the back edge), values settle
+    // and there is no recurrence to bound.
+    let du = DefUse::build(program, cfg);
+    if du.carried_uses().is_empty() {
+        return None;
+    }
+    let b = &program.blocks[block];
+    const WARMUP_ITERS: usize = 192;
+    const SAMPLE_ITERS: usize = 64;
+    let mut val = [0u64; NUM_ARCH_REGS];
+    let mut prev_max = 0u64;
+    let mut min_delta = u64::MAX;
+    for iter in 0..WARMUP_ITERS + SAMPLE_ITERS {
+        for inst in b.body.iter().chain(std::iter::once(&b.branch_inst)) {
+            if let Some(d) = inst.dest {
+                let ready = inst
+                    .srcs
+                    .iter()
+                    .flatten()
+                    .map(|r| val[r.index()])
+                    .max()
+                    .unwrap_or(0);
+                val[d.index()] = ready + spacing(inst.op);
+            }
+        }
+        let cur_max = val.iter().copied().max().unwrap_or(0);
+        if iter >= WARMUP_ITERS {
+            min_delta = min_delta.min(cur_max - prev_max);
+        }
+        prev_max = cur_max;
+    }
+    (min_delta > 0 && min_delta != u64::MAX).then_some(min_delta as f64)
+}
+
+/// Computes the static IPC upper bound of `program` on `cfg`.
+pub fn ipc_bound(program: &Program, cfg: &CoreConfig) -> IpcBoundReport {
+    let graph = Cfg::new(program);
+    let width = cfg
+        .fetch_width
+        .min(cfg.dispatch_width)
+        .min(cfg.issue_width)
+        .min(cfg.commit_width) as f64;
+    let fu_capacity = cfg.fu_total() as f64;
+
+    // FU-mix caps: the smallest per-block fraction of kind-k ops bounds
+    // the kind-k fraction of any committed stream from below.
+    let mut kind_caps = [None; 4];
+    for kind in FuKind::ALL {
+        let frac_min = graph
+            .reachable_blocks()
+            .map(|bi| {
+                let b = &program.blocks[bi];
+                let ops = b
+                    .body
+                    .iter()
+                    .chain(std::iter::once(&b.branch_inst))
+                    .filter(|i| i.op.fu_kind() == kind)
+                    .count();
+                ops as f64 / b.len() as f64
+            })
+            .fold(f64::INFINITY, f64::min);
+        if frac_min > 0.0 && frac_min.is_finite() {
+            kind_caps[kind.index()] = Some(cfg.fu_count(kind) as f64 / frac_min);
+        }
+    }
+
+    // Recurrence bound: only when exactly one block is reachable, so the
+    // committed stream is that block repeated whatever the trip draws do.
+    let reachable: Vec<usize> = graph.reachable_blocks().collect();
+    let recurrence = if let [only] = reachable[..] {
+        recurrence_lambda(program, &graph, only).map(|lambda| {
+            let block_len = program.blocks[only].len();
+            RecurrenceBound {
+                lambda,
+                block_len,
+                ipc: block_len as f64 / lambda,
+            }
+        })
+    } else {
+        None
+    };
+
+    let mut bound = width;
+    let mut binding = "core-width";
+    if fu_capacity < bound {
+        bound = fu_capacity;
+        binding = "fu-capacity";
+    }
+    for cap in kind_caps.iter().flatten() {
+        if *cap < bound {
+            bound = *cap;
+            binding = "fu-mix";
+        }
+    }
+    if let Some(r) = &recurrence {
+        if r.ipc < bound {
+            bound = r.ipc;
+            binding = "recurrence";
+        }
+    }
+    IpcBoundReport {
+        name: program.name.to_string(),
+        width,
+        fu_capacity,
+        kind_caps,
+        recurrence,
+        bound,
+        binding,
+    }
+}
+
+/// Combines per-thread bounds into a bound on the *aggregate* IPC of an
+/// SMT run: each per-thread bound holds even with zero contention, so
+/// their sum bounds the total, and the shared width/FU limits still apply.
+pub fn aggregate_bound(per_thread: &[IpcBoundReport], cfg: &CoreConfig) -> f64 {
+    let width = cfg
+        .fetch_width
+        .min(cfg.dispatch_width)
+        .min(cfg.issue_width)
+        .min(cfg.commit_width) as f64;
+    let sum: f64 = per_thread.iter().map(|r| r.bound).sum();
+    width.min(cfg.fu_total() as f64).min(sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shelfsim_workload::kernels;
+
+    fn bound_of(name: &str) -> IpcBoundReport {
+        let p = kernels::by_name(name)
+            .expect("in library")
+            .assemble()
+            .expect("valid");
+        ipc_bound(&p, &CoreConfig::base64(1))
+    }
+
+    #[test]
+    fn width_bound_caps_streaming_kernels() {
+        // daxpy has no carried register chain; the 4-wide core (or the
+        // exactly-matching 2-port memory mix) is the limit.
+        let r = bound_of("daxpy");
+        assert_eq!(r.width, 4.0);
+        assert!((r.bound - 4.0).abs() < 1e-9, "{r:?}");
+        assert!(r.recurrence.is_none());
+    }
+
+    #[test]
+    fn recurrence_bound_caps_the_reduction() {
+        // reduce: fadd f9, f9, f8 carries a 2-cycle FP chain through a
+        // 3-instruction block: bound 1.5 IPC.
+        let r = bound_of("reduce");
+        let rec = r.recurrence.expect("carried chain found");
+        assert!((rec.lambda - 2.0).abs() < 1e-9, "{rec:?}");
+        assert_eq!(rec.block_len, 3);
+        assert!((r.bound - 1.5).abs() < 1e-9, "{r:?}");
+        assert_eq!(r.binding, "recurrence");
+    }
+
+    #[test]
+    fn pointer_chase_spacing_stays_sound() {
+        // chase: load r24, [r24] — memory latency must NOT be assumed
+        // (forwarding could be fast), so spacing is 1 and the bound is
+        // block_len / 1 = 3, not something tighter.
+        let r = bound_of("chase");
+        let rec = r.recurrence.expect("self-loop found");
+        assert!((rec.lambda - 1.0).abs() < 1e-9, "{rec:?}");
+        assert!((r.bound - 3.0).abs() < 1e-9, "{r:?}");
+    }
+
+    #[test]
+    fn fu_mix_caps_use_reachable_blocks_only() {
+        let p = kernels::by_name("branchy")
+            .expect("in library")
+            .assemble()
+            .expect("valid");
+        let r = ipc_bound(&p, &CoreConfig::base64(1));
+        // Multi-block: no recurrence bound, width binds.
+        assert!(r.recurrence.is_none());
+        assert!((r.bound - 4.0).abs() < 1e-9, "{r:?}");
+    }
+
+    #[test]
+    fn memory_carried_chains_do_not_tighten_the_register_bound() {
+        // forward carries a value through memory; the register DP cannot
+        // see it, so the bound falls back to width — sound, just loose.
+        let r = bound_of("forward");
+        assert!((r.bound - 4.0).abs() < 1e-9, "{r:?}");
+    }
+
+    #[test]
+    fn aggregate_bound_saturates_at_core_width() {
+        let cfg = CoreConfig::base64(4);
+        let reports: Vec<IpcBoundReport> = (0..4).map(|_| bound_of("daxpy")).collect();
+        assert!((aggregate_bound(&reports, &cfg) - 4.0).abs() < 1e-9);
+        let slow: Vec<IpcBoundReport> = (0..2).map(|_| bound_of("reduce")).collect();
+        let agg = aggregate_bound(&slow, &cfg);
+        assert!((agg - 3.0).abs() < 1e-9, "two 1.5-bounded threads: {agg}");
+    }
+
+    #[test]
+    fn sb001_diagnostic_is_info() {
+        let d = bound_of("reduce").diagnostic();
+        assert_eq!(d.code, "SB001");
+        assert_eq!(d.severity, Severity::Info);
+        assert!(d.message.contains("recurrence"), "{}", d.message);
+    }
+}

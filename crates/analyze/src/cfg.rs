@@ -1,0 +1,161 @@
+//! Control-flow graph over a [`Program`]'s basic blocks.
+//!
+//! Every analysis in this crate sees a kernel the way the trace source
+//! runs it: an infinite loop entered at block 0, with `loop`/`beq`
+//! back-edges, `call`/`ret` edges, and an implicit wrap-around from the
+//! last block back to block 0. [`Cfg`] materializes that graph once —
+//! successors, predecessors, reachability from the entry block, and a
+//! reverse postorder for fast dataflow convergence — so the lint passes,
+//! the dataflow engine, and the bound/adequacy passes all agree on the
+//! shape of the program.
+
+use shelfsim_workload::program::{Block, Program, Terminator};
+
+/// Successor blocks of `b` (at index `i` of `n` blocks) in execution
+/// order; the implicit wrap-around from the last block re-enters block 0
+/// (kernels are infinite loops). `Ret` returns to an unknown caller, so it
+/// contributes no static edge — callers are linked through their `Call`
+/// terminator's fall-through instead.
+pub fn block_successors(b: &Block, i: usize, n: usize) -> Vec<usize> {
+    let wrap = if i + 1 < n { i + 1 } else { 0 };
+    match b.terminator {
+        Terminator::Loop { target, .. } => vec![target, wrap],
+        Terminator::Cond { target, .. } => vec![target, wrap],
+        Terminator::Jump { target } => vec![target],
+        Terminator::Call { callee } => vec![callee, wrap],
+        Terminator::Ret => vec![],
+    }
+}
+
+/// The control-flow graph of one program.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Successor block indices per block.
+    pub succs: Vec<Vec<usize>>,
+    /// Predecessor block indices per block.
+    pub preds: Vec<Vec<usize>>,
+    /// Whether each block is reachable from the entry block (block 0).
+    pub reachable: Vec<bool>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `program`.
+    pub fn new(program: &Program) -> Self {
+        let n = program.blocks.len();
+        let succs: Vec<Vec<usize>> = program
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| block_successors(b, i, n))
+            .collect();
+        let mut preds = vec![Vec::new(); n];
+        for (i, ss) in succs.iter().enumerate() {
+            for &s in ss {
+                preds[s].push(i);
+            }
+        }
+        let mut reachable = vec![false; n];
+        let mut work = vec![0usize];
+        while let Some(i) = work.pop() {
+            if std::mem::replace(&mut reachable[i], true) {
+                continue;
+            }
+            for &s in &succs[i] {
+                if !reachable[s] {
+                    work.push(s);
+                }
+            }
+        }
+        Cfg {
+            succs,
+            preds,
+            reachable,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Indices of the blocks reachable from the entry block.
+    pub fn reachable_blocks(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.num_blocks()).filter(|&i| self.reachable[i])
+    }
+
+    /// Reverse postorder of the reachable blocks (entry first). Iterating
+    /// forward dataflow in this order reaches the fixed point in few
+    /// passes; backward analyses iterate it reversed.
+    pub fn reverse_postorder(&self) -> Vec<usize> {
+        let n = self.num_blocks();
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut post = Vec::with_capacity(n);
+        // Iterative DFS with an explicit stack of (block, next-succ-index).
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        state[0] = 1;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            if let Some(&s) = self.succs[b].get(*next) {
+                *next += 1;
+                if state[s] == 0 {
+                    state[s] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shelfsim_workload::asm::assemble;
+
+    fn cfg_of(src: &str) -> Cfg {
+        Cfg::new(&assemble(src).expect("assembles"))
+    }
+
+    #[test]
+    fn straight_loop_wraps_to_entry() {
+        let cfg = cfg_of("top:\n add r8, r8\n loop top, trips=10\n");
+        assert_eq!(cfg.num_blocks(), 1);
+        assert_eq!(cfg.succs[0], vec![0, 0]);
+        assert!(cfg.reachable[0]);
+        assert_eq!(cfg.reverse_postorder(), vec![0]);
+    }
+
+    #[test]
+    fn diamond_has_both_edges_and_preds() {
+        let cfg = cfg_of(
+            "a:\n add r8, r8\n beq r8, c, p=0.5\nb:\n mul r9, r8, r8\n jmp a\n\
+             c:\n add r10, r8\n jmp a\n",
+        );
+        assert_eq!(cfg.succs[0], vec![2, 1]);
+        assert_eq!(cfg.succs[1], vec![0]);
+        assert_eq!(cfg.succs[2], vec![0]);
+        let mut p0 = cfg.preds[0].clone();
+        p0.sort_unstable();
+        assert_eq!(p0, vec![1, 2]);
+        assert!(cfg.reachable.iter().all(|&r| r));
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], 0, "entry first");
+        assert_eq!(rpo.len(), 3);
+    }
+
+    #[test]
+    fn unreachable_blocks_are_marked() {
+        let cfg = cfg_of(
+            "top:\n add r8, r8\n jmp end\norphan:\n mul r9, r8, r8\n jmp end\n\
+             end:\n add r10, r8\n jmp top\n",
+        );
+        assert!(cfg.reachable[0]);
+        assert!(!cfg.reachable[1], "orphan block is unreachable");
+        assert!(cfg.reachable[2]);
+        assert!(!cfg.reverse_postorder().contains(&1));
+    }
+}

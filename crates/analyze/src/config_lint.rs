@@ -158,6 +158,57 @@ pub fn design_by_name(name: &str, threads: usize) -> Option<CoreConfig> {
     })
 }
 
+/// Applies one structural `key = value` override to `cfg`.
+///
+/// The accepted keys are the config-file override keys: `steer`
+/// (`always-iq|always-shelf|practical|oracle`) and the sizing keys `rob`,
+/// `iq`, `lq`, `sq`, `shelf`, `fetch`, `dispatch`, `issue`, `commit`,
+/// `store-buffer` (non-negative integers). Shared by [`lint_config_file`]
+/// and the campaign CLI's `--override` flag so both front ends accept the
+/// same vocabulary.
+///
+/// # Errors
+///
+/// Returns a human-readable description of what was expected.
+pub fn apply_override(cfg: &mut CoreConfig, key: &str, value: &str) -> Result<(), String> {
+    if key == "steer" {
+        cfg.steer = match value {
+            "always-iq" => SteerPolicy::AlwaysIq,
+            "always-shelf" => SteerPolicy::AlwaysShelf,
+            "practical" => SteerPolicy::Practical,
+            "oracle" => SteerPolicy::Oracle,
+            _ => {
+                return Err(format!(
+                    "steer: expected always-iq|always-shelf|practical|oracle, got `{value}`"
+                ))
+            }
+        };
+        return Ok(());
+    }
+    let slot = match key {
+        "rob" => &mut cfg.rob_entries,
+        "iq" => &mut cfg.iq_entries,
+        "lq" => &mut cfg.lq_entries,
+        "sq" => &mut cfg.sq_entries,
+        "shelf" => &mut cfg.shelf_entries,
+        "fetch" => &mut cfg.fetch_width,
+        "dispatch" => &mut cfg.dispatch_width,
+        "issue" => &mut cfg.issue_width,
+        "commit" => &mut cfg.commit_width,
+        "store-buffer" => &mut cfg.store_buffer_entries,
+        _ => return Err(format!("unknown config key `{key}`")),
+    };
+    match value.parse::<usize>() {
+        Ok(n) => {
+            *slot = n;
+            Ok(())
+        }
+        Err(_) => Err(format!(
+            "{key}: expected a non-negative integer, got `{value}`"
+        )),
+    }
+}
+
 /// Parses a `key = value` config file into a [`CoreConfig`] and lints it.
 ///
 /// Lines are `key = value`; `#` and `;` start comments. The `design` key
@@ -232,48 +283,11 @@ pub fn lint_config_file(text: &str, file: &str) -> (CoreConfig, Vec<Diagnostic>)
     let mut cfg = design_by_name(&design, threads).expect("validated above");
 
     for (line, k, v) in &pairs {
-        let mut bad_value = |what: &str| {
-            diags.push(
-                Diagnostic::new(
-                    "SC007",
-                    Severity::Error,
-                    format!("{k}: expected {what}, got `{v}`"),
-                )
-                .with_span(file, *line),
-            )
-        };
-        match k.as_str() {
-            "threads" | "design" => {}
-            "steer" => match v.as_str() {
-                "always-iq" => cfg.steer = SteerPolicy::AlwaysIq,
-                "always-shelf" => cfg.steer = SteerPolicy::AlwaysShelf,
-                "practical" => cfg.steer = SteerPolicy::Practical,
-                "oracle" => cfg.steer = SteerPolicy::Oracle,
-                _ => bad_value("always-iq|always-shelf|practical|oracle"),
-            },
-            _ => match v.parse::<usize>() {
-                Err(_) => bad_value("a non-negative integer"),
-                Ok(n) => match k.as_str() {
-                    "rob" => cfg.rob_entries = n,
-                    "iq" => cfg.iq_entries = n,
-                    "lq" => cfg.lq_entries = n,
-                    "sq" => cfg.sq_entries = n,
-                    "shelf" => cfg.shelf_entries = n,
-                    "fetch" => cfg.fetch_width = n,
-                    "dispatch" => cfg.dispatch_width = n,
-                    "issue" => cfg.issue_width = n,
-                    "commit" => cfg.commit_width = n,
-                    "store-buffer" => cfg.store_buffer_entries = n,
-                    _ => diags.push(
-                        Diagnostic::new(
-                            "SC007",
-                            Severity::Error,
-                            format!("unknown config key `{k}`"),
-                        )
-                        .with_span(file, *line),
-                    ),
-                },
-            },
+        if k == "threads" || k == "design" {
+            continue;
+        }
+        if let Err(msg) = apply_override(&mut cfg, k, v) {
+            diags.push(Diagnostic::new("SC007", Severity::Error, msg).with_span(file, *line));
         }
     }
 

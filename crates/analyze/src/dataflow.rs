@@ -1,0 +1,550 @@
+//! A worklist dataflow engine over the [`Cfg`], plus the three concrete
+//! analyses the rest of the crate consumes: reaching definitions, def-use
+//! chains, and precise live registers.
+//!
+//! The engine is the textbook iterative scheme: facts live at block
+//! boundaries, blocks are visited in reverse postorder (or its reverse for
+//! backward analyses), and iteration repeats until no fact changes. All
+//! three analyses are monotone over finite lattices, so the fixed point is
+//! reached in a handful of passes.
+//!
+//! Note the contrast with the `SA003` dead-write lint: that lint keeps its
+//! deliberately *conservative* forward-path liveness (backward edges force
+//! everything live) so loop-carried accumulators are never flagged. The
+//! [`live_registers`] analysis here is the *precise* fixed point — use it
+//! when you need real liveness, not lint-grade caution.
+
+use crate::cfg::Cfg;
+use shelfsim_isa::{ArchReg, NUM_ARCH_REGS};
+use shelfsim_workload::program::{Block, Program, StaticInst};
+
+/// A growable bitset used for reaching-definition facts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// An empty set with capacity for `len` bits.
+    pub fn empty(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Inserts bit `i`.
+    pub fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Whether bit `i` is set.
+    pub fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// `self |= other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// `self &= !other`.
+    pub fn subtract(&mut self, other: &BitSet) {
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= !o;
+        }
+    }
+
+    /// `self & other` as a new set.
+    pub fn intersection(&self, other: &BitSet) -> BitSet {
+        BitSet {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// Indices of the set bits, ascending.
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter_map(move |b| (w & (1u64 << b) != 0).then_some(wi * 64 + b))
+        })
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// One dataflow analysis: a fact lattice plus per-block transfer.
+pub trait DataflowAnalysis {
+    /// The lattice element attached to each block boundary.
+    type Fact: Clone + PartialEq;
+    /// Whether facts flow against control flow (liveness) or with it.
+    const BACKWARD: bool;
+    /// Fact at the program boundary (entry for forward, exit for backward).
+    fn boundary(&self) -> Self::Fact;
+    /// The join identity (bottom of the join semilattice).
+    fn top(&self) -> Self::Fact;
+    /// `acc := acc ⊔ other`.
+    fn join(&self, acc: &mut Self::Fact, other: &Self::Fact);
+    /// Applies block `b`'s effect to a fact at its input boundary
+    /// (entry for forward analyses, exit for backward ones).
+    fn transfer(&self, b: usize, fact: &Self::Fact) -> Self::Fact;
+}
+
+/// Fixed-point facts per block, for every block in the CFG (unreachable
+/// blocks keep the `top` fact).
+#[derive(Clone, Debug)]
+pub struct Solution<F> {
+    /// Fact at each block's entry.
+    pub entry: Vec<F>,
+    /// Fact at each block's exit.
+    pub exit: Vec<F>,
+    /// Full sweeps the worklist needed to converge (diagnostics/tests).
+    pub passes: usize,
+}
+
+/// Runs `analysis` to its fixed point over `cfg`.
+pub fn solve<A: DataflowAnalysis>(analysis: &A, cfg: &Cfg) -> Solution<A::Fact> {
+    let n = cfg.num_blocks();
+    let mut entry = vec![analysis.top(); n];
+    let mut exit = vec![analysis.top(); n];
+    let rpo = cfg.reverse_postorder();
+    let order: Vec<usize> = if A::BACKWARD {
+        rpo.iter().rev().copied().collect()
+    } else {
+        rpo
+    };
+    let mut passes = 0usize;
+    // Monotone facts over finite lattices converge; the cap is a guard
+    // against a broken transfer function, not a tuning knob.
+    let cap = 4 * n + 8;
+    loop {
+        passes += 1;
+        let mut changed = false;
+        for &b in &order {
+            let mut fact = analysis.top();
+            if A::BACKWARD {
+                if cfg.succs[b].is_empty() {
+                    analysis.join(&mut fact, &analysis.boundary());
+                }
+                for &s in &cfg.succs[b] {
+                    analysis.join(&mut fact, &entry[s]);
+                }
+                if exit[b] != fact {
+                    exit[b] = fact;
+                    changed = true;
+                }
+                let new_entry = analysis.transfer(b, &exit[b]);
+                if entry[b] != new_entry {
+                    entry[b] = new_entry;
+                    changed = true;
+                }
+            } else {
+                if b == 0 {
+                    analysis.join(&mut fact, &analysis.boundary());
+                }
+                for &p in &cfg.preds[b] {
+                    if cfg.reachable[p] {
+                        analysis.join(&mut fact, &exit[p]);
+                    }
+                }
+                if entry[b] != fact {
+                    entry[b] = fact;
+                    changed = true;
+                }
+                let new_exit = analysis.transfer(b, &entry[b]);
+                if exit[b] != new_exit {
+                    exit[b] = new_exit;
+                    changed = true;
+                }
+            }
+        }
+        if !changed || passes >= cap {
+            debug_assert!(passes < cap, "dataflow failed to converge");
+            break;
+        }
+    }
+    Solution {
+        entry,
+        exit,
+        passes,
+    }
+}
+
+fn block_insts(b: &Block) -> impl Iterator<Item = &StaticInst> {
+    b.body.iter().chain(std::iter::once(&b.branch_inst))
+}
+
+fn reg_bit(r: ArchReg) -> u64 {
+    const { assert!(NUM_ARCH_REGS <= 64, "register masks are u64") };
+    1u64 << r.index()
+}
+
+// ---------------------------------------------------------------------------
+// Reaching definitions
+// ---------------------------------------------------------------------------
+
+/// One definition site: instruction `index` of `block` writes `reg`.
+/// `index` counts body instructions first; the terminator (which never
+/// writes a register today) would sit at `body.len()`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DefSite {
+    /// Block index.
+    pub block: usize,
+    /// Instruction position within the block.
+    pub index: usize,
+    /// Register written.
+    pub reg: ArchReg,
+    /// PC of the defining instruction (for spans).
+    pub pc: u64,
+}
+
+/// Reaching-definitions analysis: which definition sites may reach each
+/// block boundary.
+pub struct ReachingDefs<'p> {
+    program: &'p Program,
+    /// All definition sites, in (block, index) order.
+    pub defs: Vec<DefSite>,
+    /// `def_at[block][index]` is the def-site index, if that instruction
+    /// defines a register.
+    pub def_at: Vec<Vec<Option<usize>>>,
+    /// For each architectural register, the set of all its def sites.
+    pub defs_of_reg: Vec<BitSet>,
+    gen: Vec<BitSet>,
+    kill: Vec<BitSet>,
+}
+
+impl<'p> ReachingDefs<'p> {
+    /// Collects def sites and per-block gen/kill sets for `program`.
+    pub fn new(program: &'p Program) -> Self {
+        let mut defs = Vec::new();
+        let mut def_at = Vec::with_capacity(program.blocks.len());
+        for (bi, b) in program.blocks.iter().enumerate() {
+            let mut at = Vec::with_capacity(b.len());
+            for (ii, inst) in block_insts(b).enumerate() {
+                at.push(inst.dest.map(|reg| {
+                    defs.push(DefSite {
+                        block: bi,
+                        index: ii,
+                        reg,
+                        pc: inst.pc,
+                    });
+                    defs.len() - 1
+                }));
+            }
+            def_at.push(at);
+        }
+        let nd = defs.len();
+        let mut defs_of_reg = vec![BitSet::empty(nd); NUM_ARCH_REGS];
+        for (i, d) in defs.iter().enumerate() {
+            defs_of_reg[d.reg.index()].insert(i);
+        }
+        let mut gen = Vec::with_capacity(program.blocks.len());
+        let mut kill = Vec::with_capacity(program.blocks.len());
+        for (bi, b) in program.blocks.iter().enumerate() {
+            let mut g = BitSet::empty(nd);
+            let mut k = BitSet::empty(nd);
+            for (ii, inst) in block_insts(b).enumerate() {
+                if let Some(d) = inst.dest {
+                    k.union_with(&defs_of_reg[d.index()]);
+                    g.subtract(&defs_of_reg[d.index()]);
+                    g.insert(def_at[bi][ii].expect("dest implies def site"));
+                }
+            }
+            gen.push(g);
+            kill.push(k);
+        }
+        ReachingDefs {
+            program,
+            defs,
+            def_at,
+            defs_of_reg,
+            gen,
+            kill,
+        }
+    }
+
+    /// Runs the analysis to its fixed point.
+    pub fn solve(&self, cfg: &Cfg) -> Solution<BitSet> {
+        solve(self, cfg)
+    }
+}
+
+impl DataflowAnalysis for ReachingDefs<'_> {
+    type Fact = BitSet;
+    const BACKWARD: bool = false;
+
+    fn boundary(&self) -> BitSet {
+        BitSet::empty(self.defs.len())
+    }
+
+    fn top(&self) -> BitSet {
+        BitSet::empty(self.defs.len())
+    }
+
+    fn join(&self, acc: &mut BitSet, other: &BitSet) {
+        acc.union_with(other);
+    }
+
+    fn transfer(&self, b: usize, fact: &BitSet) -> BitSet {
+        let _ = &self.program.blocks[b];
+        let mut out = fact.clone();
+        out.subtract(&self.kill[b]);
+        out.union_with(&self.gen[b]);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Def-use chains
+// ---------------------------------------------------------------------------
+
+/// One use site: source slot `slot` of instruction `index` in `block`
+/// reads `reg`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UseSite {
+    /// Block index.
+    pub block: usize,
+    /// Instruction position within the block (terminator = `body.len()`).
+    pub index: usize,
+    /// Source operand slot (0 or 1).
+    pub slot: usize,
+    /// Register read.
+    pub reg: ArchReg,
+    /// PC of the reading instruction (for spans).
+    pub pc: u64,
+}
+
+/// Def-use chains: for every use in a reachable block, the set of
+/// definitions that may reach it (including definitions carried around
+/// loop back-edges from a previous iteration).
+pub struct DefUse {
+    /// All definition sites (shared numbering with `reaching`).
+    pub defs: Vec<DefSite>,
+    /// All use sites in reachable blocks, in (block, index, slot) order.
+    pub uses: Vec<UseSite>,
+    /// `reaching[u]` is the def-site set that may reach `uses[u]`.
+    pub reaching: Vec<BitSet>,
+    /// `uses_of_def[d]` lists the use indices `defs[d]` may feed.
+    pub uses_of_def: Vec<Vec<usize>>,
+}
+
+impl DefUse {
+    /// Builds def-use chains for `program` from the reaching-definitions
+    /// fixed point.
+    pub fn build(program: &Program, cfg: &Cfg) -> DefUse {
+        let rd = ReachingDefs::new(program);
+        let sol = rd.solve(cfg);
+        let mut uses = Vec::new();
+        let mut reaching = Vec::new();
+        for bi in cfg.reachable_blocks() {
+            let b = &program.blocks[bi];
+            let mut cur = sol.entry[bi].clone();
+            for (ii, inst) in block_insts(b).enumerate() {
+                for (slot, src) in inst.srcs.iter().enumerate() {
+                    if let Some(r) = src {
+                        uses.push(UseSite {
+                            block: bi,
+                            index: ii,
+                            slot,
+                            reg: *r,
+                            pc: inst.pc,
+                        });
+                        reaching.push(cur.intersection(&rd.defs_of_reg[r.index()]));
+                    }
+                }
+                if let Some(d) = inst.dest {
+                    cur.subtract(&rd.defs_of_reg[d.index()]);
+                    cur.insert(rd.def_at[bi][ii].expect("dest implies def site"));
+                }
+            }
+        }
+        let mut uses_of_def = vec![Vec::new(); rd.defs.len()];
+        for (ui, r) in reaching.iter().enumerate() {
+            for di in r.ones() {
+                uses_of_def[di].push(ui);
+            }
+        }
+        DefUse {
+            defs: rd.defs,
+            uses,
+            reaching,
+            uses_of_def,
+        }
+    }
+
+    /// Use sites fed by a definition *at or after* the use's own position
+    /// in the same block — i.e. dependences carried around a back edge
+    /// from a previous iteration. For a single-block loop these are
+    /// exactly the loop-carried recurrences that bound steady-state IPC.
+    pub fn carried_uses(&self) -> Vec<&UseSite> {
+        self.uses
+            .iter()
+            .enumerate()
+            .filter(|(ui, u)| {
+                self.reaching[*ui]
+                    .ones()
+                    .any(|di| self.defs[di].block == u.block && self.defs[di].index >= u.index)
+            })
+            .map(|(_, u)| u)
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live registers (precise)
+// ---------------------------------------------------------------------------
+
+struct Liveness<'p> {
+    program: &'p Program,
+}
+
+impl DataflowAnalysis for Liveness<'_> {
+    type Fact = u64;
+    const BACKWARD: bool = true;
+
+    fn boundary(&self) -> u64 {
+        // `ret` (or any exit) escapes to an unknown continuation: assume
+        // every register outlives the program.
+        u64::MAX
+    }
+
+    fn top(&self) -> u64 {
+        0
+    }
+
+    fn join(&self, acc: &mut u64, other: &u64) {
+        *acc |= other;
+    }
+
+    fn transfer(&self, bi: usize, fact: &u64) -> u64 {
+        let b = &self.program.blocks[bi];
+        let mut live = *fact;
+        for r in b.branch_inst.srcs.iter().flatten() {
+            live |= reg_bit(*r);
+        }
+        for inst in b.body.iter().rev() {
+            if let Some(d) = inst.dest {
+                live &= !reg_bit(d);
+            }
+            for r in inst.srcs.iter().flatten() {
+                live |= reg_bit(*r);
+            }
+        }
+        live
+    }
+}
+
+/// Precise live-register masks (bit `i` = `ArchReg` with flat index `i`)
+/// at every block boundary, via the backward fixed point.
+pub fn live_registers(program: &Program, cfg: &Cfg) -> Solution<u64> {
+    solve(&Liveness { program }, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shelfsim_workload::asm::assemble;
+    use shelfsim_workload::kernels;
+
+    fn build(src: &str) -> (Program, Cfg) {
+        let p = assemble(src).expect("assembles");
+        let cfg = Cfg::new(&p);
+        (p, cfg)
+    }
+
+    #[test]
+    fn bitset_basics() {
+        let mut a = BitSet::empty(130);
+        a.insert(0);
+        a.insert(65);
+        a.insert(129);
+        assert!(a.contains(65) && !a.contains(64));
+        assert_eq!(a.ones().collect::<Vec<_>>(), vec![0, 65, 129]);
+        assert_eq!(a.count(), 3);
+        let mut b = BitSet::empty(130);
+        b.insert(65);
+        assert_eq!(a.intersection(&b).ones().collect::<Vec<_>>(), vec![65]);
+        a.subtract(&b);
+        assert!(!a.contains(65));
+    }
+
+    #[test]
+    fn reaching_defs_flow_around_the_back_edge() {
+        // f9 += f8 every iteration: the def of f9 must reach its own use
+        // via the loop back edge.
+        let (p, cfg) =
+            build("top:\n load f8, [r0], region=l1\n fadd f9, f9, f8\n loop top, trips=10\n");
+        let rd = ReachingDefs::new(&p);
+        let sol = rd.solve(&cfg);
+        assert_eq!(rd.defs.len(), 2, "f8 and f9");
+        // Both defs reach the block entry around the back edge.
+        assert_eq!(sol.entry[0].count(), 2);
+        assert!(sol.passes >= 2, "needs a second pass to see the back edge");
+    }
+
+    #[test]
+    fn def_use_chains_find_loop_carried_recurrences() {
+        let (p, cfg) =
+            build("top:\n load f8, [r0], region=l1\n fadd f9, f9, f8\n loop top, trips=10\n");
+        let du = DefUse::build(&p, &cfg);
+        let carried = du.carried_uses();
+        // Only the f9 accumulator is carried; f8 is re-defined before use.
+        assert_eq!(carried.len(), 1, "{carried:?}");
+        assert_eq!(carried[0].reg.index(), 32 + 9);
+    }
+
+    #[test]
+    fn def_use_chains_empty_when_nothing_is_carried() {
+        // daxpy reads only inputs and same-iteration values.
+        let k = kernels::by_name("daxpy").expect("in library");
+        let p = k.assemble().expect("assembles");
+        let cfg = Cfg::new(&p);
+        let du = DefUse::build(&p, &cfg);
+        assert!(du.carried_uses().is_empty());
+        // But the same-iteration chains exist: f8's def feeds the fmul.
+        let f8_def = du
+            .defs
+            .iter()
+            .position(|d| d.reg.index() == 32 + 8)
+            .expect("f8 defined");
+        assert!(!du.uses_of_def[f8_def].is_empty());
+    }
+
+    #[test]
+    fn precise_liveness_sees_through_back_edges() {
+        // r9 is written then immediately overwritten next iteration without
+        // a read: precisely dead at block exit. r8 feeds itself: live.
+        let (p, cfg) = build("top:\n add r8, r8\n add r9, r0\n loop top, trips=10\n");
+        let live = live_registers(&p, &cfg);
+        assert_ne!(live.entry[0] & (1u64 << 8), 0, "r8 live into the block");
+        assert_eq!(live.entry[0] & (1u64 << 9), 0, "r9 dead into the block");
+    }
+
+    #[test]
+    fn every_kernel_converges_quickly() {
+        for k in kernels::all() {
+            let p = k.assemble().expect("valid");
+            let cfg = Cfg::new(&p);
+            let rd = ReachingDefs::new(&p);
+            let sol = rd.solve(&cfg);
+            assert!(sol.passes <= 6, "{}: {} passes", k.name, sol.passes);
+            let live = live_registers(&p, &cfg);
+            assert!(live.passes <= 6, "{}: {} passes", k.name, live.passes);
+            let du = DefUse::build(&p, &cfg);
+            assert_eq!(
+                du.reaching.len(),
+                du.uses.len(),
+                "{}: one chain per use",
+                k.name
+            );
+        }
+    }
+}

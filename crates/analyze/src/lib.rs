@@ -1,7 +1,8 @@
 //! # shelfsim-analyze
 //!
-//! Static lints and invariant checks for the shelfsim workspace, sharing a
-//! typed-diagnostic core ([`Diagnostic`], [`Severity`], [`Report`]):
+//! The static-analysis framework of the shelfsim workspace, sharing a
+//! typed-diagnostic core ([`Diagnostic`], [`Severity`], [`Report`]) and a
+//! common [`cfg::Cfg`] + worklist [`dataflow`] engine:
 //!
 //! * [`lint_program`] — dataflow lints over a [`shelfsim_workload::Program`]
 //!   (`SA001`–`SA005`): def-before-use, unreachable blocks, dead writes,
@@ -12,9 +13,23 @@
 //!   `CoreConfig::validate`.
 //! * [`lint_kernel_source`] — the `.s` front end: assemble with line
 //!   tracking, then lint with source spans.
+//! * [`dataflow`] — the worklist engine with reaching definitions, def-use
+//!   chains, and precise live registers over the [`cfg::Cfg`].
+//! * [`ipc_bound`] / [`aggregate_bound`] — sound static IPC upper bounds
+//!   per program × config (`SB001`), asserted against simulator results.
+//! * [`check_adequacy`] — resource-adequacy proof obligations
+//!   (`SR001`–`SR004`): shelf depth vs. dependence runs, MSHR demand,
+//!   per-thread queue shares, zero-capacity resources.
+//! * [`preflight`] — the campaign pre-flight bundle: config lint + program
+//!   lint + adequacy over the exact per-thread programs of a queued run.
 //!
-//! The third leg of the subsystem — the dynamic invariant *sanitizer* — is
-//! not in this crate: it lives inside `shelfsim-uarch`/`shelfsim-core`
+//! The registry of every code ([`REGISTRY`], [`code_info`],
+//! [`render_code_table`]) is the single source of truth for severities and
+//! documentation; the README's lint-code table is generated from it by a
+//! test so the two cannot drift.
+//!
+//! The remaining leg of the subsystem — the dynamic invariant *sanitizer* —
+//! is not in this crate: it lives inside `shelfsim-uarch`/`shelfsim-core`
 //! behind the `sanitize` feature, auditing free-list token conservation
 //! and queue occupancy every cycle (see `docs/MECHANISMS.md`).
 //!
@@ -29,13 +44,43 @@
 //! assert_eq!(report.diagnostics()[0].code, "SA001");
 //! ```
 
+pub mod adequacy;
+pub mod bounds;
+pub mod cfg;
 pub mod config_lint;
+pub mod dataflow;
 pub mod diagnostic;
 pub mod program_lint;
 
-pub use config_lint::{design_by_name, lint_config, lint_config_file, DESIGN_NAMES};
-pub use diagnostic::{Diagnostic, Report, Severity, Span};
+pub use adequacy::check_adequacy;
+pub use bounds::{aggregate_bound, ipc_bound, IpcBoundReport, RecurrenceBound};
+pub use cfg::Cfg;
+pub use config_lint::{
+    apply_override, design_by_name, lint_config, lint_config_file, DESIGN_NAMES,
+};
+pub use dataflow::{live_registers, BitSet, DataflowAnalysis, DefUse, ReachingDefs, Solution};
+pub use diagnostic::{
+    code_info, render_code_table, CodeInfo, Diagnostic, Report, Severity, Span, REGISTRY,
+};
 pub use program_lint::lint_program;
+
+/// Campaign pre-flight: bundles the config lint, the program lints, and
+/// the resource-adequacy pass over the exact per-thread `programs` a
+/// queued run would execute, returning one combined [`Report`].
+///
+/// Only errors should reject a run — warnings are throughput advisories
+/// and info diagnostics are measurements.
+pub fn preflight(
+    cfg: &shelfsim_core::CoreConfig,
+    programs: &[shelfsim_workload::program::Program],
+) -> Report {
+    let mut diags = lint_config(cfg);
+    for p in programs {
+        diags.extend(lint_program(p, None));
+        diags.extend(check_adequacy(p, cfg, None));
+    }
+    Report::new(diags)
+}
 
 /// Assembles `.s` kernel `source` and lints it with spans into `file`.
 ///
@@ -73,5 +118,51 @@ mod tests {
         assert_eq!(diags[0].code, "SA000");
         assert_eq!(diags[0].severity, Severity::Error);
         assert_eq!(diags[0].span.as_ref().unwrap().line, 2);
+    }
+
+    fn preflight_programs(seed: u64) -> Vec<shelfsim_workload::program::Program> {
+        ["gcc", "mcf"]
+            .iter()
+            .enumerate()
+            .map(|(t, name)| {
+                shelfsim_workload::suite::by_name(name)
+                    .expect("suite bench")
+                    .build_program(shelfsim_core::thread_program_seed(seed, t))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn preflight_accepts_standard_designs_on_suite_programs() {
+        let cfg = design_by_name("shelf-opt", 2).expect("known design");
+        let report = preflight(&cfg, &preflight_programs(7));
+        assert!(!report.has_errors(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn preflight_rejects_starved_shelf_before_any_cycle() {
+        let mut cfg = design_by_name("shelf-inorder", 2).expect("known design");
+        apply_override(&mut cfg, "shelf", "2").expect("valid override");
+        let report = preflight(&cfg, &preflight_programs(7));
+        assert!(report.has_errors(), "{}", report.render_text());
+        assert!(
+            report.diagnostics().iter().any(|d| d.code == "SR001"),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn registry_codes_are_unique_sorted_and_resolvable() {
+        let codes: Vec<&str> = diagnostic::REGISTRY.iter().map(|c| c.code).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(
+            sorted, codes,
+            "registry must stay sorted and duplicate-free"
+        );
+        assert_eq!(code_info("SR001").expect("known").severity, Severity::Error);
+        assert!(code_info("XX999").is_none());
     }
 }

@@ -15,10 +15,11 @@
 //! accumulators are never flagged — only values overwritten before any
 //! read on a forward path are dead.
 
+use crate::cfg::{block_successors, Cfg};
 use crate::diagnostic::{Diagnostic, Severity};
 use shelfsim_isa::{ArchReg, NUM_ARCH_REGS};
 use shelfsim_workload::asm::PcLineMap;
-use shelfsim_workload::program::{AccessPattern, Block, Program, Terminator};
+use shelfsim_workload::program::{AccessPattern, Program, Terminator};
 
 /// Registers a kernel may read without defining: by convention `r0`–`r7`
 /// and `f0`–`f7` are inputs (base addresses, constants), and `r24`–`r27`
@@ -41,19 +42,6 @@ fn bit(r: ArchReg) -> u64 {
     1u64 << r.index()
 }
 
-/// Successor blocks in execution order; the implicit wrap-around from the
-/// last block re-enters block 0 (kernels are infinite loops).
-fn successors(b: &Block, i: usize, n: usize) -> Vec<usize> {
-    let wrap = if i + 1 < n { i + 1 } else { 0 };
-    match b.terminator {
-        Terminator::Loop { target, .. } => vec![target, wrap],
-        Terminator::Cond { target, .. } => vec![target, wrap],
-        Terminator::Jump { target } => vec![target],
-        Terminator::Call { callee } => vec![callee, wrap],
-        Terminator::Ret => vec![],
-    }
-}
-
 /// Lints `program`, attaching spans from `source` (file name + PC→line
 /// map from [`shelfsim_workload::asm::assemble_with_lines`]) when given.
 pub fn lint_program(program: &Program, source: Option<(&str, &PcLineMap)>) -> Vec<Diagnostic> {
@@ -66,18 +54,8 @@ pub fn lint_program(program: &Program, source: Option<(&str, &PcLineMap)>) -> Ve
     let n = program.blocks.len();
 
     // ---- SA002: reachability from the entry block -----------------------
-    let mut reachable = vec![false; n];
-    let mut work = vec![0usize];
-    while let Some(i) = work.pop() {
-        if std::mem::replace(&mut reachable[i], true) {
-            continue;
-        }
-        for s in successors(&program.blocks[i], i, n) {
-            if !reachable[s] {
-                work.push(s);
-            }
-        }
-    }
+    let cfg = Cfg::new(program);
+    let reachable = &cfg.reachable;
     for (i, b) in program.blocks.iter().enumerate() {
         if !reachable[i] {
             let pc = b.body.first().map_or(b.branch_inst.pc, |inst| inst.pc);
@@ -135,7 +113,7 @@ pub fn lint_program(program: &Program, source: Option<(&str, &PcLineMap)>) -> Ve
     let mut live_in = vec![u64::MAX; n];
     for i in (0..n).rev() {
         let b = &program.blocks[i];
-        let succs = successors(b, i, n);
+        let succs = block_successors(b, i, n);
         let mut live = if succs.is_empty() {
             u64::MAX
         } else {

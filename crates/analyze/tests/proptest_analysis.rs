@@ -1,0 +1,77 @@
+//! Property tests of the static-analysis framework: every generator-built
+//! suite program is valid by construction, so the lints must find no
+//! errors, the dataflow passes must converge, and the IPC bounds must be
+//! finite, positive, and no looser than the core width. Every shipped
+//! design point must be config-lint-clean at every evaluated thread count.
+
+use proptest::prelude::*;
+use shelfsim_analyze::{
+    check_adequacy, design_by_name, ipc_bound, lint_config, lint_program, Cfg, DefUse,
+    ReachingDefs, Severity, DESIGN_NAMES,
+};
+use shelfsim_workload::suite;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn generated_suite_programs_analyze_clean(bench in 0usize..28, seed in 0u64..10_000) {
+        let profile = &suite::all()[bench];
+        let program = profile.build_program(seed);
+
+        // Lints: generator output is valid by construction, so any
+        // error-severity finding is a bug in the linter or the generator.
+        let errors: Vec<_> = lint_program(&program, None)
+            .into_iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        prop_assert!(errors.is_empty(), "{}/{seed}: {errors:?}", profile.name);
+
+        // Dataflow: the worklist engine must converge quickly and the
+        // def-use chains must only ever point at real sites.
+        let cfg = Cfg::new(&program);
+        let reaching = ReachingDefs::new(&program).solve(&cfg);
+        prop_assert!(reaching.passes <= 4 * program.blocks.len() + 8);
+        let du = DefUse::build(&program, &cfg);
+        for (def, uses) in du.uses_of_def.iter().enumerate() {
+            prop_assert!(def < du.defs.len());
+            for &u in uses {
+                prop_assert!(u < du.uses.len());
+            }
+        }
+
+        // Bounds: sound means finite, positive, and never above the width.
+        let core = design_by_name("base64", 1).expect("known design");
+        let bound = ipc_bound(&program, &core);
+        prop_assert!(bound.bound.is_finite() && bound.bound > 0.0);
+        prop_assert!(bound.bound <= bound.width + 1e-9);
+
+        // Adequacy: the standard design must be provably deadlock-free on
+        // every generated program.
+        let adequacy_errors: Vec<_> = check_adequacy(&program, &core, None)
+            .into_iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        prop_assert!(
+            adequacy_errors.is_empty(),
+            "{}/{seed}: {adequacy_errors:?}",
+            profile.name
+        );
+    }
+}
+
+/// Every shipped design point is config-lint-clean at every thread count
+/// the paper evaluates.
+#[test]
+fn every_design_is_lint_clean_at_every_thread_count() {
+    for name in DESIGN_NAMES {
+        for threads in 1..=8 {
+            let cfg = design_by_name(name, threads).expect("listed design resolves");
+            let errors: Vec<_> = lint_config(&cfg)
+                .into_iter()
+                .filter(|d| d.severity == Severity::Error)
+                .collect();
+            assert!(errors.is_empty(), "{name}/{threads}: {errors:?}");
+        }
+    }
+}

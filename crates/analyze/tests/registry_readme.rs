@@ -1,0 +1,21 @@
+//! The README's lint-code table is generated from the code registry; this
+//! test fails when the two drift, printing the expected table.
+
+#[test]
+fn readme_lint_code_table_matches_the_registry() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
+    let readme = std::fs::read_to_string(path).expect("README.md at the workspace root");
+    let begin = "<!-- lint-codes:begin -->";
+    let end = "<!-- lint-codes:end -->";
+    let start = readme.find(begin).expect("README has the begin marker") + begin.len();
+    let stop = readme.find(end).expect("README has the end marker");
+    assert!(start <= stop, "markers out of order");
+    let actual = readme[start..stop].trim();
+    let expected = shelfsim_analyze::render_code_table();
+    assert_eq!(
+        actual,
+        expected.trim(),
+        "README lint-code table drifted from the registry; replace the \
+         marker block with:\n{expected}"
+    );
+}

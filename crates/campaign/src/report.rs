@@ -37,6 +37,14 @@ impl CampaignReport {
             .count()
     }
 
+    /// Runs the static-analysis pre-flight rejected before simulation.
+    pub fn rejected(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.status == RunStatus::Rejected)
+            .count()
+    }
+
     /// The error taxonomy: final statuses, retry outcomes, per-kind failed
     /// attempts, and truncated measurements.
     pub fn taxonomy(&self) -> Tally {
@@ -78,16 +86,18 @@ impl CampaignReport {
         let mut out = String::new();
         writeln!(
             out,
-            "campaign: {} runs, {} completed, {} quarantined, {} resumed from journal",
+            "campaign: {} runs, {} completed, {} quarantined, {} rejected, {} resumed from journal",
             self.records.len(),
             self.completed(),
             self.quarantined(),
+            self.rejected(),
             self.resumed
         )
         .expect("write");
         for r in &self.records {
             let marker = match (r.status, r.attempts, r.resumed) {
                 (RunStatus::Quarantined, _, _) => "[quarantined]",
+                (RunStatus::Rejected, _, _) => "[rejected]",
                 (RunStatus::Ok, a, _) if a > 1 => "[retried]",
                 (RunStatus::Ok, _, true) => "[resumed]",
                 (RunStatus::Ok, _, false) => "[ok]",
@@ -198,12 +208,13 @@ impl CampaignReport {
             .collect();
         format!(
             concat!(
-                r#"{{"runs":{},"completed":{},"quarantined":{},"resumed":{},"#,
+                r#"{{"runs":{},"completed":{},"quarantined":{},"rejected":{},"resumed":{},"#,
                 r#""taxonomy":{{{}}},"per_design":[{}],"records":[{}]}}"#
             ),
             self.records.len(),
             self.completed(),
             self.quarantined(),
+            self.rejected(),
             self.resumed,
             taxonomy.join(","),
             per_design.join(","),

@@ -19,6 +19,9 @@ pub enum RunStatus {
     Ok,
     /// Every attempt failed; the run is excluded from aggregation.
     Quarantined,
+    /// The static-analysis pre-flight rejected the run before any cycle
+    /// was simulated (zero attempts consumed).
+    Rejected,
 }
 
 impl RunStatus {
@@ -27,6 +30,7 @@ impl RunStatus {
         match self {
             RunStatus::Ok => "ok",
             RunStatus::Quarantined => "quarantined",
+            RunStatus::Rejected => "rejected",
         }
     }
 }
@@ -41,6 +45,10 @@ pub enum FailureKind {
     /// The run is unbuildable (unknown design or benchmark) — retrying
     /// cannot help, so it quarantines immediately.
     Config,
+    /// The static-analysis pre-flight proved the run misconfigured
+    /// (config-lint, program-lint, or resource-adequacy errors) before
+    /// a single cycle was simulated.
+    AnalysisRejected,
 }
 
 impl FailureKind {
@@ -50,6 +58,7 @@ impl FailureKind {
             FailureKind::Panic => "panic",
             FailureKind::Deadlock => "deadlock",
             FailureKind::Config => "config",
+            FailureKind::AnalysisRejected => "analysis-rejected",
         }
     }
 }
@@ -110,10 +119,10 @@ pub struct RunRecord {
 
 impl RunRecord {
     fn from_journal(spec: RunSpec, entry: &JournalEntry) -> Self {
-        let status = if entry.status == "ok" {
-            RunStatus::Ok
-        } else {
-            RunStatus::Quarantined
+        let status = match entry.status.as_str() {
+            "ok" => RunStatus::Ok,
+            "rejected" => RunStatus::Rejected,
+            _ => RunStatus::Quarantined,
         };
         let outcome = (status == RunStatus::Ok).then(|| RunOutcome {
             ipc: entry.ipc,
@@ -132,6 +141,7 @@ impl RunRecord {
                 kind: match entry.error.as_str() {
                     "deadlock" => FailureKind::Deadlock,
                     "config" => FailureKind::Config,
+                    "analysis-rejected" => FailureKind::AnalysisRejected,
                     _ => FailureKind::Panic,
                 },
                 panic_msg: entry.message.clone(),
@@ -256,18 +266,9 @@ fn run_attempt(
                 spec.index
             );
         }
-        let cfg = shelfsim_analyze::design_by_name(&spec.design, spec.mix.len().max(1))
-            .ok_or_else(|| {
-                fail(
-                    FailureKind::Config,
-                    None,
-                    format!(
-                        "unknown design `{}` (expected one of: {})",
-                        spec.design,
-                        shelfsim_analyze::DESIGN_NAMES.join(", ")
-                    ),
-                )
-            })?;
+        let cfg = spec
+            .resolved_config()
+            .map_err(|msg| fail(FailureKind::Config, None, msg))?;
         let names: Vec<&str> = spec.mix.iter().map(String::as_str).collect();
         let mut sim = Simulation::from_names(cfg, &names, spec.seed)
             .map_err(|e| fail(FailureKind::Config, None, e.to_string()))?;
@@ -321,9 +322,55 @@ fn run_attempt(
     }
 }
 
-/// Executes one run to its final status: bounded retries with diagnostics
-/// escalation, then quarantine.
+/// Static-analysis pre-flight over one queued run: lints the resolved
+/// config and the exact per-thread programs the run would simulate, and
+/// proves resource adequacy. Returns the rendered error report when the
+/// run must be rejected; `None` to proceed (including when the spec does
+/// not even resolve — the attempt path owns that `Config` failure, with
+/// its established message).
+fn preflight_check(spec: &RunSpec) -> Option<String> {
+    let cfg = spec.resolved_config().ok()?;
+    let mut programs = Vec::with_capacity(spec.mix.len());
+    for (t, name) in spec.mix.iter().enumerate() {
+        let profile = shelfsim_workload::suite::by_name(name)?;
+        programs.push(profile.build_program(shelfsim_core::thread_program_seed(spec.seed, t)));
+    }
+    let report = shelfsim_analyze::preflight(&cfg, &programs);
+    report.has_errors().then(|| {
+        let lines: Vec<String> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.severity == shelfsim_analyze::Severity::Error)
+            .map(|d| d.to_string())
+            .collect();
+        lines.join("; ")
+    })
+}
+
+/// Executes one run to its final status: pre-flight rejection, or bounded
+/// retries with diagnostics escalation, then quarantine.
 fn execute(spec: &RunSpec, campaign: &CampaignSpec) -> RunRecord {
+    if campaign.preflight {
+        if let Some(msg) = preflight_check(spec) {
+            return RunRecord {
+                spec: spec.clone(),
+                status: RunStatus::Rejected,
+                attempts: 0,
+                failures: vec![RunFailure {
+                    bench: spec.mix.join("+"),
+                    design: spec.design.clone(),
+                    seed: spec.seed,
+                    cycle: None,
+                    kind: FailureKind::AnalysisRejected,
+                    panic_msg: msg,
+                    attempt: 0,
+                    diagnostics: false,
+                }],
+                outcome: None,
+                resumed: false,
+            };
+        }
+    }
     let watchdog = campaign.watchdog.map(Watchdog::new);
     let mut failures = Vec::new();
     for attempt in 0..campaign.max_attempts.max(1) {

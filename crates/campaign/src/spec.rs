@@ -31,23 +31,58 @@ pub struct RunSpec {
     pub warmup: u64,
     /// Measured cycles.
     pub measure: u64,
+    /// Structural config overrides (`key`, `value`) applied on top of the
+    /// design point, in order — the vocabulary of
+    /// [`shelfsim_analyze::apply_override`] (the CLI `--override` flag).
+    pub overrides: Vec<(String, String)>,
 }
 
 impl RunSpec {
-    /// Human-readable label, e.g. `shelf-opt gcc+mcf`.
+    /// Human-readable label, e.g. `shelf-opt gcc+mcf` (overrides, when
+    /// present, are appended as `[key=value,…]`).
     pub fn label(&self) -> String {
-        format!("{} {}", self.design, self.mix.join("+"))
+        if self.overrides.is_empty() {
+            format!("{} {}", self.design, self.mix.join("+"))
+        } else {
+            let ovs: Vec<String> = self
+                .overrides
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            format!("{} {} [{}]", self.design, self.mix.join("+"), ovs.join(","))
+        }
     }
 
-    /// Stable journal key: a hex fingerprint of the design configuration
-    /// (when the name resolves), the mix, the seed, and the measurement
-    /// parameters. Two runs with the same key would produce identical
-    /// results, so a journaled key means the run can be skipped on resume.
+    /// Resolves the design name plus overrides into the exact
+    /// [`shelfsim_core::CoreConfig`] the run would simulate.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the unknown design or bad override.
+    pub fn resolved_config(&self) -> Result<shelfsim_core::CoreConfig, String> {
+        let mut cfg = shelfsim_analyze::design_by_name(&self.design, self.mix.len().max(1))
+            .ok_or_else(|| {
+                format!(
+                    "unknown design `{}` (expected one of: {})",
+                    self.design,
+                    shelfsim_analyze::DESIGN_NAMES.join(", ")
+                )
+            })?;
+        for (k, v) in &self.overrides {
+            shelfsim_analyze::apply_override(&mut cfg, k, v)?;
+        }
+        Ok(cfg)
+    }
+
+    /// Stable journal key: a hex fingerprint of the resolved configuration
+    /// (design plus overrides, when they resolve), the mix, the seed, and
+    /// the measurement parameters. Two runs with the same key would produce
+    /// identical results, so a journaled key means the run can be skipped
+    /// on resume. Specs without overrides keep the pre-override key format,
+    /// so existing journals stay resumable.
     pub fn key(&self) -> String {
-        let cfg_hash = shelfsim_analyze::design_by_name(&self.design, self.mix.len().max(1))
-            .map(|c| c.stable_hash())
-            .unwrap_or(0);
-        let canonical = format!(
+        let cfg_hash = self.resolved_config().map(|c| c.stable_hash()).unwrap_or(0);
+        let mut canonical = format!(
             "{}|{:016x}|{}|{}|{}|{}",
             self.design,
             cfg_hash,
@@ -56,6 +91,9 @@ impl RunSpec {
             self.warmup,
             self.measure
         );
+        for (k, v) in &self.overrides {
+            canonical.push_str(&format!("|{k}={v}"));
+        }
         format!("{:016x}", fnv1a(canonical.bytes()))
     }
 }
@@ -85,6 +123,11 @@ pub struct CampaignSpec {
     /// Suppress the default panic hook's backtrace spew while isolated runs
     /// convert panics into structured failures.
     pub quiet_panics: bool,
+    /// Run the static-analysis pre-flight (config lint + program lint +
+    /// resource adequacy) over every queued run before simulating; runs
+    /// whose analysis reports errors are rejected without spending a cycle
+    /// and journaled with an `analysis-rejected` taxonomy entry.
+    pub preflight: bool,
 }
 
 impl CampaignSpec {
@@ -100,7 +143,14 @@ impl CampaignSpec {
             faults: FaultPlan::new(),
             trace_dir: None,
             quiet_panics: true,
+            preflight: true,
         }
+    }
+
+    /// Enables or disables the static-analysis pre-flight stage.
+    pub fn with_preflight(mut self, enabled: bool) -> Self {
+        self.preflight = enabled;
+        self
     }
 
     /// Sets the watchdog window (cycles); `None` disables the watchdog.
@@ -159,6 +209,7 @@ impl CampaignSpec {
                     seed,
                     warmup,
                     measure,
+                    overrides: Vec::new(),
                 });
             }
         }
@@ -178,6 +229,7 @@ mod tests {
             seed: 7,
             warmup: 100,
             measure: 1_000,
+            overrides: Vec::new(),
         }
     }
 
@@ -219,5 +271,19 @@ mod tests {
         );
         let keys: std::collections::BTreeSet<String> = runs.iter().map(|r| r.key()).collect();
         assert_eq!(keys.len(), 4, "all matrix keys distinct");
+    }
+
+    #[test]
+    fn overrides_resolve_label_and_rekey() {
+        let mut s = spec();
+        s.overrides = vec![("shelf".to_owned(), "8".to_owned())];
+        assert_ne!(s.key(), spec().key(), "overrides change the key");
+        assert!(s.label().contains("[shelf=8]"), "{}", s.label());
+        let base = spec().resolved_config().expect("base64 resolves");
+        let cfg = s.resolved_config().expect("override applies");
+        assert_eq!(cfg.shelf_entries, 8);
+        assert_eq!(base.shelf_entries, 0);
+        s.overrides = vec![("bogus".to_owned(), "1".to_owned())];
+        assert!(s.resolved_config().is_err());
     }
 }

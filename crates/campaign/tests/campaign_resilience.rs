@@ -233,6 +233,62 @@ fn config_failures_quarantine_without_retries() {
     );
 }
 
+/// A structurally starved run (shelf steering with a 2-entry shelf) is
+/// rejected by the static-analysis pre-flight before a single cycle is
+/// simulated, journaled with an `analysis-rejected` taxonomy entry, and
+/// skipped on resume. Disabling the pre-flight restores the old behavior.
+#[test]
+fn preflight_rejects_starved_shelf_and_resumes_the_rejection() {
+    let journal = temp_journal("preflight.jsonl");
+    let mut runs = matrix()[..2].to_vec();
+    // Run 0 is starved (2 shelf entries for 2 threads of dependent chains);
+    // run 1 is untouched and must still complete.
+    runs[0].design = "shelf-inorder".to_owned();
+    runs[0].overrides = vec![("shelf".to_owned(), "2".to_owned())];
+    let spec = CampaignSpec::new(runs.clone())
+        .with_watchdog(Some(5_000))
+        .with_journal(&journal);
+
+    let report = run_campaign(&spec).expect("campaign");
+    let r0 = &report.records[0];
+    assert_eq!(r0.status, RunStatus::Rejected);
+    assert_eq!(r0.attempts, 0, "no cycle simulated, no attempt consumed");
+    assert_eq!(r0.failures.len(), 1);
+    assert_eq!(r0.failures[0].kind, FailureKind::AnalysisRejected);
+    assert!(
+        r0.failures[0].panic_msg.contains("SR001"),
+        "rejection carries the diagnostic: {}",
+        r0.failures[0].panic_msg
+    );
+    assert_eq!(report.records[1].status, RunStatus::Ok);
+    assert_eq!(report.completed(), 1);
+    assert_eq!(report.rejected(), 1);
+    assert_eq!(report.taxonomy().count("analysis-rejected"), 1);
+    let text = report.render_text();
+    assert!(text.contains("1 rejected"), "{text}");
+    assert!(text.contains("[rejected]"), "{text}");
+    assert!(report.render_json().contains("\"rejected\":1"));
+
+    // The rejection is journaled and survives resume without re-analysis.
+    let resumed = run_campaign(&spec).expect("resume");
+    assert_eq!(resumed.resumed, 2, "rejected runs resume too");
+    assert_eq!(resumed.records[0].status, RunStatus::Rejected);
+    assert_eq!(
+        resumed.records[0].failures[0].kind,
+        FailureKind::AnalysisRejected
+    );
+
+    // Opting out of the pre-flight lets the starved config reach the
+    // simulator (where the watchdog, not the prover, is the safety net).
+    let unchecked = run_campaign(
+        &CampaignSpec::new(runs[1..].to_vec())
+            .with_watchdog(Some(5_000))
+            .with_preflight(false),
+    )
+    .expect("campaign without preflight");
+    assert_eq!(unchecked.records[0].status, RunStatus::Ok);
+}
+
 /// Reports render both human- and machine-readable summaries.
 #[test]
 fn report_renders_text_and_json() {

@@ -593,10 +593,16 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             let mut fault_mix = shelfsim::FaultMix::default();
             let mut fault_seed = 0u64;
             let mut json = false;
+            let mut preflight = true;
+            let mut overrides: Vec<(String, String)> = vec![];
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 if a == "--json" {
                     json = true;
+                    continue;
+                }
+                if a == "--no-preflight" {
+                    preflight = false;
                     continue;
                 }
                 let v = it
@@ -632,6 +638,12 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                     "--fault-stalls" => fault_mix.stalls = parse_num("--fault-stalls", v)?,
                     "--fault-livelocks" => fault_mix.livelocks = parse_num("--fault-livelocks", v)?,
                     "--fault-seed" => fault_seed = parse_num("--fault-seed", v)?,
+                    "--override" => {
+                        let (k, val) = v.split_once('=').ok_or_else(|| {
+                            err(format!("--override: expected key=value, got `{v}`"))
+                        })?;
+                        overrides.push((k.to_owned(), val.to_owned()));
+                    }
                     other => return Err(err(format!("unknown option `{other}`"))),
                 }
             }
@@ -645,7 +657,17 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             } else {
                 explicit_mixes
             };
-            let runs = shelfsim::CampaignSpec::matrix(&designs, &mixes, seed, warmup, measure);
+            let mut runs = shelfsim::CampaignSpec::matrix(&designs, &mixes, seed, warmup, measure);
+            if !overrides.is_empty() {
+                for r in &mut runs {
+                    r.overrides = overrides.clone();
+                }
+                // Surface a malformed override as an argument error up front
+                // rather than quarantining every run one by one.
+                if let Some(r) = runs.first() {
+                    r.resolved_config().map_err(err)?;
+                }
+            }
             let n_runs = runs.len();
             let n_faults = fault_mix.panics
                 + fault_mix.persistent_panics
@@ -660,7 +682,8 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             let mut spec = shelfsim::CampaignSpec::new(runs)
                 .with_watchdog(watchdog)
                 .with_max_attempts(attempts)
-                .with_workers(workers);
+                .with_workers(workers)
+                .with_preflight(preflight);
             if let Some(path) = journal {
                 spec = spec.with_journal(path);
             }
@@ -680,14 +703,175 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 report.render_text()
             });
         }
+        "analyze" => {
+            let mut bounds = false;
+            let mut design = "shelf-opt".to_owned();
+            let mut threads = 1usize;
+            let mut seed = 7u64;
+            let mut format_json = false;
+            let mut targets: Vec<String> = vec![];
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--bounds" => bounds = true,
+                    "--json" => format_json = true,
+                    "--design" => {
+                        design = it
+                            .next()
+                            .ok_or_else(|| err("--design requires a value"))?
+                            .clone()
+                    }
+                    "--threads" => {
+                        threads = parse_num(
+                            "--threads",
+                            it.next().ok_or_else(|| err("--threads requires a value"))?,
+                        )?
+                    }
+                    "--seed" => {
+                        seed = parse_num(
+                            "--seed",
+                            it.next().ok_or_else(|| err("--seed requires a value"))?,
+                        )?
+                    }
+                    other if other.starts_with("--") => {
+                        return Err(err(format!("unknown option `{other}`")))
+                    }
+                    target => targets.push(target.to_owned()),
+                }
+            }
+            if targets.is_empty() {
+                return Err(err(
+                    "analyze requires at least one TARGET (.s kernel file, built-in \
+                     kernel name, or suite benchmark name)",
+                ));
+            }
+            let cfg = design_config(&design, threads)?;
+            let mut diags = shelfsim::analyze::lint_config(&cfg);
+            // Each target resolves to a program: a `.s` file keeps its
+            // source spans, a built-in kernel or suite benchmark does not.
+            let mut programs: Vec<(String, shelfsim::workload::program::Program)> = vec![];
+            for target in &targets {
+                if target.ends_with(".s") {
+                    let text = std::fs::read_to_string(target)
+                        .map_err(|e| err(format!("cannot read `{target}`: {e}")))?;
+                    match shelfsim::workload::asm::assemble_with_lines(&text) {
+                        Ok((program, lines)) => {
+                            diags.extend(shelfsim::analyze::lint_program(
+                                &program,
+                                Some((target, &lines)),
+                            ));
+                            diags.extend(shelfsim::analyze::check_adequacy(
+                                &program,
+                                &cfg,
+                                Some((target, &lines)),
+                            ));
+                            programs.push((target.clone(), program));
+                        }
+                        Err(e) => diags.push(
+                            shelfsim::Diagnostic::new(
+                                "SA000",
+                                shelfsim::Severity::Error,
+                                format!("assembly failed: {}", e.message),
+                            )
+                            .with_span(target, e.line),
+                        ),
+                    }
+                } else {
+                    let program = if let Some(k) = shelfsim::workload::kernels::by_name(target) {
+                        k.assemble().map_err(|e| err(format!("{target}: {e}")))?
+                    } else if let Some(p) = suite::by_name(target) {
+                        p.build_program(shelfsim::core::thread_program_seed(seed, programs.len()))
+                    } else {
+                        return Err(err(format!(
+                            "unknown target `{target}` (expected a .s file, a built-in \
+                             kernel, or a suite benchmark)"
+                        )));
+                    };
+                    diags.extend(shelfsim::analyze::lint_program(&program, None));
+                    diags.extend(shelfsim::analyze::check_adequacy(&program, &cfg, None));
+                    programs.push((target.clone(), program));
+                }
+            }
+            let mut reports: Vec<shelfsim::IpcBoundReport> = vec![];
+            if bounds {
+                for (name, p) in &programs {
+                    let mut r = shelfsim::ipc_bound(p, &cfg);
+                    r.name = name.clone();
+                    diags.push(r.diagnostic());
+                    reports.push(r);
+                }
+            }
+            let report = shelfsim::Report::new(diags);
+            let rendered = if format_json {
+                report.render_json()
+            } else {
+                let mut text = report.render_text();
+                if !reports.is_empty() {
+                    writeln!(
+                        text,
+                        "static IPC bounds on {design} ({threads} thread{}):",
+                        if threads == 1 { "" } else { "s" }
+                    )
+                    .expect("write");
+                    writeln!(
+                        text,
+                        "  {:<12} {:>6} {:>7} {:>7}  binding",
+                        "program", "width", "fu-cap", "bound"
+                    )
+                    .expect("write");
+                    for r in &reports {
+                        writeln!(
+                            text,
+                            "  {:<12} {:>6.1} {:>7.1} {:>7.3}  {}",
+                            r.name, r.width, r.fu_capacity, r.bound, r.binding
+                        )
+                        .expect("write");
+                    }
+                    if reports.len() > 1 {
+                        writeln!(
+                            text,
+                            "  aggregate SMT bound: {:.3}",
+                            shelfsim::aggregate_bound(&reports, &cfg)
+                        )
+                        .expect("write");
+                    }
+                }
+                text
+            };
+            if report.has_errors() {
+                return Err(CliError(rendered));
+            }
+            out.push_str(&rendered);
+        }
         "lint" => {
             let mut format_json = false;
+            let mut deny_warnings = false;
             let mut design: Option<String> = None;
             let mut threads = 4usize;
             let mut files: Vec<String> = vec![];
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
+                    "--deny-warnings" => deny_warnings = true,
+                    "--explain" => {
+                        let code = it.next().ok_or_else(|| err("--explain requires a code"))?;
+                        let info = shelfsim::analyze::code_info(&code.to_uppercase()).ok_or_else(
+                            || {
+                                err(format!(
+                                    "unknown diagnostic code `{code}` (expected one of: {})",
+                                    shelfsim::analyze::REGISTRY
+                                        .iter()
+                                        .map(|c| c.code)
+                                        .collect::<Vec<_>>()
+                                        .join(", ")
+                                ))
+                            },
+                        )?;
+                        writeln!(out, "{} ({:?}): {}", info.code, info.severity, info.summary)
+                            .expect("write");
+                        writeln!(out, "\n{}", info.explain.trim()).expect("write");
+                        return Ok(out);
+                    }
                     "--format" => {
                         let v = it.next().ok_or_else(|| err("--format requires a value"))?;
                         match v.as_str() {
@@ -748,8 +932,14 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 report.render_text()
             };
             // Error-severity findings fail the invocation (nonzero exit from
-            // `main`); warnings and notes report but pass.
-            if report.has_errors() {
+            // `main`); warnings and notes report but pass — unless
+            // `--deny-warnings` promotes warnings to failures (CI mode).
+            let denied_warning = deny_warnings
+                && report
+                    .diagnostics()
+                    .iter()
+                    .any(|d| d.severity == shelfsim::Severity::Warning);
+            if report.has_errors() || denied_warning {
                 return Err(CliError(rendered));
             }
             out.push_str(&rendered);
@@ -818,10 +1008,20 @@ USAGE:
   shelfsim characterize [BENCH]                    (measured mix & footprints)
   shelfsim kernels                                 (list built-in kernels; run
                    one with: shelfsim asm builtin:NAME)
-  shelfsim lint    [--format text|json] [--design D] [--threads N] [FILE...]
+  shelfsim lint    [--format text|json] [--design D] [--threads N]
+                   [--deny-warnings] [FILE...]
                    (static checks: .s kernels get the SA dataflow lints,
                    key=value config files and --design get the SC
-                   contradiction lints; errors exit nonzero)
+                   contradiction lints; errors exit nonzero, and
+                   --deny-warnings promotes warnings to failures)
+  shelfsim lint    --explain CODE      (document one diagnostic code)
+  shelfsim analyze [--bounds] [--design D] [--threads N] [--seed N] [--json]
+                   TARGET...
+                   (full static analysis of each target — a .s kernel file,
+                   a built-in kernel, or a suite benchmark: dataflow lints,
+                   resource-adequacy proofs against the design, and with
+                   --bounds a sound static IPC upper-bound table plus the
+                   aggregate SMT bound; errors exit nonzero)
   shelfsim bench   [--measure N] [--seed N] [--out FILE]
                    (engine-throughput matrix `engine_micro`: designs x mixes,
                    reports wall seconds, simulated cycles/s, and committed
@@ -833,10 +1033,16 @@ USAGE:
                    diagnosed failures in the diagnostics tier)
                    [--fault-panics N] [--fault-persistent-panics N]
                    [--fault-stalls N] [--fault-livelocks N] [--fault-seed N]
+                   [--override key=value ...] [--no-preflight]
                    (fault-tolerant design x mix sweep: per-run panic isolation,
                    forward-progress watchdog, retry escalation, quarantine, and
                    a resumable journal — re-invoking with the same --journal
-                   skips completed runs; --watchdog 0 disables the watchdog)
+                   skips completed runs; --watchdog 0 disables the watchdog.
+                   Every queued run passes a static-analysis pre-flight first:
+                   provably misconfigured runs are rejected before simulating
+                   a cycle and journaled as analysis-rejected; --no-preflight
+                   opts out. --override tweaks the design point, e.g.
+                   --override shelf=8)
 
 DESIGNS: base64, base128, shelf-cons, shelf-opt, shelf-oracle, shelf-inorder
 SWEEP PARAMS: shelf, rob, iq, lq, sq, rct-bits, plt-columns
@@ -1174,6 +1380,106 @@ mod tests {
         assert!(e.0.contains("victim"), "{}", e.0);
         let e = run_cli(&args("campaign --workers nope")).unwrap_err();
         assert!(e.0.contains("`nope`"), "{}", e.0);
+    }
+
+    #[test]
+    fn analyze_bounds_reports_a_table_and_sb001() {
+        let out = run_cli(&args("analyze --bounds --design base64 reduce daxpy")).expect("ok");
+        assert!(out.contains("SB001"), "{out}");
+        assert!(out.contains("static IPC bounds"), "{out}");
+        assert!(out.contains("recurrence"), "reduce is chain-bound: {out}");
+        assert!(out.contains("aggregate SMT bound"), "{out}");
+    }
+
+    #[test]
+    fn analyze_accepts_suite_benchmarks_and_files() {
+        let out = run_cli(&args("analyze --design shelf-opt --threads 2 gcc mcf")).expect("ok");
+        assert!(out.contains("0 error(s)"), "{out}");
+        let out = run_cli(&[
+            "analyze".to_owned(),
+            "--bounds".to_owned(),
+            shipped_kernel("daxpy.s"),
+        ])
+        .expect("ok");
+        assert!(out.contains("daxpy"), "{out}");
+        let e = run_cli(&args("analyze --bounds notathing")).unwrap_err();
+        assert!(e.0.contains("unknown target"), "{}", e.0);
+        let e = run_cli(&args("analyze")).unwrap_err();
+        assert!(e.0.contains("TARGET"), "{}", e.0);
+    }
+
+    #[test]
+    fn analyze_rejects_starved_shelf_with_a_span() {
+        let dir = std::env::temp_dir().join("shelfsim_analyze_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("chain.s");
+        // A 4-long dependent chain cannot drain a 2-entry per-thread shelf
+        // (the 64-entry shelf split 32 ways).
+        std::fs::write(
+            &path,
+            "top:\n add r8, r8\n add r8, r8\n add r8, r8\n add r8, r8\n loop top, trips=50\n",
+        )
+        .expect("write");
+        let e = run_cli(&[
+            "analyze".to_owned(),
+            "--design".to_owned(),
+            "shelf-inorder".to_owned(),
+            "--threads".to_owned(),
+            "32".to_owned(),
+            path.to_string_lossy().into_owned(),
+        ])
+        .unwrap_err();
+        assert!(e.0.contains("SR001"), "{}", e.0);
+        assert!(e.0.contains("chain.s:"), "span points at the run: {}", e.0);
+    }
+
+    #[test]
+    fn lint_explain_documents_codes() {
+        let out = run_cli(&args("lint --explain SR001")).expect("ok");
+        assert!(out.contains("SR001"), "{out}");
+        assert!(out.contains("deadlock"), "{out}");
+        let e = run_cli(&args("lint --explain XX999")).unwrap_err();
+        assert!(e.0.contains("unknown diagnostic code"), "{}", e.0);
+        assert!(e.0.contains("SA001"), "lists valid codes: {}", e.0);
+    }
+
+    #[test]
+    fn lint_deny_warnings_promotes_warnings() {
+        let dir = std::env::temp_dir().join("shelfsim_lint_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("warny.s");
+        // The `dead` block is unreachable (nothing jumps to it): SA002,
+        // a warning — clean by default, fatal under --deny-warnings.
+        std::fs::write(
+            &path,
+            "top:\n add r8, r8\n jmp top\ndead:\n add r8, r8\n jmp dead\n",
+        )
+        .expect("write");
+        let file = path.to_string_lossy().into_owned();
+        run_cli(&["lint".to_owned(), file.clone()]).expect("warnings pass by default");
+        let e = run_cli(&["lint".to_owned(), "--deny-warnings".to_owned(), file]).unwrap_err();
+        assert!(e.0.contains("warning"), "{}", e.0);
+    }
+
+    #[test]
+    fn campaign_preflight_rejects_and_override_applies() {
+        let cmd = "campaign --designs shelf-inorder --mix gcc,mcf --override shelf=2 \
+                   --warmup 200 --measure 1200";
+        let out = run_cli(&args(cmd)).expect("campaign completes");
+        assert!(out.contains("1 rejected"), "{out}");
+        assert!(out.contains("analysis-rejected"), "{out}");
+        assert!(
+            out.contains("[shelf=2]"),
+            "label carries the override: {out}"
+        );
+        // Opting out lets the run reach the simulator.
+        let out = run_cli(&args(&format!("{cmd} --no-preflight"))).expect("ok");
+        assert!(out.contains("0 rejected"), "{out}");
+        // Malformed and unknown overrides are argument errors.
+        let e = run_cli(&args("campaign --mix gcc --override shelf")).unwrap_err();
+        assert!(e.0.contains("key=value"), "{}", e.0);
+        let e = run_cli(&args("campaign --mix gcc --override warp=9")).unwrap_err();
+        assert!(e.0.contains("unknown config key"), "{}", e.0);
     }
 
     #[test]

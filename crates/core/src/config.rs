@@ -206,6 +206,23 @@ impl CoreConfig {
         }
     }
 
+    /// Number of functional units in the pool that executes `kind`
+    /// (config introspection for the static-analysis passes).
+    pub fn fu_count(&self, kind: shelfsim_isa::FuKind) -> usize {
+        match kind {
+            shelfsim_isa::FuKind::IntAlu => self.fu_int_alu,
+            shelfsim_isa::FuKind::IntMulDiv => self.fu_int_muldiv,
+            shelfsim_isa::FuKind::Fp => self.fu_fp,
+            shelfsim_isa::FuKind::MemPort => self.fu_mem_ports,
+        }
+    }
+
+    /// Total functional units across all pools: a hard cap on sustained
+    /// issue throughput regardless of width.
+    pub fn fu_total(&self) -> usize {
+        self.fu_int_alu + self.fu_int_muldiv + self.fu_fp + self.fu_mem_ports
+    }
+
     /// Per-thread front-end buffer capacity (fetch pipe), partitioned.
     pub fn frontend_per_thread(&self) -> usize {
         ((self.fetch_to_dispatch as usize * self.fetch_width) / self.threads).max(self.fetch_width)

@@ -39,8 +39,8 @@ pub use counters::{Counters, StallCounters};
 pub use inst::{InstId, Slab, Slot, Stage, Steer};
 pub use pipeline::{CommitRecord, Core, ThreadOccupancy};
 pub use sim::{
-    Completion, DeadlockReport, RunMeta, RunResult, SimError, Simulation, ThreadResult,
-    UnknownBenchmark, Watchdog,
+    thread_program_seed, Completion, DeadlockReport, RunMeta, RunResult, SimError, Simulation,
+    ThreadResult, UnknownBenchmark, Watchdog,
 };
 pub use steer::{OracleSteer, PracticalSteer};
 // Re-export the observability types so downstream users of the core don't

@@ -238,6 +238,14 @@ pub struct Simulation {
     stalls: Vec<(u64, u64)>,
 }
 
+/// The program-build seed [`Simulation::new`] derives for hardware thread
+/// `thread` from the run seed. Exposed so static analysis (campaign
+/// pre-flight) can reconstruct the *exact* per-thread programs a run will
+/// execute without building the simulation.
+pub fn thread_program_seed(seed: u64, thread: usize) -> u64 {
+    seed ^ (thread as u64) << 8
+}
+
 /// Internal watchdog bookkeeping for the `try_` run loops.
 struct WatchdogState {
     window: u64,
@@ -262,7 +270,7 @@ impl Simulation {
         let traces: Vec<TraceSource> = profiles
             .iter()
             .enumerate()
-            .map(|(t, p)| TraceSource::new(p.build_program(seed ^ (t as u64) << 8), t))
+            .map(|(t, p)| TraceSource::new(p.build_program(thread_program_seed(seed, t)), t))
             .collect();
         let mut core = Core::new(cfg, traces);
         core.warm_caches();

@@ -27,8 +27,10 @@
 //! * [`core`] — the cycle-level pipeline and the [`Simulation`] driver;
 //! * [`energy`] — the McPAT-style energy/area model;
 //! * [`stats`] — STP, weighted CDFs, and aggregation helpers;
-//! * [`analyze`] — static lints for kernel programs and core configs, plus
-//!   the feature-gated dynamic invariant sanitizer (`--features sanitize`);
+//! * [`analyze`] — the static-analysis framework: CFG + worklist dataflow
+//!   passes, kernel/config lints, static IPC upper bounds, resource-adequacy
+//!   proofs, and the campaign [`preflight`] bundle (the feature-gated
+//!   dynamic invariant sanitizer rides in `--features sanitize`);
 //! * [`campaign`] — the fault-tolerant sweep runner (per-run isolation,
 //!   forward-progress watchdog, retry escalation, resumable journals,
 //!   deterministic fault injection);
@@ -61,7 +63,10 @@ pub use shelfsim_trace as trace;
 pub use shelfsim_uarch as uarch;
 pub use shelfsim_workload as workload;
 
-pub use shelfsim_analyze::{Diagnostic, Report, Severity};
+pub use shelfsim_analyze::{
+    aggregate_bound, apply_override, check_adequacy, ipc_bound, preflight, Diagnostic,
+    IpcBoundReport, Report, Severity,
+};
 pub use shelfsim_campaign::{
     run_campaign, CampaignReport, CampaignSpec, FaultKind, FaultMix, FaultPlan, RunSpec,
 };

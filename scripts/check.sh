@@ -15,8 +15,13 @@ echo "== tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
-echo "== shelfsim lint kernels/*.s"
-cargo run --release -p shelfsim-cli -- lint kernels/*.s
+echo "== shelfsim lint kernels/*.s (deny warnings)"
+cargo run --release -p shelfsim-cli -- lint --deny-warnings kernels/*.s
+
+echo "== analyze smoke: static IPC bounds on the shipped kernels"
+out="$(cargo run --release -q -p shelfsim-cli -- analyze --bounds --design base64 kernels/*.s)"
+echo "$out" | grep -q "static IPC bounds" \
+  || { echo "FAIL: analyze --bounds should print a bound table"; echo "$out"; exit 1; }
 
 echo "== sanitizer smoke: freelist audits under --features sanitize"
 cargo test -q -p shelfsim-uarch --features sanitize
@@ -45,6 +50,16 @@ echo "$out2" | head -1
 echo "$out2" | grep -q "4 resumed from journal" \
   || { echo "FAIL: second invocation should resume all 4 runs"; echo "$out2"; exit 1; }
 rm -f "$journal"
+
+echo "== preflight smoke: starved shelf must be rejected before simulating"
+out="$(cargo run --release -q -p shelfsim-cli -- campaign \
+  --designs shelf-inorder --mix gcc,mcf --override shelf=2 \
+  --warmup 500 --measure 3000)"
+echo "$out" | head -1
+echo "$out" | grep -q "1 rejected" \
+  || { echo "FAIL: expected the starved run to be rejected"; echo "$out"; exit 1; }
+echo "$out" | grep -q "analysis-rejected" \
+  || { echo "FAIL: taxonomy should carry analysis-rejected"; echo "$out"; exit 1; }
 
 echo "== golden determinism suite (bit-identical counters, journal bytes)"
 cargo test -q -p shelfsim --test golden_determinism

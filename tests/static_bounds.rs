@@ -1,0 +1,129 @@
+//! Soundness of the static IPC bounds and the campaign pre-flight: the
+//! simulator must NEVER commit faster than `shelfsim analyze --bounds`
+//! predicts, on any kernel or seeded suite mix, and a provably starved
+//! configuration must be rejected before a single cycle is simulated.
+
+use shelfsim::analyze::{aggregate_bound, check_adequacy, design_by_name, ipc_bound};
+use shelfsim::campaign::{CampaignSpec, FailureKind, RunStatus};
+use shelfsim::core::thread_program_seed;
+use shelfsim::workload::{asm, kernels, suite, TraceSource};
+use shelfsim::{Core, CoreConfig, Simulation};
+
+/// Measurement slack: the bound is exact in the limit, but a finite window
+/// can catch the tail of a warm-up backlog draining at commit width.
+fn within_bound(measured: f64, bound: f64) -> bool {
+    measured <= bound * 1.01 + 0.02
+}
+
+/// Measured committed IPC of `program` on `cfg`, single-threaded, using
+/// the same warm-up discipline as the CLI `asm` subcommand.
+fn measure_kernel(cfg: CoreConfig, program: &shelfsim::workload::program::Program) -> f64 {
+    let measure = 20_000u64;
+    let mut core = Core::new(cfg, vec![TraceSource::new(program.clone(), 0)]);
+    core.warm_caches();
+    core.warm_functional(20_000);
+    for _ in 0..2_000 {
+        core.tick();
+    }
+    let before = core.committed(0);
+    for _ in 0..measure {
+        core.tick();
+    }
+    (core.committed(0) - before) as f64 / measure as f64
+}
+
+/// Every kernel in the library, on every evaluated single-thread design:
+/// the measured committed IPC must respect the static upper bound.
+#[test]
+fn kernels_never_exceed_their_static_bound() {
+    for design in ["base64", "base128", "shelf-opt"] {
+        let cfg = design_by_name(design, 1).expect("known design");
+        for k in kernels::all() {
+            let program = k.assemble().expect("library kernels assemble");
+            let bound = ipc_bound(&program, &cfg).bound;
+            let measured = measure_kernel(cfg.clone(), &program);
+            assert!(
+                within_bound(measured, bound),
+                "{design}/{}: measured {measured:.3} exceeds static bound {bound:.3}",
+                k.name
+            );
+        }
+    }
+}
+
+/// Seeded synthetic suite programs, single- and 4-thread SMT: the measured
+/// aggregate IPC must respect the aggregate of the per-thread bounds.
+#[test]
+fn suite_mixes_never_exceed_the_aggregate_bound() {
+    let mixes: [&[&str]; 2] = [&["gcc"], &["gcc", "mcf", "hmmer", "lbm"]];
+    for seed in [7u64, 23] {
+        for names in mixes {
+            for design in ["base64", "shelf-opt"] {
+                let cfg = design_by_name(design, names.len()).expect("known design");
+                let reports: Vec<_> = names
+                    .iter()
+                    .enumerate()
+                    .map(|(t, n)| {
+                        let p = suite::by_name(n)
+                            .expect("suite bench")
+                            .build_program(thread_program_seed(seed, t));
+                        ipc_bound(&p, &cfg)
+                    })
+                    .collect();
+                let bound = aggregate_bound(&reports, &cfg);
+                let mut sim = Simulation::from_names(cfg, names, seed).expect("suite benchmarks");
+                let r = sim.run(2_000, 10_000);
+                assert!(
+                    within_bound(r.ipc(), bound),
+                    "{design}/{}/seed {seed}: measured {:.3} exceeds bound {bound:.3}",
+                    names.join("+"),
+                    r.ipc()
+                );
+            }
+        }
+    }
+}
+
+/// The adequacy prover pins its verdict to source: a starved shelf is
+/// reported as an SR001 error whose span points into the kernel file.
+#[test]
+fn starved_shelf_gets_a_spanned_sr001() {
+    let k = kernels::by_name("reduce").expect("in library");
+    let (program, lines) = asm::assemble_with_lines(k.source).expect("valid kernel");
+    let mut cfg = design_by_name("shelf-inorder", 2).expect("known design");
+    cfg.shelf_entries = 2; // 1 entry per thread < the fadd dependence run
+    let diags = check_adequacy(&program, &cfg, Some(("reduce.s", &lines)));
+    let d = diags
+        .iter()
+        .find(|d| d.code == "SR001")
+        .expect("starvation proven");
+    assert_eq!(d.severity, shelfsim::Severity::Error);
+    let span = d.span.as_ref().expect("verdict carries a source span");
+    assert_eq!(span.file, "reduce.s");
+    assert!(span.line > 0);
+}
+
+/// End-to-end: the campaign pre-flight rejects an under-provisioned config
+/// with zero attempts consumed — no cycle of it is ever simulated.
+#[test]
+fn campaign_rejects_under_provisioned_config_before_simulation() {
+    let mut runs = CampaignSpec::matrix(
+        &["shelf-inorder".to_owned()],
+        &[vec!["gcc".to_owned(), "mcf".to_owned()]],
+        7,
+        200,
+        1_000,
+    );
+    runs[0].overrides = vec![("shelf".to_owned(), "2".to_owned())];
+    let report = shelfsim::run_campaign(&CampaignSpec::new(runs)).expect("campaign");
+    let r = &report.records[0];
+    assert_eq!(r.status, RunStatus::Rejected);
+    assert_eq!(r.attempts, 0, "rejected before any attempt");
+    assert!(r.outcome.is_none());
+    assert_eq!(r.failures[0].kind, FailureKind::AnalysisRejected);
+    assert!(
+        r.failures[0].panic_msg.contains("SR001"),
+        "rejection names its proof: {}",
+        r.failures[0].panic_msg
+    );
+}
