@@ -148,6 +148,10 @@ pub struct JournalEntry {
     pub error: String,
     /// Failure message of the last failed attempt (empty when clean).
     pub message: String,
+    /// Validation-tier outcome: `clean` when the run lockstep-validated
+    /// against the functional reference, empty when the tier was off (also
+    /// the value restored from journals written before the tier existed).
+    pub validated: String,
 }
 
 impl JournalEntry {
@@ -157,7 +161,7 @@ impl JournalEntry {
             concat!(
                 r#"{{"key":"{}","label":"{}","design":"{}","threads":{},"seed":{},"#,
                 r#""status":"{}","attempts":{},"ipc":{:.6},"cycles":{},"committed":{},"#,
-                r#""completion":"{}","error":"{}","message":"{}"}}"#
+                r#""completion":"{}","error":"{}","message":"{}","validated":"{}"}}"#
             ),
             json_escape(&self.key),
             json_escape(&self.label),
@@ -172,6 +176,7 @@ impl JournalEntry {
             json_escape(&self.completion),
             json_escape(&self.error),
             json_escape(&self.message),
+            json_escape(&self.validated),
         )
     }
 
@@ -193,6 +198,7 @@ impl JournalEntry {
             completion: get("completion").unwrap_or_default(),
             error: get("error").unwrap_or_default(),
             message: get("message").unwrap_or_default(),
+            validated: get("validated").unwrap_or_default(),
         })
     }
 }
@@ -293,7 +299,18 @@ mod tests {
             completion: "fixed-window".to_owned(),
             error: String::new(),
             message: "quote \" backslash \\ newline \n done".to_owned(),
+            validated: "clean".to_owned(),
         }
+    }
+
+    #[test]
+    fn entries_without_a_validated_field_still_load() {
+        // Journals written before the validation tier existed lack the
+        // field; they must keep resuming (empty = tier was off).
+        let line = r#"{"key":"old","label":"l","design":"base64","threads":2,"seed":7,"status":"ok","attempts":1,"ipc":1.0,"cycles":10,"committed":10,"completion":"fixed-window","error":"","message":""}"#;
+        let map = parse_flat_json(line).expect("parses");
+        let e = JournalEntry::from_map(&map).expect("rebuilds");
+        assert_eq!(e.validated, "");
     }
 
     #[test]

@@ -49,6 +49,10 @@ pub enum FailureKind {
     /// (config-lint, program-lint, or resource-adequacy errors) before
     /// a single cycle was simulated.
     AnalysisRejected,
+    /// The validation tier's lockstep comparison against the functional
+    /// reference diverged (or violated a harness invariant). Deterministic,
+    /// so retrying cannot help — the run quarantines immediately.
+    Divergence,
 }
 
 impl FailureKind {
@@ -59,6 +63,7 @@ impl FailureKind {
             FailureKind::Deadlock => "deadlock",
             FailureKind::Config => "config",
             FailureKind::AnalysisRejected => "analysis-rejected",
+            FailureKind::Divergence => "divergence",
         }
     }
 }
@@ -115,6 +120,9 @@ pub struct RunRecord {
     /// True when the record was restored from the journal instead of
     /// executed (resume).
     pub resumed: bool,
+    /// True when the validation tier ran and the run validated clean
+    /// against the functional reference.
+    pub validated: bool,
 }
 
 impl RunRecord {
@@ -142,6 +150,7 @@ impl RunRecord {
                     "deadlock" => FailureKind::Deadlock,
                     "config" => FailureKind::Config,
                     "analysis-rejected" => FailureKind::AnalysisRejected,
+                    "divergence" => FailureKind::Divergence,
                     _ => FailureKind::Panic,
                 },
                 panic_msg: entry.message.clone(),
@@ -156,6 +165,7 @@ impl RunRecord {
             failures,
             outcome,
             resumed: true,
+            validated: entry.validated == "clean",
         }
     }
 
@@ -178,6 +188,11 @@ impl RunRecord {
                 .map_or(String::new(), |o| o.completion.as_str().to_owned()),
             error: last_failure.map_or(String::new(), |f| f.kind.as_str().to_owned()),
             message: last_failure.map_or(String::new(), |f| f.panic_msg.clone()),
+            validated: if self.validated {
+                "clean".to_owned()
+            } else {
+                String::new()
+            },
         }
     }
 }
@@ -239,6 +254,48 @@ impl Drop for QuietPanics {
     }
 }
 
+/// Validation-tier budget: committed instructions per thread compared in
+/// lockstep against the functional reference before the timing run.
+const VALIDATE_COMMITS: u64 = 1_000;
+/// Validation-tier cycle ceiling (the harness reports a stuck core beyond
+/// this).
+const VALIDATE_MAX_CYCLES: u64 = 200_000;
+
+/// The validation tier: lockstep-validates the exact config and per-thread
+/// programs this run would simulate. Returns the failure on divergence or
+/// an invariant violation (both deterministic — the caller skips retries).
+fn validate_run(
+    spec: &RunSpec,
+    cfg: &shelfsim_core::CoreConfig,
+    fail: &impl Fn(FailureKind, Option<u64>, String) -> RunFailure,
+) -> Result<(), RunFailure> {
+    let mut programs = Vec::with_capacity(spec.mix.len());
+    for (t, name) in spec.mix.iter().enumerate() {
+        let profile = shelfsim_workload::suite::by_name(name).ok_or_else(|| {
+            fail(
+                FailureKind::Config,
+                None,
+                format!("unknown benchmark `{name}`"),
+            )
+        })?;
+        programs.push(profile.build_program(shelfsim_core::thread_program_seed(spec.seed, t)));
+    }
+    let lcfg = shelfsim_validate::LockstepConfig {
+        commits_per_thread: VALIDATE_COMMITS,
+        max_cycles: VALIDATE_MAX_CYCLES,
+        ..Default::default()
+    };
+    match shelfsim_validate::run_lockstep(cfg, &programs, &lcfg) {
+        shelfsim_validate::Verdict::Clean(_) => Ok(()),
+        shelfsim_validate::Verdict::Diverged(d) => {
+            Err(fail(FailureKind::Divergence, Some(d.cycle), d.to_string()))
+        }
+        shelfsim_validate::Verdict::Invariant(v) => {
+            Err(fail(FailureKind::Divergence, None, v.to_string()))
+        }
+    }
+}
+
 /// Executes one attempt of one run inside the isolation boundary.
 fn run_attempt(
     spec: &RunSpec,
@@ -246,6 +303,7 @@ fn run_attempt(
     fault: Option<FaultKind>,
     attempt: u32,
     trace_dir: Option<&std::path::Path>,
+    validate: bool,
 ) -> Result<RunOutcome, RunFailure> {
     let diagnostics = attempt > 0;
     let fail = |kind: FailureKind, cycle: Option<u64>, msg: String| RunFailure {
@@ -269,6 +327,11 @@ fn run_attempt(
         let cfg = spec
             .resolved_config()
             .map_err(|msg| fail(FailureKind::Config, None, msg))?;
+        if validate {
+            // Differential tier: the run's exact config and programs must
+            // track the functional reference before the timing run counts.
+            validate_run(spec, &cfg, &fail)?;
+        }
         let names: Vec<&str> = spec.mix.iter().map(String::as_str).collect();
         let mut sim = Simulation::from_names(cfg, &names, spec.seed)
             .map_err(|e| fail(FailureKind::Config, None, e.to_string()))?;
@@ -368,6 +431,7 @@ fn execute(spec: &RunSpec, campaign: &CampaignSpec) -> RunRecord {
                 }],
                 outcome: None,
                 resumed: false,
+                validated: false,
             };
         }
     }
@@ -381,6 +445,7 @@ fn execute(spec: &RunSpec, campaign: &CampaignSpec) -> RunRecord {
             fault,
             attempt,
             campaign.trace_dir.as_deref(),
+            campaign.validate,
         ) {
             Ok(outcome) => {
                 return RunRecord {
@@ -390,12 +455,16 @@ fn execute(spec: &RunSpec, campaign: &CampaignSpec) -> RunRecord {
                     failures,
                     outcome: Some(outcome),
                     resumed: false,
+                    validated: campaign.validate,
                 }
             }
             Err(f) => {
-                let unbuildable = f.kind == FailureKind::Config;
+                // Deterministic failures (unbuildable config, validation
+                // divergence) cannot be fixed by retrying.
+                let deterministic =
+                    f.kind == FailureKind::Config || f.kind == FailureKind::Divergence;
                 failures.push(f);
-                if unbuildable {
+                if deterministic {
                     break;
                 }
             }
@@ -408,6 +477,7 @@ fn execute(spec: &RunSpec, campaign: &CampaignSpec) -> RunRecord {
         failures,
         outcome: None,
         resumed: false,
+        validated: false,
     }
 }
 

@@ -128,6 +128,12 @@ pub struct CampaignSpec {
     /// whose analysis reports errors are rejected without spending a cycle
     /// and journaled with an `analysis-rejected` taxonomy entry.
     pub preflight: bool,
+    /// Run the differential validation tier: every attempt first
+    /// lockstep-validates its exact config and programs against the
+    /// in-order functional reference; a divergence quarantines the run
+    /// immediately (deterministic — no retry) with a `divergence` taxonomy
+    /// entry, and clean runs journal `validated: clean`.
+    pub validate: bool,
 }
 
 impl CampaignSpec {
@@ -144,12 +150,19 @@ impl CampaignSpec {
             trace_dir: None,
             quiet_panics: true,
             preflight: true,
+            validate: false,
         }
     }
 
     /// Enables or disables the static-analysis pre-flight stage.
     pub fn with_preflight(mut self, enabled: bool) -> Self {
         self.preflight = enabled;
+        self
+    }
+
+    /// Enables or disables the differential validation tier.
+    pub fn with_validate(mut self, enabled: bool) -> Self {
+        self.validate = enabled;
         self
     }
 

@@ -289,6 +289,33 @@ fn preflight_rejects_starved_shelf_and_resumes_the_rejection() {
     assert_eq!(unchecked.records[0].status, RunStatus::Ok);
 }
 
+/// The differential validation tier lockstep-checks every run against the
+/// in-order functional reference before timing it; clean runs journal
+/// `validated:clean` and the outcome survives resume.
+#[test]
+fn validate_tier_marks_clean_runs_and_survives_resume() {
+    let journal = temp_journal("validated.jsonl");
+    let spec = CampaignSpec::new(matrix()[..2].to_vec())
+        .with_watchdog(Some(5_000))
+        .with_journal(&journal)
+        .with_validate(true);
+    let report = run_campaign(&spec).expect("campaign");
+    assert_eq!(report.completed(), 2);
+    assert!(
+        report.records.iter().all(|r| r.validated),
+        "every run lockstep-validated clean"
+    );
+    let text = std::fs::read_to_string(&journal).expect("journal");
+    assert_eq!(text.matches("\"validated\":\"clean\"").count(), 2);
+
+    let resumed = run_campaign(&spec).expect("resume");
+    assert_eq!(resumed.resumed, 2);
+    assert!(
+        resumed.records.iter().all(|r| r.validated),
+        "validation outcome survives resume"
+    );
+}
+
 /// Reports render both human- and machine-readable summaries.
 #[test]
 fn report_renders_text_and_json() {

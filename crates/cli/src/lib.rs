@@ -16,20 +16,56 @@
 use shelfsim::{balanced_random_mixes, suite, CoreConfig, EnergyModel, MemoryModel, Simulation};
 use std::fmt::Write as _;
 
-/// A parse or execution error with a user-facing message.
+/// Process exit codes, one per CLI failure class. `main` maps a
+/// [`CliError`] to its `code`, so scripts can tell a mistyped flag from a
+/// real differential-validation failure without parsing stderr.
+pub mod exit_codes {
+    /// Simulation, configuration, or I/O failure.
+    pub const GENERAL: u8 = 1;
+    /// Bad command line: unknown command/option or malformed flag value.
+    pub const USAGE: u8 = 2;
+    /// `validate`: the core's commit stream diverged from the functional
+    /// reference.
+    pub const DIVERGENCE: u8 = 3;
+    /// `validate`: a cross-cutting invariant (commit counts, stall
+    /// attribution, sweep stream identity) failed.
+    pub const INVARIANT: u8 = 4;
+}
+
+/// A parse or execution error with a user-facing message and the process
+/// exit code its class maps to.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CliError(pub String);
+pub struct CliError {
+    /// User-facing message.
+    pub message: String,
+    /// Process exit code (see [`exit_codes`]).
+    pub code: u8,
+}
+
+impl CliError {
+    fn new(message: impl Into<String>, code: u8) -> Self {
+        CliError {
+            message: message.into(),
+            code,
+        }
+    }
+}
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.message)
     }
 }
 
 impl std::error::Error for CliError {}
 
 fn err(msg: impl Into<String>) -> CliError {
-    CliError(msg.into())
+    CliError::new(msg, exit_codes::GENERAL)
+}
+
+/// A usage error: bad command line rather than a failed run.
+fn uerr(msg: impl Into<String>) -> CliError {
+    CliError::new(msg, exit_codes::USAGE)
 }
 
 /// Parses a numeric flag value, echoing the offending text on failure
@@ -37,7 +73,7 @@ fn err(msg: impl Into<String>) -> CliError {
 fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, CliError> {
     value
         .parse()
-        .map_err(|_| err(format!("{flag}: invalid number `{value}`")))
+        .map_err(|_| uerr(format!("{flag}: invalid number `{value}`")))
 }
 
 /// Parsed common options.
@@ -89,7 +125,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         let mut val = |name: &str| {
             it.next()
                 .cloned()
-                .ok_or_else(|| err(format!("{name} requires a value")))
+                .ok_or_else(|| uerr(format!("{name} requires a value")))
         };
         match a.as_str() {
             "--design" => o.design = val("--design")?,
@@ -106,7 +142,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--sample" => o.sample = parse_num("--sample", &val("--sample")?)?,
             "--jsonl" => o.jsonl = Some(val("--jsonl")?),
             "--chrome" => o.chrome = Some(val("--chrome")?),
-            other => return Err(err(format!("unknown option `{other}`"))),
+            other => return Err(uerr(format!("unknown option `{other}`"))),
         }
     }
     Ok(o)
@@ -119,9 +155,10 @@ pub fn design_config(name: &str, threads: usize) -> Result<CoreConfig, CliError>
     shelfsim::analyze::design_by_name(name, threads).ok_or_else(|| unknown_design(name))
 }
 
-/// The standard "unknown design" error, listing every valid name.
+/// The standard "unknown design" error, listing every valid name. A bad
+/// `--design` value is a usage error, like any other malformed flag.
 fn unknown_design(name: &str) -> CliError {
-    err(format!(
+    uerr(format!(
         "unknown design `{name}` (expected one of: {})",
         shelfsim::analyze::DESIGN_NAMES.join(", ")
     ))
@@ -225,7 +262,7 @@ fn run_one(
 pub fn run_cli(args: &[String]) -> Result<String, CliError> {
     let mut out = String::new();
     let Some(cmd) = args.first() else {
-        return Err(err(USAGE));
+        return Err(uerr(USAGE));
     };
     match cmd.as_str() {
         "kernels" => {
@@ -256,12 +293,12 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             while let Some(a) = it.next() {
                 let v = it
                     .next()
-                    .ok_or_else(|| err(format!("{a} requires a value")))?;
+                    .ok_or_else(|| uerr(format!("{a} requires a value")))?;
                 match a.as_str() {
                     "--threads" => threads = parse_num("--threads", v)?,
                     "--count" => count = parse_num("--count", v)?,
                     "--seed" => seed = parse_num("--seed", v)?,
-                    other => return Err(err(format!("unknown option `{other}`"))),
+                    other => return Err(uerr(format!("unknown option `{other}`"))),
                 }
             }
             let names = suite::names();
@@ -275,7 +312,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         "run" => {
             let o = parse_options(&args[1..])?;
             if o.mix.is_empty() {
-                return Err(err("run requires --mix bench1,bench2,..."));
+                return Err(uerr("run requires --mix bench1,bench2,..."));
             }
             let mut cfg = design_config(&o.design, o.mix.len())?;
             if o.tso {
@@ -286,7 +323,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         "compare" => {
             let o = parse_options(&args[1..])?;
             if o.mix.is_empty() {
-                return Err(err("compare requires --mix bench1,bench2,..."));
+                return Err(uerr("compare requires --mix bench1,bench2,..."));
             }
             // The first design (base64) is the comparison baseline; a
             // baseline that committed nothing renders its deltas as `n/a`
@@ -331,11 +368,11 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                     "--param" => {
                         param = it
                             .next()
-                            .ok_or_else(|| err("--param needs a value"))?
+                            .ok_or_else(|| uerr("--param needs a value"))?
                             .clone()
                     }
                     "--values" => {
-                        let v = it.next().ok_or_else(|| err("--values needs a value"))?;
+                        let v = it.next().ok_or_else(|| uerr("--values needs a value"))?;
                         values = v
                             .split(',')
                             .map(|x| parse_num("--values", x))
@@ -512,7 +549,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         "trace" => {
             let o = parse_options(&args[1..])?;
             if o.mix.is_empty() {
-                return Err(err("trace requires --mix bench1,bench2,..."));
+                return Err(uerr("trace requires --mix bench1,bench2,..."));
             }
             let mut cfg = design_config(&o.design, o.mix.len())?;
             if o.tso {
@@ -594,6 +631,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             let mut fault_seed = 0u64;
             let mut json = false;
             let mut preflight = true;
+            let mut validate = false;
             let mut overrides: Vec<(String, String)> = vec![];
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
@@ -605,9 +643,13 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                     preflight = false;
                     continue;
                 }
+                if a == "--validate" {
+                    validate = true;
+                    continue;
+                }
                 let v = it
                     .next()
-                    .ok_or_else(|| err(format!("{a} requires a value")))?;
+                    .ok_or_else(|| uerr(format!("{a} requires a value")))?;
                 match a.as_str() {
                     "--designs" => {
                         designs = v.split(',').map(str::to_owned).collect();
@@ -644,7 +686,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                         })?;
                         overrides.push((k.to_owned(), val.to_owned()));
                     }
-                    other => return Err(err(format!("unknown option `{other}`"))),
+                    other => return Err(uerr(format!("unknown option `{other}`"))),
                 }
             }
             let mixes: Vec<Vec<String>> = if explicit_mixes.is_empty() {
@@ -683,7 +725,8 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 .with_watchdog(watchdog)
                 .with_max_attempts(attempts)
                 .with_workers(workers)
-                .with_preflight(preflight);
+                .with_preflight(preflight)
+                .with_validate(validate);
             if let Some(path) = journal {
                 spec = spec.with_journal(path);
             }
@@ -718,23 +761,24 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                     "--design" => {
                         design = it
                             .next()
-                            .ok_or_else(|| err("--design requires a value"))?
+                            .ok_or_else(|| uerr("--design requires a value"))?
                             .clone()
                     }
                     "--threads" => {
                         threads = parse_num(
                             "--threads",
-                            it.next().ok_or_else(|| err("--threads requires a value"))?,
+                            it.next()
+                                .ok_or_else(|| uerr("--threads requires a value"))?,
                         )?
                     }
                     "--seed" => {
                         seed = parse_num(
                             "--seed",
-                            it.next().ok_or_else(|| err("--seed requires a value"))?,
+                            it.next().ok_or_else(|| uerr("--seed requires a value"))?,
                         )?
                     }
                     other if other.starts_with("--") => {
-                        return Err(err(format!("unknown option `{other}`")))
+                        return Err(uerr(format!("unknown option `{other}`")))
                     }
                     target => targets.push(target.to_owned()),
                 }
@@ -839,7 +883,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 text
             };
             if report.has_errors() {
-                return Err(CliError(rendered));
+                return Err(err(rendered));
             }
             out.push_str(&rendered);
         }
@@ -854,7 +898,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 match a.as_str() {
                     "--deny-warnings" => deny_warnings = true,
                     "--explain" => {
-                        let code = it.next().ok_or_else(|| err("--explain requires a code"))?;
+                        let code = it.next().ok_or_else(|| uerr("--explain requires a code"))?;
                         let info = shelfsim::analyze::code_info(&code.to_uppercase()).ok_or_else(
                             || {
                                 err(format!(
@@ -873,7 +917,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                         return Ok(out);
                     }
                     "--format" => {
-                        let v = it.next().ok_or_else(|| err("--format requires a value"))?;
+                        let v = it.next().ok_or_else(|| uerr("--format requires a value"))?;
                         match v.as_str() {
                             "json" => format_json = true,
                             "text" => format_json = false,
@@ -887,18 +931,19 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                     "--design" => {
                         design = Some(
                             it.next()
-                                .ok_or_else(|| err("--design requires a value"))?
+                                .ok_or_else(|| uerr("--design requires a value"))?
                                 .clone(),
                         )
                     }
                     "--threads" => {
                         threads = parse_num(
                             "--threads",
-                            it.next().ok_or_else(|| err("--threads requires a value"))?,
+                            it.next()
+                                .ok_or_else(|| uerr("--threads requires a value"))?,
                         )?
                     }
                     other if other.starts_with("--") => {
-                        return Err(err(format!("unknown option `{other}`")))
+                        return Err(uerr(format!("unknown option `{other}`")))
                     }
                     file => files.push(file.to_owned()),
                 }
@@ -940,7 +985,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                     .iter()
                     .any(|d| d.severity == shelfsim::Severity::Warning);
             if report.has_errors() || denied_warning {
-                return Err(CliError(rendered));
+                return Err(err(rendered));
             }
             out.push_str(&rendered);
         }
@@ -955,15 +1000,18 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--measure" => {
-                        let v = it.next().ok_or_else(|| err("--measure needs a value"))?;
+                        let v = it.next().ok_or_else(|| uerr("--measure needs a value"))?;
                         measure = parse_num::<u64>("--measure", v)?;
                     }
                     "--seed" => {
-                        let v = it.next().ok_or_else(|| err("--seed needs a value"))?;
+                        let v = it.next().ok_or_else(|| uerr("--seed needs a value"))?;
                         seed = parse_num::<u64>("--seed", v)?;
                     }
                     "--out" => {
-                        out_path = it.next().ok_or_else(|| err("--out needs a value"))?.clone();
+                        out_path = it
+                            .next()
+                            .ok_or_else(|| uerr("--out needs a value"))?
+                            .clone();
                     }
                     other => return Err(err(format!("unknown bench option `{other}`"))),
                 }
@@ -977,10 +1025,231 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 writeln!(out, "wrote {out_path}").expect("write");
             }
         }
+        "validate" => return cmd_validate(&args[1..]),
         "help" | "--help" | "-h" => out.push_str(USAGE),
-        other => return Err(err(format!("unknown command `{other}`\n{USAGE}"))),
+        other => return Err(uerr(format!("unknown command `{other}`\n{USAGE}"))),
     }
     Ok(out)
+}
+
+/// Options for `shelfsim validate`.
+struct ValidateOptions {
+    designs: Vec<String>,
+    threads: usize,
+    kernels: Vec<String>,
+    suite_mixes: usize,
+    generated: usize,
+    seed: u64,
+    commits: u64,
+    max_cycles: u64,
+    warmup: u64,
+    sweep: bool,
+    json: bool,
+    shrink_dir: Option<String>,
+    #[cfg(feature = "chaos")]
+    chaos: Option<shelfsim::core::ChaosPlan>,
+}
+
+fn parse_validate_options(args: &[String]) -> Result<ValidateOptions, CliError> {
+    let mut o = ValidateOptions {
+        designs: vec!["base64".to_owned(), "shelf-opt".to_owned()],
+        threads: 2,
+        kernels: vec!["all".to_owned()],
+        suite_mixes: 0,
+        generated: 0,
+        seed: 7,
+        commits: 2_000,
+        max_cycles: 400_000,
+        warmup: 1_000,
+        sweep: false,
+        json: false,
+        shrink_dir: None,
+        #[cfg(feature = "chaos")]
+        chaos: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| uerr(format!("{name} requires a value")))
+        };
+        match a.as_str() {
+            "--designs" => o.designs = val("--designs")?.split(',').map(str::to_owned).collect(),
+            "--threads" => o.threads = parse_num("--threads", &val("--threads")?)?,
+            "--kernels" => o.kernels = val("--kernels")?.split(',').map(str::to_owned).collect(),
+            "--suite" => o.suite_mixes = parse_num("--suite", &val("--suite")?)?,
+            "--generated" => o.generated = parse_num("--generated", &val("--generated")?)?,
+            "--seed" => o.seed = parse_num("--seed", &val("--seed")?)?,
+            "--commits" => o.commits = parse_num("--commits", &val("--commits")?)?,
+            "--max-cycles" => o.max_cycles = parse_num("--max-cycles", &val("--max-cycles")?)?,
+            "--warmup" => o.warmup = parse_num("--warmup", &val("--warmup")?)?,
+            "--sweep" => o.sweep = true,
+            "--json" => o.json = true,
+            "--shrink-dir" => o.shrink_dir = Some(val("--shrink-dir")?),
+            "--chaos" => {
+                let spec = val("--chaos")?;
+                #[cfg(feature = "chaos")]
+                {
+                    o.chaos = Some(parse_chaos_plan(&spec)?);
+                }
+                #[cfg(not(feature = "chaos"))]
+                {
+                    let _ = spec;
+                    return Err(uerr(
+                        "--chaos requires a chaos-enabled build \
+                         (cargo run --features chaos -- validate ...)",
+                    ));
+                }
+            }
+            other => return Err(uerr(format!("unknown option `{other}`"))),
+        }
+    }
+    if o.threads == 0 {
+        return Err(uerr("--threads: must be at least 1"));
+    }
+    if o.designs.len() == 1 && o.designs[0] == "all" {
+        o.designs = shelfsim::analyze::DESIGN_NAMES
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+    }
+    if o.kernels.len() == 1 && o.kernels[0] == "all" {
+        o.kernels = shelfsim::workload::kernels::all()
+            .iter()
+            .map(|k| k.name.to_owned())
+            .collect();
+    } else if o.kernels.len() == 1 && o.kernels[0] == "none" {
+        o.kernels.clear();
+    }
+    Ok(o)
+}
+
+/// Parses `KIND:TRIGGER` (e.g. `skip-writeback:100`) into a chaos plan.
+#[cfg(feature = "chaos")]
+fn parse_chaos_plan(spec: &str) -> Result<shelfsim::core::ChaosPlan, CliError> {
+    use shelfsim::core::{ChaosKind, ChaosPlan};
+    let (kind_s, trig_s) = spec
+        .split_once(':')
+        .ok_or_else(|| uerr(format!("--chaos: expected KIND:TRIGGER, got `{spec}`")))?;
+    let kind = ChaosKind::by_name(kind_s).ok_or_else(|| {
+        uerr(format!(
+            "--chaos: unknown mutation `{kind_s}` (expected one of: {})",
+            ChaosKind::ALL.map(|k| k.as_str()).join(", ")
+        ))
+    })?;
+    let trigger = parse_num("--chaos trigger", trig_s)?;
+    Ok(ChaosPlan { kind, trigger })
+}
+
+/// `shelfsim validate`: differential validation of the out-of-order core
+/// against the in-order functional reference. Returns the report on
+/// success; renders the same report into the error on divergence (exit 3)
+/// or invariant violation (exit 4).
+fn cmd_validate(args: &[String]) -> Result<String, CliError> {
+    use shelfsim::validate::{
+        render_json, render_text, run_lockstep, run_sweep, GenSpec, LockstepConfig, RunReport,
+        Verdict,
+    };
+    let o = parse_validate_options(args)?;
+    let lcfg = LockstepConfig {
+        commits_per_thread: o.commits,
+        max_cycles: o.max_cycles,
+        warmup_insts: o.warmup,
+        #[cfg(feature = "chaos")]
+        chaos: o.chaos,
+        ..LockstepConfig::default()
+    };
+
+    // Assemble the workload list: kernels, suite mixes, generated programs.
+    // A generated workload keeps its GenSpec so a divergence can be shrunk.
+    let mut workloads: Vec<(String, Vec<shelfsim::workload::Program>, Option<GenSpec>)> =
+        Vec::new();
+    for name in &o.kernels {
+        let k = shelfsim::workload::kernels::by_name(name)
+            .ok_or_else(|| err(format!("unknown kernel `{name}`")))?;
+        let p = k.assemble().map_err(|e| err(e.to_string()))?;
+        workloads.push((format!("kernel:{name}"), vec![p; o.threads], None));
+    }
+    if o.suite_mixes > 0 {
+        let names = suite::names();
+        for m in balanced_random_mixes(&names, o.threads, 28, o.seed)
+            .iter()
+            .take(o.suite_mixes)
+        {
+            let programs: Vec<_> = m
+                .benchmarks
+                .iter()
+                .enumerate()
+                .map(|(t, b)| {
+                    suite::by_name(b)
+                        .expect("mix benchmarks come from the suite")
+                        .build_program(shelfsim::core::thread_program_seed(o.seed, t))
+                })
+                .collect();
+            workloads.push((format!("suite:{}", m.label()), programs, None));
+        }
+    }
+    for i in 0..o.generated {
+        let spec = GenSpec::from_seed(o.seed.wrapping_add(i as u64));
+        let p = spec.build_program();
+        workloads.push((
+            format!("gen:{:#x}", spec.seed),
+            vec![p; o.threads],
+            Some(spec),
+        ));
+    }
+    if workloads.is_empty() {
+        return Err(uerr(
+            "validate: nothing to do (--kernels none with no --suite/--generated)",
+        ));
+    }
+
+    let mut runs: Vec<RunReport> = Vec::new();
+    for design in &o.designs {
+        let cfg = design_config(design, o.threads)?;
+        for (label, programs, spec) in &workloads {
+            let verdict = run_lockstep(&cfg, programs, &lcfg);
+            let sweep = (o.sweep && verdict.is_clean()).then(|| run_sweep(&cfg, programs, &lcfg));
+            // Divergent generated programs shrink to a minimal failing case
+            // which is persisted for regression if --shrink-dir is given.
+            let mut regression = None;
+            if let (Verdict::Diverged(d), Some(spec), Some(dir)) = (&verdict, spec, &o.shrink_dir) {
+                let min = shelfsim::validate::shrink_to_minimal(spec, |s| {
+                    !run_lockstep(&cfg, &vec![s.build_program(); o.threads], &lcfg).is_clean()
+                });
+                let path = shelfsim::validate::persist_regression(
+                    std::path::Path::new(dir),
+                    &min,
+                    &format!("{design} x{} {label}\n{d}", o.threads),
+                )
+                .map_err(|e| err(format!("cannot write regression case: {e}")))?;
+                regression = Some(path.display().to_string());
+            }
+            runs.push(RunReport {
+                design: design.clone(),
+                threads: o.threads,
+                workload: label.clone(),
+                verdict,
+                sweep,
+                regression,
+            });
+        }
+    }
+
+    let rendered = if o.json {
+        render_json(&runs)
+    } else {
+        render_text(&runs)
+    };
+    let t = shelfsim::validate::totals(&runs);
+    if t.diverged > 0 {
+        Err(CliError::new(rendered, exit_codes::DIVERGENCE))
+    } else if t.invariant > 0 {
+        Err(CliError::new(rendered, exit_codes::INVARIANT))
+    } else {
+        Ok(rendered)
+    }
 }
 
 /// Usage text.
@@ -1022,6 +1291,21 @@ USAGE:
                    resource-adequacy proofs against the design, and with
                    --bounds a sound static IPC upper-bound table plus the
                    aggregate SMT bound; errors exit nonzero)
+  shelfsim validate [--designs d1,d2|all] [--threads N] [--kernels k1,k2|all|none]
+                   [--suite N] [--generated N] [--seed N] [--commits N]
+                   [--max-cycles N] [--warmup N] [--sweep] [--json]
+                   [--shrink-dir DIR]
+                   (differential validation: the core's committed stream is
+                   compared in lockstep against an in-order functional
+                   reference over kernels, N suite mixes, and N generated
+                   programs; --sweep additionally perturbs one structure
+                   size at a time and asserts the streams stay identical;
+                   divergent generated programs shrink to a minimal case
+                   persisted under --shrink-dir. Exit codes: 0 clean,
+                   2 usage error, 3 divergence, 4 invariant violation.
+                   Chaos builds (--features chaos) accept
+                   --chaos KIND:TRIGGER to arm a seeded commit-path
+                   mutation the harness must then detect)
   shelfsim bench   [--measure N] [--seed N] [--out FILE]
                    (engine-throughput matrix `engine_micro`: designs x mixes,
                    reports wall seconds, simulated cycles/s, and committed
@@ -1033,7 +1317,7 @@ USAGE:
                    diagnosed failures in the diagnostics tier)
                    [--fault-panics N] [--fault-persistent-panics N]
                    [--fault-stalls N] [--fault-livelocks N] [--fault-seed N]
-                   [--override key=value ...] [--no-preflight]
+                   [--override key=value ...] [--no-preflight] [--validate]
                    (fault-tolerant design x mix sweep: per-run panic isolation,
                    forward-progress watchdog, retry escalation, quarantine, and
                    a resumable journal — re-invoking with the same --journal
@@ -1042,7 +1326,10 @@ USAGE:
                    provably misconfigured runs are rejected before simulating
                    a cycle and journaled as analysis-rejected; --no-preflight
                    opts out. --override tweaks the design point, e.g.
-                   --override shelf=8)
+                   --override shelf=8. --validate lockstep-checks each run
+                   against the in-order functional reference before timing it;
+                   a divergence quarantines the run with no retries and clean
+                   runs journal validated:clean)
 
 DESIGNS: base64, base128, shelf-cons, shelf-opt, shelf-oracle, shelf-inorder
 SWEEP PARAMS: shelf, rob, iq, lq, sq, rct-bits, plt-columns
@@ -1094,19 +1381,19 @@ mod tests {
     #[test]
     fn unknown_design_is_an_error() {
         let e = run_cli(&args("run --mix gcc --design warp-drive")).unwrap_err();
-        assert!(e.0.contains("unknown design"));
+        assert!(e.message.contains("unknown design"));
     }
 
     #[test]
     fn unknown_benchmark_is_an_error() {
         let e = run_cli(&args("run --mix notabench --warmup 100 --measure 100")).unwrap_err();
-        assert!(e.0.contains("notabench"));
+        assert!(e.message.contains("notabench"));
     }
 
     #[test]
     fn missing_command_shows_usage() {
         let e = run_cli(&[]).unwrap_err();
-        assert!(e.0.contains("USAGE"));
+        assert!(e.message.contains("USAGE"));
     }
 
     #[test]
@@ -1117,6 +1404,93 @@ mod tests {
         .expect("ok");
         assert!(out.contains("shelf = 16"));
         assert!(out.contains("shelf = 32"));
+    }
+
+    #[test]
+    fn validate_runs_clean_on_a_kernel() {
+        let out = run_cli(&args(
+            "validate --kernels daxpy --designs base64 --commits 300 --warmup 200",
+        ))
+        .expect("ok");
+        assert!(
+            out.starts_with("validate: 1 runs, 1 clean, 0 diverged"),
+            "{out}"
+        );
+        assert!(out.contains("kernel:daxpy"));
+    }
+
+    #[test]
+    fn validate_json_report_is_machine_readable() {
+        let out = run_cli(&args(
+            "validate --kernels daxpy --designs base64 --commits 300 --warmup 200 --json",
+        ))
+        .expect("ok");
+        assert!(
+            out.starts_with("{\"schema\":\"shelfsim-validate-v1\""),
+            "{out}"
+        );
+        assert!(out.contains("\"verdict\":\"clean\""));
+    }
+
+    #[test]
+    fn validate_usage_errors_echo_the_offending_value() {
+        let e = run_cli(&args("validate --commits banana")).unwrap_err();
+        assert!(e.message.contains("--commits"), "{}", e.message);
+        assert!(e.message.contains("`banana`"), "{}", e.message);
+        assert_eq!(e.code, exit_codes::USAGE);
+
+        let e = run_cli(&args("validate --frobnicate")).unwrap_err();
+        assert!(e.message.contains("--frobnicate"), "{}", e.message);
+        assert_eq!(e.code, exit_codes::USAGE);
+
+        let e = run_cli(&args("validate --kernels none")).unwrap_err();
+        assert!(e.message.contains("nothing to do"), "{}", e.message);
+        assert_eq!(e.code, exit_codes::USAGE);
+
+        let e = run_cli(&args("validate --designs warp-drive")).unwrap_err();
+        assert!(e.message.contains("unknown design"), "{}", e.message);
+        assert_eq!(e.code, exit_codes::USAGE);
+    }
+
+    #[test]
+    fn validate_unknown_kernel_is_a_general_error() {
+        let e = run_cli(&args("validate --kernels warpcore")).unwrap_err();
+        assert!(e.message.contains("warpcore"), "{}", e.message);
+        assert_eq!(e.code, exit_codes::GENERAL);
+    }
+
+    #[test]
+    fn failure_classes_map_to_distinct_exit_codes() {
+        // Usage: mistyped flag. General: a run that fails to build.
+        let usage = run_cli(&args("validate --commits nope")).unwrap_err();
+        let general = run_cli(&args("run --mix notabench")).unwrap_err();
+        assert_eq!(usage.code, exit_codes::USAGE);
+        assert_eq!(general.code, exit_codes::GENERAL);
+        assert_ne!(usage.code, general.code);
+        assert_ne!(exit_codes::DIVERGENCE, exit_codes::INVARIANT);
+    }
+
+    #[cfg(not(feature = "chaos"))]
+    #[test]
+    fn chaos_flag_requires_the_chaos_build() {
+        let e = run_cli(&args("validate --chaos skip-writeback:10")).unwrap_err();
+        assert!(e.message.contains("chaos-enabled build"), "{}", e.message);
+        assert_eq!(e.code, exit_codes::USAGE);
+    }
+
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn chaos_mutations_are_detected_with_divergence_exit_code() {
+        let e = run_cli(&args(
+            "validate --kernels branchy --designs base64 --commits 800 --chaos skip-writeback:100",
+        ))
+        .unwrap_err();
+        assert_eq!(e.code, exit_codes::DIVERGENCE);
+        assert!(e.message.contains("diverged"), "{}", e.message);
+
+        let e = run_cli(&args("validate --chaos bogus:5")).unwrap_err();
+        assert_eq!(e.code, exit_codes::USAGE);
+        assert!(e.message.contains("bogus"), "{}", e.message);
     }
 
     #[test]
@@ -1162,7 +1536,7 @@ mod tests {
         let out = run_cli(&args("asm builtin:triad --warmup 500 --measure 2000")).expect("ok");
         assert!(out.contains("IPC"));
         let e = run_cli(&args("asm builtin:nope")).unwrap_err();
-        assert!(e.0.contains("unknown builtin"));
+        assert!(e.message.contains("unknown builtin"));
     }
 
     #[test]
@@ -1207,7 +1581,7 @@ mod tests {
         let path = dir.join("bad.s");
         std::fs::write(&path, "add r8, r8\nbogus r1\n").expect("write");
         let e = run_cli(&["asm".to_owned(), path.to_string_lossy().into_owned()]).unwrap_err();
-        assert!(e.0.contains("line 2"), "{}", e.0);
+        assert!(e.message.contains("line 2"), "{}", e.message);
     }
 
     /// Path of a kernel shipped in the repository's `kernels/` directory.
@@ -1235,12 +1609,12 @@ mod tests {
         // r15 is never written and is not an input register.
         std::fs::write(&path, "top:\n add r8, r15\n loop top, trips=50\n").expect("write");
         let e = run_cli(&["lint".to_owned(), path.to_string_lossy().into_owned()]).unwrap_err();
-        assert!(e.0.contains("SA001"), "{}", e.0);
-        assert!(e.0.contains("r15"), "{}", e.0);
+        assert!(e.message.contains("SA001"), "{}", e.message);
+        assert!(e.message.contains("r15"), "{}", e.message);
         assert!(
-            e.0.contains("buggy.s:2"),
+            e.message.contains("buggy.s:2"),
             "span should point at the read: {}",
-            e.0
+            e.message
         );
     }
 
@@ -1252,8 +1626,8 @@ mod tests {
         // 4 threads cannot each dispatch into a 4-entry ROB.
         std::fs::write(&path, "design = base64\nthreads = 4\nrob = 4\n").expect("write");
         let e = run_cli(&["lint".to_owned(), path.to_string_lossy().into_owned()]).unwrap_err();
-        assert!(e.0.contains("SC001"), "{}", e.0);
-        assert!(e.0.contains("error"), "{}", e.0);
+        assert!(e.message.contains("SC001"), "{}", e.message);
+        assert!(e.message.contains("error"), "{}", e.message);
     }
 
     #[test]
@@ -1283,34 +1657,38 @@ mod tests {
     #[test]
     fn lint_requires_an_input() {
         let e = run_cli(&args("lint")).unwrap_err();
-        assert!(e.0.contains("requires at least one FILE"), "{}", e.0);
+        assert!(
+            e.message.contains("requires at least one FILE"),
+            "{}",
+            e.message
+        );
     }
 
     #[test]
     fn lint_rejects_unknown_design_and_option() {
         let e = run_cli(&args("lint --design warp-drive")).unwrap_err();
-        assert!(e.0.contains("unknown design"), "{}", e.0);
+        assert!(e.message.contains("unknown design"), "{}", e.message);
         let e = run_cli(&args("lint --frobnicate x.s")).unwrap_err();
-        assert!(e.0.contains("unknown option"), "{}", e.0);
+        assert!(e.message.contains("unknown option"), "{}", e.message);
     }
 
     #[test]
     fn numeric_flag_errors_echo_the_offending_value() {
         let e = run_cli(&args("run --mix gcc --warmup abc")).unwrap_err();
-        assert!(e.0.contains("--warmup"), "{}", e.0);
-        assert!(e.0.contains("`abc`"), "{}", e.0);
+        assert!(e.message.contains("--warmup"), "{}", e.message);
+        assert!(e.message.contains("`abc`"), "{}", e.message);
         let e = run_cli(&args("sweep --param shelf --values 16,banana --mix gcc")).unwrap_err();
-        assert!(e.0.contains("`banana`"), "{}", e.0);
+        assert!(e.message.contains("`banana`"), "{}", e.message);
         let e = run_cli(&args("mixes --count -3")).unwrap_err();
-        assert!(e.0.contains("`-3`"), "{}", e.0);
+        assert!(e.message.contains("`-3`"), "{}", e.message);
     }
 
     #[test]
     fn unknown_design_error_lists_valid_names() {
         let e = run_cli(&args("run --mix gcc --design warp-drive")).unwrap_err();
-        assert!(e.0.contains("warp-drive"), "{}", e.0);
-        assert!(e.0.contains("base64"), "{}", e.0);
-        assert!(e.0.contains("shelf-opt"), "{}", e.0);
+        assert!(e.message.contains("warp-drive"), "{}", e.message);
+        assert!(e.message.contains("base64"), "{}", e.message);
+        assert!(e.message.contains("shelf-opt"), "{}", e.message);
     }
 
     #[test]
@@ -1372,14 +1750,14 @@ mod tests {
     #[test]
     fn campaign_validates_designs_and_fault_budget() {
         let e = run_cli(&args("campaign --designs warp-drive --mix gcc,mcf")).unwrap_err();
-        assert!(e.0.contains("unknown design"), "{}", e.0);
+        assert!(e.message.contains("unknown design"), "{}", e.message);
         let e = run_cli(&args(
             "campaign --designs base64 --mix gcc,mcf --fault-panics 5",
         ))
         .unwrap_err();
-        assert!(e.0.contains("victim"), "{}", e.0);
+        assert!(e.message.contains("victim"), "{}", e.message);
         let e = run_cli(&args("campaign --workers nope")).unwrap_err();
-        assert!(e.0.contains("`nope`"), "{}", e.0);
+        assert!(e.message.contains("`nope`"), "{}", e.message);
     }
 
     #[test]
@@ -1403,9 +1781,9 @@ mod tests {
         .expect("ok");
         assert!(out.contains("daxpy"), "{out}");
         let e = run_cli(&args("analyze --bounds notathing")).unwrap_err();
-        assert!(e.0.contains("unknown target"), "{}", e.0);
+        assert!(e.message.contains("unknown target"), "{}", e.message);
         let e = run_cli(&args("analyze")).unwrap_err();
-        assert!(e.0.contains("TARGET"), "{}", e.0);
+        assert!(e.message.contains("TARGET"), "{}", e.message);
     }
 
     #[test]
@@ -1429,8 +1807,12 @@ mod tests {
             path.to_string_lossy().into_owned(),
         ])
         .unwrap_err();
-        assert!(e.0.contains("SR001"), "{}", e.0);
-        assert!(e.0.contains("chain.s:"), "span points at the run: {}", e.0);
+        assert!(e.message.contains("SR001"), "{}", e.message);
+        assert!(
+            e.message.contains("chain.s:"),
+            "span points at the run: {}",
+            e.message
+        );
     }
 
     #[test]
@@ -1439,8 +1821,16 @@ mod tests {
         assert!(out.contains("SR001"), "{out}");
         assert!(out.contains("deadlock"), "{out}");
         let e = run_cli(&args("lint --explain XX999")).unwrap_err();
-        assert!(e.0.contains("unknown diagnostic code"), "{}", e.0);
-        assert!(e.0.contains("SA001"), "lists valid codes: {}", e.0);
+        assert!(
+            e.message.contains("unknown diagnostic code"),
+            "{}",
+            e.message
+        );
+        assert!(
+            e.message.contains("SA001"),
+            "lists valid codes: {}",
+            e.message
+        );
     }
 
     #[test]
@@ -1458,7 +1848,7 @@ mod tests {
         let file = path.to_string_lossy().into_owned();
         run_cli(&["lint".to_owned(), file.clone()]).expect("warnings pass by default");
         let e = run_cli(&["lint".to_owned(), "--deny-warnings".to_owned(), file]).unwrap_err();
-        assert!(e.0.contains("warning"), "{}", e.0);
+        assert!(e.message.contains("warning"), "{}", e.message);
     }
 
     #[test]
@@ -1477,9 +1867,32 @@ mod tests {
         assert!(out.contains("0 rejected"), "{out}");
         // Malformed and unknown overrides are argument errors.
         let e = run_cli(&args("campaign --mix gcc --override shelf")).unwrap_err();
-        assert!(e.0.contains("key=value"), "{}", e.0);
+        assert!(e.message.contains("key=value"), "{}", e.message);
         let e = run_cli(&args("campaign --mix gcc --override warp=9")).unwrap_err();
-        assert!(e.0.contains("unknown config key"), "{}", e.0);
+        assert!(e.message.contains("unknown config key"), "{}", e.message);
+    }
+
+    #[test]
+    fn campaign_validate_tier_journals_clean_runs() {
+        let dir = std::env::temp_dir().join("shelfsim_cli_campaign_validate");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let journal = dir.join("j.jsonl");
+        let _ = std::fs::remove_file(&journal);
+        let cmd = format!(
+            "campaign --designs base64 --mix gcc,mcf --warmup 200 --measure 1200 \
+             --workers 1 --journal {}",
+            journal.to_string_lossy()
+        );
+        let out = run_cli(&args(&format!("{cmd} --validate"))).expect("campaign completes");
+        assert!(out.contains("0 quarantined"), "{out}");
+        let text = std::fs::read_to_string(&journal).expect("journal written");
+        assert!(
+            text.contains("\"validated\":\"clean\""),
+            "validated runs are journaled as clean: {text}"
+        );
+        // Resuming skips the journaled run entirely.
+        let out = run_cli(&args(&format!("{cmd} --validate"))).expect("resume completes");
+        assert!(out.contains("1 resumed"), "{out}");
     }
 
     #[test]

@@ -11,7 +11,10 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            // Distinct failure classes get distinct exit codes (see
+            // `shelfsim_cli::exit_codes`): 2 usage, 3 divergence, 4
+            // invariant violation, 1 everything else.
+            ExitCode::from(e.code)
         }
     }
 }

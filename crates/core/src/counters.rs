@@ -4,6 +4,20 @@
 //! (`shelfsim-energy`) can compute dynamic energy the way McPAT does:
 //! events × per-event energy derived from structure geometry.
 
+/// Wrapping-free counter increment for the hot accumulators (cycles,
+/// commits, occupancy integrals): debug builds assert the add cannot
+/// overflow; release builds saturate, so a pathological counter pegs at
+/// `u64::MAX` instead of silently wrapping back through zero mid-way
+/// through a long validation run.
+#[inline]
+pub fn acc(counter: &mut u64, by: u64) {
+    debug_assert!(
+        counter.checked_add(by).is_some(),
+        "counter overflow: {counter} + {by}"
+    );
+    *counter = counter.saturating_add(by);
+}
+
 /// Dynamic event counts for one run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Counters {
@@ -171,6 +185,35 @@ mod tests {
         assert_eq!(c.cycles, 0);
         assert_eq!(c.ipc(), 0.0);
         assert_eq!(c.shelf_dispatch_fraction(), 0.0);
+    }
+
+    #[test]
+    fn acc_adds_normally_below_the_limit() {
+        let mut c = 0u64;
+        for _ in 0..1000 {
+            acc(&mut c, 3);
+        }
+        assert_eq!(c, 3000);
+        // Near-max but not overflowing: still an ordinary add.
+        let mut near = u64::MAX - 10;
+        acc(&mut near, 10);
+        assert_eq!(near, u64::MAX);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "counter overflow")]
+    fn acc_overflow_is_caught_in_debug_builds() {
+        let mut c = u64::MAX;
+        acc(&mut c, 1);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn acc_saturates_in_release_builds() {
+        let mut c = u64::MAX - 1;
+        acc(&mut c, 5);
+        assert_eq!(c, u64::MAX);
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub use classify::Classifier;
 pub use config::{CoreConfig, FetchPolicy, MemoryModel, SteerPolicy};
 pub use counters::{Counters, StallCounters};
 pub use inst::{InstId, Slab, Slot, Stage, Steer};
-pub use pipeline::{CommitRecord, Core, ThreadOccupancy};
+#[cfg(feature = "chaos")]
+pub use pipeline::{ChaosKind, ChaosPlan};
+pub use pipeline::{CommitEvent, CommitRecord, Core, ThreadOccupancy};
 pub use sim::{
     thread_program_seed, Completion, DeadlockReport, RunMeta, RunResult, SimError, Simulation,
     ThreadResult, UnknownBenchmark, Watchdog,

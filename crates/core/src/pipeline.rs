@@ -21,7 +21,7 @@
 
 use crate::classify::Classifier;
 use crate::config::{CoreConfig, FetchPolicy, MemoryModel, SteerPolicy};
-use crate::counters::Counters;
+use crate::counters::{acc, Counters};
 use crate::inst::{InstId, Slab, Slot, Stage, Steer};
 use crate::steer::{OracleSteer, PracticalSteer};
 use rand::rngs::SmallRng;
@@ -294,6 +294,96 @@ pub struct CommitRecord {
     pub commit: u64,
 }
 
+/// One architecturally committed (correct-path) instruction, as emitted by
+/// the commit observer for lockstep differential validation (see the
+/// `shelfsim-validate` crate). Unlike [`CommitRecord`] — a timing-oriented
+/// debugging record — this carries the full decoded [`DynInst`] so a
+/// functional reference model can replay the exact architectural stream:
+/// PC, operation, registers, memory address, and branch outcome.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CommitEvent {
+    /// Hardware thread.
+    pub thread: usize,
+    /// Trace sequence number (consecutive per thread on the correct path).
+    pub seq: u64,
+    /// The decoded dynamic instruction exactly as fetched.
+    pub inst: DynInst,
+    /// Commit cycle.
+    pub cycle: u64,
+}
+
+/// Which seeded semantic mutation the `chaos` build injects (mutation
+/// testing of the validation harness: each of these must be *caught* by
+/// `shelfsim validate` — see `docs/MECHANISMS.md` §14).
+#[cfg(feature = "chaos")]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosKind {
+    /// Silently drop one committed instruction's observer event, as if its
+    /// writeback never architecturally happened.
+    SkipWriteback,
+    /// Hold one commit event and emit it *after* the next same-thread
+    /// commit — an out-of-order retirement.
+    CommitOutOfOrder,
+    /// Flip an address bit in one committed store's memory info — a
+    /// corrupted store value/address.
+    CorruptStoreValue,
+    /// Emit one squashed (but correct-path-tagged) victim as a phantom
+    /// commit — a squash that failed to kill its instruction.
+    DropSquash,
+}
+
+#[cfg(feature = "chaos")]
+impl ChaosKind {
+    /// Every shipped mutation, in a stable order (the "shipped chaos set"
+    /// the mutation-kill regression test iterates).
+    pub const ALL: [ChaosKind; 4] = [
+        ChaosKind::SkipWriteback,
+        ChaosKind::CommitOutOfOrder,
+        ChaosKind::CorruptStoreValue,
+        ChaosKind::DropSquash,
+    ];
+
+    /// Stable CLI name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ChaosKind::SkipWriteback => "skip-writeback",
+            ChaosKind::CommitOutOfOrder => "commit-out-of-order",
+            ChaosKind::CorruptStoreValue => "corrupt-store-value",
+            ChaosKind::DropSquash => "drop-squash",
+        }
+    }
+
+    /// Parses a CLI name (the inverse of [`ChaosKind::as_str`]).
+    pub fn by_name(name: &str) -> Option<ChaosKind> {
+        ChaosKind::ALL.into_iter().find(|k| k.as_str() == name)
+    }
+}
+
+/// A seeded mutation: inject `kind` at the `trigger`-th eligible event
+/// (0-based; eligibility is kind-specific — commits for the first two,
+/// committed stores for `CorruptStoreValue`, squash victims for
+/// `DropSquash`).
+#[cfg(feature = "chaos")]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Which mutation to inject.
+    pub kind: ChaosKind,
+    /// Zero-based index of the eligible event to mutate.
+    pub trigger: u64,
+}
+
+#[cfg(feature = "chaos")]
+#[derive(Debug)]
+struct ChaosState {
+    plan: ChaosPlan,
+    /// Eligible events seen so far (the trigger counter).
+    seen: u64,
+    /// Whether the mutation has been injected.
+    fired: bool,
+    /// Held-back event for [`ChaosKind::CommitOutOfOrder`].
+    held: Option<CommitEvent>,
+}
+
 /// Occupancy snapshot of one thread's pipeline structures, taken when the
 /// forward-progress watchdog aborts a run (see
 /// [`crate::sim::DeadlockReport`]) or on demand via
@@ -347,6 +437,16 @@ pub struct Core {
     /// Ring buffer of recent commit records (empty unless enabled).
     commit_log: VecDeque<CommitRecord>,
     commit_log_capacity: usize,
+    /// Queued [`CommitEvent`]s awaiting [`Core::drain_commit_events`]
+    /// (empty unless the commit observer is enabled).
+    commit_events: VecDeque<CommitEvent>,
+    /// Whether the commit observer is on. Off by default: the commit path
+    /// pays exactly one branch, verified against the bench baseline.
+    commit_observer: bool,
+    /// Seeded semantic fault injection for mutation-testing the validation
+    /// harness (`--features chaos` only).
+    #[cfg(feature = "chaos")]
+    chaos: Option<ChaosState>,
     /// Pipeline observability (lifecycle trace, occupancy sampling, stall
     /// attribution). `None` in normal runs: each stage pays exactly one
     /// `Option` check, verified against the committed bench baseline.
@@ -482,6 +582,10 @@ impl Core {
             events: EventWheel::new(),
             commit_log: VecDeque::new(),
             commit_log_capacity: 0,
+            commit_events: VecDeque::new(),
+            commit_observer: false,
+            #[cfg(feature = "chaos")]
+            chaos: None,
             tracer: None,
             tag_consumers: vec![Vec::new(); num_tags],
             iq_waiting: 0,
@@ -587,6 +691,153 @@ impl Core {
             complete: s.complete_cycle,
             commit: self.now,
         });
+    }
+
+    /// Enables the commit observer: every correct-path commit is queued as
+    /// a [`CommitEvent`] until drained with [`Core::drain_commit_events`].
+    /// The caller must drain regularly or the queue grows unboundedly.
+    pub fn enable_commit_observer(&mut self) {
+        self.commit_observer = true;
+    }
+
+    /// Moves every queued commit event into `out` (in commit order,
+    /// interleaved across threads), clearing the internal queue.
+    pub fn drain_commit_events(&mut self, out: &mut Vec<CommitEvent>) {
+        out.extend(self.commit_events.drain(..));
+    }
+
+    /// The next trace sequence number thread `t` will fetch (used by the
+    /// validation harness to align its reference stream after warm-up).
+    pub fn next_fetch_seq(&self, t: usize) -> u64 {
+        self.threads[t].trace.next_fetch_seq()
+    }
+
+    /// Arms a seeded semantic mutation (mutation testing of the validation
+    /// harness; see [`ChaosPlan`]). Only present under `--features chaos`.
+    #[cfg(feature = "chaos")]
+    pub fn enable_chaos(&mut self, plan: ChaosPlan) {
+        self.chaos = Some(ChaosState {
+            plan,
+            seen: 0,
+            fired: false,
+            held: None,
+        });
+    }
+
+    /// Whether the armed mutation has actually been injected (a detection
+    /// test is only meaningful when this is `true`).
+    #[cfg(feature = "chaos")]
+    pub fn chaos_fired(&self) -> bool {
+        self.chaos.as_ref().is_some_and(|c| c.fired)
+    }
+
+    /// Queues a [`CommitEvent`] for a committing correct-path instruction.
+    /// One branch when the observer is off.
+    #[inline]
+    fn observe_commit(&mut self, id: InstId) {
+        if !self.commit_observer {
+            return;
+        }
+        let s = self.slab.get(id);
+        let ev = CommitEvent {
+            thread: s.thread,
+            seq: s.seq,
+            inst: s.inst,
+            cycle: self.now,
+        };
+        self.push_commit_event(ev);
+    }
+
+    #[cfg(not(feature = "chaos"))]
+    #[inline]
+    fn push_commit_event(&mut self, ev: CommitEvent) {
+        self.commit_events.push_back(ev);
+    }
+
+    /// The chaos build routes every observer event through the armed
+    /// mutation (if any): drop it, hold-and-swap it, or corrupt it.
+    #[cfg(feature = "chaos")]
+    fn push_commit_event(&mut self, mut ev: CommitEvent) {
+        let mut emit_after: Option<CommitEvent> = None;
+        if let Some(ch) = self.chaos.as_mut() {
+            match ch.plan.kind {
+                ChaosKind::SkipWriteback => {
+                    if !ch.fired {
+                        let n = ch.seen;
+                        ch.seen += 1;
+                        if n == ch.plan.trigger {
+                            ch.fired = true;
+                            return; // the event vanishes
+                        }
+                    }
+                }
+                ChaosKind::CommitOutOfOrder => {
+                    if let Some(held) = ch.held.take() {
+                        if held.thread == ev.thread {
+                            // Emit the younger instruction first, then the
+                            // held elder: a same-thread order inversion.
+                            emit_after = Some(held);
+                        } else {
+                            ch.held = Some(held); // keep waiting
+                        }
+                    } else if !ch.fired {
+                        let n = ch.seen;
+                        ch.seen += 1;
+                        if n == ch.plan.trigger {
+                            ch.fired = true;
+                            ch.held = Some(ev);
+                            return; // emitted after the next same-thread event
+                        }
+                    }
+                }
+                ChaosKind::CorruptStoreValue => {
+                    if !ch.fired && ev.inst.is_store() {
+                        let n = ch.seen;
+                        ch.seen += 1;
+                        if n == ch.plan.trigger {
+                            ch.fired = true;
+                            if let Some(m) = ev.inst.mem.as_mut() {
+                                m.addr ^= 0x40;
+                            }
+                        }
+                    }
+                }
+                ChaosKind::DropSquash => {} // injected in squash_window_from
+            }
+        }
+        self.commit_events.push_back(ev);
+        if let Some(h) = emit_after {
+            self.commit_events.push_back(h);
+        }
+    }
+
+    /// [`ChaosKind::DropSquash`]: the `trigger`-th squash victim (counting
+    /// wrong-path instructions — a busted squash would leak those too)
+    /// escapes the squash and shows up as a phantom commit event.
+    #[cfg(feature = "chaos")]
+    fn chaos_on_squash_victim(&mut self, id: InstId) {
+        if !self.commit_observer
+            || self
+                .chaos
+                .as_ref()
+                .is_none_or(|c| c.plan.kind != ChaosKind::DropSquash || c.fired)
+        {
+            return;
+        }
+        let s = self.slab.get(id);
+        let ev = CommitEvent {
+            thread: s.thread,
+            seq: s.seq,
+            inst: s.inst,
+            cycle: self.now,
+        };
+        let ch = self.chaos.as_mut().expect("checked above");
+        let n = ch.seen;
+        ch.seen += 1;
+        if n == ch.plan.trigger {
+            ch.fired = true;
+            self.commit_events.push_back(ev);
+        }
     }
 
     /// The configuration.
@@ -818,8 +1069,8 @@ impl Core {
         }
         occ[1] = self.iq.len() as u64;
         occ[5] = (self.phys_fl.capacity() - self.phys_fl.available()) as u64;
-        for (acc, v) in self.counters.occupancy.iter_mut().zip(occ) {
-            *acc += v;
+        for (total, v) in self.counters.occupancy.iter_mut().zip(occ) {
+            acc(total, v);
         }
         if let Some(tracer) = self.tracer.as_deref_mut() {
             if tracer.wants_sample(self.now) {
@@ -839,7 +1090,7 @@ impl Core {
         #[cfg(feature = "sanitize")]
         self.audit_invariants();
         self.now += 1;
-        self.counters.cycles += 1;
+        acc(&mut self.counters.cycles, 1);
     }
 
     // ---------------------------------------------------------------- fetch
@@ -937,7 +1188,7 @@ impl Core {
             let id = self.slab.insert(slot);
             self.threads[t].frontend.push_back(id);
             self.threads[t].pre_issue_count += 1;
-            self.counters.fetched += 1;
+            acc(&mut self.counters.fetched, 1);
             fetched += 1;
             if mispred {
                 self.threads[t].waiting_branch = Some(id);
@@ -956,7 +1207,7 @@ impl Core {
             let id = self.slab.insert(slot);
             self.threads[t].frontend.push_back(id);
             self.threads[t].pre_issue_count += 1;
-            self.counters.fetched += 1;
+            acc(&mut self.counters.fetched, 1);
             self.counters.wrong_path_fetched += 1;
         }
     }
@@ -1259,7 +1510,7 @@ impl Core {
         let cidx = th.classifier.dispatch();
         self.slab.get_mut(id).classify_idx = cidx;
 
-        self.counters.dispatched += 1;
+        acc(&mut self.counters.dispatched, 1);
         if steer == Steer::Shelf {
             self.counters.dispatched_shelf += 1;
         }
@@ -1839,7 +2090,7 @@ impl Core {
             }
         }
 
-        self.counters.issued += 1;
+        acc(&mut self.counters.issued, 1);
         if steer == Steer::Shelf {
             self.counters.issued_shelf += 1;
         }
@@ -2247,6 +2498,8 @@ impl Core {
                 }
             }
 
+            #[cfg(feature = "chaos")]
+            self.chaos_on_squash_victim(id);
             self.trace_end(id, EndKind::Squash);
             match stage {
                 Stage::Dispatched => {
@@ -2399,6 +2652,7 @@ impl Core {
                         let wrong_path = slot.wrong_path;
                         if !wrong_path {
                             self.record_commit(head);
+                            self.observe_commit(head);
                         }
                         self.trace_end(head, EndKind::Commit);
                         self.threads[t].window.pop_front();
@@ -2406,7 +2660,7 @@ impl Core {
                         if !wrong_path {
                             self.threads[t].committed += 1;
                             self.threads[t].classifier.commit(in_seq);
-                            self.counters.committed += 1;
+                            acc(&mut self.counters.committed, 1);
                         }
                         budget -= 1;
                     }
@@ -2457,6 +2711,7 @@ impl Core {
                         }
                         if !wrong_path {
                             self.record_commit(head);
+                            self.observe_commit(head);
                         }
                         self.trace_end(head, EndKind::Commit);
                         self.threads[t].window.pop_front();
@@ -2464,7 +2719,7 @@ impl Core {
                         if !wrong_path {
                             self.threads[t].committed += 1;
                             self.threads[t].classifier.commit(in_seq);
-                            self.counters.committed += 1;
+                            acc(&mut self.counters.committed, 1);
                         }
                         budget -= 1;
                     }

@@ -376,6 +376,19 @@ impl Simulation {
         self.core.enable_commit_log(capacity);
     }
 
+    /// Enables the commit observer (see [`Core::enable_commit_observer`]):
+    /// every correct-path commit is queued as a
+    /// [`crate::pipeline::CommitEvent`] until drained.
+    pub fn enable_commit_observer(&mut self) {
+        self.core.enable_commit_observer();
+    }
+
+    /// Drains queued commit-observer events into `out` (see
+    /// [`Core::drain_commit_events`]).
+    pub fn drain_commit_events(&mut self, out: &mut Vec<crate::pipeline::CommitEvent>) {
+        self.core.drain_commit_events(out);
+    }
+
     /// Enables pipeline tracing: lifecycle records, occupancy samples (one
     /// every `sample_every` cycles), and per-thread stall attribution, each
     /// bounded by `window` (see [`shelfsim_trace::Tracer`]). The tracer is

@@ -36,7 +36,11 @@
 //!   deterministic fault injection);
 //! * [`trace`] — the bounded observability layer (instruction lifecycle
 //!   ring, occupancy sampling, per-thread stall attribution, JSONL and
-//!   Chrome trace-event exporters).
+//!   Chrome trace-event exporters);
+//! * [`validate`] — the differential validation harness: lockstep
+//!   comparison against an in-order functional reference, structure-size
+//!   sensitivity sweeps, divergence shrinking over generated programs, and
+//!   (behind `--features chaos`) mutation testing of the validator itself.
 //!
 //! # Quickstart
 //!
@@ -61,6 +65,7 @@ pub use shelfsim_mem as mem;
 pub use shelfsim_stats as stats;
 pub use shelfsim_trace as trace;
 pub use shelfsim_uarch as uarch;
+pub use shelfsim_validate as validate;
 pub use shelfsim_workload as workload;
 
 pub use shelfsim_analyze::{

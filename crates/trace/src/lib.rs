@@ -379,29 +379,7 @@ impl Tracer {
             self.threads, self.window, self.dropped, self.samples_dropped, self.sample_every
         );
         for lc in &self.lifecycles {
-            let _ = write!(
-                out,
-                "{{\"type\":\"inst\",\"thread\":{},\"seq\":{},\"pc\":\"{:#x}\",\"op\":\"{}\",\"queue\":\"{}\",\"fetch\":{},\"dispatch\":{},",
-                lc.thread, lc.seq, lc.pc, lc.op, lc.queue.as_str(), lc.fetch, lc.dispatch
-            );
-            match lc.issue {
-                Some(c) => {
-                    let _ = write!(out, "\"issue\":{c},");
-                }
-                None => out.push_str("\"issue\":null,"),
-            }
-            match lc.writeback {
-                Some(c) => {
-                    let _ = write!(out, "\"writeback\":{c},");
-                }
-                None => out.push_str("\"writeback\":null,"),
-            }
-            let _ = writeln!(
-                out,
-                "\"end\":{},\"end_kind\":\"{}\"}}",
-                lc.end,
-                lc.end_kind.as_str()
-            );
+            Self::write_inst_line(&mut out, lc);
         }
         for s in &self.samples {
             let _ = writeln!(
@@ -423,6 +401,56 @@ impl Tracer {
                     let _ = write!(out, ",\"{}\":{}", cause.as_str(), row[cause as usize]);
                 }
                 out.push_str("}\n");
+            }
+        }
+        out
+    }
+
+    /// One `{"type":"inst",...}` JSONL line for `lc` (shared by the full
+    /// export and the divergence-window export; byte-deterministic).
+    fn write_inst_line(out: &mut String, lc: &Lifecycle) {
+        let _ = write!(
+            out,
+            "{{\"type\":\"inst\",\"thread\":{},\"seq\":{},\"pc\":\"{:#x}\",\"op\":\"{}\",\"queue\":\"{}\",\"fetch\":{},\"dispatch\":{},",
+            lc.thread, lc.seq, lc.pc, lc.op, lc.queue.as_str(), lc.fetch, lc.dispatch
+        );
+        match lc.issue {
+            Some(c) => {
+                let _ = write!(out, "\"issue\":{c},");
+            }
+            None => out.push_str("\"issue\":null,"),
+        }
+        match lc.writeback {
+            Some(c) => {
+                let _ = write!(out, "\"writeback\":{c},");
+            }
+            None => out.push_str("\"writeback\":null,"),
+        }
+        let _ = writeln!(
+            out,
+            "\"end\":{},\"end_kind\":\"{}\"}}",
+            lc.end,
+            lc.end_kind.as_str()
+        );
+    }
+
+    /// Exports only the lifecycles of `thread` whose sequence numbers fall
+    /// within `radius` of `seq`, as JSONL (a window meta line followed by
+    /// `inst` lines in retention order). Used by the differential
+    /// validation harness to dump the pipeline context around the first
+    /// divergent instruction; byte-deterministic like [`Self::export_jsonl`].
+    pub fn export_window_jsonl(&self, thread: u8, seq: u64, radius: u64) -> String {
+        let lo = seq.saturating_sub(radius);
+        let hi = seq.saturating_add(radius);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"window\",\"thread\":{thread},\"seq\":{seq},\"lo\":{lo},\"hi\":{hi},\"dropped\":{}}}",
+            self.dropped
+        );
+        for lc in &self.lifecycles {
+            if lc.thread == thread && lc.seq >= lo && lc.seq <= hi {
+                Self::write_inst_line(&mut out, lc);
             }
         }
         out
@@ -616,6 +644,33 @@ mod tests {
                 "bad line: {line}"
             );
         }
+    }
+
+    #[test]
+    fn window_export_filters_by_thread_and_seq_radius() {
+        let mut tr = Tracer::new(2, 32);
+        for s in 0..12 {
+            tr.record(lc(s, 20 + s));
+        }
+        tr.record(Lifecycle {
+            thread: 1,
+            ..lc(6, 40)
+        });
+        let out = tr.export_window_jsonl(0, 6, 2);
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains("\"type\":\"window\""));
+        assert!(lines[0].contains("\"lo\":4,\"hi\":8"));
+        // Window meta + seqs 4..=8 of thread 0 only.
+        assert_eq!(lines.len(), 6);
+        for (line, seq) in lines[1..].iter().zip(4u64..) {
+            assert!(line.contains(&format!("\"seq\":{seq}")), "bad line: {line}");
+            assert!(line.contains("\"thread\":0"));
+        }
+        // Radius clamps at zero instead of underflowing.
+        let low = tr.export_window_jsonl(0, 1, 5);
+        assert!(low.lines().next().unwrap().contains("\"lo\":0"));
+        // Deterministic.
+        assert_eq!(out, tr.export_window_jsonl(0, 6, 2));
     }
 
     #[test]

@@ -1,0 +1,36 @@
+//! Differential validation harness for shelfsim.
+//!
+//! The out-of-order core is validated against a trivially-correct in-order
+//! functional reference: both sides run the *same* dynamic instruction
+//! stream (the deterministic [`TraceSource`](shelfsim_workload::TraceSource)
+//! guarantees that) and the harness compares every retired instruction in
+//! lockstep — sequence number, PC, operation, register operands, memory
+//! address, branch outcome, and a synthetic architectural value computed by
+//! the shared [`value`] model. The first divergence is localized to a
+//! (thread, commit index, field) triple with a lifecycle-trace window dump.
+//!
+//! On top of lockstep execution the harness layers:
+//!
+//! - **Sensitivity sweeps** ([`sweep`]): perturbing one structure size at a
+//!   time must leave the committed stream bit-identical — sizing changes
+//!   timing, never architecture.
+//! - **Divergence shrinking** ([`shrink`]): failing generated programs are
+//!   greedily reduced to a locally-minimal divergent case and persisted as
+//!   a `.s` regression file.
+//! - **Mutation testing** (`chaos` feature, in shelfsim-core): seeded
+//!   commit-path mutations that the harness must detect, validating the
+//!   validator.
+
+pub mod lockstep;
+pub mod report;
+pub mod shrink;
+pub mod sweep;
+pub mod value;
+
+pub use lockstep::{
+    run_lockstep, CleanStats, Divergence, InvariantViolation, LockstepConfig, Verdict,
+};
+pub use report::{render_json, render_text, totals, RunReport, Totals};
+pub use shrink::{gen_spec_strategy, persist_regression, shrink_to_minimal, GenSpec};
+pub use sweep::{run_sweep, SweepPoint, SweepReport};
+pub use value::{mix64, ArchState, InstEffect};

@@ -1,0 +1,166 @@
+//! The synthetic deterministic value model.
+//!
+//! The simulator is timing-only: a [`DynInst`] carries exact PCs, memory
+//! addresses, and branch outcomes, but no data values. To give the
+//! differential harness the "destination register writeback value" and
+//! "store value" comparisons a value-carrying simulator would have, both
+//! sides of the comparison apply the *same* deterministic value function to
+//! their instruction stream: every register starts at a seeded hash, every
+//! result is a hash of the instruction's PC, operation, and source values,
+//! and loads fold in the memory image at the accessed address.
+//!
+//! Because the function is injective-in-practice over its inputs, two
+//! streams that diverge anywhere — a different PC, a skipped instruction, a
+//! corrupted store address — produce different architectural values from
+//! that point on, so value comparison subsumes stream comparison and gives
+//! the harness the error-amplification property real differential testing
+//! relies on.
+
+use shelfsim_isa::{ArchReg, DynInst, NUM_ARCH_REGS};
+use std::collections::BTreeMap;
+
+/// Seed folded into every initial register and memory value.
+pub const VALUE_SEED: u64 = 0x5EED_CAFE_F00D_D00D;
+
+/// The splitmix64 finalizer: a cheap, well-mixed `u64 -> u64` hash.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// What one applied instruction did to the architectural state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InstEffect {
+    /// Value written to the destination register, if any.
+    pub dest_value: Option<u64>,
+    /// `(address, value)` written to memory, for stores.
+    pub store: Option<(u64, u64)>,
+}
+
+/// One thread's synthetic architectural state: a register file seeded per
+/// thread and a sparse memory image whose untouched cells read as a hash of
+/// their address.
+#[derive(Clone, Debug)]
+pub struct ArchState {
+    regs: Vec<u64>,
+    mem: BTreeMap<u64, u64>,
+}
+
+impl ArchState {
+    /// Fresh state for hardware thread `thread`: register `i` holds
+    /// `mix64(VALUE_SEED ^ thread<<32 ^ i)`.
+    pub fn new(thread: usize) -> Self {
+        ArchState {
+            regs: (0..NUM_ARCH_REGS as u64)
+                .map(|i| mix64(VALUE_SEED ^ ((thread as u64) << 32) ^ i))
+                .collect(),
+            mem: BTreeMap::new(),
+        }
+    }
+
+    /// The current value of `reg`.
+    pub fn reg(&self, reg: ArchReg) -> u64 {
+        self.regs[reg.index()]
+    }
+
+    /// The memory image at `addr` (untouched cells read as
+    /// `mix64(VALUE_SEED ^ addr)`).
+    pub fn load(&self, addr: u64) -> u64 {
+        self.mem
+            .get(&addr)
+            .copied()
+            .unwrap_or_else(|| mix64(VALUE_SEED ^ addr))
+    }
+
+    /// Applies `inst` to the state and returns its architectural effect.
+    ///
+    /// The result value is a hash of (PC, operation, source values); loads
+    /// additionally fold in the memory image at their address; stores write
+    /// the result to memory. Branches and stores produce no register write
+    /// unless the instruction names a destination.
+    pub fn apply(&mut self, inst: &DynInst) -> InstEffect {
+        let s0 = inst.srcs[0].map_or(0, |r| self.reg(r));
+        let s1 = inst.srcs[1].map_or(0, |r| self.reg(r));
+        let mut value =
+            mix64(inst.pc ^ mix64(inst.op as u64 + 1) ^ s0.rotate_left(1) ^ s1.rotate_left(2));
+        let mut store = None;
+        if let Some(m) = inst.mem {
+            if inst.is_load() {
+                value = mix64(value ^ self.load(m.addr));
+            } else {
+                // Stores write the hashed (address-independent) source mix,
+                // so a corrupted store *address* changes which cell a later
+                // load observes and a corrupted *value* changes what it
+                // reads — both diverge.
+                self.mem.insert(m.addr, value);
+                store = Some((m.addr, value));
+            }
+        }
+        let dest_value = inst.dest.map(|d| {
+            self.regs[d.index()] = value;
+            value
+        });
+        InstEffect { dest_value, store }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shelfsim_isa::{MemInfo, OpClass};
+
+    fn alu(pc: u64, dest: u8, src: u8) -> DynInst {
+        DynInst::alu(OpClass::IntAlu, ArchReg::int(dest), &[ArchReg::int(src)]).at(pc)
+    }
+
+    #[test]
+    fn identical_streams_produce_identical_values() {
+        let mut a = ArchState::new(0);
+        let mut b = ArchState::new(0);
+        for i in 0..100u64 {
+            let inst = alu(0x1000 + 4 * i, (i % 8) as u8 + 8, (i % 7) as u8);
+            assert_eq!(a.apply(&inst), b.apply(&inst));
+        }
+    }
+
+    #[test]
+    fn threads_start_with_distinct_register_files() {
+        let a = ArchState::new(0);
+        let b = ArchState::new(1);
+        assert_ne!(a.reg(ArchReg::int(0)), b.reg(ArchReg::int(0)));
+    }
+
+    #[test]
+    fn loads_observe_prior_stores() {
+        let mut st = ArchState::new(0);
+        let store =
+            DynInst::store(ArchReg::int(8), ArchReg::int(0), MemInfo::new(0x100, 8)).at(0x2000);
+        let eff = st.apply(&store);
+        let (addr, val) = eff.store.expect("store effect");
+        assert_eq!(addr, 0x100);
+        assert_eq!(st.load(0x100), val);
+        // A load from the same address folds that value in deterministically.
+        let load =
+            DynInst::load(ArchReg::int(9), ArchReg::int(0), MemInfo::new(0x100, 8)).at(0x2004);
+        let e1 = st.clone().apply(&load);
+        let e2 = st.apply(&load);
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn a_corrupted_store_address_diverges_later_loads() {
+        let mk = |addr| {
+            let mut st = ArchState::new(0);
+            st.apply(
+                &DynInst::store(ArchReg::int(8), ArchReg::int(0), MemInfo::new(addr, 8)).at(0x2000),
+            );
+            st.apply(
+                &DynInst::load(ArchReg::int(9), ArchReg::int(0), MemInfo::new(0x100, 8)).at(0x2004),
+            )
+        };
+        assert_ne!(mk(0x100), mk(0x140), "addr^0x40 must change the load");
+    }
+}

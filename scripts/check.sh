@@ -61,6 +61,26 @@ echo "$out" | grep -q "1 rejected" \
 echo "$out" | grep -q "analysis-rejected" \
   || { echo "FAIL: taxonomy should carry analysis-rejected"; echo "$out"; exit 1; }
 
+echo "== validate smoke: lockstep harness on a kernel + a generated program"
+out="$(cargo run --release -q -p shelfsim-cli -- validate \
+  --designs base64,shelf-opt --kernels daxpy --generated 1 --seed 9 \
+  --commits 500 --warmup 200 --sweep)"
+echo "$out" | head -1
+echo "$out" | grep -q " 0 diverged, 0 invariant-violations" \
+  || { echo "FAIL: validate smoke must be clean"; echo "$out"; exit 1; }
+
+echo "== chaos smoke: an armed commit-path mutation must be detected (exit 3)"
+set +e
+out="$(cargo run --release -q -p shelfsim-cli --features chaos -- validate \
+  --designs shelf-opt --kernels branchy --commits 1000 --warmup 200 \
+  --chaos skip-writeback:100 2>&1)"
+status=$?
+set -e
+[ "$status" -eq 3 ] \
+  || { echo "FAIL: expected divergence exit code 3, got $status"; echo "$out"; exit 1; }
+echo "$out" | grep -q "1 diverged" \
+  || { echo "FAIL: report should localize the mutation"; echo "$out"; exit 1; }
+
 echo "== golden determinism suite (bit-identical counters, journal bytes)"
 cargo test -q -p shelfsim --test golden_determinism
 
