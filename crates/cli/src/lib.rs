@@ -519,13 +519,9 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             let mut core = shelfsim::Core::new(cfg, traces);
             core.warm_caches();
             core.warm_functional(20_000);
-            for _ in 0..o.warmup {
-                core.tick();
-            }
+            core.tick_bounded(o.warmup);
             let c0: Vec<u64> = (0..threads).map(|t| core.committed(t)).collect();
-            for _ in 0..o.measure {
-                core.tick();
-            }
+            core.tick_bounded(o.measure);
             let total: u64 = (0..threads).map(|t| core.committed(t) - c0[t]).sum();
             writeln!(
                 out,
@@ -1045,6 +1041,7 @@ struct ValidateOptions {
     warmup: u64,
     sweep: bool,
     json: bool,
+    no_skip: bool,
     shrink_dir: Option<String>,
     #[cfg(feature = "chaos")]
     chaos: Option<shelfsim::core::ChaosPlan>,
@@ -1063,6 +1060,7 @@ fn parse_validate_options(args: &[String]) -> Result<ValidateOptions, CliError> 
         warmup: 1_000,
         sweep: false,
         json: false,
+        no_skip: false,
         shrink_dir: None,
         #[cfg(feature = "chaos")]
         chaos: None,
@@ -1086,6 +1084,7 @@ fn parse_validate_options(args: &[String]) -> Result<ValidateOptions, CliError> 
             "--warmup" => o.warmup = parse_num("--warmup", &val("--warmup")?)?,
             "--sweep" => o.sweep = true,
             "--json" => o.json = true,
+            "--no-skip" => o.no_skip = true,
             "--shrink-dir" => o.shrink_dir = Some(val("--shrink-dir")?),
             "--chaos" => {
                 let spec = val("--chaos")?;
@@ -1156,6 +1155,7 @@ fn cmd_validate(args: &[String]) -> Result<String, CliError> {
         commits_per_thread: o.commits,
         max_cycles: o.max_cycles,
         warmup_insts: o.warmup,
+        cycle_skipping: !o.no_skip,
         #[cfg(feature = "chaos")]
         chaos: o.chaos,
         ..LockstepConfig::default()
@@ -1294,14 +1294,16 @@ USAGE:
   shelfsim validate [--designs d1,d2|all] [--threads N] [--kernels k1,k2|all|none]
                    [--suite N] [--generated N] [--seed N] [--commits N]
                    [--max-cycles N] [--warmup N] [--sweep] [--json]
-                   [--shrink-dir DIR]
+                   [--no-skip] [--shrink-dir DIR]
                    (differential validation: the core's committed stream is
                    compared in lockstep against an in-order functional
                    reference over kernels, N suite mixes, and N generated
                    programs; --sweep additionally perturbs one structure
                    size at a time and asserts the streams stay identical;
                    divergent generated programs shrink to a minimal case
-                   persisted under --shrink-dir. Exit codes: 0 clean,
+                   persisted under --shrink-dir; --no-skip disables
+                   event-driven cycle skipping (results are bit-identical
+                   either way — running both proves it). Exit codes: 0 clean,
                    2 usage error, 3 divergence, 4 invariant violation.
                    Chaos builds (--features chaos) accept
                    --chaos KIND:TRIGGER to arm a seeded commit-path

@@ -18,6 +18,82 @@ pub fn acc(counter: &mut u64, by: u64) {
     *counter = counter.saturating_add(by);
 }
 
+/// Scaled accumulate for the cycle-skip fast-forward path:
+/// `counter += delta * k` with the same overflow discipline as [`acc`].
+/// Skips can jump thousands of cycles at once, so the product itself is
+/// checked in debug builds and saturated in release builds.
+#[inline]
+pub fn acc_scaled(counter: &mut u64, delta: u64, k: u64) {
+    debug_assert!(
+        delta
+            .checked_mul(k)
+            .and_then(|p| counter.checked_add(p))
+            .is_some(),
+        "counter overflow: {counter} + {delta} * {k}"
+    );
+    *counter = counter.saturating_add(delta.saturating_mul(k));
+}
+
+/// The scalar `u64` fields of [`Counters`], listed once so
+/// [`Counters::diff`] and [`Counters::add_scaled`] cannot silently fall out
+/// of sync with the struct definition (an exhaustive destructuring
+/// generated from this list makes a missing field a compile error).
+macro_rules! with_counter_fields {
+    ($m:ident) => {
+        $m!(
+            cycles,
+            fetched,
+            wrong_path_fetched,
+            dispatched,
+            dispatched_shelf,
+            issued,
+            issued_shelf,
+            committed,
+            squashed,
+            rat_reads,
+            rat_writes,
+            freelist_ops,
+            ext_freelist_ops,
+            iq_writes,
+            iq_wakeup_cam,
+            iq_issues,
+            shelf_writes,
+            shelf_reads,
+            rob_writes,
+            rob_reads,
+            prf_reads,
+            prf_writes,
+            lq_writes,
+            sq_writes,
+            lsq_searches,
+            bpred_lookups,
+            branch_mispredicts,
+            memory_violations,
+            store_set_stalls,
+            mshr_stalls,
+            rct_ops,
+            plt_ops
+        );
+    };
+}
+
+/// The fields of [`StallCounters`], listed once (same rationale).
+macro_rules! with_stall_fields {
+    ($m:ident) => {
+        $m!(
+            rob_full,
+            iq_full,
+            lq_full,
+            sq_full,
+            shelf_full,
+            shelf_index_full,
+            no_phys_reg,
+            no_ext_tag,
+            barrier
+        );
+    };
+}
+
 /// Dynamic event counts for one run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Counters {
@@ -173,7 +249,98 @@ impl Counters {
             self.occupancy[index] as f64 / self.cycles as f64
         }
     }
+
+    /// Field-by-field difference `self - before`.
+    ///
+    /// `before` must be an earlier snapshot of the same counter set (every
+    /// field monotonically non-decreasing), which the skip engine's
+    /// probe-and-diff protocol guarantees by construction.
+    pub fn diff(&self, before: &Counters) -> Counters {
+        let mut out = Counters::default();
+        macro_rules! d {
+            ($($f:ident),*) => { $( out.$f = self.$f - before.$f; )* };
+        }
+        with_counter_fields!(d);
+        macro_rules! ds {
+            ($($f:ident),*) => { $( out.stalls.$f = self.stalls.$f - before.stalls.$f; )* };
+        }
+        with_stall_fields!(ds);
+        for i in 0..self.fu_ops.len() {
+            out.fu_ops[i] = self.fu_ops[i] - before.fu_ops[i];
+        }
+        for i in 0..self.shelf_head_stalls.len() {
+            out.shelf_head_stalls[i] = self.shelf_head_stalls[i] - before.shelf_head_stalls[i];
+        }
+        for i in 0..self.commit_stalls.len() {
+            out.commit_stalls[i] = self.commit_stalls[i] - before.commit_stalls[i];
+        }
+        for i in 0..self.occupancy.len() {
+            out.occupancy[i] = self.occupancy[i] - before.occupancy[i];
+        }
+        out
+    }
+
+    /// Accumulates `delta * k` into every field, with [`acc_scaled`]'s
+    /// overflow discipline. This is how a skipped span of `k` identical idle
+    /// cycles is folded into the run counters without visiting each cycle.
+    pub fn add_scaled(&mut self, delta: &Counters, k: u64) {
+        macro_rules! a {
+            ($($f:ident),*) => { $( acc_scaled(&mut self.$f, delta.$f, k); )* };
+        }
+        with_counter_fields!(a);
+        macro_rules! asx {
+            ($($f:ident),*) => { $( acc_scaled(&mut self.stalls.$f, delta.stalls.$f, k); )* };
+        }
+        with_stall_fields!(asx);
+        for i in 0..self.fu_ops.len() {
+            acc_scaled(&mut self.fu_ops[i], delta.fu_ops[i], k);
+        }
+        for i in 0..self.shelf_head_stalls.len() {
+            acc_scaled(
+                &mut self.shelf_head_stalls[i],
+                delta.shelf_head_stalls[i],
+                k,
+            );
+        }
+        for i in 0..self.commit_stalls.len() {
+            acc_scaled(&mut self.commit_stalls[i], delta.commit_stalls[i], k);
+        }
+        for i in 0..self.occupancy.len() {
+            acc_scaled(&mut self.occupancy[i], delta.occupancy[i], k);
+        }
+    }
 }
+
+/// Compile-time guard: destructures [`Counters`] without `..` so a new
+/// struct field that is missing from `with_counter_fields!` fails the
+/// build here instead of silently escaping `diff`/`add_scaled`.
+macro_rules! exhaustiveness_guard {
+    ($($f:ident),*) => {
+        #[allow(dead_code, unused_variables)]
+        fn _counter_field_list_is_exhaustive(c: &Counters) {
+            let Counters {
+                $($f,)*
+                fu_ops,
+                stalls,
+                shelf_head_stalls,
+                commit_stalls,
+                occupancy,
+            } = c;
+        }
+    };
+}
+with_counter_fields!(exhaustiveness_guard);
+
+/// Same guard for [`StallCounters`] and `with_stall_fields!`.
+macro_rules! stall_exhaustiveness_guard {
+    ($($f:ident),*) => {
+        #[allow(dead_code, unused_variables)]
+        fn _stall_field_list_is_exhaustive(s: &StallCounters) {
+            let StallCounters { $($f,)* } = s;
+        }
+    };
+}
+with_stall_fields!(stall_exhaustiveness_guard);
 
 #[cfg(test)]
 mod tests {
@@ -213,6 +380,67 @@ mod tests {
     fn acc_saturates_in_release_builds() {
         let mut c = u64::MAX - 1;
         acc(&mut c, 5);
+        assert_eq!(c, u64::MAX);
+    }
+
+    #[test]
+    fn diff_and_add_scaled_round_trip() {
+        let before = Counters {
+            cycles: 100,
+            committed: 40,
+            lsq_searches: 7,
+            occupancy: [1, 2, 3, 4, 5, 6],
+            fu_ops: [10, 0, 0, 2],
+            ..Default::default()
+        };
+        let mut after = before.clone();
+        after.cycles += 1;
+        after.lsq_searches += 3;
+        after.stalls.rob_full += 2;
+        after.occupancy[4] += 9;
+        after.shelf_head_stalls[2] += 1;
+        after.commit_stalls[0] += 1;
+        let delta = after.diff(&before);
+        assert_eq!(delta.cycles, 1);
+        assert_eq!(delta.lsq_searches, 3);
+        assert_eq!(delta.stalls.rob_full, 2);
+        assert_eq!(delta.occupancy[4], 9);
+        assert_eq!(delta.committed, 0);
+
+        // Applying the delta k times by scaling matches k per-cycle adds.
+        let mut scaled = after.clone();
+        scaled.add_scaled(&delta, 5);
+        let mut stepped = after.clone();
+        for _ in 0..5 {
+            let next = stepped.clone();
+            stepped.add_scaled(&delta, 1);
+            assert_eq!(stepped.diff(&next), delta);
+        }
+        assert_eq!(scaled, stepped);
+    }
+
+    #[test]
+    fn acc_scaled_adds_normally_below_the_limit() {
+        let mut c = 10u64;
+        acc_scaled(&mut c, 3, 1000);
+        assert_eq!(c, 3010);
+        acc_scaled(&mut c, 0, u64::MAX);
+        assert_eq!(c, 3010);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "counter overflow")]
+    fn acc_scaled_overflow_is_caught_in_debug_builds() {
+        let mut c = 1u64;
+        acc_scaled(&mut c, u64::MAX / 2, 3);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn acc_scaled_saturates_in_release_builds() {
+        let mut c = 1u64;
+        acc_scaled(&mut c, u64::MAX / 2, 3);
         assert_eq!(c, u64::MAX);
     }
 

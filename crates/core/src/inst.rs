@@ -33,6 +33,14 @@ pub enum Stage {
 }
 
 /// The full in-flight record of one dynamic instruction.
+///
+/// The three hottest fields — dispatch age, lifecycle stage, and squashed
+/// flag — live in the [`Slab`]'s structure-of-arrays side tables, not here:
+/// identity checks and stage filters in the per-cycle loops (ready-pool
+/// compaction, event identity, commit gating, squash walks) touch compact
+/// parallel arrays instead of dragging whole `Slot` records through the
+/// cache. Access them via [`Slab::age`], [`Slab::stage`], and
+/// [`Slab::is_squashed`].
 #[derive(Clone, Debug)]
 pub struct Slot {
     /// Owning hardware thread.
@@ -40,22 +48,19 @@ pub struct Slot {
     /// Trace sequence number (`u64::MAX` for synthetic wrong-path
     /// instructions, which have no trace position).
     pub seq: u64,
-    /// Global dispatch age: total order used for oldest-first selection and
-    /// as the store-set token.
-    pub age: u64,
     /// The decoded instruction.
     pub inst: DynInst,
     /// Steering decision.
     pub steer: Steer,
+    /// Memoized steering decision `(steer, plt_column)` from the first
+    /// dispatch attempt. A head blocked on resources retries dispatch every
+    /// cycle; without the memo each retry would re-mutate the prediction
+    /// tables (RCT updates, a fresh PLT column per retry — a column leak)
+    /// and re-count the decision.
+    pub steer_memo: Option<(Steer, Option<u8>)>,
     /// Synthetic wrong-path instruction (fetched past a mispredicted
     /// branch; never retires).
     pub wrong_path: bool,
-    /// Current lifecycle stage.
-    pub stage: Stage,
-    /// Squashed by a misspeculation (may still be in an execution pipe; a
-    /// squashed shelf instruction keeps its shelf index reserved until its
-    /// writeback moment, per §III-B).
-    pub squashed: bool,
 
     // ---- rename results ----
     /// Source wakeup tags.
@@ -91,6 +96,10 @@ pub struct Slot {
     pub lq_idx: Option<u64>,
     /// SQ index (IQ stores only).
     pub sq_idx: Option<u64>,
+    /// Current position in the issue queue's backing vector (IQ residents
+    /// only; maintained across swap-removes so issue and squash need no
+    /// linear IQ scan to find the entry).
+    pub iq_pos: u32,
     /// For shelf instructions: the issue-tracking barrier — the thread's ROB
     /// tail at dispatch; the shelf head may issue only after the tracking
     /// head passes it (§III-A).
@@ -150,12 +159,10 @@ impl Slot {
         Slot {
             thread,
             seq,
-            age: 0,
             inst,
             steer: Steer::Iq,
+            steer_memo: None,
             wrong_path: false,
-            stage: Stage::Frontend,
-            squashed: false,
             src_tags: [None; 2],
             dest_pri: None,
             dest_tag: None,
@@ -166,6 +173,7 @@ impl Slot {
             shelf_idx: None,
             lq_idx: None,
             sq_idx: None,
+            iq_pos: 0,
             iq_barrier: 0,
             first_of_run: false,
             ssr_copied: false,
@@ -189,9 +197,25 @@ impl Slot {
 }
 
 /// A slab of in-flight instruction slots with id recycling.
+///
+/// Structure-of-arrays layout for the hot per-instruction state: liveness,
+/// dispatch age, lifecycle stage, and the squashed flag live in dense
+/// parallel arrays indexed by [`InstId`], so the per-cycle scans (ready-pool
+/// compaction, event identity checks, commit gating, squash walks) stay
+/// within a few cache lines instead of striding over full [`Slot`] records.
 #[derive(Clone, Debug, Default)]
 pub struct Slab {
     slots: Vec<Option<Slot>>,
+    /// `alive[id]`: the id refers to a live slot (mirrors `slots[id].is_some()`).
+    alive: Vec<bool>,
+    /// Global dispatch age of `id` (0 until dispatch assigns one).
+    ages: Vec<u64>,
+    /// Lifecycle stage of `id`.
+    stages: Vec<Stage>,
+    /// Squashed-by-misspeculation flag of `id` (a squashed shelf
+    /// instruction keeps its shelf index reserved until its writeback
+    /// moment, per §III-B).
+    squashed: Vec<bool>,
     free: Vec<InstId>,
     live: usize,
 }
@@ -202,16 +226,30 @@ impl Slab {
         Self::default()
     }
 
-    /// Inserts a slot, returning its id.
+    /// Inserts a slot, returning its id. The SoA side tables start as
+    /// `(age 0, Stage::Frontend, not squashed)`.
     pub fn insert(&mut self, slot: Slot) -> InstId {
         self.live += 1;
-        if let Some(id) = self.free.pop() {
+        let id = if let Some(id) = self.free.pop() {
             self.slots[id as usize] = Some(slot);
             id
         } else {
             self.slots.push(Some(slot));
             (self.slots.len() - 1) as InstId
+        };
+        let i = id as usize;
+        if i == self.alive.len() {
+            self.alive.push(true);
+            self.ages.push(0);
+            self.stages.push(Stage::Frontend);
+            self.squashed.push(false);
+        } else {
+            self.alive[i] = true;
+            self.ages[i] = 0;
+            self.stages[i] = Stage::Frontend;
+            self.squashed[i] = false;
         }
+        id
     }
 
     /// Removes a slot, recycling its id.
@@ -223,6 +261,7 @@ impl Slab {
         let s = self.slots[id as usize]
             .take()
             .expect("removing a dead instruction slot");
+        self.alive[id as usize] = false;
         self.free.push(id);
         self.live -= 1;
         s
@@ -251,8 +290,53 @@ impl Slab {
     }
 
     /// Returns `true` if `id` refers to a live slot.
+    #[inline]
     pub fn contains(&self, id: InstId) -> bool {
-        self.slots.get(id as usize).is_some_and(Option::is_some)
+        self.alive.get(id as usize).copied().unwrap_or(false)
+    }
+
+    /// Identity check for possibly-stale `(id, age)` handles (event wheel
+    /// entries, ready-pool entries, recent-load rings): the id is live *and*
+    /// still refers to the same dispatched instruction.
+    #[inline]
+    pub fn live_with_age(&self, id: InstId, age: u64) -> bool {
+        self.contains(id) && self.ages[id as usize] == age
+    }
+
+    /// Global dispatch age of a live slot.
+    #[inline]
+    pub fn age(&self, id: InstId) -> u64 {
+        self.ages[id as usize]
+    }
+
+    /// Sets the dispatch age (rename-stage allocation).
+    #[inline]
+    pub fn set_age(&mut self, id: InstId, age: u64) {
+        self.ages[id as usize] = age;
+    }
+
+    /// Lifecycle stage of a live slot.
+    #[inline]
+    pub fn stage(&self, id: InstId) -> Stage {
+        self.stages[id as usize]
+    }
+
+    /// Advances the lifecycle stage.
+    #[inline]
+    pub fn set_stage(&mut self, id: InstId, stage: Stage) {
+        self.stages[id as usize] = stage;
+    }
+
+    /// Whether the slot was squashed by a misspeculation.
+    #[inline]
+    pub fn is_squashed(&self, id: InstId) -> bool {
+        self.squashed[id as usize]
+    }
+
+    /// Marks the slot squashed (it may still be in an execution pipe).
+    #[inline]
+    pub fn set_squashed(&mut self, id: InstId, squashed: bool) {
+        self.squashed[id as usize] = squashed;
     }
 
     /// Number of live slots.
@@ -283,11 +367,29 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(slab.len(), 2);
         assert!(slab.contains(a));
-        slab.get_mut(a).age = 42;
-        assert_eq!(slab.get(a).age, 42);
+        slab.set_age(a, 42);
+        assert_eq!(slab.age(a), 42);
+        assert!(slab.live_with_age(a, 42));
+        assert!(!slab.live_with_age(a, 41));
         slab.remove(a);
         assert!(!slab.contains(a));
+        assert!(!slab.live_with_age(a, 42));
         assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn soa_side_tables_reset_on_id_reuse() {
+        let mut slab = Slab::new();
+        let a = slab.insert(dummy());
+        slab.set_age(a, 7);
+        slab.set_stage(a, Stage::Issued);
+        slab.set_squashed(a, true);
+        slab.remove(a);
+        let b = slab.insert(dummy());
+        assert_eq!(a, b, "id recycled");
+        assert_eq!(slab.age(b), 0);
+        assert_eq!(slab.stage(b), Stage::Frontend);
+        assert!(!slab.is_squashed(b));
     }
 
     #[test]
@@ -311,9 +413,8 @@ mod tests {
     #[test]
     fn new_slot_defaults() {
         let s = dummy();
-        assert_eq!(s.stage, Stage::Frontend);
-        assert!(!s.squashed);
         assert!(!s.wrong_path);
         assert_eq!(s.steer, Steer::Iq);
+        assert!(s.steer_memo.is_none());
     }
 }

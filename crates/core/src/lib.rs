@@ -31,6 +31,7 @@ pub mod counters;
 pub mod inst;
 pub mod pipeline;
 pub mod sim;
+pub mod skip;
 pub mod steer;
 
 pub use classify::Classifier;
@@ -44,6 +45,7 @@ pub use sim::{
     thread_program_seed, Completion, DeadlockReport, RunMeta, RunResult, SimError, Simulation,
     ThreadResult, UnknownBenchmark, Watchdog,
 };
+pub use skip::{SkipCause, SkipStats, SKIP_CAUSES};
 pub use steer::{OracleSteer, PracticalSteer};
 // Re-export the observability types so downstream users of the core don't
 // need a separate `shelfsim-trace` dependency to consume traces.

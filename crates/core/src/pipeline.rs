@@ -23,6 +23,10 @@ use crate::classify::Classifier;
 use crate::config::{CoreConfig, FetchPolicy, MemoryModel, SteerPolicy};
 use crate::counters::{acc, Counters};
 use crate::inst::{InstId, Slab, Slot, Stage, Steer};
+use crate::skip::{
+    ProbePhase, ProbeRecord, SkipCause, SkipEngine, SkipStats, StableSnapshot, ThreadLens,
+    MAX_SKIP_THREADS,
+};
 use crate::steer::{OracleSteer, PracticalSteer};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -137,6 +141,28 @@ impl EventWheel {
             out.push((ev.age, ev.id));
             self.len -= 1;
         }
+    }
+
+    /// Earliest pending event cycle at or after `now`, if any. The memory/
+    /// pipeline side of the engine's event-horizon computation: nothing in
+    /// this wheel can fire strictly before the returned cycle. Every bucket
+    /// entry lies in `[now, now + EVENT_WHEEL_BUCKETS)` (pushes clamp to
+    /// `push_now + 1` and per-cycle drains empty past buckets), so a single
+    /// forward scan finds the earliest bucket; the overflow heap's peek is
+    /// its minimum (the `Event` ordering is reversed for min-heap behavior).
+    fn next_due(&self, now: u64) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut best: Option<u64> = self.overflow.peek().map(|ev| ev.cycle);
+        for off in 0..EVENT_WHEEL_BUCKETS as u64 {
+            let c = now + off;
+            if !self.buckets[(c as usize) % EVENT_WHEEL_BUCKETS].is_empty() {
+                best = Some(best.map_or(c, |b| b.min(c)));
+                break;
+            }
+        }
+        best
     }
 }
 
@@ -473,6 +499,10 @@ pub struct Core {
     scratch_mshr_losers: Vec<InstId>,
     scratch_counts: Vec<usize>,
     scratch_eligible: Vec<bool>,
+    /// Event-driven cycle skipping (probe state + accounting); see
+    /// [`crate::skip`]. Runtime-toggleable, on by default, used only via
+    /// [`Core::tick_bounded`] — plain [`Core::tick`] never skips.
+    skip: SkipEngine,
 }
 
 impl Core {
@@ -595,6 +625,7 @@ impl Core {
             scratch_mshr_losers: Vec::new(),
             scratch_counts: Vec::new(),
             scratch_eligible: Vec::new(),
+            skip: SkipEngine::new(),
         }
     }
 
@@ -646,7 +677,7 @@ impl Core {
         if s.wrong_path {
             return;
         }
-        let (issue, writeback) = match s.stage {
+        let (issue, writeback) = match self.slab.stage(id) {
             Stage::Frontend => return,
             Stage::Dispatched => (None, None),
             Stage::Issued => (Some(s.issue_cycle), None),
@@ -919,7 +950,11 @@ impl Core {
                 let s = self.slab.get(id);
                 format!(
                     "[{:?} {:?} {:?} sq={} seq={}]",
-                    s.inst.op, s.steer, s.stage, s.squashed, s.seq
+                    s.inst.op,
+                    s.steer,
+                    self.slab.stage(id),
+                    self.slab.is_squashed(id),
+                    s.seq
                 )
             })
             .collect::<Vec<_>>()
@@ -1093,6 +1128,298 @@ impl Core {
         acc(&mut self.counters.cycles, 1);
     }
 
+    // ------------------------------------------------------- cycle skipping
+
+    /// Runtime toggle for event-driven cycle skipping (default on). Only
+    /// [`Core::tick_bounded`] ever skips; plain [`Core::tick`] never does.
+    /// Deliberately not a [`CoreConfig`] field: skipping is an engine
+    /// execution strategy with no architectural effect.
+    pub fn set_cycle_skipping(&mut self, on: bool) {
+        self.skip.enabled = on;
+        if !on {
+            self.skip.phase = ProbePhase::Idle;
+        }
+    }
+
+    /// Whether event-driven cycle skipping is enabled.
+    pub fn cycle_skipping(&self) -> bool {
+        self.skip.enabled
+    }
+
+    /// Cycle-skip accounting for this run (see [`SkipStats`]).
+    pub fn skip_stats(&self) -> &SkipStats {
+        &self.skip.stats
+    }
+
+    /// Advances the core by exactly `limit` cycles, fast-forwarding provably
+    /// idle spans via the probe-and-diff protocol (see [`crate::skip`]).
+    /// Bit-identical to `limit` calls of [`Core::tick`] — counters, commit
+    /// stream, and trace tallies included. Returns the cycles advanced
+    /// (always `limit`).
+    pub fn tick_bounded(&mut self, limit: u64) -> u64 {
+        if !self.skip.enabled || self.threads.len() > MAX_SKIP_THREADS {
+            for _ in 0..limit {
+                self.tick();
+            }
+            return limit;
+        }
+        let mut advanced = 0u64;
+        while advanced < limit {
+            // Probe captures are lazy: a tick is instrumented with
+            // pre-state clones only once the previous tick made no
+            // progress, so the hot (progressing) path pays one branch.
+            let pre = match self.skip.phase {
+                ProbePhase::Idle => None,
+                _ => Some((self.counters.clone(), self.hierarchy.counters())),
+            };
+            self.skip.progress = false;
+            self.skip.streak_bumped = 0;
+            self.tick();
+            advanced += 1;
+            if self.skip.progress {
+                self.skip.phase = ProbePhase::Idle;
+                continue;
+            }
+            let Some((pre_c, pre_m)) = pre else {
+                self.skip.phase = ProbePhase::Armed;
+                continue;
+            };
+            let rec = ProbeRecord {
+                end_cycle: self.now,
+                delta: self.counters.diff(&pre_c),
+                mem_delta: self.hierarchy.counters().diff(&pre_m),
+                snap: self.stable_snapshot(),
+                streak_bumped: self.skip.streak_bumped,
+            };
+            let prev = std::mem::replace(&mut self.skip.phase, ProbePhase::Idle);
+            if let ProbePhase::Probed(p) = prev {
+                if p.end_cycle + 1 == rec.end_cycle
+                    && p.streak_bumped == rec.streak_bumped
+                    && p.delta == rec.delta
+                    && p.mem_delta == rec.mem_delta
+                    && p.snap == rec.snap
+                {
+                    // Fixed point: every cycle up to the horizon repeats
+                    // the probed cycle exactly.
+                    let (horizon, mut cause) = self.skip_horizon();
+                    let budget = limit - advanced;
+                    let mut k = horizon.saturating_sub(self.now);
+                    if k > budget {
+                        k = budget;
+                        cause = SkipCause::LimitCap;
+                    }
+                    if k > 0 {
+                        self.fast_forward(k, &rec, cause);
+                        advanced += k;
+                    }
+                    continue;
+                }
+                self.skip.stats.probe_mismatches += 1;
+            }
+            self.skip.phase = ProbePhase::Probed(Box::new(rec));
+        }
+        advanced
+    }
+
+    /// Snapshot of every piece of engine state that can change from one
+    /// idle cycle to the next (probe-pair equality certificate).
+    fn stable_snapshot(&self) -> StableSnapshot {
+        let mut threads = [ThreadLens::default(); MAX_SKIP_THREADS];
+        for (lens, th) in threads.iter_mut().zip(self.threads.iter()) {
+            *lens = ThreadLens {
+                frontend: th.frontend.len(),
+                window: th.window.len(),
+                shelf: th.shelf.len(),
+                rob: th.rob.len(),
+                lq: th.lq.len(),
+                sq: th.sq.len(),
+                store_buffer: th.store_buffer.len(),
+                inflight_loads: th.inflight_loads.len(),
+                inflight_stores: th.inflight_stores.len(),
+                pre_issue_count: th.pre_issue_count,
+                fetch_stalled_until: th.fetch_stalled_until,
+                waiting_branch: th.waiting_branch,
+                next_fetch_seq: th.trace.next_fetch_seq(),
+                head_blocked_id: th.head_blocked_id,
+                tracker_head: th.issue_tracker.head(),
+                shelf_retire_ptr: th.shelf_retire_ptr,
+                shelf_next_idx: th.shelf_next_idx,
+                ssr_iq: th.ssr.iq_value(),
+                ssr_shelf: th.ssr.shelf_value(),
+            };
+        }
+        StableSnapshot {
+            threads,
+            icount_last: self.icount.last_selected(),
+            fetch_rr: self.fetch_rr,
+            slab_live: self.slab.len(),
+            iq_len: self.iq.len(),
+            iq_waiting: self.iq_waiting,
+            ready_pool_len: self.ready_pool.len(),
+            events_len: self.events.len(),
+            ready_wheel_len: self.ready_wheel.len(),
+        }
+    }
+
+    /// The event horizon: the earliest future cycle at which any stage's
+    /// inputs can change. Conservative — an undershoot merely re-probes.
+    /// `u64::MAX` means nothing is pending at all (a true deadlock; the
+    /// caller's budget bounds the jump and the driver's watchdog, keyed on
+    /// retired instructions, still diagnoses it).
+    fn skip_horizon(&self) -> (u64, SkipCause) {
+        fn consider(best: &mut (u64, SkipCause), cycle: u64, cause: SkipCause) {
+            if cycle < best.0 {
+                *best = (cycle, cause);
+            }
+        }
+        // Boundary discipline: `now` is the cycle the *next* tick will
+        // execute, so every term due at or after `now` (`>= now`, not
+        // `> now`) must be considered. A term due exactly at `now` yields a
+        // zero-length span and the skip is abandoned — dropping it instead
+        // would let a later term bound the jump right over the due cycle.
+        let now = self.now;
+        let mut best = (u64::MAX, SkipCause::LimitCap);
+        if let Some(c) = self.events.next_due(now) {
+            consider(&mut best, c, SkipCause::PipeEvent);
+        }
+        if let Some(c) = self.ready_wheel.next_due(now) {
+            consider(&mut best, c, SkipCause::ReadyWheel);
+        }
+        // `next_fill_after` is strictly-after, and a fill landing exactly
+        // at `now` frees its MSHR for the next tick's retries.
+        if let Some(c) = self.hierarchy.next_fill_after(now.saturating_sub(1)) {
+            consider(&mut best, c, SkipCause::MshrFill);
+        }
+        // Unpipelined FUs free passively at their busy-until cycle; a ready
+        // instruction blocked only on one must not wait for a later event.
+        for units in &self.fu_busy {
+            for &b in units {
+                if b >= now {
+                    consider(&mut best, b, SkipCause::FuFree);
+                }
+            }
+        }
+        for th in &self.threads {
+            if th.fetch_stalled_until >= now {
+                consider(&mut best, th.fetch_stalled_until, SkipCause::FetchStall);
+            }
+            // The frontend head matures through the fetch-to-dispatch pipe
+            // at a known cycle with no scheduled event.
+            if let Some(&head) = th.frontend.front() {
+                let ready = self.slab.get(head).fetch_cycle + self.cfg.fetch_to_dispatch as u64;
+                if ready >= now {
+                    consider(&mut best, ready, SkipCause::FrontendDecode);
+                }
+            }
+            if let Some(&(_, ready)) = th.store_buffer.front() {
+                if ready >= now {
+                    consider(&mut best, ready, SkipCause::StoreBuffer);
+                }
+            }
+        }
+        best
+    }
+
+    /// Fast-forwards `k` provably idle cycles: counters replay scaled,
+    /// decaying state replays exactly, the tracer receives the span's
+    /// attribution and grid samples, and the cycle counter jumps.
+    fn fast_forward(&mut self, k: u64, rec: &ProbeRecord, cause: SkipCause) {
+        debug_assert!(k > 0);
+        // Skip-path cycle arithmetic deals in multi-thousand-cycle jumps:
+        // guard the addition like `counters::acc` does.
+        debug_assert!(
+            self.now.checked_add(k).is_some(),
+            "cycle counter overflow: {} + {k}",
+            self.now
+        );
+        let start = self.now;
+        let end = start.saturating_add(k);
+
+        // Scaled counter replay. `rec.delta.cycles == 1`, so the cycle
+        // counter advances by `k` together with everything that must sum
+        // to it (stall tallies, occupancy integrals).
+        self.counters.add_scaled(&rec.delta, k);
+        self.hierarchy.add_scaled_counters(&rec.mem_delta, k);
+
+        // Exact replay of decaying state. SSRs are zero at any fixed point
+        // (the snapshot pins their values and decaying values defeat the
+        // probe pair), so `tick_many` is belt-and-braces.
+        for th in &mut self.threads {
+            th.ssr.tick_many(k);
+        }
+        // Practical-steer tables decay per cycle and feed the next
+        // dispatch's steering decision; replay them exactly. Scoreboard
+        // readiness cannot flip inside the span: every `set_ready_at`
+        // pairs with a pipeline event at the same cycle and the horizon
+        // stops at the earliest event, so each replayed tick sees exactly
+        // what the real tick would have seen.
+        if self.cfg.steer == SteerPolicy::Practical {
+            for ti in 0..self.threads.len() {
+                let (th, sb) = (&mut self.threads[ti], &self.scoreboard);
+                let hold = th.pre_issue_count > th.frontend.len();
+                let rat = &th.rat;
+                for i in 0..k {
+                    let c = start + i;
+                    th.practical.tick(|reg| sb.is_ready(rat.get(reg).tag, c));
+                    if hold {
+                        th.practical.hold_issue_floor();
+                    }
+                }
+            }
+        }
+
+        // Blocked shelf heads saw their streak bumped each probed cycle;
+        // the whole span repeats that.
+        let bump = u32::try_from(k).unwrap_or(u32::MAX);
+        for (ti, th) in self.threads.iter_mut().enumerate() {
+            if rec.streak_bumped & (1 << ti) != 0 {
+                th.head_blocked_streak = th.head_blocked_streak.saturating_add(bump);
+            }
+        }
+
+        // Tracer: every skipped cycle repeats the probe's stall
+        // attribution, and sampling-grid cycles inside the span record the
+        // (constant) pre-skip occupancy, exactly as tick-by-tick would.
+        if self.tracer.is_some() {
+            let mut occ = [0u64; 6];
+            let mut frontend = 0usize;
+            for th in &self.threads {
+                occ[0] += th.rob.len() as u64;
+                occ[2] += th.lq.len() as u64;
+                occ[3] += th.sq.len() as u64;
+                occ[4] += th.shelf.len() as u64;
+                frontend += th.frontend.len();
+            }
+            occ[1] = self.iq.len() as u64;
+            occ[5] = (self.phys_fl.capacity() - self.phys_fl.available()) as u64;
+            let tracer = self.tracer.as_deref_mut().expect("tracer checked above");
+            tracer.attribute_span(k);
+            let every = tracer.sample_period();
+            let mut c = start.next_multiple_of(every);
+            while c < end {
+                tracer.sample(OccupancySample {
+                    cycle: c,
+                    rob: occ[0] as u32,
+                    iq: occ[1] as u32,
+                    lq: occ[2] as u32,
+                    sq: occ[3] as u32,
+                    shelf: occ[4] as u32,
+                    prf: occ[5] as u32,
+                    frontend: frontend as u32,
+                });
+                let Some(next) = c.checked_add(every) else {
+                    break;
+                };
+                c = next;
+            }
+        }
+
+        self.now = end;
+        self.skip.stats.skipped_cycles += k;
+        self.skip.stats.spans += 1;
+        self.skip.stats.by_cause[cause as usize] += k;
+    }
+
     // ---------------------------------------------------------------- fetch
 
     fn fetch_stage(&mut self) {
@@ -1186,6 +1513,7 @@ impl Core {
             }
             let mispred = slot.mispredicted;
             let id = self.slab.insert(slot);
+            self.skip.progress = true;
             self.threads[t].frontend.push_back(id);
             self.threads[t].pre_issue_count += 1;
             acc(&mut self.counters.fetched, 1);
@@ -1205,6 +1533,7 @@ impl Core {
             let mut slot = Slot::new(t, u64::MAX, inst, self.now);
             slot.wrong_path = true;
             let id = self.slab.insert(slot);
+            self.skip.progress = true;
             self.threads[t].frontend.push_back(id);
             self.threads[t].pre_issue_count += 1;
             acc(&mut self.counters.fetched, 1);
@@ -1264,6 +1593,7 @@ impl Core {
                 match self.try_dispatch(t, head) {
                     DispatchOutcome::Dispatched => {
                         self.threads[t].frontend.pop_front();
+                        self.skip.progress = true;
                         budget -= 1;
                         progressed = true;
                         progress_mask |= 1 << t;
@@ -1315,7 +1645,21 @@ impl Core {
         }
 
         // ---- steering decision (decode-stage information only) ----
-        let (steer, plt_col) = self.decide_steer(t, &inst, wrong_path);
+        // Memoized at the first dispatch attempt: the prediction tables
+        // (RCT, PLT, shadow oracle) are consulted and updated exactly once
+        // per instruction. A head blocked on resources retries dispatch
+        // every cycle; re-deciding on each retry would re-mutate predictor
+        // state — in particular, `PracticalSteer::decide` samples a fresh
+        // PLT column per call, so retries leaked columns until the head
+        // finally dispatched.
+        let (steer, plt_col) = match self.slab.get(id).steer_memo {
+            Some(d) => d,
+            None => {
+                let d = self.decide_steer(t, &inst, wrong_path);
+                self.slab.get_mut(id).steer_memo = Some(d);
+                d
+            }
+        };
 
         // ---- resource checks (no mutation before all pass) ----
         let th = &self.threads[t];
@@ -1408,10 +1752,10 @@ impl Core {
         };
 
         // ---- structure allocation ----
+        self.slab.set_age(id, age);
+        self.slab.set_stage(id, Stage::Dispatched);
         let slot = self.slab.get_mut(id);
-        slot.age = age;
         slot.steer = steer;
-        slot.stage = Stage::Dispatched;
         slot.dispatch_cycle = self.now;
         slot.src_tags = src_tags;
         slot.dest_pri = dest_pri;
@@ -1438,6 +1782,7 @@ impl Core {
                     self.slab.get_mut(id).sq_idx = Some(sq_idx);
                     self.counters.sq_writes += 1;
                 }
+                self.slab.get_mut(id).iq_pos = self.iq.len() as u32;
                 self.iq.push(id);
                 self.counters.iq_writes += 1;
                 // Wakeup-CAM registration: remember which source tags are
@@ -1610,6 +1955,7 @@ impl Core {
                 {
                     self.counters.shelf_head_stalls[2] += 1;
                     self.threads[t].head_blocked_streak += 1;
+                    self.skip.streak_bumped |= 1 << t;
                     *cause_slot = Some(StallCause::ShelfHeadBlocked);
                 } else if slot
                     .prev_mapping
@@ -1618,7 +1964,7 @@ impl Core {
                     // WAW on the shared destination register.
                     self.counters.shelf_head_stalls[3] += 1;
                     *cause_slot = Some(StallCause::ShelfHeadBlocked);
-                } else if slot.inst.is_load() && !self.store_set_clear(slot) {
+                } else if slot.inst.is_load() && !self.store_set_clear(id, slot) {
                     self.counters.shelf_head_stalls[4] += 1;
                     *cause_slot = Some(StallCause::ShelfHeadBlocked);
                 } else if !self.fu_available(slot.inst.op.fu_kind())
@@ -1649,10 +1995,7 @@ impl Core {
         let mut ready = std::mem::take(&mut self.ready_pool);
         self.ready_wheel.drain_due(self.now, &mut ready);
         ready.retain(|&(age, id)| {
-            self.slab.contains(id) && {
-                let s = self.slab.get(id);
-                s.age == age && s.stage == Stage::Dispatched
-            }
+            self.slab.live_with_age(id, age) && self.slab.stage(id) == Stage::Dispatched
         });
         ready.sort_unstable();
         // Loads that lost MSHR arbitration this cycle; they stay ineligible
@@ -1669,22 +2012,35 @@ impl Core {
         for (t, cand) in shelf_cand.iter_mut().enumerate().take(nthreads) {
             *cand = self.shelf_candidate(t);
         }
+        // Cursor into the age-sorted pool: every condition that skips an
+        // entry is sticky for the rest of the cycle (issued entries leave
+        // `Stage::Dispatched`, FU counts only fall until the next
+        // `process_events`, store-set membership changes only at writeback,
+        // MSHR losers stay sidelined), so entries the scan rejects once
+        // never need re-examining and each pick resumes where the last one
+        // stopped instead of rescanning from the front.
+        let mut iq_cursor = 0usize;
         while budget > 0 {
             // Oldest-first selection across the IQ and all shelf heads.
             let mut best: Option<(u64, InstId, Steer)> = None;
-            for &(age, id) in &ready {
-                let slot = self.slab.get(id);
+            while let Some(&(age, id)) = ready.get(iq_cursor) {
                 // Already issued this cycle, or sidelined.
-                if slot.stage != Stage::Dispatched || mshr_losers.contains(&id) {
+                if self.slab.stage(id) != Stage::Dispatched || mshr_losers.contains(&id) {
+                    iq_cursor += 1;
                     continue;
                 }
+                let slot = self.slab.get(id);
                 if !self.fu_available(slot.inst.op.fu_kind()) {
+                    iq_cursor += 1;
                     continue;
                 }
-                if slot.inst.is_load() && !self.store_set_clear(slot) {
+                if slot.inst.is_load() && !self.store_set_clear(id, slot) {
+                    iq_cursor += 1;
                     continue;
                 }
-                // The list is age-sorted: the first survivor is the oldest.
+                // The pool is age-sorted: the first survivor is the oldest.
+                // Leave the cursor on it — if a shelf head outranks it this
+                // pick, it is still the IQ-side candidate for the next one.
                 best = Some((age, id, Steer::Iq));
                 break;
             }
@@ -1703,6 +2059,7 @@ impl Core {
             let Some((_, id, steer)) = best else { break };
             let issued_thread = self.slab.get(id).thread;
             if self.do_issue(id, steer) {
+                self.skip.progress = true;
                 budget -= 1;
                 issued_mask |= 1 << issued_thread;
                 // Issuing advances only the issuing thread's state (tracker
@@ -1737,8 +2094,7 @@ impl Core {
                     c
                 } else if shelf_cand[t].is_some()
                     || ready.iter().any(|&(_, id)| {
-                        let s = self.slab.get(id);
-                        s.thread == t && s.stage == Stage::Dispatched
+                        self.slab.get(id).thread == t && self.slab.stage(id) == Stage::Dispatched
                     })
                 {
                     // Data-ready work existed but lost arbitration: to the
@@ -1770,7 +2126,8 @@ impl Core {
     fn shelf_candidate(&self, t: usize) -> Option<(u64, InstId)> {
         let &id = self.threads[t].shelf.front()?;
         let slot = self.slab.get(id);
-        self.shelf_head_ready(t, slot).then_some((slot.age, id))
+        self.shelf_head_ready(t, id, slot)
+            .then_some((self.slab.age(id), id))
     }
 
     /// Snapshots IQ SSR -> shelf SSR for every shelf head whose run just
@@ -1833,6 +2190,19 @@ impl Core {
         }
     }
 
+    /// O(1) issue-queue removal via the cached backing-vector position:
+    /// swap-remove the entry and re-point the element that moved into the
+    /// vacated slot. Entries are position-tracked from dispatch, so neither
+    /// issue nor squash needs a linear scan of the IQ.
+    fn iq_remove(&mut self, id: InstId) {
+        let pos = self.slab.get(id).iq_pos as usize;
+        debug_assert_eq!(self.iq[pos], id);
+        self.iq.swap_remove(pos);
+        if let Some(&moved) = self.iq.get(pos) {
+            self.slab.get_mut(moved).iq_pos = pos as u32;
+        }
+    }
+
     /// Reference recomputation of IQ source readiness (sanitizer
     /// cross-check for the incrementally maintained `data_ready_cycle`).
     #[cfg(feature = "sanitize")]
@@ -1843,7 +2213,7 @@ impl Core {
             .all(|tag| self.src_ready(*tag, Steer::Iq, self.now))
     }
 
-    fn shelf_head_ready(&self, t: usize, slot: &Slot) -> bool {
+    fn shelf_head_ready(&self, t: usize, id: InstId, slot: &Slot) -> bool {
         let th = &self.threads[t];
         // (1) In-order issue across queues: all elder IQ instructions of the
         // run must have issued (§III-A).
@@ -1859,7 +2229,7 @@ impl Core {
         // the head while any elder load is in flight.
         if self.cfg.memory_model == MemoryModel::Tso {
             if let Some(&oldest) = th.inflight_loads.first() {
-                if oldest < slot.age {
+                if oldest < self.slab.age(id) {
                     return false;
                 }
             }
@@ -1878,7 +2248,7 @@ impl Core {
         }
         // (4) Structural. FU availability is the one global (cross-thread)
         // input and is checked by the caller at pick time, not here.
-        if slot.inst.is_load() && !self.store_set_clear(slot) {
+        if slot.inst.is_load() && !self.store_set_clear(id, slot) {
             return false;
         }
         // Shelf stores write straight into the store buffer at writeback.
@@ -1888,7 +2258,7 @@ impl Core {
         true
     }
 
-    fn store_set_clear(&self, slot: &Slot) -> bool {
+    fn store_set_clear(&self, id: InstId, slot: &Slot) -> bool {
         let th = &self.threads[slot.thread];
         let Some(set) = th.store_sets.set_of(slot.inst.pc) else {
             return true;
@@ -1901,12 +2271,15 @@ impl Core {
         // youngest store; hardware orders same-set stores in a chain, which
         // implies this condition.) The list is age-sorted, so the scan stops
         // at the load's own age.
+        let load_age = self.slab.age(id);
         for &(age, sid) in &th.inflight_stores {
-            if age >= slot.age {
+            if age >= load_age {
                 break;
             }
-            let s = self.slab.get(sid);
-            if !s.mem_executed && !s.squashed && th.store_sets.set_of(s.inst.pc) == Some(set) {
+            if !self.slab.get(sid).mem_executed
+                && !self.slab.is_squashed(sid)
+                && th.store_sets.set_of(self.slab.get(sid).inst.pc) == Some(set)
+            {
                 return false;
             }
         }
@@ -1921,11 +2294,11 @@ impl Core {
         let effective = ready_at + self.iq_forward_penalty(tag);
         let mut consumers = std::mem::take(&mut self.tag_consumers[tag.index()]);
         for (cid, cage) in consumers.drain(..) {
-            if !self.slab.contains(cid) {
+            if !self.slab.live_with_age(cid, cage) || self.slab.stage(cid) != Stage::Dispatched {
                 continue;
             }
             let s = self.slab.get_mut(cid);
-            if s.age != cage || s.stage != Stage::Dispatched || s.pending_srcs == 0 {
+            if s.pending_srcs == 0 {
                 continue;
             }
             s.pending_srcs -= 1;
@@ -1965,10 +2338,11 @@ impl Core {
     /// Issues `id`; returns false if the issue had to be aborted (MSHR
     /// full) with no state modified.
     fn do_issue(&mut self, id: InstId, steer: Steer) -> bool {
-        let (t, inst, age) = {
+        let (t, inst) = {
             let s = self.slab.get(id);
-            (s.thread, s.inst, s.age)
+            (s.thread, s.inst)
         };
+        let age = self.slab.age(id);
 
         // Memory timing is resolved first because it can fail (MSHR full).
         let mem_outcome = if inst.is_load() {
@@ -2000,8 +2374,8 @@ impl Core {
         };
 
         {
+            self.slab.set_stage(id, Stage::Issued);
             let slot = self.slab.get_mut(id);
-            slot.stage = Stage::Issued;
             slot.issue_cycle = now;
             slot.complete_cycle = complete;
             if let Some((_, level, forwarded)) = mem_outcome {
@@ -2073,8 +2447,7 @@ impl Core {
                 let rob_idx = self.slab.get(id).rob_idx.expect("IQ inst has ROB entry");
                 self.threads[t].issue_tracker.issue(rob_idx);
                 self.threads[t].ssr.record_iq_issue(op.resolution_delay());
-                let pos = self.iq.iter().position(|&x| x == id).expect("in IQ");
-                self.iq.swap_remove(pos);
+                self.iq_remove(id);
                 self.counters.iq_issues += 1;
             }
             Steer::Shelf => {
@@ -2117,10 +2490,11 @@ impl Core {
         id: InstId,
         inst: &DynInst,
     ) -> Option<(u64, Option<Level>, Option<u64>)> {
-        let (t, age, steer, lq_tail) = {
+        let (t, steer, lq_tail) = {
             let s = self.slab.get(id);
-            (s.thread, s.age, s.steer, s.lq_tail_at_dispatch)
+            (s.thread, s.steer, s.lq_tail_at_dispatch)
         };
+        let age = self.slab.age(id);
         let mem = inst.mem.expect("loads access memory");
         let mut searches = 0u64;
         let th = &self.threads[t];
@@ -2129,11 +2503,12 @@ impl Core {
         let mut best_store: Option<u64> = None;
         for (_, &sid) in th.sq.iter() {
             let s = self.slab.get(sid);
+            let sage = self.slab.age(sid);
             searches += 1;
-            if s.age < age && s.mem_executed {
+            if sage < age && s.mem_executed {
                 if let Some(smem) = s.inst.mem {
-                    if smem.overlaps(&mem) && best_store.is_none_or(|a| s.age > a) {
-                        best_store = Some(s.age);
+                    if smem.overlaps(&mem) && best_store.is_none_or(|a| sage > a) {
+                        best_store = Some(sage);
                     }
                 }
             }
@@ -2149,11 +2524,12 @@ impl Core {
                 }
                 searches += 1;
                 let l = self.slab.get(lid);
-                if l.age > age && l.mem_executed && !l.squashed {
+                let lage = self.slab.age(lid);
+                if lage > age && l.mem_executed && !self.slab.is_squashed(lid) {
                     if let Some(lmem) = l.inst.mem {
                         if lmem.overlaps(&mem) {
                             best_young_load =
-                                Some(best_young_load.map_or(l.age, |a: u64| a.max(l.age)));
+                                Some(best_young_load.map_or(lage, |a: u64| a.max(lage)));
                         }
                     }
                 }
@@ -2200,7 +2576,7 @@ impl Core {
                 let Event { id, age, .. } = ev;
                 // The slot may be long gone (squashed and cleaned) — or the
                 // id recycled. Verify identity via age.
-                if !self.slab.contains(id) || self.slab.get(id).age != age {
+                if !self.slab.live_with_age(id, age) {
                     continue;
                 }
                 self.writeback(id);
@@ -2212,19 +2588,18 @@ impl Core {
     }
 
     fn writeback(&mut self, id: InstId) {
-        let (t, inst, steer, squashed, wrong_path) = {
+        self.skip.progress = true;
+        let (t, inst, steer, wrong_path) = {
             let s = self.slab.get(id);
-            (s.thread, s.inst, s.steer, s.squashed, s.wrong_path)
+            (s.thread, s.inst, s.steer, s.wrong_path)
         };
-        {
-            let slot = self.slab.get_mut(id);
-            if slot.stage == Stage::Issued {
-                slot.stage = Stage::Completed;
-            }
+        let squashed = self.slab.is_squashed(id);
+        if self.slab.stage(id) == Stage::Issued {
+            self.slab.set_stage(id, Stage::Completed);
         }
 
         if inst.is_load() {
-            let age = self.slab.get(id).age;
+            let age = self.slab.age(id);
             self.threads[t].remove_inflight_load(age);
         }
         if squashed {
@@ -2237,7 +2612,7 @@ impl Core {
                 }
             }
             if inst.is_store() {
-                let age = self.slab.get(id).age;
+                let age = self.slab.age(id);
                 self.threads[t].remove_inflight_store(age);
             }
             // A sampled load's PLT column must not leak with the squash.
@@ -2291,10 +2666,11 @@ impl Core {
     }
 
     fn store_executed(&mut self, id: InstId) {
-        let (t, age, pc, mem) = {
+        let (t, pc, mem) = {
             let s = self.slab.get(id);
-            (s.thread, s.age, s.inst.pc, s.inst.mem.expect("store"))
+            (s.thread, s.inst.pc, s.inst.mem.expect("store"))
         };
+        let age = self.slab.age(id);
         self.slab.get_mut(id).mem_executed = true;
         self.threads[t].store_sets.store_resolved(pc, age);
         self.threads[t].remove_inflight_store(age);
@@ -2306,8 +2682,12 @@ impl Core {
         let th = &self.threads[t];
         let consider = |lid: InstId, slab: &Slab, counters: &mut Counters| {
             counters.lsq_searches += 1;
+            let lage = slab.age(lid);
+            if slab.is_squashed(lid) || lage <= age {
+                return None;
+            }
             let l = slab.get(lid);
-            if l.squashed || !l.mem_executed || l.age <= age {
+            if !l.mem_executed {
                 return None;
             }
             let lmem = l.inst.mem?;
@@ -2316,7 +2696,7 @@ impl Core {
             }
             match l.forwarded_from {
                 Some(f) if f >= age => None,
-                _ => Some((lid, l.age)),
+                _ => Some((lid, lage)),
             }
         };
         for (_, &lid) in th.lq.iter() {
@@ -2328,7 +2708,7 @@ impl Core {
         }
         for i in 0..self.threads[t].recent_shelf_loads.len() {
             let (lid, lage) = self.threads[t].recent_shelf_loads[i];
-            if !self.slab.contains(lid) || self.slab.get(lid).age != lage {
+            if !self.slab.live_with_age(lid, lage) {
                 continue;
             }
             if let Some(v) = consider(lid, &self.slab, &mut self.counters) {
@@ -2425,18 +2805,19 @@ impl Core {
         let mut min_classify: Option<u64> = None;
 
         for &id in victims.iter().rev() {
+            let stage = self.slab.stage(id);
+            let age = self.slab.age(id);
             let slot = self.slab.get(id);
             // Completed shelf instructions are committed: a correct SSR
             // never lets a squash reach one (counted as a self-check).
-            if slot.steer == Steer::Shelf && slot.stage == Stage::Completed && !slot.squashed {
+            if slot.steer == Steer::Shelf && stage == Stage::Completed && !self.slab.is_squashed(id)
+            {
                 self.threads[t].late_shelf_commits += 1;
                 continue;
             }
-            let age = slot.age;
             let seq = slot.seq;
             let wrong_path = slot.wrong_path;
             let steer = slot.steer;
-            let stage = slot.stage;
             let inst = slot.inst;
             let dest_pri = slot.dest_pri;
             let dest_tag = slot.dest_tag;
@@ -2507,8 +2888,7 @@ impl Core {
                     self.threads[t].pre_issue_count -= 1;
                     match steer {
                         Steer::Iq => {
-                            let p = self.iq.iter().position(|&x| x == id).expect("in IQ");
-                            self.iq.swap_remove(p);
+                            self.iq_remove(id);
                             // Leave the waiting population; any stale
                             // consumer-list registrations are filtered at
                             // their tag's broadcast.
@@ -2536,7 +2916,7 @@ impl Core {
                     // return — schedule an early filtering event; whichever
                     // event fires first wins (the guard in process_events
                     // ignores the later one).
-                    self.slab.get_mut(id).squashed = true;
+                    self.slab.set_squashed(id, true);
                     self.counters.squashed += 1;
                     self.events.push(
                         self.now,
@@ -2589,6 +2969,11 @@ impl Core {
             if self.threads[t].waiting_branch == Some(id) {
                 self.threads[t].waiting_branch = None;
             }
+            // A victim that attempted (and failed) dispatch may hold a
+            // memoized PLT column; release it or the column leaks.
+            if let Some((_, Some(col))) = self.slab.get_mut(id).steer_memo.take() {
+                self.threads[t].practical.load_completed(col);
+            }
             self.threads[t].pre_issue_count -= 1;
             self.slab.remove(id);
         }
@@ -2622,10 +3007,11 @@ impl Core {
                 while let Some(&sq_head) = self.threads[t].sq.front() {
                     let slot = self.slab.get(sq_head);
                     if slot.steer == Steer::Shelf
-                        && slot.stage == Stage::Completed
-                        && !slot.squashed
+                        && self.slab.stage(sq_head) == Stage::Completed
+                        && !self.slab.is_squashed(sq_head)
                     {
                         self.threads[t].sq.pop_front();
+                        self.skip.progress = true;
                     } else {
                         break;
                     }
@@ -2638,7 +3024,8 @@ impl Core {
                 let slot = self.slab.get(head);
                 match slot.steer {
                     Steer::Shelf => {
-                        if slot.stage != Stage::Completed || slot.squashed {
+                        if self.slab.stage(head) != Stage::Completed || self.slab.is_squashed(head)
+                        {
                             break;
                         }
                         // TSO shelf stores leave the window only after their
@@ -2656,6 +3043,7 @@ impl Core {
                         }
                         self.trace_end(head, EndKind::Commit);
                         self.threads[t].window.pop_front();
+                        self.skip.progress = true;
                         self.slab.remove(head);
                         if !wrong_path {
                             self.threads[t].committed += 1;
@@ -2665,11 +3053,14 @@ impl Core {
                         budget -= 1;
                     }
                     Steer::Iq => {
-                        if slot.stage != Stage::Completed {
+                        if self.slab.stage(head) != Stage::Completed {
                             self.counters.commit_stalls[0] += 1;
                             break;
                         }
-                        debug_assert!(!slot.squashed, "squashed completed IQ inst left in window");
+                        debug_assert!(
+                            !self.slab.is_squashed(head),
+                            "squashed completed IQ inst left in window"
+                        );
                         // ROB-head check.
                         let rob_idx = slot.rob_idx.expect("IQ inst has ROB idx");
                         debug_assert_eq!(self.threads[t].rob.head_index(), Some(rob_idx));
@@ -2715,6 +3106,7 @@ impl Core {
                         }
                         self.trace_end(head, EndKind::Commit);
                         self.threads[t].window.pop_front();
+                        self.skip.progress = true;
                         self.slab.remove(head);
                         if !wrong_path {
                             self.threads[t].committed += 1;
@@ -2733,6 +3125,7 @@ impl Core {
             if let Some(&(addr, ready)) = self.threads[t].store_buffer.front() {
                 if ready <= self.now && self.hierarchy.access_data(addr, true, self.now).is_ok() {
                     self.threads[t].store_buffer.pop_front();
+                    self.skip.progress = true;
                 }
             }
         }
@@ -2777,11 +3170,12 @@ impl Core {
         }
         for &id in &self.iq {
             let s = self.slab.get(id);
-            if s.stage != Stage::Dispatched || s.steer != Steer::Iq {
+            if self.slab.stage(id) != Stage::Dispatched || s.steer != Steer::Iq {
                 writeln!(
                     v,
                     "IQ resident {id} in stage {:?} steered {:?}",
-                    s.stage, s.steer
+                    self.slab.stage(id),
+                    s.steer
                 )
                 .expect("write");
             }
@@ -2826,11 +3220,12 @@ impl Core {
             }
             for &id in &th.shelf {
                 let s = self.slab.get(id);
-                if s.stage != Stage::Dispatched || s.steer != Steer::Shelf {
+                if self.slab.stage(id) != Stage::Dispatched || s.steer != Steer::Shelf {
                     writeln!(
                         v,
                         "thread {t}: shelf resident {id} in stage {:?} steered {:?}",
-                        s.stage, s.steer
+                        self.slab.stage(id),
+                        s.steer
                     )
                     .expect("write");
                 }
@@ -2852,7 +3247,7 @@ impl Core {
             let dispatched_unissued = th
                 .window
                 .iter()
-                .filter(|&&id| self.slab.get(id).stage == Stage::Dispatched)
+                .filter(|&&id| self.slab.stage(id) == Stage::Dispatched)
                 .count();
             let expected_pre_issue = th.frontend.len() + dispatched_unissued;
             if th.pre_issue_count != expected_pre_issue {
@@ -2873,7 +3268,7 @@ impl Core {
                 }
                 if let Some(prev) = s.prev_mapping {
                     if self.ext_fl.contains_range(prev.tag.0)
-                        && (s.steer == Steer::Iq || s.stage != Stage::Completed)
+                        && (s.steer == Steer::Iq || self.slab.stage(id) != Stage::Completed)
                     {
                         ext_holders += 1;
                     }

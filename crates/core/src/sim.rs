@@ -338,6 +338,64 @@ impl Simulation {
         self.core.tick();
     }
 
+    /// Advances up to `budget` driver cycles as one bounded block: cycles
+    /// inside an injected stall window burn without ticking the core, and
+    /// clean stretches are handed to [`Core::tick_bounded`], which may
+    /// fast-forward provably idle spans. Blocks never straddle a stall
+    /// window boundary, so stall semantics are bit-identical to the
+    /// cycle-by-cycle driver. Returns the cycles advanced (at least 1).
+    fn advance_bounded(&mut self, budget: u64) -> u64 {
+        debug_assert!(budget > 0);
+        let c = self.driven;
+        // Inside a stall window: burn up to its end (the farthest end among
+        // covering windows — every cycle in that range is stalled).
+        if let Some(end) = self
+            .stalls
+            .iter()
+            .filter(|&&(s, d)| c >= s && c - s < d)
+            .map(|&(s, d)| s.saturating_add(d))
+            .max()
+        {
+            let burn = budget.min(end - c);
+            self.driven += burn;
+            return burn;
+        }
+        // Clean: run the core until the next stall window opens.
+        let until = self
+            .stalls
+            .iter()
+            .map(|&(s, _)| s)
+            .filter(|&s| s > c)
+            .min()
+            .unwrap_or(u64::MAX);
+        let run = budget.min(until - c);
+        self.driven += run;
+        self.core.tick_bounded(run);
+        run
+    }
+
+    /// Drives exactly `cycles` driver cycles in bounded blocks, checking
+    /// the watchdog at block boundaries. Blocks are capped at the watchdog
+    /// deadline (`last_progress_cycle + window`), so a run that stops
+    /// retiring instructions is diagnosed at the same driver cycle as under
+    /// the cycle-by-cycle driver — even when the skip engine is jumping the
+    /// core over MSHR-fill deadlines inside a block.
+    fn drive(&mut self, cycles: u64, wd: &mut Option<WatchdogState>) -> Result<(), SimError> {
+        let end = self.driven + cycles;
+        while self.driven < end {
+            let mut budget = end - self.driven;
+            if let Some(state) = wd.as_ref() {
+                let deadline = state.last_progress_cycle + state.window;
+                budget = budget.min(deadline.saturating_sub(self.driven)).max(1);
+            }
+            self.advance_bounded(budget);
+            if let Some(state) = wd.as_mut() {
+                self.watchdog_check(state)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Total instructions committed across all threads (whole run).
     fn total_committed(&self) -> u64 {
         (0..self.names.len()).map(|t| self.core.committed(t)).sum()
@@ -404,6 +462,18 @@ impl Simulation {
         self.core.tracer()
     }
 
+    /// Runtime toggle for event-driven cycle skipping in the fixed-window
+    /// drivers (see [`Core::set_cycle_skipping`]). On by default; results
+    /// are bit-identical either way.
+    pub fn set_cycle_skipping(&mut self, on: bool) {
+        self.core.set_cycle_skipping(on);
+    }
+
+    /// Cycle-skip accounting for this simulation's core.
+    pub fn skip_stats(&self) -> &crate::skip::SkipStats {
+        self.core.skip_stats()
+    }
+
     /// Alternative measurement: after `warmup_cycles`, runs until every
     /// thread has committed at least `insts_per_thread` instructions (or
     /// `max_cycles` measured cycles elapse) and returns the results over the
@@ -439,12 +509,7 @@ impl Simulation {
         watchdog: Option<Watchdog>,
     ) -> Result<RunResult, SimError> {
         let mut wd = self.watchdog_state(watchdog);
-        for _ in 0..warmup_cycles {
-            self.advance();
-            if let Some(state) = wd.as_mut() {
-                self.watchdog_check(state)?;
-            }
-        }
+        self.drive(warmup_cycles, &mut wd)?;
         let committed0: Vec<u64> = (0..self.names.len())
             .map(|t| self.core.committed(t))
             .collect();
@@ -467,6 +532,9 @@ impl Simulation {
 
         let mut measured = 0u64;
         let mut completion = Completion::MaxCyclesExpired;
+        // Cycle-by-cycle on purpose: the commit target must be detected at
+        // the exact crossing cycle, and a bounded block can only observe it
+        // at block granularity. Equal-work runs keep the plain driver.
         while measured < max_cycles {
             self.advance();
             measured += 1;
@@ -523,12 +591,7 @@ impl Simulation {
         watchdog: Option<Watchdog>,
     ) -> Result<RunResult, SimError> {
         let mut wd = self.watchdog_state(watchdog);
-        for _ in 0..warmup_cycles {
-            self.advance();
-            if let Some(state) = wd.as_mut() {
-                self.watchdog_check(state)?;
-            }
-        }
+        self.drive(warmup_cycles, &mut wd)?;
         // Snapshot at measurement start.
         let committed0: Vec<u64> = (0..self.names.len())
             .map(|t| self.core.committed(t))
@@ -550,12 +613,7 @@ impl Simulation {
             tracer.reset();
         }
 
-        for _ in 0..measure_cycles {
-            self.advance();
-            if let Some(state) = wd.as_mut() {
-                self.watchdog_check(state)?;
-            }
-        }
+        self.drive(measure_cycles, &mut wd)?;
         self.core.finish_classification();
         Ok(self.collect(
             measure_cycles,
@@ -789,6 +847,53 @@ mod tests {
             .expect_err("warm-up livelock should abort");
         let SimError::Deadlock(d) = err;
         assert!(d.cycle <= 301, "fired at {}", d.cycle);
+    }
+
+    #[test]
+    fn watchdog_diagnoses_livelock_with_cycle_skipping_engaged() {
+        // The skip engine jumps a memory-bound core across MSHR-fill
+        // deadlines; the driver must still diagnose a deadlock within one
+        // watchdog window of the last retired instruction. Blocks are
+        // capped at stall boundaries, so the conservative last-progress
+        // cycle is at most the stall start (2000) and the watchdog must
+        // fire by 2000 + window.
+        let cfg = CoreConfig::base64(1);
+        let mut sim = Simulation::from_names(cfg, &["mcf"], 3).unwrap();
+        assert!(sim.core().cycle_skipping(), "skipping defaults on");
+        sim.inject_stall(2_000, u64::MAX);
+        let err = sim
+            .try_run(200, 50_000, Some(Watchdog::new(400)))
+            .expect_err("watchdog should fire");
+        let SimError::Deadlock(d) = err;
+        assert!(
+            d.cycle <= 2_000 + 400,
+            "fired at {} — must abort within one window of the stall",
+            d.cycle
+        );
+        assert!(
+            sim.skip_stats().skipped_cycles > 0,
+            "memory-bound run should have exercised the skip engine"
+        );
+    }
+
+    #[test]
+    fn skipping_and_plain_drivers_produce_identical_results() {
+        let cfg = CoreConfig::base64_shelf64(2, SteerPolicy::Practical, true);
+        let mut plain = Simulation::from_names(cfg.clone(), &["mcf", "lbm"], 7).unwrap();
+        plain.set_cycle_skipping(false);
+        let rp = plain.run(500, 8_000);
+
+        let mut skip = Simulation::from_names(cfg, &["mcf", "lbm"], 7).unwrap();
+        let rs = skip.run(500, 8_000);
+        assert!(
+            skip.skip_stats().skipped_cycles > 0,
+            "memory-bound mix should skip"
+        );
+        assert_eq!(rp.counters, rs.counters, "driver results diverged");
+        for (a, b) in rp.threads.iter().zip(&rs.threads) {
+            assert_eq!(a.committed, b.committed);
+            assert_eq!(a.cpi.to_bits(), b.cpi.to_bits());
+        }
     }
 
     #[test]

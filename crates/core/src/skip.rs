@@ -1,0 +1,234 @@
+//! Event-driven cycle skipping: the probe-and-diff protocol.
+//!
+//! A memory-bound core spends most of its cycles doing *nothing*: every
+//! stage blocked, waiting for a DRAM fill hundreds of cycles away. The
+//! engine's hot loop still pays the full per-cycle walk for each of those
+//! cycles. This module provides the bookkeeping for skipping them.
+//!
+//! # Protocol
+//!
+//! The engine cannot prove a cycle is idle a priori — too many stages have
+//! data-dependent side conditions. Instead it *observes* idleness:
+//!
+//! 1. A tick in which no stage made architectural progress (no fetch,
+//!    dispatch, issue, writeback, commit, or store-buffer drain) **arms**
+//!    the engine.
+//! 2. The next tick is run as **probe 1**: the full [`Counters`] delta,
+//!    [`HierarchyCounters`] delta, and a [`StableSnapshot`] of every piece
+//!    of cycle-varying control state are captured.
+//! 3. The tick after that is **probe 2**, captured the same way. If both
+//!    probes made no progress and their deltas, snapshots, and
+//!    streak-bump masks are *identical*, the core is at a fixed point:
+//!    every subsequent cycle repeats the probe cycle exactly, until the
+//!    first externally scheduled event fires.
+//! 4. The engine computes the **event horizon** — the earliest cycle at
+//!    which anything can change (pending pipeline event, ready-wheel
+//!    entry, MSHR fill, functional unit release, fetch-stall expiry,
+//!    fetch-to-dispatch pipe maturation, store-buffer drain eligibility)
+//!    — and fast-forwards to it: counters are replayed scaled
+//!    (`delta * k`), decaying state (SSRs, steering tables) is replayed
+//!    exactly, and the cycle counter jumps.
+//!
+//! Anything the protocol cannot prove constant simply prevents the skip
+//! (the probes disagree), so the fast-forwarded run is *bit-identical* to
+//! the tick-by-tick run — counters, commit stream, and trace tallies.
+//!
+//! Skipped cycles are accounted per horizon cause in [`SkipStats`] so runs
+//! can report where their idle time went.
+
+use crate::counters::Counters;
+use crate::inst::InstId;
+use shelfsim_mem::HierarchyCounters;
+
+/// Maximum hardware threads the snapshot covers (the pipeline itself caps
+/// thread bitmasks at 64 and `CoreConfig::validate` at 8).
+pub(crate) const MAX_SKIP_THREADS: usize = 8;
+
+/// Number of [`SkipCause`] variants (array sizing).
+pub const SKIP_CAUSES: usize = 8;
+
+/// What bounded a skipped span: the horizon term that fired first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum SkipCause {
+    /// A pending pipeline event (writeback / squash filter) was due.
+    PipeEvent = 0,
+    /// A ready-wheel entry (IQ source-ready calendar) was due.
+    ReadyWheel = 1,
+    /// An outstanding MSHR fill (data or instruction side) was due.
+    MshrFill = 2,
+    /// An unpipelined functional unit was due to free up.
+    FuFree = 3,
+    /// A thread's fetch stall (I-miss / redirect hold) was due to expire.
+    FetchStall = 4,
+    /// A frontend head was due to mature through the fetch-to-dispatch pipe.
+    FrontendDecode = 5,
+    /// A store-buffer head was due to become drain-eligible.
+    StoreBuffer = 6,
+    /// The caller's cycle budget capped the span (includes true deadlocks,
+    /// where no horizon term exists at all).
+    LimitCap = 7,
+}
+
+impl SkipCause {
+    /// All causes, in `as usize` index order.
+    pub const ALL: [SkipCause; SKIP_CAUSES] = [
+        SkipCause::PipeEvent,
+        SkipCause::ReadyWheel,
+        SkipCause::MshrFill,
+        SkipCause::FuFree,
+        SkipCause::FetchStall,
+        SkipCause::FrontendDecode,
+        SkipCause::StoreBuffer,
+        SkipCause::LimitCap,
+    ];
+
+    /// Stable lowercase name (reports, JSON).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SkipCause::PipeEvent => "pipe_event",
+            SkipCause::ReadyWheel => "ready_wheel",
+            SkipCause::MshrFill => "mshr_fill",
+            SkipCause::FuFree => "fu_free",
+            SkipCause::FetchStall => "fetch_stall",
+            SkipCause::FrontendDecode => "frontend_decode",
+            SkipCause::StoreBuffer => "store_buffer",
+            SkipCause::LimitCap => "limit_cap",
+        }
+    }
+}
+
+/// Cycle-skip accounting: every skipped cycle is attributed to the horizon
+/// cause that bounded its span, so `skipped_cycles == by_cause.sum()`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SkipStats {
+    /// Cycles fast-forwarded instead of ticked.
+    pub skipped_cycles: u64,
+    /// Fast-forward spans executed.
+    pub spans: u64,
+    /// Skipped cycles by bounding cause, indexed by `SkipCause as usize`.
+    pub by_cause: [u64; SKIP_CAUSES],
+    /// Probe pairs that failed the fixed-point comparison (diagnostic: a
+    /// high ratio against `spans` means idle spans exist but something
+    /// cycle-varying keeps defeating the protocol).
+    pub probe_mismatches: u64,
+}
+
+/// Per-thread lens of cycle-varying control state. Equality between the
+/// two probes is (part of) the fixed-point certificate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct ThreadLens {
+    pub frontend: usize,
+    pub window: usize,
+    pub shelf: usize,
+    pub rob: usize,
+    pub lq: usize,
+    pub sq: usize,
+    pub store_buffer: usize,
+    pub inflight_loads: usize,
+    pub inflight_stores: usize,
+    pub pre_issue_count: usize,
+    pub fetch_stalled_until: u64,
+    pub waiting_branch: Option<InstId>,
+    pub next_fetch_seq: u64,
+    pub head_blocked_id: Option<InstId>,
+    pub tracker_head: u64,
+    pub shelf_retire_ptr: u64,
+    pub shelf_next_idx: u64,
+    /// SSR values are included directly: while they decay the probes
+    /// disagree, so a skip can only fire once both registers reached zero —
+    /// exactly when their decay stops mattering.
+    pub ssr_iq: u32,
+    pub ssr_shelf: u32,
+}
+
+/// Snapshot of every piece of engine state that can change from one idle
+/// cycle to the next. Two equal consecutive snapshots (with equal counter
+/// deltas) prove the core is at a fixed point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct StableSnapshot {
+    pub threads: [ThreadLens; MAX_SKIP_THREADS],
+    pub icount_last: usize,
+    pub fetch_rr: usize,
+    pub slab_live: usize,
+    pub iq_len: usize,
+    pub iq_waiting: usize,
+    pub ready_pool_len: usize,
+    pub events_len: usize,
+    pub ready_wheel_len: usize,
+}
+
+/// One captured probe: the per-cycle counter deltas, the state snapshot at
+/// the probe's end, and the streak-bump mask observed during the tick.
+#[derive(Clone, Debug)]
+pub(crate) struct ProbeRecord {
+    /// `Core::now` immediately after the probe tick (continuity check: a
+    /// record is only comparable to one ending exactly one cycle earlier).
+    pub end_cycle: u64,
+    pub delta: Counters,
+    pub mem_delta: HierarchyCounters,
+    pub snap: StableSnapshot,
+    /// Threads whose `head_blocked_streak` was bumped during the tick.
+    pub streak_bumped: u64,
+}
+
+/// Probe state machine (see the module docs for the protocol).
+#[derive(Clone, Debug, Default)]
+pub(crate) enum ProbePhase {
+    /// Last tick made progress; nothing captured.
+    #[default]
+    Idle,
+    /// Last tick made no progress; the next no-progress tick is probed.
+    Armed,
+    /// One probe captured, awaiting its pair (boxed: a record embeds full
+    /// counter blocks and would otherwise dwarf the no-data variants).
+    Probed(Box<ProbeRecord>),
+}
+
+/// The per-core skip engine: runtime toggle, probe state, and accounting.
+///
+/// Deliberately *not* part of [`crate::CoreConfig`]: skipping is an engine
+/// execution strategy with no architectural effect, and config hashes feed
+/// campaign journals.
+#[derive(Clone, Debug)]
+pub(crate) struct SkipEngine {
+    pub enabled: bool,
+    pub phase: ProbePhase,
+    /// Set by stage code whenever architectural progress happens this tick.
+    pub progress: bool,
+    /// Per-thread bitmask: `head_blocked_streak` incremented this tick.
+    pub streak_bumped: u64,
+    pub stats: SkipStats,
+}
+
+impl SkipEngine {
+    pub(crate) fn new() -> Self {
+        SkipEngine {
+            enabled: true,
+            phase: ProbePhase::Idle,
+            progress: false,
+            streak_bumped: 0,
+            stats: SkipStats::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cause_indices_match_all_order() {
+        for (i, c) in SkipCause::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i, "{}", c.as_str());
+        }
+    }
+
+    #[test]
+    fn stats_default_is_zeroed() {
+        let s = SkipStats::default();
+        assert_eq!(s.skipped_cycles, 0);
+        assert_eq!(s.spans, 0);
+        assert_eq!(s.by_cause, [0; SKIP_CAUSES]);
+    }
+}

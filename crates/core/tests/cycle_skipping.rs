@@ -1,0 +1,220 @@
+//! Event-driven cycle skipping must be *invisible*: `tick_bounded(n)` is
+//! required to be bit-identical to `n` plain `tick()` calls — counters,
+//! commit stream, trace tallies, occupancy samples, everything. These tests
+//! drive the same workload through both engines and diff the results.
+
+use shelfsim_core::{Core, CoreConfig, SteerPolicy};
+use shelfsim_workload::kernels;
+use shelfsim_workload::TraceSource;
+
+/// Builds a core running the named library kernels, one per thread.
+fn core_for(cfg: CoreConfig, kernel_names: &[&str]) -> Core {
+    let sources = kernel_names
+        .iter()
+        .enumerate()
+        .map(|(t, name)| {
+            let program = kernels::by_name(name)
+                .unwrap_or_else(|| panic!("kernel `{name}` in library"))
+                .assemble()
+                .expect("library kernels assemble");
+            TraceSource::new(program, t)
+        })
+        .collect();
+    let mut core = Core::new(cfg, sources);
+    core.warm_caches();
+    core
+}
+
+/// Runs the same workload twice — tick-by-tick and skip-enabled — and
+/// asserts the architectural results are identical. Returns the skipped
+/// cycle count so callers can assert the skip engine actually engaged.
+fn assert_equivalent(cfg: CoreConfig, kernel_names: &[&str], cycles: u64) -> u64 {
+    let mut plain = core_for(cfg.clone(), kernel_names);
+    plain.set_cycle_skipping(false);
+    plain.enable_commit_observer();
+    let advanced = plain.tick_bounded(cycles);
+    assert_eq!(advanced, cycles, "tick_bounded must advance exactly limit");
+    assert_eq!(
+        plain.skip_stats().skipped_cycles,
+        0,
+        "disabled engine skipped"
+    );
+
+    let mut skip = core_for(cfg, kernel_names);
+    skip.enable_commit_observer();
+    assert!(skip.cycle_skipping(), "skipping defaults on");
+    let advanced = skip.tick_bounded(cycles);
+    assert_eq!(advanced, cycles);
+
+    assert_eq!(plain.now(), skip.now(), "cycle counters diverged");
+    assert_eq!(plain.counters, skip.counters, "counters diverged");
+    assert_eq!(
+        plain.hierarchy().counters(),
+        skip.hierarchy().counters(),
+        "memory-hierarchy counters diverged"
+    );
+    for t in 0..kernel_names.len() {
+        assert_eq!(plain.committed(t), skip.committed(t), "thread {t} commits");
+    }
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    plain.drain_commit_events(&mut a);
+    skip.drain_commit_events(&mut b);
+    assert_eq!(a.len(), b.len(), "commit stream lengths diverged");
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.thread, y.thread);
+        assert_eq!(x.seq, y.seq);
+        assert_eq!(
+            x.cycle, y.cycle,
+            "commit cycle for t{} seq{}",
+            x.seq, x.thread
+        );
+        assert_eq!(x.inst, y.inst);
+    }
+
+    let stats = skip.skip_stats();
+    assert_eq!(
+        stats.skipped_cycles,
+        stats.by_cause.iter().sum::<u64>(),
+        "every skipped cycle must be attributed to a cause"
+    );
+    stats.skipped_cycles
+}
+
+#[test]
+fn skip_matches_tick_on_memory_bound_chase() {
+    // A serialized pointer chase is the skip engine's best case: every DRAM
+    // miss opens a multi-hundred-cycle idle span.
+    let cfg = CoreConfig::base64_shelf64(1, SteerPolicy::Practical, true);
+    let skipped = assert_equivalent(cfg, &["chase"], 40_000);
+    assert!(
+        skipped > 20_000,
+        "chase should skip most of its cycles, skipped only {skipped}"
+    );
+}
+
+#[test]
+fn skip_matches_tick_on_two_thread_memory_bound_mix() {
+    // Two threads: idle spans only open when *both* are blocked, so fixed
+    // points are rarer and interleaved with bursts of progress.
+    let cfg = CoreConfig::base64_shelf64(2, SteerPolicy::Practical, true);
+    let skipped = assert_equivalent(cfg, &["chase", "chase2"], 40_000);
+    assert!(skipped > 0, "two blocked chases must still yield skips");
+}
+
+#[test]
+fn skip_matches_tick_on_compute_bound_kernel() {
+    // A compute-bound kernel should barely skip — and must stay identical.
+    let cfg = CoreConfig::base64(1);
+    assert_equivalent(cfg, &["reduce"], 20_000);
+}
+
+#[test]
+fn skip_matches_tick_across_designs_and_steers() {
+    for (threads, kernels) in [(1usize, vec!["triad"]), (2usize, vec!["chase", "triad"])] {
+        for mk in [
+            CoreConfig::base64 as fn(usize) -> CoreConfig,
+            CoreConfig::base128 as fn(usize) -> CoreConfig,
+        ] {
+            assert_equivalent(mk(threads), &kernels, 15_000);
+        }
+        for steer in [
+            SteerPolicy::Practical,
+            SteerPolicy::Oracle,
+            SteerPolicy::AlwaysShelf,
+        ] {
+            let cfg = CoreConfig::base64_shelf64(threads, steer, true);
+            assert_equivalent(cfg, &kernels, 15_000);
+        }
+    }
+}
+
+#[test]
+fn tracer_tallies_and_samples_identical_under_skipping() {
+    // Satellite: stall attribution and occupancy sampling must survive the
+    // fast-forward — skipped spans are attributed to the blocking cause and
+    // grid samples are emitted at pre-skip occupancy values.
+    let cfg = CoreConfig::base64_shelf64(2, SteerPolicy::Practical, true);
+    let cycles = 30_000u64;
+
+    let mut plain = core_for(cfg.clone(), &["chase", "chase2"]);
+    plain.set_cycle_skipping(false);
+    plain.enable_tracer(256, 100);
+    plain.tick_bounded(cycles);
+
+    let mut skip = core_for(cfg, &["chase", "chase2"]);
+    skip.enable_tracer(256, 100);
+    skip.tick_bounded(cycles);
+    assert!(
+        skip.skip_stats().skipped_cycles > 0,
+        "memory-bound 2-thread run must skip"
+    );
+
+    let (pt, st) = (plain.tracer().unwrap(), skip.tracer().unwrap());
+    for t in 0..2 {
+        assert_eq!(
+            pt.dispatch_stalls(t),
+            st.dispatch_stalls(t),
+            "dispatch stall tally diverged for thread {t}"
+        );
+        assert_eq!(
+            pt.issue_stalls(t),
+            st.issue_stalls(t),
+            "issue stall tally diverged for thread {t}"
+        );
+        // The invariant the skip accounting must preserve: per-thread
+        // per-side tallies sum exactly to the driven cycles.
+        assert_eq!(st.dispatch_stalls(t).iter().sum::<u64>(), cycles);
+        assert_eq!(st.issue_stalls(t).iter().sum::<u64>(), cycles);
+    }
+    let ps: Vec<_> = pt.samples().collect();
+    let ss: Vec<_> = st.samples().collect();
+    assert_eq!(ps, ss, "occupancy sample streams diverged");
+    for w in ss.windows(2) {
+        assert_eq!(
+            w[1].cycle - w[0].cycle,
+            100,
+            "sampling grid must stay exact through skips"
+        );
+    }
+}
+
+#[test]
+fn large_skip_spans_do_not_corrupt_cycle_arithmetic() {
+    // Satellite: multi-thousand-cycle jumps exercise the skip path's
+    // cycle-delta arithmetic. A chase over `mem` with a cold hierarchy
+    // produces spans bounded only by the DRAM fill horizon.
+    let cfg = CoreConfig::base64_shelf64(1, SteerPolicy::Practical, true);
+    let mut core = core_for(cfg.clone(), &["chase"]);
+    let cycles = 2_000_000u64;
+    core.tick_bounded(cycles);
+    assert_eq!(core.now(), cycles);
+    assert_eq!(core.counters.cycles, cycles);
+    let stats = core.skip_stats().clone();
+    assert!(stats.spans > 0);
+    assert!(stats.skipped_cycles < cycles);
+    // Occupancy integrals (cycle-summed) must not have wrapped.
+    for &occ in &core.counters.occupancy {
+        assert!(occ < cycles * 1024, "occupancy integral implausible: {occ}");
+    }
+    // And the long run still matches a short tick-by-tick prefix.
+    let mut prefix = core_for(cfg, &["chase"]);
+    prefix.set_cycle_skipping(false);
+    prefix.tick_bounded(50_000);
+    assert!(prefix.committed(0) > 0);
+}
+
+#[test]
+fn probe_state_resets_when_toggled_off() {
+    let cfg = CoreConfig::base64_shelf64(1, SteerPolicy::Practical, true);
+    let mut core = core_for(cfg, &["chase"]);
+    core.tick_bounded(5_000);
+    core.set_cycle_skipping(false);
+    let before = core.skip_stats().skipped_cycles;
+    core.tick_bounded(1_000);
+    assert_eq!(
+        core.skip_stats().skipped_cycles,
+        before,
+        "disabled engine must not skip"
+    );
+}

@@ -129,6 +129,21 @@ impl Cache {
         &self.stats
     }
 
+    /// Adds `delta * k` to every stat counter (saturating). Used by the
+    /// cycle-skip fast-forward to fold a span of `k` identical idle cycles
+    /// into the stats without replaying each access.
+    pub(crate) fn stats_add_scaled(&mut self, delta: &CacheStats, k: u64) {
+        self.stats.accesses = self
+            .stats
+            .accesses
+            .saturating_add(delta.accesses.saturating_mul(k));
+        self.stats.hits = self.stats.hits.saturating_add(delta.hits.saturating_mul(k));
+        self.stats.writebacks = self
+            .stats
+            .writebacks
+            .saturating_add(delta.writebacks.saturating_mul(k));
+    }
+
     #[inline]
     fn set_index(&self, addr: u64) -> usize {
         ((addr >> self.set_shift) & self.set_mask) as usize

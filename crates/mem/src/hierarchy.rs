@@ -315,6 +315,117 @@ impl Hierarchy {
     pub fn data_mshr_rejections(&self) -> u64 {
         self.data_mshrs.rejections
     }
+
+    /// Earliest pending MSHR fill (data or instruction side) strictly after
+    /// `now`. This is the memory hierarchy's contribution to the engine's
+    /// event horizon: a core with every stage blocked cannot change state
+    /// before the first outstanding miss returns.
+    pub fn next_fill_after(&self, now: u64) -> Option<u64> {
+        match (
+            self.data_mshrs.next_fill_after(now),
+            self.inst_mshrs.next_fill_after(now),
+        ) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Flat snapshot of every event counter in the hierarchy (cache stats,
+    /// MSHR traffic, prefetches). The skip engine diffs two snapshots to
+    /// learn the per-idle-cycle counter delta, then replays it scaled.
+    pub fn counters(&self) -> HierarchyCounters {
+        HierarchyCounters {
+            l1i: *self.l1i.stats(),
+            l1d: *self.l1d.stats(),
+            l2: *self.l2.stats(),
+            prefetches: self.prefetches,
+            data_allocations: self.data_mshrs.allocations,
+            data_merges: self.data_mshrs.merges,
+            data_rejections: self.data_mshrs.rejections,
+            inst_allocations: self.inst_mshrs.allocations,
+            inst_merges: self.inst_mshrs.merges,
+            inst_rejections: self.inst_mshrs.rejections,
+        }
+    }
+
+    /// Accumulates `delta * k` into the hierarchy's counters (saturating):
+    /// the fast-forward analogue of replaying one probed idle cycle's
+    /// counter activity `k` times. Tag/LRU state is untouched — an idle
+    /// cycle by definition performed no state-changing access.
+    pub fn add_scaled_counters(&mut self, delta: &HierarchyCounters, k: u64) {
+        self.l1i.stats_add_scaled(&delta.l1i, k);
+        self.l1d.stats_add_scaled(&delta.l1d, k);
+        self.l2.stats_add_scaled(&delta.l2, k);
+        self.prefetches = self
+            .prefetches
+            .saturating_add(delta.prefetches.saturating_mul(k));
+        let m = &mut self.data_mshrs;
+        m.allocations = m
+            .allocations
+            .saturating_add(delta.data_allocations.saturating_mul(k));
+        m.merges = m.merges.saturating_add(delta.data_merges.saturating_mul(k));
+        m.rejections = m
+            .rejections
+            .saturating_add(delta.data_rejections.saturating_mul(k));
+        let m = &mut self.inst_mshrs;
+        m.allocations = m
+            .allocations
+            .saturating_add(delta.inst_allocations.saturating_mul(k));
+        m.merges = m.merges.saturating_add(delta.inst_merges.saturating_mul(k));
+        m.rejections = m
+            .rejections
+            .saturating_add(delta.inst_rejections.saturating_mul(k));
+    }
+}
+
+/// Flat, comparable snapshot of the hierarchy's event counters (see
+/// [`Hierarchy::counters`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HierarchyCounters {
+    /// L1I stats.
+    pub l1i: CacheStats,
+    /// L1D stats.
+    pub l1d: CacheStats,
+    /// L2 stats.
+    pub l2: CacheStats,
+    /// Prefetches issued.
+    pub prefetches: u64,
+    /// Data-side MSHR allocations.
+    pub data_allocations: u64,
+    /// Data-side MSHR merges.
+    pub data_merges: u64,
+    /// Data-side MSHR rejections.
+    pub data_rejections: u64,
+    /// Instruction-side MSHR allocations.
+    pub inst_allocations: u64,
+    /// Instruction-side MSHR merges.
+    pub inst_merges: u64,
+    /// Instruction-side MSHR rejections.
+    pub inst_rejections: u64,
+}
+
+impl HierarchyCounters {
+    /// Field-by-field difference `self - before` (every field of `before`
+    /// must be ≤ the matching field here; counters are monotone).
+    pub fn diff(&self, before: &HierarchyCounters) -> HierarchyCounters {
+        let dc = |a: CacheStats, b: CacheStats| CacheStats {
+            accesses: a.accesses - b.accesses,
+            hits: a.hits - b.hits,
+            writebacks: a.writebacks - b.writebacks,
+        };
+        HierarchyCounters {
+            l1i: dc(self.l1i, before.l1i),
+            l1d: dc(self.l1d, before.l1d),
+            l2: dc(self.l2, before.l2),
+            prefetches: self.prefetches - before.prefetches,
+            data_allocations: self.data_allocations - before.data_allocations,
+            data_merges: self.data_merges - before.data_merges,
+            data_rejections: self.data_rejections - before.data_rejections,
+            inst_allocations: self.inst_allocations - before.inst_allocations,
+            inst_merges: self.inst_merges - before.inst_merges,
+            inst_rejections: self.inst_rejections - before.inst_rejections,
+        }
+    }
 }
 
 #[cfg(test)]

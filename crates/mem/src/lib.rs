@@ -29,6 +29,6 @@ pub mod mshr;
 pub mod prefetch;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
-pub use hierarchy::{Access, Hierarchy, HierarchyConfig, Level};
+pub use hierarchy::{Access, Hierarchy, HierarchyConfig, HierarchyCounters, Level};
 pub use mshr::{MshrFile, MshrFull};
 pub use prefetch::{PrefetchKind, StridePrefetcher};

@@ -98,6 +98,18 @@ impl MshrFile {
         self.entries.iter().filter(|e| e.fill_cycle > now).count()
     }
 
+    /// Earliest pending fill strictly after `now`, if any in-flight entry
+    /// exists. This is the memory side of the engine's event-horizon
+    /// computation: a core blocked on an outstanding miss cannot change
+    /// state before the first MSHR fills.
+    pub fn next_fill_after(&self, now: u64) -> Option<u64> {
+        self.entries
+            .iter()
+            .filter(|e| e.fill_cycle > now)
+            .map(|e| e.fill_cycle)
+            .min()
+    }
+
     /// Total register count.
     pub fn capacity(&self) -> usize {
         self.capacity
@@ -142,6 +154,20 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_capacity_panics() {
         let _ = MshrFile::new(0);
+    }
+
+    #[test]
+    fn next_fill_after_reports_the_earliest_pending_fill() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.next_fill_after(0), None);
+        m.request(0x40, 0, 300).unwrap();
+        m.request(0x80, 0, 120).unwrap();
+        m.request(0xc0, 0, 200).unwrap();
+        assert_eq!(m.next_fill_after(0), Some(120));
+        // Fills at or before `now` no longer count.
+        assert_eq!(m.next_fill_after(120), Some(200));
+        assert_eq!(m.next_fill_after(299), Some(300));
+        assert_eq!(m.next_fill_after(300), None);
     }
 
     #[test]

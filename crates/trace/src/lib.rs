@@ -235,6 +235,11 @@ pub struct Tracer {
     samples_dropped: u64,
     dispatch_stalls: Vec<[u64; STALL_CAUSES]>,
     issue_stalls: Vec<[u64; STALL_CAUSES]>,
+    /// The most recent per-thread attribution on each side, retained so a
+    /// skipped idle span can be attributed in bulk (the span repeats the
+    /// probed cycle exactly, including its stall causes).
+    last_dispatch: Vec<StallCause>,
+    last_issue: Vec<StallCause>,
 }
 
 impl Tracer {
@@ -256,6 +261,8 @@ impl Tracer {
             samples_dropped: 0,
             dispatch_stalls: vec![[0; STALL_CAUSES]; threads],
             issue_stalls: vec![[0; STALL_CAUSES]; threads],
+            last_dispatch: vec![StallCause::Empty; threads],
+            last_issue: vec![StallCause::Empty; threads],
         }
     }
 
@@ -286,6 +293,8 @@ impl Tracer {
         for row in &mut self.issue_stalls {
             *row = [0; STALL_CAUSES];
         }
+        self.last_dispatch.fill(StallCause::Empty);
+        self.last_issue.fill(StallCause::Empty);
     }
 
     /// The lifecycle/sample ring capacity.
@@ -324,6 +333,7 @@ impl Tracer {
     pub fn attribute_dispatch(&mut self, thread: usize, cause: StallCause) {
         if let Some(row) = self.dispatch_stalls.get_mut(thread) {
             row[cause as usize] += 1;
+            self.last_dispatch[thread] = cause;
         }
     }
 
@@ -332,7 +342,27 @@ impl Tracer {
     pub fn attribute_issue(&mut self, thread: usize, cause: StallCause) {
         if let Some(row) = self.issue_stalls.get_mut(thread) {
             row[cause as usize] += 1;
+            self.last_issue[thread] = cause;
         }
+    }
+
+    /// Re-applies the most recent per-thread attribution (both sides) `k`
+    /// more times. The skip engine calls this when it fast-forwards an
+    /// idle span: the span repeats the probed cycle exactly, so every
+    /// skipped cycle carries the probe's stall causes, and the invariant
+    /// that each thread's tallies sum to the driven cycle count holds.
+    pub fn attribute_span(&mut self, k: u64) {
+        for (t, row) in self.dispatch_stalls.iter_mut().enumerate() {
+            row[self.last_dispatch[t] as usize] += k;
+        }
+        for (t, row) in self.issue_stalls.iter_mut().enumerate() {
+            row[self.last_issue[t] as usize] += k;
+        }
+    }
+
+    /// The occupancy sampling period (cycles between samples).
+    pub fn sample_period(&self) -> u64 {
+        self.sample_every
     }
 
     /// The retained lifecycle records, oldest first.

@@ -55,6 +55,13 @@ impl Icount {
         }
         best
     }
+
+    /// The thread the policy last granted fetch to (round-robin anchor).
+    /// The engine's cycle-skip snapshot includes it: two idle cycles that
+    /// would rotate the anchor differently are not a fixed point.
+    pub fn last_selected(&self) -> usize {
+        self.last_selected
+    }
 }
 
 #[cfg(test)]

@@ -51,6 +51,11 @@ pub struct LockstepConfig {
     pub trace_window: usize,
     /// Sequence-number radius of the divergence trace dump.
     pub trace_radius: u64,
+    /// Whether the core may fast-forward provably idle spans
+    /// ([`Core::set_cycle_skipping`]). Results are bit-identical either
+    /// way; exposing the toggle lets the validation matrix prove exactly
+    /// that.
+    pub cycle_skipping: bool,
     /// Seeded semantic mutation to arm in the core (mutation testing of
     /// this very harness; requires building with `--features chaos`).
     #[cfg(feature = "chaos")]
@@ -65,6 +70,7 @@ impl Default for LockstepConfig {
             warmup_insts: 1_000,
             trace_window: 512,
             trace_radius: 8,
+            cycle_skipping: true,
             #[cfg(feature = "chaos")]
             chaos: None,
         }
@@ -226,6 +232,7 @@ pub fn run_lockstep(cfg: &CoreConfig, programs: &[Program], lcfg: &LockstepConfi
         .map(|(t, p)| TraceSource::new(p.clone(), t))
         .collect();
     let mut core = Core::new(cfg.clone(), traces);
+    core.set_cycle_skipping(lcfg.cycle_skipping);
     core.enable_commit_observer();
     core.enable_tracer(lcfg.trace_window, TRACE_SAMPLE_EVERY);
     core.warm_caches();
@@ -255,6 +262,11 @@ pub fn run_lockstep(cfg: &CoreConfig, programs: &[Program], lcfg: &LockstepConfi
         })
         .collect();
 
+    // The core is driven in bounded blocks: `tick_bounded` may fast-forward
+    // provably idle spans (bit-identical results, commit cycles included),
+    // and the commit-observer queue is drained at block boundaries. Blocks
+    // are short enough that a reached commit target stops the run promptly.
+    const BLOCK: u64 = 256;
     let mut events: Vec<CommitEvent> = Vec::new();
     let mut cycles = 0u64;
     while cycles < lcfg.max_cycles
@@ -262,8 +274,7 @@ pub fn run_lockstep(cfg: &CoreConfig, programs: &[Program], lcfg: &LockstepConfi
             .iter()
             .any(|r| r.commit_index < lcfg.commits_per_thread)
     {
-        core.tick();
-        cycles += 1;
+        cycles += core.tick_bounded(BLOCK.min(lcfg.max_cycles - cycles));
         core.drain_commit_events(&mut events);
         for ev in events.drain(..) {
             if ev.thread >= threads {

@@ -1,0 +1,90 @@
+//! The cycle-skipping validation matrix: every library kernel on every
+//! evaluated design at 1/2/4 threads, run through the lockstep harness with
+//! skipping on and off. Both runs must validate clean against the in-order
+//! reference AND produce bit-identical commit-stream fingerprints — the
+//! skip engine is an execution strategy, not a model change.
+//!
+//! One `#[test]` per design keeps the matrix parallel across the test
+//! harness's threads.
+
+use shelfsim_analyze::design_by_name;
+use shelfsim_validate::{run_lockstep, LockstepConfig, Verdict};
+use shelfsim_workload::kernels;
+use shelfsim_workload::program::Program;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn quick(cycle_skipping: bool) -> LockstepConfig {
+    LockstepConfig {
+        commits_per_thread: 150,
+        max_cycles: 400_000,
+        warmup_insts: 200,
+        cycle_skipping,
+        ..LockstepConfig::default()
+    }
+}
+
+fn programs(kernel: &str, threads: usize) -> Vec<Program> {
+    let k = kernels::by_name(kernel).expect("kernel in library");
+    (0..threads)
+        .map(|_| k.assemble().expect("library kernels assemble"))
+        .collect()
+}
+
+fn clean_fingerprints(verdict: Verdict, what: &str) -> Vec<u64> {
+    match verdict {
+        Verdict::Clean(stats) => stats.fingerprints,
+        other => panic!("{what}: expected clean, got {other:?}"),
+    }
+}
+
+fn run_design(design: &str) {
+    for kernel in kernels::all() {
+        for threads in THREAD_COUNTS {
+            let cfg = design_by_name(design, threads).expect("design in registry");
+            let what = format!("{design}/{}/{threads}t", kernel.name);
+            let on = clean_fingerprints(
+                run_lockstep(&cfg, &programs(kernel.name, threads), &quick(true)),
+                &format!("{what} skip-on"),
+            );
+            let off = clean_fingerprints(
+                run_lockstep(&cfg, &programs(kernel.name, threads), &quick(false)),
+                &format!("{what} skip-off"),
+            );
+            assert_eq!(
+                on, off,
+                "{what}: commit-stream fingerprints differ between skip-on and skip-off"
+            );
+        }
+    }
+}
+
+#[test]
+fn skip_matrix_base64() {
+    run_design("base64");
+}
+
+#[test]
+fn skip_matrix_base128() {
+    run_design("base128");
+}
+
+#[test]
+fn skip_matrix_shelf_cons() {
+    run_design("shelf-cons");
+}
+
+#[test]
+fn skip_matrix_shelf_opt() {
+    run_design("shelf-opt");
+}
+
+#[test]
+fn skip_matrix_shelf_oracle() {
+    run_design("shelf-oracle");
+}
+
+#[test]
+fn skip_matrix_shelf_inorder() {
+    run_design("shelf-inorder");
+}

@@ -69,6 +69,17 @@ echo "$out" | head -1
 echo "$out" | grep -q " 0 diverged, 0 invariant-violations" \
   || { echo "FAIL: validate smoke must be clean"; echo "$out"; exit 1; }
 
+echo "== skip-equivalence smoke: cycle skipping must not change validation"
+# The same lockstep sweep with the skip engine disabled: both runs must be
+# clean, proving the event-driven fast-forward is an execution strategy and
+# not a model change (the full cross-product lives in the skip_matrix test).
+out="$(cargo run --release -q -p shelfsim-cli -- validate \
+  --designs base64,shelf-opt --kernels daxpy --generated 1 --seed 9 \
+  --commits 500 --warmup 200 --sweep --no-skip)"
+echo "$out" | head -1
+echo "$out" | grep -q " 0 diverged, 0 invariant-violations" \
+  || { echo "FAIL: validate --no-skip smoke must be clean"; echo "$out"; exit 1; }
+
 echo "== chaos smoke: an armed commit-path mutation must be detected (exit 3)"
 set +e
 out="$(cargo run --release -q -p shelfsim-cli --features chaos -- validate \
