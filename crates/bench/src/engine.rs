@@ -220,6 +220,118 @@ impl BenchReport {
     }
 }
 
+/// A prior bench's kIPS numbers parsed from a committed `BENCH_core.json`,
+/// for the report-only old-vs-new comparison behind `shelfsim bench
+/// --compare`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchBaseline {
+    /// Per-run kIPS keyed by `design/mix/threads`.
+    pub runs: Vec<(String, f64)>,
+    /// Aggregate kIPS, when the document carries one.
+    pub aggregate_kips: Option<f64>,
+}
+
+impl BenchBaseline {
+    /// Baseline kIPS for a `design/mix/threads` key, if that cell existed.
+    pub fn kips_for(&self, key: &str) -> Option<f64> {
+        self.runs.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+}
+
+/// Extracts the raw text of `"name":<value>` from a flat JSON object
+/// fragment. Quoted values run to the closing quote (mix names contain
+/// commas); bare values run to the next `,` or `}`.
+fn json_field<'a>(obj: &'a str, name: &str) -> Option<&'a str> {
+    let pat = format!("\"{name}\":");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = obj[start..].trim_start();
+    if let Some(quoted) = rest.strip_prefix('"') {
+        quoted.find('"').map(|end| &quoted[..end])
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+/// Parses a `shelfsim-bench-v1` document (as emitted by
+/// [`BenchReport::to_json`]) into a comparison baseline.
+///
+/// Deliberately tolerant: the baseline feeds a report-only delta table, so
+/// a run missing a parsable kIPS is dropped rather than failing the bench.
+/// Returns `None` only when the schema marker is absent — comparing
+/// against a non-bench file is a caller mistake worth surfacing.
+pub fn parse_baseline(json: &str) -> Option<BenchBaseline> {
+    if !json.contains("shelfsim-bench-v1") {
+        return None;
+    }
+    let mut base = BenchBaseline::default();
+    for line in json.lines() {
+        let line = line.trim();
+        if line.starts_with("{\"design\":") {
+            let (Some(design), Some(mix), Some(threads), Some(kips)) = (
+                json_field(line, "design"),
+                json_field(line, "mix"),
+                json_field(line, "threads"),
+                json_field(line, "kips").and_then(|v| v.parse::<f64>().ok()),
+            ) else {
+                continue;
+            };
+            base.runs.push((format!("{design}/{mix}/{threads}"), kips));
+        } else if line.starts_with("\"aggregate\":") {
+            base.aggregate_kips = json_field(line, "kips").and_then(|v| v.parse().ok());
+        }
+    }
+    Some(base)
+}
+
+impl BenchReport {
+    /// Old-vs-new kIPS delta table against a parsed baseline. Cells absent
+    /// from the baseline render `n/a`, as does a zero baseline
+    /// (`percent_delta` semantics).
+    pub fn render_compare(&self, base: &BenchBaseline) -> String {
+        use shelfsim::stats::{percent_delta, render_delta};
+        let mut out = String::new();
+        writeln!(out, "baseline comparison (kIPS):").expect("write");
+        writeln!(
+            out,
+            "  {:<10} {:<22} {:>3}  {:>9}  {:>9}  {:>7}",
+            "design", "mix", "thr", "base", "new", "delta"
+        )
+        .expect("write");
+        for r in &self.runs {
+            let key = format!("{}/{}/{}", r.design, r.mix, r.threads);
+            let old = base.kips_for(&key);
+            let (base_cell, delta) = match old {
+                Some(k) => (format!("{k:.1}"), render_delta(percent_delta(k, r.kips))),
+                None => ("n/a".to_owned(), "n/a".to_owned()),
+            };
+            writeln!(
+                out,
+                "  {:<10} {:<22} {:>3}  {:>9}  {:>9.1}  {:>7}",
+                r.design, r.mix, r.threads, base_cell, r.kips, delta
+            )
+            .expect("write");
+        }
+        match base.aggregate_kips {
+            Some(old) => writeln!(
+                out,
+                "aggregate kIPS: {:.1} -> {:.1} ({})",
+                old,
+                self.aggregate_kips(),
+                render_delta(percent_delta(old, self.aggregate_kips()))
+            )
+            .expect("write"),
+            None => writeln!(
+                out,
+                "aggregate kIPS: baseline n/a -> {:.1}",
+                self.aggregate_kips()
+            )
+            .expect("write"),
+        }
+        out
+    }
+}
+
 /// Runs every cell of `plan` and collects throughput.
 ///
 /// # Errors
@@ -294,6 +406,56 @@ mod tests {
             "unbalanced braces:\n{json}"
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_json_and_renders_deltas() {
+        let mut plan = engine_micro(1_000, 7);
+        plan.warmup = 200;
+        plan.entries.truncate(2);
+        let rep = run_plan(&plan).expect("plan runs");
+        let base = parse_baseline(&rep.to_json()).expect("own JSON parses");
+        assert_eq!(base.runs.len(), rep.runs.len());
+        for r in &rep.runs {
+            let key = format!("{}/{}/{}", r.design, r.mix, r.threads);
+            let k = base.kips_for(&key).expect("run key present");
+            assert!((k - r.kips).abs() < 0.05 + r.kips * 1e-3, "{key}: {k}");
+        }
+        let agg = base.aggregate_kips.expect("aggregate parsed");
+        assert!((agg - rep.aggregate_kips()).abs() < 0.05 + agg * 1e-3);
+
+        // Self-comparison: every delta is ~0, aggregate line present.
+        let table = rep.render_compare(&base);
+        assert!(table.contains("baseline comparison"), "{table}");
+        assert!(table.contains("aggregate kIPS:"), "{table}");
+        assert!(
+            table.contains("0.0%"),
+            "self-compare should be ~0:\n{table}"
+        );
+
+        // A cell missing from the baseline renders n/a, report-only.
+        let empty = BenchBaseline::default();
+        let table = rep.render_compare(&empty);
+        assert!(table.contains("n/a"), "{table}");
+    }
+
+    #[test]
+    fn baseline_rejects_non_bench_documents() {
+        assert_eq!(parse_baseline("{\"schema\": \"something-else\"}"), None);
+        assert_eq!(parse_baseline(""), None);
+    }
+
+    #[test]
+    fn baseline_parses_mix_names_containing_commas() {
+        let doc = concat!(
+            "{\n  \"schema\": \"shelfsim-bench-v1\",\n  \"runs\": [\n",
+            r#"    {"design":"base64","mix":"gcc,mcf,hmmer,lbm","threads":4,"kips":1905.1}"#,
+            "\n  ],\n",
+            "  \"aggregate\": {\"wall_s\":0.1,\"committed\":10,\"kips\":1504.9}\n}\n"
+        );
+        let base = parse_baseline(doc).expect("parses");
+        assert_eq!(base.kips_for("base64/gcc,mcf,hmmer,lbm/4"), Some(1905.1));
+        assert_eq!(base.aggregate_kips, Some(1504.9));
     }
 
     #[test]

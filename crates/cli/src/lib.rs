@@ -992,6 +992,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             let mut measure = shelfsim_bench::engine::DEFAULT_MEASURE;
             let mut seed = 7u64;
             let mut out_path = "BENCH_core.json".to_owned();
+            let mut compare_path: Option<String> = None;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -1009,12 +1010,36 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                             .ok_or_else(|| uerr("--out needs a value"))?
                             .clone();
                     }
+                    "--compare" => {
+                        compare_path = Some(
+                            it.next()
+                                .ok_or_else(|| uerr("--compare needs a value"))?
+                                .clone(),
+                        );
+                    }
                     other => return Err(err(format!("unknown bench option `{other}`"))),
                 }
             }
+            // Parse the baseline before the (slow) matrix runs so a bad
+            // path fails fast.
+            let baseline = match &compare_path {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+                    Some(
+                        shelfsim_bench::engine::parse_baseline(&text).ok_or_else(|| {
+                            err(format!("{path} is not a shelfsim-bench-v1 document"))
+                        })?,
+                    )
+                }
+                None => None,
+            };
             let plan = shelfsim_bench::engine::engine_micro(measure, seed);
             let report = shelfsim_bench::engine::run_plan(&plan).map_err(err)?;
             out.push_str(&report.render_text());
+            if let Some(base) = &baseline {
+                out.push_str(&report.render_compare(base));
+            }
             if out_path != "-" {
                 std::fs::write(&out_path, report.to_json())
                     .map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
@@ -1308,10 +1333,12 @@ USAGE:
                    Chaos builds (--features chaos) accept
                    --chaos KIND:TRIGGER to arm a seeded commit-path
                    mutation the harness must then detect)
-  shelfsim bench   [--measure N] [--seed N] [--out FILE]
+  shelfsim bench   [--measure N] [--seed N] [--out FILE] [--compare FILE]
                    (engine-throughput matrix `engine_micro`: designs x mixes,
                    reports wall seconds, simulated cycles/s, and committed
-                   kIPS per run; writes BENCH_core.json unless --out -)
+                   kIPS per run; writes BENCH_core.json unless --out -;
+                   --compare prints a report-only old-vs-new kIPS delta
+                   table against a committed BENCH_core.json baseline)
   shelfsim campaign [--designs d1,d2] [--threads N] [--mixes N | --mix b1,b2 ...]
                    [--seed N] [--warmup N] [--measure N] [--watchdog N]
                    [--attempts N] [--workers N] [--journal FILE] [--json]
@@ -1555,6 +1582,50 @@ mod tests {
         assert!(out.contains("mcf"));
         assert!(out.contains("data-set"));
         assert_eq!(out.lines().count(), 2, "header + one row");
+    }
+
+    #[test]
+    fn bench_compare_renders_delta_table_and_rejects_bad_baselines() {
+        let dir = std::env::temp_dir().join("shelfsim_bench_compare_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let baseline = dir.join("base.json");
+        // A tiny real bench provides a schema-true baseline document.
+        let mut plan = shelfsim_bench::engine::engine_micro(1_000, 7);
+        plan.warmup = 200;
+        plan.entries.truncate(1);
+        let rep = shelfsim_bench::engine::run_plan(&plan).expect("plan runs");
+        std::fs::write(&baseline, rep.to_json()).expect("write baseline");
+
+        let out = run_cli(&args(&format!(
+            "bench --measure 1000 --out - --compare {}",
+            baseline.display()
+        )))
+        .expect("ok");
+        assert!(out.contains("baseline comparison"), "{out}");
+        assert!(out.contains("aggregate kIPS:"), "{out}");
+        // The truncated baseline covers one cell; the rest render n/a.
+        assert!(out.contains("n/a"), "{out}");
+
+        let missing = dir.join("nope.json");
+        let e = run_cli(&args(&format!(
+            "bench --measure 1000 --out - --compare {}",
+            missing.display()
+        )))
+        .unwrap_err();
+        assert!(e.message.contains("cannot read"), "{}", e.message);
+
+        let garbage = dir.join("garbage.json");
+        std::fs::write(&garbage, "{\"schema\": \"other\"}").expect("write");
+        let e = run_cli(&args(&format!(
+            "bench --measure 1000 --out - --compare {}",
+            garbage.display()
+        )))
+        .unwrap_err();
+        assert!(
+            e.message.contains("not a shelfsim-bench-v1"),
+            "{}",
+            e.message
+        );
     }
 
     #[test]

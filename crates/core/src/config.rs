@@ -182,6 +182,14 @@ impl CoreConfig {
         }
     }
 
+    /// Hard cap on hardware threads per core. [`CoreConfig::validate`]
+    /// enforces it, and the skip engine sizes its per-thread state
+    /// (`StableSnapshot` lenses, park certificates) from the same constant —
+    /// a const assertion in `skip.rs` ties the two together so raising the
+    /// cap for wider SMT campaigns cannot silently truncate fixed-point
+    /// proofs.
+    pub const MAX_THREADS: usize = 8;
+
     /// ROB entries available to each thread (static partitioning, §V).
     pub fn rob_per_thread(&self) -> usize {
         (self.rob_entries / self.threads).max(1)
@@ -267,8 +275,9 @@ impl CoreConfig {
     /// shelf with no steering, etc.).
     pub fn validate(&self) {
         assert!(
-            self.threads >= 1 && self.threads <= 8,
-            "1..=8 threads supported"
+            self.threads >= 1 && self.threads <= Self::MAX_THREADS,
+            "1..={} threads supported",
+            Self::MAX_THREADS
         );
         assert!(self.fetch_width >= 1 && self.dispatch_width >= 1);
         assert!(self.issue_width >= 1 && self.commit_width >= 1);
@@ -309,6 +318,25 @@ impl CoreConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn thread_cap_is_max_threads_exactly() {
+        // The cap itself must validate...
+        CoreConfig::base64(CoreConfig::MAX_THREADS).validate();
+        // ...and one past it must panic (see the should_panic test below),
+        // so the skip engine's const tie to MAX_THREADS is load-bearing.
+        assert_eq!(CoreConfig::MAX_THREADS, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "threads supported")]
+    fn over_cap_thread_count_is_rejected() {
+        CoreConfig {
+            threads: CoreConfig::MAX_THREADS + 1,
+            ..CoreConfig::base64(1)
+        }
+        .validate();
+    }
 
     #[test]
     fn table1_baseline_values() {

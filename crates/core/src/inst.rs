@@ -216,6 +216,10 @@ pub struct Slab {
     /// instruction keeps its shelf index reserved until its writeback
     /// moment, per §III-B).
     squashed: Vec<bool>,
+    /// Owning hardware thread of `id`. Dense so the skip engine's wheel-
+    /// drain wake path (map each due event/ready-wheel entry to the thread
+    /// it wakes) walks a flat array instead of dereferencing full slots.
+    threads: Vec<usize>,
     free: Vec<InstId>,
     live: usize,
 }
@@ -230,6 +234,7 @@ impl Slab {
     /// `(age 0, Stage::Frontend, not squashed)`.
     pub fn insert(&mut self, slot: Slot) -> InstId {
         self.live += 1;
+        let thread = slot.thread;
         let id = if let Some(id) = self.free.pop() {
             self.slots[id as usize] = Some(slot);
             id
@@ -243,11 +248,13 @@ impl Slab {
             self.ages.push(0);
             self.stages.push(Stage::Frontend);
             self.squashed.push(false);
+            self.threads.push(thread);
         } else {
             self.alive[i] = true;
             self.ages[i] = 0;
             self.stages[i] = Stage::Frontend;
             self.squashed[i] = false;
+            self.threads[i] = thread;
         }
         id
     }
@@ -327,6 +334,12 @@ impl Slab {
         self.stages[id as usize] = stage;
     }
 
+    /// Owning hardware thread of a live slot (O(1), SoA side table).
+    #[inline]
+    pub fn thread_of(&self, id: InstId) -> usize {
+        self.threads[id as usize]
+    }
+
     /// Whether the slot was squashed by a misspeculation.
     #[inline]
     pub fn is_squashed(&self, id: InstId) -> bool {
@@ -385,11 +398,17 @@ mod tests {
         slab.set_stage(a, Stage::Issued);
         slab.set_squashed(a, true);
         slab.remove(a);
-        let b = slab.insert(dummy());
+        let b = slab.insert(Slot::new(
+            3,
+            0,
+            DynInst::alu(OpClass::IntAlu, ArchReg::int(1), &[]),
+            0,
+        ));
         assert_eq!(a, b, "id recycled");
         assert_eq!(slab.age(b), 0);
         assert_eq!(slab.stage(b), Stage::Frontend);
         assert!(!slab.is_squashed(b));
+        assert_eq!(slab.thread_of(b), 3, "thread table follows the new owner");
     }
 
     #[test]

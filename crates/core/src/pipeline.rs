@@ -21,11 +21,11 @@
 
 use crate::classify::Classifier;
 use crate::config::{CoreConfig, FetchPolicy, MemoryModel, SteerPolicy};
-use crate::counters::{acc, Counters};
+use crate::counters::{acc, Counters, LocalStall};
 use crate::inst::{InstId, Slab, Slot, Stage, Steer};
 use crate::skip::{
-    ProbePhase, ProbeRecord, SkipCause, SkipEngine, SkipStats, StableSnapshot, ThreadLens,
-    MAX_SKIP_THREADS,
+    consider, ParkCert, ParkDispatch, ParkIssue, ProbePhase, ProbeRecord, SkipCause, SkipEngine,
+    SkipStats, StableSnapshot, ThreadLens, MAX_SKIP_THREADS, MIN_PARK_JUMP_SPAN,
 };
 use crate::steer::{OracleSteer, PracticalSteer};
 use rand::rngs::SmallRng;
@@ -356,17 +356,23 @@ pub enum ChaosKind {
     /// Emit one squashed (but correct-path-tagged) victim as a phantom
     /// commit — a squash that failed to kill its instruction.
     DropSquash,
+    /// Silently drop *all* of one thread's due pipeline events for a cycle
+    /// — the partial-skip failure mode where a parked thread's wake-up is
+    /// missed and its tick effectively skipped. The lost writebacks wedge
+    /// the thread.
+    SkipThreadTick,
 }
 
 #[cfg(feature = "chaos")]
 impl ChaosKind {
     /// Every shipped mutation, in a stable order (the "shipped chaos set"
     /// the mutation-kill regression test iterates).
-    pub const ALL: [ChaosKind; 4] = [
+    pub const ALL: [ChaosKind; 5] = [
         ChaosKind::SkipWriteback,
         ChaosKind::CommitOutOfOrder,
         ChaosKind::CorruptStoreValue,
         ChaosKind::DropSquash,
+        ChaosKind::SkipThreadTick,
     ];
 
     /// Stable CLI name.
@@ -376,6 +382,7 @@ impl ChaosKind {
             ChaosKind::CommitOutOfOrder => "commit-out-of-order",
             ChaosKind::CorruptStoreValue => "corrupt-store-value",
             ChaosKind::DropSquash => "drop-squash",
+            ChaosKind::SkipThreadTick => "skip-thread-tick",
         }
     }
 
@@ -834,6 +841,7 @@ impl Core {
                     }
                 }
                 ChaosKind::DropSquash => {} // injected in squash_window_from
+                ChaosKind::SkipThreadTick => {} // injected in process_events
             }
         }
         self.commit_events.push_back(ev);
@@ -1068,11 +1076,35 @@ impl Core {
 
     /// Advances the core by one cycle.
     pub fn tick(&mut self) {
+        // Revoke stale park certificates first: `tick` must stay sound
+        // when called directly (sim driver, tests) with threads still
+        // parked from an earlier `tick_bounded` block. Inside
+        // `tick_bounded` the loop already ran this pass, making this a
+        // cheap no-op.
+        if self.skip.parked != 0 {
+            self.unpark_expired_and_due();
+        }
         // Snapshot tracker heads for conservative same-cycle semantics.
         for t in &mut self.threads {
             t.tracker_head_snapshot = t.issue_tracker.head();
         }
         self.process_events();
+        // Data-ready arrivals surface here, not in the issue stage, so a
+        // ready operand due this cycle unparks its owner ahead of the
+        // issue-stage classification replay. Hoisting the drain is free:
+        // wheel pushes clamp to `now + 1`, so nothing a later stage pushes
+        // this tick could have been due this tick anyway.
+        let mut pool = std::mem::take(&mut self.ready_pool);
+        let fresh = pool.len();
+        self.ready_wheel.drain_due(self.now, &mut pool);
+        if self.skip.parked != 0 {
+            for &(age, id) in &pool[fresh..] {
+                if self.slab.live_with_age(id, age) {
+                    self.skip.parked &= !(1 << self.slab.thread_of(id));
+                }
+            }
+        }
+        self.ready_pool = pool;
         self.commit_stage();
         self.drain_store_buffers();
         self.issue_stage();
@@ -1138,6 +1170,7 @@ impl Core {
         self.skip.enabled = on;
         if !on {
             self.skip.phase = ProbePhase::Idle;
+            self.skip.unpark_all();
         }
     }
 
@@ -1152,10 +1185,11 @@ impl Core {
     }
 
     /// Advances the core by exactly `limit` cycles, fast-forwarding provably
-    /// idle spans via the probe-and-diff protocol (see [`crate::skip`]).
-    /// Bit-identical to `limit` calls of [`Core::tick`] — counters, commit
-    /// stream, and trace tallies included. Returns the cycles advanced
-    /// (always `limit`).
+    /// idle spans via the probe-and-diff protocol and running *reduced
+    /// ticks* while a subset of threads hold park certificates (see
+    /// [`crate::skip`]). Bit-identical to `limit` calls of [`Core::tick`] —
+    /// counters, commit stream, and trace tallies included. Returns the
+    /// cycles advanced (always `limit`).
     pub fn tick_bounded(&mut self, limit: u64) -> u64 {
         if !self.skip.enabled || self.threads.len() > MAX_SKIP_THREADS {
             for _ in 0..limit {
@@ -1163,8 +1197,98 @@ impl Core {
             }
             return limit;
         }
+        let nthreads = self.threads.len();
+        let full_mask: u64 = (1 << nthreads) - 1;
         let mut advanced = 0u64;
+        // Horizon cache for the current all-parked window. The window only
+        // runs reduced ticks strictly before the cached horizon, where by
+        // definition nothing fires and no parked thread progresses, so
+        // every `skip_horizon` term is static for the whole window and one
+        // computation serves the entry gate, the jump-worthiness gate, and
+        // the jump itself.
+        let mut window: Option<(u64, SkipCause)> = None;
         while advanced < limit {
+            // Revoke certificates whose horizon has arrived or whose
+            // thread has work due this very cycle, *before* the tick that
+            // would act on that work.
+            if self.skip.parked != 0 {
+                self.unpark_expired_and_due();
+            }
+            if self.skip.parked == full_mask {
+                // Every thread holds a certificate, so the coming tick is a
+                // whole-core fixed point by construction: one captured
+                // reduced tick replaces the legacy arm/probe/probe warm-up
+                // and the span jump fires immediately. But a jump only
+                // repays its fixed costs (counter clones, stable snapshot,
+                // scaled replay) over a long enough span — staggered
+                // per-thread fills in SMT mixes open many short all-parked
+                // windows where plain reduced ticks are cheaper — so the
+                // probe capture is gated on the window horizon.
+                let (horizon, cause) = *window.get_or_insert_with(|| self.skip_horizon());
+                if horizon <= self.now {
+                    // A wheel entry (or other horizon term) fires this very
+                    // cycle, so the coming tick is not a fixed point: fall
+                    // through to the normal path below (which resets the
+                    // window cache), where the in-tick wheel drains wake the
+                    // owners at full fidelity.
+                } else {
+                    let will_jump = horizon.saturating_sub(self.now + 1) >= MIN_PARK_JUMP_SPAN;
+                    let pre = will_jump.then(|| (self.counters.clone(), self.hierarchy.counters()));
+                    self.skip.progress = false;
+                    self.skip.progress_mask = 0;
+                    self.skip.streak_bumped = 0;
+                    self.tick();
+                    advanced += 1;
+                    self.skip.stats.reduced_ticks += 1;
+                    self.skip.stats.parked_thread_cycles += nthreads as u64;
+                    self.skip.phase = ProbePhase::Idle;
+                    if self.skip.progress {
+                        // A certificate lied. The per-tick soundness net:
+                        // revoke everything and fall back to tick-by-tick
+                        // (the legacy probe pair re-proves any real fixed
+                        // point from scratch).
+                        self.skip.stats.park_aborts += 1;
+                        self.skip.unpark_all();
+                        window = None;
+                        continue;
+                    }
+                    let Some((pre_c, pre_m)) = pre else {
+                        // Short window: reduced ticks walk it cycle by cycle
+                        // and the cached horizon stays valid until the
+                        // revocation pass ends the window.
+                        continue;
+                    };
+                    let rec = ProbeRecord {
+                        end_cycle: self.now,
+                        delta: self.counters.diff(&pre_c),
+                        mem_delta: self.hierarchy.counters().diff(&pre_m),
+                        snap: self.stable_snapshot(),
+                        streak_bumped: self.skip.streak_bumped,
+                    };
+                    // Every certificate horizon term (fetch stall, frontend
+                    // maturation, store-buffer drain, MSHR fill) is also a
+                    // `skip_horizon` term with at-or-after-`now` semantics, so
+                    // an expired certificate yields `k == 0` rather than a
+                    // jump past its wake-up.
+                    let budget = limit - advanced;
+                    let mut k = horizon.saturating_sub(self.now);
+                    let mut cause = cause;
+                    if k > budget {
+                        k = budget;
+                        cause = SkipCause::LimitCap;
+                    }
+                    if k > 0 {
+                        self.fast_forward(k, &rec, cause);
+                        advanced += k;
+                        self.skip.stats.park_jumps += 1;
+                    }
+                    // The jump lands on the horizon (or the budget cap): the
+                    // window is over either way.
+                    window = None;
+                    continue;
+                }
+            }
+            window = None;
             // Probe captures are lazy: a tick is instrumented with
             // pre-state clones only once the previous tick made no
             // progress, so the hot (progressing) path pays one branch.
@@ -1173,9 +1297,25 @@ impl Core {
                 _ => Some((self.counters.clone(), self.hierarchy.counters())),
             };
             self.skip.progress = false;
+            self.skip.progress_mask = 0;
             self.skip.streak_bumped = 0;
             self.tick();
             advanced += 1;
+            let parked = self.skip.parked;
+            if parked != 0 {
+                self.skip.stats.reduced_ticks += 1;
+                self.skip.stats.parked_thread_cycles += u64::from(parked.count_ones());
+            }
+            // Offer certificates to threads that sat completely still this
+            // tick and aren't already parked.
+            let idle = !(self.skip.progress_mask | parked) & full_mask;
+            if idle != 0 {
+                for t in 0..nthreads {
+                    if idle & (1 << t) != 0 {
+                        self.try_park(t);
+                    }
+                }
+            }
             if self.skip.progress {
                 self.skip.phase = ProbePhase::Idle;
                 continue;
@@ -1219,6 +1359,347 @@ impl Core {
             self.skip.phase = ProbePhase::Probed(Box::new(rec));
         }
         advanced
+    }
+
+    /// The per-tick certificate revocation pass: unparks any thread whose
+    /// horizon has arrived. The event half of the park contract lives at
+    /// the wheel drain points instead — `process_events` and the ready-
+    /// wheel drain clear the owner's bit the moment a due entry surfaces,
+    /// before any stage consults parked state — so this pass is a
+    /// two-compare no-op until the cached earliest horizon arrives.
+    fn unpark_expired_and_due(&mut self) {
+        let now = self.now;
+        if self.skip.revoked_at == now {
+            return; // already ran for this cycle (loop-top + tick-top)
+        }
+        self.skip.revoked_at = now;
+        if now < self.skip.next_horizon {
+            return;
+        }
+        let mut wake = 0u64;
+        let mut next = u64::MAX;
+        for (t, cert) in self.skip.certs.iter().enumerate().take(self.threads.len()) {
+            if self.skip.parked & (1 << t) != 0 {
+                if cert.horizon <= now {
+                    wake |= 1 << t;
+                } else {
+                    next = next.min(cert.horizon);
+                }
+            }
+        }
+        self.skip.parked &= !wake;
+        self.skip.next_horizon = next;
+    }
+
+    /// Replays the dispatch-stage outcome for a parked thread's mature
+    /// head: the certificate's (frozen) resource verdict, with the one
+    /// shared input the real walk checks first — IQ occupancy — re-checked
+    /// live. Counter bumps and stall causes match `try_dispatch` exactly.
+    fn park_dispatch_mirror(&mut self, t: usize) -> DispatchOutcome {
+        match self.skip.certs[t].dispatch {
+            ParkDispatch::NoHead => {
+                // The real loop's head/maturity pre-checks keep NoHead
+                // certificates from ever reaching the mirror.
+                debug_assert!(false, "dispatch mirror reached without a mature head");
+                DispatchOutcome::Stalled(StallCause::NotReady)
+            }
+            ParkDispatch::Barrier => {
+                self.counters.stalls.barrier += 1;
+                DispatchOutcome::Stalled(StallCause::Barrier)
+            }
+            ParkDispatch::IqBlocked(local) => {
+                if self.iq.len() >= self.cfg.iq_entries {
+                    self.counters.stalls.iq_full += 1;
+                    return DispatchOutcome::Stalled(StallCause::IqFull);
+                }
+                local.bump(&mut self.counters.stalls);
+                DispatchOutcome::Stalled(match local {
+                    LocalStall::RobFull => StallCause::RobFull,
+                    LocalStall::LqFull | LocalStall::SqFull => StallCause::LsqFull,
+                    LocalStall::ShelfFull | LocalStall::ShelfIndexFull => StallCause::ShelfFull,
+                })
+            }
+            ParkDispatch::ShelfBlocked(local) => {
+                local.bump(&mut self.counters.stalls);
+                DispatchOutcome::Stalled(match local {
+                    LocalStall::SqFull => StallCause::LsqFull,
+                    _ => StallCause::ShelfFull,
+                })
+            }
+        }
+    }
+
+    /// Whether thread `t`'s commit stage is provably a no-op for the whole
+    /// park: nothing poppable at the TSO SQ head and the window head not
+    /// committable. Blocked heads are fine — their `commit_stalls` bumps
+    /// happen in the real (budget-gated) commit stage exactly as always.
+    fn commit_frozen(&self, t: usize) -> bool {
+        let th = &self.threads[t];
+        if self.cfg.memory_model == MemoryModel::Tso {
+            if let Some(&sq_head) = th.sq.front() {
+                if self.slab.get(sq_head).steer == Steer::Shelf
+                    && self.slab.stage(sq_head) == Stage::Completed
+                    && !self.slab.is_squashed(sq_head)
+                {
+                    return false; // the SQ release loop would pop it
+                }
+            }
+        }
+        let Some(&head) = th.window.front() else {
+            return true;
+        };
+        let slot = self.slab.get(head);
+        match slot.steer {
+            Steer::Shelf => {
+                if self.slab.stage(head) != Stage::Completed || self.slab.is_squashed(head) {
+                    // Completion and squash both arrive via `t`'s own
+                    // events, and the event-drain wake unparks first.
+                    return true;
+                }
+                if let Some(sq_idx) = slot.sq_idx {
+                    if th.sq.get(sq_idx).is_some() {
+                        // A completed shelf store still holding its SQ
+                        // entry is poppable at the SQ front (the window
+                        // head is the eldest, so its entry *is* the
+                        // front); the check above already caught this.
+                        return false;
+                    }
+                }
+                false // committable: one budget slot away from progress
+            }
+            Steer::Iq => {
+                if self.slab.stage(head) != Stage::Completed {
+                    return true;
+                }
+                if th.shelf_retire_ptr < slot.shelf_squash_idx {
+                    // Advances only at `t`'s own shelf writebacks.
+                    return true;
+                }
+                if slot.inst.is_store() && th.store_buffer.len() >= self.cfg.store_buffer_entries {
+                    return true; // the store buffer is frozen while parked
+                }
+                false
+            }
+        }
+    }
+
+    /// Attempts to grant thread `t` a park certificate (see [`crate::skip`]
+    /// module docs). Every early return is a condition whose per-cycle
+    /// replay the reduced tick could not keep exact, or a passive state
+    /// flip with no event or horizon term to wake the thread.
+    fn try_park(&mut self, t: usize) {
+        let now = self.now;
+
+        // SSR decay must be a provable no-op; quiescence also pins the
+        // classification chain's SSR branch false and `shelf_allows` true
+        // for the whole park.
+        if !self.threads[t].ssr.is_quiescent() {
+            return;
+        }
+
+        let mut horizon = u64::MAX;
+
+        {
+            let th = &self.threads[t];
+            // ---- fetch: must stay ineligible ----
+            let room = th.frontend.len() + self.cfg.fetch_width <= self.cfg.frontend_per_thread();
+            if th.fetch_stalled_until > now {
+                // The stall expires passively at a known cycle.
+                horizon = horizon.min(th.fetch_stalled_until);
+            } else if room && (th.waiting_branch.is_none() || self.cfg.wrong_path_fetch) {
+                return; // eligible: the fetch selector could pick it
+            }
+            // (`!room` is frozen — fetch can't push and a parked dispatch
+            // never pops; `waiting_branch` clears only at the branch's own
+            // writeback event, which unparks the thread first.)
+
+            // ---- store buffer: drain attempts must be provable no-ops ----
+            if let Some(&(_, ready)) = th.store_buffer.front() {
+                if ready <= now {
+                    // A due drain retries the hierarchy every cycle and
+                    // mutates MSHR/port state even when it fails.
+                    return;
+                }
+                horizon = horizon.min(ready);
+            }
+        }
+
+        // ---- issue: none of `t`'s IQ work may be selectable ----
+        // (Future ready-wheel arrivals are fine: the ready-wheel drain at
+        // the top of `tick` unparks the thread the cycle they come due.)
+        for &(age, id) in &self.ready_pool {
+            if self.slab.live_with_age(id, age) && self.slab.thread_of(id) == t {
+                return;
+            }
+        }
+
+        // ---- commit: the window head must be provably uncommittable ----
+        if !self.commit_frozen(t) {
+            return;
+        }
+
+        // ---- dispatch head: record the frozen resource verdict ----
+        let th = &self.threads[t];
+        let dispatch = if let Some(&head) = th.frontend.front() {
+            let mature = self.slab.get(head).fetch_cycle + self.cfg.fetch_to_dispatch as u64;
+            if mature > now {
+                // Maturation is passive and exact: a horizon term.
+                horizon = horizon.min(mature);
+                ParkDispatch::NoHead
+            } else {
+                let slot = self.slab.get(head);
+                let inst = slot.inst;
+                if inst.op == OpClass::MemBarrier {
+                    if th.window.is_empty() && th.store_buffer.is_empty() {
+                        return; // would dispatch
+                    }
+                    // The window shrinks only at commit (frozen above) and
+                    // the store buffer is frozen, so the barrier stays put.
+                    ParkDispatch::Barrier
+                } else {
+                    // A first dispatch attempt would mutate predictor
+                    // state; only already-memoized heads can park.
+                    let Some((steer, _)) = slot.steer_memo else {
+                        return;
+                    };
+                    match steer {
+                        Steer::Iq => {
+                            // First failing *thread-local* check in
+                            // `try_dispatch` order. Shared inputs (IQ
+                            // occupancy, free lists) fluctuate with live
+                            // threads: the IQ is re-checked live by the
+                            // mirror (the real walk checks it before any
+                            // local), and a head held back *only* by a
+                            // shared input cannot park at all.
+                            if th.rob.is_full() {
+                                ParkDispatch::IqBlocked(LocalStall::RobFull)
+                            } else if inst.is_load() && th.lq.is_full() {
+                                ParkDispatch::IqBlocked(LocalStall::LqFull)
+                            } else if inst.is_store() && th.sq.is_full() {
+                                ParkDispatch::IqBlocked(LocalStall::SqFull)
+                            } else {
+                                return;
+                            }
+                        }
+                        Steer::Shelf => {
+                            if th.shelf.len() >= th.shelf_capacity {
+                                ParkDispatch::ShelfBlocked(LocalStall::ShelfFull)
+                            } else if self.cfg.memory_model == MemoryModel::Tso
+                                && inst.is_store()
+                                && th.sq.is_full()
+                            {
+                                ParkDispatch::ShelfBlocked(LocalStall::SqFull)
+                            } else if th.shelf_next_idx - th.shelf_retire_ptr
+                                >= th.shelf_index_space(self.cfg.narrow_shelf_index)
+                            {
+                                ParkDispatch::ShelfBlocked(LocalStall::ShelfIndexFull)
+                            } else {
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+        } else {
+            ParkDispatch::NoHead
+        };
+
+        // ---- shelf head: record the frozen classification outcome ----
+        let issue = if let Some(&sid) = th.shelf.front() {
+            // The parking tick's issue stage just ran its head-change
+            // stanza on this (unchanged) head.
+            debug_assert_eq!(th.head_blocked_id, Some(sid));
+            let slot = self.slab.get(sid);
+            // Cross-cluster limbo: a source whose scoreboard base cycle
+            // has passed but whose shelf-side arrival is still forwarding-
+            // penalty cycles out flips readiness passively, with no event
+            // or horizon term. Refuse to park until it settles.
+            if self.cfg.cluster_forward_penalty > 0 {
+                for tag in slot.src_tags.iter().flatten() {
+                    let base = self.scoreboard.ready_at(*tag);
+                    if base != Scoreboard::PENDING
+                        && self.tag_cluster[tag.index()] != Steer::Shelf
+                        && base <= now
+                        && now < base + self.cfg.cluster_forward_penalty as u64
+                    {
+                        return;
+                    }
+                }
+            }
+            if self.tracker_head_view(t) < slot.iq_barrier {
+                // Order barrier: clears only when `t`'s own IQ work issues.
+                ParkIssue {
+                    bucket: Some(0),
+                    streak: false,
+                    cause: Some(StallCause::ShelfHeadBlocked),
+                }
+            } else if slot
+                .src_tags
+                .iter()
+                .flatten()
+                .any(|tag| !self.scoreboard.is_ready(*tag, now))
+            {
+                // RAW: resolves at the producer's writeback, which is this
+                // thread's own event (renaming is per-thread).
+                ParkIssue {
+                    bucket: Some(2),
+                    streak: true,
+                    cause: Some(StallCause::ShelfHeadBlocked),
+                }
+            } else if slot
+                .prev_mapping
+                .is_some_and(|p| !self.scoreboard.is_ready(p.tag, now))
+            {
+                // WAW on the shared destination register.
+                ParkIssue {
+                    bucket: Some(3),
+                    streak: false,
+                    cause: Some(StallCause::ShelfHeadBlocked),
+                }
+            } else if slot.inst.is_load() && !self.store_set_clear(sid, slot) {
+                // Store-set block: clears at an elder store's writeback.
+                ParkIssue {
+                    bucket: Some(4),
+                    streak: false,
+                    cause: Some(StallCause::ShelfHeadBlocked),
+                }
+            } else if slot.inst.is_store() && th.store_buffer.len() >= self.cfg.store_buffer_entries
+            {
+                // The structural bucket, stably true through its store-
+                // buffer limb whatever the (shared) FUs do.
+                ParkIssue {
+                    bucket: Some(4),
+                    streak: false,
+                    cause: Some(StallCause::FuBusy),
+                }
+            } else {
+                // Every remaining chain outcome (a pure FU-busy bump, or
+                // no bump at all for a TSO-held or issue-ready head)
+                // depends on shared FU state that fluctuates with live
+                // threads: not certifiable.
+                return;
+            }
+        } else {
+            ParkIssue::default()
+        };
+
+        // A fill for a line this thread is waiting on can change fetch or
+        // store-buffer behavior the cycle it lands; bound the park by it.
+        if let Some(c) = self.hierarchy.next_fill_after_for(now.saturating_sub(1), t) {
+            horizon = horizon.min(c);
+        }
+        if horizon <= now {
+            // Would expire before the next tick: not worth a certificate.
+            return;
+        }
+        self.skip.park(
+            t,
+            ParkCert {
+                horizon,
+                issue,
+                dispatch,
+            },
+        );
     }
 
     /// Snapshot of every piece of engine state that can change from one
@@ -1267,11 +1748,6 @@ impl Core {
     /// caller's budget bounds the jump and the driver's watchdog, keyed on
     /// retired instructions, still diagnoses it).
     fn skip_horizon(&self) -> (u64, SkipCause) {
-        fn consider(best: &mut (u64, SkipCause), cycle: u64, cause: SkipCause) {
-            if cycle < best.0 {
-                *best = (cycle, cause);
-            }
-        }
         // Boundary discipline: `now` is the cycle the *next* tick will
         // execute, so every term due at or after `now` (`>= now`, not
         // `> now`) must be considered. A term due exactly at `now` yields a
@@ -1471,7 +1947,7 @@ impl Core {
         while fetched < self.cfg.fetch_width {
             let (seq, inst) = self.threads[t].trace.fetch();
             if cur_block != Some(inst.pc & block_mask) {
-                match self.hierarchy.access_inst(inst.pc, self.now) {
+                match self.hierarchy.access_inst_for(inst.pc, self.now, t) {
                     Ok(acc) => {
                         if acc.complete_cycle > self.now + l1_lat {
                             // I-miss: stall fetch until the fill and replay
@@ -1513,7 +1989,7 @@ impl Core {
             }
             let mispred = slot.mispredicted;
             let id = self.slab.insert(slot);
-            self.skip.progress = true;
+            self.skip.note_progress(t);
             self.threads[t].frontend.push_back(id);
             self.threads[t].pre_issue_count += 1;
             acc(&mut self.counters.fetched, 1);
@@ -1533,7 +2009,7 @@ impl Core {
             let mut slot = Slot::new(t, u64::MAX, inst, self.now);
             slot.wrong_path = true;
             let id = self.slab.insert(slot);
-            self.skip.progress = true;
+            self.skip.note_progress(t);
             self.threads[t].frontend.push_back(id);
             self.threads[t].pre_issue_count += 1;
             acc(&mut self.counters.fetched, 1);
@@ -1590,10 +2066,17 @@ impl Core {
                 if ready_cycle > self.now {
                     continue;
                 }
-                match self.try_dispatch(t, head) {
+                // Parked threads replay their certificate's (frozen)
+                // resource verdict instead of re-walking `try_dispatch`.
+                let outcome = if self.skip.is_parked(t) {
+                    self.park_dispatch_mirror(t)
+                } else {
+                    self.try_dispatch(t, head)
+                };
+                match outcome {
                     DispatchOutcome::Dispatched => {
                         self.threads[t].frontend.pop_front();
-                        self.skip.progress = true;
+                        self.skip.note_progress(t);
                         budget -= 1;
                         progressed = true;
                         progress_mask |= 1 << t;
@@ -1936,6 +2419,21 @@ impl Core {
                 self.threads[t].head_blocked_id = self.threads[t].shelf.front().copied();
                 self.threads[t].head_blocked_streak = 0;
             }
+            if self.skip.is_parked(t) {
+                // Certificate replay: a parked thread's shelf head (and so
+                // its whole classification chain) is frozen, so the bump
+                // pattern recorded at park time repeats verbatim.
+                let issue = self.skip.certs[t].issue;
+                if let Some(b) = issue.bucket {
+                    self.counters.shelf_head_stalls[b as usize] += 1;
+                }
+                if issue.streak {
+                    self.threads[t].head_blocked_streak += 1;
+                    self.skip.streak_bumped |= 1 << t;
+                }
+                *cause_slot = issue.cause;
+                continue;
+            }
             if let Some(&id) = self.threads[t].shelf.front() {
                 let slot = self.slab.get(id);
                 if self.tracker_head_view(t) < slot.iq_barrier {
@@ -1986,14 +2484,14 @@ impl Core {
         let mut mshr_mask = 0u64;
         // Source readiness cannot change mid-cycle (broadcasts announce
         // future ready cycles), so data-ready IQ candidates arrive through
-        // the ready wheel at their (final) ready cycle and stay in the pool
-        // until they issue or vanish; only the per-pick structural checks
-        // (FU, store sets) re-run inside the selection loop. The pool is
-        // compacted and re-sorted each cycle — it holds only ready-but-
-        // unissued entries, a small set the full IQ scan used to rediscover
-        // from scratch.
+        // the ready wheel at their (final) ready cycle — drained at the top
+        // of `tick`, where arrivals double as park wake-ups — and stay in
+        // the pool until they issue or vanish; only the per-pick structural
+        // checks (FU, store sets) re-run inside the selection loop. The
+        // pool is compacted and re-sorted each cycle — it holds only ready-
+        // but-unissued entries, a small set the full IQ scan used to
+        // rediscover from scratch.
         let mut ready = std::mem::take(&mut self.ready_pool);
-        self.ready_wheel.drain_due(self.now, &mut ready);
         ready.retain(|&(age, id)| {
             self.slab.live_with_age(id, age) && self.slab.stage(id) == Stage::Dispatched
         });
@@ -2010,7 +2508,12 @@ impl Core {
         let mut shelf_cand: [Option<(u64, InstId)>; 8] = [None; 8];
         let nthreads = self.threads.len();
         for (t, cand) in shelf_cand.iter_mut().enumerate().take(nthreads) {
-            *cand = self.shelf_candidate(t);
+            // Parked threads are certified not issue-eligible.
+            *cand = if self.skip.is_parked(t) {
+                None
+            } else {
+                self.shelf_candidate(t)
+            };
         }
         // Cursor into the age-sorted pool: every condition that skips an
         // entry is sticky for the rest of the cycle (issued entries leave
@@ -2059,7 +2562,7 @@ impl Core {
             let Some((_, id, steer)) = best else { break };
             let issued_thread = self.slab.get(id).thread;
             if self.do_issue(id, steer) {
-                self.skip.progress = true;
+                self.skip.note_progress(issued_thread);
                 budget -= 1;
                 issued_mask |= 1 << issued_thread;
                 // Issuing advances only the issuing thread's state (tracker
@@ -2134,7 +2637,12 @@ impl Core {
     /// became order-eligible (paper §III-B run-copy).
     fn refresh_ssr_copies(&mut self) {
         for t in 0..self.threads.len() {
-            self.refresh_ssr_copy(t);
+            // A parked thread's run-copy condition is frozen false: the
+            // head, its `ssr_copied` flag, and the tracker view cannot
+            // change while the certificate holds.
+            if !self.skip.is_parked(t) {
+                self.refresh_ssr_copy(t);
+            }
         }
     }
 
@@ -2547,7 +3055,7 @@ impl Core {
         }
         match self
             .hierarchy
-            .access_data_pc(inst.pc, mem.addr, false, self.now)
+            .access_data_pc_for(inst.pc, mem.addr, false, self.now, t)
         {
             Ok(acc) => Some((acc.complete_cycle, Some(acc.level), None)),
             Err(_) => None,
@@ -2571,6 +3079,19 @@ impl Core {
             // provided) so squashes mark younger in-flight work first.
             due.sort_unstable_by_key(|ev| ev.age);
             self.events.len -= due.len();
+            // A due event is the wake-up the park contract promised: clear
+            // the owner's certificate before any effect executes, so the
+            // rest of this tick runs that thread at full fidelity (every
+            // stage that consults parked state comes after this drain).
+            if self.skip.parked != 0 {
+                for ev in &due {
+                    if self.slab.live_with_age(ev.id, ev.age) {
+                        self.skip.parked &= !(1 << self.slab.thread_of(ev.id));
+                    }
+                }
+            }
+            #[cfg(feature = "chaos")]
+            self.chaos_skip_thread_tick(&mut due);
             for ev in due.drain(..) {
                 debug_assert_eq!(ev.cycle, self.now);
                 let Event { id, age, .. } = ev;
@@ -2587,12 +3108,54 @@ impl Core {
         self.events.buckets[idx] = due;
     }
 
+    /// [`ChaosKind::SkipThreadTick`]: at the `trigger`-th live due event,
+    /// pick its thread as the victim and silently drop every live due
+    /// event that thread has this cycle, as if its tick had been skipped.
+    #[cfg(feature = "chaos")]
+    fn chaos_skip_thread_tick(&mut self, due: &mut Vec<Event>) {
+        {
+            let Some(cs) = self.chaos.as_ref() else {
+                return;
+            };
+            if cs.plan.kind != ChaosKind::SkipThreadTick || cs.fired {
+                return;
+            }
+        }
+        let (trigger, mut seen) = {
+            let cs = self.chaos.as_ref().expect("checked above");
+            (cs.plan.trigger, cs.seen)
+        };
+        let mut victim = None;
+        for ev in due.iter() {
+            if !self.slab.live_with_age(ev.id, ev.age) {
+                continue;
+            }
+            if seen == trigger {
+                victim = Some(self.slab.thread_of(ev.id));
+                break;
+            }
+            seen += 1;
+        }
+        {
+            let cs = self.chaos.as_mut().expect("checked above");
+            cs.seen = seen;
+            if victim.is_some() {
+                cs.fired = true;
+            }
+        }
+        if let Some(victim) = victim {
+            due.retain(|ev| {
+                !(self.slab.live_with_age(ev.id, ev.age) && self.slab.thread_of(ev.id) == victim)
+            });
+        }
+    }
+
     fn writeback(&mut self, id: InstId) {
-        self.skip.progress = true;
         let (t, inst, steer, wrong_path) = {
             let s = self.slab.get(id);
             (s.thread, s.inst, s.steer, s.wrong_path)
         };
+        self.skip.note_progress(t);
         let squashed = self.slab.is_squashed(id);
         if self.slab.stage(id) == Stage::Issued {
             self.slab.set_stage(id, Stage::Completed);
@@ -3011,7 +3574,7 @@ impl Core {
                         && !self.slab.is_squashed(sq_head)
                     {
                         self.threads[t].sq.pop_front();
-                        self.skip.progress = true;
+                        self.skip.note_progress(t);
                     } else {
                         break;
                     }
@@ -3043,7 +3606,7 @@ impl Core {
                         }
                         self.trace_end(head, EndKind::Commit);
                         self.threads[t].window.pop_front();
-                        self.skip.progress = true;
+                        self.skip.note_progress(t);
                         self.slab.remove(head);
                         if !wrong_path {
                             self.threads[t].committed += 1;
@@ -3106,7 +3669,7 @@ impl Core {
                         }
                         self.trace_end(head, EndKind::Commit);
                         self.threads[t].window.pop_front();
-                        self.skip.progress = true;
+                        self.skip.note_progress(t);
                         self.slab.remove(head);
                         if !wrong_path {
                             self.threads[t].committed += 1;
@@ -3123,9 +3686,14 @@ impl Core {
     fn drain_store_buffers(&mut self) {
         for t in 0..self.threads.len() {
             if let Some(&(addr, ready)) = self.threads[t].store_buffer.front() {
-                if ready <= self.now && self.hierarchy.access_data(addr, true, self.now).is_ok() {
+                if ready <= self.now
+                    && self
+                        .hierarchy
+                        .access_data_for(addr, true, self.now, t)
+                        .is_ok()
+                {
                     self.threads[t].store_buffer.pop_front();
-                    self.skip.progress = true;
+                    self.skip.note_progress(t);
                 }
             }
         }

@@ -33,16 +33,62 @@
 //! (the probes disagree), so the fast-forwarded run is *bit-identical* to
 //! the tick-by-tick run — counters, commit stream, and trace tallies.
 //!
+//! # Per-thread partial progress: park certificates
+//!
+//! The whole-core protocol above only fires when *every* thread is idle
+//! simultaneously — rare under SMT, where the design's whole point is that
+//! some threads commit while others sit on DRAM fills. The partial-progress
+//! layer proves a *subset* of threads fixed:
+//!
+//! * A thread that made no progress this tick is examined analytically by
+//!   `Core::try_park`: if its fetch is ineligible, its frontend head is
+//!   absent/immature/blocked on a persistent *local* (partitioned) resource,
+//!   its shelf head is blocked on a stable local cause, it owns no ready
+//!   work, its store buffer is quiet, and its SSR pair is quiescent, the
+//!   thread is **parked** under a [`ParkCert`].
+//! * Subsequent *reduced ticks* skip the parked thread's issue-stage head
+//!   classification, shelf-candidate evaluation, and dispatch resource
+//!   walk, replaying the certificate's recorded per-cycle counter bumps
+//!   instead (with the one *shared* input — IQ occupancy — re-checked
+//!   live each cycle). Everything cheap or shared (commit, decay,
+//!   occupancy integrals, tracer sampling) still runs for real, so reduced
+//!   ticks are bit-identical to full ticks.
+//! * The certificate carries a **horizon**: the earliest passive wake-up
+//!   (fetch-stall expiry, frontend maturation, store-buffer readiness, the
+//!   thread's own next MSHR fill). Event wake-ups need no horizon term:
+//!   the wheel drains inside the tick clear a parked owner's bit the
+//!   moment an entry comes due, ahead of every stage that consults parked
+//!   state — the moment a shared structure couples a parked thread back
+//!   in, it runs a full tick again.
+//! * When **all** threads hold certificates the engine jumps whole-core
+//!   spans directly: one captured reduced tick supplies the per-cycle
+//!   delta (the certificates prove it constant — no arm + probe-pair
+//!   warm-up), and the existing `fast_forward` replay machinery is reused
+//!   verbatim. If the capture tick unexpectedly progresses, the jump is
+//!   abandoned (`park_aborts`) and every certificate is revoked.
+//!
 //! Skipped cycles are accounted per horizon cause in [`SkipStats`] so runs
-//! can report where their idle time went.
+//! can report where their idle time went; parked coverage (thread-cycles
+//! mirrored instead of walked) is reported alongside.
 
-use crate::counters::Counters;
+use crate::config::CoreConfig;
+use crate::counters::{Counters, LocalStall};
 use crate::inst::InstId;
 use shelfsim_mem::HierarchyCounters;
+use shelfsim_trace::StallCause;
 
-/// Maximum hardware threads the snapshot covers (the pipeline itself caps
-/// thread bitmasks at 64 and `CoreConfig::validate` at 8).
-pub(crate) const MAX_SKIP_THREADS: usize = 8;
+/// Maximum hardware threads the snapshot covers. Tied by definition to the
+/// config validator's thread cap: a config that validates can never carry
+/// more threads than the skip engine has snapshot lenses / park
+/// certificates for.
+pub(crate) const MAX_SKIP_THREADS: usize = CoreConfig::MAX_THREADS;
+
+// The pipeline tracks threads in u64 bitmasks (progress, parked, streak
+// masks); a cap past 64 would shift bits off the end.
+const _: () = assert!(
+    MAX_SKIP_THREADS <= 64,
+    "thread bitmasks are u64; MAX_SKIP_THREADS must fit"
+);
 
 /// Number of [`SkipCause`] variants (array sizing).
 pub const SKIP_CAUSES: usize = 8;
@@ -98,8 +144,30 @@ impl SkipCause {
     }
 }
 
+/// Folds one horizon term into the running best `(cycle, cause)`.
+///
+/// The earlier cycle wins; when two terms land on the *same* cycle, the
+/// lower [`SkipCause`] index wins. Horizon attribution therefore has a
+/// total deterministic order independent of the sequence in which the
+/// terms are considered, so `SkipStats::by_cause` is reproducible across
+/// refactors that reorder the horizon computation.
+pub(crate) fn consider(best: &mut (u64, SkipCause), cycle: u64, cause: SkipCause) {
+    if cycle < best.0 || (cycle == best.0 && (cause as usize) < (best.1 as usize)) {
+        *best = (cycle, cause);
+    }
+}
+
 /// Cycle-skip accounting: every skipped cycle is attributed to the horizon
 /// cause that bounded its span, so `skipped_cycles == by_cause.sum()`.
+/// Minimum estimated all-parked span (cycles) worth converting into a
+/// probe-and-jump. A jump's fixed costs — two counter-block clones, a
+/// stable snapshot, and the scaled fast-forward replay — amortize to
+/// roughly a dozen reduced ticks, and SMT mixes with staggered per-thread
+/// fills open a stream of shorter all-parked windows than that. Those
+/// windows run as plain reduced ticks instead; correctness is unaffected
+/// either way (the gate consults a pre-tick horizon estimate only).
+pub const MIN_PARK_JUMP_SPAN: u64 = 16;
+
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SkipStats {
     /// Cycles fast-forwarded instead of ticked.
@@ -112,6 +180,82 @@ pub struct SkipStats {
     /// high ratio against `spans` means idle spans exist but something
     /// cycle-varying keeps defeating the protocol).
     pub probe_mismatches: u64,
+    /// Thread-cycles spent parked: each reduced tick contributes one per
+    /// parked thread. The partial-progress coverage metric — these are
+    /// thread-walks the engine replayed from certificates instead of
+    /// evaluating.
+    pub parked_thread_cycles: u64,
+    /// Ticks that ran with at least one thread parked.
+    pub reduced_ticks: u64,
+    /// Park certificates granted.
+    pub parks: u64,
+    /// Whole-core fast-forwards entered directly from an all-parked state
+    /// (no arm + probe-pair warm-up; also counted in `spans`).
+    pub park_jumps: u64,
+    /// All-parked capture ticks that unexpectedly made progress, forcing
+    /// the jump to be abandoned and every certificate revoked. Nonzero
+    /// values indicate a certificate soundness bug — the release-mode
+    /// safety net caught it, but coverage is being lost.
+    pub park_aborts: u64,
+}
+
+/// Issue-stage head classification replayed for a parked thread: what the
+/// real per-cycle classifier would record, proven constant by the park
+/// predicate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct ParkIssue {
+    /// `Counters::shelf_head_stalls` bucket bumped each cycle (`None`: no
+    /// shelf head, or a head blocked outside the diagnostic chain, e.g. a
+    /// TSO elder-load hold, which bumps nothing).
+    pub bucket: Option<u8>,
+    /// Whether the head-blocked streak (and the engine's streak-bump mask)
+    /// advances each cycle.
+    pub streak: bool,
+    /// Issue-side tracer attribution to inject as the head cause (`None`:
+    /// fall through to the live attribution logic, whose remaining inputs
+    /// are frozen for a parked thread).
+    pub cause: Option<StallCause>,
+}
+
+/// Dispatch-stage outcome replayed for a parked thread. The mirror runs
+/// *inside* the real dispatch rotation (budget accounting, blocked-mask
+/// updates and round-robin order are shared state and stay live); only the
+/// head's resource walk is replaced.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) enum ParkDispatch {
+    /// Frontend empty or head still maturing through the fetch-to-dispatch
+    /// pipe: the real loop's cheap pre-checks handle it; nothing to mirror.
+    #[default]
+    NoHead,
+    /// Memory-barrier head serialized behind its thread's instruction
+    /// window / store buffer: bump `stalls.barrier` once per cycle.
+    Barrier,
+    /// IQ-steered head with a persistent *local* full condition. The shared
+    /// IQ-occupancy check still runs live each cycle (it is first in
+    /// `try_dispatch`'s order and other threads change it); only when the
+    /// IQ has room is the recorded local cause charged.
+    IqBlocked(LocalStall),
+    /// Shelf-steered head with a persistent local full condition (every
+    /// check ahead of the recorded one is local and frozen).
+    ShelfBlocked(LocalStall),
+}
+
+/// Proof that a thread is at a per-thread fixed point: the per-cycle
+/// effects the pipeline would produce for it (replayed by reduced ticks)
+/// and the first cycle at which the proof expires.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct ParkCert {
+    /// First cycle the certificate no longer covers: the earliest passive
+    /// wake-up among fetch-stall expiry, frontend-head maturation,
+    /// store-buffer readiness and the thread's next claimed MSHR fill.
+    /// The thread unparks at the top of this cycle's tick. (Event- and
+    /// ready-wheel wake-ups are handled separately at the wheel drain
+    /// points inside the tick, and can fire earlier.)
+    pub horizon: u64,
+    /// Issue-stage per-cycle replay.
+    pub issue: ParkIssue,
+    /// Dispatch-stage per-cycle replay.
+    pub dispatch: ParkDispatch,
 }
 
 /// Per-thread lens of cycle-varying control state. Equality between the
@@ -196,8 +340,25 @@ pub(crate) struct SkipEngine {
     pub phase: ProbePhase,
     /// Set by stage code whenever architectural progress happens this tick.
     pub progress: bool,
+    /// Per-thread bitmask of this tick's progress (feeds the park
+    /// predicate: only a thread whose bit stayed clear may be examined).
+    pub progress_mask: u64,
     /// Per-thread bitmask: `head_blocked_streak` incremented this tick.
     pub streak_bumped: u64,
+    /// Per-thread bitmask of currently parked threads.
+    pub parked: u64,
+    /// Certificates for parked threads (only entries whose `parked` bit is
+    /// set are meaningful).
+    pub certs: [ParkCert; MAX_SKIP_THREADS],
+    /// Cycle the revocation pass last ran for, deduplicating the
+    /// `tick_bounded` loop-top pass against the one at the top of `tick()`
+    /// (the latter keeps direct `tick()` driving sound).
+    pub revoked_at: u64,
+    /// Earliest certificate horizon among parked threads — the revocation
+    /// pass is a two-compare no-op until this cycle arrives. Event wake-ups
+    /// clear `parked` bits without touching it, so the cache may run stale-
+    /// low; that only costs one wasted recomputation, never a missed wake.
+    pub next_horizon: u64,
     pub stats: SkipStats,
 }
 
@@ -207,9 +368,53 @@ impl SkipEngine {
             enabled: true,
             phase: ProbePhase::Idle,
             progress: false,
+            progress_mask: 0,
             streak_bumped: 0,
+            parked: 0,
+            certs: [ParkCert::default(); MAX_SKIP_THREADS],
+            revoked_at: u64::MAX,
+            next_horizon: u64::MAX,
             stats: SkipStats::default(),
         }
+    }
+
+    /// Records architectural progress by thread `t` this tick.
+    ///
+    /// A parked thread making progress would mean its certificate replay
+    /// diverged from reality — the debug assertion is the partial-progress
+    /// layer's soundness tripwire (release builds additionally guard the
+    /// all-parked jump with a progress check).
+    #[inline]
+    pub(crate) fn note_progress(&mut self, t: usize) {
+        self.progress = true;
+        self.progress_mask |= 1 << t;
+        debug_assert!(
+            self.parked & (1 << t) == 0,
+            "parked thread {t} made architectural progress"
+        );
+    }
+
+    /// Whether thread `t` currently holds a park certificate.
+    #[inline]
+    pub(crate) fn is_parked(&self, t: usize) -> bool {
+        self.parked & (1 << t) != 0
+    }
+
+    /// Grants thread `t` a park certificate.
+    pub(crate) fn park(&mut self, t: usize, cert: ParkCert) {
+        debug_assert!(!self.is_parked(t));
+        self.parked |= 1 << t;
+        self.next_horizon = self.next_horizon.min(cert.horizon);
+        self.certs[t] = cert;
+        self.stats.parks += 1;
+    }
+
+    /// Revokes every certificate (engine toggle, abort, or reset). The
+    /// per-thread paths clear `parked` bits individually instead: horizon
+    /// expiry in the revocation pass, event wake-ups at the wheel drains.
+    pub(crate) fn unpark_all(&mut self) {
+        self.parked = 0;
+        self.next_horizon = u64::MAX;
     }
 }
 
@@ -230,5 +435,67 @@ mod tests {
         assert_eq!(s.skipped_cycles, 0);
         assert_eq!(s.spans, 0);
         assert_eq!(s.by_cause, [0; SKIP_CAUSES]);
+        assert_eq!(s.parked_thread_cycles, 0);
+        assert_eq!(s.reduced_ticks, 0);
+        assert_eq!(s.parks, 0);
+        assert_eq!(s.park_jumps, 0);
+        assert_eq!(s.park_aborts, 0);
+    }
+
+    #[test]
+    fn skip_thread_cap_matches_config_thread_cap() {
+        // `CoreConfig::validate` rejects anything the snapshot arrays and
+        // certificate file cannot hold; this pins the tie so neither side
+        // can drift silently.
+        assert_eq!(MAX_SKIP_THREADS, CoreConfig::MAX_THREADS);
+    }
+
+    #[test]
+    fn horizon_tie_break_prefers_the_lower_cause_index() {
+        // Two horizon terms landing on the same cycle must resolve to the
+        // same cause regardless of consideration order.
+        let mut forward = (u64::MAX, SkipCause::LimitCap);
+        consider(&mut forward, 120, SkipCause::PipeEvent);
+        consider(&mut forward, 120, SkipCause::MshrFill);
+        let mut backward = (u64::MAX, SkipCause::LimitCap);
+        consider(&mut backward, 120, SkipCause::MshrFill);
+        consider(&mut backward, 120, SkipCause::PipeEvent);
+        assert_eq!(forward, backward);
+        assert_eq!(forward, (120, SkipCause::PipeEvent));
+    }
+
+    #[test]
+    fn earlier_cycle_beats_cause_priority() {
+        let mut best = (u64::MAX, SkipCause::LimitCap);
+        consider(&mut best, 500, SkipCause::PipeEvent);
+        consider(&mut best, 200, SkipCause::StoreBuffer);
+        assert_eq!(best, (200, SkipCause::StoreBuffer));
+        // A later term never displaces an earlier one.
+        consider(&mut best, 300, SkipCause::PipeEvent);
+        assert_eq!(best, (200, SkipCause::StoreBuffer));
+    }
+
+    #[test]
+    fn park_and_unpark_track_the_mask() {
+        let mut e = SkipEngine::new();
+        assert!(!e.is_parked(2));
+        e.park(
+            2,
+            ParkCert {
+                horizon: 400,
+                ..ParkCert::default()
+            },
+        );
+        assert!(e.is_parked(2));
+        assert_eq!(e.certs[2].horizon, 400);
+        assert_eq!(e.stats.parks, 1);
+        e.park(5, ParkCert::default());
+        assert_eq!(e.parked, (1 << 2) | (1 << 5));
+        // Bulk revocation by wake mask, as the revocation pass does it.
+        e.parked &= !(1 << 2);
+        assert!(!e.is_parked(2));
+        assert!(e.is_parked(5));
+        e.unpark_all();
+        assert_eq!(e.parked, 0);
     }
 }

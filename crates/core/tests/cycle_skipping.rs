@@ -167,6 +167,11 @@ fn tracer_tallies_and_samples_identical_under_skipping() {
         assert_eq!(st.dispatch_stalls(t).iter().sum::<u64>(), cycles);
         assert_eq!(st.issue_stalls(t).iter().sum::<u64>(), cycles);
     }
+    // The tracer's own audit must agree: samples grid-aligned, tallies
+    // complete, through both engines.
+    pt.check_invariants(cycles)
+        .expect("plain tracer invariants");
+    st.check_invariants(cycles).expect("skip tracer invariants");
     let ps: Vec<_> = pt.samples().collect();
     let ss: Vec<_> = st.samples().collect();
     assert_eq!(ps, ss, "occupancy sample streams diverged");
@@ -202,6 +207,41 @@ fn large_skip_spans_do_not_corrupt_cycle_arithmetic() {
     prefix.set_cycle_skipping(false);
     prefix.tick_bounded(50_000);
     assert!(prefix.committed(0) > 0);
+}
+
+#[test]
+fn partial_skip_matches_tick_on_asymmetric_two_thread_mix() {
+    // The partial-progress tentpole's target shape: one mcf-like pointer
+    // chase parked on DRAM while an hmmer-like compute kernel keeps the
+    // core busy. Whole-core fixed points are rare here; per-thread parking
+    // must still be invisible.
+    let cfg = CoreConfig::base64_shelf64(2, SteerPolicy::Practical, true);
+    assert_equivalent(cfg, &["chase", "reduce"], 40_000);
+}
+
+#[test]
+fn partial_skip_parks_blocked_threads_in_asymmetric_four_thread_mix() {
+    // Two chases blocked on fills + two compute kernels running: the park
+    // engine must certify the blocked threads and run reduced ticks while
+    // the live threads progress — and stay bit-identical doing it.
+    let cfg = CoreConfig::base64_shelf64(4, SteerPolicy::Practical, true);
+    assert_equivalent(cfg.clone(), &["chase", "reduce", "chase2", "triad"], 40_000);
+
+    let mut core = core_for(cfg, &["chase", "reduce", "chase2", "triad"]);
+    core.tick_bounded(40_000);
+    let stats = core.skip_stats();
+    assert!(
+        stats.parks > 0,
+        "blocked chase threads must earn park certificates"
+    );
+    assert!(
+        stats.parked_thread_cycles > 0 && stats.reduced_ticks > 0,
+        "reduced ticks must run while threads are parked: {stats:?}"
+    );
+    assert!(
+        stats.parked_thread_cycles >= stats.reduced_ticks,
+        "each reduced tick covers at least one parked thread"
+    );
 }
 
 #[test]

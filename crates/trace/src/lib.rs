@@ -545,6 +545,43 @@ impl Tracer {
         out
     }
 
+    /// Audits the accounting invariants a cycle-exact replay (tick-by-tick
+    /// or skip-engine fast-forward, whole-core or per-thread partial) must
+    /// preserve, given that `cycles` driver cycles were attributed:
+    ///
+    /// 1. Every retained occupancy sample lies on the sampling grid
+    ///    (`cycle % sample_every == 0`) — a misaligned span replay would
+    ///    emit off-grid samples.
+    /// 2. Per thread and per side, the stall tallies sum exactly to
+    ///    `cycles` — one attribution per thread per cycle, no cycle lost
+    ///    or double-counted by a skipped or reduced span.
+    ///
+    /// Returns the first violation as a human-readable message.
+    pub fn check_invariants(&self, cycles: u64) -> Result<(), String> {
+        for s in &self.samples {
+            if !s.cycle.is_multiple_of(self.sample_every) {
+                return Err(format!(
+                    "occupancy sample at cycle {} is off the {}-cycle grid",
+                    s.cycle, self.sample_every
+                ));
+            }
+        }
+        for (side, table) in [
+            ("dispatch", &self.dispatch_stalls),
+            ("issue", &self.issue_stalls),
+        ] {
+            for (t, row) in table.iter().enumerate() {
+                let total: u64 = row.iter().sum();
+                if total != cycles {
+                    return Err(format!(
+                        "thread {t} {side} tallies sum to {total}, expected {cycles}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// A human-readable per-thread stall-attribution summary (percent of
     /// attributed cycles per cause, causes with zero tallies omitted).
     pub fn stall_summary(&self) -> String {
@@ -642,6 +679,40 @@ mod tests {
         assert_eq!(tr.issue_stalls(1)[StallCause::DataWait as usize], 1);
         // Out-of-range threads are ignored, not a panic.
         tr.attribute_dispatch(9, StallCause::Empty);
+    }
+
+    #[test]
+    fn invariant_check_accepts_exact_replay_and_rejects_misalignment() {
+        // A faithful replay: 3 attributed cycles per thread per side (one
+        // per-cycle tally plus a 2-cycle span), samples on the 8-grid.
+        let mut tr = Tracer::new(2, 8).with_sampling(8);
+        for t in 0..2 {
+            tr.attribute_dispatch(t, StallCause::Progress);
+            tr.attribute_issue(t, StallCause::DataWait);
+        }
+        tr.attribute_span(2);
+        tr.sample(OccupancySample {
+            cycle: 16,
+            ..Default::default()
+        });
+        assert_eq!(tr.check_invariants(3), Ok(()));
+
+        // A span replayed at the wrong length breaks the sum invariant.
+        assert!(tr
+            .check_invariants(4)
+            .unwrap_err()
+            .contains("sum to 3, expected 4"));
+
+        // A misaligned sample (e.g. a skip span sampling from the wrong
+        // base cycle) breaks grid alignment.
+        tr.sample(OccupancySample {
+            cycle: 21,
+            ..Default::default()
+        });
+        assert!(tr
+            .check_invariants(3)
+            .unwrap_err()
+            .contains("off the 8-cycle grid"));
     }
 
     #[test]

@@ -93,6 +93,16 @@ impl SsrPair {
         latency_to_writeback >= self.shelf
     }
 
+    /// Whether both registers have fully decayed to zero. A quiescent pair
+    /// is a fixed point of [`SsrPair::tick`]: further decay changes nothing,
+    /// and `shelf_allows` is `true` for every latency. The partial-progress
+    /// skip engine may only park a thread once its pair is quiescent —
+    /// otherwise per-cycle decay would change the shelf head's issue
+    /// eligibility mid-park.
+    pub fn is_quiescent(&self) -> bool {
+        self.iq == 0 && self.shelf == 0
+    }
+
     /// Current IQ SSR value (cycles of outstanding speculation).
     pub fn iq_value(&self) -> u32 {
         self.iq
@@ -175,6 +185,22 @@ mod tests {
         b.tick_many(u64::MAX);
         assert_eq!(b.iq_value(), 0);
         assert_eq!(b.shelf_value(), 0);
+    }
+
+    #[test]
+    fn quiescence_is_a_tick_fixed_point() {
+        let mut s = SsrPair::new(false);
+        assert!(s.is_quiescent());
+        s.record_iq_issue(2);
+        assert!(!s.is_quiescent());
+        s.copy_to_shelf();
+        s.tick();
+        assert!(!s.is_quiescent());
+        s.tick();
+        assert!(s.is_quiescent());
+        s.tick();
+        assert!(s.is_quiescent(), "quiescence is absorbing under decay");
+        assert!(s.shelf_allows(0));
     }
 
     #[test]

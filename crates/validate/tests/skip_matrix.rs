@@ -31,6 +31,28 @@ fn programs(kernel: &str, threads: usize) -> Vec<Program> {
         .collect()
 }
 
+/// One program per named kernel — asymmetric SMT mixes where some threads
+/// block on memory while others keep committing, the shape the per-thread
+/// partial-skip path must handle.
+fn mixed_programs(kernel_names: &[&str]) -> Vec<Program> {
+    kernel_names
+        .iter()
+        .map(|name| {
+            kernels::by_name(name)
+                .expect("kernel in library")
+                .assemble()
+                .expect("library kernels assemble")
+        })
+        .collect()
+}
+
+/// mcf-like pointer chases paired with hmmer-like compute kernels.
+const ASYMMETRIC_MIXES: [&[&str]; 3] = [
+    &["chase", "reduce"],
+    &["chase2", "triad"],
+    &["chase", "reduce", "chase2", "triad"],
+];
+
 fn clean_fingerprints(verdict: Verdict, what: &str) -> Vec<u64> {
     match verdict {
         Verdict::Clean(stats) => stats.fingerprints,
@@ -56,6 +78,28 @@ fn run_design(design: &str) {
                 "{what}: commit-stream fingerprints differ between skip-on and skip-off"
             );
         }
+    }
+}
+
+/// The asymmetric leg of the matrix: whole-core fixed points are rare in
+/// these mixes, so the bit-identical bar is carried almost entirely by the
+/// per-thread park/reduced-tick path.
+fn run_design_asymmetric(design: &str) {
+    for mix in ASYMMETRIC_MIXES {
+        let cfg = design_by_name(design, mix.len()).expect("design in registry");
+        let what = format!("{design}/{}", mix.join("+"));
+        let on = clean_fingerprints(
+            run_lockstep(&cfg, &mixed_programs(mix), &quick(true)),
+            &format!("{what} skip-on"),
+        );
+        let off = clean_fingerprints(
+            run_lockstep(&cfg, &mixed_programs(mix), &quick(false)),
+            &format!("{what} skip-off"),
+        );
+        assert_eq!(
+            on, off,
+            "{what}: commit-stream fingerprints differ between skip-on and skip-off"
+        );
     }
 }
 
@@ -87,4 +131,19 @@ fn skip_matrix_shelf_oracle() {
 #[test]
 fn skip_matrix_shelf_inorder() {
     run_design("shelf-inorder");
+}
+
+#[test]
+fn skip_matrix_asymmetric_base64() {
+    run_design_asymmetric("base64");
+}
+
+#[test]
+fn skip_matrix_asymmetric_shelf_opt() {
+    run_design_asymmetric("shelf-opt");
+}
+
+#[test]
+fn skip_matrix_asymmetric_shelf_cons() {
+    run_design_asymmetric("shelf-cons");
 }

@@ -80,6 +80,13 @@ echo "$out" | head -1
 echo "$out" | grep -q " 0 diverged, 0 invariant-violations" \
   || { echo "FAIL: validate --no-skip smoke must be clean"; echo "$out"; exit 1; }
 
+echo "== partial-skip smoke: per-thread parking bit-identical on asymmetric mixes"
+# The asymmetric leg of the skip matrix: memory-parked threads next to
+# compute threads, where coverage comes from per-thread certificates and
+# reduced ticks rather than whole-core fixed points.
+cargo test -q -p shelfsim-validate --test skip_matrix skip_matrix_asymmetric
+cargo test -q -p shelfsim-core --test cycle_skipping partial_skip
+
 echo "== chaos smoke: an armed commit-path mutation must be detected (exit 3)"
 set +e
 out="$(cargo run --release -q -p shelfsim-cli --features chaos -- validate \
@@ -97,8 +104,14 @@ cargo test -q -p shelfsim --test golden_determinism
 
 echo "== bench smoke: shelfsim bench emits well-formed throughput JSON"
 bench_json="$(mktemp)"
-cargo run --release -q -p shelfsim-cli -- bench \
-  --measure 5000 --out "$bench_json" >/dev/null
+# --compare prints the report-only old-vs-new kIPS delta table against the
+# committed baseline (no perf assertion: hosts differ; the table is for
+# human eyes in CI logs and PR review).
+out="$(cargo run --release -q -p shelfsim-cli -- bench \
+  --measure 5000 --out "$bench_json" --compare BENCH_core.json)"
+echo "$out" | grep -q "baseline comparison" \
+  || { echo "FAIL: bench --compare should print a delta table"; echo "$out"; exit 1; }
+echo "$out" | grep "aggregate kIPS:"
 python3 - "$bench_json" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
