@@ -12,6 +12,7 @@
 //! * `SHELFSIM_MEASURE` — measured cycles per run (default 40 000);
 //! * `SHELFSIM_SEED` — workload/mix seed (default 7).
 
+pub mod campaign;
 pub mod engine;
 
 use shelfsim::core::sim::UnknownBenchmark;

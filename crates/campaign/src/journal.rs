@@ -152,6 +152,17 @@ pub struct JournalEntry {
     /// against the functional reference, empty when the tier was off (also
     /// the value restored from journals written before the tier existed).
     pub validated: String,
+    /// Benchmark mix, `+`-joined in thread order (empty in entries written
+    /// before the sweep surface existed).
+    pub mix: String,
+    /// Per-thread CPIs, comma-joined in thread order (empty when
+    /// quarantined or restored from a pre-sweep journal). The Pareto
+    /// report's STP computation reads these back.
+    pub tcpi: String,
+    /// Energy per committed instruction in nJ (0.0 when unavailable).
+    pub epi: f64,
+    /// Energy-delay product (nJ/instr × CPI; 0.0 when unavailable).
+    pub edp: f64,
 }
 
 impl JournalEntry {
@@ -161,7 +172,8 @@ impl JournalEntry {
             concat!(
                 r#"{{"key":"{}","label":"{}","design":"{}","threads":{},"seed":{},"#,
                 r#""status":"{}","attempts":{},"ipc":{:.6},"cycles":{},"committed":{},"#,
-                r#""completion":"{}","error":"{}","message":"{}","validated":"{}"}}"#
+                r#""completion":"{}","error":"{}","message":"{}","validated":"{}","#,
+                r#""mix":"{}","tcpi":"{}","epi":{:.6},"edp":{:.6}}}"#
             ),
             json_escape(&self.key),
             json_escape(&self.label),
@@ -177,7 +189,23 @@ impl JournalEntry {
             json_escape(&self.error),
             json_escape(&self.message),
             json_escape(&self.validated),
+            json_escape(&self.mix),
+            json_escape(&self.tcpi),
+            self.epi,
+            self.edp,
         )
+    }
+
+    /// Per-thread CPIs parsed back from the `tcpi` field (empty when the
+    /// entry predates the sweep surface or the run was quarantined).
+    pub fn thread_cpis(&self) -> Vec<f64> {
+        if self.tcpi.is_empty() {
+            return Vec::new();
+        }
+        self.tcpi
+            .split(',')
+            .filter_map(|s| s.parse().ok())
+            .collect()
     }
 
     /// Rebuilds an entry from a parsed journal line; `None` when required
@@ -199,6 +227,10 @@ impl JournalEntry {
             error: get("error").unwrap_or_default(),
             message: get("message").unwrap_or_default(),
             validated: get("validated").unwrap_or_default(),
+            mix: get("mix").unwrap_or_default(),
+            tcpi: get("tcpi").unwrap_or_default(),
+            epi: get("epi").unwrap_or_default().parse().unwrap_or(0.0),
+            edp: get("edp").unwrap_or_default().parse().unwrap_or(0.0),
         })
     }
 }
@@ -228,25 +260,7 @@ impl Journal {
     ///
     /// Propagates I/O errors other than "file not found".
     pub fn load(&self) -> std::io::Result<BTreeMap<String, JournalEntry>> {
-        let file = match File::open(&self.path) {
-            Ok(f) => f,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(BTreeMap::new()),
-            Err(e) => return Err(e),
-        };
-        let mut entries = BTreeMap::new();
-        for line in BufReader::new(file).lines() {
-            let line = line?;
-            if line.trim().is_empty() {
-                continue;
-            }
-            if let Some(entry) = parse_flat_json(&line)
-                .as_ref()
-                .and_then(JournalEntry::from_map)
-            {
-                entries.insert(entry.key.clone(), entry);
-            }
-        }
-        Ok(entries)
+        load_journal_file(&self.path)
     }
 
     /// Opens the journal for appending (creating parent directories and the
@@ -261,6 +275,7 @@ impl Journal {
                 std::fs::create_dir_all(parent)?;
             }
         }
+        repair_torn_tail(&self.path)?;
         OpenOptions::new()
             .create(true)
             .append(true)
@@ -277,6 +292,226 @@ impl Journal {
         let mut line = entry.to_json_line();
         line.push('\n');
         file.write_all(line.as_bytes())
+    }
+}
+
+/// Loads one JSONL journal file into a last-entry-per-key map. A missing
+/// file is an empty journal; malformed lines (e.g. a crash-truncated tail)
+/// are skipped.
+fn load_journal_file(path: &Path) -> std::io::Result<BTreeMap<String, JournalEntry>> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(BTreeMap::new()),
+        Err(e) => return Err(e),
+    };
+    let mut entries = BTreeMap::new();
+    for line in BufReader::new(file).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(entry) = parse_flat_json(&line)
+            .as_ref()
+            .and_then(JournalEntry::from_map)
+        {
+            entries.insert(entry.key.clone(), entry);
+        }
+    }
+    Ok(entries)
+}
+
+/// Newline-terminates a crash-torn final line so the next append starts a
+/// fresh line instead of concatenating into the garbage (which would lose
+/// both entries to the parser). The torn fragment itself stays in place —
+/// it fails to parse and the run re-executes, exactly as before.
+fn repair_torn_tail(path: &Path) -> std::io::Result<()> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = match OpenOptions::new().read(true).write(true).open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    if f.metadata()?.len() == 0 {
+        return Ok(());
+    }
+    f.seek(SeekFrom::End(-1))?;
+    let mut last = [0u8; 1];
+    f.read_exact(&mut last)?;
+    if last[0] != b'\n' {
+        f.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Merge preference when the same key appears in multiple shards: a
+/// completed result always beats a rejection, which beats a quarantine —
+/// so a retry that succeeded on another worker (or in a later sweep over
+/// an overlapping shard layout) wins deterministically.
+fn status_rank(status: &str) -> u8 {
+    match status {
+        "ok" => 2,
+        "rejected" => 1,
+        _ => 0,
+    }
+}
+
+/// A per-worker journal shard writer: serialized entries accumulate in a
+/// local buffer with no locking (the worker owns its shard file
+/// exclusively) and [`ShardWriter::flush`] lands them with one `write_all`
+/// per run completion — a crash can truncate at most the final line, which
+/// the merge-on-read parser skips.
+#[derive(Debug)]
+pub struct ShardWriter {
+    file: File,
+    buf: String,
+}
+
+impl ShardWriter {
+    /// Opens `path` for appending (creating parent directories as needed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        repair_torn_tail(&path)?;
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(ShardWriter {
+            file,
+            buf: String::new(),
+        })
+    }
+
+    /// Buffers one entry locally; nothing reaches the file until
+    /// [`ShardWriter::flush`].
+    pub fn buffer(&mut self, entry: &JournalEntry) {
+        self.buf.push_str(&entry.to_json_line());
+        self.buf.push('\n');
+    }
+
+    /// Flushes every buffered line with a single `write_all`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors (the buffer is kept for retry).
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        self.file.write_all(self.buf.as_bytes())?;
+        self.buf.clear();
+        Ok(())
+    }
+}
+
+impl Drop for ShardWriter {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+/// A directory of per-worker journal shards (`shard-NNN.jsonl`), merged
+/// deterministically on read. Workers append to their own shard with no
+/// shared lock; resume and the result cache read the merged view, so any
+/// shard layout (different worker counts, overlapping reruns) resumes
+/// correctly.
+#[derive(Clone, Debug)]
+pub struct ShardedJournal {
+    dir: PathBuf,
+}
+
+impl ShardedJournal {
+    /// A sharded journal rooted at `dir` (need not exist yet).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ShardedJournal { dir: dir.into() }
+    }
+
+    /// The journal's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The shard file a given worker appends to.
+    pub fn shard_path(&self, worker: usize) -> PathBuf {
+        self.dir.join(format!("shard-{worker:03}.jsonl"))
+    }
+
+    /// Opens worker `worker`'s shard for buffered appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn open_writer(&self, worker: usize) -> std::io::Result<ShardWriter> {
+        ShardWriter::open(self.shard_path(worker))
+    }
+
+    /// Every `*.jsonl` shard in the directory, sorted by filename so the
+    /// merge order is deterministic. A missing directory is an empty
+    /// journal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read errors other than "not found".
+    pub fn shard_files(&self) -> std::io::Result<Vec<PathBuf>> {
+        let rd = match std::fs::read_dir(&self.dir) {
+            Ok(rd) => rd,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut files: Vec<PathBuf> = rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+            .collect();
+        files.sort();
+        Ok(files)
+    }
+
+    /// Loads the merged view: shards are read in sorted filename order
+    /// (last entry per key within a shard), and when the same key appears
+    /// in several shards the better status wins (`ok` > `rejected` >
+    /// `quarantined`; ties keep the earlier shard's entry). The result is
+    /// a deterministic function of the completed run set, independent of
+    /// the shard layout that produced it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn load_merged(&self) -> std::io::Result<BTreeMap<String, JournalEntry>> {
+        let mut merged: BTreeMap<String, JournalEntry> = BTreeMap::new();
+        for path in self.shard_files()? {
+            for (key, entry) in load_journal_file(&path)? {
+                match merged.get(&key) {
+                    Some(old) if status_rank(&old.status) >= status_rank(&entry.status) => {}
+                    _ => {
+                        merged.insert(key, entry);
+                    }
+                }
+            }
+        }
+        Ok(merged)
+    }
+
+    /// Renders the merged view as canonical bytes: one JSON line per key in
+    /// sorted key order. Byte-identical across any shard layout that holds
+    /// the same completed run set — the determinism contract the sweep
+    /// smoke asserts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn merged_bytes(&self) -> std::io::Result<String> {
+        let merged = self.load_merged()?;
+        let mut out = String::new();
+        for entry in merged.values() {
+            out.push_str(&entry.to_json_line());
+            out.push('\n');
+        }
+        Ok(out)
     }
 }
 
@@ -300,6 +535,10 @@ mod tests {
             error: String::new(),
             message: "quote \" backslash \\ newline \n done".to_owned(),
             validated: "clean".to_owned(),
+            mix: "gcc+mcf".to_owned(),
+            tcpi: "1.500000,1.750000".to_owned(),
+            epi: 0.421337,
+            edp: 0.631019,
         }
     }
 
@@ -311,6 +550,104 @@ mod tests {
         let map = parse_flat_json(line).expect("parses");
         let e = JournalEntry::from_map(&map).expect("rebuilds");
         assert_eq!(e.validated, "");
+        assert_eq!(e.mix, "", "pre-sweep entries default the mix");
+        assert!(e.thread_cpis().is_empty());
+        assert_eq!(e.epi, 0.0);
+    }
+
+    #[test]
+    fn thread_cpis_roundtrip() {
+        let e = entry("k", "ok");
+        assert_eq!(e.thread_cpis(), vec![1.5, 1.75]);
+    }
+
+    #[test]
+    fn sharded_merge_prefers_ok_and_is_layout_independent() {
+        let dir = std::env::temp_dir().join("shelfsim_journal_test_shards");
+        let _ = std::fs::remove_dir_all(&dir);
+        let sj = ShardedJournal::new(&dir);
+        // Worker 0: k1 quarantined, k2 ok. Worker 1: k1 ok (overlapping
+        // shard — a later sweep retried it), plus a crash-truncated tail.
+        let mut w0 = sj.open_writer(0).expect("shard 0");
+        let mut q = entry("k1", "quarantined");
+        q.error = "panic".to_owned();
+        w0.buffer(&q);
+        w0.buffer(&entry("k2", "ok"));
+        w0.flush().expect("flush");
+        let mut w1 = sj.open_writer(1).expect("shard 1");
+        w1.buffer(&entry("k1", "ok"));
+        w1.flush().expect("flush");
+        use std::io::Write as _;
+        let mut raw = OpenOptions::new()
+            .append(true)
+            .open(sj.shard_path(1))
+            .expect("reopen");
+        raw.write_all(br#"{"key":"k9","status":"ok","torn"#)
+            .expect("write");
+        drop(raw);
+
+        let merged = sj.load_merged().expect("merge");
+        assert_eq!(merged.len(), 2, "torn k9 line skipped");
+        assert_eq!(merged["k1"].status, "ok", "ok beats quarantined");
+        let bytes_a = sj.merged_bytes().expect("bytes");
+
+        // The same completed run set in a different shard layout renders
+        // byte-identical merged output.
+        let dir_b = std::env::temp_dir().join("shelfsim_journal_test_shards_b");
+        let _ = std::fs::remove_dir_all(&dir_b);
+        let sj_b = ShardedJournal::new(&dir_b);
+        let mut w = sj_b.open_writer(3).expect("shard 3");
+        w.buffer(&entry("k2", "ok"));
+        w.buffer(&entry("k1", "ok"));
+        w.flush().expect("flush");
+        assert_eq!(bytes_a, sj_b.merged_bytes().expect("bytes"));
+    }
+
+    #[test]
+    fn buffered_writer_is_byte_identical_to_unbuffered_appends() {
+        let dir = std::env::temp_dir().join("shelfsim_journal_test_buffered");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let entries: Vec<JournalEntry> = (0..5)
+            .map(|i| {
+                let mut e = entry(
+                    &format!("k{i}"),
+                    if i % 2 == 0 { "ok" } else { "quarantined" },
+                );
+                e.seed = i;
+                e
+            })
+            .collect();
+
+        // Unbuffered path: one locked append per line (the legacy journal).
+        let unbuffered = dir.join("unbuffered.jsonl");
+        let mut f = Journal::new(&unbuffered).open_append().expect("open");
+        for e in &entries {
+            Journal::append_to(&mut f, e).expect("append");
+        }
+        drop(f);
+
+        // Buffered path: everything staged locally, one flush at the end.
+        let buffered = dir.join("buffered.jsonl");
+        let mut w = ShardWriter::open(&buffered).expect("open");
+        for e in &entries {
+            w.buffer(e);
+        }
+        w.flush().expect("flush");
+        drop(w);
+
+        assert_eq!(
+            std::fs::read(&unbuffered).expect("read"),
+            std::fs::read(&buffered).expect("read"),
+            "buffering must not change journal bytes"
+        );
+    }
+
+    #[test]
+    fn missing_shard_dir_is_empty() {
+        let sj = ShardedJournal::new("/nonexistent/definitely/missing-dir");
+        assert!(sj.load_merged().expect("missing dir is fine").is_empty());
+        assert!(sj.merged_bytes().expect("missing dir is fine").is_empty());
     }
 
     #[test]

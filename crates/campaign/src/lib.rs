@@ -50,14 +50,34 @@
 //! assert!(report.taxonomy().count("panic") >= 1);
 //! ```
 
+//!
+//! PR 10 scaled the runner from a handful of runs to the paper's full
+//! sweep surface: [`SweepSpec`] expands the benchmark × mix × design ×
+//! thread-count matrix, [`pool::StealQueues`] distributes it over
+//! work-stealing per-worker deques, [`ShardedJournal`] gives every worker
+//! a lock-free journal shard merged deterministically on read,
+//! [`ResultCache`] dedupes requested runs against all merged history by
+//! config-hash key, and [`pareto_report`] reproduces the paper's Fig 13
+//! STP / energy-delay / area trade-off over the journal.
+
+pub mod cache;
 pub mod fault;
 pub mod journal;
+pub mod pareto;
+pub mod pool;
 pub mod report;
 pub mod runner;
 pub mod spec;
+pub mod sweep;
 
+pub use cache::{Admission, ResultCache};
 pub use fault::{Fault, FaultKind, FaultMix, FaultPlan};
-pub use journal::{Journal, JournalEntry};
+pub use journal::{Journal, JournalEntry, ShardWriter, ShardedJournal};
+pub use pareto::{pareto_report, ParetoPoint, ParetoReport};
+pub use pool::{shard_plan, StealQueues};
 pub use report::CampaignReport;
-pub use runner::{run_campaign, FailureKind, RunFailure, RunOutcome, RunRecord, RunStatus};
+pub use runner::{
+    run_campaign, FailureKind, RunFailure, RunOutcome, RunRecord, RunStatus, WorkerScratch,
+};
 pub use spec::{CampaignSpec, RunSpec};
+pub use sweep::SweepSpec;

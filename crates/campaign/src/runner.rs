@@ -3,14 +3,62 @@
 //! retry with diagnostics escalation, quarantine, and journal-backed
 //! resume.
 
+use crate::cache::ResultCache;
 use crate::fault::FaultKind;
-use crate::journal::{Journal, JournalEntry};
+use crate::journal::{Journal, JournalEntry, ShardWriter, ShardedJournal};
+use crate::pool::StealQueues;
 use crate::report::CampaignReport;
 use crate::spec::{CampaignSpec, RunSpec};
 use shelfsim_core::{Completion, SimError, Simulation, Watchdog};
-use std::collections::VecDeque;
+use shelfsim_workload::Program;
+use std::collections::HashMap;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Mutex;
+
+/// Per-worker scratch reused across runs (arena-style): memoizes
+/// `build_program` results keyed by `(benchmark, program seed)`. A sweep
+/// matrix re-runs the same mixes against every design point, and a single
+/// run builds its programs up to three times (pre-flight, validation tier,
+/// attempt) — the memo collapses all of those to one generation each.
+#[derive(Default)]
+pub struct WorkerScratch {
+    programs: HashMap<(String, u64), Program>,
+    /// Programs generated from scratch (memo misses).
+    pub builds: usize,
+    /// Programs served from the memo.
+    pub hits: usize,
+}
+
+impl WorkerScratch {
+    /// A fresh scratch arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The exact per-thread `(name, program)` pairs `spec` simulates,
+    /// memoized. Errors with the unknown benchmark's message (the same
+    /// text `Simulation::from_names` produces, so the `Config` failure
+    /// taxonomy is unchanged).
+    pub fn programs_for(&mut self, spec: &RunSpec) -> Result<Vec<(String, Program)>, String> {
+        let mut out = Vec::with_capacity(spec.mix.len());
+        for (t, name) in spec.mix.iter().enumerate() {
+            let seed = shelfsim_core::thread_program_seed(spec.seed, t);
+            let key = (name.clone(), seed);
+            if let Some(p) = self.programs.get(&key) {
+                self.hits += 1;
+                out.push((name.clone(), p.clone()));
+                continue;
+            }
+            let profile = shelfsim_workload::suite::by_name(name)
+                .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+            let program = profile.build_program(seed);
+            self.builds += 1;
+            self.programs.insert(key, program.clone());
+            out.push((name.clone(), program));
+        }
+        Ok(out)
+    }
+}
 
 /// Final status of one campaign run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -102,6 +150,15 @@ pub struct RunOutcome {
     pub committed: u64,
     /// How the measurement ended.
     pub completion: Completion,
+    /// Per-thread CPIs in mix order (the Pareto report's STP inputs;
+    /// empty when restored from a pre-sweep journal).
+    pub thread_cpi: Vec<f64>,
+    /// Energy per committed instruction in nJ ([`shelfsim_energy`] model;
+    /// 0.0 when restored from a pre-sweep journal).
+    pub epi: f64,
+    /// Energy-delay product (nJ/instr × CPI; 0.0 when restored from a
+    /// pre-sweep journal).
+    pub edp: f64,
 }
 
 /// Final record of one campaign run: status, attempt history, and outcome.
@@ -137,6 +194,9 @@ impl RunRecord {
             cycles: entry.cycles,
             committed: entry.committed,
             completion: parse_completion(&entry.completion),
+            thread_cpi: entry.thread_cpis(),
+            epi: entry.epi,
+            edp: entry.edp,
         });
         let failures = if entry.error.is_empty() {
             Vec::new()
@@ -169,7 +229,9 @@ impl RunRecord {
         }
     }
 
-    fn to_journal_entry(&self) -> JournalEntry {
+    /// Renders the record as its journal entry (also how journal-less
+    /// surfaces hand records to the Pareto report).
+    pub fn to_journal_entry(&self) -> JournalEntry {
         let last_failure = self.failures.last();
         JournalEntry {
             key: self.spec.key(),
@@ -193,6 +255,16 @@ impl RunRecord {
             } else {
                 String::new()
             },
+            mix: self.spec.mix.join("+"),
+            tcpi: self.outcome.as_ref().map_or(String::new(), |o| {
+                o.thread_cpi
+                    .iter()
+                    .map(|c| format!("{c:.6}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            }),
+            epi: self.outcome.as_ref().map_or(0.0, |o| o.epi),
+            edp: self.outcome.as_ref().map_or(0.0, |o| o.edp),
         }
     }
 }
@@ -265,27 +337,16 @@ const VALIDATE_MAX_CYCLES: u64 = 200_000;
 /// programs this run would simulate. Returns the failure on divergence or
 /// an invariant violation (both deterministic — the caller skips retries).
 fn validate_run(
-    spec: &RunSpec,
     cfg: &shelfsim_core::CoreConfig,
+    programs: &[Program],
     fail: &impl Fn(FailureKind, Option<u64>, String) -> RunFailure,
 ) -> Result<(), RunFailure> {
-    let mut programs = Vec::with_capacity(spec.mix.len());
-    for (t, name) in spec.mix.iter().enumerate() {
-        let profile = shelfsim_workload::suite::by_name(name).ok_or_else(|| {
-            fail(
-                FailureKind::Config,
-                None,
-                format!("unknown benchmark `{name}`"),
-            )
-        })?;
-        programs.push(profile.build_program(shelfsim_core::thread_program_seed(spec.seed, t)));
-    }
     let lcfg = shelfsim_validate::LockstepConfig {
         commits_per_thread: VALIDATE_COMMITS,
         max_cycles: VALIDATE_MAX_CYCLES,
         ..Default::default()
     };
-    match shelfsim_validate::run_lockstep(cfg, &programs, &lcfg) {
+    match shelfsim_validate::run_lockstep(cfg, programs, &lcfg) {
         shelfsim_validate::Verdict::Clean(_) => Ok(()),
         shelfsim_validate::Verdict::Diverged(d) => {
             Err(fail(FailureKind::Divergence, Some(d.cycle), d.to_string()))
@@ -304,6 +365,7 @@ fn run_attempt(
     attempt: u32,
     trace_dir: Option<&std::path::Path>,
     validate: bool,
+    scratch: &mut WorkerScratch,
 ) -> Result<RunOutcome, RunFailure> {
     let diagnostics = attempt > 0;
     let fail = |kind: FailureKind, cycle: Option<u64>, msg: String| RunFailure {
@@ -327,14 +389,19 @@ fn run_attempt(
         let cfg = spec
             .resolved_config()
             .map_err(|msg| fail(FailureKind::Config, None, msg))?;
+        let programs = scratch
+            .programs_for(spec)
+            .map_err(|msg| fail(FailureKind::Config, None, msg))?;
         if validate {
             // Differential tier: the run's exact config and programs must
             // track the functional reference before the timing run counts.
-            validate_run(spec, &cfg, &fail)?;
+            let bare: Vec<Program> = programs.iter().map(|(_, p)| p.clone()).collect();
+            validate_run(&cfg, &bare, &fail)?;
         }
-        let names: Vec<&str> = spec.mix.iter().map(String::as_str).collect();
-        let mut sim = Simulation::from_names(cfg, &names, spec.seed)
-            .map_err(|e| fail(FailureKind::Config, None, e.to_string()))?;
+        // The energy model depends only on the config; capture it before
+        // `cfg` moves into the simulation.
+        let energy = shelfsim_energy::EnergyModel::for_config(&cfg);
+        let mut sim = Simulation::from_programs(cfg, programs, spec.seed);
         if diagnostics {
             // Escalation tier: keep a commit log so a reproduced failure
             // carries pipeline context. With `--features sanitize` the
@@ -359,12 +426,18 @@ fn run_attempt(
             _ => {}
         }
         match sim.try_run(spec.warmup, spec.measure, watchdog) {
-            Ok(r) => Ok(RunOutcome {
-                ipc: r.ipc(),
-                cycles: r.cycles,
-                committed: r.counters.committed,
-                completion: r.completion,
-            }),
+            Ok(r) => {
+                let er = energy.report(&r);
+                Ok(RunOutcome {
+                    ipc: r.ipc(),
+                    cycles: r.cycles,
+                    committed: r.counters.committed,
+                    completion: r.completion,
+                    thread_cpi: r.cpis(),
+                    epi: er.energy_per_instruction(),
+                    edp: er.edp(),
+                })
+            }
             Err(SimError::Deadlock(d)) => {
                 // Best-effort trace dump: the watchdog diagnosed the stall,
                 // so the tracer (when escalated) still holds the window that
@@ -391,13 +464,14 @@ fn run_attempt(
 /// run must be rejected; `None` to proceed (including when the spec does
 /// not even resolve — the attempt path owns that `Config` failure, with
 /// its established message).
-fn preflight_check(spec: &RunSpec) -> Option<String> {
+fn preflight_check(spec: &RunSpec, scratch: &mut WorkerScratch) -> Option<String> {
     let cfg = spec.resolved_config().ok()?;
-    let mut programs = Vec::with_capacity(spec.mix.len());
-    for (t, name) in spec.mix.iter().enumerate() {
-        let profile = shelfsim_workload::suite::by_name(name)?;
-        programs.push(profile.build_program(shelfsim_core::thread_program_seed(spec.seed, t)));
-    }
+    let programs: Vec<Program> = scratch
+        .programs_for(spec)
+        .ok()?
+        .into_iter()
+        .map(|(_, p)| p)
+        .collect();
     let report = shelfsim_analyze::preflight(&cfg, &programs);
     report.has_errors().then(|| {
         let lines: Vec<String> = report
@@ -412,9 +486,9 @@ fn preflight_check(spec: &RunSpec) -> Option<String> {
 
 /// Executes one run to its final status: pre-flight rejection, or bounded
 /// retries with diagnostics escalation, then quarantine.
-fn execute(spec: &RunSpec, campaign: &CampaignSpec) -> RunRecord {
+fn execute(spec: &RunSpec, campaign: &CampaignSpec, scratch: &mut WorkerScratch) -> RunRecord {
     if campaign.preflight {
-        if let Some(msg) = preflight_check(spec) {
+        if let Some(msg) = preflight_check(spec, scratch) {
             return RunRecord {
                 spec: spec.clone(),
                 status: RunStatus::Rejected,
@@ -446,6 +520,7 @@ fn execute(spec: &RunSpec, campaign: &CampaignSpec) -> RunRecord {
             attempt,
             campaign.trace_dir.as_deref(),
             campaign.validate,
+            scratch,
         ) {
             Ok(outcome) => {
                 return RunRecord {
@@ -481,59 +556,78 @@ fn execute(spec: &RunSpec, campaign: &CampaignSpec) -> RunRecord {
     }
 }
 
-/// Runs a campaign to completion: resumes from the journal, executes the
-/// remaining runs on `spec.workers` threads with per-run isolation, and
-/// returns the aggregate report. Individual-run failure never aborts the
-/// campaign — failed runs are retried, then quarantined, and the report
-/// carries partial results plus the error taxonomy.
+/// Runs a campaign to completion: dedupes the matrix against all merged
+/// journal history (legacy single-file and/or sharded), executes the cache
+/// misses on `spec.workers` threads via work-stealing deques with per-run
+/// isolation, and returns the aggregate report. Individual-run failure
+/// never aborts the campaign — failed runs are retried, then quarantined,
+/// and the report carries partial results plus the error taxonomy.
+///
+/// Each worker keeps a scratch arena (memoized program builds) for its
+/// whole lifetime and, when `spec.journal_dir` is set, appends outcomes to
+/// its own journal shard with no shared lock.
 ///
 /// # Errors
 ///
 /// Returns an error only for journal I/O failures (loading an unreadable
-/// journal, or failing to append an outcome).
+/// journal, opening a shard, or failing to append an outcome).
 pub fn run_campaign(spec: &CampaignSpec) -> std::io::Result<CampaignReport> {
-    let journal = spec.journal.as_ref().map(Journal::new);
-    let done = match &journal {
-        Some(j) => j.load()?,
-        None => Default::default(),
-    };
+    let sharded = spec.journal_dir.as_ref().map(ShardedJournal::new);
+    let cache = ResultCache::load(sharded.as_ref(), spec.journal.as_deref())?;
+    let admission = cache.admit(&spec.runs);
 
     let mut records: Vec<Option<RunRecord>> = vec![None; spec.runs.len()];
-    let mut pending = VecDeque::new();
-    let mut resumed = 0usize;
-    for (i, run) in spec.runs.iter().enumerate() {
-        if let Some(entry) = done.get(&run.key()) {
-            records[i] = Some(RunRecord::from_journal(run.clone(), entry));
-            resumed += 1;
-        } else {
-            pending.push_back(i);
-        }
+    for (i, entry) in &admission.hits {
+        records[*i] = Some(RunRecord::from_journal(spec.runs[*i].clone(), entry));
     }
+    let resumed = admission.hits.len();
 
-    let journal_file = match &journal {
-        Some(j) => Some(Mutex::new(j.open_append()?)),
+    let journal_file = match &spec.journal {
+        Some(p) => Some(Mutex::new(Journal::new(p).open_append()?)),
         None => None,
     };
+    let workers = spec.workers.clamp(1, spec.runs.len().max(1));
+    let mut shard_writers: Vec<Option<ShardWriter>> = Vec::with_capacity(workers);
+    for w in 0..workers {
+        shard_writers.push(match &sharded {
+            Some(sj) => Some(sj.open_writer(w)?),
+            None => None,
+        });
+    }
+
     let _quiet = QuietPanics::new(spec.quiet_panics);
-    let queue = Mutex::new(pending);
+    let queues = StealQueues::new(admission.misses, workers);
     let finished: Mutex<Vec<(usize, RunRecord)>> = Mutex::new(Vec::new());
     let io_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
-    let workers = spec.workers.clamp(1, spec.runs.len().max(1));
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let next = queue.lock().expect("job queue").pop_front();
-                let Some(i) = next else { break };
-                let record = execute(&spec.runs[i], spec);
-                if let Some(file) = &journal_file {
+        for (w, mut shard) in shard_writers.into_iter().enumerate() {
+            let queues = &queues;
+            let finished = &finished;
+            let io_error = &io_error;
+            let journal_file = &journal_file;
+            scope.spawn(move || {
+                let mut scratch = WorkerScratch::new();
+                while let Some(i) = queues.next(w) {
+                    let record = execute(&spec.runs[i], spec, &mut scratch);
                     let entry = record.to_journal_entry();
-                    let mut guard = file.lock().expect("journal file");
-                    if let Err(e) = Journal::append_to(&mut guard, &entry) {
-                        io_error.lock().expect("io error slot").get_or_insert(e);
+                    if let Some(sw) = &mut shard {
+                        // Lock-free: this worker owns the shard file. The
+                        // entry is buffered and flushed with one write per
+                        // run completion.
+                        sw.buffer(&entry);
+                        if let Err(e) = sw.flush() {
+                            io_error.lock().expect("io error slot").get_or_insert(e);
+                        }
                     }
+                    if let Some(file) = &journal_file {
+                        let mut guard = file.lock().expect("journal file");
+                        if let Err(e) = Journal::append_to(&mut guard, &entry) {
+                            io_error.lock().expect("io error slot").get_or_insert(e);
+                        }
+                    }
+                    finished.lock().expect("results").push((i, record));
                 }
-                finished.lock().expect("results").push((i, record));
             });
         }
     });

@@ -113,6 +113,11 @@ pub struct CampaignSpec {
     /// JSONL journal path; when set, outcomes are appended as they complete
     /// and already-journaled runs are skipped on the next invocation.
     pub journal: Option<PathBuf>,
+    /// Sharded journal directory (`shard-NNN.jsonl`, one per worker); when
+    /// set, each worker appends to its own shard lock-free and resume reads
+    /// the deterministically merged view. Composes with `journal`: history
+    /// from both is merged into the result cache.
+    pub journal_dir: Option<PathBuf>,
     /// Deterministic fault injection plan (empty = no faults).
     pub faults: FaultPlan,
     /// When set, diagnostics-tier attempts (attempt ≥ 2) run with the
@@ -146,6 +151,7 @@ impl CampaignSpec {
             max_attempts: 3,
             workers: 2,
             journal: None,
+            journal_dir: None,
             faults: FaultPlan::new(),
             trace_dir: None,
             quiet_panics: true,
@@ -187,6 +193,12 @@ impl CampaignSpec {
     /// Sets the journal path.
     pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Self {
         self.journal = Some(path.into());
+        self
+    }
+
+    /// Sets the sharded-journal directory (one shard file per worker).
+    pub fn with_journal_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.journal_dir = Some(dir.into());
         self
     }
 

@@ -1,0 +1,192 @@
+//! End-to-end tests of the sweep-scale machinery: sharded journals merged
+//! on read, resume across shard layouts (including a killed pool and a
+//! crash-corrupted shard), and the config-hash result cache returning
+//! bit-identical results without re-simulating.
+
+use shelfsim_campaign::{
+    run_campaign, CampaignSpec, ResultCache, RunStatus, ShardedJournal, SweepSpec,
+};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("shelfsim_sweep_scale_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir
+}
+
+fn small_sweep() -> SweepSpec {
+    SweepSpec {
+        designs: vec!["base64".to_owned(), "shelf-opt".to_owned()],
+        thread_counts: vec![2],
+        mixes_per_count: 2,
+        seed: 11,
+        warmup: 100,
+        measure: 400,
+    }
+}
+
+#[test]
+fn merged_journal_is_byte_deterministic_across_worker_counts() {
+    let dir = tmp("layouts");
+    let runs = small_sweep().expand();
+
+    let solo_dir = dir.join("solo");
+    let spec = CampaignSpec::new(runs.clone())
+        .with_workers(1)
+        .with_journal_dir(&solo_dir);
+    let report = run_campaign(&spec).expect("solo sweep");
+    assert_eq!(report.completed(), runs.len());
+
+    let wide_dir = dir.join("wide");
+    let spec = CampaignSpec::new(runs.clone())
+        .with_workers(3)
+        .with_journal_dir(&wide_dir);
+    run_campaign(&spec).expect("wide sweep");
+
+    let solo = ShardedJournal::new(&solo_dir);
+    let wide = ShardedJournal::new(&wide_dir);
+    assert_eq!(solo.shard_files().expect("shards").len(), 1);
+    assert!(wide.shard_files().expect("shards").len() >= 2);
+    assert_eq!(
+        solo.merged_bytes().expect("bytes"),
+        wide.merged_bytes().expect("bytes"),
+        "same completed run set must merge byte-identically in any layout"
+    );
+}
+
+#[test]
+fn resume_after_killed_pool_completes_only_the_remainder() {
+    let dir = tmp("killed");
+    let runs = small_sweep().expand();
+    let half = runs.len() / 2;
+
+    // "Kill" the pool mid-sweep: complete only the first half of the
+    // matrix (a prefix of completed runs plus untouched shards is exactly
+    // the on-disk state a killed process leaves, minus a torn tail —
+    // covered below).
+    let spec = CampaignSpec::new(runs[..half].to_vec())
+        .with_workers(2)
+        .with_journal_dir(&dir);
+    run_campaign(&spec).expect("partial sweep");
+
+    // Re-invoke over the full matrix with a different worker count: the
+    // completed half resumes from the merged shards, only the rest runs.
+    let spec = CampaignSpec::new(runs.clone())
+        .with_workers(3)
+        .with_journal_dir(&dir);
+    let report = run_campaign(&spec).expect("resumed sweep");
+    assert_eq!(report.resumed, half, "first half resumed from shards");
+    assert_eq!(report.completed(), runs.len());
+}
+
+#[test]
+fn corrupt_trailing_shard_line_reexecutes_only_that_run() {
+    let dir = tmp("corrupt");
+    let runs = small_sweep().expand();
+    let spec = CampaignSpec::new(runs.clone())
+        .with_workers(2)
+        .with_journal_dir(&dir);
+    run_campaign(&spec).expect("sweep");
+
+    let sj = ShardedJournal::new(&dir);
+    let before = sj.load_merged().expect("merge");
+    assert_eq!(before.len(), runs.len());
+
+    // Crash-truncate the last line of one shard mid-write.
+    let shard = sj.shard_path(0);
+    let bytes = std::fs::read(&shard).expect("read shard");
+    let cut = bytes[..bytes.len() - 1]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |p| p + 1);
+    let lost_lines = 1;
+    std::fs::write(&shard, &bytes[..cut + 20]).expect("truncate mid-line");
+
+    let merged = sj.load_merged().expect("merge survives corruption");
+    assert_eq!(merged.len(), runs.len() - lost_lines, "torn line skipped");
+
+    // Resume: exactly the torn run re-executes, and the merged view comes
+    // back to the full set with identical numbers.
+    let report = run_campaign(&spec).expect("resume over torn shard");
+    assert_eq!(report.resumed, runs.len() - lost_lines);
+    let after = sj.load_merged().expect("merge");
+    assert_eq!(after.len(), runs.len());
+    for (key, entry) in &before {
+        let e = &after[key];
+        assert_eq!(
+            (e.ipc, e.cycles, e.committed),
+            (entry.ipc, entry.cycles, entry.committed)
+        );
+        assert_eq!(e.tcpi, entry.tcpi, "re-executed run is bit-identical");
+    }
+}
+
+#[test]
+fn cache_hits_are_bit_identical_to_fresh_simulation_with_zero_cycles() {
+    let dir = tmp("dedup");
+    let runs = small_sweep().expand();
+
+    // Fresh, journal-less baseline.
+    let fresh =
+        run_campaign(&CampaignSpec::new(runs.clone()).with_workers(2)).expect("fresh campaign");
+
+    // Sharded sweep, then an identical re-run that must be 100% cache hits.
+    let spec = CampaignSpec::new(runs.clone())
+        .with_workers(2)
+        .with_journal_dir(&dir);
+    run_campaign(&spec).expect("first sweep");
+    let rerun = run_campaign(&spec).expect("cached re-run");
+    assert_eq!(
+        rerun.resumed,
+        runs.len(),
+        "every run deduped by config hash"
+    );
+
+    // The admission preview agrees: zero misses → zero simulated cycles.
+    let cache = ResultCache::load(Some(&ShardedJournal::new(&dir)), None).expect("load cache");
+    let admission = cache.admit(&runs);
+    assert!(admission.misses.is_empty());
+    assert_eq!(admission.hit_rate(), 1.0);
+
+    // Cached results are bit-identical to the fresh simulation.
+    for (fresh_rec, cached_rec) in fresh.records.iter().zip(&rerun.records) {
+        assert_eq!(fresh_rec.spec.key(), cached_rec.spec.key());
+        assert_eq!(fresh_rec.status, RunStatus::Ok);
+        assert_eq!(cached_rec.status, RunStatus::Ok);
+        let f = fresh_rec.outcome.as_ref().expect("fresh outcome");
+        let c = cached_rec.outcome.as_ref().expect("cached outcome");
+        assert_eq!(f.cycles, c.cycles);
+        assert_eq!(f.committed, c.committed);
+        // Floats cross a {:.6} journal round-trip; bit-identity holds at
+        // the journal's full stored precision.
+        assert!((f.ipc - c.ipc).abs() < 1e-6);
+        for (a, b) in f.thread_cpi.iter().zip(&c.thread_cpi) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn overlapping_shard_history_from_two_sweeps_merges_cleanly() {
+    let dir = tmp("overlap");
+    let runs = small_sweep().expand();
+    let two_thirds = runs.len() * 2 / 3;
+
+    // Sweep A covers a prefix with 1 worker (shard-000); sweep B covers
+    // the full matrix with 2 workers — its shard-000 overlaps A's file
+    // and the resumed prefix never re-executes.
+    let spec_a = CampaignSpec::new(runs[..two_thirds].to_vec())
+        .with_workers(1)
+        .with_journal_dir(&dir);
+    run_campaign(&spec_a).expect("sweep A");
+    let spec_b = CampaignSpec::new(runs.clone())
+        .with_workers(2)
+        .with_journal_dir(&dir);
+    let report = run_campaign(&spec_b).expect("sweep B");
+    assert_eq!(report.resumed, two_thirds);
+
+    let merged = ShardedJournal::new(&dir).load_merged().expect("merge");
+    assert_eq!(merged.len(), runs.len(), "one entry per key across shards");
+    assert!(merged.values().all(|e| e.status == "ok"));
+}

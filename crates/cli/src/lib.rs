@@ -359,6 +359,23 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             }
         }
         "sweep" => {
+            // Two modes share the verb: the legacy structural parameter
+            // sweep (`--param/--values`) and the matrix mode (full design ×
+            // thread-count × mix matrix on the work-stealing campaign pool).
+            // Any matrix-only flag selects the matrix mode.
+            const MATRIX_FLAGS: &[&str] = &[
+                "--designs",
+                "--thread-counts",
+                "--mixes",
+                "--workers",
+                "--journal-dir",
+                "--dry-run",
+                "--pareto",
+            ];
+            if args[1..].iter().any(|a| MATRIX_FLAGS.contains(&a.as_str())) {
+                out.push_str(&sweep_matrix(&args[1..])?);
+                return Ok(out);
+            }
             let mut param = String::new();
             let mut values: Vec<usize> = vec![];
             let mut rest: Vec<String> = vec![];
@@ -989,26 +1006,42 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             // Engine-throughput bench: a fixed seeded matrix of designs x
             // mixes whose wall-clock/kIPS numbers form the repo's perf
             // trajectory (BENCH_core.json). `--out -` skips the file.
-            let mut measure = shelfsim_bench::engine::DEFAULT_MEASURE;
+            let mut campaign_bench = false;
+            let mut measure: Option<u64> = None;
             let mut seed = 7u64;
-            let mut out_path = "BENCH_core.json".to_owned();
+            let mut out_path: Option<String> = None;
             let mut compare_path: Option<String> = None;
+            let mut workers = vec![1usize, 2, 4];
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
+                    "--campaign" => campaign_bench = true,
+                    "--workers" => {
+                        let v = it.next().ok_or_else(|| uerr("--workers needs a value"))?;
+                        workers = v
+                            .split(',')
+                            .map(|x| parse_num("--workers", x))
+                            .collect::<Result<_, _>>()?;
+                        if workers.is_empty() || workers[0] != 1 {
+                            return Err(uerr(
+                                "--workers: the list must start at 1 (the speedup baseline)",
+                            ));
+                        }
+                    }
                     "--measure" => {
                         let v = it.next().ok_or_else(|| uerr("--measure needs a value"))?;
-                        measure = parse_num::<u64>("--measure", v)?;
+                        measure = Some(parse_num::<u64>("--measure", v)?);
                     }
                     "--seed" => {
                         let v = it.next().ok_or_else(|| uerr("--seed needs a value"))?;
                         seed = parse_num::<u64>("--seed", v)?;
                     }
                     "--out" => {
-                        out_path = it
-                            .next()
-                            .ok_or_else(|| uerr("--out needs a value"))?
-                            .clone();
+                        out_path = Some(
+                            it.next()
+                                .ok_or_else(|| uerr("--out needs a value"))?
+                                .clone(),
+                        );
                     }
                     "--compare" => {
                         compare_path = Some(
@@ -1020,6 +1053,27 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                     other => return Err(err(format!("unknown bench option `{other}`"))),
                 }
             }
+            if campaign_bench {
+                // Worker-scaling bench of the sweep runner itself: the
+                // matrix once per worker count plus the cached replay;
+                // writes BENCH_campaign.json unless --out -.
+                if compare_path.is_some() {
+                    return Err(uerr("--compare applies to the engine bench only"));
+                }
+                let measure = measure.unwrap_or(shelfsim_bench::campaign::DEFAULT_MEASURE);
+                let out_path = out_path.unwrap_or_else(|| "BENCH_campaign.json".to_owned());
+                let report = shelfsim_bench::campaign::run_campaign_bench(measure, seed, &workers)
+                    .map_err(err)?;
+                out.push_str(&report.render_text());
+                if out_path != "-" {
+                    std::fs::write(&out_path, report.to_json())
+                        .map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
+                    writeln!(out, "wrote {out_path}").expect("write");
+                }
+                return Ok(out);
+            }
+            let measure = measure.unwrap_or(shelfsim_bench::engine::DEFAULT_MEASURE);
+            let out_path = out_path.unwrap_or_else(|| "BENCH_core.json".to_owned());
             // Parse the baseline before the (slow) matrix runs so a bad
             // path fails fast.
             let baseline = match &compare_path {
@@ -1277,6 +1331,208 @@ fn cmd_validate(args: &[String]) -> Result<String, CliError> {
     }
 }
 
+/// Matrix-mode `shelfsim sweep`: the full design × thread-count × mix
+/// matrix (with the implied single-thread STP references) expanded by
+/// [`shelfsim::SweepSpec`], deduplicated against merged journal history
+/// by the config-hash [`shelfsim::ResultCache`], and executed on the
+/// work-stealing campaign pool with one journal shard per worker.
+/// `--dry-run` prints the matrix size, initial shard plan, and cache-hit
+/// preview without simulating a cycle; `--pareto` appends the
+/// STP/EDP/area Pareto report over the merged history.
+fn sweep_matrix(args: &[String]) -> Result<String, CliError> {
+    let mut designs: Vec<String> = vec!["base64".to_owned(), "shelf-opt".to_owned()];
+    let mut thread_counts: Vec<usize> = vec![2, 4];
+    let mut mixes = 2usize;
+    let mut seed = 7u64;
+    let mut warmup = 2_000u64;
+    let mut measure = 10_000u64;
+    let mut workers = 2usize;
+    let mut journal_dir: Option<String> = None;
+    let mut watchdog: Option<u64> = Some(100_000);
+    let mut attempts = 3u32;
+    let mut preflight = true;
+    let mut dry_run = false;
+    let mut pareto = false;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dry-run" => {
+                dry_run = true;
+                continue;
+            }
+            "--pareto" => {
+                pareto = true;
+                continue;
+            }
+            "--json" => {
+                json = true;
+                continue;
+            }
+            "--no-preflight" => {
+                preflight = false;
+                continue;
+            }
+            _ => {}
+        }
+        let v = it
+            .next()
+            .ok_or_else(|| uerr(format!("{a} requires a value")))?;
+        match a.as_str() {
+            "--designs" => {
+                designs = v.split(',').map(str::to_owned).collect();
+                for d in &designs {
+                    design_config(d, 1)?;
+                }
+            }
+            "--thread-counts" => {
+                thread_counts = v
+                    .split(',')
+                    .map(|x| parse_num("--thread-counts", x))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--mixes" => mixes = parse_num("--mixes", v)?,
+            "--seed" => seed = parse_num("--seed", v)?,
+            "--warmup" => warmup = parse_num("--warmup", v)?,
+            "--measure" => measure = parse_num("--measure", v)?,
+            "--workers" => workers = parse_num("--workers", v)?,
+            "--journal-dir" => journal_dir = Some(v.clone()),
+            "--watchdog" => {
+                let w: u64 = parse_num("--watchdog", v)?;
+                watchdog = (w > 0).then_some(w);
+            }
+            "--attempts" => attempts = parse_num("--attempts", v)?,
+            other => return Err(uerr(format!("unknown option `{other}`"))),
+        }
+    }
+    if thread_counts.is_empty() || thread_counts.contains(&0) {
+        return Err(uerr("--thread-counts: need at least one count >= 1"));
+    }
+    let sweep = shelfsim::SweepSpec {
+        designs: designs.clone(),
+        thread_counts,
+        mixes_per_count: mixes,
+        seed,
+        warmup,
+        measure,
+    };
+    let runs = sweep.expand();
+    if runs.is_empty() {
+        return Err(err("sweep matrix is empty"));
+    }
+    let workers = workers.clamp(1, runs.len());
+
+    // Admission preview against merged journal history (shared by the
+    // dry run and the real run's header).
+    let sharded = journal_dir.as_deref().map(shelfsim::ShardedJournal::new);
+    let cache = shelfsim::ResultCache::load(sharded.as_ref(), None)
+        .map_err(|e| err(format!("sweep journal: {e}")))?;
+    let admission = cache.admit(&runs);
+
+    let mut header = String::new();
+    let breakdown: Vec<String> = sweep
+        .mix_plan()
+        .iter()
+        .map(|(t, m)| format!("{} @ {}t", m.len(), t))
+        .collect();
+    writeln!(
+        header,
+        "sweep matrix: {} designs x ({}) workloads = {} runs",
+        designs.len(),
+        breakdown.join(" + "),
+        runs.len()
+    )
+    .expect("write");
+    writeln!(
+        header,
+        "cache: {} hits, {} misses ({:.1}% cached, {} journaled entries)",
+        admission.hits.len(),
+        admission.misses.len(),
+        admission.hit_rate() * 100.0,
+        cache.len()
+    )
+    .expect("write");
+
+    if dry_run {
+        let plan = shelfsim::shard_plan(admission.misses.len(), workers);
+        if json {
+            let shards: Vec<String> = plan
+                .iter()
+                .map(|&(start, len)| format!("{{\"start\":{start},\"len\":{len}}}"))
+                .collect();
+            return Ok(format!(
+                "{{\"runs\":{},\"hits\":{},\"misses\":{},\"workers\":{},\"shards\":[{}]}}\n",
+                runs.len(),
+                admission.hits.len(),
+                admission.misses.len(),
+                workers,
+                shards.join(",")
+            ));
+        }
+        let mut out = header;
+        for (w, &(start, len)) in plan.iter().enumerate() {
+            writeln!(
+                out,
+                "  worker {w}: {len} pending runs (slots {start}..{})",
+                start + len
+            )
+            .expect("write");
+        }
+        out.push_str("dry run: 0 cycles simulated\n");
+        return Ok(out);
+    }
+
+    let mut spec = shelfsim::CampaignSpec::new(runs)
+        .with_watchdog(watchdog)
+        .with_max_attempts(attempts)
+        .with_workers(workers)
+        .with_preflight(preflight);
+    if let Some(dir) = &journal_dir {
+        spec = spec.with_journal_dir(dir);
+    }
+    let report = shelfsim::run_campaign(&spec).map_err(|e| err(format!("sweep journal: {e}")))?;
+
+    // Pareto scores over the full merged history when a journal directory
+    // is present (earlier sweeps contribute points); otherwise over this
+    // invocation's records.
+    let pareto_entries = if pareto {
+        Some(match &sharded {
+            Some(sj) => sj
+                .load_merged()
+                .map_err(|e| err(format!("sweep journal: {e}")))?,
+            None => report
+                .records
+                .iter()
+                .map(|r| {
+                    let e = r.to_journal_entry();
+                    (e.key.clone(), e)
+                })
+                .collect(),
+        })
+    } else {
+        None
+    };
+
+    if json {
+        // Machine output stays pure JSON: the Pareto report when asked
+        // for, the campaign report otherwise.
+        return Ok(match &pareto_entries {
+            Some(entries) => shelfsim::pareto_report(entries, workers).render_json(),
+            None => {
+                let mut j = report.render_json();
+                j.push('\n');
+                j
+            }
+        });
+    }
+    let mut out = header;
+    out.push_str(&report.render_text());
+    if let Some(entries) = &pareto_entries {
+        out.push_str(&shelfsim::pareto_report(entries, workers).render_text());
+    }
+    Ok(out)
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 shelfsim — SMT out-of-order core simulator with hybrid shelf dispatch
@@ -1288,6 +1544,20 @@ USAGE:
                    [--seed N] [--tso] [--json]
   shelfsim compare --mix b1,b2,... [--warmup N] [--measure N] [--seed N] [--tso]
   shelfsim sweep   --param P --values v1,v2,... --mix b1,b2,... [--design D]
+  shelfsim sweep   [--designs d1,d2] [--thread-counts 2,4] [--mixes N]
+                   [--seed N] [--warmup N] [--measure N] [--workers N]
+                   [--journal-dir DIR] [--watchdog N] [--attempts N]
+                   [--dry-run] [--pareto] [--json] [--no-preflight]
+                   (matrix mode: the full design x thread-count x mix matrix
+                   — plus the implied single-thread STP references — runs on
+                   the work-stealing campaign pool, one journal shard per
+                   worker under --journal-dir; requested runs dedupe against
+                   all merged journal history by config hash, so re-invoking
+                   the same sweep re-simulates nothing. --dry-run prints the
+                   matrix size, initial shard plan, and cache-hit preview
+                   without simulating a cycle; --pareto appends the
+                   STP vs energy-delay vs area Pareto frontier over the
+                   merged history)
   shelfsim trace   --mix b1,b2,... [--design D] [--warmup N] [--measure N]
                    [--seed N] [--window N] [--sample N]
                    [--jsonl FILE] [--chrome FILE]
@@ -1339,6 +1609,15 @@ USAGE:
                    kIPS per run; writes BENCH_core.json unless --out -;
                    --compare prints a report-only old-vs-new kIPS delta
                    table against a committed BENCH_core.json baseline)
+  shelfsim bench   --campaign [--workers 1,2,4] [--measure N] [--seed N]
+                   [--out FILE]
+                   (worker-scaling bench of the sweep runner: a 220-run
+                   seeded matrix once per worker count — fresh journal
+                   shards per row — reporting runs/s, speedup over one
+                   worker, and efficiency against the host's ideal
+                   min(workers, host_cores), plus a cached replay that
+                   must dedupe 100% of the matrix; writes
+                   BENCH_campaign.json unless --out -)
   shelfsim campaign [--designs d1,d2] [--threads N] [--mixes N | --mix b1,b2 ...]
                    [--seed N] [--warmup N] [--measure N] [--watchdog N]
                    [--attempts N] [--workers N] [--journal FILE] [--json]
@@ -1831,6 +2110,82 @@ mod tests {
         assert!(e.message.contains("victim"), "{}", e.message);
         let e = run_cli(&args("campaign --workers nope")).unwrap_err();
         assert!(e.message.contains("`nope`"), "{}", e.message);
+    }
+
+    fn sweep_dir(name: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("shelfsim_cli_sweep_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn sweep_matrix_dry_run_previews_without_simulating() {
+        let dir = sweep_dir("dry");
+        let cmd = format!(
+            "sweep --designs base64 --thread-counts 2 --mixes 1 --workers 2 \
+             --warmup 100 --measure 400 --journal-dir {dir}"
+        );
+        // Cold preview: every run is a miss, nothing simulates (the
+        // journal directory is never even created).
+        let out = run_cli(&args(&format!("{cmd} --dry-run"))).expect("dry run");
+        assert!(out.contains("sweep matrix: 1 designs"), "{out}");
+        assert!(out.contains("0 hits, 3 misses"), "{out}");
+        assert!(out.contains("dry run: 0 cycles simulated"), "{out}");
+        assert!(!std::path::Path::new(&dir).exists(), "dry run wrote files");
+
+        // Real run, then a warm preview: everything dedupes by config hash.
+        let out = run_cli(&args(&cmd)).expect("sweep");
+        assert!(out.contains("3 completed"), "{out}");
+        let out = run_cli(&args(&format!("{cmd} --dry-run"))).expect("warm dry run");
+        assert!(out.contains("3 hits, 0 misses (100.0% cached"), "{out}");
+
+        let out = run_cli(&args(&format!("{cmd} --dry-run --json"))).expect("json dry run");
+        assert!(out.contains("\"misses\":0"), "{out}");
+        assert!(out.contains("\"shards\":["), "{out}");
+    }
+
+    #[test]
+    fn sweep_matrix_runs_resumes_and_reports_pareto() {
+        let dir = sweep_dir("pareto");
+        let cmd = format!(
+            "sweep --designs base64,shelf-opt --thread-counts 2 --mixes 1 \
+             --workers 2 --warmup 100 --measure 400 --journal-dir {dir}"
+        );
+        let out = run_cli(&args(&cmd)).expect("sweep");
+        assert!(out.contains("sweep matrix: 2 designs"), "{out}");
+        assert!(out.contains("6 completed"), "{out}");
+
+        // Re-invoking with --pareto: 100% cache hits, frontier over the
+        // merged shards.
+        let out = run_cli(&args(&format!("{cmd} --pareto"))).expect("pareto");
+        assert!(out.contains("6 hits, 0 misses"), "{out}");
+        assert!(out.contains("6 resumed from journal"), "{out}");
+        assert!(out.contains("pareto: 2 design points"), "{out}");
+        assert!(out.contains("[*]"), "{out}");
+
+        let out = run_cli(&args(&format!("{cmd} --pareto --json"))).expect("pareto json");
+        assert!(out.trim_start().starts_with('{'), "{out}");
+        assert!(out.contains("\"on_frontier\":true"), "{out}");
+    }
+
+    #[test]
+    fn sweep_matrix_works_without_a_journal_and_validates_flags() {
+        // Journal-less one-shot sweep with an inline Pareto report.
+        let out = run_cli(&args(
+            "sweep --designs base64 --thread-counts 2 --mixes 1 \
+             --warmup 100 --measure 400 --pareto",
+        ))
+        .expect("journal-less sweep");
+        assert!(out.contains("pareto: 1 design points"), "{out}");
+
+        let e = run_cli(&args("sweep --designs warp-drive --dry-run")).unwrap_err();
+        assert!(e.message.contains("unknown design"), "{}", e.message);
+        let e = run_cli(&args("sweep --thread-counts 2,0 --dry-run")).unwrap_err();
+        assert!(e.message.contains("--thread-counts"), "{}", e.message);
+        let e = run_cli(&args("sweep --designs base64 --frontier yes")).unwrap_err();
+        assert!(e.message.contains("unknown option"), "{}", e.message);
+        let e = run_cli(&args("sweep --designs base64 --workers")).unwrap_err();
+        assert!(e.message.contains("requires a value"), "{}", e.message);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use crate::counters::Counters;
 use crate::pipeline::{Core, ThreadOccupancy};
 use shelfsim_mem::CacheStats;
 use shelfsim_stats::WeightedCdf;
-use shelfsim_workload::{suite, BenchmarkProfile, TraceSource};
+use shelfsim_workload::{suite, BenchmarkProfile, Program, TraceSource};
 
 /// Instructions of functional (atomic-mode) warm-up per thread applied when
 /// a [`Simulation`] is built: trains branch predictors and warms caches
@@ -261,16 +261,42 @@ impl Simulation {
     /// Panics if the profile count does not match `cfg.threads`.
     pub fn new(cfg: CoreConfig, profiles: &[&BenchmarkProfile], seed: u64) -> Self {
         assert_eq!(profiles.len(), cfg.threads, "one benchmark per thread");
-        let names: Vec<String> = profiles.iter().map(|p| p.name.to_owned()).collect();
+        let programs: Vec<(String, Program)> = profiles
+            .iter()
+            .enumerate()
+            .map(|(t, p)| {
+                (
+                    p.name.to_owned(),
+                    p.build_program(thread_program_seed(seed, t)),
+                )
+            })
+            .collect();
+        Self::from_programs(cfg, programs, seed)
+    }
+
+    /// Builds a simulation from pre-built programs, one `(benchmark name,
+    /// program)` pair per thread. Callers that run many simulations over a
+    /// repeating workload set (the campaign worker pool) memoize
+    /// `build_program` results and feed them in here, skipping the
+    /// per-run program-generation cost. The programs must be exactly what
+    /// `profile.build_program(thread_program_seed(seed, t))` would produce
+    /// for the paired names, or results stop matching their run keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program count does not match `cfg.threads`.
+    pub fn from_programs(cfg: CoreConfig, programs: Vec<(String, Program)>, seed: u64) -> Self {
+        assert_eq!(programs.len(), cfg.threads, "one program per thread");
+        let names: Vec<String> = programs.iter().map(|(n, _)| n.clone()).collect();
         let meta = RunMeta {
             seed,
             benchmarks: names.clone(),
             config_hash: cfg.stable_hash(),
         };
-        let traces: Vec<TraceSource> = profiles
-            .iter()
+        let traces: Vec<TraceSource> = programs
+            .into_iter()
             .enumerate()
-            .map(|(t, p)| TraceSource::new(p.build_program(thread_program_seed(seed, t)), t))
+            .map(|(t, (_, p))| TraceSource::new(p, t))
             .collect();
         let mut core = Core::new(cfg, traces);
         core.warm_caches();

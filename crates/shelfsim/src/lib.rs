@@ -33,7 +33,10 @@
 //!   dynamic invariant sanitizer rides in `--features sanitize`);
 //! * [`campaign`] — the fault-tolerant sweep runner (per-run isolation,
 //!   forward-progress watchdog, retry escalation, resumable journals,
-//!   deterministic fault injection);
+//!   deterministic fault injection) scaled out with work-stealing worker
+//!   deques, per-worker journal shards merged on read, a config-hash
+//!   result cache, and a Pareto-frontier report (STP vs energy-delay vs
+//!   area);
 //! * [`trace`] — the bounded observability layer (instruction lifecycle
 //!   ring, occupancy sampling, per-thread stall attribution, JSONL and
 //!   Chrome trace-event exporters);
@@ -73,7 +76,8 @@ pub use shelfsim_analyze::{
     IpcBoundReport, Report, Severity,
 };
 pub use shelfsim_campaign::{
-    run_campaign, CampaignReport, CampaignSpec, FaultKind, FaultMix, FaultPlan, RunSpec,
+    pareto_report, run_campaign, shard_plan, CampaignReport, CampaignSpec, FaultKind, FaultMix,
+    FaultPlan, ParetoReport, ResultCache, RunSpec, ShardedJournal, SweepSpec,
 };
 pub use shelfsim_core::{
     Completion, Core, CoreConfig, Counters, MemoryModel, RunMeta, RunResult, SimError, Simulation,

@@ -126,4 +126,58 @@ print(f"bench smoke ok: {len(doc['runs'])} runs, "
 EOF
 rm -f "$bench_json"
 
+echo "== sweep smoke: sharded journals, resume, dedup, byte-deterministic merge"
+sweep_dir="$(mktemp -d)/shards"
+sweep() {
+  cargo run --release -q -p shelfsim-cli -- sweep \
+    --designs base64,shelf-opt --thread-counts 2 --mixes 1 \
+    --warmup 200 --measure 1500 --workers "$1" --journal-dir "$sweep_dir" "${@:2}"
+}
+# Dry run first: the full matrix is a cache miss, nothing simulates.
+out="$(sweep 2 --dry-run)"
+echo "$out" | head -2
+echo "$out" | grep -q "dry run: 0 cycles simulated" \
+  || { echo "FAIL: --dry-run must not simulate"; echo "$out"; exit 1; }
+# Real run with 2 workers, then an identical re-run with 3: everything
+# must dedupe against the shards (zero misses, all resumed).
+out="$(sweep 2)"
+echo "$out" | grep -q "0 hits" \
+  || { echo "FAIL: first sweep should start cold"; echo "$out"; exit 1; }
+merged_a="$(cat "$sweep_dir"/shard-*.jsonl | sort)"
+out="$(sweep 3 --pareto)"
+echo "$out" | head -2
+echo "$out" | grep -q "0 misses" \
+  || { echo "FAIL: identical re-run must be 100% cache hits"; echo "$out"; exit 1; }
+echo "$out" | grep -q "resumed from journal" \
+  || { echo "FAIL: re-run should resume every run"; echo "$out"; exit 1; }
+echo "$out" | grep -q "pareto: " \
+  || { echo "FAIL: --pareto should print the frontier"; echo "$out"; exit 1; }
+# The merged entry set is unchanged by the (cache-hit) re-run: same runs,
+# same bytes, regardless of worker count or shard layout.
+merged_b="$(cat "$sweep_dir"/shard-*.jsonl | sort)"
+[ "$merged_a" = "$merged_b" ] \
+  || { echo "FAIL: re-run must not change the journaled entry set"; exit 1; }
+rm -rf "$sweep_dir"
+
+echo "== campaign bench smoke: BENCH_campaign.json is well-formed"
+python3 - BENCH_campaign.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "shelfsim-campaign-bench-v1", doc.get("schema")
+assert doc["runs"] >= 200, f"acceptance floor is 200 runs, got {doc['runs']}"
+assert doc["host_cores"] >= 1
+rows = doc["scaling"]
+assert rows and rows[0]["workers"] == 1, "first row is the 1-worker baseline"
+for r in rows:
+    assert r["runs_per_sec"] > 0 and r["wall_s"] > 0, r
+    assert abs(r["ideal"] - min(r["workers"], doc["host_cores"])) < 1e-9, r
+assert doc["scaling_efficiency"] >= 0.7, \
+    f"scaling efficiency {doc['scaling_efficiency']} below the 0.7 bar"
+cr = doc["cached_replay"]
+assert cr["hit_rate"] == 1.0 and cr["resumed"] == doc["runs"], cr
+print(f"campaign bench smoke ok: {doc['runs']} runs, "
+      f"efficiency {doc['scaling_efficiency']:.2f} on "
+      f"{doc['host_cores']} host core(s)")
+EOF
+
 echo "All checks passed."
